@@ -1,0 +1,314 @@
+//! The multi-agent finite-state machine (Section 2.2 / Figure 3).
+//!
+//! Three agents cooperate: a *user proxy* that kicks off the conversation
+//! with the scalar kernel and the Clang-style dependence remarks, a
+//! *vectorizer assistant* that consults the (synthetic) LLM, and a
+//! *compiler tester* that compiles and checksum-tests each candidate and
+//! feeds failures back. The FSM bounds the loop at a configurable number of
+//! attempts (ten in the paper) and terminates early on the first plausible
+//! candidate.
+
+use crate::llm::{LlmConfig, SyntheticLlm, VectorizePrompt};
+use lv_analysis::{analyze_function, remarks_text};
+use lv_cir::ast::Function;
+use lv_interp::{checksum_test, ChecksumConfig, ChecksumOutcome};
+use serde::{Deserialize, Serialize};
+
+/// The agents participating in the conversation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AgentRole {
+    /// Initiates the dialogue and supplies the kernel plus dependence info.
+    UserProxy,
+    /// Wraps the LLM and produces candidates.
+    VectorizerAssistant,
+    /// Compiles, runs checksum tests, and produces feedback.
+    CompilerTester,
+}
+
+/// The FSM states, mirroring Figure 3.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FsmState {
+    /// Gathering the dependence analysis.
+    AnalyzeDependence,
+    /// Asking the LLM for a candidate.
+    Vectorize,
+    /// Type checking ("compiling") the candidate.
+    Compile,
+    /// Checksum testing the candidate.
+    Test,
+    /// A plausible candidate was found.
+    Done,
+    /// The attempt budget was exhausted.
+    Failed,
+}
+
+/// One message in the multi-agent conversation.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Message {
+    /// Sending agent.
+    pub from: AgentRole,
+    /// Receiving agent.
+    pub to: AgentRole,
+    /// Message text (prompt, candidate code, or feedback).
+    pub content: String,
+}
+
+/// Configuration of the FSM run.
+#[derive(Debug, Clone)]
+pub struct FsmConfig {
+    /// Maximum number of LLM invocations (the paper allows ten).
+    pub max_attempts: u32,
+    /// Checksum testing configuration.
+    pub checksum: ChecksumConfig,
+    /// Synthetic LLM configuration.
+    pub llm: LlmConfig,
+}
+
+impl Default for FsmConfig {
+    fn default() -> Self {
+        FsmConfig {
+            max_attempts: 10,
+            checksum: ChecksumConfig::default(),
+            llm: LlmConfig::default(),
+        }
+    }
+}
+
+/// The result of driving the FSM on one kernel.
+#[derive(Debug, Clone)]
+pub struct FsmResult {
+    /// The plausible candidate, when one was found.
+    pub candidate: Option<Function>,
+    /// Number of LLM invocations performed.
+    pub attempts: u32,
+    /// The final state (`Done` or `Failed`).
+    pub final_state: FsmState,
+    /// The full conversation transcript.
+    pub transcript: Vec<Message>,
+}
+
+impl FsmResult {
+    /// Returns `true` if a plausible candidate was produced.
+    pub fn succeeded(&self) -> bool {
+        self.final_state == FsmState::Done
+    }
+}
+
+/// Runs the multi-agent FSM on a scalar kernel.
+pub fn run_fsm(scalar: &Function, config: &FsmConfig) -> FsmResult {
+    let mut llm = SyntheticLlm::new(config.llm.clone());
+    run_fsm_with_llm(scalar, config, &mut llm)
+}
+
+/// Runs the FSM with an externally managed LLM (so a caller can share one
+/// sampler across many kernels, keeping the RNG stream reproducible).
+pub fn run_fsm_with_llm(
+    scalar: &Function,
+    config: &FsmConfig,
+    llm: &mut SyntheticLlm,
+) -> FsmResult {
+    let mut transcript = Vec::new();
+    let mut state = FsmState::AnalyzeDependence;
+    let mut attempts = 0;
+    let mut prompt = VectorizePrompt::new(scalar.clone());
+    let mut candidate: Option<Function> = None;
+
+    // AnalyzeDependence: the user proxy gathers compiler remarks.
+    let report = analyze_function(scalar);
+    let remarks = remarks_text(&report);
+    transcript.push(Message {
+        from: AgentRole::UserProxy,
+        to: AgentRole::VectorizerAssistant,
+        content: format!(
+            "Vectorize `{}` for an AVX2 target. Compiler analysis:\n{}",
+            scalar.name, remarks
+        ),
+    });
+    prompt.dependence_feedback = Some(remarks);
+    state = next_state(state);
+
+    while attempts < config.max_attempts {
+        debug_assert_eq!(state, FsmState::Vectorize);
+        attempts += 1;
+        prompt.attempt = attempts - 1;
+        let completion = llm.complete(&prompt);
+        transcript.push(Message {
+            from: AgentRole::VectorizerAssistant,
+            to: AgentRole::CompilerTester,
+            content: format!(
+                "attempt {}: {}\n{}",
+                attempts,
+                completion.notes,
+                lv_cir::print_function(&completion.candidate)
+            ),
+        });
+
+        // Compile + Test are folded into the checksum harness, which first
+        // type checks the candidate.
+        state = FsmState::Compile;
+        let report = checksum_test(scalar, &completion.candidate, &config.checksum);
+        state = FsmState::Test;
+        match report.outcome {
+            ChecksumOutcome::Plausible => {
+                transcript.push(Message {
+                    from: AgentRole::CompilerTester,
+                    to: AgentRole::UserProxy,
+                    content: format!(
+                        "attempt {}: checksums match ({:?}); candidate is plausible",
+                        attempts, report.scalar_checksum
+                    ),
+                });
+                candidate = Some(completion.candidate);
+                state = FsmState::Done;
+                break;
+            }
+            ChecksumOutcome::CannotCompile { error } => {
+                transcript.push(Message {
+                    from: AgentRole::CompilerTester,
+                    to: AgentRole::VectorizerAssistant,
+                    content: format!("attempt {}: the candidate does not compile: {}", attempts, error),
+                });
+                prompt.checksum_feedback = Some(format!("compile error: {}", error));
+            }
+            ChecksumOutcome::NotEquivalent { reason, .. } => {
+                transcript.push(Message {
+                    from: AgentRole::CompilerTester,
+                    to: AgentRole::VectorizerAssistant,
+                    content: format!(
+                        "attempt {}: outputs differ from the scalar code: {}",
+                        attempts, reason
+                    ),
+                });
+                prompt.checksum_feedback = Some(reason);
+            }
+            ChecksumOutcome::ScalarExecutionFailed { error } => {
+                transcript.push(Message {
+                    from: AgentRole::CompilerTester,
+                    to: AgentRole::UserProxy,
+                    content: format!("the scalar kernel itself failed to execute: {}", error),
+                });
+                state = FsmState::Failed;
+                break;
+            }
+        }
+        state = FsmState::Vectorize;
+    }
+
+    let final_state = match state {
+        FsmState::Done => FsmState::Done,
+        FsmState::Failed => FsmState::Failed,
+        _ => {
+            if candidate.is_some() {
+                FsmState::Done
+            } else {
+                FsmState::Failed
+            }
+        }
+    };
+
+    FsmResult {
+        candidate,
+        attempts,
+        final_state,
+        transcript,
+    }
+}
+
+fn next_state(state: FsmState) -> FsmState {
+    match state {
+        FsmState::AnalyzeDependence => FsmState::Vectorize,
+        FsmState::Vectorize => FsmState::Compile,
+        FsmState::Compile => FsmState::Test,
+        FsmState::Test | FsmState::Done => FsmState::Done,
+        FsmState::Failed => FsmState::Failed,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lv_cir::parse_function;
+
+    const S000: &str =
+        "void s000(int n, int *a, int *b) { for (int i = 0; i < n; i++) { a[i] = b[i] + 1; } }";
+    const S453: &str = "void s453(int *a, int *b, int n) { int s = 0; for (int i = 0; i < n; i++) { s += 2; a[i] = s * b[i]; } }";
+    const S278: &str = "void s278(int n, int *a, int *b, int *c, int *d, int *e) { for (int i = 0; i < n; i++) { if (a[i] > 0) { goto L20; } b[i] = -b[i] + d[i] * e[i]; goto L30; L20: c[i] = -c[i] + d[i] * e[i]; L30: a[i] = b[i] + c[i] * d[i]; } }";
+
+    #[test]
+    fn easy_kernel_succeeds_quickly() {
+        let scalar = parse_function(S000).unwrap();
+        let result = run_fsm(&scalar, &FsmConfig::default());
+        assert!(result.succeeded());
+        assert!(result.attempts <= 5, "took {} attempts", result.attempts);
+        assert!(result.candidate.is_some());
+        assert!(result.transcript.len() >= 3);
+    }
+
+    #[test]
+    fn recurrence_kernel_succeeds_within_budget() {
+        let scalar = parse_function(S453).unwrap();
+        let result = run_fsm(
+            &scalar,
+            &FsmConfig {
+                llm: LlmConfig {
+                    temperature: 1.0,
+                    seed: 11,
+                },
+                ..FsmConfig::default()
+            },
+        );
+        assert!(result.succeeded(), "attempts: {}", result.attempts);
+        // The plausible candidate must really be plausible.
+        let report = checksum_test(
+            &scalar,
+            result.candidate.as_ref().unwrap(),
+            &ChecksumConfig::default(),
+        );
+        assert!(report.outcome.is_plausible());
+    }
+
+    #[test]
+    fn goto_kernel_exhausts_attempts() {
+        let scalar = parse_function(S278).unwrap();
+        let result = run_fsm(
+            &scalar,
+            &FsmConfig {
+                max_attempts: 3,
+                ..FsmConfig::default()
+            },
+        );
+        assert!(!result.succeeded());
+        assert_eq!(result.attempts, 3);
+        assert_eq!(result.final_state, FsmState::Failed);
+    }
+
+    #[test]
+    fn transcript_contains_feedback_on_failures() {
+        let scalar = parse_function(S278).unwrap();
+        let result = run_fsm(
+            &scalar,
+            &FsmConfig {
+                max_attempts: 2,
+                ..FsmConfig::default()
+            },
+        );
+        let feedback: Vec<&Message> = result
+            .transcript
+            .iter()
+            .filter(|m| m.from == AgentRole::CompilerTester)
+            .collect();
+        assert!(!feedback.is_empty());
+        assert!(feedback
+            .iter()
+            .all(|m| m.content.contains("differ") || m.content.contains("compile")));
+    }
+
+    #[test]
+    fn fsm_is_reproducible_for_a_fixed_seed() {
+        let scalar = parse_function(S000).unwrap();
+        let a = run_fsm(&scalar, &FsmConfig::default());
+        let b = run_fsm(&scalar, &FsmConfig::default());
+        assert_eq!(a.attempts, b.attempts);
+        assert_eq!(a.candidate, b.candidate);
+    }
+}

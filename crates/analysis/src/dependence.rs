@@ -1,0 +1,484 @@
+//! Data-dependence analysis over one canonical loop.
+//!
+//! The analysis mirrors what the paper extracts from Clang and feeds to the
+//! vectorizer agent: per-array flow/anti/output dependences with distances
+//! (when subscripts are affine), conservative "unknown" dependences
+//! otherwise, plus scalar reductions and recurrences.
+
+use crate::access::{AccessKind, ArrayAccess, BodyAccesses, ScalarUpdate};
+use crate::loops::{CanonicalLoop, LoopNest, StepKind};
+use lv_cir::ast::Function;
+use lv_cir::printer::print_expr;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The classic dependence kinds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DepKind {
+    /// Read-after-write (true/flow dependence).
+    Flow,
+    /// Write-after-read (anti dependence).
+    Anti,
+    /// Write-after-write (output dependence).
+    Output,
+    /// The analysis could not decide (non-affine subscripts); compilers treat
+    /// this as a dependence of unknown direction.
+    Unknown,
+}
+
+impl fmt::Display for DepKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            DepKind::Flow => "flow (read-after-write)",
+            DepKind::Anti => "anti (write-after-read)",
+            DepKind::Output => "output (write-after-write)",
+            DepKind::Unknown => "unknown",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One dependence between two accesses of the same array.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Dependence {
+    /// The array involved.
+    pub array: String,
+    /// The dependence kind.
+    pub kind: DepKind,
+    /// Iteration distance (`> 0` means the sink executes that many iterations
+    /// after the source), when the subscripts are affine with equal
+    /// coefficients. `None` for unknown dependences.
+    pub distance: Option<i64>,
+    /// `true` if the dependence crosses iterations (distance ≠ 0 or unknown).
+    pub loop_carried: bool,
+    /// Pretty-printed source subscript (the earlier access in program order).
+    pub src_subscript: String,
+    /// Pretty-printed sink subscript.
+    pub dst_subscript: String,
+}
+
+impl fmt::Display for Dependence {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} dependence on `{}` between {}[{}] and {}[{}]{}",
+            self.kind,
+            self.array,
+            self.array,
+            self.src_subscript,
+            self.array,
+            self.dst_subscript,
+            match self.distance {
+                Some(d) => format!(" (distance {})", d),
+                None => String::new(),
+            }
+        )
+    }
+}
+
+/// The complete dependence report for a kernel.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct DependenceReport {
+    /// `true` if a canonical loop was found at all.
+    pub loop_found: bool,
+    /// The induction variable of the analyzed loop.
+    pub induction_var: Option<String>,
+    /// Constant loop step, when known.
+    pub step: Option<i64>,
+    /// All array dependences found.
+    pub dependences: Vec<Dependence>,
+    /// Scalars updated as reductions (`s += expr`).
+    pub reductions: Vec<String>,
+    /// Scalars updated as genuine cross-iteration recurrences.
+    pub recurrences: Vec<String>,
+    /// Arrays whose subscripts the analysis could not model.
+    pub opaque_arrays: Vec<String>,
+    /// `true` if the body contains `if`/ternary control flow.
+    pub has_control_flow: bool,
+    /// `true` if the body contains `goto`.
+    pub has_goto: bool,
+    /// `true` if the analyzed loop is the inner loop of a nest.
+    pub nested: bool,
+    /// `true` when some loop or subscript could not be canonicalized.
+    pub conservative: bool,
+}
+
+impl DependenceReport {
+    /// Returns `true` if any loop-carried dependence (array or scalar
+    /// recurrence) was found or had to be assumed.
+    pub fn has_loop_carried(&self) -> bool {
+        self.dependences.iter().any(|d| d.loop_carried)
+            || !self.recurrences.is_empty()
+            || self.conservative
+    }
+
+    /// Returns `true` if the only loop-carried dependences are scalar
+    /// reductions — the pattern compilers handle specially.
+    pub fn only_reductions(&self) -> bool {
+        !self.reductions.is_empty()
+            && self.recurrences.is_empty()
+            && self.dependences.iter().all(|d| !d.loop_carried)
+    }
+
+    /// Returns `true` if the loop is trivially vectorizable: no loop-carried
+    /// dependences, no recurrences, no unknown subscripts.
+    pub fn trivially_vectorizable(&self) -> bool {
+        self.loop_found
+            && !self.conservative
+            && self.recurrences.is_empty()
+            && self.reductions.is_empty()
+            && self.dependences.iter().all(|d| !d.loop_carried)
+    }
+
+    /// Loop-carried dependences only.
+    pub fn loop_carried(&self) -> Vec<&Dependence> {
+        self.dependences.iter().filter(|d| d.loop_carried).collect()
+    }
+}
+
+/// Analyzes the (innermost) loop of a function.
+///
+/// For nested loops only the inner loop is analyzed, matching both the paper's
+/// verification strategy (Section 3.1, "only the inner loop needs to be
+/// vectorized") and what the baseline vectorizers target.
+pub fn analyze_function(func: &Function) -> DependenceReport {
+    let nest: LoopNest = crate::loops::loop_nest(func);
+    let Some(inner) = nest.innermost() else {
+        return DependenceReport {
+            loop_found: false,
+            conservative: nest.has_unrecognized,
+            ..DependenceReport::default()
+        };
+    };
+    let mut report = analyze_loop(inner, &crate::access::collect_accesses(&inner.body, &inner.iv));
+    report.nested = nest.is_nested();
+    report.conservative |= nest.has_unrecognized;
+    report
+}
+
+/// Analyzes one canonical loop given its extracted accesses.
+pub fn analyze_loop(l: &CanonicalLoop, body: &BodyAccesses) -> DependenceReport {
+    let mut report = DependenceReport {
+        loop_found: true,
+        induction_var: Some(l.iv.clone()),
+        step: l.step.as_constant(),
+        has_control_flow: body.has_branches,
+        has_goto: body.has_goto,
+        conservative: matches!(l.step, StepKind::Symbolic(_)),
+        ..DependenceReport::default()
+    };
+
+    for update in &body.scalar_updates {
+        classify_scalar(update, body, &mut report);
+    }
+
+    for array in body.arrays() {
+        let accesses = body.of_array(&array);
+        analyze_array(&array, &accesses, &mut report);
+    }
+
+    report
+}
+
+fn classify_scalar(update: &ScalarUpdate, body: &BodyAccesses, report: &mut DependenceReport) {
+    // A reduction-shaped update whose value is *also* consumed elsewhere in
+    // the body (e.g. s453's `s += 2; a[i] = s * b[i];`) is a recurrence: the
+    // value consumed depends on the iteration number. A pure accumulator
+    // (`s += a[i]` and nothing else) is a reduction.
+    let value_consumed = body.value_read_scalars.contains(&update.name);
+    let push_recurrence = |report: &mut DependenceReport| {
+        if !report.recurrences.contains(&update.name) {
+            report.recurrences.push(update.name.clone());
+        }
+    };
+    if update.is_recurrence {
+        push_recurrence(report);
+    } else if update.is_reduction {
+        if value_consumed {
+            push_recurrence(report);
+        } else if !report.reductions.contains(&update.name) {
+            report.reductions.push(update.name.clone());
+        }
+    } else if value_consumed {
+        // Plain assignment to a scalar whose value is read elsewhere in the
+        // body (e.g. s291's `im1 = i` feeding `b[im1]`): a recurrence.
+        push_recurrence(report);
+    }
+}
+
+fn analyze_array(array: &str, accesses: &[&ArrayAccess], report: &mut DependenceReport) {
+    let writes: Vec<&&ArrayAccess> = accesses
+        .iter()
+        .filter(|a| a.kind == AccessKind::Write)
+        .collect();
+    if writes.is_empty() {
+        return;
+    }
+    if accesses.iter().any(|a| a.affine.is_none()) {
+        if !report.opaque_arrays.contains(&array.to_string()) {
+            report.opaque_arrays.push(array.to_string());
+        }
+        report.dependences.push(Dependence {
+            array: array.to_string(),
+            kind: DepKind::Unknown,
+            distance: None,
+            loop_carried: true,
+            src_subscript: accesses
+                .first()
+                .map(|a| print_expr(&a.index))
+                .unwrap_or_default(),
+            dst_subscript: writes
+                .first()
+                .map(|a| print_expr(&a.index))
+                .unwrap_or_default(),
+        });
+        return;
+    }
+
+    for (wi, write) in accesses.iter().enumerate() {
+        if write.kind != AccessKind::Write {
+            continue;
+        }
+        let w = write.affine.expect("checked above");
+        for (oi, other) in accesses.iter().enumerate() {
+            if oi == wi {
+                continue;
+            }
+            let o = other.affine.expect("checked above");
+            // Output dependences are only counted once per pair.
+            if other.kind == AccessKind::Write && oi < wi {
+                continue;
+            }
+            if w.coeff != o.coeff {
+                // Different strides: be conservative.
+                report.dependences.push(Dependence {
+                    array: array.to_string(),
+                    kind: DepKind::Unknown,
+                    distance: None,
+                    loop_carried: true,
+                    src_subscript: print_expr(&other.index),
+                    dst_subscript: print_expr(&write.index),
+                });
+                continue;
+            }
+            if w.coeff == 0 {
+                // Both subscripts constant: same cell every iteration.
+                if w.offset == o.offset {
+                    let kind = if other.kind == AccessKind::Write {
+                        DepKind::Output
+                    } else {
+                        DepKind::Flow
+                    };
+                    report.dependences.push(Dependence {
+                        array: array.to_string(),
+                        kind,
+                        distance: Some(1),
+                        loop_carried: true,
+                        src_subscript: print_expr(&other.index),
+                        dst_subscript: print_expr(&write.index),
+                    });
+                }
+                continue;
+            }
+            // Iteration distance from the write to the conflicting access:
+            // the write at iteration i touches c*i + ow; the access at
+            // iteration i + k touches the same element when k = (ow - oa)/c.
+            let delta = w.offset - o.offset;
+            if delta % w.coeff != 0 {
+                // The accesses can never touch the same element.
+                continue;
+            }
+            let distance = delta / w.coeff;
+            if distance == 0 {
+                // Same-iteration dependence: not loop-carried, irrelevant for
+                // vectorization legality (statement order within the body
+                // handles it).
+                continue;
+            }
+            let kind = if other.kind == AccessKind::Write {
+                DepKind::Output
+            } else if distance > 0 {
+                // The conflicting read happens in a *later* iteration than the
+                // write: the value flows forward (read-after-write).
+                DepKind::Flow
+            } else {
+                // The read happens first; the write overtakes it later
+                // (write-after-read). s212 is the canonical example.
+                DepKind::Anti
+            };
+            report.dependences.push(Dependence {
+                array: array.to_string(),
+                kind,
+                distance: Some(distance),
+                loop_carried: true,
+                src_subscript: print_expr(&write.index),
+                dst_subscript: print_expr(&other.index),
+            });
+        }
+    }
+
+    // A single write with a constant subscript conflicts with itself on every
+    // iteration (e.g. `a[0] = i`): record the output dependence even though
+    // there is no second access to pair it with.
+    for write in &writes {
+        if write.affine.map(|a| a.coeff) == Some(0) {
+            report.dependences.push(Dependence {
+                array: array.to_string(),
+                kind: DepKind::Output,
+                distance: Some(1),
+                loop_carried: true,
+                src_subscript: print_expr(&write.index),
+                dst_subscript: print_expr(&write.index),
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lv_cir::parse_function;
+
+    fn analyze(src: &str) -> DependenceReport {
+        analyze_function(&parse_function(src).unwrap())
+    }
+
+    #[test]
+    fn s000_has_no_dependences() {
+        let r = analyze(
+            "void s000(int n, int *a, int *b) { for (int i = 0; i < n; i++) { a[i] = b[i] + 1; } }",
+        );
+        assert!(r.loop_found);
+        assert!(r.trivially_vectorizable());
+        assert!(!r.has_loop_carried());
+        assert_eq!(r.step, Some(1));
+    }
+
+    #[test]
+    fn s212_has_anti_dependence() {
+        let r = analyze(
+            "void s212(int n, int *a, int *b, int *c, int *d) { for (int i = 0; i < n - 1; i++) { a[i] *= c[i]; b[i] += a[i + 1] * d[i]; } }",
+        );
+        assert!(r.has_loop_carried());
+        let a_deps: Vec<_> = r
+            .dependences
+            .iter()
+            .filter(|d| d.array == "a" && d.loop_carried)
+            .collect();
+        assert!(
+            a_deps.iter().any(|d| d.kind == DepKind::Anti && d.distance == Some(-1)),
+            "expected an anti dependence with distance -1, got {:?}",
+            a_deps
+        );
+        assert!(!r.trivially_vectorizable());
+    }
+
+    #[test]
+    fn flow_dependence_recurrence() {
+        // a[i] = a[i-1] + 1 is a true loop-carried flow dependence.
+        let r = analyze(
+            "void f(int n, int *a) { for (int i = 1; i < n; i++) { a[i] = a[i - 1] + 1; } }",
+        );
+        assert!(r
+            .dependences
+            .iter()
+            .any(|d| d.kind == DepKind::Flow && d.distance == Some(1)));
+        assert!(r.has_loop_carried());
+    }
+
+    #[test]
+    fn reduction_is_classified() {
+        let r = analyze(
+            "void vsumr(int n, int *a, int *out) { int s = 0; for (int i = 0; i < n; i++) { s += a[i]; } out[0] = s; }",
+        );
+        assert_eq!(r.reductions, vec!["s".to_string()]);
+        assert!(r.recurrences.is_empty());
+        assert!(r.only_reductions());
+    }
+
+    #[test]
+    fn s453_scalar_recurrence() {
+        let r = analyze(
+            "void s453(int *a, int *b, int n) { int s = 0; for (int i = 0; i < n; i++) { s += 2; a[i] = s * b[i]; } }",
+        );
+        assert!(
+            r.recurrences.contains(&"s".to_string()),
+            "s should be a recurrence, report: {:?}",
+            r
+        );
+        assert!(!r.only_reductions());
+    }
+
+    #[test]
+    fn s124_is_opaque_with_control_flow() {
+        let r = analyze(
+            "void s124(int *a, int *b, int *c, int *d, int *e, int n) { int j; j = -1; for (int i = 0; i < n; i++) { if (b[i] > 0) { j += 1; a[j] = b[i] + d[i] * e[i]; } else { j += 1; a[j] = c[i] + d[i] * e[i]; } } }",
+        );
+        assert!(r.has_control_flow);
+        assert!(r.opaque_arrays.contains(&"a".to_string()));
+        assert!(r.has_loop_carried());
+    }
+
+    #[test]
+    fn goto_and_control_flow_flags() {
+        let r = analyze(
+            "void s278(int n, int *a, int *b, int *c, int *d, int *e) { for (int i = 0; i < n; i++) { if (a[i] > 0) { goto L20; } b[i] = -b[i] + d[i] * e[i]; goto L30; L20: c[i] = -c[i] + d[i] * e[i]; L30: a[i] = b[i] + c[i] * d[i]; } }",
+        );
+        assert!(r.has_goto);
+        assert!(r.has_control_flow);
+    }
+
+    #[test]
+    fn nested_loops_analyze_inner() {
+        let r = analyze(
+            "void f(int n, int *a) { for (int j = 0; j < n; j++) { for (int i = 0; i < n; i++) { a[i] = a[i] + 1; } } }",
+        );
+        assert!(r.nested);
+        assert_eq!(r.induction_var.as_deref(), Some("i"));
+    }
+
+    #[test]
+    fn symbolic_step_is_conservative() {
+        let r = analyze(
+            "void f(int n, int k, int *a) { for (int i = 0; i < n; i += k) { a[i] = 0; } }",
+        );
+        assert!(r.conservative);
+        assert!(r.has_loop_carried());
+    }
+
+    #[test]
+    fn no_loop_reported() {
+        let r = analyze("void f(int n, int *a) { a[0] = n; }");
+        assert!(!r.loop_found);
+        assert!(!r.trivially_vectorizable());
+    }
+
+    #[test]
+    fn output_dependence_same_cell() {
+        let r = analyze("void f(int n, int *a) { for (int i = 0; i < n; i++) { a[0] = i; } }");
+        assert!(r
+            .dependences
+            .iter()
+            .any(|d| d.kind == DepKind::Output && d.loop_carried));
+    }
+
+    #[test]
+    fn different_strides_are_conservative() {
+        let r = analyze(
+            "void f(int n, int *a) { for (int i = 0; i < n; i++) { a[2 * i] = a[i] + 1; } }",
+        );
+        assert!(r
+            .dependences
+            .iter()
+            .any(|d| d.kind == DepKind::Unknown && d.loop_carried));
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let r = analyze(
+            "void f(int n, int *a) { for (int i = 1; i < n; i++) { a[i] = a[i - 1] + 1; } }",
+        );
+        let text = r.dependences[0].to_string();
+        assert!(text.contains("dependence on `a`"), "{}", text);
+    }
+}

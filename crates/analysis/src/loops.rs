@@ -1,0 +1,412 @@
+//! Canonical loop extraction.
+//!
+//! Section 3.1 of the paper assumes loops in the canonical form
+//! `for (i = start; i < end; i += step) body` (with the obvious variations
+//! `<=`, `!=`, decrementing steps). This module extracts that canonical form
+//! from the AST for use by the dependence analysis, the baseline compiler
+//! models and the translation validator's loop-alignment step.
+
+use lv_cir::ast::{AssignOp, BinOp, Block, Expr, Function, Stmt};
+use serde::{Deserialize, Serialize};
+
+/// The loop step: either a compile-time constant (possibly negative) or a
+/// symbolic expression. The paper's alignment analysis "does not handle cases
+/// where step1 is not a constant literal"; ours mirrors that restriction.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum StepKind {
+    /// `i += c` or `i -= c` or `i++` (constant, signed).
+    Constant(i64),
+    /// A step that is not a constant literal.
+    Symbolic(Expr),
+}
+
+impl StepKind {
+    /// The constant step value, if known.
+    pub fn as_constant(&self) -> Option<i64> {
+        match self {
+            StepKind::Constant(c) => Some(*c),
+            StepKind::Symbolic(_) => None,
+        }
+    }
+}
+
+/// A `for` loop in canonical form.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CanonicalLoop {
+    /// The induction variable name.
+    pub iv: String,
+    /// Whether the induction variable is declared in the loop header
+    /// (`for (int i = ...)`) rather than before the loop.
+    pub declares_iv: bool,
+    /// The initial value expression.
+    pub start: Expr,
+    /// The comparison operator of the loop condition (`<`, `<=`, `!=`, `>`, `>=`).
+    pub cond_op: BinOp,
+    /// The loop bound expression (right-hand side of the condition).
+    pub bound: Expr,
+    /// The step.
+    pub step: StepKind,
+    /// The loop body.
+    pub body: Block,
+}
+
+impl CanonicalLoop {
+    /// Returns `true` if this loop counts upward with a constant step.
+    pub fn is_forward(&self) -> bool {
+        matches!(self.step, StepKind::Constant(c) if c > 0)
+    }
+
+    /// The constant step, defaulting to 1 for symbolic steps (callers that
+    /// need precision should match on [`StepKind`] instead).
+    pub fn step_or_one(&self) -> i64 {
+        self.step.as_constant().unwrap_or(1)
+    }
+}
+
+/// Information about the loops of a function.
+#[derive(Debug, Clone, Default)]
+pub struct LoopNest {
+    /// Top-level canonical loops in source order (most kernels have exactly
+    /// one; vectorized candidates have a main loop plus an epilogue).
+    pub loops: Vec<CanonicalLoop>,
+    /// For each top-level loop, its directly nested canonical loops.
+    pub inner: Vec<Vec<CanonicalLoop>>,
+    /// `true` if any loop (or statement) was not recognized as canonical.
+    pub has_unrecognized: bool,
+}
+
+impl LoopNest {
+    /// The single top-level loop, when there is exactly one.
+    pub fn single(&self) -> Option<&CanonicalLoop> {
+        if self.loops.len() == 1 {
+            self.loops.first()
+        } else {
+            None
+        }
+    }
+
+    /// The innermost loop of the first top-level loop, when the function is a
+    /// simple nest (`for { for { ... } }`).
+    pub fn innermost(&self) -> Option<&CanonicalLoop> {
+        match self.loops.first() {
+            Some(outer) => match self.inner.first().and_then(|v| v.first()) {
+                Some(inner) => Some(inner),
+                None => Some(outer),
+            },
+            None => None,
+        }
+    }
+
+    /// Returns `true` if the first top-level loop contains a nested loop.
+    pub fn is_nested(&self) -> bool {
+        self.inner.first().is_some_and(|v| !v.is_empty())
+    }
+}
+
+/// Tries to put a `for` statement into canonical form.
+pub fn canonicalize_for(stmt: &Stmt) -> Option<CanonicalLoop> {
+    let Stmt::For {
+        init,
+        cond,
+        step,
+        body,
+    } = stmt
+    else {
+        return None;
+    };
+
+    // Induction variable and start value.
+    let (iv, start, declares_iv) = match init.as_deref() {
+        Some(Stmt::Decl {
+            name,
+            init: Some(start),
+            ..
+        }) => (name.clone(), start.clone(), true),
+        Some(Stmt::Expr(Expr::Assign {
+            op: AssignOp::Assign,
+            target,
+            value,
+        })) => match target.as_var() {
+            Some(name) => (name.to_string(), (**value).clone(), false),
+            None => return None,
+        },
+        // `for (; i < n; ...)` — epilogue loops reuse an existing variable;
+        // the start is simply "wherever i already is", which we encode as the
+        // variable itself.
+        None => {
+            let (iv, _, _) = step_info(step.as_ref()?)?;
+            (iv.clone(), Expr::var(iv), false)
+        }
+        _ => return None,
+    };
+
+    // Condition.
+    let cond = cond.as_ref()?;
+    let Expr::Binary { op, lhs, rhs } = cond else {
+        return None;
+    };
+    if !op.is_comparison() {
+        return None;
+    }
+    // Normalize so the induction variable is on the left.
+    let (cond_op, bound) = if lhs.as_var() == Some(iv.as_str()) {
+        (*op, (**rhs).clone())
+    } else if rhs.as_var() == Some(iv.as_str()) {
+        (flip_comparison(*op), (**lhs).clone())
+    } else {
+        // Conditions like `i + 8 <= n` (common in vectorized code): treat the
+        // left side as `iv + k` and fold the constant into the bound.
+        match (lhs.as_ref(), op) {
+            (
+                Expr::Binary {
+                    op: BinOp::Add,
+                    lhs: l,
+                    rhs: r,
+                },
+                BinOp::Le | BinOp::Lt,
+            ) if l.as_var() == Some(iv.as_str()) => {
+                let k = r.as_int_lit()?;
+                (
+                    *op,
+                    Expr::bin(BinOp::Sub, (**rhs).clone(), Expr::lit(k)),
+                )
+            }
+            _ => return None,
+        }
+    };
+
+    // Step.
+    let (step_iv, step_kind, _) = step_info(step.as_ref()?)?;
+    if step_iv != iv {
+        return None;
+    }
+
+    Some(CanonicalLoop {
+        iv,
+        declares_iv,
+        start,
+        cond_op,
+        bound,
+        step: step_kind,
+        body: body.clone(),
+    })
+}
+
+/// Extracts `(iv, step, is_increment)` from a step expression such as `i++`,
+/// `i += 4`, `i -= k` or `i = i + 1`.
+fn step_info(step: &Expr) -> Option<(String, StepKind, bool)> {
+    match step {
+        Expr::Assign {
+            op: AssignOp::AddAssign,
+            target,
+            value,
+        } => {
+            let iv = target.as_var()?.to_string();
+            match value.as_int_lit() {
+                Some(c) => Some((iv, StepKind::Constant(c), true)),
+                None => Some((iv, StepKind::Symbolic((**value).clone()), true)),
+            }
+        }
+        Expr::Assign {
+            op: AssignOp::SubAssign,
+            target,
+            value,
+        } => {
+            let iv = target.as_var()?.to_string();
+            match value.as_int_lit() {
+                Some(c) => Some((iv, StepKind::Constant(-c), true)),
+                None => Some((iv, StepKind::Symbolic((**value).clone()), true)),
+            }
+        }
+        Expr::Assign {
+            op: AssignOp::Assign,
+            target,
+            value,
+        } => {
+            let iv = target.as_var()?.to_string();
+            // `i = i + c` or `i = i - c`.
+            if let Expr::Binary { op, lhs, rhs } = value.as_ref() {
+                if lhs.as_var() == Some(iv.as_str()) {
+                    if let Some(c) = rhs.as_int_lit() {
+                        let c = match op {
+                            BinOp::Add => c,
+                            BinOp::Sub => -c,
+                            _ => return None,
+                        };
+                        return Some((iv, StepKind::Constant(c), true));
+                    }
+                }
+            }
+            None
+        }
+        _ => None,
+    }
+}
+
+fn flip_comparison(op: BinOp) -> BinOp {
+    match op {
+        BinOp::Lt => BinOp::Gt,
+        BinOp::Le => BinOp::Ge,
+        BinOp::Gt => BinOp::Lt,
+        BinOp::Ge => BinOp::Le,
+        other => other,
+    }
+}
+
+/// Extracts the loop structure of a function: all top-level canonical loops
+/// and, for each, its directly nested canonical loops.
+pub fn loop_nest(func: &Function) -> LoopNest {
+    let mut nest = LoopNest::default();
+    for stmt in &func.body.stmts {
+        if stmt.is_loop() {
+            match canonicalize_for(stmt) {
+                Some(canonical) => {
+                    let mut inner = Vec::new();
+                    collect_inner_loops(&canonical.body, &mut inner, &mut nest.has_unrecognized);
+                    nest.loops.push(canonical);
+                    nest.inner.push(inner);
+                }
+                None => nest.has_unrecognized = true,
+            }
+        }
+    }
+    nest
+}
+
+fn collect_inner_loops(body: &Block, out: &mut Vec<CanonicalLoop>, unrecognized: &mut bool) {
+    for stmt in &body.stmts {
+        match stmt {
+            Stmt::For { .. } => match canonicalize_for(stmt) {
+                Some(c) => out.push(c),
+                None => *unrecognized = true,
+            },
+            Stmt::While { .. } => *unrecognized = true,
+            Stmt::If {
+                then_branch,
+                else_branch,
+                ..
+            } => {
+                collect_inner_loops(then_branch, out, unrecognized);
+                if let Some(e) = else_branch {
+                    collect_inner_loops(e, out, unrecognized);
+                }
+            }
+            Stmt::Block(b) => collect_inner_loops(b, out, unrecognized),
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lv_cir::parse_function;
+
+    fn first_loop(src: &str) -> CanonicalLoop {
+        let func = parse_function(src).unwrap();
+        loop_nest(&func).loops.into_iter().next().expect("a loop")
+    }
+
+    #[test]
+    fn canonical_simple_loop() {
+        let l = first_loop("void f(int n, int *a) { for (int i = 0; i < n; i++) { a[i] = 0; } }");
+        assert_eq!(l.iv, "i");
+        assert!(l.declares_iv);
+        assert_eq!(l.start, Expr::lit(0));
+        assert_eq!(l.cond_op, BinOp::Lt);
+        assert_eq!(l.bound, Expr::var("n"));
+        assert_eq!(l.step, StepKind::Constant(1));
+        assert!(l.is_forward());
+    }
+
+    #[test]
+    fn canonical_strided_and_decrementing() {
+        let l = first_loop("void f(int n, int *a) { for (int i = 0; i < n; i += 2) { a[i] = 0; } }");
+        assert_eq!(l.step, StepKind::Constant(2));
+        let l = first_loop("void f(int n, int *a) { for (int i = n - 1; i >= 0; i--) { a[i] = 0; } }");
+        assert_eq!(l.step, StepKind::Constant(-1));
+        assert_eq!(l.cond_op, BinOp::Ge);
+        assert!(!l.is_forward());
+    }
+
+    #[test]
+    fn canonical_complex_bound() {
+        let l = first_loop(
+            "void f(int n, int *a) { for (int i = 0; i < n - 1 - (n - 1) % 8; i += 8) { a[i] = 0; } }",
+        );
+        assert_eq!(l.step, StepKind::Constant(8));
+        assert!(matches!(l.bound, Expr::Binary { .. }));
+    }
+
+    #[test]
+    fn canonical_assignment_init_and_reversed_condition() {
+        let l = first_loop("void f(int n, int *a) { int i; for (i = 2; n > i; i++) { a[i] = 0; } }");
+        assert!(!l.declares_iv);
+        assert_eq!(l.start, Expr::lit(2));
+        assert_eq!(l.cond_op, BinOp::Lt);
+        assert_eq!(l.bound, Expr::var("n"));
+    }
+
+    #[test]
+    fn canonical_vector_style_condition() {
+        let l = first_loop(
+            "void f(int n, int *a) { int i; for (i = 0; i + 8 <= n; i += 8) { a[i] = 0; } }",
+        );
+        assert_eq!(l.step, StepKind::Constant(8));
+        // Bound is folded to `n - 8`.
+        assert_eq!(l.bound, Expr::bin(BinOp::Sub, Expr::var("n"), Expr::lit(8)));
+    }
+
+    #[test]
+    fn epilogue_loop_without_init() {
+        let func = parse_function(
+            "void f(int n, int *a) { int i; for (i = 0; i + 8 <= n; i += 8) { a[i] = 0; } for (; i < n; i++) { a[i] = 0; } }",
+        )
+        .unwrap();
+        let nest = loop_nest(&func);
+        assert_eq!(nest.loops.len(), 2);
+        assert_eq!(nest.loops[1].start, Expr::var("i"));
+        assert!(!nest.has_unrecognized);
+    }
+
+    #[test]
+    fn symbolic_step_is_recognized_as_symbolic() {
+        let l = first_loop("void f(int n, int k, int *a) { for (int i = 0; i < n; i += k) { a[i] = 0; } }");
+        assert!(matches!(l.step, StepKind::Symbolic(_)));
+        assert_eq!(l.step_or_one(), 1);
+    }
+
+    #[test]
+    fn nested_loops_are_collected() {
+        let func = parse_function(
+            "void f(int n, int *a) { for (int i = 0; i < n; i++) { for (int j = 0; j < n; j++) { a[j] = i; } } }",
+        )
+        .unwrap();
+        let nest = loop_nest(&func);
+        assert!(nest.is_nested());
+        assert_eq!(nest.inner[0][0].iv, "j");
+        assert_eq!(nest.innermost().unwrap().iv, "j");
+    }
+
+    #[test]
+    fn while_loop_is_unrecognized() {
+        let func =
+            parse_function("void f(int n, int *a) { int i = 0; while (i < n) { a[i] = 0; i += 1; } }")
+                .unwrap();
+        let nest = loop_nest(&func);
+        assert!(nest.loops.is_empty());
+        // A while loop cannot be canonicalized, so downstream analyses must
+        // be conservative.
+        assert!(nest.has_unrecognized);
+    }
+
+    #[test]
+    fn single_and_innermost_helpers() {
+        let func = parse_function("void f(int n, int *a) { for (int i = 0; i < n; i++) { a[i] = 0; } }")
+            .unwrap();
+        let nest = loop_nest(&func);
+        assert!(nest.single().is_some());
+        assert_eq!(nest.innermost().unwrap().iv, "i");
+        assert!(!nest.is_nested());
+    }
+}

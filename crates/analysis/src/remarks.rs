@@ -1,0 +1,186 @@
+//! Compiler-style vectorization remarks.
+//!
+//! The multi-agent FSM (Figure 3 of the paper) feeds the vectorizer agent
+//! "dependence analysis information from the Clang compiler, highlighting why
+//! Clang cannot vectorize the loop". This module renders our
+//! [`DependenceReport`] in that style so the synthetic LLM receives the same
+//! kind of hints the real one did.
+
+use crate::dependence::{DepKind, DependenceReport};
+
+/// A single remark, in the spirit of `-Rpass-analysis=loop-vectorize` output.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Remark {
+    /// Short category tag (e.g. `loop-vectorize`).
+    pub pass: &'static str,
+    /// The message body.
+    pub message: String,
+}
+
+impl std::fmt::Display for Remark {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "remark: [{}] {}", self.pass, self.message)
+    }
+}
+
+/// Renders the dependence report as a list of compiler-style remarks.
+pub fn remarks_for(report: &DependenceReport) -> Vec<Remark> {
+    let mut remarks = Vec::new();
+    let push = |remarks: &mut Vec<Remark>, message: String| {
+        remarks.push(Remark {
+            pass: "loop-vectorize",
+            message,
+        })
+    };
+
+    if !report.loop_found {
+        push(
+            &mut remarks,
+            "no canonical for-loop found; nothing to vectorize".to_string(),
+        );
+        return remarks;
+    }
+
+    if let Some(iv) = &report.induction_var {
+        match report.step {
+            Some(step) => push(
+                &mut remarks,
+                format!("loop induction variable `{}` advances by {}", iv, step),
+            ),
+            None => push(
+                &mut remarks,
+                format!(
+                    "loop induction variable `{}` has a non-constant step; dependence distances cannot be computed",
+                    iv
+                ),
+            ),
+        }
+    }
+
+    for dep in &report.dependences {
+        if !dep.loop_carried {
+            continue;
+        }
+        let message = match dep.kind {
+            DepKind::Unknown => format!(
+                "cannot determine dependence for array `{}`: subscript is not an affine function of the induction variable; assuming a loop-carried dependence",
+                dep.array
+            ),
+            kind => format!(
+                "loop-carried {} dependence on `{}` between subscripts `{}` and `{}`{}",
+                kind,
+                dep.array,
+                dep.src_subscript,
+                dep.dst_subscript,
+                dep.distance
+                    .map(|d| format!(" with distance {}", d))
+                    .unwrap_or_default()
+            ),
+        };
+        push(&mut remarks, message);
+    }
+
+    for name in &report.reductions {
+        push(
+            &mut remarks,
+            format!("scalar `{}` is a reduction accumulator; vectorization requires a horizontal reduction epilogue", name),
+        );
+    }
+    for name in &report.recurrences {
+        push(
+            &mut remarks,
+            format!("scalar `{}` carries a value across iterations (recurrence); naive per-lane updates will be incorrect", name),
+        );
+    }
+    if report.has_goto {
+        push(
+            &mut remarks,
+            "loop body contains goto statements; the control flow must be converted to data flow (masks/blends) before vectorizing".to_string(),
+        );
+    } else if report.has_control_flow {
+        push(
+            &mut remarks,
+            "loop body contains conditional control flow; if-conversion with compare/blend is required".to_string(),
+        );
+    }
+    if report.nested {
+        push(
+            &mut remarks,
+            "loop is nested; only the innermost loop should be vectorized, keeping the outer loop structure unchanged".to_string(),
+        );
+    }
+
+    if remarks.len() == 1 && !report.has_loop_carried() {
+        push(
+            &mut remarks,
+            "no loop-carried dependences detected; the loop is vectorizable with a stride-8 strip-mined loop and a scalar epilogue".to_string(),
+        );
+    }
+
+    remarks
+}
+
+/// Joins remarks into the single feedback string handed to the agent prompt.
+pub fn remarks_text(report: &DependenceReport) -> String {
+    remarks_for(report)
+        .iter()
+        .map(|r| r.to_string())
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dependence::analyze_function;
+    use lv_cir::parse_function;
+
+    fn text(src: &str) -> String {
+        remarks_text(&analyze_function(&parse_function(src).unwrap()))
+    }
+
+    #[test]
+    fn clean_loop_reports_vectorizable() {
+        let t = text(
+            "void s000(int n, int *a, int *b) { for (int i = 0; i < n; i++) { a[i] = b[i] + 1; } }",
+        );
+        assert!(t.contains("no loop-carried dependences"), "{}", t);
+    }
+
+    #[test]
+    fn s212_mentions_anti_dependence() {
+        let t = text(
+            "void s212(int n, int *a, int *b, int *c, int *d) { for (int i = 0; i < n - 1; i++) { a[i] *= c[i]; b[i] += a[i + 1] * d[i]; } }",
+        );
+        assert!(t.contains("anti"), "{}", t);
+        assert!(t.contains("`a`"), "{}", t);
+    }
+
+    #[test]
+    fn reduction_and_goto_remarks() {
+        let t = text(
+            "void vsumr(int n, int *a, int *out) { int s = 0; for (int i = 0; i < n; i++) { s += a[i]; } out[0] = s; }",
+        );
+        assert!(t.contains("reduction accumulator"), "{}", t);
+
+        let t = text(
+            "void s278(int n, int *a, int *b, int *c, int *d, int *e) { for (int i = 0; i < n; i++) { if (a[i] > 0) { goto L20; } b[i] = -b[i] + d[i] * e[i]; goto L30; L20: c[i] = -c[i] + d[i] * e[i]; L30: a[i] = b[i] + c[i] * d[i]; } }",
+        );
+        assert!(t.contains("goto"), "{}", t);
+    }
+
+    #[test]
+    fn no_loop_remark() {
+        let t = text("void f(int n, int *a) { a[0] = n; }");
+        assert!(t.contains("no canonical for-loop"), "{}", t);
+    }
+
+    #[test]
+    fn opaque_subscript_remark() {
+        let t = text(
+            "void s124(int *a, int *b, int *c, int *d, int *e, int n) { int j; j = -1; for (int i = 0; i < n; i++) { if (b[i] > 0) { j += 1; a[j] = b[i] + d[i] * e[i]; } else { j += 1; a[j] = c[i] + d[i] * e[i]; } } }",
+        );
+        assert!(t.contains("not an affine function"), "{}", t);
+        assert!(t.contains("recurrence"), "{}", t);
+    }
+}

@@ -1,0 +1,34 @@
+//! # lv-autovec — baseline compiler models and the CPU cost model
+//!
+//! The paper's performance evaluation (Figures 1(c) and 6) compares
+//! LLM-vectorized code against GCC, Clang and ICC on real hardware. This
+//! crate supplies the two substrates that substitution requires:
+//!
+//! * [`profiles`] — per-compiler auto-vectorization decision models and the
+//!   exact flag sets from Table 1 ([`CompilerProfile`], [`Compiler`]);
+//! * [`costmodel`] — a static cycle cost model used to simulate run times and
+//!   compute speedups ([`estimate_cycles`], [`speedup_over`]).
+//!
+//! # Examples
+//!
+//! ```
+//! use lv_autovec::{CompilerProfile, CostTable, speedup_over};
+//! use lv_cir::parse_function;
+//!
+//! let scalar = parse_function(
+//!     "void s000(int n, int *a, int *b) { for (int i = 0; i < n; i++) { a[i] = b[i] + 1; } }",
+//! )?;
+//! let speedup = speedup_over(&CompilerProfile::gcc(), &scalar, &scalar, 32_000, &CostTable::default());
+//! assert!(speedup < 1.0, "scalar code loses to auto-vectorized GCC output");
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod costmodel;
+pub mod profiles;
+
+pub use costmodel::{
+    compiler_cycles, estimate_cycles, llm_candidate_cycles, speedup_over, CostEstimate, CostTable,
+};
+pub use profiles::{Compiler, CompilerProfile};

@@ -1,0 +1,19 @@
+//! Regenerates Figure 1(c): run-time speedup of the LLM-vectorized s212 over
+//! GCC, Clang and ICC.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lv_core::{figure1, ExperimentConfig};
+
+fn bench(c: &mut Criterion) {
+    let config = ExperimentConfig::default();
+    let fig = figure1(&config);
+    println!("\n=== Figure 1(c): s212 speedup of LLM-vectorized code ===\n{}", fig.render());
+    c.bench_function("fig1_s212_speedup", |b| b.iter(|| figure1(&config)));
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,19 @@
+//! Regenerates Figure 5: the pass@k curve of the synthetic model.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lv_bench::{full_config, quick_config, REPRESENTATIVE_KERNELS};
+use lv_core::figure5;
+
+fn bench(c: &mut Criterion) {
+    let fig = figure5(&full_config(), 30, &[1, 2, 3, 4, 5, 10, 20, 30]);
+    println!("\n=== Figure 5: pass@k ===\n{}", fig.render());
+    let quick = quick_config(REPRESENTATIVE_KERNELS);
+    c.bench_function("fig5_passk_subset", |b| b.iter(|| figure5(&quick, 5, &[1, 5])));
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

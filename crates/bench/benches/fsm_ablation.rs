@@ -1,0 +1,20 @@
+//! Regenerates the Section 4.4 evaluation: the multi-agent FSM versus plain
+//! single-shot sampling.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lv_bench::{quick_config, REPRESENTATIVE_KERNELS};
+use lv_core::fsm_evaluation;
+
+fn bench(c: &mut Criterion) {
+    let eval = fsm_evaluation(&quick_config(REPRESENTATIVE_KERNELS));
+    println!("\n=== Section 4.4: multi-agent FSM evaluation ===\n{}", eval.render());
+    let tiny = quick_config(&["s000", "s2711", "s453"]);
+    c.bench_function("fsm_ablation", |b| b.iter(|| fsm_evaluation(&tiny)));
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,20 @@
+//! Regenerates Table 2: checksum-based testing outcomes at k = 1 / 10 / 100
+//! completions (the timed loop uses k = 1/4 on a representative subset).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lv_bench::{full_config, quick_config, REPRESENTATIVE_KERNELS};
+use lv_core::table2;
+
+fn bench(c: &mut Criterion) {
+    let table = table2(&full_config(), &[1, 10, 25]);
+    println!("\n=== Table 2: checksum-based testing (counts scaled to 149 tests) ===\n{}", table.render());
+    let quick = quick_config(REPRESENTATIVE_KERNELS);
+    c.bench_function("table2_checksum_subset", |b| b.iter(|| table2(&quick, &[1, 4])));
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! # lv-bench — benchmark support code
+//!
+//! The Criterion benchmarks in `benches/` regenerate every table and figure
+//! of the paper. This small library holds the shared configuration so all
+//! benches run on the same kernel subset and random seed.
+
+#![warn(missing_docs)]
+
+use lv_core::ExperimentConfig;
+use lv_interp::ChecksumConfig;
+
+/// A reduced-cost experiment configuration used inside the timed benchmark
+/// loops (the full-suite runs are done once, outside the measurement).
+pub fn quick_config(kernels: &[&str]) -> ExperimentConfig {
+    ExperimentConfig {
+        kernel_names: Some(kernels.iter().map(|s| s.to_string()).collect()),
+        checksum: ChecksumConfig {
+            trials: 1,
+            n: 40,
+            ..ChecksumConfig::default()
+        },
+        ..ExperimentConfig::default()
+    }
+}
+
+/// The full-suite configuration used to print the paper-shaped tables.
+pub fn full_config() -> ExperimentConfig {
+    ExperimentConfig::default()
+}
+
+/// A representative kernel subset covering every category; used by the timed
+/// benchmark loops to keep wall-clock time reasonable.
+pub const REPRESENTATIVE_KERNELS: &[&str] = &[
+    "s000", "s112", "s212", "s221", "s2711", "s274", "s278", "vsumr", "s3111", "s453",
+];

@@ -1,0 +1,672 @@
+//! Abstract syntax tree for the mini-C subset used throughout the
+//! LLM-Vectorizer reproduction.
+//!
+//! The subset is exactly what the TSVC kernels and their AVX2-vectorized
+//! counterparts need: `void` functions over `int` scalars and `int *` arrays,
+//! `for` loops, `if`/`else`, `goto`/labels, compound assignment, array
+//! indexing, `__m256i` locals and calls to AVX2 intrinsics.
+//!
+//! The AST is deliberately free of source spans so that structural equality
+//! (`PartialEq`) can be used directly for the "outer loops are syntactically
+//! identical" check from Section 3.1 of the paper.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A type in the mini-C language.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Type {
+    /// The `void` type (only valid as a return type).
+    Void,
+    /// A 32-bit signed integer, C `int`.
+    Int,
+    /// A 256-bit AVX2 vector of eight 32-bit integers, C `__m256i`.
+    M256i,
+    /// A pointer to another type, e.g. `int *` or `__m256i *`.
+    Ptr(Box<Type>),
+}
+
+impl Type {
+    /// Pointer to `int`, the type of every array parameter in TSVC.
+    pub fn int_ptr() -> Type {
+        Type::Ptr(Box::new(Type::Int))
+    }
+
+    /// Pointer to `__m256i`, used in intrinsic load/store casts.
+    pub fn m256i_ptr() -> Type {
+        Type::Ptr(Box::new(Type::M256i))
+    }
+
+    /// Returns `true` if this is any pointer type.
+    pub fn is_ptr(&self) -> bool {
+        matches!(self, Type::Ptr(_))
+    }
+
+    /// Returns the pointee type if this is a pointer.
+    pub fn pointee(&self) -> Option<&Type> {
+        match self {
+            Type::Ptr(inner) => Some(inner),
+            _ => None,
+        }
+    }
+
+    /// Returns `true` for types that can appear in arithmetic expressions.
+    pub fn is_scalar_arith(&self) -> bool {
+        matches!(self, Type::Int)
+    }
+}
+
+impl fmt::Display for Type {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Type::Void => write!(f, "void"),
+            Type::Int => write!(f, "int"),
+            Type::M256i => write!(f, "__m256i"),
+            Type::Ptr(inner) => write!(f, "{} *", inner),
+        }
+    }
+}
+
+/// A unary operator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum UnOp {
+    /// Arithmetic negation `-e`.
+    Neg,
+    /// Logical negation `!e`.
+    Not,
+    /// Bitwise complement `~e`.
+    BitNot,
+}
+
+impl UnOp {
+    /// The C spelling of the operator.
+    pub fn symbol(self) -> &'static str {
+        match self {
+            UnOp::Neg => "-",
+            UnOp::Not => "!",
+            UnOp::BitNot => "~",
+        }
+    }
+}
+
+/// A binary operator.
+#[allow(missing_docs)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum BinOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Rem,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    Eq,
+    Ne,
+    /// Logical and `&&` (short-circuit).
+    And,
+    /// Logical or `||` (short-circuit).
+    Or,
+    BitAnd,
+    BitOr,
+    BitXor,
+    Shl,
+    Shr,
+}
+
+impl BinOp {
+    /// The C spelling of the operator.
+    pub fn symbol(self) -> &'static str {
+        match self {
+            BinOp::Add => "+",
+            BinOp::Sub => "-",
+            BinOp::Mul => "*",
+            BinOp::Div => "/",
+            BinOp::Rem => "%",
+            BinOp::Lt => "<",
+            BinOp::Le => "<=",
+            BinOp::Gt => ">",
+            BinOp::Ge => ">=",
+            BinOp::Eq => "==",
+            BinOp::Ne => "!=",
+            BinOp::And => "&&",
+            BinOp::Or => "||",
+            BinOp::BitAnd => "&",
+            BinOp::BitOr => "|",
+            BinOp::BitXor => "^",
+            BinOp::Shl => "<<",
+            BinOp::Shr => ">>",
+        }
+    }
+
+    /// Returns `true` if the operator is a comparison producing a boolean int.
+    pub fn is_comparison(self) -> bool {
+        matches!(
+            self,
+            BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge | BinOp::Eq | BinOp::Ne
+        )
+    }
+
+    /// Returns `true` if the operator short-circuits (`&&` / `||`).
+    pub fn is_logical(self) -> bool {
+        matches!(self, BinOp::And | BinOp::Or)
+    }
+}
+
+/// An assignment operator (`=`, `+=`, ...).
+#[allow(missing_docs)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AssignOp {
+    Assign,
+    AddAssign,
+    SubAssign,
+    MulAssign,
+    DivAssign,
+    RemAssign,
+    AndAssign,
+    OrAssign,
+    XorAssign,
+    ShlAssign,
+    ShrAssign,
+}
+
+impl AssignOp {
+    /// The C spelling of the operator.
+    pub fn symbol(self) -> &'static str {
+        match self {
+            AssignOp::Assign => "=",
+            AssignOp::AddAssign => "+=",
+            AssignOp::SubAssign => "-=",
+            AssignOp::MulAssign => "*=",
+            AssignOp::DivAssign => "/=",
+            AssignOp::RemAssign => "%=",
+            AssignOp::AndAssign => "&=",
+            AssignOp::OrAssign => "|=",
+            AssignOp::XorAssign => "^=",
+            AssignOp::ShlAssign => "<<=",
+            AssignOp::ShrAssign => ">>=",
+        }
+    }
+
+    /// The underlying binary operator for a compound assignment, or `None`
+    /// for a plain `=` assignment.
+    pub fn binop(self) -> Option<BinOp> {
+        match self {
+            AssignOp::Assign => None,
+            AssignOp::AddAssign => Some(BinOp::Add),
+            AssignOp::SubAssign => Some(BinOp::Sub),
+            AssignOp::MulAssign => Some(BinOp::Mul),
+            AssignOp::DivAssign => Some(BinOp::Div),
+            AssignOp::RemAssign => Some(BinOp::Rem),
+            AssignOp::AndAssign => Some(BinOp::BitAnd),
+            AssignOp::OrAssign => Some(BinOp::BitOr),
+            AssignOp::XorAssign => Some(BinOp::BitXor),
+            AssignOp::ShlAssign => Some(BinOp::Shl),
+            AssignOp::ShrAssign => Some(BinOp::Shr),
+        }
+    }
+}
+
+/// An expression.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Expr {
+    /// An integer literal, e.g. `42` or `-1` after constant folding.
+    IntLit(i64),
+    /// A variable reference.
+    Var(String),
+    /// Array indexing `base[index]`.
+    Index {
+        /// The array expression (usually a variable of pointer type).
+        base: Box<Expr>,
+        /// The index expression.
+        index: Box<Expr>,
+    },
+    /// A unary operation.
+    Unary {
+        /// The operator.
+        op: UnOp,
+        /// The operand.
+        expr: Box<Expr>,
+    },
+    /// A binary operation.
+    Binary {
+        /// The operator.
+        op: BinOp,
+        /// Left operand.
+        lhs: Box<Expr>,
+        /// Right operand.
+        rhs: Box<Expr>,
+    },
+    /// An assignment used as an expression (the value is the stored value).
+    Assign {
+        /// `=`, `+=`, ...
+        op: AssignOp,
+        /// The assignment target (variable or array element).
+        target: Box<Expr>,
+        /// The value being assigned.
+        value: Box<Expr>,
+    },
+    /// A function / intrinsic call, e.g. `_mm256_add_epi32(a, b)`.
+    Call {
+        /// The callee name.
+        callee: String,
+        /// Argument expressions.
+        args: Vec<Expr>,
+    },
+    /// A C cast `(ty) expr`, used for `(__m256i *) &a[i]`.
+    Cast {
+        /// The destination type.
+        ty: Type,
+        /// The operand.
+        expr: Box<Expr>,
+    },
+    /// Address-of `&expr` where `expr` is a variable or array element.
+    AddrOf(Box<Expr>),
+    /// The conditional operator `cond ? then_expr : else_expr`.
+    Ternary {
+        /// The condition.
+        cond: Box<Expr>,
+        /// Value when the condition is non-zero.
+        then_expr: Box<Expr>,
+        /// Value when the condition is zero.
+        else_expr: Box<Expr>,
+    },
+}
+
+impl Expr {
+    /// Convenience constructor for a variable reference.
+    pub fn var(name: impl Into<String>) -> Expr {
+        Expr::Var(name.into())
+    }
+
+    /// Convenience constructor for an integer literal.
+    pub fn lit(v: i64) -> Expr {
+        Expr::IntLit(v)
+    }
+
+    /// Convenience constructor for `base[index]`.
+    pub fn index(base: Expr, index: Expr) -> Expr {
+        Expr::Index {
+            base: Box::new(base),
+            index: Box::new(index),
+        }
+    }
+
+    /// Convenience constructor for a binary operation.
+    pub fn bin(op: BinOp, lhs: Expr, rhs: Expr) -> Expr {
+        Expr::Binary {
+            op,
+            lhs: Box::new(lhs),
+            rhs: Box::new(rhs),
+        }
+    }
+
+    /// Convenience constructor for a unary operation.
+    pub fn un(op: UnOp, expr: Expr) -> Expr {
+        Expr::Unary {
+            op,
+            expr: Box::new(expr),
+        }
+    }
+
+    /// Convenience constructor for an assignment expression.
+    pub fn assign(op: AssignOp, target: Expr, value: Expr) -> Expr {
+        Expr::Assign {
+            op,
+            target: Box::new(target),
+            value: Box::new(value),
+        }
+    }
+
+    /// Convenience constructor for a call expression.
+    pub fn call(callee: impl Into<String>, args: Vec<Expr>) -> Expr {
+        Expr::Call {
+            callee: callee.into(),
+            args,
+        }
+    }
+
+    /// Returns the variable name if this expression is a plain variable.
+    pub fn as_var(&self) -> Option<&str> {
+        match self {
+            Expr::Var(name) => Some(name),
+            _ => None,
+        }
+    }
+
+    /// Returns `Some(value)` if this expression is an integer literal.
+    pub fn as_int_lit(&self) -> Option<i64> {
+        match self {
+            Expr::IntLit(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Returns `(array name, index expression)` if this is `name[index]`.
+    pub fn as_array_access(&self) -> Option<(&str, &Expr)> {
+        match self {
+            Expr::Index { base, index } => base.as_var().map(|name| (name, index.as_ref())),
+            _ => None,
+        }
+    }
+
+    /// Returns `true` if the expression contains no calls and no assignments.
+    pub fn is_pure(&self) -> bool {
+        match self {
+            Expr::IntLit(_) | Expr::Var(_) => true,
+            Expr::Index { base, index } => base.is_pure() && index.is_pure(),
+            Expr::Unary { expr, .. } => expr.is_pure(),
+            Expr::Binary { lhs, rhs, .. } => lhs.is_pure() && rhs.is_pure(),
+            Expr::Assign { .. } | Expr::Call { .. } => false,
+            Expr::Cast { expr, .. } => expr.is_pure(),
+            Expr::AddrOf(expr) => expr.is_pure(),
+            Expr::Ternary {
+                cond,
+                then_expr,
+                else_expr,
+            } => cond.is_pure() && then_expr.is_pure() && else_expr.is_pure(),
+        }
+    }
+}
+
+/// A statement.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Stmt {
+    /// A local declaration `ty name = init;`. Multiple declarators in a single
+    /// C declaration are split into consecutive `Decl` statements by the
+    /// parser.
+    Decl {
+        /// The declared type.
+        ty: Type,
+        /// The declared name.
+        name: String,
+        /// Optional initializer.
+        init: Option<Expr>,
+    },
+    /// An expression statement (assignments, calls).
+    Expr(Expr),
+    /// An `if` statement with optional `else`.
+    If {
+        /// The branch condition.
+        cond: Expr,
+        /// The `then` block.
+        then_branch: Block,
+        /// The optional `else` block.
+        else_branch: Option<Block>,
+    },
+    /// A C `for` loop. All three header slots are optional, as in C.
+    For {
+        /// Loop initialization (a declaration or an expression statement).
+        init: Option<Box<Stmt>>,
+        /// Loop condition; `None` means an infinite loop.
+        cond: Option<Expr>,
+        /// Loop step expression.
+        step: Option<Expr>,
+        /// The loop body.
+        body: Block,
+    },
+    /// A `while` loop.
+    While {
+        /// The loop condition.
+        cond: Expr,
+        /// The loop body.
+        body: Block,
+    },
+    /// `return expr;` or bare `return;`.
+    Return(Option<Expr>),
+    /// `break;`
+    Break,
+    /// `continue;`
+    Continue,
+    /// `goto label;`
+    Goto(String),
+    /// A statement label `label:`. Stored as a standalone statement that
+    /// marks the position the corresponding `goto` jumps to.
+    Label(String),
+    /// A nested block `{ ... }`.
+    Block(Block),
+    /// The empty statement `;`.
+    Empty,
+}
+
+impl Stmt {
+    /// Returns `true` if the statement is (or contains at the top level) a loop.
+    pub fn is_loop(&self) -> bool {
+        matches!(self, Stmt::For { .. } | Stmt::While { .. })
+    }
+}
+
+/// A brace-delimited sequence of statements.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Block {
+    /// The statements in order.
+    pub stmts: Vec<Stmt>,
+}
+
+impl Block {
+    /// Creates an empty block.
+    pub fn new() -> Block {
+        Block { stmts: Vec::new() }
+    }
+
+    /// Creates a block from statements.
+    pub fn from_stmts(stmts: Vec<Stmt>) -> Block {
+        Block { stmts }
+    }
+
+    /// Returns `true` if the block has no statements.
+    pub fn is_empty(&self) -> bool {
+        self.stmts.is_empty()
+    }
+
+    /// Number of statements in the block (non-recursive).
+    pub fn len(&self) -> usize {
+        self.stmts.len()
+    }
+}
+
+impl FromIterator<Stmt> for Block {
+    fn from_iter<T: IntoIterator<Item = Stmt>>(iter: T) -> Self {
+        Block {
+            stmts: iter.into_iter().collect(),
+        }
+    }
+}
+
+/// A function parameter.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Param {
+    /// The parameter type.
+    pub ty: Type,
+    /// The parameter name.
+    pub name: String,
+}
+
+impl Param {
+    /// Creates a new parameter.
+    pub fn new(name: impl Into<String>, ty: Type) -> Param {
+        Param {
+            name: name.into(),
+            ty,
+        }
+    }
+
+    /// Shorthand for an `int` parameter.
+    pub fn int(name: impl Into<String>) -> Param {
+        Param::new(name, Type::Int)
+    }
+
+    /// Shorthand for an `int *` parameter.
+    pub fn int_ptr(name: impl Into<String>) -> Param {
+        Param::new(name, Type::int_ptr())
+    }
+}
+
+/// A function definition.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Function {
+    /// The function name.
+    pub name: String,
+    /// The return type (always `void` for TSVC kernels).
+    pub ret: Type,
+    /// The parameters in order.
+    pub params: Vec<Param>,
+    /// The function body.
+    pub body: Block,
+}
+
+impl Function {
+    /// Creates a new function definition.
+    pub fn new(
+        name: impl Into<String>,
+        ret: Type,
+        params: Vec<Param>,
+        body: Block,
+    ) -> Function {
+        Function {
+            name: name.into(),
+            ret,
+            params,
+            body,
+        }
+    }
+
+    /// Returns the parameter with the given name, if any.
+    pub fn param(&self, name: &str) -> Option<&Param> {
+        self.params.iter().find(|p| p.name == name)
+    }
+
+    /// Names of all pointer-typed (array) parameters.
+    pub fn array_params(&self) -> Vec<&str> {
+        self.params
+            .iter()
+            .filter(|p| p.ty.is_ptr())
+            .map(|p| p.name.as_str())
+            .collect()
+    }
+
+    /// Names of all scalar `int` parameters.
+    pub fn scalar_params(&self) -> Vec<&str> {
+        self.params
+            .iter()
+            .filter(|p| p.ty == Type::Int)
+            .map(|p| p.name.as_str())
+            .collect()
+    }
+
+    /// Returns the top-level `for` loops of the body, in order.
+    pub fn top_level_loops(&self) -> Vec<&Stmt> {
+        self.body.stmts.iter().filter(|s| s.is_loop()).collect()
+    }
+}
+
+/// A translation unit: a list of function definitions.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Program {
+    /// The functions in definition order.
+    pub functions: Vec<Function>,
+}
+
+impl Program {
+    /// Creates an empty program.
+    pub fn new() -> Program {
+        Program {
+            functions: Vec::new(),
+        }
+    }
+
+    /// Looks up a function by name.
+    pub fn function(&self, name: &str) -> Option<&Function> {
+        self.functions.iter().find(|f| f.name == name)
+    }
+
+    /// Returns the sole function of a single-function translation unit.
+    pub fn single(&self) -> Option<&Function> {
+        if self.functions.len() == 1 {
+            self.functions.first()
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn type_display_roundtrip() {
+        assert_eq!(Type::Int.to_string(), "int");
+        assert_eq!(Type::int_ptr().to_string(), "int *");
+        assert_eq!(Type::M256i.to_string(), "__m256i");
+        assert_eq!(Type::m256i_ptr().to_string(), "__m256i *");
+        assert_eq!(Type::Void.to_string(), "void");
+    }
+
+    #[test]
+    fn type_predicates() {
+        assert!(Type::int_ptr().is_ptr());
+        assert!(!Type::Int.is_ptr());
+        assert_eq!(Type::int_ptr().pointee(), Some(&Type::Int));
+        assert!(Type::Int.is_scalar_arith());
+        assert!(!Type::M256i.is_scalar_arith());
+    }
+
+    #[test]
+    fn assign_op_binop_mapping() {
+        assert_eq!(AssignOp::Assign.binop(), None);
+        assert_eq!(AssignOp::AddAssign.binop(), Some(BinOp::Add));
+        assert_eq!(AssignOp::MulAssign.binop(), Some(BinOp::Mul));
+        assert_eq!(AssignOp::ShrAssign.binop(), Some(BinOp::Shr));
+    }
+
+    #[test]
+    fn binop_classification() {
+        assert!(BinOp::Lt.is_comparison());
+        assert!(!BinOp::Add.is_comparison());
+        assert!(BinOp::And.is_logical());
+        assert!(!BinOp::BitAnd.is_logical());
+    }
+
+    #[test]
+    fn expr_helpers() {
+        let e = Expr::index(Expr::var("a"), Expr::var("i"));
+        assert_eq!(e.as_array_access().map(|(n, _)| n), Some("a"));
+        assert!(e.is_pure());
+        let call = Expr::call("_mm256_set1_epi32", vec![Expr::lit(1)]);
+        assert!(!call.is_pure());
+        assert_eq!(Expr::lit(7).as_int_lit(), Some(7));
+        assert_eq!(Expr::var("x").as_var(), Some("x"));
+    }
+
+    #[test]
+    fn function_param_queries() {
+        let f = Function::new(
+            "s000",
+            Type::Void,
+            vec![Param::int("n"), Param::int_ptr("a"), Param::int_ptr("b")],
+            Block::new(),
+        );
+        assert_eq!(f.array_params(), vec!["a", "b"]);
+        assert_eq!(f.scalar_params(), vec!["n"]);
+        assert!(f.param("a").is_some());
+        assert!(f.param("zz").is_none());
+    }
+
+    #[test]
+    fn block_from_iterator() {
+        let b: Block = vec![Stmt::Empty, Stmt::Break].into_iter().collect();
+        assert_eq!(b.len(), 2);
+        assert!(!b.is_empty());
+    }
+
+    #[test]
+    fn structural_equality_ignores_nothing() {
+        let a = Expr::bin(BinOp::Add, Expr::var("x"), Expr::lit(1));
+        let b = Expr::bin(BinOp::Add, Expr::var("x"), Expr::lit(1));
+        assert_eq!(a, b);
+        let c = Expr::bin(BinOp::Add, Expr::var("x"), Expr::lit(2));
+        assert_ne!(a, c);
+    }
+}

@@ -1,0 +1,229 @@
+//! Programmatic AST construction helpers.
+//!
+//! The synthetic vectorizer in `lv-agents` and the transformation passes in
+//! `lv-tv` build a lot of stereotyped code — strip-mined loops, AVX2
+//! load/compute/store sequences, epilogue loops. These helpers keep that
+//! code readable and are also convenient in tests.
+
+use crate::ast::{AssignOp, BinOp, Block, Expr, Stmt, Type};
+use crate::intrinsics::VECTOR_WIDTH;
+
+/// `target = value;` as a statement.
+pub fn assign_stmt(target: Expr, value: Expr) -> Stmt {
+    Stmt::Expr(Expr::assign(AssignOp::Assign, target, value))
+}
+
+/// `target op= value;` as a statement.
+pub fn compound_assign_stmt(op: AssignOp, target: Expr, value: Expr) -> Stmt {
+    Stmt::Expr(Expr::assign(op, target, value))
+}
+
+/// `int name = init;`
+pub fn decl_int(name: impl Into<String>, init: Option<Expr>) -> Stmt {
+    Stmt::Decl {
+        ty: Type::Int,
+        name: name.into(),
+        init,
+    }
+}
+
+/// `__m256i name = init;`
+pub fn decl_vec(name: impl Into<String>, init: Expr) -> Stmt {
+    Stmt::Decl {
+        ty: Type::M256i,
+        name: name.into(),
+        init: Some(init),
+    }
+}
+
+/// `name[index]`
+pub fn array(name: &str, index: Expr) -> Expr {
+    Expr::index(Expr::var(name), index)
+}
+
+/// `i + offset`, folding the trivial `offset == 0` case to `i`.
+pub fn offset_index(iv: &str, offset: i64) -> Expr {
+    if offset == 0 {
+        Expr::var(iv)
+    } else if offset < 0 {
+        Expr::bin(BinOp::Sub, Expr::var(iv), Expr::lit(-offset))
+    } else {
+        Expr::bin(BinOp::Add, Expr::var(iv), Expr::lit(offset))
+    }
+}
+
+/// `_mm256_loadu_si256((__m256i *)&arr[index])`
+pub fn vec_load(arr: &str, index: Expr) -> Expr {
+    Expr::call(
+        "_mm256_loadu_si256",
+        vec![Expr::Cast {
+            ty: Type::m256i_ptr(),
+            expr: Box::new(Expr::AddrOf(Box::new(array(arr, index)))),
+        }],
+    )
+}
+
+/// `_mm256_storeu_si256((__m256i *)&arr[index], value);`
+pub fn vec_store(arr: &str, index: Expr, value: Expr) -> Stmt {
+    Stmt::Expr(Expr::call(
+        "_mm256_storeu_si256",
+        vec![
+            Expr::Cast {
+                ty: Type::m256i_ptr(),
+                expr: Box::new(Expr::AddrOf(Box::new(array(arr, index)))),
+            },
+            value,
+        ],
+    ))
+}
+
+/// `_mm256_set1_epi32(value)`
+pub fn vec_splat(value: Expr) -> Expr {
+    Expr::call("_mm256_set1_epi32", vec![value])
+}
+
+/// `_mm256_setzero_si256()`
+pub fn vec_zero() -> Expr {
+    Expr::call("_mm256_setzero_si256", vec![])
+}
+
+/// `_mm256_setr_epi32(v0, ..., v7)`
+///
+/// # Panics
+///
+/// Panics if `lanes` does not contain exactly [`VECTOR_WIDTH`] expressions.
+pub fn vec_setr(lanes: Vec<Expr>) -> Expr {
+    assert_eq!(
+        lanes.len(),
+        VECTOR_WIDTH,
+        "setr requires exactly {} lanes",
+        VECTOR_WIDTH
+    );
+    Expr::call("_mm256_setr_epi32", lanes)
+}
+
+/// Element-wise binary intrinsic for the given scalar operator, when one
+/// exists (`+`, `-`, `*`, `&`, `|`, `^`).
+pub fn vec_binop(op: BinOp, lhs: Expr, rhs: Expr) -> Option<Expr> {
+    let callee = match op {
+        BinOp::Add => "_mm256_add_epi32",
+        BinOp::Sub => "_mm256_sub_epi32",
+        BinOp::Mul => "_mm256_mullo_epi32",
+        BinOp::BitAnd => "_mm256_and_si256",
+        BinOp::BitOr => "_mm256_or_si256",
+        BinOp::BitXor => "_mm256_xor_si256",
+        _ => return None,
+    };
+    Some(Expr::call(callee, vec![lhs, rhs]))
+}
+
+/// `_mm256_cmpgt_epi32(lhs, rhs)`
+pub fn vec_cmpgt(lhs: Expr, rhs: Expr) -> Expr {
+    Expr::call("_mm256_cmpgt_epi32", vec![lhs, rhs])
+}
+
+/// `_mm256_blendv_epi8(if_false, if_true, mask)`
+pub fn vec_blend(if_false: Expr, if_true: Expr, mask: Expr) -> Expr {
+    Expr::call("_mm256_blendv_epi8", vec![if_false, if_true, mask])
+}
+
+/// A canonical strip-mined vector loop header:
+/// `for (iv = start; iv + width <= bound; iv += width) { body }`.
+///
+/// The `declare_iv` flag controls whether the induction variable is declared
+/// in the loop header (`for (int i = ...)`) or assumed to exist.
+pub fn vector_loop(
+    iv: &str,
+    start: Expr,
+    bound: Expr,
+    width: i64,
+    body: Block,
+    declare_iv: bool,
+) -> Stmt {
+    let init: Stmt = if declare_iv {
+        Stmt::Decl {
+            ty: Type::Int,
+            name: iv.to_string(),
+            init: Some(start),
+        }
+    } else {
+        Stmt::Expr(Expr::assign(AssignOp::Assign, Expr::var(iv), start))
+    };
+    Stmt::For {
+        init: Some(Box::new(init)),
+        cond: Some(Expr::bin(
+            BinOp::Le,
+            Expr::bin(BinOp::Add, Expr::var(iv), Expr::lit(width)),
+            bound,
+        )),
+        step: Some(Expr::assign(
+            AssignOp::AddAssign,
+            Expr::var(iv),
+            Expr::lit(width),
+        )),
+        body,
+    }
+}
+
+/// The scalar epilogue loop `for (; iv < bound; iv += step) { body }` that
+/// finishes the iterations not covered by the vector loop.
+pub fn epilogue_loop(iv: &str, bound: Expr, step: i64, body: Block) -> Stmt {
+    Stmt::For {
+        init: None,
+        cond: Some(Expr::bin(BinOp::Lt, Expr::var(iv), bound)),
+        step: Some(Expr::assign(
+            AssignOp::AddAssign,
+            Expr::var(iv),
+            Expr::lit(step),
+        )),
+        body,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::printer::{print_expr, print_stmt};
+
+    #[test]
+    fn load_store_render_like_the_paper() {
+        let load = vec_load("a", offset_index("i", 1));
+        assert_eq!(
+            print_expr(&load),
+            "_mm256_loadu_si256((__m256i *)&a[i + 1])"
+        );
+        let store = vec_store("b", Expr::var("i"), Expr::var("sum_vec"));
+        assert_eq!(
+            print_stmt(&store),
+            "_mm256_storeu_si256((__m256i *)&b[i], sum_vec);"
+        );
+    }
+
+    #[test]
+    fn offset_index_folds_zero() {
+        assert_eq!(print_expr(&offset_index("i", 0)), "i");
+        assert_eq!(print_expr(&offset_index("i", 3)), "i + 3");
+        assert_eq!(print_expr(&offset_index("i", -2)), "i - 2");
+    }
+
+    #[test]
+    fn vec_binop_mapping() {
+        let e = vec_binop(BinOp::Mul, Expr::var("x"), Expr::var("y")).unwrap();
+        assert_eq!(print_expr(&e), "_mm256_mullo_epi32(x, y)");
+        assert!(vec_binop(BinOp::Div, Expr::var("x"), Expr::var("y")).is_none());
+    }
+
+    #[test]
+    fn vector_loop_shape() {
+        let body = Block::from_stmts(vec![assign_stmt(array("a", Expr::var("i")), Expr::lit(0))]);
+        let stmt = vector_loop("i", Expr::lit(0), Expr::var("n"), 8, body, true);
+        let printed = print_stmt(&stmt);
+        assert!(printed.starts_with("for (int i = 0; i + 8 <= n; i += 8)"));
+    }
+
+    #[test]
+    #[should_panic(expected = "setr requires exactly 8 lanes")]
+    fn setr_panics_on_wrong_lane_count() {
+        vec_setr(vec![Expr::lit(0); 3]);
+    }
+}

@@ -1,0 +1,108 @@
+//! Error types for the mini-C front end.
+
+use std::error::Error;
+use std::fmt;
+
+/// A source position (1-based line and column).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Pos {
+    /// 1-based line number.
+    pub line: u32,
+    /// 1-based column number.
+    pub col: u32,
+}
+
+impl Pos {
+    /// Creates a new position.
+    pub fn new(line: u32, col: u32) -> Pos {
+        Pos { line, col }
+    }
+}
+
+impl fmt::Display for Pos {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.line, self.col)
+    }
+}
+
+/// An error produced while lexing, parsing or type checking mini-C source.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Human-readable description of the problem.
+    pub message: String,
+    /// Position at which the problem was detected.
+    pub pos: Pos,
+}
+
+impl ParseError {
+    /// Creates a new error at a position.
+    pub fn new(message: impl Into<String>, pos: Pos) -> ParseError {
+        ParseError {
+            message: message.into(),
+            pos,
+        }
+    }
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at {}: {}", self.pos, self.message)
+    }
+}
+
+impl Error for ParseError {}
+
+/// An error produced by the type checker.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TypeError {
+    /// Human-readable description of the problem.
+    pub message: String,
+    /// Name of the function in which the problem occurred, if known.
+    pub function: Option<String>,
+}
+
+impl TypeError {
+    /// Creates a new type error.
+    pub fn new(message: impl Into<String>) -> TypeError {
+        TypeError {
+            message: message.into(),
+            function: None,
+        }
+    }
+
+    /// Attaches the enclosing function name.
+    pub fn in_function(mut self, name: impl Into<String>) -> TypeError {
+        self.function = Some(name.into());
+        self
+    }
+}
+
+impl fmt::Display for TypeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.function {
+            Some(func) => write!(f, "type error in `{}`: {}", func, self.message),
+            None => write!(f, "type error: {}", self.message),
+        }
+    }
+}
+
+impl Error for TypeError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_error_display() {
+        let e = ParseError::new("unexpected token `+`", Pos::new(3, 7));
+        assert_eq!(e.to_string(), "parse error at 3:7: unexpected token `+`");
+    }
+
+    #[test]
+    fn type_error_display() {
+        let e = TypeError::new("cannot index a scalar").in_function("s000");
+        assert_eq!(e.to_string(), "type error in `s000`: cannot index a scalar");
+        let bare = TypeError::new("unknown variable `q`");
+        assert_eq!(bare.to_string(), "type error: unknown variable `q`");
+    }
+}

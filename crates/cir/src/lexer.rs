@@ -1,0 +1,577 @@
+//! Lexer for the mini-C subset.
+//!
+//! The lexer understands exactly the tokens that appear in TSVC kernels and
+//! AVX2-vectorized code: identifiers, integer literals, C punctuation,
+//! line/block comments, and preprocessor lines (`#include <immintrin.h>`),
+//! which are skipped entirely.
+
+use crate::error::{ParseError, Pos};
+
+/// A lexical token kind together with its payload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokenKind {
+    /// An identifier or keyword (keywords are resolved by the parser).
+    Ident(String),
+    /// An integer literal.
+    IntLit(i64),
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `;`
+    Semi,
+    /// `,`
+    Comma,
+    /// `:`
+    Colon,
+    /// `?`
+    Question,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `*`
+    Star,
+    /// `/`
+    Slash,
+    /// `%`
+    Percent,
+    /// `&`
+    Amp,
+    /// `|`
+    Pipe,
+    /// `^`
+    Caret,
+    /// `~`
+    Tilde,
+    /// `!`
+    Bang,
+    /// `=`
+    Eq,
+    /// `<`
+    Lt,
+    /// `>`
+    Gt,
+    /// `<=`
+    Le,
+    /// `>=`
+    Ge,
+    /// `==`
+    EqEq,
+    /// `!=`
+    Ne,
+    /// `&&`
+    AmpAmp,
+    /// `||`
+    PipePipe,
+    /// `<<`
+    Shl,
+    /// `>>`
+    Shr,
+    /// `+=`
+    PlusEq,
+    /// `-=`
+    MinusEq,
+    /// `*=`
+    StarEq,
+    /// `/=`
+    SlashEq,
+    /// `%=`
+    PercentEq,
+    /// `&=`
+    AmpEq,
+    /// `|=`
+    PipeEq,
+    /// `^=`
+    CaretEq,
+    /// `<<=`
+    ShlEq,
+    /// `>>=`
+    ShrEq,
+    /// `++`
+    PlusPlus,
+    /// `--`
+    MinusMinus,
+    /// End of input.
+    Eof,
+}
+
+impl TokenKind {
+    /// A short description used in error messages.
+    pub fn describe(&self) -> String {
+        match self {
+            TokenKind::Ident(name) => format!("identifier `{}`", name),
+            TokenKind::IntLit(v) => format!("integer `{}`", v),
+            TokenKind::Eof => "end of input".to_string(),
+            other => format!("`{}`", other.symbol()),
+        }
+    }
+
+    fn symbol(&self) -> &'static str {
+        match self {
+            TokenKind::LParen => "(",
+            TokenKind::RParen => ")",
+            TokenKind::LBrace => "{",
+            TokenKind::RBrace => "}",
+            TokenKind::LBracket => "[",
+            TokenKind::RBracket => "]",
+            TokenKind::Semi => ";",
+            TokenKind::Comma => ",",
+            TokenKind::Colon => ":",
+            TokenKind::Question => "?",
+            TokenKind::Plus => "+",
+            TokenKind::Minus => "-",
+            TokenKind::Star => "*",
+            TokenKind::Slash => "/",
+            TokenKind::Percent => "%",
+            TokenKind::Amp => "&",
+            TokenKind::Pipe => "|",
+            TokenKind::Caret => "^",
+            TokenKind::Tilde => "~",
+            TokenKind::Bang => "!",
+            TokenKind::Eq => "=",
+            TokenKind::Lt => "<",
+            TokenKind::Gt => ">",
+            TokenKind::Le => "<=",
+            TokenKind::Ge => ">=",
+            TokenKind::EqEq => "==",
+            TokenKind::Ne => "!=",
+            TokenKind::AmpAmp => "&&",
+            TokenKind::PipePipe => "||",
+            TokenKind::Shl => "<<",
+            TokenKind::Shr => ">>",
+            TokenKind::PlusEq => "+=",
+            TokenKind::MinusEq => "-=",
+            TokenKind::StarEq => "*=",
+            TokenKind::SlashEq => "/=",
+            TokenKind::PercentEq => "%=",
+            TokenKind::AmpEq => "&=",
+            TokenKind::PipeEq => "|=",
+            TokenKind::CaretEq => "^=",
+            TokenKind::ShlEq => "<<=",
+            TokenKind::ShrEq => ">>=",
+            TokenKind::PlusPlus => "++",
+            TokenKind::MinusMinus => "--",
+            TokenKind::Ident(_) | TokenKind::IntLit(_) | TokenKind::Eof => "",
+        }
+    }
+}
+
+/// A token together with its source position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// The token kind and payload.
+    pub kind: TokenKind,
+    /// The position of the first character of the token.
+    pub pos: Pos,
+}
+
+/// Tokenizes mini-C source text.
+///
+/// Preprocessor lines (starting with `#`), `//` comments and `/* */` comments
+/// are skipped. Float literals are rejected because the TSVC subset used in
+/// the paper is integer-only.
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] on unknown characters, malformed literals or
+/// unterminated block comments.
+pub fn tokenize(source: &str) -> Result<Vec<Token>, ParseError> {
+    Lexer::new(source).run()
+}
+
+struct Lexer<'a> {
+    chars: Vec<char>,
+    idx: usize,
+    line: u32,
+    col: u32,
+    source: &'a str,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(source: &'a str) -> Lexer<'a> {
+        Lexer {
+            chars: source.chars().collect(),
+            idx: 0,
+            line: 1,
+            col: 1,
+            source,
+        }
+    }
+
+    fn pos(&self) -> Pos {
+        Pos::new(self.line, self.col)
+    }
+
+    fn peek(&self) -> Option<char> {
+        self.chars.get(self.idx).copied()
+    }
+
+    fn peek2(&self) -> Option<char> {
+        self.chars.get(self.idx + 1).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek()?;
+        self.idx += 1;
+        if c == '\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(c)
+    }
+
+    fn error(&self, msg: impl Into<String>) -> ParseError {
+        ParseError::new(msg, self.pos())
+    }
+
+    fn run(mut self) -> Result<Vec<Token>, ParseError> {
+        let mut tokens = Vec::with_capacity(self.source.len() / 3 + 8);
+        loop {
+            self.skip_trivia()?;
+            let pos = self.pos();
+            let Some(c) = self.peek() else {
+                tokens.push(Token {
+                    kind: TokenKind::Eof,
+                    pos,
+                });
+                return Ok(tokens);
+            };
+            let kind = if c.is_ascii_digit() {
+                self.lex_number()?
+            } else if c.is_ascii_alphabetic() || c == '_' {
+                self.lex_ident()
+            } else {
+                self.lex_punct()?
+            };
+            tokens.push(Token { kind, pos });
+        }
+    }
+
+    fn skip_trivia(&mut self) -> Result<(), ParseError> {
+        loop {
+            match self.peek() {
+                Some(c) if c.is_whitespace() => {
+                    self.bump();
+                }
+                Some('#') if self.col == 1 || self.at_line_start() => {
+                    // Preprocessor directive: skip to end of line.
+                    while let Some(c) = self.peek() {
+                        if c == '\n' {
+                            break;
+                        }
+                        self.bump();
+                    }
+                }
+                Some('/') if self.peek2() == Some('/') => {
+                    while let Some(c) = self.peek() {
+                        if c == '\n' {
+                            break;
+                        }
+                        self.bump();
+                    }
+                }
+                Some('/') if self.peek2() == Some('*') => {
+                    self.bump();
+                    self.bump();
+                    loop {
+                        match (self.peek(), self.peek2()) {
+                            (Some('*'), Some('/')) => {
+                                self.bump();
+                                self.bump();
+                                break;
+                            }
+                            (Some(_), _) => {
+                                self.bump();
+                            }
+                            (None, _) => {
+                                return Err(self.error("unterminated block comment"));
+                            }
+                        }
+                    }
+                }
+                _ => return Ok(()),
+            }
+        }
+    }
+
+    fn at_line_start(&self) -> bool {
+        // `#` may be preceded only by whitespace on its line.
+        let mut i = self.idx;
+        while i > 0 {
+            let c = self.chars[i - 1];
+            if c == '\n' {
+                return true;
+            }
+            if !c.is_whitespace() {
+                return false;
+            }
+            i -= 1;
+        }
+        true
+    }
+
+    fn lex_number(&mut self) -> Result<TokenKind, ParseError> {
+        let mut text = String::new();
+        while let Some(c) = self.peek() {
+            if c.is_ascii_digit() {
+                text.push(c);
+                self.bump();
+            } else if c == '.' || c == 'e' || c == 'E' || c == 'f' || c == 'F' {
+                return Err(self.error("floating point literals are not supported"));
+            } else {
+                break;
+            }
+        }
+        let value: i64 = text
+            .parse()
+            .map_err(|_| self.error(format!("integer literal `{}` out of range", text)))?;
+        Ok(TokenKind::IntLit(value))
+    }
+
+    fn lex_ident(&mut self) -> TokenKind {
+        let mut name = String::new();
+        while let Some(c) = self.peek() {
+            if c.is_ascii_alphanumeric() || c == '_' {
+                name.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        TokenKind::Ident(name)
+    }
+
+    fn lex_punct(&mut self) -> Result<TokenKind, ParseError> {
+        let c = self.bump().expect("caller checked non-empty");
+        let next = self.peek();
+        let kind = match (c, next, self.peek2()) {
+            ('<', Some('<'), Some('=')) => {
+                self.bump();
+                self.bump();
+                TokenKind::ShlEq
+            }
+            ('>', Some('>'), Some('=')) => {
+                self.bump();
+                self.bump();
+                TokenKind::ShrEq
+            }
+            ('<', Some('<'), _) => {
+                self.bump();
+                TokenKind::Shl
+            }
+            ('>', Some('>'), _) => {
+                self.bump();
+                TokenKind::Shr
+            }
+            ('<', Some('='), _) => {
+                self.bump();
+                TokenKind::Le
+            }
+            ('>', Some('='), _) => {
+                self.bump();
+                TokenKind::Ge
+            }
+            ('=', Some('='), _) => {
+                self.bump();
+                TokenKind::EqEq
+            }
+            ('!', Some('='), _) => {
+                self.bump();
+                TokenKind::Ne
+            }
+            ('&', Some('&'), _) => {
+                self.bump();
+                TokenKind::AmpAmp
+            }
+            ('|', Some('|'), _) => {
+                self.bump();
+                TokenKind::PipePipe
+            }
+            ('+', Some('+'), _) => {
+                self.bump();
+                TokenKind::PlusPlus
+            }
+            ('-', Some('-'), _) => {
+                self.bump();
+                TokenKind::MinusMinus
+            }
+            ('+', Some('='), _) => {
+                self.bump();
+                TokenKind::PlusEq
+            }
+            ('-', Some('='), _) => {
+                self.bump();
+                TokenKind::MinusEq
+            }
+            ('*', Some('='), _) => {
+                self.bump();
+                TokenKind::StarEq
+            }
+            ('/', Some('='), _) => {
+                self.bump();
+                TokenKind::SlashEq
+            }
+            ('%', Some('='), _) => {
+                self.bump();
+                TokenKind::PercentEq
+            }
+            ('&', Some('='), _) => {
+                self.bump();
+                TokenKind::AmpEq
+            }
+            ('|', Some('='), _) => {
+                self.bump();
+                TokenKind::PipeEq
+            }
+            ('^', Some('='), _) => {
+                self.bump();
+                TokenKind::CaretEq
+            }
+            ('(', _, _) => TokenKind::LParen,
+            (')', _, _) => TokenKind::RParen,
+            ('{', _, _) => TokenKind::LBrace,
+            ('}', _, _) => TokenKind::RBrace,
+            ('[', _, _) => TokenKind::LBracket,
+            (']', _, _) => TokenKind::RBracket,
+            (';', _, _) => TokenKind::Semi,
+            (',', _, _) => TokenKind::Comma,
+            (':', _, _) => TokenKind::Colon,
+            ('?', _, _) => TokenKind::Question,
+            ('+', _, _) => TokenKind::Plus,
+            ('-', _, _) => TokenKind::Minus,
+            ('*', _, _) => TokenKind::Star,
+            ('/', _, _) => TokenKind::Slash,
+            ('%', _, _) => TokenKind::Percent,
+            ('&', _, _) => TokenKind::Amp,
+            ('|', _, _) => TokenKind::Pipe,
+            ('^', _, _) => TokenKind::Caret,
+            ('~', _, _) => TokenKind::Tilde,
+            ('!', _, _) => TokenKind::Bang,
+            ('=', _, _) => TokenKind::Eq,
+            ('<', _, _) => TokenKind::Lt,
+            ('>', _, _) => TokenKind::Gt,
+            (other, _, _) => {
+                return Err(self.error(format!("unexpected character `{}`", other)));
+            }
+        };
+        Ok(kind)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        tokenize(src)
+            .expect("tokenize")
+            .into_iter()
+            .map(|t| t.kind)
+            .collect()
+    }
+
+    #[test]
+    fn simple_tokens() {
+        let ts = kinds("a = b + 1;");
+        assert_eq!(
+            ts,
+            vec![
+                TokenKind::Ident("a".into()),
+                TokenKind::Eq,
+                TokenKind::Ident("b".into()),
+                TokenKind::Plus,
+                TokenKind::IntLit(1),
+                TokenKind::Semi,
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn compound_operators() {
+        let ts = kinds("i += 1; j <<= 2; k >>= 3; x++ ; y--;");
+        assert!(ts.contains(&TokenKind::PlusEq));
+        assert!(ts.contains(&TokenKind::ShlEq));
+        assert!(ts.contains(&TokenKind::ShrEq));
+        assert!(ts.contains(&TokenKind::PlusPlus));
+        assert!(ts.contains(&TokenKind::MinusMinus));
+    }
+
+    #[test]
+    fn comparison_vs_shift() {
+        assert_eq!(
+            kinds("a < b"),
+            vec![
+                TokenKind::Ident("a".into()),
+                TokenKind::Lt,
+                TokenKind::Ident("b".into()),
+                TokenKind::Eof
+            ]
+        );
+        assert_eq!(
+            kinds("a << b"),
+            vec![
+                TokenKind::Ident("a".into()),
+                TokenKind::Shl,
+                TokenKind::Ident("b".into()),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn skips_preprocessor_and_comments() {
+        let src = "#include <immintrin.h>\n// comment\n/* block\ncomment */ int x;";
+        let ts = kinds(src);
+        assert_eq!(
+            ts,
+            vec![
+                TokenKind::Ident("int".into()),
+                TokenKind::Ident("x".into()),
+                TokenKind::Semi,
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn intrinsic_identifiers() {
+        let ts = kinds("_mm256_loadu_si256((__m256i *)&a[i])");
+        assert_eq!(ts[0], TokenKind::Ident("_mm256_loadu_si256".into()));
+        assert!(ts.contains(&TokenKind::Ident("__m256i".into())));
+        assert!(ts.contains(&TokenKind::Amp));
+    }
+
+    #[test]
+    fn rejects_floats() {
+        assert!(tokenize("x = 1.5;").is_err());
+    }
+
+    #[test]
+    fn rejects_unknown_chars() {
+        assert!(tokenize("x = $;").is_err());
+    }
+
+    #[test]
+    fn unterminated_block_comment() {
+        assert!(tokenize("/* oops").is_err());
+    }
+
+    #[test]
+    fn positions_track_lines() {
+        let toks = tokenize("a\n  b").unwrap();
+        assert_eq!(toks[0].pos, Pos::new(1, 1));
+        assert_eq!(toks[1].pos, Pos::new(2, 3));
+    }
+}

@@ -1,0 +1,791 @@
+//! Recursive-descent parser for the mini-C subset.
+//!
+//! The grammar covers TSVC scalar kernels and AVX2-vectorized candidates:
+//! function definitions, declarations, `for`/`while` loops, `if`/`else`,
+//! `goto`/labels, `break`/`continue`/`return`, the full C operator set used
+//! by the benchmark, casts such as `(__m256i *) &a[i]`, and intrinsic calls.
+//!
+//! Prefix and postfix `++`/`--` are desugared into compound assignments
+//! (`i += 1`); the TSVC subset never relies on the *value* of a postfix
+//! increment, so this desugaring is semantics-preserving for the dataset.
+
+use crate::ast::{AssignOp, BinOp, Block, Expr, Function, Param, Program, Stmt, Type, UnOp};
+use crate::error::{ParseError, Pos};
+use crate::lexer::{tokenize, Token, TokenKind};
+
+/// Parses a full translation unit (one or more function definitions).
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] describing the first syntax error encountered.
+///
+/// # Examples
+///
+/// ```
+/// let program = lv_cir::parse_program(
+///     "void s000(int n, int *a, int *b) { for (int i = 0; i < n; i++) a[i] = b[i] + 1; }",
+/// ).unwrap();
+/// assert_eq!(program.functions.len(), 1);
+/// assert_eq!(program.functions[0].name, "s000");
+/// ```
+pub fn parse_program(source: &str) -> Result<Program, ParseError> {
+    let tokens = tokenize(source)?;
+    let mut parser = Parser::new(tokens);
+    let mut functions = Vec::new();
+    while !parser.at_eof() {
+        functions.push(parser.parse_function()?);
+    }
+    Ok(Program { functions })
+}
+
+/// Parses a single function definition.
+///
+/// This is a convenience wrapper over [`parse_program`] for the common case
+/// of one kernel per source snippet.
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] if the source does not contain exactly one
+/// well-formed function definition.
+pub fn parse_function(source: &str) -> Result<Function, ParseError> {
+    let program = parse_program(source)?;
+    match program.functions.len() {
+        1 => Ok(program.functions.into_iter().next().expect("checked length")),
+        n => Err(ParseError::new(
+            format!("expected exactly one function definition, found {}", n),
+            Pos::new(1, 1),
+        )),
+    }
+}
+
+/// Parses a single expression (useful in tests and in the agents crate).
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] if the source is not a single well-formed
+/// expression.
+pub fn parse_expr(source: &str) -> Result<Expr, ParseError> {
+    let tokens = tokenize(source)?;
+    let mut parser = Parser::new(tokens);
+    let expr = parser.parse_expression()?;
+    if !parser.at_eof() {
+        return Err(parser.unexpected("end of expression"));
+    }
+    Ok(expr)
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    idx: usize,
+}
+
+impl Parser {
+    fn new(tokens: Vec<Token>) -> Parser {
+        Parser { tokens, idx: 0 }
+    }
+
+    fn peek(&self) -> &Token {
+        &self.tokens[self.idx.min(self.tokens.len() - 1)]
+    }
+
+    fn peek_kind(&self) -> &TokenKind {
+        &self.peek().kind
+    }
+
+    fn peek_ahead(&self, n: usize) -> &TokenKind {
+        let i = (self.idx + n).min(self.tokens.len() - 1);
+        &self.tokens[i].kind
+    }
+
+    fn at_eof(&self) -> bool {
+        matches!(self.peek_kind(), TokenKind::Eof)
+    }
+
+    fn bump(&mut self) -> Token {
+        let tok = self.tokens[self.idx.min(self.tokens.len() - 1)].clone();
+        if self.idx < self.tokens.len() - 1 {
+            self.idx += 1;
+        }
+        tok
+    }
+
+    fn eat(&mut self, kind: &TokenKind) -> bool {
+        if self.peek_kind() == kind {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, kind: TokenKind) -> Result<Token, ParseError> {
+        if self.peek_kind() == &kind {
+            Ok(self.bump())
+        } else {
+            Err(ParseError::new(
+                format!(
+                    "expected {}, found {}",
+                    kind.describe(),
+                    self.peek_kind().describe()
+                ),
+                self.peek().pos,
+            ))
+        }
+    }
+
+    fn unexpected(&self, what: &str) -> ParseError {
+        ParseError::new(
+            format!("expected {}, found {}", what, self.peek_kind().describe()),
+            self.peek().pos,
+        )
+    }
+
+    fn is_ident(&self, text: &str) -> bool {
+        matches!(self.peek_kind(), TokenKind::Ident(name) if name == text)
+    }
+
+    fn eat_ident(&mut self, text: &str) -> bool {
+        if self.is_ident(text) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_ident(&mut self) -> Result<String, ParseError> {
+        match self.peek_kind().clone() {
+            TokenKind::Ident(name) => {
+                self.bump();
+                Ok(name)
+            }
+            other => Err(ParseError::new(
+                format!("expected identifier, found {}", other.describe()),
+                self.peek().pos,
+            )),
+        }
+    }
+
+    // ---- types ------------------------------------------------------------
+
+    fn peek_is_type_start(&self) -> bool {
+        self.kind_is_type_start(self.peek_kind())
+    }
+
+    fn kind_is_type_start(&self, kind: &TokenKind) -> bool {
+        matches!(
+            kind,
+            TokenKind::Ident(name)
+                if name == "int"
+                    || name == "void"
+                    || name == "__m256i"
+                    || name == "unsigned"
+                    || name == "const"
+        )
+    }
+
+    fn parse_base_type(&mut self) -> Result<Type, ParseError> {
+        // Skip `const` / `unsigned` qualifiers: TSVC arithmetic is handled as
+        // wrapping i32 everywhere, so the distinction does not change results.
+        while self.eat_ident("const") || self.eat_ident("unsigned") {}
+        let pos = self.peek().pos;
+        let name = self.expect_ident()?;
+        let ty = match name.as_str() {
+            "void" => Type::Void,
+            "int" => Type::Int,
+            "__m256i" => Type::M256i,
+            other => {
+                return Err(ParseError::new(
+                    format!("unknown type name `{}`", other),
+                    pos,
+                ))
+            }
+        };
+        Ok(ty)
+    }
+
+    fn parse_type(&mut self) -> Result<Type, ParseError> {
+        let mut ty = self.parse_base_type()?;
+        loop {
+            if self.eat(&TokenKind::Star) {
+                ty = Type::Ptr(Box::new(ty));
+                // `int * restrict a` (ICC-style) — ignore the qualifier.
+                while self.eat_ident("restrict") || self.eat_ident("const") {}
+            } else {
+                break;
+            }
+        }
+        Ok(ty)
+    }
+
+    // ---- functions ---------------------------------------------------------
+
+    fn parse_function(&mut self) -> Result<Function, ParseError> {
+        let ret = self.parse_type()?;
+        let name = self.expect_ident()?;
+        self.expect(TokenKind::LParen)?;
+        let mut params = Vec::new();
+        if !self.eat(&TokenKind::RParen) {
+            loop {
+                let ty = self.parse_type()?;
+                let pname = self.expect_ident()?;
+                params.push(Param::new(pname, ty));
+                if self.eat(&TokenKind::Comma) {
+                    continue;
+                }
+                self.expect(TokenKind::RParen)?;
+                break;
+            }
+        }
+        let body = self.parse_block()?;
+        Ok(Function::new(name, ret, params, body))
+    }
+
+    // ---- statements ---------------------------------------------------------
+
+    fn parse_block(&mut self) -> Result<Block, ParseError> {
+        self.expect(TokenKind::LBrace)?;
+        let mut stmts = Vec::new();
+        while !self.eat(&TokenKind::RBrace) {
+            if self.at_eof() {
+                return Err(self.unexpected("`}`"));
+            }
+            self.parse_stmt_into(&mut stmts)?;
+        }
+        Ok(Block::from_stmts(stmts))
+    }
+
+    /// Parses one statement; declarations with multiple declarators push
+    /// several `Stmt::Decl` entries, hence the out-vector.
+    fn parse_stmt_into(&mut self, out: &mut Vec<Stmt>) -> Result<(), ParseError> {
+        // Label: `ident :` (but not the ternary `? :` which never starts a statement).
+        if let TokenKind::Ident(name) = self.peek_kind() {
+            if matches!(self.peek_ahead(1), TokenKind::Colon) && !self.peek_is_type_start() {
+                let label = name.clone();
+                self.bump();
+                self.bump();
+                out.push(Stmt::Label(label));
+                return Ok(());
+            }
+        }
+
+        if self.peek_is_type_start() {
+            self.parse_declaration_into(out)?;
+            return Ok(());
+        }
+
+        if self.is_ident("if") {
+            out.push(self.parse_if()?);
+            return Ok(());
+        }
+        if self.is_ident("for") {
+            out.push(self.parse_for()?);
+            return Ok(());
+        }
+        if self.is_ident("while") {
+            out.push(self.parse_while()?);
+            return Ok(());
+        }
+        if self.eat_ident("return") {
+            if self.eat(&TokenKind::Semi) {
+                out.push(Stmt::Return(None));
+            } else {
+                let value = self.parse_expression()?;
+                self.expect(TokenKind::Semi)?;
+                out.push(Stmt::Return(Some(value)));
+            }
+            return Ok(());
+        }
+        if self.eat_ident("break") {
+            self.expect(TokenKind::Semi)?;
+            out.push(Stmt::Break);
+            return Ok(());
+        }
+        if self.eat_ident("continue") {
+            self.expect(TokenKind::Semi)?;
+            out.push(Stmt::Continue);
+            return Ok(());
+        }
+        if self.eat_ident("goto") {
+            let label = self.expect_ident()?;
+            self.expect(TokenKind::Semi)?;
+            out.push(Stmt::Goto(label));
+            return Ok(());
+        }
+        if matches!(self.peek_kind(), TokenKind::LBrace) {
+            let block = self.parse_block()?;
+            out.push(Stmt::Block(block));
+            return Ok(());
+        }
+        if self.eat(&TokenKind::Semi) {
+            out.push(Stmt::Empty);
+            return Ok(());
+        }
+
+        let expr = self.parse_expression()?;
+        self.expect(TokenKind::Semi)?;
+        out.push(Stmt::Expr(expr));
+        Ok(())
+    }
+
+    fn parse_declaration_into(&mut self, out: &mut Vec<Stmt>) -> Result<(), ParseError> {
+        let base = self.parse_base_type()?;
+        loop {
+            let mut ty = base.clone();
+            while self.eat(&TokenKind::Star) {
+                ty = Type::Ptr(Box::new(ty));
+                while self.eat_ident("restrict") || self.eat_ident("const") {}
+            }
+            let name = self.expect_ident()?;
+            let init = if self.eat(&TokenKind::Eq) {
+                Some(self.parse_assignment()?)
+            } else {
+                None
+            };
+            out.push(Stmt::Decl { ty, name, init });
+            if self.eat(&TokenKind::Comma) {
+                continue;
+            }
+            self.expect(TokenKind::Semi)?;
+            return Ok(());
+        }
+    }
+
+    fn parse_if(&mut self) -> Result<Stmt, ParseError> {
+        self.expect(TokenKind::Ident("if".into()))?;
+        self.expect(TokenKind::LParen)?;
+        let cond = self.parse_expression()?;
+        self.expect(TokenKind::RParen)?;
+        let then_branch = self.parse_stmt_as_block()?;
+        let else_branch = if self.eat_ident("else") {
+            Some(self.parse_stmt_as_block()?)
+        } else {
+            None
+        };
+        Ok(Stmt::If {
+            cond,
+            then_branch,
+            else_branch,
+        })
+    }
+
+    /// Parses either a braced block or a single statement wrapped in a block,
+    /// so that `if (c) x = 1;` and `if (c) { x = 1; }` produce the same AST.
+    fn parse_stmt_as_block(&mut self) -> Result<Block, ParseError> {
+        if matches!(self.peek_kind(), TokenKind::LBrace) {
+            self.parse_block()
+        } else {
+            let mut stmts = Vec::new();
+            self.parse_stmt_into(&mut stmts)?;
+            Ok(Block::from_stmts(stmts))
+        }
+    }
+
+    fn parse_for(&mut self) -> Result<Stmt, ParseError> {
+        self.expect(TokenKind::Ident("for".into()))?;
+        self.expect(TokenKind::LParen)?;
+
+        let init = if self.eat(&TokenKind::Semi) {
+            None
+        } else if self.peek_is_type_start() {
+            let mut decls = Vec::new();
+            self.parse_declaration_into(&mut decls)?;
+            if decls.len() != 1 {
+                return Err(ParseError::new(
+                    "for-loop initializer must declare exactly one variable",
+                    self.peek().pos,
+                ));
+            }
+            Some(Box::new(decls.into_iter().next().expect("checked length")))
+        } else {
+            let expr = self.parse_expression()?;
+            self.expect(TokenKind::Semi)?;
+            Some(Box::new(Stmt::Expr(expr)))
+        };
+
+        let cond = if self.eat(&TokenKind::Semi) {
+            None
+        } else {
+            let c = self.parse_expression()?;
+            self.expect(TokenKind::Semi)?;
+            Some(c)
+        };
+
+        let step = if matches!(self.peek_kind(), TokenKind::RParen) {
+            None
+        } else {
+            Some(self.parse_expression()?)
+        };
+        self.expect(TokenKind::RParen)?;
+
+        let body = self.parse_stmt_as_block()?;
+        Ok(Stmt::For {
+            init,
+            cond,
+            step,
+            body,
+        })
+    }
+
+    fn parse_while(&mut self) -> Result<Stmt, ParseError> {
+        self.expect(TokenKind::Ident("while".into()))?;
+        self.expect(TokenKind::LParen)?;
+        let cond = self.parse_expression()?;
+        self.expect(TokenKind::RParen)?;
+        let body = self.parse_stmt_as_block()?;
+        Ok(Stmt::While { cond, body })
+    }
+
+    // ---- expressions ---------------------------------------------------------
+
+    fn parse_expression(&mut self) -> Result<Expr, ParseError> {
+        self.parse_assignment()
+    }
+
+    fn parse_assignment(&mut self) -> Result<Expr, ParseError> {
+        let lhs = self.parse_ternary()?;
+        let op = match self.peek_kind() {
+            TokenKind::Eq => Some(AssignOp::Assign),
+            TokenKind::PlusEq => Some(AssignOp::AddAssign),
+            TokenKind::MinusEq => Some(AssignOp::SubAssign),
+            TokenKind::StarEq => Some(AssignOp::MulAssign),
+            TokenKind::SlashEq => Some(AssignOp::DivAssign),
+            TokenKind::PercentEq => Some(AssignOp::RemAssign),
+            TokenKind::AmpEq => Some(AssignOp::AndAssign),
+            TokenKind::PipeEq => Some(AssignOp::OrAssign),
+            TokenKind::CaretEq => Some(AssignOp::XorAssign),
+            TokenKind::ShlEq => Some(AssignOp::ShlAssign),
+            TokenKind::ShrEq => Some(AssignOp::ShrAssign),
+            _ => None,
+        };
+        if let Some(op) = op {
+            self.bump();
+            let value = self.parse_assignment()?;
+            return Ok(Expr::assign(op, lhs, value));
+        }
+        Ok(lhs)
+    }
+
+    fn parse_ternary(&mut self) -> Result<Expr, ParseError> {
+        let cond = self.parse_binary(0)?;
+        if self.eat(&TokenKind::Question) {
+            let then_expr = self.parse_expression()?;
+            self.expect(TokenKind::Colon)?;
+            let else_expr = self.parse_ternary()?;
+            return Ok(Expr::Ternary {
+                cond: Box::new(cond),
+                then_expr: Box::new(then_expr),
+                else_expr: Box::new(else_expr),
+            });
+        }
+        Ok(cond)
+    }
+
+    fn binop_at(&self, min_prec: u8) -> Option<(BinOp, u8)> {
+        let (op, prec) = match self.peek_kind() {
+            TokenKind::PipePipe => (BinOp::Or, 1),
+            TokenKind::AmpAmp => (BinOp::And, 2),
+            TokenKind::Pipe => (BinOp::BitOr, 3),
+            TokenKind::Caret => (BinOp::BitXor, 4),
+            TokenKind::Amp => (BinOp::BitAnd, 5),
+            TokenKind::EqEq => (BinOp::Eq, 6),
+            TokenKind::Ne => (BinOp::Ne, 6),
+            TokenKind::Lt => (BinOp::Lt, 7),
+            TokenKind::Le => (BinOp::Le, 7),
+            TokenKind::Gt => (BinOp::Gt, 7),
+            TokenKind::Ge => (BinOp::Ge, 7),
+            TokenKind::Shl => (BinOp::Shl, 8),
+            TokenKind::Shr => (BinOp::Shr, 8),
+            TokenKind::Plus => (BinOp::Add, 9),
+            TokenKind::Minus => (BinOp::Sub, 9),
+            TokenKind::Star => (BinOp::Mul, 10),
+            TokenKind::Slash => (BinOp::Div, 10),
+            TokenKind::Percent => (BinOp::Rem, 10),
+            _ => return None,
+        };
+        if prec >= min_prec {
+            Some((op, prec))
+        } else {
+            None
+        }
+    }
+
+    fn parse_binary(&mut self, min_prec: u8) -> Result<Expr, ParseError> {
+        let mut lhs = self.parse_unary()?;
+        while let Some((op, prec)) = self.binop_at(min_prec.max(1)) {
+            self.bump();
+            let rhs = self.parse_binary(prec + 1)?;
+            lhs = Expr::bin(op, lhs, rhs);
+        }
+        Ok(lhs)
+    }
+
+    fn parse_unary(&mut self) -> Result<Expr, ParseError> {
+        match self.peek_kind().clone() {
+            TokenKind::Minus => {
+                self.bump();
+                let expr = self.parse_unary()?;
+                // Fold `-literal` so that TSVC initializers like `j = -1` stay literals.
+                if let Expr::IntLit(v) = expr {
+                    return Ok(Expr::IntLit(-v));
+                }
+                Ok(Expr::un(UnOp::Neg, expr))
+            }
+            TokenKind::Bang => {
+                self.bump();
+                Ok(Expr::un(UnOp::Not, self.parse_unary()?))
+            }
+            TokenKind::Tilde => {
+                self.bump();
+                Ok(Expr::un(UnOp::BitNot, self.parse_unary()?))
+            }
+            TokenKind::Amp => {
+                self.bump();
+                Ok(Expr::AddrOf(Box::new(self.parse_unary()?)))
+            }
+            TokenKind::PlusPlus => {
+                self.bump();
+                let target = self.parse_unary()?;
+                Ok(Expr::assign(AssignOp::AddAssign, target, Expr::lit(1)))
+            }
+            TokenKind::MinusMinus => {
+                self.bump();
+                let target = self.parse_unary()?;
+                Ok(Expr::assign(AssignOp::SubAssign, target, Expr::lit(1)))
+            }
+            TokenKind::LParen if self.kind_is_type_start(self.peek_ahead(1)) => {
+                // A cast: `(int)` / `(__m256i *)`.
+                self.bump();
+                let ty = self.parse_type()?;
+                self.expect(TokenKind::RParen)?;
+                let expr = self.parse_unary()?;
+                Ok(Expr::Cast {
+                    ty,
+                    expr: Box::new(expr),
+                })
+            }
+            _ => self.parse_postfix(),
+        }
+    }
+
+    fn parse_postfix(&mut self) -> Result<Expr, ParseError> {
+        let mut expr = self.parse_primary()?;
+        loop {
+            match self.peek_kind() {
+                TokenKind::LBracket => {
+                    self.bump();
+                    let index = self.parse_expression()?;
+                    self.expect(TokenKind::RBracket)?;
+                    expr = Expr::index(expr, index);
+                }
+                TokenKind::LParen => {
+                    let callee = match &expr {
+                        Expr::Var(name) => name.clone(),
+                        _ => {
+                            return Err(self.unexpected("a named callee before `(`"));
+                        }
+                    };
+                    self.bump();
+                    let mut args = Vec::new();
+                    if !self.eat(&TokenKind::RParen) {
+                        loop {
+                            args.push(self.parse_expression()?);
+                            if self.eat(&TokenKind::Comma) {
+                                continue;
+                            }
+                            self.expect(TokenKind::RParen)?;
+                            break;
+                        }
+                    }
+                    expr = Expr::Call { callee, args };
+                }
+                TokenKind::PlusPlus => {
+                    self.bump();
+                    expr = Expr::assign(AssignOp::AddAssign, expr, Expr::lit(1));
+                }
+                TokenKind::MinusMinus => {
+                    self.bump();
+                    expr = Expr::assign(AssignOp::SubAssign, expr, Expr::lit(1));
+                }
+                _ => break,
+            }
+        }
+        Ok(expr)
+    }
+
+    fn parse_primary(&mut self) -> Result<Expr, ParseError> {
+        match self.peek_kind().clone() {
+            TokenKind::IntLit(v) => {
+                self.bump();
+                Ok(Expr::IntLit(v))
+            }
+            TokenKind::Ident(name) => {
+                self.bump();
+                Ok(Expr::Var(name))
+            }
+            TokenKind::LParen => {
+                self.bump();
+                let expr = self.parse_expression()?;
+                self.expect(TokenKind::RParen)?;
+                Ok(expr)
+            }
+            _ => Err(self.unexpected("an expression")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_s000_like_kernel() {
+        let f = parse_function(
+            "void s000(int n, int *a, int *b) {\n  for (int i = 0; i < n; i++) {\n    a[i] = b[i] + 1;\n  }\n}",
+        )
+        .unwrap();
+        assert_eq!(f.name, "s000");
+        assert_eq!(f.params.len(), 3);
+        assert_eq!(f.body.len(), 1);
+        match &f.body.stmts[0] {
+            Stmt::For { cond, step, .. } => {
+                assert!(cond.is_some());
+                assert!(step.is_some());
+            }
+            other => panic!("expected for loop, got {:?}", other),
+        }
+    }
+
+    #[test]
+    fn parses_vectorized_intrinsics() {
+        let src = r#"
+#include <immintrin.h>
+void s000_vec(int n, int *a, int *b) {
+  int i;
+  for (i = 0; i < n - n % 8; i += 8) {
+    __m256i b_vec = _mm256_loadu_si256((__m256i *)&b[i]);
+    __m256i one = _mm256_set1_epi32(1);
+    __m256i r = _mm256_add_epi32(b_vec, one);
+    _mm256_storeu_si256((__m256i *)&a[i], r);
+  }
+  for (; i < n; i++) {
+    a[i] = b[i] + 1;
+  }
+}"#;
+        let f = parse_function(src).unwrap();
+        assert_eq!(f.name, "s000_vec");
+        assert_eq!(f.body.len(), 3);
+        let loops = f.top_level_loops();
+        assert_eq!(loops.len(), 2);
+    }
+
+    #[test]
+    fn parses_pointer_arith_argument() {
+        let e = parse_expr("_mm256_loadu_si256((__m256i *)(b + i))").unwrap();
+        match e {
+            Expr::Call { callee, args } => {
+                assert_eq!(callee, "_mm256_loadu_si256");
+                assert!(matches!(args[0], Expr::Cast { .. }));
+            }
+            other => panic!("expected call, got {:?}", other),
+        }
+    }
+
+    #[test]
+    fn precedence_mul_over_add() {
+        let e = parse_expr("a + b * c").unwrap();
+        match e {
+            Expr::Binary { op: BinOp::Add, rhs, .. } => {
+                assert!(matches!(*rhs, Expr::Binary { op: BinOp::Mul, .. }));
+            }
+            other => panic!("unexpected {:?}", other),
+        }
+    }
+
+    #[test]
+    fn precedence_comparison_below_shift() {
+        let e = parse_expr("a << 2 > b").unwrap();
+        assert!(matches!(e, Expr::Binary { op: BinOp::Gt, .. }));
+    }
+
+    #[test]
+    fn ternary_parses() {
+        let e = parse_expr("a > b ? a : b").unwrap();
+        assert!(matches!(e, Expr::Ternary { .. }));
+    }
+
+    #[test]
+    fn increments_desugar() {
+        let e = parse_expr("i++").unwrap();
+        assert_eq!(
+            e,
+            Expr::assign(AssignOp::AddAssign, Expr::var("i"), Expr::lit(1))
+        );
+        let e = parse_expr("--j").unwrap();
+        assert_eq!(
+            e,
+            Expr::assign(AssignOp::SubAssign, Expr::var("j"), Expr::lit(1))
+        );
+    }
+
+    #[test]
+    fn negative_literals_fold() {
+        let e = parse_expr("-1").unwrap();
+        assert_eq!(e, Expr::IntLit(-1));
+    }
+
+    #[test]
+    fn goto_and_labels() {
+        let f = parse_function(
+            "void s278(int n, int *a, int *b, int *c, int *d, int *e) {\n  for (int i = 0; i < n; i++) {\n    if (a[i] > 0) {\n      goto L20;\n    }\n    b[i] = -b[i] + d[i] * e[i];\n    goto L30;\nL20:\n    c[i] = -c[i] + d[i] * e[i];\nL30:\n    a[i] = b[i] + c[i] * d[i];\n  }\n}",
+        )
+        .unwrap();
+        let body = match &f.body.stmts[0] {
+            Stmt::For { body, .. } => body,
+            other => panic!("expected loop, got {:?}", other),
+        };
+        assert!(body.stmts.iter().any(|s| matches!(s, Stmt::Label(l) if l == "L20")));
+        assert!(body.stmts.iter().any(|s| matches!(s, Stmt::Goto(l) if l == "L30")));
+    }
+
+    #[test]
+    fn multi_declarator_declarations_split() {
+        let f = parse_function("void f(int n) { int i, j = 2, k; i = j + k; }").unwrap();
+        let decls = f
+            .body
+            .stmts
+            .iter()
+            .filter(|s| matches!(s, Stmt::Decl { .. }))
+            .count();
+        assert_eq!(decls, 3);
+    }
+
+    #[test]
+    fn restrict_qualifier_is_ignored() {
+        let f = parse_function("void f(int n, int * restrict a) { a[0] = n; }").unwrap();
+        assert_eq!(f.params[1].ty, Type::int_ptr());
+    }
+
+    #[test]
+    fn while_and_compound_assign() {
+        let f = parse_function("void f(int n, int *a) { int i = 0; while (i < n) { a[i] *= 3; i += 1; } }")
+            .unwrap();
+        assert!(matches!(f.body.stmts[1], Stmt::While { .. }));
+    }
+
+    #[test]
+    fn error_on_missing_semicolon() {
+        assert!(parse_function("void f(int n) { n = 1 }").is_err());
+    }
+
+    #[test]
+    fn error_on_unknown_type() {
+        assert!(parse_function("void f(float x) { }").is_err());
+    }
+
+    #[test]
+    fn error_on_two_functions_in_parse_function() {
+        assert!(parse_function("void f(int n) { } void g(int n) { }").is_err());
+        assert!(parse_program("void f(int n) { } void g(int n) { }").is_ok());
+    }
+}

@@ -1,0 +1,471 @@
+//! Pretty printer: turns the AST back into compilable C-like source.
+//!
+//! The printer is used to render vectorized candidates produced by the agents
+//! (so that transcripts look like the paper's figures) and to round-trip
+//! programs in tests. Printing then re-parsing yields a structurally equal
+//! AST; this invariant is checked with property tests in the crate root.
+
+use crate::ast::{Block, Expr, Function, Program, Stmt, Type};
+use std::fmt::Write;
+
+/// Renders a whole program as C source, including the `immintrin.h` include
+/// when any function references `__m256i` or an intrinsic.
+pub fn print_program(program: &Program) -> String {
+    let mut out = String::new();
+    if program.functions.iter().any(uses_vectors) {
+        out.push_str("#include <immintrin.h>\n\n");
+    }
+    for (i, func) in program.functions.iter().enumerate() {
+        if i > 0 {
+            out.push('\n');
+        }
+        out.push_str(&print_function(func));
+    }
+    out
+}
+
+/// Renders a single function definition as C source.
+pub fn print_function(func: &Function) -> String {
+    let mut p = Printer::new();
+    p.function(func);
+    p.out
+}
+
+/// Renders a single statement (used in diagnostics and agent transcripts).
+pub fn print_stmt(stmt: &Stmt) -> String {
+    let mut p = Printer::new();
+    p.stmt(stmt);
+    p.out.trim_end().to_string()
+}
+
+/// Renders a single expression.
+pub fn print_expr(expr: &Expr) -> String {
+    let mut p = Printer::new();
+    p.expr(expr, 0);
+    p.out
+}
+
+/// Returns `true` if the function mentions `__m256i` or calls an intrinsic.
+fn uses_vectors(func: &Function) -> bool {
+    fn block_uses(block: &Block) -> bool {
+        block.stmts.iter().any(stmt_uses)
+    }
+    fn stmt_uses(stmt: &Stmt) -> bool {
+        match stmt {
+            Stmt::Decl { ty, init, .. } => {
+                *ty == Type::M256i
+                    || matches!(ty, Type::Ptr(inner) if **inner == Type::M256i)
+                    || init.as_ref().is_some_and(expr_uses)
+            }
+            Stmt::Expr(e) => expr_uses(e),
+            Stmt::If {
+                cond,
+                then_branch,
+                else_branch,
+            } => {
+                expr_uses(cond)
+                    || block_uses(then_branch)
+                    || else_branch.as_ref().is_some_and(block_uses)
+            }
+            Stmt::For {
+                init, cond, step, body,
+            } => {
+                init.as_deref().is_some_and(stmt_uses)
+                    || cond.as_ref().is_some_and(expr_uses)
+                    || step.as_ref().is_some_and(expr_uses)
+                    || block_uses(body)
+            }
+            Stmt::While { cond, body } => expr_uses(cond) || block_uses(body),
+            Stmt::Return(e) => e.as_ref().is_some_and(expr_uses),
+            Stmt::Block(b) => block_uses(b),
+            Stmt::Break | Stmt::Continue | Stmt::Goto(_) | Stmt::Label(_) | Stmt::Empty => false,
+        }
+    }
+    fn expr_uses(expr: &Expr) -> bool {
+        match expr {
+            Expr::Call { callee, args } => {
+                callee.starts_with("_mm256") || args.iter().any(expr_uses)
+            }
+            Expr::Cast { ty, expr } => {
+                *ty == Type::M256i
+                    || matches!(ty, Type::Ptr(inner) if **inner == Type::M256i)
+                    || expr_uses(expr)
+            }
+            Expr::Index { base, index } => expr_uses(base) || expr_uses(index),
+            Expr::Unary { expr, .. } | Expr::AddrOf(expr) => expr_uses(expr),
+            Expr::Binary { lhs, rhs, .. } => expr_uses(lhs) || expr_uses(rhs),
+            Expr::Assign { target, value, .. } => expr_uses(target) || expr_uses(value),
+            Expr::Ternary {
+                cond,
+                then_expr,
+                else_expr,
+            } => expr_uses(cond) || expr_uses(then_expr) || expr_uses(else_expr),
+            Expr::IntLit(_) | Expr::Var(_) => false,
+        }
+    }
+    func.params
+        .iter()
+        .any(|p| p.ty == Type::M256i || matches!(&p.ty, Type::Ptr(inner) if **inner == Type::M256i))
+        || block_uses(&func.body)
+}
+
+struct Printer {
+    out: String,
+    indent: usize,
+}
+
+impl Printer {
+    fn new() -> Printer {
+        Printer {
+            out: String::new(),
+            indent: 0,
+        }
+    }
+
+    fn line_start(&mut self) {
+        for _ in 0..self.indent {
+            self.out.push_str("    ");
+        }
+    }
+
+    fn function(&mut self, func: &Function) {
+        let _ = write!(self.out, "{} {}(", type_prefix(&func.ret), func.name);
+        for (i, param) in func.params.iter().enumerate() {
+            if i > 0 {
+                self.out.push_str(", ");
+            }
+            let _ = write!(self.out, "{}{}", type_decl_prefix(&param.ty), param.name);
+        }
+        self.out.push_str(") ");
+        self.block(&func.body);
+        self.out.push('\n');
+    }
+
+    fn block(&mut self, block: &Block) {
+        self.out.push_str("{\n");
+        self.indent += 1;
+        for stmt in &block.stmts {
+            self.stmt(stmt);
+        }
+        self.indent -= 1;
+        self.line_start();
+        self.out.push('}');
+    }
+
+    fn stmt(&mut self, stmt: &Stmt) {
+        match stmt {
+            Stmt::Label(name) => {
+                // Labels are printed without indentation, like in the paper's listings.
+                let _ = writeln!(self.out, "{}:", name);
+                return;
+            }
+            _ => self.line_start(),
+        }
+        match stmt {
+            Stmt::Decl { ty, name, init } => {
+                let _ = write!(self.out, "{}{}", type_decl_prefix(ty), name);
+                if let Some(init) = init {
+                    self.out.push_str(" = ");
+                    self.expr(init, 0);
+                }
+                self.out.push_str(";\n");
+            }
+            Stmt::Expr(e) => {
+                self.expr(e, 0);
+                self.out.push_str(";\n");
+            }
+            Stmt::If {
+                cond,
+                then_branch,
+                else_branch,
+            } => {
+                self.out.push_str("if (");
+                self.expr(cond, 0);
+                self.out.push_str(") ");
+                self.block(then_branch);
+                if let Some(else_branch) = else_branch {
+                    self.out.push_str(" else ");
+                    self.block(else_branch);
+                }
+                self.out.push('\n');
+            }
+            Stmt::For {
+                init, cond, step, body,
+            } => {
+                self.out.push_str("for (");
+                match init.as_deref() {
+                    Some(Stmt::Decl { ty, name, init }) => {
+                        let _ = write!(self.out, "{}{}", type_decl_prefix(ty), name);
+                        if let Some(init) = init {
+                            self.out.push_str(" = ");
+                            self.expr(init, 0);
+                        }
+                    }
+                    Some(Stmt::Expr(e)) => self.expr(e, 0),
+                    Some(other) => {
+                        // Unreachable by construction of the parser, but keep
+                        // the printer total.
+                        let _ = write!(self.out, "/* {:?} */", other);
+                    }
+                    None => {}
+                }
+                self.out.push_str("; ");
+                if let Some(cond) = cond {
+                    self.expr(cond, 0);
+                }
+                self.out.push_str("; ");
+                if let Some(step) = step {
+                    self.expr(step, 0);
+                }
+                self.out.push_str(") ");
+                self.block(body);
+                self.out.push('\n');
+            }
+            Stmt::While { cond, body } => {
+                self.out.push_str("while (");
+                self.expr(cond, 0);
+                self.out.push_str(") ");
+                self.block(body);
+                self.out.push('\n');
+            }
+            Stmt::Return(None) => self.out.push_str("return;\n"),
+            Stmt::Return(Some(e)) => {
+                self.out.push_str("return ");
+                self.expr(e, 0);
+                self.out.push_str(";\n");
+            }
+            Stmt::Break => self.out.push_str("break;\n"),
+            Stmt::Continue => self.out.push_str("continue;\n"),
+            Stmt::Goto(label) => {
+                let _ = writeln!(self.out, "goto {};", label);
+            }
+            Stmt::Block(b) => {
+                self.block(b);
+                self.out.push('\n');
+            }
+            Stmt::Empty => self.out.push_str(";\n"),
+            Stmt::Label(_) => unreachable!("labels handled above"),
+        }
+    }
+
+    /// Prints an expression; `parent_prec` is the binding strength of the
+    /// surrounding context so that parentheses are inserted only when needed.
+    fn expr(&mut self, expr: &Expr, parent_prec: u8) {
+        match expr {
+            Expr::IntLit(v) => {
+                let _ = write!(self.out, "{}", v);
+            }
+            Expr::Var(name) => self.out.push_str(name),
+            Expr::Index { base, index } => {
+                self.expr(base, 14);
+                self.out.push('[');
+                self.expr(index, 0);
+                self.out.push(']');
+            }
+            Expr::Unary { op, expr } => {
+                let prec = 12;
+                let paren = parent_prec > prec;
+                if paren {
+                    self.out.push('(');
+                }
+                self.out.push_str(op.symbol());
+                self.expr(expr, prec + 1);
+                if paren {
+                    self.out.push(')');
+                }
+            }
+            Expr::Binary { op, lhs, rhs } => {
+                let prec = binop_prec(*op);
+                let paren = parent_prec > prec;
+                if paren {
+                    self.out.push('(');
+                }
+                self.expr(lhs, prec);
+                let _ = write!(self.out, " {} ", op.symbol());
+                self.expr(rhs, prec + 1);
+                if paren {
+                    self.out.push(')');
+                }
+            }
+            Expr::Assign { op, target, value } => {
+                let prec = 1;
+                let paren = parent_prec > prec;
+                if paren {
+                    self.out.push('(');
+                }
+                self.expr(target, 2);
+                let _ = write!(self.out, " {} ", op.symbol());
+                self.expr(value, prec);
+                if paren {
+                    self.out.push(')');
+                }
+            }
+            Expr::Call { callee, args } => {
+                self.out.push_str(callee);
+                self.out.push('(');
+                for (i, arg) in args.iter().enumerate() {
+                    if i > 0 {
+                        self.out.push_str(", ");
+                    }
+                    self.expr(arg, 0);
+                }
+                self.out.push(')');
+            }
+            Expr::Cast { ty, expr } => {
+                let prec = 12;
+                let paren = parent_prec > prec;
+                if paren {
+                    self.out.push('(');
+                }
+                let _ = write!(self.out, "({})", ty);
+                self.expr(expr, prec);
+                if paren {
+                    self.out.push(')');
+                }
+            }
+            Expr::AddrOf(expr) => {
+                let prec = 12;
+                let paren = parent_prec > prec;
+                if paren {
+                    self.out.push('(');
+                }
+                self.out.push('&');
+                self.expr(expr, prec + 1);
+                if paren {
+                    self.out.push(')');
+                }
+            }
+            Expr::Ternary {
+                cond,
+                then_expr,
+                else_expr,
+            } => {
+                let prec = 2;
+                let paren = parent_prec > prec;
+                if paren {
+                    self.out.push('(');
+                }
+                self.expr(cond, prec + 1);
+                self.out.push_str(" ? ");
+                self.expr(then_expr, 0);
+                self.out.push_str(" : ");
+                self.expr(else_expr, prec);
+                if paren {
+                    self.out.push(')');
+                }
+            }
+        }
+    }
+}
+
+fn binop_prec(op: crate::ast::BinOp) -> u8 {
+    use crate::ast::BinOp::*;
+    match op {
+        Or => 3,
+        And => 4,
+        BitOr => 5,
+        BitXor => 6,
+        BitAnd => 7,
+        Eq | Ne => 8,
+        Lt | Le | Gt | Ge => 9,
+        Shl | Shr => 10,
+        Add | Sub => 11,
+        Mul | Div | Rem => 12,
+    }
+}
+
+/// Type as it appears before a function name (`void `, `int `).
+fn type_prefix(ty: &Type) -> String {
+    ty.to_string()
+}
+
+/// Type as it appears before a declared name: pointers bind to the name
+/// (`int *a`), non-pointers get a trailing space (`int a`).
+fn type_decl_prefix(ty: &Type) -> String {
+    match ty {
+        Type::Ptr(_) => format!("{}", ty),
+        other => format!("{} ", other),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::{parse_expr, parse_function};
+
+    fn roundtrip_fn(src: &str) {
+        let f1 = parse_function(src).unwrap();
+        let printed = print_function(&f1);
+        let f2 = parse_function(&printed)
+            .unwrap_or_else(|e| panic!("reparse failed: {}\n---\n{}", e, printed));
+        assert_eq!(f1, f2, "round trip changed the AST:\n{}", printed);
+    }
+
+    #[test]
+    fn roundtrip_scalar_kernel() {
+        roundtrip_fn(
+            "void s212(int n, int *a, int *b, int *c, int *d) { for (int i = 0; i < n - 1; i++) { a[i] *= c[i]; b[i] += a[i + 1] * d[i]; } }",
+        );
+    }
+
+    #[test]
+    fn roundtrip_vector_kernel() {
+        roundtrip_fn(
+            "void v(int n, int *a, int *b) { int i; for (i = 0; i + 8 <= n; i += 8) { __m256i x = _mm256_loadu_si256((__m256i *)&b[i]); _mm256_storeu_si256((__m256i *)&a[i], x); } for (; i < n; i += 1) { a[i] = b[i]; } }",
+        );
+    }
+
+    #[test]
+    fn roundtrip_control_flow() {
+        roundtrip_fn(
+            "void s124(int *a, int *b, int *c, int *d, int *e, int n) { int j; j = -1; for (int i = 0; i < n; i++) { if (b[i] > 0) { j += 1; a[j] = b[i] + d[i] * e[i]; } else { j += 1; a[j] = c[i] + d[i] * e[i]; } } }",
+        );
+    }
+
+    #[test]
+    fn roundtrip_goto() {
+        roundtrip_fn(
+            "void s278(int n, int *a, int *b, int *c, int *d, int *e) { for (int i = 0; i < n; i++) { if (a[i] > 0) { goto L20; } b[i] = -b[i] + d[i] * e[i]; goto L30; L20: c[i] = -c[i] + d[i] * e[i]; L30: a[i] = b[i] + c[i] * d[i]; } }",
+        );
+    }
+
+    #[test]
+    fn include_emitted_only_for_vector_code() {
+        let scalar = parse_function("void f(int n, int *a) { a[0] = n; }").unwrap();
+        let program = Program {
+            functions: vec![scalar],
+        };
+        assert!(!print_program(&program).contains("immintrin"));
+
+        let vector = parse_function(
+            "void g(int n, int *a) { __m256i z = _mm256_setzero_si256(); _mm256_storeu_si256((__m256i *)&a[0], z); }",
+        )
+        .unwrap();
+        let program = Program {
+            functions: vec![vector],
+        };
+        assert!(print_program(&program).contains("#include <immintrin.h>"));
+    }
+
+    #[test]
+    fn expr_parenthesization_preserves_meaning() {
+        let e = parse_expr("(a + b) * c").unwrap();
+        let printed = print_expr(&e);
+        let reparsed = parse_expr(&printed).unwrap();
+        assert_eq!(e, reparsed);
+        assert!(printed.contains('('), "needs parens: {}", printed);
+
+        let e = parse_expr("a + b * c").unwrap();
+        let printed = print_expr(&e);
+        assert_eq!(parse_expr(&printed).unwrap(), e);
+    }
+
+    #[test]
+    fn ternary_and_assignment_print() {
+        let e = parse_expr("x = a > b ? a : b").unwrap();
+        let printed = print_expr(&e);
+        assert_eq!(parse_expr(&printed).unwrap(), e);
+    }
+
+    use crate::ast::Program;
+}

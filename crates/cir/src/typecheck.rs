@@ -1,0 +1,534 @@
+//! A simple type checker for the mini-C subset.
+//!
+//! Type checking plays the role of "does it compile" in the pipeline: the
+//! paper reports candidates under a *Cannot compile* row in Table 2, and the
+//! multi-agent FSM feeds compile errors back to the vectorizer agent. A
+//! candidate that references unknown variables, calls an unknown intrinsic or
+//! mixes `__m256i` and `int` values is rejected here with a [`TypeError`].
+
+use crate::ast::{BinOp, Block, Expr, Function, Stmt, Type, UnOp};
+use crate::error::TypeError;
+use crate::intrinsics::{intrinsic_sig, looks_like_intrinsic};
+use std::collections::HashMap;
+
+/// The result of type checking a function: the type of every named variable
+/// (parameters and locals). When a name is declared in several scopes the
+/// innermost declaration seen last wins; the TSVC subset does not rely on
+/// shadowing.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TypeInfo {
+    /// Variable name to type.
+    pub vars: HashMap<String, Type>,
+    /// Labels declared in the function body.
+    pub labels: Vec<String>,
+}
+
+impl TypeInfo {
+    /// The type of a variable, if it was declared anywhere in the function.
+    pub fn var_type(&self, name: &str) -> Option<&Type> {
+        self.vars.get(name)
+    }
+
+    /// Names of all `__m256i` locals.
+    pub fn vector_vars(&self) -> Vec<&str> {
+        let mut v: Vec<&str> = self
+            .vars
+            .iter()
+            .filter(|(_, ty)| **ty == Type::M256i)
+            .map(|(name, _)| name.as_str())
+            .collect();
+        v.sort_unstable();
+        v
+    }
+}
+
+/// Type checks a function definition.
+///
+/// # Errors
+///
+/// Returns a [`TypeError`] describing the first problem found: use of an
+/// undeclared variable, an unknown function or intrinsic, wrong argument
+/// counts or types, assignment type mismatches, invalid operand types, or a
+/// `goto` to an undefined label.
+pub fn type_check(func: &Function) -> Result<TypeInfo, TypeError> {
+    let mut checker = Checker::new(func);
+    checker
+        .check_function()
+        .map_err(|e| e.in_function(&func.name))?;
+    Ok(checker.info)
+}
+
+/// Convenience wrapper: returns `true` if the function type checks.
+pub fn compiles(func: &Function) -> bool {
+    type_check(func).is_ok()
+}
+
+struct Checker<'a> {
+    func: &'a Function,
+    scopes: Vec<HashMap<String, Type>>,
+    info: TypeInfo,
+}
+
+impl<'a> Checker<'a> {
+    fn new(func: &'a Function) -> Checker<'a> {
+        Checker {
+            func,
+            scopes: vec![HashMap::new()],
+            info: TypeInfo::default(),
+        }
+    }
+
+    fn declare(&mut self, name: &str, ty: Type) {
+        self.info.vars.insert(name.to_string(), ty.clone());
+        self.scopes
+            .last_mut()
+            .expect("scope stack is never empty")
+            .insert(name.to_string(), ty);
+    }
+
+    fn lookup(&self, name: &str) -> Option<&Type> {
+        self.scopes.iter().rev().find_map(|s| s.get(name))
+    }
+
+    fn check_function(&mut self) -> Result<(), TypeError> {
+        for param in &self.func.params {
+            if param.ty == Type::Void {
+                return Err(TypeError::new(format!(
+                    "parameter `{}` cannot have type void",
+                    param.name
+                )));
+            }
+            self.declare(&param.name, param.ty.clone());
+        }
+        self.collect_labels(&self.func.body.clone());
+        self.check_block(&self.func.body.clone())?;
+        self.check_gotos(&self.func.body.clone())?;
+        Ok(())
+    }
+
+    fn collect_labels(&mut self, block: &Block) {
+        for stmt in &block.stmts {
+            match stmt {
+                Stmt::Label(name) => self.info.labels.push(name.clone()),
+                Stmt::If {
+                    then_branch,
+                    else_branch,
+                    ..
+                } => {
+                    self.collect_labels(then_branch);
+                    if let Some(e) = else_branch {
+                        self.collect_labels(e);
+                    }
+                }
+                Stmt::For { body, .. } | Stmt::While { body, .. } => self.collect_labels(body),
+                Stmt::Block(b) => self.collect_labels(b),
+                _ => {}
+            }
+        }
+    }
+
+    fn check_gotos(&self, block: &Block) -> Result<(), TypeError> {
+        for stmt in &block.stmts {
+            match stmt {
+                Stmt::Goto(label) => {
+                    if !self.info.labels.contains(label) {
+                        return Err(TypeError::new(format!("goto to undefined label `{}`", label)));
+                    }
+                }
+                Stmt::If {
+                    then_branch,
+                    else_branch,
+                    ..
+                } => {
+                    self.check_gotos(then_branch)?;
+                    if let Some(e) = else_branch {
+                        self.check_gotos(e)?;
+                    }
+                }
+                Stmt::For { body, .. } | Stmt::While { body, .. } => self.check_gotos(body)?,
+                Stmt::Block(b) => self.check_gotos(b)?,
+                _ => {}
+            }
+        }
+        Ok(())
+    }
+
+    fn check_block(&mut self, block: &Block) -> Result<(), TypeError> {
+        self.scopes.push(HashMap::new());
+        for stmt in &block.stmts {
+            self.check_stmt(stmt)?;
+        }
+        self.scopes.pop();
+        Ok(())
+    }
+
+    fn check_stmt(&mut self, stmt: &Stmt) -> Result<(), TypeError> {
+        match stmt {
+            Stmt::Decl { ty, name, init } => {
+                if *ty == Type::Void {
+                    return Err(TypeError::new(format!(
+                        "variable `{}` cannot have type void",
+                        name
+                    )));
+                }
+                if let Some(init) = init {
+                    let init_ty = self.check_expr(init)?;
+                    if !assignable(ty, &init_ty) {
+                        return Err(TypeError::new(format!(
+                            "cannot initialize `{}` of type {} with a value of type {}",
+                            name, ty, init_ty
+                        )));
+                    }
+                }
+                self.declare(name, ty.clone());
+                Ok(())
+            }
+            Stmt::Expr(e) => {
+                self.check_expr(e)?;
+                Ok(())
+            }
+            Stmt::If {
+                cond,
+                then_branch,
+                else_branch,
+            } => {
+                let cond_ty = self.check_expr(cond)?;
+                require_scalar_condition(&cond_ty)?;
+                self.check_block(then_branch)?;
+                if let Some(else_branch) = else_branch {
+                    self.check_block(else_branch)?;
+                }
+                Ok(())
+            }
+            Stmt::For {
+                init,
+                cond,
+                step,
+                body,
+            } => {
+                self.scopes.push(HashMap::new());
+                if let Some(init) = init {
+                    self.check_stmt(init)?;
+                }
+                if let Some(cond) = cond {
+                    let cond_ty = self.check_expr(cond)?;
+                    require_scalar_condition(&cond_ty)?;
+                }
+                if let Some(step) = step {
+                    self.check_expr(step)?;
+                }
+                self.check_block(body)?;
+                self.scopes.pop();
+                Ok(())
+            }
+            Stmt::While { cond, body } => {
+                let cond_ty = self.check_expr(cond)?;
+                require_scalar_condition(&cond_ty)?;
+                self.check_block(body)
+            }
+            Stmt::Return(None) => Ok(()),
+            Stmt::Return(Some(e)) => {
+                let ty = self.check_expr(e)?;
+                if self.func.ret == Type::Void {
+                    return Err(TypeError::new(format!(
+                        "void function returns a value of type {}",
+                        ty
+                    )));
+                }
+                Ok(())
+            }
+            Stmt::Break | Stmt::Continue | Stmt::Goto(_) | Stmt::Label(_) | Stmt::Empty => Ok(()),
+            Stmt::Block(b) => self.check_block(b),
+        }
+    }
+
+    fn check_expr(&mut self, expr: &Expr) -> Result<Type, TypeError> {
+        match expr {
+            Expr::IntLit(_) => Ok(Type::Int),
+            Expr::Var(name) => self
+                .lookup(name)
+                .cloned()
+                .ok_or_else(|| TypeError::new(format!("use of undeclared variable `{}`", name))),
+            Expr::Index { base, index } => {
+                let base_ty = self.check_expr(base)?;
+                let index_ty = self.check_expr(index)?;
+                if index_ty != Type::Int {
+                    return Err(TypeError::new(format!(
+                        "array index must be int, found {}",
+                        index_ty
+                    )));
+                }
+                match base_ty.pointee() {
+                    Some(pointee) => Ok(pointee.clone()),
+                    None => Err(TypeError::new(format!(
+                        "cannot index a value of type {}",
+                        base_ty
+                    ))),
+                }
+            }
+            Expr::Unary { op, expr } => {
+                let ty = self.check_expr(expr)?;
+                match op {
+                    UnOp::Neg | UnOp::Not | UnOp::BitNot => {
+                        if ty != Type::Int {
+                            return Err(TypeError::new(format!(
+                                "unary `{}` requires an int operand, found {}",
+                                op.symbol(),
+                                ty
+                            )));
+                        }
+                        Ok(Type::Int)
+                    }
+                }
+            }
+            Expr::Binary { op, lhs, rhs } => {
+                let lt = self.check_expr(lhs)?;
+                let rt = self.check_expr(rhs)?;
+                self.binary_type(*op, &lt, &rt)
+            }
+            Expr::Assign { op, target, value } => {
+                let target_ty = self.check_lvalue(target)?;
+                let value_ty = self.check_expr(value)?;
+                if let Some(binop) = op.binop() {
+                    // Compound assignment: target op= value requires target (op) value to be valid.
+                    let result = self.binary_type(binop, &target_ty, &value_ty)?;
+                    if !assignable(&target_ty, &result) {
+                        return Err(TypeError::new(format!(
+                            "cannot assign a value of type {} to a target of type {}",
+                            result, target_ty
+                        )));
+                    }
+                } else if !assignable(&target_ty, &value_ty) {
+                    return Err(TypeError::new(format!(
+                        "cannot assign a value of type {} to a target of type {}",
+                        value_ty, target_ty
+                    )));
+                }
+                Ok(target_ty)
+            }
+            Expr::Call { callee, args } => self.check_call(callee, args),
+            Expr::Cast { ty, expr } => {
+                let from = self.check_expr(expr)?;
+                match (ty, &from) {
+                    // Pointer-to-pointer casts (the `(__m256i *)&a[i]` idiom).
+                    (Type::Ptr(_), Type::Ptr(_)) => Ok(ty.clone()),
+                    // int casts are no-ops in this subset.
+                    (Type::Int, Type::Int) => Ok(Type::Int),
+                    _ => Err(TypeError::new(format!(
+                        "unsupported cast from {} to {}",
+                        from, ty
+                    ))),
+                }
+            }
+            Expr::AddrOf(inner) => {
+                let ty = self.check_lvalue(inner)?;
+                Ok(Type::Ptr(Box::new(ty)))
+            }
+            Expr::Ternary {
+                cond,
+                then_expr,
+                else_expr,
+            } => {
+                let cond_ty = self.check_expr(cond)?;
+                require_scalar_condition(&cond_ty)?;
+                let t = self.check_expr(then_expr)?;
+                let e = self.check_expr(else_expr)?;
+                if t != e {
+                    return Err(TypeError::new(format!(
+                        "ternary branches have different types: {} and {}",
+                        t, e
+                    )));
+                }
+                Ok(t)
+            }
+        }
+    }
+
+    fn check_lvalue(&mut self, expr: &Expr) -> Result<Type, TypeError> {
+        match expr {
+            Expr::Var(_) | Expr::Index { .. } => self.check_expr(expr),
+            other => Err(TypeError::new(format!(
+                "expression `{}` is not assignable",
+                crate::printer::print_expr(other)
+            ))),
+        }
+    }
+
+    fn check_call(&mut self, callee: &str, args: &[Expr]) -> Result<Type, TypeError> {
+        let Some(sig) = intrinsic_sig(callee) else {
+            if looks_like_intrinsic(callee) {
+                return Err(TypeError::new(format!(
+                    "call to unsupported intrinsic `{}`",
+                    callee
+                )));
+            }
+            return Err(TypeError::new(format!(
+                "call to unknown function `{}`",
+                callee
+            )));
+        };
+        if args.len() != sig.params.len() {
+            return Err(TypeError::new(format!(
+                "`{}` expects {} arguments, found {}",
+                callee,
+                sig.params.len(),
+                args.len()
+            )));
+        }
+        for (i, (arg, slot)) in args.iter().zip(sig.params.iter()).enumerate() {
+            let ty = self.check_expr(arg)?;
+            if !slot.accepts(&ty) {
+                return Err(TypeError::new(format!(
+                    "argument {} of `{}` has type {}, which is not accepted",
+                    i + 1,
+                    callee,
+                    ty
+                )));
+            }
+        }
+        Ok(sig.ret.result_type())
+    }
+
+    fn binary_type(&self, op: BinOp, lhs: &Type, rhs: &Type) -> Result<Type, TypeError> {
+        match (lhs, rhs) {
+            (Type::Int, Type::Int) => Ok(Type::Int),
+            // Pointer arithmetic: `a + i`, `i + a`, `a - i` produce a pointer.
+            (Type::Ptr(_), Type::Int) if matches!(op, BinOp::Add | BinOp::Sub) => Ok(lhs.clone()),
+            (Type::Int, Type::Ptr(_)) if op == BinOp::Add => Ok(rhs.clone()),
+            _ => Err(TypeError::new(format!(
+                "invalid operands to `{}`: {} and {} (vector values must use intrinsics)",
+                op.symbol(),
+                lhs,
+                rhs
+            ))),
+        }
+    }
+}
+
+fn assignable(target: &Type, value: &Type) -> bool {
+    match (target, value) {
+        (Type::Int, Type::Int) => true,
+        (Type::M256i, Type::M256i) => true,
+        (Type::Ptr(a), Type::Ptr(b)) => a == b || **a == Type::M256i || **b == Type::M256i,
+        _ => false,
+    }
+}
+
+fn require_scalar_condition(ty: &Type) -> Result<(), TypeError> {
+    if *ty == Type::Int {
+        Ok(())
+    } else {
+        Err(TypeError::new(format!(
+            "condition must be int, found {}",
+            ty
+        )))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_function;
+
+    fn check(src: &str) -> Result<TypeInfo, TypeError> {
+        type_check(&parse_function(src).unwrap())
+    }
+
+    #[test]
+    fn accepts_scalar_kernel() {
+        let info = check(
+            "void s212(int n, int *a, int *b, int *c, int *d) { for (int i = 0; i < n - 1; i++) { a[i] *= c[i]; b[i] += a[i + 1] * d[i]; } }",
+        )
+        .unwrap();
+        assert_eq!(info.var_type("a"), Some(&Type::int_ptr()));
+        assert_eq!(info.var_type("i"), Some(&Type::Int));
+    }
+
+    #[test]
+    fn accepts_vectorized_kernel() {
+        let info = check(
+            "void v(int n, int *a, int *b) { int i; for (i = 0; i + 8 <= n; i += 8) { __m256i x = _mm256_loadu_si256((__m256i *)&b[i]); __m256i y = _mm256_add_epi32(x, _mm256_set1_epi32(1)); _mm256_storeu_si256((__m256i *)&a[i], y); } for (; i < n; i++) { a[i] = b[i] + 1; } }",
+        )
+        .unwrap();
+        assert_eq!(info.vector_vars(), vec!["x", "y"]);
+    }
+
+    #[test]
+    fn rejects_undeclared_variable() {
+        let err = check("void f(int n) { q = 1; }").unwrap_err();
+        assert!(err.to_string().contains("undeclared variable `q`"));
+    }
+
+    #[test]
+    fn rejects_unknown_function_and_intrinsic() {
+        let err = check("void f(int n, int *a) { a[0] = foo(n); }").unwrap_err();
+        assert!(err.to_string().contains("unknown function"));
+        let err = check(
+            "void f(int n, int *a) { __m256i x = _mm256_dpbusd_epi32(_mm256_setzero_si256(), _mm256_setzero_si256()); }",
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("unsupported intrinsic"));
+    }
+
+    #[test]
+    fn rejects_wrong_arity() {
+        let err = check("void f(int *a) { __m256i x = _mm256_add_epi32(_mm256_setzero_si256()); }")
+            .unwrap_err();
+        assert!(err.to_string().contains("expects 2 arguments"));
+    }
+
+    #[test]
+    fn rejects_mixing_vector_and_scalar() {
+        let err = check("void f(int n, int *a) { __m256i x = _mm256_set1_epi32(1); int y = x; }")
+            .unwrap_err();
+        assert!(err.to_string().contains("cannot initialize"));
+        let err = check("void f(int n) { __m256i x = _mm256_set1_epi32(1); __m256i y = x + x; }")
+            .unwrap_err();
+        assert!(err.to_string().contains("invalid operands"));
+    }
+
+    #[test]
+    fn rejects_indexing_scalars() {
+        let err = check("void f(int n) { n[0] = 1; }").unwrap_err();
+        assert!(err.to_string().contains("cannot index"));
+    }
+
+    #[test]
+    fn rejects_goto_undefined_label() {
+        let err = check("void f(int n) { goto L99; }").unwrap_err();
+        assert!(err.to_string().contains("undefined label"));
+    }
+
+    #[test]
+    fn accepts_goto_with_label() {
+        assert!(check("void f(int n, int *a) { for (int i = 0; i < n; i++) { if (a[i] > 0) { goto L1; } a[i] = 1; L1: a[i] = 2; } }").is_ok());
+    }
+
+    #[test]
+    fn rejects_vector_condition() {
+        let err =
+            check("void f(int n) { __m256i x = _mm256_set1_epi32(1); if (x) { n = 1; } }")
+                .unwrap_err();
+        assert!(err.to_string().contains("condition must be int"));
+    }
+
+    #[test]
+    fn pointer_arithmetic_is_allowed() {
+        assert!(check(
+            "void f(int n, int *a, int *b) { for (int i = 0; i + 8 <= n; i += 8) { __m256i x = _mm256_loadu_si256((__m256i *)(b + i)); _mm256_storeu_si256((__m256i *)(a + i), x); } }"
+        )
+        .is_ok());
+    }
+
+    #[test]
+    fn void_return_with_value_rejected() {
+        let err = check("void f(int n) { return n; }").unwrap_err();
+        assert!(err.to_string().contains("void function returns"));
+    }
+
+    #[test]
+    fn compiles_helper() {
+        let f = parse_function("void f(int n, int *a) { a[0] = n; }").unwrap();
+        assert!(compiles(&f));
+    }
+}

@@ -1,0 +1,400 @@
+//! AST traversal and rewriting utilities shared by the analysis, agents and
+//! translation-validation crates.
+
+use crate::ast::{Block, Expr, Function, Stmt};
+
+/// Calls `f` on every expression (pre-order) reachable from a block,
+/// including sub-expressions.
+pub fn for_each_expr_in_block(block: &Block, f: &mut impl FnMut(&Expr)) {
+    for stmt in &block.stmts {
+        for_each_expr_in_stmt(stmt, f);
+    }
+}
+
+/// Calls `f` on every expression (pre-order) reachable from a statement.
+pub fn for_each_expr_in_stmt(stmt: &Stmt, f: &mut impl FnMut(&Expr)) {
+    match stmt {
+        Stmt::Decl { init, .. } => {
+            if let Some(init) = init {
+                for_each_expr(init, f);
+            }
+        }
+        Stmt::Expr(e) => for_each_expr(e, f),
+        Stmt::If {
+            cond,
+            then_branch,
+            else_branch,
+        } => {
+            for_each_expr(cond, f);
+            for_each_expr_in_block(then_branch, f);
+            if let Some(else_branch) = else_branch {
+                for_each_expr_in_block(else_branch, f);
+            }
+        }
+        Stmt::For {
+            init,
+            cond,
+            step,
+            body,
+        } => {
+            if let Some(init) = init {
+                for_each_expr_in_stmt(init, f);
+            }
+            if let Some(cond) = cond {
+                for_each_expr(cond, f);
+            }
+            if let Some(step) = step {
+                for_each_expr(step, f);
+            }
+            for_each_expr_in_block(body, f);
+        }
+        Stmt::While { cond, body } => {
+            for_each_expr(cond, f);
+            for_each_expr_in_block(body, f);
+        }
+        Stmt::Return(Some(e)) => for_each_expr(e, f),
+        Stmt::Block(b) => for_each_expr_in_block(b, f),
+        Stmt::Return(None)
+        | Stmt::Break
+        | Stmt::Continue
+        | Stmt::Goto(_)
+        | Stmt::Label(_)
+        | Stmt::Empty => {}
+    }
+}
+
+/// Calls `f` on an expression and all of its sub-expressions (pre-order).
+pub fn for_each_expr(expr: &Expr, f: &mut impl FnMut(&Expr)) {
+    f(expr);
+    match expr {
+        Expr::IntLit(_) | Expr::Var(_) => {}
+        Expr::Index { base, index } => {
+            for_each_expr(base, f);
+            for_each_expr(index, f);
+        }
+        Expr::Unary { expr, .. } | Expr::AddrOf(expr) | Expr::Cast { expr, .. } => {
+            for_each_expr(expr, f);
+        }
+        Expr::Binary { lhs, rhs, .. } => {
+            for_each_expr(lhs, f);
+            for_each_expr(rhs, f);
+        }
+        Expr::Assign { target, value, .. } => {
+            for_each_expr(target, f);
+            for_each_expr(value, f);
+        }
+        Expr::Call { args, .. } => {
+            for arg in args {
+                for_each_expr(arg, f);
+            }
+        }
+        Expr::Ternary {
+            cond,
+            then_expr,
+            else_expr,
+        } => {
+            for_each_expr(cond, f);
+            for_each_expr(then_expr, f);
+            for_each_expr(else_expr, f);
+        }
+    }
+}
+
+/// Calls `f` on every statement (pre-order) in a block, recursing into nested
+/// blocks and loop/branch bodies.
+pub fn for_each_stmt_in_block(block: &Block, f: &mut impl FnMut(&Stmt)) {
+    for stmt in &block.stmts {
+        for_each_stmt(stmt, f);
+    }
+}
+
+/// Calls `f` on a statement and all statements nested inside it (pre-order).
+pub fn for_each_stmt(stmt: &Stmt, f: &mut impl FnMut(&Stmt)) {
+    f(stmt);
+    match stmt {
+        Stmt::If {
+            then_branch,
+            else_branch,
+            ..
+        } => {
+            for_each_stmt_in_block(then_branch, f);
+            if let Some(else_branch) = else_branch {
+                for_each_stmt_in_block(else_branch, f);
+            }
+        }
+        Stmt::For { init, body, .. } => {
+            if let Some(init) = init {
+                for_each_stmt(init, f);
+            }
+            for_each_stmt_in_block(body, f);
+        }
+        Stmt::While { body, .. } => for_each_stmt_in_block(body, f),
+        Stmt::Block(b) => for_each_stmt_in_block(b, f),
+        _ => {}
+    }
+}
+
+/// Rewrites every expression in a block bottom-up using `f`.
+pub fn map_exprs_in_block(block: Block, f: &impl Fn(Expr) -> Expr) -> Block {
+    Block {
+        stmts: block
+            .stmts
+            .into_iter()
+            .map(|s| map_exprs_in_stmt(s, f))
+            .collect(),
+    }
+}
+
+/// Rewrites every expression in a statement bottom-up using `f`.
+pub fn map_exprs_in_stmt(stmt: Stmt, f: &impl Fn(Expr) -> Expr) -> Stmt {
+    match stmt {
+        Stmt::Decl { ty, name, init } => Stmt::Decl {
+            ty,
+            name,
+            init: init.map(|e| map_expr(e, f)),
+        },
+        Stmt::Expr(e) => Stmt::Expr(map_expr(e, f)),
+        Stmt::If {
+            cond,
+            then_branch,
+            else_branch,
+        } => Stmt::If {
+            cond: map_expr(cond, f),
+            then_branch: map_exprs_in_block(then_branch, f),
+            else_branch: else_branch.map(|b| map_exprs_in_block(b, f)),
+        },
+        Stmt::For {
+            init,
+            cond,
+            step,
+            body,
+        } => Stmt::For {
+            init: init.map(|s| Box::new(map_exprs_in_stmt(*s, f))),
+            cond: cond.map(|e| map_expr(e, f)),
+            step: step.map(|e| map_expr(e, f)),
+            body: map_exprs_in_block(body, f),
+        },
+        Stmt::While { cond, body } => Stmt::While {
+            cond: map_expr(cond, f),
+            body: map_exprs_in_block(body, f),
+        },
+        Stmt::Return(e) => Stmt::Return(e.map(|e| map_expr(e, f))),
+        Stmt::Block(b) => Stmt::Block(map_exprs_in_block(b, f)),
+        other @ (Stmt::Break
+        | Stmt::Continue
+        | Stmt::Goto(_)
+        | Stmt::Label(_)
+        | Stmt::Empty) => other,
+    }
+}
+
+/// Rewrites an expression bottom-up: children first, then `f` on the rebuilt
+/// node.
+pub fn map_expr(expr: Expr, f: &impl Fn(Expr) -> Expr) -> Expr {
+    let rebuilt = match expr {
+        Expr::IntLit(_) | Expr::Var(_) => expr,
+        Expr::Index { base, index } => Expr::Index {
+            base: Box::new(map_expr(*base, f)),
+            index: Box::new(map_expr(*index, f)),
+        },
+        Expr::Unary { op, expr } => Expr::Unary {
+            op,
+            expr: Box::new(map_expr(*expr, f)),
+        },
+        Expr::Binary { op, lhs, rhs } => Expr::Binary {
+            op,
+            lhs: Box::new(map_expr(*lhs, f)),
+            rhs: Box::new(map_expr(*rhs, f)),
+        },
+        Expr::Assign { op, target, value } => Expr::Assign {
+            op,
+            target: Box::new(map_expr(*target, f)),
+            value: Box::new(map_expr(*value, f)),
+        },
+        Expr::Call { callee, args } => Expr::Call {
+            callee,
+            args: args.into_iter().map(|a| map_expr(a, f)).collect(),
+        },
+        Expr::Cast { ty, expr } => Expr::Cast {
+            ty,
+            expr: Box::new(map_expr(*expr, f)),
+        },
+        Expr::AddrOf(expr) => Expr::AddrOf(Box::new(map_expr(*expr, f))),
+        Expr::Ternary {
+            cond,
+            then_expr,
+            else_expr,
+        } => Expr::Ternary {
+            cond: Box::new(map_expr(*cond, f)),
+            then_expr: Box::new(map_expr(*then_expr, f)),
+            else_expr: Box::new(map_expr(*else_expr, f)),
+        },
+    };
+    f(rebuilt)
+}
+
+/// Replaces every read of the variable `name` with `replacement`.
+///
+/// Assignment *targets* named `name` are left untouched, mirroring how loop
+/// unrolling substitutes the current value of the induction variable into the
+/// body without renaming stores to it.
+pub fn substitute_var_reads(block: Block, name: &str, replacement: &Expr) -> Block {
+    map_exprs_in_block(block, &|e| match e {
+        Expr::Var(ref v) if v == name => replacement.clone(),
+        Expr::Assign { op, target, value } => {
+            // `map_expr` is bottom-up, so the target has already been
+            // substituted; undo the substitution for a plain variable target.
+            let target = match *target {
+                ref t if *t == *replacement => Box::new(Expr::Var(name.to_string())),
+                t => Box::new(t),
+            };
+            Expr::Assign { op, target, value }
+        }
+        other => other,
+    })
+}
+
+/// Renames every occurrence of variable `from` (reads and writes) to `to`.
+pub fn rename_var(block: Block, from: &str, to: &str) -> Block {
+    map_exprs_in_block(block, &|e| match e {
+        Expr::Var(ref v) if v == from => Expr::Var(to.to_string()),
+        other => other,
+    })
+}
+
+/// Collects the names of all variables read or written anywhere in the block.
+pub fn collect_var_names(block: &Block) -> Vec<String> {
+    let mut names = Vec::new();
+    for_each_expr_in_block(block, &mut |e| {
+        if let Expr::Var(name) = e {
+            if !names.contains(name) {
+                names.push(name.clone());
+            }
+        }
+    });
+    names
+}
+
+/// Collects every call-expression callee name in the function.
+pub fn collect_callees(func: &Function) -> Vec<String> {
+    let mut callees = Vec::new();
+    for_each_expr_in_block(&func.body, &mut |e| {
+        if let Expr::Call { callee, .. } = e {
+            if !callees.contains(callee) {
+                callees.push(callee.clone());
+            }
+        }
+    });
+    callees
+}
+
+/// Counts the statements in a function, recursing into nested bodies.
+/// Used as a rough "size of the kernel" metric in reports.
+pub fn count_stmts(func: &Function) -> usize {
+    let mut n = 0;
+    for_each_stmt_in_block(&func.body, &mut |_| n += 1);
+    n
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::{AssignOp, BinOp};
+    use crate::parser::parse_function;
+
+    fn body(src: &str) -> (Function, Block) {
+        let f = parse_function(src).unwrap();
+        let b = f.body.clone();
+        (f, b)
+    }
+
+    #[test]
+    fn for_each_expr_visits_subexpressions() {
+        let (_, b) = body("void f(int n, int *a) { a[n + 1] = n * 2; }");
+        let mut count = 0;
+        for_each_expr_in_block(&b, &mut |_| count += 1);
+        // Assign, Index, Var a, Binary n+1, Var n, 1, Binary n*2, Var n, 2.
+        assert_eq!(count, 9);
+    }
+
+    #[test]
+    fn collect_var_names_dedupes() {
+        let (_, b) = body("void f(int n, int *a) { a[n] = a[n] + n; }");
+        let names = collect_var_names(&b);
+        assert_eq!(names, vec!["a".to_string(), "n".to_string()]);
+    }
+
+    #[test]
+    fn collect_callees_finds_intrinsics() {
+        let f = parse_function(
+            "void f(int *a) { __m256i x = _mm256_set1_epi32(3); _mm256_storeu_si256((__m256i *)&a[0], x); }",
+        )
+        .unwrap();
+        assert_eq!(
+            collect_callees(&f),
+            vec!["_mm256_set1_epi32".to_string(), "_mm256_storeu_si256".to_string()]
+        );
+    }
+
+    #[test]
+    fn substitute_var_reads_preserves_store_targets() {
+        let (_, b) = body("void f(int i, int *a) { i = i + 1; a[i] = i; }");
+        let replaced = substitute_var_reads(b, "i", &Expr::lit(4));
+        // The read of i on the right-hand sides becomes 4, the assignment
+        // target `i` stays a variable.
+        match &replaced.stmts[0] {
+            Stmt::Expr(Expr::Assign { op, target, value }) => {
+                assert_eq!(*op, AssignOp::Assign);
+                assert_eq!(**target, Expr::var("i"));
+                assert_eq!(**value, Expr::bin(BinOp::Add, Expr::lit(4), Expr::lit(1)));
+            }
+            other => panic!("unexpected {:?}", other),
+        }
+        match &replaced.stmts[1] {
+            Stmt::Expr(Expr::Assign { target, value, .. }) => {
+                assert_eq!(**target, Expr::index(Expr::var("a"), Expr::lit(4)));
+                assert_eq!(**value, Expr::lit(4));
+            }
+            other => panic!("unexpected {:?}", other),
+        }
+    }
+
+    #[test]
+    fn rename_var_renames_reads_and_writes() {
+        let (_, b) = body("void f(int i, int *a) { i = i + 1; a[i] = 0; }");
+        let renamed = rename_var(b, "i", "k");
+        let names = collect_var_names(&renamed);
+        assert!(names.contains(&"k".to_string()));
+        assert!(!names.contains(&"i".to_string()));
+    }
+
+    #[test]
+    fn count_stmts_recurses() {
+        let f = parse_function(
+            "void f(int n, int *a) { for (int i = 0; i < n; i++) { if (a[i] > 0) { a[i] = 0; } } }",
+        )
+        .unwrap();
+        // for, decl (init), if, assignment
+        assert_eq!(count_stmts(&f), 4);
+    }
+
+    #[test]
+    fn map_exprs_constant_fold_example() {
+        let (_, b) = body("void f(int *a) { a[1 + 2] = 5; }");
+        let folded = map_exprs_in_block(b, &|e| match e {
+            Expr::Binary { op: BinOp::Add, ref lhs, ref rhs } => {
+                match (lhs.as_int_lit(), rhs.as_int_lit()) {
+                    (Some(a), Some(b)) => Expr::lit(a + b),
+                    _ => e,
+                }
+            }
+            other => other,
+        });
+        match &folded.stmts[0] {
+            Stmt::Expr(Expr::Assign { target, .. }) => {
+                assert_eq!(**target, Expr::index(Expr::var("a"), Expr::lit(3)));
+            }
+            other => panic!("unexpected {:?}", other),
+        }
+    }
+}

@@ -1,0 +1,43 @@
+//! # lv-core — the end-to-end LLM-Vectorizer pipeline and experiment drivers
+//!
+//! This crate ties the substrates together into the system the paper
+//! describes and provides one driver per table/figure of the evaluation:
+//!
+//! * [`pipeline`] — Algorithm 1 ([`check_equivalence`]): checksum testing
+//!   followed by Alive2-style unrolling, C-level unrolling and spatial
+//!   splitting;
+//! * [`passk`] — the pass@k estimator of Section 4.1.2;
+//! * [`experiments`] — drivers regenerating Table 2 ([`table2`]), Figure 5
+//!   ([`figure5`]), Table 3 ([`table3`]), Figure 1(c) ([`figure1`]),
+//!   Figure 6 ([`figure6`]) and the Section 4.4 FSM evaluation
+//!   ([`fsm_evaluation`]).
+//!
+//! # Examples
+//!
+//! ```
+//! use lv_core::{check_equivalence, Equivalence, PipelineConfig};
+//! use lv_agents::vectorize_correct;
+//! use lv_cir::parse_function;
+//!
+//! let scalar = parse_function(
+//!     "void s000(int n, int *a, int *b) { for (int i = 0; i < n; i++) { a[i] = b[i] + 1; } }",
+//! )?;
+//! let candidate = vectorize_correct(&scalar)?;
+//! let report = check_equivalence(&scalar, &candidate, &PipelineConfig::default());
+//! assert_eq!(report.verdict, Equivalence::Equivalent);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod passk;
+pub mod pipeline;
+
+pub use experiments::{
+    figure1, figure5, figure6, fsm_evaluation, scale_to_paper, table2, table3, ExperimentConfig,
+    Figure5, FsmEvaluation, KernelVerdict, SpeedupFigure, SpeedupRow, Table2, Table2Column,
+    Table3, Table3Row,
+};
+pub use passk::{pass_at_k, pass_at_k_curve};
+pub use pipeline::{check_equivalence, Equivalence, EquivalenceReport, PipelineConfig, Stage};

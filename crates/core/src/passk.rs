@@ -1,0 +1,76 @@
+//! The pass@k metric (Chen et al. 2021), adapted as in Section 4.1.2: a
+//! completion "passes" when checksum-based testing labels it `Plausible`.
+
+/// The unbiased pass@k estimator for a single problem: given `n` samples of
+/// which `c` are correct, `pass@k = 1 - C(n-c, k) / C(n, k)`.
+pub fn pass_at_k(n: usize, c: usize, k: usize) -> f64 {
+    if k == 0 || n == 0 {
+        return 0.0;
+    }
+    if c == 0 {
+        return 0.0;
+    }
+    if n.saturating_sub(c) < k {
+        return 1.0;
+    }
+    // 1 - prod_{i=n-c+1..=n} (1 - k / i)
+    let mut prod = 1.0f64;
+    for i in (n - c + 1)..=n {
+        prod *= 1.0 - k as f64 / i as f64;
+    }
+    1.0 - prod
+}
+
+/// Averages pass@k over a set of problems for each requested `k`.
+pub fn pass_at_k_curve(correct_per_problem: &[usize], n: usize, ks: &[usize]) -> Vec<(usize, f64)> {
+    ks.iter()
+        .map(|&k| {
+            let mean = if correct_per_problem.is_empty() {
+                0.0
+            } else {
+                correct_per_problem
+                    .iter()
+                    .map(|&c| pass_at_k(n, c, k))
+                    .sum::<f64>()
+                    / correct_per_problem.len() as f64
+            };
+            (k, mean)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn boundary_cases() {
+        assert_eq!(pass_at_k(10, 0, 5), 0.0);
+        assert_eq!(pass_at_k(10, 10, 1), 1.0);
+        assert_eq!(pass_at_k(0, 0, 1), 0.0);
+        assert_eq!(pass_at_k(10, 3, 0), 0.0);
+    }
+
+    #[test]
+    fn matches_closed_form_for_single_sample() {
+        // With n samples, c correct, k = 1 the estimator equals c / n.
+        for (n, c) in [(10usize, 3usize), (20, 7), (100, 42)] {
+            let estimate = pass_at_k(n, c, 1);
+            assert!((estimate - c as f64 / n as f64).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn monotone_in_k_and_c() {
+        assert!(pass_at_k(10, 3, 5) > pass_at_k(10, 3, 1));
+        assert!(pass_at_k(10, 5, 3) > pass_at_k(10, 2, 3));
+        assert_eq!(pass_at_k(10, 3, 8), 1.0, "k > n - c forces a hit");
+    }
+
+    #[test]
+    fn curve_averages_problems() {
+        let curve = pass_at_k_curve(&[0, 10], 10, &[1, 5]);
+        assert_eq!(curve[0], (1, 0.5));
+        assert_eq!(curve[1], (5, 0.5));
+    }
+}

@@ -1,0 +1,374 @@
+//! Checksum-based testing (Section 2.1 of the paper).
+//!
+//! The harness initializes the input arrays randomly, executes the scalar
+//! function and the vectorized candidate on identical copies of the inputs,
+//! and compares the outputs. A candidate that fails to type check is
+//! `CannotCompile`; a candidate whose outputs differ on any trial is
+//! `NotEquivalent`; otherwise it is `Plausible` — the same three-way
+//! classification as Table 2.
+
+use crate::error::ExecError;
+use crate::exec::{run_function, ArgBindings, ExecConfig};
+use lv_cir::ast::{Function, Type};
+use lv_cir::typecheck::type_check;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Configuration for the checksum harness.
+#[derive(Debug, Clone)]
+pub struct ChecksumConfig {
+    /// The loop upper bound supplied for every scalar `int` parameter
+    /// (unless overridden). Deliberately *not* a multiple of the vector
+    /// width so that missing scalar epilogues are caught.
+    pub n: i32,
+    /// Number of random trials with different array contents.
+    pub trials: u32,
+    /// RNG seed, so experiments are reproducible.
+    pub seed: u64,
+    /// Extra elements allocated past `n` in every array. The slack is
+    /// initialized identically for both runs and compared afterwards, so a
+    /// candidate that overruns the logical length is caught either by the
+    /// comparison or by the out-of-bounds detector.
+    pub slack: usize,
+    /// Range of random initial values, inclusive of the endpoints.
+    pub value_range: (i32, i32),
+    /// Per-parameter overrides for scalar arguments.
+    pub scalar_overrides: HashMap<String, i32>,
+    /// Execution limits.
+    pub exec: ExecConfig,
+}
+
+impl Default for ChecksumConfig {
+    fn default() -> Self {
+        ChecksumConfig {
+            n: 100,
+            trials: 3,
+            seed: 0x5eed,
+            slack: 8,
+            value_range: (-100, 100),
+            scalar_overrides: HashMap::new(),
+            exec: ExecConfig::default(),
+        }
+    }
+}
+
+/// Why a pair of programs was found not equivalent.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Mismatch {
+    /// Which array differs.
+    pub array: String,
+    /// First differing index.
+    pub index: usize,
+    /// Value produced by the scalar (reference) program.
+    pub expected: i32,
+    /// Value produced by the vectorized candidate.
+    pub actual: i32,
+    /// Trial number (0-based) on which the mismatch was found.
+    pub trial: u32,
+}
+
+impl fmt::Display for Mismatch {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}[{}]: expected {} but the vectorized code produced {} (trial {})",
+            self.array, self.index, self.expected, self.actual, self.trial
+        )
+    }
+}
+
+/// The outcome of checksum-based testing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ChecksumOutcome {
+    /// All trials produced identical outputs; the candidate is possibly
+    /// correct and proceeds to symbolic verification.
+    Plausible,
+    /// Outputs differed, or the candidate hit fatal UB that the scalar
+    /// program did not.
+    NotEquivalent {
+        /// First mismatch found, if the difference was a value difference.
+        mismatch: Option<Mismatch>,
+        /// Human-readable description (also used as agent feedback).
+        reason: String,
+    },
+    /// The candidate does not type check ("cannot compile").
+    CannotCompile {
+        /// The compiler-style diagnostic.
+        error: String,
+    },
+    /// The *scalar* program itself failed to execute; the test is unusable.
+    ScalarExecutionFailed {
+        /// The interpreter error.
+        error: String,
+    },
+}
+
+impl ChecksumOutcome {
+    /// Returns `true` for the `Plausible` outcome.
+    pub fn is_plausible(&self) -> bool {
+        matches!(self, ChecksumOutcome::Plausible)
+    }
+}
+
+/// The full report of a checksum run, including the checksums themselves
+/// (sums over the output arrays, which is what the TSVC harness prints).
+#[derive(Debug, Clone)]
+pub struct ChecksumReport {
+    /// Classification of the candidate.
+    pub outcome: ChecksumOutcome,
+    /// Checksum (wrapping sum of all output array elements) of the scalar
+    /// program on the last trial, when it ran successfully.
+    pub scalar_checksum: Option<i64>,
+    /// Checksum of the candidate on the last trial, when it ran successfully.
+    pub vector_checksum: Option<i64>,
+    /// Number of trials executed.
+    pub trials_run: u32,
+}
+
+/// Runs checksum-based testing of `vectorized` against the reference
+/// `scalar` kernel.
+///
+/// Both functions must take the same parameters (this is how the pipeline
+/// constructs candidates); parameters present in only one of the two are
+/// still bound, so mismatched signatures fail type checking or execution
+/// rather than panicking.
+pub fn checksum_test(
+    scalar: &Function,
+    vectorized: &Function,
+    config: &ChecksumConfig,
+) -> ChecksumReport {
+    // "Compilation" of the candidate.
+    if let Err(err) = type_check(vectorized) {
+        return ChecksumReport {
+            outcome: ChecksumOutcome::CannotCompile {
+                error: err.to_string(),
+            },
+            scalar_checksum: None,
+            vector_checksum: None,
+            trials_run: 0,
+        };
+    }
+
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut scalar_checksum = None;
+    let mut vector_checksum = None;
+
+    for trial in 0..config.trials {
+        let args = random_bindings(scalar, vectorized, config, &mut rng);
+
+        let scalar_result = match run_function(scalar, &args, &config.exec) {
+            Ok(r) => r,
+            Err(err) => {
+                return ChecksumReport {
+                    outcome: ChecksumOutcome::ScalarExecutionFailed {
+                        error: err.to_string(),
+                    },
+                    scalar_checksum,
+                    vector_checksum,
+                    trials_run: trial,
+                }
+            }
+        };
+
+        let vector_result = match run_function(vectorized, &args, &config.exec) {
+            Ok(r) => r,
+            Err(err) => {
+                let reason = match &err {
+                    ExecError::Ub(event) => format!(
+                        "the vectorized code triggered {} that the scalar code does not",
+                        event
+                    ),
+                    other => format!("the vectorized code failed to execute: {}", other),
+                };
+                return ChecksumReport {
+                    outcome: ChecksumOutcome::NotEquivalent {
+                        mismatch: None,
+                        reason,
+                    },
+                    scalar_checksum,
+                    vector_checksum,
+                    trials_run: trial + 1,
+                };
+            }
+        };
+
+        scalar_checksum = Some(checksum_of(&scalar_result.arrays));
+        vector_checksum = Some(checksum_of(&vector_result.arrays));
+
+        for (name, expected) in &scalar_result.arrays {
+            let Some(actual) = vector_result.arrays.get(name) else {
+                continue;
+            };
+            if let Some(index) = expected.iter().zip(actual.iter()).position(|(a, b)| a != b) {
+                let mismatch = Mismatch {
+                    array: name.clone(),
+                    index,
+                    expected: expected[index],
+                    actual: actual[index],
+                    trial,
+                };
+                let reason = mismatch.to_string();
+                return ChecksumReport {
+                    outcome: ChecksumOutcome::NotEquivalent {
+                        mismatch: Some(mismatch),
+                        reason,
+                    },
+                    scalar_checksum,
+                    vector_checksum,
+                    trials_run: trial + 1,
+                };
+            }
+        }
+    }
+
+    ChecksumReport {
+        outcome: ChecksumOutcome::Plausible,
+        scalar_checksum,
+        vector_checksum,
+        trials_run: config.trials,
+    }
+}
+
+/// Builds a single set of random bindings that satisfies the parameters of
+/// both functions.
+fn random_bindings(
+    scalar: &Function,
+    vectorized: &Function,
+    config: &ChecksumConfig,
+    rng: &mut StdRng,
+) -> ArgBindings {
+    let mut args = ArgBindings::new();
+    let len = config.n as usize + config.slack;
+    let (lo, hi) = config.value_range;
+    for func in [scalar, vectorized] {
+        for param in &func.params {
+            match &param.ty {
+                Type::Int => {
+                    let value = config
+                        .scalar_overrides
+                        .get(&param.name)
+                        .copied()
+                        .unwrap_or(config.n);
+                    args.scalars.entry(param.name.clone()).or_insert(value);
+                }
+                Type::Ptr(_) => {
+                    args.arrays
+                        .entry(param.name.clone())
+                        .or_insert_with(|| (0..len).map(|_| rng.gen_range(lo..=hi)).collect());
+                }
+                _ => {}
+            }
+        }
+    }
+    args
+}
+
+fn checksum_of(arrays: &HashMap<String, Vec<i32>>) -> i64 {
+    let mut names: Vec<&String> = arrays.keys().collect();
+    names.sort();
+    let mut sum: i64 = 0;
+    for name in names {
+        for &v in &arrays[name] {
+            sum = sum.wrapping_add(v as i64);
+        }
+    }
+    sum
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lv_cir::parse_function;
+
+    const SCALAR: &str =
+        "void s000(int n, int *a, int *b) { for (int i = 0; i < n; i++) { a[i] = b[i] + 1; } }";
+
+    const VECTOR_OK: &str = "void s000(int n, int *a, int *b) { int i; for (i = 0; i + 8 <= n; i += 8) { __m256i x = _mm256_loadu_si256((__m256i *)&b[i]); _mm256_storeu_si256((__m256i *)&a[i], _mm256_add_epi32(x, _mm256_set1_epi32(1))); } for (; i < n; i++) { a[i] = b[i] + 1; } }";
+
+    /// Missing the scalar epilogue: the last `n % 8` elements are never written.
+    const VECTOR_NO_EPILOGUE: &str = "void s000(int n, int *a, int *b) { int i; for (i = 0; i + 8 <= n; i += 8) { __m256i x = _mm256_loadu_si256((__m256i *)&b[i]); _mm256_storeu_si256((__m256i *)&a[i], _mm256_add_epi32(x, _mm256_set1_epi32(1))); } }";
+
+    /// Uses an unknown intrinsic, so it cannot compile.
+    const VECTOR_BAD_CALL: &str = "void s000(int n, int *a, int *b) { __m256i x = _mm256_frobnicate(_mm256_set1_epi32(1)); }";
+
+    fn cfg() -> ChecksumConfig {
+        ChecksumConfig {
+            trials: 2,
+            ..ChecksumConfig::default()
+        }
+    }
+
+    #[test]
+    fn correct_candidate_is_plausible() {
+        let scalar = parse_function(SCALAR).unwrap();
+        let vector = parse_function(VECTOR_OK).unwrap();
+        let report = checksum_test(&scalar, &vector, &cfg());
+        assert!(report.outcome.is_plausible(), "{:?}", report.outcome);
+        assert_eq!(report.scalar_checksum, report.vector_checksum);
+        assert_eq!(report.trials_run, 2);
+    }
+
+    #[test]
+    fn missing_epilogue_is_caught() {
+        let scalar = parse_function(SCALAR).unwrap();
+        let vector = parse_function(VECTOR_NO_EPILOGUE).unwrap();
+        let report = checksum_test(&scalar, &vector, &cfg());
+        match report.outcome {
+            ChecksumOutcome::NotEquivalent { mismatch, .. } => {
+                let m = mismatch.expect("value mismatch expected");
+                assert_eq!(m.array, "a");
+                assert!(m.index >= 96, "mismatch should be in the tail, got {}", m.index);
+            }
+            other => panic!("expected NotEquivalent, got {:?}", other),
+        }
+    }
+
+    #[test]
+    fn unknown_intrinsic_cannot_compile() {
+        let scalar = parse_function(SCALAR).unwrap();
+        let vector = parse_function(VECTOR_BAD_CALL).unwrap();
+        let report = checksum_test(&scalar, &vector, &cfg());
+        assert!(matches!(
+            report.outcome,
+            ChecksumOutcome::CannotCompile { .. }
+        ));
+    }
+
+    #[test]
+    fn candidate_ub_is_not_equivalent() {
+        let scalar = parse_function(SCALAR).unwrap();
+        // Reads 8 lanes starting at n-1: out of bounds beyond the slack.
+        let vector = parse_function(
+            "void s000(int n, int *a, int *b) { __m256i x = _mm256_loadu_si256((__m256i *)&b[n + 4]); _mm256_storeu_si256((__m256i *)&a[0], x); }",
+        )
+        .unwrap();
+        let report = checksum_test(&scalar, &vector, &cfg());
+        match report.outcome {
+            ChecksumOutcome::NotEquivalent { reason, .. } => {
+                assert!(reason.contains("out-of-bounds"), "{}", reason);
+            }
+            other => panic!("expected NotEquivalent, got {:?}", other),
+        }
+    }
+
+    #[test]
+    fn identical_functions_are_plausible() {
+        let scalar = parse_function(SCALAR).unwrap();
+        let report = checksum_test(&scalar, &scalar, &cfg());
+        assert!(report.outcome.is_plausible());
+    }
+
+    #[test]
+    fn scalar_overrides_are_applied() {
+        let scalar = parse_function(
+            "void f(int n, int m, int *a) { for (int i = 0; i < n; i++) { a[i] = m; } }",
+        )
+        .unwrap();
+        let mut config = cfg();
+        config.scalar_overrides.insert("m".into(), 7);
+        let report = checksum_test(&scalar, &scalar, &config);
+        assert!(report.outcome.is_plausible());
+    }
+}

@@ -1,0 +1,311 @@
+//! Name-based dispatch for the *pure* (register-only) AVX2 intrinsics.
+//!
+//! Memory intrinsics (`_mm256_loadu_si256`, `_mm256_storeu_si256`,
+//! `_mm256_maskload_epi32`, `_mm256_maskstore_epi32`) need a memory model and
+//! are handled by the interpreter and the symbolic executor directly; this
+//! module evaluates everything else from argument values alone, so the
+//! concrete and symbolic engines share a single source of truth for lane
+//! semantics.
+
+use crate::vector::{I32x8, LANES};
+use std::error::Error;
+use std::fmt;
+
+/// An argument to a pure intrinsic: either a scalar or a vector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SimdArg {
+    /// A scalar `int` argument (immediates, `set1` inputs).
+    Scalar(i32),
+    /// A `__m256i` argument.
+    Vector(I32x8),
+}
+
+impl SimdArg {
+    fn scalar(self) -> Result<i32, SimdError> {
+        match self {
+            SimdArg::Scalar(v) => Ok(v),
+            SimdArg::Vector(_) => Err(SimdError::new("expected a scalar argument")),
+        }
+    }
+
+    fn vector(self) -> Result<I32x8, SimdError> {
+        match self {
+            SimdArg::Vector(v) => Ok(v),
+            SimdArg::Scalar(_) => Err(SimdError::new("expected a vector argument")),
+        }
+    }
+}
+
+impl From<i32> for SimdArg {
+    fn from(v: i32) -> Self {
+        SimdArg::Scalar(v)
+    }
+}
+
+impl From<I32x8> for SimdArg {
+    fn from(v: I32x8) -> Self {
+        SimdArg::Vector(v)
+    }
+}
+
+/// The result of a pure intrinsic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SimdValue {
+    /// A scalar result (`_mm256_extract_epi32`, `_mm256_movemask_epi8`).
+    Scalar(i32),
+    /// A vector result.
+    Vector(I32x8),
+}
+
+impl SimdValue {
+    /// The vector payload.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value is a scalar; callers match on the intrinsic
+    /// signature first.
+    pub fn unwrap_vector(self) -> I32x8 {
+        match self {
+            SimdValue::Vector(v) => v,
+            SimdValue::Scalar(s) => panic!("expected vector result, got scalar {}", s),
+        }
+    }
+
+    /// The scalar payload.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value is a vector.
+    pub fn unwrap_scalar(self) -> i32 {
+        match self {
+            SimdValue::Scalar(s) => s,
+            SimdValue::Vector(v) => panic!("expected scalar result, got vector {}", v),
+        }
+    }
+}
+
+/// An error evaluating an intrinsic: unknown name, wrong arity or wrong
+/// argument kinds.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SimdError {
+    message: String,
+}
+
+impl SimdError {
+    fn new(message: impl Into<String>) -> SimdError {
+        SimdError {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for SimdError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "simd evaluation error: {}", self.message)
+    }
+}
+
+impl Error for SimdError {}
+
+/// Returns `true` if `name` is a memory intrinsic that the dispatcher does
+/// *not* handle.
+pub fn is_memory_intrinsic(name: &str) -> bool {
+    matches!(
+        name,
+        "_mm256_loadu_si256"
+            | "_mm256_storeu_si256"
+            | "_mm256_maskload_epi32"
+            | "_mm256_maskstore_epi32"
+    )
+}
+
+/// Evaluates a pure AVX2 intrinsic on concrete arguments.
+///
+/// # Errors
+///
+/// Returns [`SimdError`] for unknown intrinsics, memory intrinsics, wrong
+/// argument counts or wrong argument kinds.
+pub fn eval_intrinsic(name: &str, args: &[SimdArg]) -> Result<SimdValue, SimdError> {
+    let require = |n: usize| -> Result<(), SimdError> {
+        if args.len() == n {
+            Ok(())
+        } else {
+            Err(SimdError::new(format!(
+                "`{}` expects {} arguments, got {}",
+                name,
+                n,
+                args.len()
+            )))
+        }
+    };
+    let vec2 = |f: fn(I32x8, I32x8) -> I32x8| -> Result<SimdValue, SimdError> {
+        require(2)?;
+        Ok(SimdValue::Vector(f(args[0].vector()?, args[1].vector()?)))
+    };
+
+    match name {
+        "_mm256_setzero_si256" => {
+            require(0)?;
+            Ok(SimdValue::Vector(I32x8::zero()))
+        }
+        "_mm256_set1_epi32" => {
+            require(1)?;
+            Ok(SimdValue::Vector(I32x8::splat(args[0].scalar()?)))
+        }
+        "_mm256_setr_epi32" | "_mm256_set_epi32" => {
+            require(LANES)?;
+            let mut lanes = [0i32; LANES];
+            for (slot, arg) in lanes.iter_mut().zip(args.iter()) {
+                *slot = arg.scalar()?;
+            }
+            let v = if name == "_mm256_setr_epi32" {
+                I32x8::from_lanes(lanes)
+            } else {
+                I32x8::from_lanes_reversed(lanes)
+            };
+            Ok(SimdValue::Vector(v))
+        }
+        "_mm256_add_epi32" => vec2(I32x8::add),
+        "_mm256_sub_epi32" => vec2(I32x8::sub),
+        "_mm256_mullo_epi32" => vec2(I32x8::mullo),
+        "_mm256_and_si256" => vec2(I32x8::and),
+        "_mm256_or_si256" => vec2(I32x8::or),
+        "_mm256_xor_si256" => vec2(I32x8::xor),
+        "_mm256_andnot_si256" => vec2(I32x8::andnot),
+        "_mm256_max_epi32" => vec2(I32x8::max),
+        "_mm256_min_epi32" => vec2(I32x8::min),
+        "_mm256_cmpgt_epi32" => vec2(I32x8::cmpgt),
+        "_mm256_cmpeq_epi32" => vec2(I32x8::cmpeq),
+        "_mm256_hadd_epi32" => vec2(I32x8::hadd),
+        "_mm256_permutevar8x32_epi32" => vec2(I32x8::permutevar),
+        "_mm256_abs_epi32" => {
+            require(1)?;
+            Ok(SimdValue::Vector(args[0].vector()?.abs()))
+        }
+        "_mm256_blendv_epi8" => {
+            require(3)?;
+            Ok(SimdValue::Vector(args[0].vector()?.blendv(
+                args[1].vector()?,
+                args[2].vector()?,
+            )))
+        }
+        "_mm256_slli_epi32" => {
+            require(2)?;
+            Ok(SimdValue::Vector(args[0].vector()?.shl(args[1].scalar()?)))
+        }
+        "_mm256_srli_epi32" => {
+            require(2)?;
+            Ok(SimdValue::Vector(
+                args[0].vector()?.shr_logical(args[1].scalar()?),
+            ))
+        }
+        "_mm256_srai_epi32" => {
+            require(2)?;
+            Ok(SimdValue::Vector(
+                args[0].vector()?.shr_arith(args[1].scalar()?),
+            ))
+        }
+        "_mm256_shuffle_epi32" => {
+            require(2)?;
+            Ok(SimdValue::Vector(
+                args[0].vector()?.shuffle(args[1].scalar()?),
+            ))
+        }
+        "_mm256_permute2x128_si256" => {
+            require(3)?;
+            Ok(SimdValue::Vector(args[0].vector()?.permute2x128(
+                args[1].vector()?,
+                args[2].scalar()?,
+            )))
+        }
+        "_mm256_extract_epi32" => {
+            require(2)?;
+            Ok(SimdValue::Scalar(
+                args[0].vector()?.extract(args[1].scalar()?),
+            ))
+        }
+        "_mm256_insert_epi32" => {
+            require(3)?;
+            Ok(SimdValue::Vector(
+                args[0]
+                    .vector()?
+                    .insert(args[1].scalar()?, args[2].scalar()?),
+            ))
+        }
+        "_mm256_movemask_epi8" => {
+            require(1)?;
+            Ok(SimdValue::Scalar(args[0].vector()?.movemask_epi8()))
+        }
+        other if is_memory_intrinsic(other) => Err(SimdError::new(format!(
+            "`{}` accesses memory and must be handled by the interpreter",
+            other
+        ))),
+        other => Err(SimdError::new(format!("unknown intrinsic `{}`", other))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(lanes: [i32; 8]) -> SimdArg {
+        SimdArg::Vector(I32x8::from_lanes(lanes))
+    }
+
+    #[test]
+    fn dispatch_add() {
+        let r = eval_intrinsic(
+            "_mm256_add_epi32",
+            &[v([1, 2, 3, 4, 5, 6, 7, 8]), v([10, 20, 30, 40, 50, 60, 70, 80])],
+        )
+        .unwrap();
+        assert_eq!(
+            r.unwrap_vector().lanes(),
+            [11, 22, 33, 44, 55, 66, 77, 88]
+        );
+    }
+
+    #[test]
+    fn dispatch_set1_and_setr() {
+        let r = eval_intrinsic("_mm256_set1_epi32", &[SimdArg::Scalar(5)]).unwrap();
+        assert_eq!(r.unwrap_vector(), I32x8::splat(5));
+        let args: Vec<SimdArg> = (1..=8).map(SimdArg::Scalar).collect();
+        let r = eval_intrinsic("_mm256_setr_epi32", &args).unwrap();
+        assert_eq!(r.unwrap_vector().lanes(), [1, 2, 3, 4, 5, 6, 7, 8]);
+        let r = eval_intrinsic("_mm256_set_epi32", &args).unwrap();
+        assert_eq!(r.unwrap_vector().lanes(), [8, 7, 6, 5, 4, 3, 2, 1]);
+    }
+
+    #[test]
+    fn dispatch_scalar_results() {
+        let r = eval_intrinsic(
+            "_mm256_extract_epi32",
+            &[v([1, 2, 3, 4, 5, 6, 7, 8]), SimdArg::Scalar(2)],
+        )
+        .unwrap();
+        assert_eq!(r.unwrap_scalar(), 3);
+    }
+
+    #[test]
+    fn wrong_arity_is_an_error() {
+        assert!(eval_intrinsic("_mm256_add_epi32", &[v([0; 8])]).is_err());
+    }
+
+    #[test]
+    fn wrong_kind_is_an_error() {
+        assert!(eval_intrinsic("_mm256_add_epi32", &[SimdArg::Scalar(1), SimdArg::Scalar(2)]).is_err());
+    }
+
+    #[test]
+    fn memory_intrinsics_are_rejected() {
+        let err = eval_intrinsic("_mm256_loadu_si256", &[SimdArg::Scalar(0)]).unwrap_err();
+        assert!(err.to_string().contains("memory"));
+        assert!(is_memory_intrinsic("_mm256_storeu_si256"));
+        assert!(!is_memory_intrinsic("_mm256_add_epi32"));
+    }
+
+    #[test]
+    fn unknown_intrinsic_is_an_error() {
+        assert!(eval_intrinsic("_mm256_nonexistent", &[]).is_err());
+    }
+}

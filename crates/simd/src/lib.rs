@@ -1,0 +1,31 @@
+//! # lv-simd — AVX2 value model for the LLM-Vectorizer reproduction
+//!
+//! The paper's vectorized candidates use AVX2 compiler intrinsics over
+//! `__m256i` values. This crate provides an executable model of those
+//! values and operations:
+//!
+//! * [`I32x8`] — a 256-bit vector of eight `i32` lanes with methods matching
+//!   the Intel intrinsics (wrapping arithmetic, byte-wise blends, in-lane and
+//!   cross-lane shuffles);
+//! * [`eval_intrinsic`] — name-based dispatch used by both the concrete
+//!   interpreter (`lv-interp`) and the symbolic lane expansion in `lv-tv`.
+//!
+//! # Examples
+//!
+//! ```
+//! use lv_simd::{eval_intrinsic, I32x8, SimdArg};
+//!
+//! let a = I32x8::from_lanes([1, 2, 3, 4, 5, 6, 7, 8]);
+//! let b = I32x8::splat(10);
+//! let sum = eval_intrinsic("_mm256_add_epi32", &[a.into(), b.into()])?;
+//! assert_eq!(sum.unwrap_vector().lanes(), [11, 12, 13, 14, 15, 16, 17, 18]);
+//! # Ok::<(), lv_simd::SimdError>(())
+//! ```
+
+#![warn(missing_docs)]
+
+mod dispatch;
+mod vector;
+
+pub use dispatch::{eval_intrinsic, is_memory_intrinsic, SimdArg, SimdError, SimdValue};
+pub use vector::{I32x8, LANES};

@@ -1,0 +1,688 @@
+//! Tseitin bit-blasting of QF_BV terms into CNF.
+//!
+//! Every bitvector term is lowered to a vector of SAT literals (LSB first);
+//! every boolean term to a single literal. The encodings are the textbook
+//! ones: ripple-carry adders, shift-and-add multipliers, barrel shifters,
+//! restoring dividers and subtract-based comparators.
+
+use crate::sat::{Lit, SatSolver};
+use crate::term::{Context, Op, Sort, TermId};
+use std::collections::HashMap;
+
+/// The bit-level encoding of a term.
+#[derive(Debug, Clone)]
+pub enum Bits {
+    /// A boolean term.
+    Bool(Lit),
+    /// A bitvector term, least-significant bit first.
+    Bv(Vec<Lit>),
+}
+
+impl Bits {
+    fn as_bool(&self) -> Lit {
+        match self {
+            Bits::Bool(l) => *l,
+            Bits::Bv(_) => panic!("expected a boolean encoding"),
+        }
+    }
+
+    fn as_bv(&self) -> &[Lit] {
+        match self {
+            Bits::Bv(bits) => bits,
+            Bits::Bool(_) => panic!("expected a bitvector encoding"),
+        }
+    }
+}
+
+/// Bit-blasts terms from a [`Context`] into a [`SatSolver`].
+pub struct BitBlaster<'a> {
+    ctx: &'a Context,
+    sat: &'a mut SatSolver,
+    cache: HashMap<TermId, Bits>,
+    true_lit: Lit,
+    /// Bit literals of every free bitvector variable, for model extraction.
+    var_bits: HashMap<String, Vec<Lit>>,
+    /// Literal of every free boolean variable.
+    var_bools: HashMap<String, Lit>,
+}
+
+impl<'a> BitBlaster<'a> {
+    /// Creates a bit-blaster targeting the given SAT solver.
+    pub fn new(ctx: &'a Context, sat: &'a mut SatSolver) -> Self {
+        let t = sat.new_var();
+        let true_lit = Lit::pos(t);
+        sat.add_clause(&[true_lit]);
+        BitBlaster {
+            ctx,
+            sat,
+            cache: HashMap::new(),
+            true_lit,
+            var_bits: HashMap::new(),
+            var_bools: HashMap::new(),
+        }
+    }
+
+    /// The literals of each free bitvector variable encountered so far.
+    pub fn var_bits(&self) -> &HashMap<String, Vec<Lit>> {
+        &self.var_bits
+    }
+
+    /// The literal of each free boolean variable encountered so far.
+    pub fn var_bools(&self) -> &HashMap<String, Lit> {
+        &self.var_bools
+    }
+
+    /// Asserts a boolean term.
+    pub fn assert(&mut self, term: TermId) {
+        let lit = self.blast(term).as_bool();
+        self.sat.add_clause(&[lit]);
+    }
+
+    fn const_lit(&self, value: bool) -> Lit {
+        if value {
+            self.true_lit
+        } else {
+            self.true_lit.negate()
+        }
+    }
+
+    fn fresh(&mut self) -> Lit {
+        Lit::pos(self.sat.new_var())
+    }
+
+    // ---- gates ---------------------------------------------------------------
+
+    fn and_gate(&mut self, a: Lit, b: Lit) -> Lit {
+        if a == self.const_lit(false) || b == self.const_lit(false) {
+            return self.const_lit(false);
+        }
+        if a == self.const_lit(true) {
+            return b;
+        }
+        if b == self.const_lit(true) {
+            return a;
+        }
+        if a == b {
+            return a;
+        }
+        if a == b.negate() {
+            return self.const_lit(false);
+        }
+        let o = self.fresh();
+        self.sat.add_clause(&[a.negate(), b.negate(), o]);
+        self.sat.add_clause(&[a, o.negate()]);
+        self.sat.add_clause(&[b, o.negate()]);
+        o
+    }
+
+    fn or_gate(&mut self, a: Lit, b: Lit) -> Lit {
+        self.and_gate(a.negate(), b.negate()).negate()
+    }
+
+    fn xor_gate(&mut self, a: Lit, b: Lit) -> Lit {
+        if a == self.const_lit(false) {
+            return b;
+        }
+        if b == self.const_lit(false) {
+            return a;
+        }
+        if a == self.const_lit(true) {
+            return b.negate();
+        }
+        if b == self.const_lit(true) {
+            return a.negate();
+        }
+        if a == b {
+            return self.const_lit(false);
+        }
+        if a == b.negate() {
+            return self.const_lit(true);
+        }
+        let o = self.fresh();
+        self.sat.add_clause(&[a.negate(), b.negate(), o.negate()]);
+        self.sat.add_clause(&[a, b, o.negate()]);
+        self.sat.add_clause(&[a.negate(), b, o]);
+        self.sat.add_clause(&[a, b.negate(), o]);
+        o
+    }
+
+    fn mux_gate(&mut self, cond: Lit, then_l: Lit, else_l: Lit) -> Lit {
+        if then_l == else_l {
+            return then_l;
+        }
+        if cond == self.const_lit(true) {
+            return then_l;
+        }
+        if cond == self.const_lit(false) {
+            return else_l;
+        }
+        let o = self.fresh();
+        self.sat.add_clause(&[cond.negate(), then_l.negate(), o]);
+        self.sat.add_clause(&[cond.negate(), then_l, o.negate()]);
+        self.sat.add_clause(&[cond, else_l.negate(), o]);
+        self.sat.add_clause(&[cond, else_l, o.negate()]);
+        o
+    }
+
+    fn full_adder(&mut self, a: Lit, b: Lit, cin: Lit) -> (Lit, Lit) {
+        let ab = self.xor_gate(a, b);
+        let sum = self.xor_gate(ab, cin);
+        let c1 = self.and_gate(a, b);
+        let c2 = self.and_gate(ab, cin);
+        let cout = self.or_gate(c1, c2);
+        (sum, cout)
+    }
+
+    /// Ripple-carry addition; returns (sum bits, carry out).
+    fn adder(&mut self, a: &[Lit], b: &[Lit], mut carry: Lit) -> (Vec<Lit>, Lit) {
+        let mut out = Vec::with_capacity(a.len());
+        for i in 0..a.len() {
+            let (sum, cout) = self.full_adder(a[i], b[i], carry);
+            out.push(sum);
+            carry = cout;
+        }
+        (out, carry)
+    }
+
+    fn negate_bv(&mut self, a: &[Lit]) -> Vec<Lit> {
+        let not_a: Vec<Lit> = a.iter().map(|l| l.negate()).collect();
+        let zeros = vec![self.const_lit(false); a.len()];
+        let one = self.const_lit(true);
+        self.adder(&not_a, &zeros, one).0
+    }
+
+    fn sub(&mut self, a: &[Lit], b: &[Lit]) -> (Vec<Lit>, Lit) {
+        // a - b = a + ~b + 1; the final carry is 1 iff a >= b (unsigned).
+        let not_b: Vec<Lit> = b.iter().map(|l| l.negate()).collect();
+        let one = self.const_lit(true);
+        self.adder(a, &not_b, one)
+    }
+
+    fn mul(&mut self, a: &[Lit], b: &[Lit]) -> Vec<Lit> {
+        let w = a.len();
+        let mut acc = vec![self.const_lit(false); w];
+        for i in 0..w {
+            // addend = (b << i) AND-ed with a[i], truncated to w bits.
+            let mut addend = vec![self.const_lit(false); w];
+            for j in 0..(w - i) {
+                addend[i + j] = self.and_gate(a[i], b[j]);
+            }
+            let zero = self.const_lit(false);
+            acc = self.adder(&acc, &addend, zero).0;
+        }
+        acc
+    }
+
+    fn shift(&mut self, a: &[Lit], amount: &[Lit], kind: ShiftKind) -> Vec<Lit> {
+        let w = a.len();
+        let stages = usize::BITS - (w - 1).leading_zeros(); // log2(w)
+        let fill = match kind {
+            ShiftKind::Shl | ShiftKind::Lshr => self.const_lit(false),
+            ShiftKind::Ashr => a[w - 1],
+        };
+        let mut current: Vec<Lit> = a.to_vec();
+        for stage in 0..stages as usize {
+            let dist = 1usize << stage;
+            let sel = amount[stage];
+            let mut next = Vec::with_capacity(w);
+            for i in 0..w {
+                let shifted = match kind {
+                    ShiftKind::Shl => {
+                        if i >= dist {
+                            current[i - dist]
+                        } else {
+                            fill
+                        }
+                    }
+                    ShiftKind::Lshr | ShiftKind::Ashr => {
+                        if i + dist < w {
+                            current[i + dist]
+                        } else {
+                            fill
+                        }
+                    }
+                };
+                next.push(self.mux_gate(sel, shifted, current[i]));
+            }
+            current = next;
+        }
+        // If any shift bit at or above log2(w) is set, the result saturates.
+        let mut overshoot = self.const_lit(false);
+        for &bit in amount.iter().skip(stages as usize) {
+            overshoot = self.or_gate(overshoot, bit);
+        }
+        let saturated: Vec<Lit> = (0..w).map(|_| fill).collect();
+        (0..w)
+            .map(|i| self.mux_gate(overshoot, saturated[i], current[i]))
+            .collect()
+    }
+
+    /// Restoring unsigned division; returns (quotient, remainder) with the
+    /// SMT-LIB convention for division by zero.
+    fn udiv_urem(&mut self, a: &[Lit], b: &[Lit]) -> (Vec<Lit>, Vec<Lit>) {
+        let w = a.len();
+        let mut remainder = vec![self.const_lit(false); w];
+        let mut quotient = vec![self.const_lit(false); w];
+        for i in (0..w).rev() {
+            // remainder = (remainder << 1) | a[i]
+            remainder.rotate_right(1);
+            remainder[0] = a[i];
+            // ge = remainder >= b  (unsigned), diff = remainder - b
+            let (diff, carry) = self.sub(&remainder, b);
+            quotient[i] = carry;
+            remainder = (0..w)
+                .map(|k| self.mux_gate(carry, diff[k], remainder[k]))
+                .collect();
+        }
+        // Division by zero: quotient = all ones, remainder = a.
+        let b_zero = self.is_zero(b);
+        let ones = vec![self.const_lit(true); w];
+        let q = (0..w)
+            .map(|k| self.mux_gate(b_zero, ones[k], quotient[k]))
+            .collect();
+        let r = (0..w)
+            .map(|k| self.mux_gate(b_zero, a[k], remainder[k]))
+            .collect();
+        (q, r)
+    }
+
+    fn is_zero(&mut self, a: &[Lit]) -> Lit {
+        let mut any = self.const_lit(false);
+        for &bit in a {
+            any = self.or_gate(any, bit);
+        }
+        any.negate()
+    }
+
+    fn eq_bv(&mut self, a: &[Lit], b: &[Lit]) -> Lit {
+        let mut all = self.const_lit(true);
+        for i in 0..a.len() {
+            let same = self.xor_gate(a[i], b[i]).negate();
+            all = self.and_gate(all, same);
+        }
+        all
+    }
+
+    fn ult(&mut self, a: &[Lit], b: &[Lit]) -> Lit {
+        // a < b  iff  a - b underflows  iff  carry out of (a + ~b + 1) is 0.
+        let (_, carry) = self.sub(a, b);
+        carry.negate()
+    }
+
+    fn slt(&mut self, a: &[Lit], b: &[Lit]) -> Lit {
+        let w = a.len();
+        let sa = a[w - 1];
+        let sb = b[w - 1];
+        let sign_differs = self.xor_gate(sa, sb);
+        // If signs differ, a < b iff a is negative. Otherwise use unsigned.
+        let unsigned = self.ult(a, b);
+        self.mux_gate(sign_differs, sa, unsigned)
+    }
+
+    fn abs(&mut self, a: &[Lit]) -> Vec<Lit> {
+        let w = a.len();
+        let sign = a[w - 1];
+        let neg = self.negate_bv(a);
+        (0..w).map(|i| self.mux_gate(sign, neg[i], a[i])).collect()
+    }
+
+    // ---- term lowering ---------------------------------------------------------
+
+    /// Lowers a term (memoized).
+    pub fn blast(&mut self, term: TermId) -> Bits {
+        if let Some(bits) = self.cache.get(&term) {
+            return bits.clone();
+        }
+        let data = self.ctx.term(term).clone();
+        let arg = |i: usize| data.args[i];
+        let result = match &data.op {
+            Op::BoolConst(b) => Bits::Bool(self.const_lit(*b)),
+            Op::BvConst { value, width } => {
+                let bits = (0..*width)
+                    .map(|i| self.const_lit((value >> i) & 1 == 1))
+                    .collect();
+                Bits::Bv(bits)
+            }
+            Op::Var { name, sort } => match sort {
+                Sort::Bool => {
+                    let lit = *self
+                        .var_bools
+                        .entry(name.clone())
+                        .or_insert_with(|| Lit::pos(self.sat.new_var()));
+                    Bits::Bool(lit)
+                }
+                Sort::BitVec(w) => {
+                    if !self.var_bits.contains_key(name) {
+                        let bits: Vec<Lit> =
+                            (0..*w).map(|_| Lit::pos(self.sat.new_var())).collect();
+                        self.var_bits.insert(name.clone(), bits);
+                    }
+                    Bits::Bv(self.var_bits[name].clone())
+                }
+            },
+            Op::Not => {
+                let a = self.blast(arg(0)).as_bool();
+                Bits::Bool(a.negate())
+            }
+            Op::And => {
+                let a = self.blast(arg(0)).as_bool();
+                let b = self.blast(arg(1)).as_bool();
+                Bits::Bool(self.and_gate(a, b))
+            }
+            Op::Or => {
+                let a = self.blast(arg(0)).as_bool();
+                let b = self.blast(arg(1)).as_bool();
+                Bits::Bool(self.or_gate(a, b))
+            }
+            Op::Xor => {
+                let a = self.blast(arg(0)).as_bool();
+                let b = self.blast(arg(1)).as_bool();
+                Bits::Bool(self.xor_gate(a, b))
+            }
+            Op::Implies => {
+                let a = self.blast(arg(0)).as_bool();
+                let b = self.blast(arg(1)).as_bool();
+                Bits::Bool(self.or_gate(a.negate(), b))
+            }
+            Op::Ite => {
+                let c = self.blast(arg(0)).as_bool();
+                let t = self.blast(arg(1));
+                let e = self.blast(arg(2));
+                match (t, e) {
+                    (Bits::Bool(t), Bits::Bool(e)) => Bits::Bool(self.mux_gate(c, t, e)),
+                    (Bits::Bv(t), Bits::Bv(e)) => Bits::Bv(
+                        (0..t.len())
+                            .map(|i| self.mux_gate(c, t[i], e[i]))
+                            .collect(),
+                    ),
+                    _ => panic!("ite branches have different encodings"),
+                }
+            }
+            Op::Eq => {
+                let a = self.blast(arg(0));
+                let b = self.blast(arg(1));
+                match (a, b) {
+                    (Bits::Bool(a), Bits::Bool(b)) => Bits::Bool(self.xor_gate(a, b).negate()),
+                    (Bits::Bv(a), Bits::Bv(b)) => Bits::Bool(self.eq_bv(&a, &b)),
+                    _ => panic!("eq operands have different encodings"),
+                }
+            }
+            Op::BvAdd => {
+                let a = self.blast(arg(0)).as_bv().to_vec();
+                let b = self.blast(arg(1)).as_bv().to_vec();
+                let zero = self.const_lit(false);
+                Bits::Bv(self.adder(&a, &b, zero).0)
+            }
+            Op::BvSub => {
+                let a = self.blast(arg(0)).as_bv().to_vec();
+                let b = self.blast(arg(1)).as_bv().to_vec();
+                Bits::Bv(self.sub(&a, &b).0)
+            }
+            Op::BvMul => {
+                let a = self.blast(arg(0)).as_bv().to_vec();
+                let b = self.blast(arg(1)).as_bv().to_vec();
+                Bits::Bv(self.mul(&a, &b))
+            }
+            Op::BvNeg => {
+                let a = self.blast(arg(0)).as_bv().to_vec();
+                Bits::Bv(self.negate_bv(&a))
+            }
+            Op::BvAnd | Op::BvOr | Op::BvXor => {
+                let a = self.blast(arg(0)).as_bv().to_vec();
+                let b = self.blast(arg(1)).as_bv().to_vec();
+                let bits = (0..a.len())
+                    .map(|i| match data.op {
+                        Op::BvAnd => self.and_gate(a[i], b[i]),
+                        Op::BvOr => self.or_gate(a[i], b[i]),
+                        _ => self.xor_gate(a[i], b[i]),
+                    })
+                    .collect();
+                Bits::Bv(bits)
+            }
+            Op::BvNot => {
+                let a = self.blast(arg(0)).as_bv().to_vec();
+                Bits::Bv(a.iter().map(|l| l.negate()).collect())
+            }
+            Op::BvShl | Op::BvLshr | Op::BvAshr => {
+                let a = self.blast(arg(0)).as_bv().to_vec();
+                let b = self.blast(arg(1)).as_bv().to_vec();
+                let kind = match data.op {
+                    Op::BvShl => ShiftKind::Shl,
+                    Op::BvLshr => ShiftKind::Lshr,
+                    _ => ShiftKind::Ashr,
+                };
+                Bits::Bv(self.shift(&a, &b, kind))
+            }
+            Op::BvUdiv => {
+                let a = self.blast(arg(0)).as_bv().to_vec();
+                let b = self.blast(arg(1)).as_bv().to_vec();
+                Bits::Bv(self.udiv_urem(&a, &b).0)
+            }
+            Op::BvUrem => {
+                let a = self.blast(arg(0)).as_bv().to_vec();
+                let b = self.blast(arg(1)).as_bv().to_vec();
+                Bits::Bv(self.udiv_urem(&a, &b).1)
+            }
+            Op::BvSdiv | Op::BvSrem => {
+                let a = self.blast(arg(0)).as_bv().to_vec();
+                let b = self.blast(arg(1)).as_bv().to_vec();
+                let w = a.len();
+                let abs_a = self.abs(&a);
+                let abs_b = self.abs(&b);
+                let (q, r) = self.udiv_urem(&abs_a, &abs_b);
+                if data.op == Op::BvSdiv {
+                    // Quotient is negative when operand signs differ.
+                    let neg_q = self.negate_bv(&q);
+                    let differ = self.xor_gate(a[w - 1], b[w - 1]);
+                    Bits::Bv((0..w).map(|i| self.mux_gate(differ, neg_q[i], q[i])).collect())
+                } else {
+                    // Remainder takes the dividend's sign (C semantics).
+                    let neg_r = self.negate_bv(&r);
+                    let a_neg = a[w - 1];
+                    Bits::Bv((0..w).map(|i| self.mux_gate(a_neg, neg_r[i], r[i])).collect())
+                }
+            }
+            Op::BvUlt => {
+                let a = self.blast(arg(0)).as_bv().to_vec();
+                let b = self.blast(arg(1)).as_bv().to_vec();
+                Bits::Bool(self.ult(&a, &b))
+            }
+            Op::BvSlt => {
+                let a = self.blast(arg(0)).as_bv().to_vec();
+                let b = self.blast(arg(1)).as_bv().to_vec();
+                Bits::Bool(self.slt(&a, &b))
+            }
+            Op::BvSle => {
+                let a = self.blast(arg(0)).as_bv().to_vec();
+                let b = self.blast(arg(1)).as_bv().to_vec();
+                let lt = self.slt(&a, &b);
+                let eq = self.eq_bv(&a, &b);
+                Bits::Bool(self.or_gate(lt, eq))
+            }
+        };
+        self.cache.insert(term, result.clone());
+        result
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ShiftKind {
+    Shl,
+    Lshr,
+    Ashr,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sat::{SatBudget, SatResult};
+    use crate::term::sign_extend;
+
+    /// Checks that `lhs op rhs == expected` is satisfiable and its negation
+    /// is unsatisfiable (i.e. the circuit computes the expected value).
+    fn assert_circuit(build: impl Fn(&mut Context) -> (TermId, u64)) {
+        let mut ctx = Context::new();
+        let (term, expected) = build(&mut ctx);
+        let width = ctx.sort(term).width();
+        let expected_term = ctx.bv_const(expected, width);
+        // The equality must be valid: its negation is UNSAT.
+        let eq = ctx.eq(term, expected_term);
+        let neq = ctx.not(eq);
+
+        let mut sat = SatSolver::new();
+        let mut blaster = BitBlaster::new(&ctx, &mut sat);
+        blaster.assert(neq);
+        assert_eq!(
+            sat.solve(&SatBudget::default()),
+            SatResult::Unsat,
+            "circuit disagrees with the expected constant"
+        );
+    }
+
+    /// Builds the term with fresh variables constrained to constants via
+    /// assertions, so the circuit (not the constant folder) is exercised.
+    fn var_pair(ctx: &mut Context, a: i32, b: i32) -> (TermId, TermId, TermId) {
+        let x = ctx.bv_var("x", 32);
+        let y = ctx.bv_var("y", 32);
+        let ca = ctx.bv32(a);
+        let cb = ctx.bv32(b);
+        let ex = ctx.eq(x, ca);
+        let ey = ctx.eq(y, cb);
+        let both = ctx.and(ex, ey);
+        (x, y, both)
+    }
+
+    fn check_binop(
+        a: i32,
+        b: i32,
+        expected: i64,
+        op: impl Fn(&mut Context, TermId, TermId) -> TermId,
+    ) {
+        let mut ctx = Context::new();
+        let (x, y, pre) = var_pair(&mut ctx, a, b);
+        let result = op(&mut ctx, x, y);
+        let expected_t = ctx.bv_const(expected as u64, 32);
+        let eq = ctx.eq(result, expected_t);
+        let neq = ctx.not(eq);
+        let query = ctx.and(pre, neq);
+
+        let mut sat = SatSolver::new();
+        let mut blaster = BitBlaster::new(&ctx, &mut sat);
+        blaster.assert(query);
+        assert_eq!(
+            sat.solve(&SatBudget::default()),
+            SatResult::Unsat,
+            "{} op {} should equal {}",
+            a,
+            b,
+            expected
+        );
+    }
+
+    #[test]
+    fn adder_and_subtractor_circuits() {
+        check_binop(13, 29, 42, |c, a, b| c.bv_add(a, b));
+        check_binop(-5, 3, -2, |c, a, b| c.bv_add(a, b));
+        check_binop(i32::MAX, 1, i32::MIN as i64, |c, a, b| c.bv_add(a, b));
+        check_binop(10, 4, 6, |c, a, b| c.bv_sub(a, b));
+        check_binop(3, 10, -7, |c, a, b| c.bv_sub(a, b));
+    }
+
+    #[test]
+    fn multiplier_circuit() {
+        check_binop(7, 6, 42, |c, a, b| c.bv_mul(a, b));
+        check_binop(-3, 5, -15, |c, a, b| c.bv_mul(a, b));
+        check_binop(65536, 65536, 0, |c, a, b| c.bv_mul(a, b));
+    }
+
+    #[test]
+    fn division_circuits() {
+        check_binop(42, 5, 8, |c, a, b| c.bv_sdiv(a, b));
+        check_binop(42, 5, 2, |c, a, b| c.bv_srem(a, b));
+        check_binop(-7, 2, -3, |c, a, b| c.bv_sdiv(a, b));
+        check_binop(-7, 2, -1, |c, a, b| c.bv_srem(a, b));
+        check_binop(7, -2, -3, |c, a, b| c.bv_sdiv(a, b));
+        check_binop(100, 8, 4, |c, a, b| c.bv_srem(a, b));
+    }
+
+    #[test]
+    fn shift_circuits() {
+        check_binop(1, 5, 32, |c, a, b| c.bv_shl(a, b));
+        check_binop(-8, 1, -4, |c, a, b| c.bv_ashr(a, b));
+        check_binop(-8, 1, ((-8i32 as u32) >> 1) as i64, |c, a, b| c.bv_lshr(a, b));
+        check_binop(1, 40, 0, |c, a, b| c.bv_shl(a, b));
+    }
+
+    #[test]
+    fn comparison_circuits() {
+        // slt(-1, 1) must be true: assert the negation and expect UNSAT.
+        let mut ctx = Context::new();
+        let (x, y, pre) = var_pair(&mut ctx, -1, 1);
+        let lt = ctx.bv_slt(x, y);
+        let not_lt = ctx.not(lt);
+        let query = ctx.and(pre, not_lt);
+        let mut sat = SatSolver::new();
+        let mut blaster = BitBlaster::new(&ctx, &mut sat);
+        blaster.assert(query);
+        assert_eq!(sat.solve(&SatBudget::default()), SatResult::Unsat);
+
+        // ult(-1, 1) must be false (0xffffffff is large unsigned).
+        let mut ctx = Context::new();
+        let (x, y, pre) = var_pair(&mut ctx, -1, 1);
+        let lt = ctx.bv_ult(x, y);
+        let query = ctx.and(pre, lt);
+        let mut sat = SatSolver::new();
+        let mut blaster = BitBlaster::new(&ctx, &mut sat);
+        blaster.assert(query);
+        assert_eq!(sat.solve(&SatBudget::default()), SatResult::Unsat);
+    }
+
+    #[test]
+    fn model_extraction_finds_solution() {
+        // x + y == 10 and x - y == 4  =>  x = 7, y = 3.
+        let mut ctx = Context::new();
+        let x = ctx.bv_var("x", 32);
+        let y = ctx.bv_var("y", 32);
+        let sum = ctx.bv_add(x, y);
+        let diff = ctx.bv_sub(x, y);
+        let ten = ctx.bv32(10);
+        let four = ctx.bv32(4);
+        let c1 = ctx.eq(sum, ten);
+        let c2 = ctx.eq(diff, four);
+        let query = ctx.and(c1, c2);
+
+        let mut sat = SatSolver::new();
+        let var_bits = {
+            let mut blaster = BitBlaster::new(&ctx, &mut sat);
+            blaster.assert(query);
+            blaster.var_bits().clone()
+        };
+        assert_eq!(sat.solve(&SatBudget::default()), SatResult::Sat);
+
+        let read = |name: &str, sat: &SatSolver| -> i64 {
+            let bits = &var_bits[name];
+            let mut value: u64 = 0;
+            for (i, lit) in bits.iter().enumerate() {
+                let bit = sat.model_value(lit.var()) ^ lit.is_neg();
+                if bit {
+                    value |= 1 << i;
+                }
+            }
+            sign_extend(value, 32)
+        };
+        let xv = read("x", &sat);
+        let yv = read("y", &sat);
+        assert_eq!(xv + yv, 10);
+        assert_eq!(xv - yv, 4);
+    }
+
+    #[test]
+    fn ite_selects_branch() {
+        assert_circuit(|ctx| {
+            let c = ctx.bool_const(true);
+            let a = ctx.bv32(5);
+            let b = ctx.bv32(9);
+            (ctx.ite(c, a, b), 5)
+        });
+    }
+}

@@ -1,0 +1,47 @@
+//! # lv-smt — a QF_BV SMT solver (bit-blasting + CDCL SAT)
+//!
+//! The paper verifies vectorizations by having Alive2 encode refinement
+//! queries into SMT-LIB and discharge them with Z3. Z3 is not available to
+//! this reproduction, so this crate provides the decision procedure the
+//! translation validator needs: quantifier-free bitvector formulas over
+//! 32-bit values, decided by Tseitin bit-blasting into CNF and a CDCL SAT
+//! solver. Resource budgets turn long-running queries into `Unknown`
+//! results, reproducing the timeout behaviour that motivates the paper's
+//! domain-specific optimizations (Sections 3.2 and 3.3).
+//!
+//! * [`term`] — hash-consed terms with constructor-time simplification
+//!   ([`Context`]);
+//! * [`bitblast`] — Tseitin encoding of the bitvector operations
+//!   ([`BitBlaster`]);
+//! * [`sat`] — the CDCL SAT solver ([`SatSolver`]);
+//! * [`solver`] — the user-facing facade ([`Solver`], [`CheckResult`],
+//!   [`Validity`]).
+//!
+//! # Examples
+//!
+//! ```
+//! use lv_smt::{Solver, SolverBudget, Validity};
+//!
+//! let mut solver = Solver::new();
+//! let x = solver.ctx.bv_var("x", 32);
+//! let y = solver.ctx.bv_var("y", 32);
+//! let lhs = solver.ctx.bv_add(x, y);
+//! let rhs = solver.ctx.bv_add(y, x);
+//! let commutes = solver.ctx.eq(lhs, rhs);
+//! assert_eq!(
+//!     solver.check_validity(commutes, &SolverBudget::default()),
+//!     Validity::Valid
+//! );
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod bitblast;
+pub mod sat;
+pub mod solver;
+pub mod term;
+
+pub use bitblast::{BitBlaster, Bits};
+pub use sat::{Lit, SatBudget, SatResult, SatSolver, SatStats, Var};
+pub use solver::{CheckResult, CheckStats, Model, Solver, SolverBudget, Validity};
+pub use term::{mask, sign_extend, Context, Op, Sort, TermData, TermId};

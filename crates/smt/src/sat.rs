@@ -1,0 +1,611 @@
+//! A CDCL SAT solver.
+//!
+//! This is the decision procedure at the bottom of the verification stack,
+//! playing the role Z3's SAT core plays for Alive2's queries. It implements
+//! the standard modern recipe: two-watched-literal propagation, first-UIP
+//! conflict analysis with clause learning, VSIDS-style variable activities,
+//! phase saving and geometric restarts. A conflict budget turns long-running
+//! queries into `Unknown`, which the translation validator reports as
+//! `Inconclusive` — the timeouts that motivate the paper's domain-specific
+//! optimizations.
+
+use std::collections::BinaryHeap;
+
+/// A propositional variable index (0-based).
+pub type Var = u32;
+
+/// A literal: a variable with a sign.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Lit(u32);
+
+impl Lit {
+    /// Creates a literal from a variable; `negated` selects the negative phase.
+    pub fn new(var: Var, negated: bool) -> Lit {
+        Lit(var << 1 | u32::from(negated))
+    }
+
+    /// A positive literal.
+    pub fn pos(var: Var) -> Lit {
+        Lit::new(var, false)
+    }
+
+    /// A negative literal.
+    pub fn neg(var: Var) -> Lit {
+        Lit::new(var, true)
+    }
+
+    /// The underlying variable.
+    pub fn var(self) -> Var {
+        self.0 >> 1
+    }
+
+    /// `true` if this is the negated phase.
+    pub fn is_neg(self) -> bool {
+        self.0 & 1 == 1
+    }
+
+    /// The opposite literal.
+    pub fn negate(self) -> Lit {
+        Lit(self.0 ^ 1)
+    }
+
+    /// Dense index used for watch lists.
+    fn code(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// The outcome of a SAT check.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SatResult {
+    /// A satisfying assignment was found.
+    Sat,
+    /// The formula is unsatisfiable.
+    Unsat,
+    /// The conflict budget was exhausted before a decision was reached.
+    Unknown,
+}
+
+/// Resource limits for a single `solve` call.
+#[derive(Debug, Clone, Copy)]
+pub struct SatBudget {
+    /// Maximum number of conflicts before giving up. `u64::MAX` means no limit.
+    pub max_conflicts: u64,
+}
+
+impl Default for SatBudget {
+    fn default() -> Self {
+        SatBudget {
+            max_conflicts: 2_000_000,
+        }
+    }
+}
+
+/// Statistics from the last `solve` call.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SatStats {
+    /// Number of decisions made.
+    pub decisions: u64,
+    /// Number of conflicts encountered.
+    pub conflicts: u64,
+    /// Number of literals propagated.
+    pub propagations: u64,
+    /// Number of restarts performed.
+    pub restarts: u64,
+}
+
+type ClauseRef = usize;
+
+/// The CDCL solver.
+#[derive(Debug, Default)]
+pub struct SatSolver {
+    clauses: Vec<Vec<Lit>>,
+    watches: Vec<Vec<ClauseRef>>,
+    assign: Vec<Option<bool>>,
+    level: Vec<u32>,
+    reason: Vec<Option<ClauseRef>>,
+    trail: Vec<Lit>,
+    trail_lim: Vec<usize>,
+    qhead: usize,
+    activity: Vec<f64>,
+    var_inc: f64,
+    heap: BinaryHeap<(OrderedActivity, Var)>,
+    phase: Vec<bool>,
+    /// Set when an empty clause has been added; the instance is trivially UNSAT.
+    unsat: bool,
+    /// Statistics from the most recent `solve` call.
+    pub stats: SatStats,
+    seen: Vec<bool>,
+}
+
+/// f64 wrapper with a total order for the activity heap.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct OrderedActivity(f64);
+
+impl Eq for OrderedActivity {}
+impl PartialOrd for OrderedActivity {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for OrderedActivity {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.partial_cmp(&other.0).unwrap_or(std::cmp::Ordering::Equal)
+    }
+}
+
+impl SatSolver {
+    /// Creates an empty solver.
+    pub fn new() -> SatSolver {
+        SatSolver {
+            var_inc: 1.0,
+            ..SatSolver::default()
+        }
+    }
+
+    /// Number of variables allocated so far.
+    pub fn num_vars(&self) -> usize {
+        self.assign.len()
+    }
+
+    /// Number of clauses (original plus learned).
+    pub fn num_clauses(&self) -> usize {
+        self.clauses.len()
+    }
+
+    /// Allocates a fresh variable and returns it.
+    pub fn new_var(&mut self) -> Var {
+        let var = self.assign.len() as Var;
+        self.assign.push(None);
+        self.level.push(0);
+        self.reason.push(None);
+        self.activity.push(0.0);
+        self.phase.push(false);
+        self.seen.push(false);
+        self.watches.push(Vec::new());
+        self.watches.push(Vec::new());
+        self.heap.push((OrderedActivity(0.0), var));
+        var
+    }
+
+    /// Adds a clause. Returns `false` if the clause is trivially unsatisfiable
+    /// at level 0 (the instance becomes UNSAT).
+    pub fn add_clause(&mut self, lits: &[Lit]) -> bool {
+        debug_assert_eq!(self.decision_level(), 0, "clauses are added before solving");
+        if self.unsat {
+            return false;
+        }
+        // Simplify: drop duplicate and false literals, detect tautologies and
+        // already-satisfied clauses.
+        let mut clause: Vec<Lit> = Vec::with_capacity(lits.len());
+        for &lit in lits {
+            match self.value(lit) {
+                Some(true) => return true,
+                Some(false) => continue,
+                None => {}
+            }
+            if clause.contains(&lit.negate()) {
+                return true;
+            }
+            if !clause.contains(&lit) {
+                clause.push(lit);
+            }
+        }
+        match clause.len() {
+            0 => {
+                self.unsat = true;
+                false
+            }
+            1 => {
+                if !self.enqueue(clause[0], None) {
+                    self.unsat = true;
+                    return false;
+                }
+                if self.propagate().is_some() {
+                    self.unsat = true;
+                    return false;
+                }
+                true
+            }
+            _ => {
+                self.attach_clause(clause);
+                true
+            }
+        }
+    }
+
+    fn attach_clause(&mut self, clause: Vec<Lit>) -> ClauseRef {
+        let cref = self.clauses.len();
+        self.watches[clause[0].negate().code()].push(cref);
+        self.watches[clause[1].negate().code()].push(cref);
+        self.clauses.push(clause);
+        cref
+    }
+
+    fn value(&self, lit: Lit) -> Option<bool> {
+        self.assign[lit.var() as usize].map(|v| v ^ lit.is_neg())
+    }
+
+    fn decision_level(&self) -> u32 {
+        self.trail_lim.len() as u32
+    }
+
+    fn enqueue(&mut self, lit: Lit, reason: Option<ClauseRef>) -> bool {
+        match self.value(lit) {
+            Some(true) => true,
+            Some(false) => false,
+            None => {
+                let var = lit.var() as usize;
+                self.assign[var] = Some(!lit.is_neg());
+                self.level[var] = self.decision_level();
+                self.reason[var] = reason;
+                self.phase[var] = !lit.is_neg();
+                self.trail.push(lit);
+                true
+            }
+        }
+    }
+
+    fn propagate(&mut self) -> Option<ClauseRef> {
+        while self.qhead < self.trail.len() {
+            let lit = self.trail[self.qhead];
+            self.qhead += 1;
+            self.stats.propagations += 1;
+            // Clauses watching ¬lit must be inspected.
+            let false_lit = lit.negate();
+            let mut watch_list = std::mem::take(&mut self.watches[lit.code()]);
+            let mut i = 0;
+            while i < watch_list.len() {
+                let cref = watch_list[i];
+                // Ensure the false literal is in position 1.
+                if self.clauses[cref][0] == false_lit {
+                    self.clauses[cref].swap(0, 1);
+                }
+                if self.value(self.clauses[cref][0]) == Some(true) {
+                    i += 1;
+                    continue;
+                }
+                // Look for a replacement watch.
+                let mut replaced = false;
+                for k in 2..self.clauses[cref].len() {
+                    if self.value(self.clauses[cref][k]) != Some(false) {
+                        self.clauses[cref].swap(1, k);
+                        let new_watch = self.clauses[cref][1];
+                        self.watches[new_watch.negate().code()].push(cref);
+                        watch_list.swap_remove(i);
+                        replaced = true;
+                        break;
+                    }
+                }
+                if replaced {
+                    continue;
+                }
+                // No replacement: the clause is unit or conflicting.
+                let first = self.clauses[cref][0];
+                if !self.enqueue(first, Some(cref)) {
+                    // Conflict: restore the remaining watches and report.
+                    self.watches[lit.code()] = watch_list;
+                    self.qhead = self.trail.len();
+                    return Some(cref);
+                }
+                i += 1;
+            }
+            self.watches[lit.code()] = watch_list;
+        }
+        None
+    }
+
+    fn bump_var(&mut self, var: Var) {
+        self.activity[var as usize] += self.var_inc;
+        if self.activity[var as usize] > 1e100 {
+            for a in &mut self.activity {
+                *a *= 1e-100;
+            }
+            self.var_inc *= 1e-100;
+        }
+        self.heap
+            .push((OrderedActivity(self.activity[var as usize]), var));
+    }
+
+    fn decay_activities(&mut self) {
+        self.var_inc /= 0.95;
+    }
+
+    fn analyze(&mut self, mut conflict: ClauseRef) -> (Vec<Lit>, u32) {
+        let mut learned: Vec<Lit> = vec![Lit::pos(0)]; // placeholder for the asserting literal
+        let mut counter = 0usize;
+        let mut lit: Option<Lit> = None;
+        let mut index = self.trail.len();
+
+        loop {
+            let clause = self.clauses[conflict].clone();
+            let start = usize::from(lit.is_some());
+            for k in start..clause.len() {
+                let q = clause[k];
+                let v = q.var() as usize;
+                if !self.seen[v] && self.level[v] > 0 {
+                    self.seen[v] = true;
+                    self.bump_var(q.var());
+                    if self.level[v] == self.decision_level() {
+                        counter += 1;
+                    } else {
+                        learned.push(q);
+                    }
+                }
+            }
+            // Find the next literal on the trail to resolve on.
+            loop {
+                index -= 1;
+                let p = self.trail[index];
+                if self.seen[p.var() as usize] {
+                    lit = Some(p);
+                    break;
+                }
+            }
+            let p = lit.expect("resolution literal");
+            self.seen[p.var() as usize] = false;
+            counter -= 1;
+            if counter == 0 {
+                learned[0] = p.negate();
+                break;
+            }
+            conflict = self.reason[p.var() as usize].expect("non-decision has a reason");
+        }
+
+        for l in &learned[1..] {
+            self.seen[l.var() as usize] = false;
+        }
+
+        // Backjump level: highest level among the non-asserting literals.
+        let backtrack_level = learned[1..]
+            .iter()
+            .map(|l| self.level[l.var() as usize])
+            .max()
+            .unwrap_or(0);
+        // Move a literal of the backjump level into watch position 1.
+        if learned.len() > 1 {
+            let (pos, _) = learned[1..]
+                .iter()
+                .enumerate()
+                .max_by_key(|(_, l)| self.level[l.var() as usize])
+                .expect("non-empty");
+            learned.swap(1, pos + 1);
+        }
+        (learned, backtrack_level)
+    }
+
+    fn backtrack(&mut self, level: u32) {
+        while self.decision_level() > level {
+            let start = self.trail_lim.pop().expect("level > 0");
+            for &lit in &self.trail[start..] {
+                let var = lit.var() as usize;
+                self.assign[var] = None;
+                self.reason[var] = None;
+                self.heap
+                    .push((OrderedActivity(self.activity[var]), lit.var()));
+            }
+            self.trail.truncate(start);
+        }
+        self.qhead = self.trail.len();
+    }
+
+    fn pick_branch_var(&mut self) -> Option<Var> {
+        // Lazy-deletion max-heap: entries may carry stale (older, lower)
+        // activities. Picking a var through a stale entry is a slightly
+        // suboptimal but perfectly sound decision, so any unassigned pop wins.
+        while let Some((_, var)) = self.heap.pop() {
+            if self.assign[var as usize].is_none() {
+                return Some(var);
+            }
+        }
+        // Heap exhausted (all entries consumed): fall back to a linear scan.
+        (0..self.num_vars() as Var).find(|&v| self.assign[v as usize].is_none())
+    }
+
+    /// Solves the formula under the given budget.
+    pub fn solve(&mut self, budget: &SatBudget) -> SatResult {
+        self.stats = SatStats::default();
+        if self.unsat {
+            return SatResult::Unsat;
+        }
+        if self.propagate().is_some() {
+            self.unsat = true;
+            return SatResult::Unsat;
+        }
+        let mut restart_limit = 100u64;
+        let mut conflicts_since_restart = 0u64;
+
+        loop {
+            if let Some(conflict) = self.propagate() {
+                self.stats.conflicts += 1;
+                conflicts_since_restart += 1;
+                if self.decision_level() == 0 {
+                    self.unsat = true;
+                    return SatResult::Unsat;
+                }
+                if self.stats.conflicts >= budget.max_conflicts {
+                    return SatResult::Unknown;
+                }
+                let (learned, backtrack_level) = self.analyze(conflict);
+                self.backtrack(backtrack_level);
+                if learned.len() == 1 {
+                    if !self.enqueue(learned[0], None) {
+                        self.unsat = true;
+                        return SatResult::Unsat;
+                    }
+                } else {
+                    let cref = self.attach_clause(learned);
+                    let assert_lit = self.clauses[cref][0];
+                    self.enqueue(assert_lit, Some(cref));
+                }
+                self.decay_activities();
+            } else {
+                if conflicts_since_restart >= restart_limit {
+                    conflicts_since_restart = 0;
+                    restart_limit = restart_limit + restart_limit / 2;
+                    self.stats.restarts += 1;
+                    self.backtrack(0);
+                    continue;
+                }
+                match self.pick_branch_var() {
+                    None => return SatResult::Sat,
+                    Some(var) => {
+                        self.stats.decisions += 1;
+                        self.trail_lim.push(self.trail.len());
+                        let lit = Lit::new(var, !self.phase[var as usize]);
+                        self.enqueue(lit, None);
+                    }
+                }
+            }
+        }
+    }
+
+    /// The value assigned to a variable by the last `Sat` result.
+    pub fn model_value(&self, var: Var) -> bool {
+        self.assign[var as usize].unwrap_or(false)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lit(v: i32) -> Lit {
+        if v > 0 {
+            Lit::pos((v - 1) as Var)
+        } else {
+            Lit::neg((-v - 1) as Var)
+        }
+    }
+
+    fn solver_with_vars(n: usize) -> SatSolver {
+        let mut s = SatSolver::new();
+        for _ in 0..n {
+            s.new_var();
+        }
+        s
+    }
+
+    #[test]
+    fn literal_encoding() {
+        let l = Lit::pos(3);
+        assert_eq!(l.var(), 3);
+        assert!(!l.is_neg());
+        assert!(l.negate().is_neg());
+        assert_eq!(l.negate().negate(), l);
+    }
+
+    #[test]
+    fn trivially_sat_and_unsat() {
+        let mut s = solver_with_vars(1);
+        s.add_clause(&[lit(1)]);
+        assert_eq!(s.solve(&SatBudget::default()), SatResult::Sat);
+        assert!(s.model_value(0));
+
+        let mut s = solver_with_vars(1);
+        s.add_clause(&[lit(1)]);
+        s.add_clause(&[lit(-1)]);
+        assert_eq!(s.solve(&SatBudget::default()), SatResult::Unsat);
+    }
+
+    #[test]
+    fn simple_implication_chain() {
+        // (¬1 ∨ 2) ∧ (¬2 ∨ 3) ∧ 1 ∧ ¬3 is UNSAT.
+        let mut s = solver_with_vars(3);
+        s.add_clause(&[lit(-1), lit(2)]);
+        s.add_clause(&[lit(-2), lit(3)]);
+        s.add_clause(&[lit(1)]);
+        s.add_clause(&[lit(-3)]);
+        assert_eq!(s.solve(&SatBudget::default()), SatResult::Unsat);
+    }
+
+    #[test]
+    fn satisfiable_3sat() {
+        let mut s = solver_with_vars(4);
+        s.add_clause(&[lit(1), lit(2), lit(3)]);
+        s.add_clause(&[lit(-1), lit(2), lit(4)]);
+        s.add_clause(&[lit(-2), lit(-3), lit(-4)]);
+        s.add_clause(&[lit(1), lit(-2), lit(4)]);
+        assert_eq!(s.solve(&SatBudget::default()), SatResult::Sat);
+        // Verify the model satisfies every clause.
+        let model: Vec<bool> = (0..4).map(|v| s.model_value(v)).collect();
+        let eval = |l: Lit| model[l.var() as usize] ^ l.is_neg();
+        for clause in [
+            vec![lit(1), lit(2), lit(3)],
+            vec![lit(-1), lit(2), lit(4)],
+            vec![lit(-2), lit(-3), lit(-4)],
+            vec![lit(1), lit(-2), lit(4)],
+        ] {
+            assert!(clause.iter().any(|&l| eval(l)));
+        }
+    }
+
+    #[test]
+    fn pigeonhole_three_pigeons_two_holes_is_unsat() {
+        // Variables p_{i,j}: pigeon i in hole j. 3 pigeons, 2 holes.
+        let mut s = solver_with_vars(6);
+        let p = |i: usize, j: usize| lit((i * 2 + j + 1) as i32);
+        // Every pigeon is in some hole.
+        for i in 0..3 {
+            s.add_clause(&[p(i, 0), p(i, 1)]);
+        }
+        // No two pigeons share a hole.
+        for j in 0..2 {
+            for i1 in 0..3 {
+                for i2 in (i1 + 1)..3 {
+                    s.add_clause(&[p(i1, j).negate(), p(i2, j).negate()]);
+                }
+            }
+        }
+        assert_eq!(s.solve(&SatBudget::default()), SatResult::Unsat);
+    }
+
+    #[test]
+    fn budget_produces_unknown() {
+        // A modest pigeonhole instance with an absurdly small conflict budget.
+        let pigeons = 7usize;
+        let holes = 6usize;
+        let mut s = solver_with_vars(pigeons * holes);
+        let p = |i: usize, j: usize| Lit::pos((i * holes + j) as Var);
+        for i in 0..pigeons {
+            let clause: Vec<Lit> = (0..holes).map(|j| p(i, j)).collect();
+            s.add_clause(&clause);
+        }
+        for j in 0..holes {
+            for i1 in 0..pigeons {
+                for i2 in (i1 + 1)..pigeons {
+                    s.add_clause(&[p(i1, j).negate(), p(i2, j).negate()]);
+                }
+            }
+        }
+        let result = s.solve(&SatBudget { max_conflicts: 5 });
+        assert_eq!(result, SatResult::Unknown);
+    }
+
+    #[test]
+    fn duplicate_and_tautological_clauses() {
+        let mut s = solver_with_vars(2);
+        // Tautology is dropped, duplicate literals collapse.
+        assert!(s.add_clause(&[lit(1), lit(-1)]));
+        assert!(s.add_clause(&[lit(2), lit(2)]));
+        assert_eq!(s.solve(&SatBudget::default()), SatResult::Sat);
+        assert!(s.model_value(1));
+    }
+
+    #[test]
+    fn empty_clause_is_unsat() {
+        let mut s = solver_with_vars(1);
+        assert!(!s.add_clause(&[]));
+        assert_eq!(s.solve(&SatBudget::default()), SatResult::Unsat);
+    }
+
+    #[test]
+    fn stats_are_populated() {
+        let mut s = solver_with_vars(3);
+        s.add_clause(&[lit(1), lit(2)]);
+        s.add_clause(&[lit(-1), lit(3)]);
+        s.add_clause(&[lit(-2), lit(-3)]);
+        assert_eq!(s.solve(&SatBudget::default()), SatResult::Sat);
+        assert!(s.stats.decisions + s.stats.propagations > 0);
+    }
+}

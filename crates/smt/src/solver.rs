@@ -1,0 +1,409 @@
+//! The user-facing solver: assert terms, check satisfiability, read models.
+//!
+//! This is the reproduction's stand-in for Z3 as used by Alive2: the
+//! translation validator builds one verification condition per query, asks
+//! for a model of its negation, and treats resource exhaustion as an
+//! inconclusive (timeout-like) answer.
+
+use crate::bitblast::BitBlaster;
+use crate::sat::{SatBudget, SatResult, SatSolver};
+use crate::term::{sign_extend, Context, Sort, TermId};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Resource limits for one `check` call.
+#[derive(Debug, Clone, Copy)]
+pub struct SolverBudget {
+    /// Maximum SAT conflicts before returning [`CheckResult::Unknown`].
+    pub max_conflicts: u64,
+    /// Maximum number of CNF clauses the bit-blaster may create before the
+    /// query is declared too large (models Alive2's memory-outs).
+    pub max_clauses: usize,
+}
+
+impl Default for SolverBudget {
+    fn default() -> Self {
+        SolverBudget {
+            max_conflicts: 500_000,
+            max_clauses: 4_000_000,
+        }
+    }
+}
+
+impl SolverBudget {
+    /// A small budget useful in tests and for the "out-of-the-box Alive2"
+    /// configuration that times out on hard queries.
+    pub fn tight() -> SolverBudget {
+        SolverBudget {
+            max_conflicts: 20_000,
+            max_clauses: 400_000,
+        }
+    }
+}
+
+/// A model: concrete values for the free variables of a satisfiable query.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Model {
+    values: HashMap<String, u64>,
+    widths: HashMap<String, u32>,
+    bools: HashMap<String, bool>,
+}
+
+impl Model {
+    /// The unsigned value of a bitvector variable, if it appears in the model.
+    pub fn value(&self, name: &str) -> Option<u64> {
+        self.values.get(name).copied()
+    }
+
+    /// The value of a 32-bit variable interpreted as a signed integer.
+    pub fn value_i32(&self, name: &str) -> Option<i32> {
+        self.values.get(name).map(|&v| {
+            let w = self.widths.get(name).copied().unwrap_or(32);
+            sign_extend(v, w) as i32
+        })
+    }
+
+    /// The value of a boolean variable.
+    pub fn bool_value(&self, name: &str) -> Option<bool> {
+        self.bools.get(name).copied()
+    }
+
+    /// All bitvector assignments, sorted by name (useful for counterexample
+    /// reports).
+    pub fn assignments(&self) -> Vec<(String, i64)> {
+        let mut out: Vec<(String, i64)> = self
+            .values
+            .iter()
+            .map(|(k, &v)| {
+                let w = self.widths.get(k).copied().unwrap_or(32);
+                (k.clone(), sign_extend(v, w))
+            })
+            .collect();
+        out.sort();
+        out
+    }
+}
+
+impl fmt::Display for Model {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (name, value) in self.assignments() {
+            writeln!(f, "{} = {}", name, value)?;
+        }
+        Ok(())
+    }
+}
+
+/// The result of a satisfiability check.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CheckResult {
+    /// Satisfiable, with a model of the free variables.
+    Sat(Box<Model>),
+    /// Unsatisfiable.
+    Unsat,
+    /// The budget was exhausted (the Alive2 analogue of timeout/memory-out).
+    Unknown(String),
+}
+
+impl CheckResult {
+    /// Returns `true` for `Unsat`.
+    pub fn is_unsat(&self) -> bool {
+        matches!(self, CheckResult::Unsat)
+    }
+
+    /// Returns `true` for `Sat`.
+    pub fn is_sat(&self) -> bool {
+        matches!(self, CheckResult::Sat(_))
+    }
+}
+
+/// Statistics reported by [`Solver::check`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CheckStats {
+    /// CNF variables created by bit-blasting.
+    pub cnf_vars: usize,
+    /// CNF clauses created by bit-blasting.
+    pub cnf_clauses: usize,
+    /// SAT conflicts.
+    pub conflicts: u64,
+    /// SAT decisions.
+    pub decisions: u64,
+}
+
+/// An incremental-style solver facade over the term [`Context`].
+#[derive(Debug, Default)]
+pub struct Solver {
+    /// The term context; build terms through this.
+    pub ctx: Context,
+    assertions: Vec<TermId>,
+    /// Statistics from the most recent `check` call.
+    pub last_stats: CheckStats,
+}
+
+impl Solver {
+    /// Creates a solver with an empty context.
+    pub fn new() -> Solver {
+        Solver::default()
+    }
+
+    /// Adds an assertion.
+    pub fn assert(&mut self, term: TermId) {
+        debug_assert_eq!(self.ctx.sort(term), Sort::Bool);
+        self.assertions.push(term);
+    }
+
+    /// Removes all assertions, keeping the term context.
+    pub fn reset_assertions(&mut self) {
+        self.assertions.clear();
+    }
+
+    /// The current assertions.
+    pub fn assertions(&self) -> &[TermId] {
+        &self.assertions
+    }
+
+    /// Checks satisfiability of the conjunction of all assertions.
+    pub fn check(&mut self, budget: &SolverBudget) -> CheckResult {
+        // Fast path: constant assertions.
+        if self
+            .assertions
+            .iter()
+            .any(|&a| self.ctx.as_bool_const(a) == Some(false))
+        {
+            return CheckResult::Unsat;
+        }
+
+        let mut sat = SatSolver::new();
+        let mut blaster = BitBlaster::new(&self.ctx, &mut sat);
+        for &assertion in &self.assertions {
+            blaster.assert(assertion);
+        }
+        let var_bits = blaster.var_bits().clone();
+        let var_bools = blaster.var_bools().clone();
+
+        self.last_stats = CheckStats {
+            cnf_vars: sat.num_vars(),
+            cnf_clauses: sat.num_clauses(),
+            ..CheckStats::default()
+        };
+        if sat.num_clauses() > budget.max_clauses {
+            return CheckResult::Unknown(format!(
+                "bit-blasting produced {} clauses, exceeding the budget of {}",
+                sat.num_clauses(),
+                budget.max_clauses
+            ));
+        }
+
+        let result = sat.solve(&SatBudget {
+            max_conflicts: budget.max_conflicts,
+        });
+        self.last_stats.conflicts = sat.stats.conflicts;
+        self.last_stats.decisions = sat.stats.decisions;
+
+        match result {
+            SatResult::Unsat => CheckResult::Unsat,
+            SatResult::Unknown => CheckResult::Unknown(format!(
+                "solver exhausted its budget of {} conflicts",
+                budget.max_conflicts
+            )),
+            SatResult::Sat => {
+                let mut model = Model::default();
+                for (name, bits) in &var_bits {
+                    let mut value: u64 = 0;
+                    for (i, lit) in bits.iter().enumerate() {
+                        if sat.model_value(lit.var()) ^ lit.is_neg() {
+                            value |= 1 << i;
+                        }
+                    }
+                    model.values.insert(name.clone(), value);
+                    model.widths.insert(name.clone(), bits.len() as u32);
+                }
+                for (name, lit) in &var_bools {
+                    model
+                        .bools
+                        .insert(name.clone(), sat.model_value(lit.var()) ^ lit.is_neg());
+                }
+                CheckResult::Sat(Box::new(model))
+            }
+        }
+    }
+
+    /// Convenience: checks whether `formula` is valid (true for all variable
+    /// assignments) by asking for a model of its negation.
+    pub fn check_validity(&mut self, formula: TermId, budget: &SolverBudget) -> Validity {
+        let negated = self.ctx.not(formula);
+        let saved = std::mem::take(&mut self.assertions);
+        self.assertions = saved.clone();
+        self.assertions.push(negated);
+        let result = self.check(budget);
+        self.assertions = saved;
+        match result {
+            CheckResult::Unsat => Validity::Valid,
+            CheckResult::Sat(model) => Validity::Invalid(model),
+            CheckResult::Unknown(reason) => Validity::Unknown(reason),
+        }
+    }
+}
+
+/// The result of a validity check (universally quantified over free variables).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Validity {
+    /// The formula holds for every assignment.
+    Valid,
+    /// A counterexample was found.
+    Invalid(Box<Model>),
+    /// The budget was exhausted.
+    Unknown(String),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sat_with_model() {
+        let mut solver = Solver::new();
+        let x = solver.ctx.bv_var("x", 32);
+        let three = solver.ctx.bv32(3);
+        let seven = solver.ctx.bv32(7);
+        let prod = solver.ctx.bv_mul(x, three);
+        let eq = solver.ctx.eq(prod, seven);
+        // 3x == 7 has a solution modulo 2^32 (3 is invertible).
+        solver.assert(eq);
+        match solver.check(&SolverBudget::default()) {
+            CheckResult::Sat(model) => {
+                let xv = model.value("x").unwrap();
+                assert_eq!((xv.wrapping_mul(3)) & 0xffff_ffff, 7);
+            }
+            other => panic!("expected sat, got {:?}", other),
+        }
+    }
+
+    #[test]
+    fn unsat_parity() {
+        let mut solver = Solver::new();
+        let x = solver.ctx.bv_var("x", 32);
+        let two = solver.ctx.bv32(2);
+        let one = solver.ctx.bv32(1);
+        let double = solver.ctx.bv_mul(x, two);
+        let eq = solver.ctx.eq(double, one);
+        // 2x == 1 has no solution modulo 2^32.
+        solver.assert(eq);
+        assert!(solver.check(&SolverBudget::default()).is_unsat());
+    }
+
+    #[test]
+    fn validity_of_commutativity() {
+        let mut solver = Solver::new();
+        let x = solver.ctx.bv_var("x", 32);
+        let y = solver.ctx.bv_var("y", 32);
+        let xy = solver.ctx.bv_add(x, y);
+        let yx = solver.ctx.bv_add(y, x);
+        let eq = solver.ctx.eq(xy, yx);
+        assert_eq!(
+            solver.check_validity(eq, &SolverBudget::default()),
+            Validity::Valid
+        );
+    }
+
+    #[test]
+    fn invalid_formula_produces_counterexample() {
+        let mut solver = Solver::new();
+        let x = solver.ctx.bv_var("x", 32);
+        let one = solver.ctx.bv32(1);
+        let inc = solver.ctx.bv_add(x, one);
+        let eq = solver.ctx.eq(inc, x);
+        match solver.check_validity(eq, &SolverBudget::default()) {
+            Validity::Invalid(model) => {
+                assert!(model.value("x").is_some());
+            }
+            other => panic!("expected invalid, got {:?}", other),
+        }
+    }
+
+    #[test]
+    fn distributivity_is_valid() {
+        // (x + y) * 2 == 2x + 2y — exercises the multiplier on symbolic inputs.
+        let mut solver = Solver::new();
+        let x = solver.ctx.bv_var("x", 32);
+        let y = solver.ctx.bv_var("y", 32);
+        let two = solver.ctx.bv32(2);
+        let sum = solver.ctx.bv_add(x, y);
+        let lhs = solver.ctx.bv_mul(sum, two);
+        let x2 = solver.ctx.bv_mul(x, two);
+        let y2 = solver.ctx.bv_mul(y, two);
+        let rhs = solver.ctx.bv_add(x2, y2);
+        let eq = solver.ctx.eq(lhs, rhs);
+        assert_eq!(
+            solver.check_validity(eq, &SolverBudget::default()),
+            Validity::Valid
+        );
+    }
+
+    #[test]
+    fn budget_exhaustion_is_unknown() {
+        // Two symbolic multiplications that are equal but hard for a SAT
+        // solver with an extremely small conflict budget.
+        let mut solver = Solver::new();
+        let x = solver.ctx.bv_var("x", 32);
+        let y = solver.ctx.bv_var("y", 32);
+        let xy = solver.ctx.bv_mul(x, y);
+        let yx = solver.ctx.bv_mul(y, x);
+        let eq = solver.ctx.eq(xy, yx);
+        let result = solver.check_validity(
+            eq,
+            &SolverBudget {
+                max_conflicts: 3,
+                max_clauses: 4_000_000,
+            },
+        );
+        assert!(
+            matches!(result, Validity::Unknown(_) | Validity::Valid),
+            "tiny budgets must never report Invalid for a valid formula: {:?}",
+            result
+        );
+    }
+
+    #[test]
+    fn clause_budget_is_enforced() {
+        let mut solver = Solver::new();
+        let x = solver.ctx.bv_var("x", 32);
+        let y = solver.ctx.bv_var("y", 32);
+        let xy = solver.ctx.bv_mul(x, y);
+        let z = solver.ctx.bv32(12345);
+        let eq = solver.ctx.eq(xy, z);
+        solver.assert(eq);
+        let result = solver.check(&SolverBudget {
+            max_conflicts: 1_000_000,
+            max_clauses: 10,
+        });
+        assert!(matches!(result, CheckResult::Unknown(_)));
+    }
+
+    #[test]
+    fn stats_are_recorded() {
+        let mut solver = Solver::new();
+        let x = solver.ctx.bv_var("x", 32);
+        let five = solver.ctx.bv32(5);
+        let eq = solver.ctx.eq(x, five);
+        solver.assert(eq);
+        let _ = solver.check(&SolverBudget::default());
+        assert!(solver.last_stats.cnf_vars > 0);
+        assert!(solver.last_stats.cnf_clauses > 0);
+    }
+
+    #[test]
+    fn model_display_and_i32() {
+        let mut solver = Solver::new();
+        let x = solver.ctx.bv_var("x", 32);
+        let neg = solver.ctx.bv32(-9);
+        let eq = solver.ctx.eq(x, neg);
+        solver.assert(eq);
+        match solver.check(&SolverBudget::default()) {
+            CheckResult::Sat(model) => {
+                assert_eq!(model.value_i32("x"), Some(-9));
+                assert!(model.to_string().contains("x = -9"));
+            }
+            other => panic!("expected sat, got {:?}", other),
+        }
+    }
+}

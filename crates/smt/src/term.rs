@@ -1,0 +1,707 @@
+//! Hash-consed terms for the QF_BV fragment used by the translation
+//! validator.
+//!
+//! A [`Context`] interns terms so that structurally equal terms share an id,
+//! and applies light rewriting (constant folding, neutral elements, trivial
+//! if-then-else) at construction time — the same role Z3's simplifier plays
+//! before bit-blasting.
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// The sort of a term.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Sort {
+    /// Propositional.
+    Bool,
+    /// Fixed-width bitvector.
+    BitVec(u32),
+}
+
+impl Sort {
+    /// The width of a bitvector sort.
+    ///
+    /// # Panics
+    ///
+    /// Panics when called on `Bool`.
+    pub fn width(self) -> u32 {
+        match self {
+            Sort::BitVec(w) => w,
+            Sort::Bool => panic!("Bool has no bit width"),
+        }
+    }
+}
+
+/// A term identifier. Terms live in a [`Context`] arena.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TermId(pub u32);
+
+/// The operator of a term node.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Op {
+    /// Boolean constant.
+    BoolConst(bool),
+    /// Bitvector constant (value stored in the low `width` bits).
+    BvConst {
+        /// The value, masked to `width` bits.
+        value: u64,
+        /// The width in bits.
+        width: u32,
+    },
+    /// A free variable.
+    Var {
+        /// The variable name.
+        name: String,
+        /// Its sort.
+        sort: Sort,
+    },
+    /// Boolean negation.
+    Not,
+    /// Boolean conjunction (binary).
+    And,
+    /// Boolean disjunction (binary).
+    Or,
+    /// Boolean exclusive or.
+    Xor,
+    /// Boolean implication.
+    Implies,
+    /// If-then-else; the branches may be Bool or BitVec.
+    Ite,
+    /// Equality over any sort.
+    Eq,
+    /// Bitvector addition (wrapping).
+    BvAdd,
+    /// Bitvector subtraction (wrapping).
+    BvSub,
+    /// Bitvector multiplication (low bits).
+    BvMul,
+    /// Two's-complement negation.
+    BvNeg,
+    /// Bitwise and.
+    BvAnd,
+    /// Bitwise or.
+    BvOr,
+    /// Bitwise xor.
+    BvXor,
+    /// Bitwise complement.
+    BvNot,
+    /// Logical shift left (shift amount is the second operand).
+    BvShl,
+    /// Logical shift right.
+    BvLshr,
+    /// Arithmetic shift right.
+    BvAshr,
+    /// Unsigned division (by-zero yields all-ones, as in SMT-LIB).
+    BvUdiv,
+    /// Unsigned remainder (by-zero yields the dividend).
+    BvUrem,
+    /// Signed division (C semantics via sign handling around BvUdiv).
+    BvSdiv,
+    /// Signed remainder.
+    BvSrem,
+    /// Unsigned less-than.
+    BvUlt,
+    /// Signed less-than.
+    BvSlt,
+    /// Signed less-or-equal.
+    BvSle,
+}
+
+/// A term node: operator plus argument ids.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct TermData {
+    /// The operator.
+    pub op: Op,
+    /// Arguments, in order.
+    pub args: Vec<TermId>,
+    /// The sort of the term.
+    pub sort: Sort,
+}
+
+/// The term arena and interner.
+#[derive(Debug, Default)]
+pub struct Context {
+    terms: Vec<TermData>,
+    intern: HashMap<(Op, Vec<TermId>), TermId>,
+}
+
+impl Context {
+    /// Creates an empty context.
+    pub fn new() -> Context {
+        Context::default()
+    }
+
+    /// The number of distinct terms created so far.
+    pub fn len(&self) -> usize {
+        self.terms.len()
+    }
+
+    /// Returns `true` if no terms have been created.
+    pub fn is_empty(&self) -> bool {
+        self.terms.is_empty()
+    }
+
+    /// The data of a term.
+    pub fn term(&self, id: TermId) -> &TermData {
+        &self.terms[id.0 as usize]
+    }
+
+    /// The sort of a term.
+    pub fn sort(&self, id: TermId) -> Sort {
+        self.terms[id.0 as usize].sort
+    }
+
+    fn intern(&mut self, op: Op, args: Vec<TermId>, sort: Sort) -> TermId {
+        let key = (op.clone(), args.clone());
+        if let Some(&id) = self.intern.get(&key) {
+            return id;
+        }
+        let id = TermId(self.terms.len() as u32);
+        self.terms.push(TermData { op, args, sort });
+        self.intern.insert(key, id);
+        id
+    }
+
+    /// Returns the constant value if the term is a bitvector constant.
+    pub fn as_bv_const(&self, id: TermId) -> Option<u64> {
+        match &self.term(id).op {
+            Op::BvConst { value, .. } => Some(*value),
+            _ => None,
+        }
+    }
+
+    /// Returns the boolean value if the term is a boolean constant.
+    pub fn as_bool_const(&self, id: TermId) -> Option<bool> {
+        match &self.term(id).op {
+            Op::BoolConst(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    // ---- leaves -------------------------------------------------------------
+
+    /// The boolean constant `true` / `false`.
+    pub fn bool_const(&mut self, value: bool) -> TermId {
+        self.intern(Op::BoolConst(value), vec![], Sort::Bool)
+    }
+
+    /// A bitvector constant of the given width.
+    pub fn bv_const(&mut self, value: u64, width: u32) -> TermId {
+        let masked = mask(value, width);
+        self.intern(
+            Op::BvConst {
+                value: masked,
+                width,
+            },
+            vec![],
+            Sort::BitVec(width),
+        )
+    }
+
+    /// A 32-bit constant from an `i32` (the common case for mini-C values).
+    pub fn bv32(&mut self, value: i32) -> TermId {
+        self.bv_const(value as u32 as u64, 32)
+    }
+
+    /// A free bitvector variable.
+    pub fn bv_var(&mut self, name: impl Into<String>, width: u32) -> TermId {
+        let name = name.into();
+        self.intern(
+            Op::Var {
+                name,
+                sort: Sort::BitVec(width),
+            },
+            vec![],
+            Sort::BitVec(width),
+        )
+    }
+
+    /// A free boolean variable.
+    pub fn bool_var(&mut self, name: impl Into<String>) -> TermId {
+        let name = name.into();
+        self.intern(
+            Op::Var {
+                name,
+                sort: Sort::Bool,
+            },
+            vec![],
+            Sort::Bool,
+        )
+    }
+
+    // ---- boolean connectives ------------------------------------------------
+
+    /// Boolean negation with double-negation and constant folding.
+    pub fn not(&mut self, a: TermId) -> TermId {
+        if let Some(v) = self.as_bool_const(a) {
+            return self.bool_const(!v);
+        }
+        if self.term(a).op == Op::Not {
+            return self.term(a).args[0];
+        }
+        self.intern(Op::Not, vec![a], Sort::Bool)
+    }
+
+    /// Boolean conjunction.
+    pub fn and(&mut self, a: TermId, b: TermId) -> TermId {
+        match (self.as_bool_const(a), self.as_bool_const(b)) {
+            (Some(true), _) => return b,
+            (_, Some(true)) => return a,
+            (Some(false), _) | (_, Some(false)) => return self.bool_const(false),
+            _ => {}
+        }
+        if a == b {
+            return a;
+        }
+        self.intern(Op::And, vec![a, b], Sort::Bool)
+    }
+
+    /// Conjunction of many terms.
+    pub fn and_many(&mut self, terms: &[TermId]) -> TermId {
+        let mut acc = self.bool_const(true);
+        for &t in terms {
+            acc = self.and(acc, t);
+        }
+        acc
+    }
+
+    /// Boolean disjunction.
+    pub fn or(&mut self, a: TermId, b: TermId) -> TermId {
+        match (self.as_bool_const(a), self.as_bool_const(b)) {
+            (Some(false), _) => return b,
+            (_, Some(false)) => return a,
+            (Some(true), _) | (_, Some(true)) => return self.bool_const(true),
+            _ => {}
+        }
+        if a == b {
+            return a;
+        }
+        self.intern(Op::Or, vec![a, b], Sort::Bool)
+    }
+
+    /// Boolean exclusive or.
+    pub fn xor(&mut self, a: TermId, b: TermId) -> TermId {
+        match (self.as_bool_const(a), self.as_bool_const(b)) {
+            (Some(x), Some(y)) => return self.bool_const(x ^ y),
+            (Some(false), _) => return b,
+            (_, Some(false)) => return a,
+            (Some(true), _) => return self.not(b),
+            (_, Some(true)) => return self.not(a),
+            _ => {}
+        }
+        if a == b {
+            return self.bool_const(false);
+        }
+        self.intern(Op::Xor, vec![a, b], Sort::Bool)
+    }
+
+    /// Boolean implication.
+    pub fn implies(&mut self, a: TermId, b: TermId) -> TermId {
+        let na = self.not(a);
+        self.or(na, b)
+    }
+
+    /// If-then-else over booleans or bitvectors.
+    pub fn ite(&mut self, cond: TermId, then_t: TermId, else_t: TermId) -> TermId {
+        debug_assert_eq!(self.sort(then_t), self.sort(else_t));
+        if let Some(c) = self.as_bool_const(cond) {
+            return if c { then_t } else { else_t };
+        }
+        if then_t == else_t {
+            return then_t;
+        }
+        let sort = self.sort(then_t);
+        self.intern(Op::Ite, vec![cond, then_t, else_t], sort)
+    }
+
+    /// Equality over any sort, with constant folding.
+    pub fn eq(&mut self, a: TermId, b: TermId) -> TermId {
+        if a == b {
+            return self.bool_const(true);
+        }
+        if let (Some(x), Some(y)) = (self.as_bv_const(a), self.as_bv_const(b)) {
+            return self.bool_const(x == y);
+        }
+        if let (Some(x), Some(y)) = (self.as_bool_const(a), self.as_bool_const(b)) {
+            return self.bool_const(x == y);
+        }
+        self.intern(Op::Eq, vec![a, b], Sort::Bool)
+    }
+
+    /// Disequality.
+    pub fn ne(&mut self, a: TermId, b: TermId) -> TermId {
+        let e = self.eq(a, b);
+        self.not(e)
+    }
+
+    // ---- bitvector operations -------------------------------------------------
+
+    fn bv_binop(
+        &mut self,
+        op: Op,
+        a: TermId,
+        b: TermId,
+        fold: impl Fn(u64, u64, u32) -> u64,
+    ) -> TermId {
+        let width = self.sort(a).width();
+        debug_assert_eq!(width, self.sort(b).width());
+        if let (Some(x), Some(y)) = (self.as_bv_const(a), self.as_bv_const(b)) {
+            let v = fold(x, y, width);
+            return self.bv_const(v, width);
+        }
+        self.intern(op, vec![a, b], Sort::BitVec(width))
+    }
+
+    /// Wrapping addition.
+    pub fn bv_add(&mut self, a: TermId, b: TermId) -> TermId {
+        if self.as_bv_const(a) == Some(0) {
+            return b;
+        }
+        if self.as_bv_const(b) == Some(0) {
+            return a;
+        }
+        self.bv_binop(Op::BvAdd, a, b, |x, y, w| mask(x.wrapping_add(y), w))
+    }
+
+    /// Wrapping subtraction.
+    pub fn bv_sub(&mut self, a: TermId, b: TermId) -> TermId {
+        if self.as_bv_const(b) == Some(0) {
+            return a;
+        }
+        if a == b {
+            let width = self.sort(a).width();
+            return self.bv_const(0, width);
+        }
+        self.bv_binop(Op::BvSub, a, b, |x, y, w| mask(x.wrapping_sub(y), w))
+    }
+
+    /// Low-bits multiplication.
+    pub fn bv_mul(&mut self, a: TermId, b: TermId) -> TermId {
+        let width = self.sort(a).width();
+        if self.as_bv_const(a) == Some(0) || self.as_bv_const(b) == Some(0) {
+            return self.bv_const(0, width);
+        }
+        if self.as_bv_const(a) == Some(1) {
+            return b;
+        }
+        if self.as_bv_const(b) == Some(1) {
+            return a;
+        }
+        self.bv_binop(Op::BvMul, a, b, |x, y, w| mask(x.wrapping_mul(y), w))
+    }
+
+    /// Two's-complement negation.
+    pub fn bv_neg(&mut self, a: TermId) -> TermId {
+        let width = self.sort(a).width();
+        if let Some(x) = self.as_bv_const(a) {
+            return self.bv_const(mask(x.wrapping_neg(), width), width);
+        }
+        self.intern(Op::BvNeg, vec![a], Sort::BitVec(width))
+    }
+
+    /// Bitwise and.
+    pub fn bv_and(&mut self, a: TermId, b: TermId) -> TermId {
+        self.bv_binop(Op::BvAnd, a, b, |x, y, w| mask(x & y, w))
+    }
+
+    /// Bitwise or.
+    pub fn bv_or(&mut self, a: TermId, b: TermId) -> TermId {
+        self.bv_binop(Op::BvOr, a, b, |x, y, w| mask(x | y, w))
+    }
+
+    /// Bitwise xor.
+    pub fn bv_xor(&mut self, a: TermId, b: TermId) -> TermId {
+        self.bv_binop(Op::BvXor, a, b, |x, y, w| mask(x ^ y, w))
+    }
+
+    /// Bitwise complement.
+    pub fn bv_not(&mut self, a: TermId) -> TermId {
+        let width = self.sort(a).width();
+        if let Some(x) = self.as_bv_const(a) {
+            return self.bv_const(mask(!x, width), width);
+        }
+        self.intern(Op::BvNot, vec![a], Sort::BitVec(width))
+    }
+
+    /// Logical shift left.
+    pub fn bv_shl(&mut self, a: TermId, b: TermId) -> TermId {
+        self.bv_binop(Op::BvShl, a, b, |x, y, w| {
+            if y >= w as u64 {
+                0
+            } else {
+                mask(x << y, w)
+            }
+        })
+    }
+
+    /// Logical shift right.
+    pub fn bv_lshr(&mut self, a: TermId, b: TermId) -> TermId {
+        self.bv_binop(Op::BvLshr, a, b, |x, y, w| {
+            if y >= w as u64 {
+                0
+            } else {
+                mask(x >> y, w)
+            }
+        })
+    }
+
+    /// Arithmetic shift right.
+    pub fn bv_ashr(&mut self, a: TermId, b: TermId) -> TermId {
+        self.bv_binop(Op::BvAshr, a, b, |x, y, w| {
+            let sx = sign_extend(x, w);
+            let shift = (y.min(w as u64 - 1)) as u32;
+            mask((sx >> shift) as u64, w)
+        })
+    }
+
+    /// Unsigned division (division by zero yields all-ones, SMT-LIB style).
+    pub fn bv_udiv(&mut self, a: TermId, b: TermId) -> TermId {
+        self.bv_binop(Op::BvUdiv, a, b, |x, y, w| {
+            if y == 0 {
+                mask(u64::MAX, w)
+            } else {
+                mask(x / y, w)
+            }
+        })
+    }
+
+    /// Unsigned remainder (remainder by zero yields the dividend).
+    pub fn bv_urem(&mut self, a: TermId, b: TermId) -> TermId {
+        self.bv_binop(Op::BvUrem, a, b, |x, y, w| {
+            if y == 0 {
+                mask(x, w)
+            } else {
+                mask(x % y, w)
+            }
+        })
+    }
+
+    /// Signed division with C truncation semantics.
+    pub fn bv_sdiv(&mut self, a: TermId, b: TermId) -> TermId {
+        self.bv_binop(Op::BvSdiv, a, b, |x, y, w| {
+            let sx = sign_extend(x, w);
+            let sy = sign_extend(y, w);
+            if sy == 0 {
+                mask(u64::MAX, w)
+            } else {
+                mask(sx.wrapping_div(sy) as u64, w)
+            }
+        })
+    }
+
+    /// Signed remainder with C truncation semantics.
+    pub fn bv_srem(&mut self, a: TermId, b: TermId) -> TermId {
+        self.bv_binop(Op::BvSrem, a, b, |x, y, w| {
+            let sx = sign_extend(x, w);
+            let sy = sign_extend(y, w);
+            if sy == 0 {
+                mask(sx as u64, w)
+            } else {
+                mask(sx.wrapping_rem(sy) as u64, w)
+            }
+        })
+    }
+
+    // ---- comparisons ------------------------------------------------------------
+
+    /// Unsigned less-than.
+    pub fn bv_ult(&mut self, a: TermId, b: TermId) -> TermId {
+        if let (Some(x), Some(y)) = (self.as_bv_const(a), self.as_bv_const(b)) {
+            return self.bool_const(x < y);
+        }
+        self.intern(Op::BvUlt, vec![a, b], Sort::Bool)
+    }
+
+    /// Signed less-than.
+    pub fn bv_slt(&mut self, a: TermId, b: TermId) -> TermId {
+        let width = self.sort(a).width();
+        if let (Some(x), Some(y)) = (self.as_bv_const(a), self.as_bv_const(b)) {
+            return self.bool_const(sign_extend(x, width) < sign_extend(y, width));
+        }
+        if a == b {
+            return self.bool_const(false);
+        }
+        self.intern(Op::BvSlt, vec![a, b], Sort::Bool)
+    }
+
+    /// Signed less-or-equal.
+    pub fn bv_sle(&mut self, a: TermId, b: TermId) -> TermId {
+        let width = self.sort(a).width();
+        if let (Some(x), Some(y)) = (self.as_bv_const(a), self.as_bv_const(b)) {
+            return self.bool_const(sign_extend(x, width) <= sign_extend(y, width));
+        }
+        if a == b {
+            return self.bool_const(true);
+        }
+        self.intern(Op::BvSle, vec![a, b], Sort::Bool)
+    }
+
+    /// Signed greater-than, expressed via [`Context::bv_slt`].
+    pub fn bv_sgt(&mut self, a: TermId, b: TermId) -> TermId {
+        self.bv_slt(b, a)
+    }
+
+    /// Signed greater-or-equal, expressed via [`Context::bv_sle`].
+    pub fn bv_sge(&mut self, a: TermId, b: TermId) -> TermId {
+        self.bv_sle(b, a)
+    }
+
+    /// Renders a term as an s-expression (for debugging and error messages).
+    pub fn display(&self, id: TermId) -> String {
+        let data = self.term(id);
+        match &data.op {
+            Op::BoolConst(b) => b.to_string(),
+            Op::BvConst { value, width } => {
+                format!("#x{:0>width$x}", value, width = (*width as usize) / 4)
+            }
+            Op::Var { name, .. } => name.clone(),
+            op => {
+                let name = format!("{:?}", op).to_lowercase();
+                let args: Vec<String> = data.args.iter().map(|&a| self.display(a)).collect();
+                format!("({} {})", name, args.join(" "))
+            }
+        }
+    }
+}
+
+impl fmt::Display for Sort {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Sort::Bool => write!(f, "Bool"),
+            Sort::BitVec(w) => write!(f, "(_ BitVec {})", w),
+        }
+    }
+}
+
+/// Masks a value to `width` bits.
+pub fn mask(value: u64, width: u32) -> u64 {
+    if width >= 64 {
+        value
+    } else {
+        value & ((1u64 << width) - 1)
+    }
+}
+
+/// Sign-extends a `width`-bit value to i64.
+pub fn sign_extend(value: u64, width: u32) -> i64 {
+    let value = mask(value, width);
+    if width == 0 || width >= 64 {
+        return value as i64;
+    }
+    let sign_bit = 1u64 << (width - 1);
+    if value & sign_bit != 0 {
+        (value | !((1u64 << width) - 1)) as i64
+    } else {
+        value as i64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hash_consing_shares_terms() {
+        let mut ctx = Context::new();
+        let x = ctx.bv_var("x", 32);
+        let y = ctx.bv_var("x", 32);
+        assert_eq!(x, y);
+        let one_a = ctx.bv32(1);
+        let one_b = ctx.bv_const(1, 32);
+        assert_eq!(one_a, one_b);
+        let s1 = ctx.bv_add(x, one_a);
+        let s2 = ctx.bv_add(x, one_b);
+        assert_eq!(s1, s2);
+    }
+
+    #[test]
+    fn constant_folding() {
+        let mut ctx = Context::new();
+        let a = ctx.bv32(6);
+        let b = ctx.bv32(7);
+        let p = ctx.bv_mul(a, b);
+        assert_eq!(ctx.as_bv_const(p), Some(42));
+        let neg = ctx.bv32(-1);
+        assert_eq!(ctx.as_bv_const(neg), Some(0xffff_ffff));
+        let lt = ctx.bv_slt(neg, a);
+        assert_eq!(ctx.as_bool_const(lt), Some(true));
+        let ult = ctx.bv_ult(neg, a);
+        assert_eq!(ctx.as_bool_const(ult), Some(false));
+    }
+
+    #[test]
+    fn neutral_elements() {
+        let mut ctx = Context::new();
+        let x = ctx.bv_var("x", 32);
+        let zero = ctx.bv32(0);
+        let one = ctx.bv32(1);
+        assert_eq!(ctx.bv_add(x, zero), x);
+        assert_eq!(ctx.bv_mul(x, one), x);
+        assert_eq!(ctx.bv_mul(x, zero), zero);
+        assert_eq!(ctx.bv_sub(x, x), zero);
+        let t = ctx.bool_const(true);
+        let p = ctx.bool_var("p");
+        assert_eq!(ctx.and(t, p), p);
+        assert_eq!(ctx.or(t, p), t);
+    }
+
+    #[test]
+    fn ite_and_eq_simplify() {
+        let mut ctx = Context::new();
+        let x = ctx.bv_var("x", 32);
+        let y = ctx.bv_var("y", 32);
+        let t = ctx.bool_const(true);
+        assert_eq!(ctx.ite(t, x, y), x);
+        let c = ctx.bool_var("c");
+        assert_eq!(ctx.ite(c, x, x), x);
+        let e = ctx.eq(x, x);
+        assert_eq!(ctx.as_bool_const(e), Some(true));
+    }
+
+    #[test]
+    fn signed_ops_match_c_semantics() {
+        let mut ctx = Context::new();
+        let a = ctx.bv32(-7);
+        let b = ctx.bv32(2);
+        let q = ctx.bv_sdiv(a, b);
+        let r = ctx.bv_srem(a, b);
+        assert_eq!(sign_extend(ctx.as_bv_const(q).unwrap(), 32), -3);
+        assert_eq!(sign_extend(ctx.as_bv_const(r).unwrap(), 32), -1);
+        let sh = ctx.bv32(-8);
+        let one = ctx.bv32(1);
+        let ashr = ctx.bv_ashr(sh, one);
+        assert_eq!(sign_extend(ctx.as_bv_const(ashr).unwrap(), 32), -4);
+        let lshr = ctx.bv_lshr(sh, one);
+        assert_eq!(ctx.as_bv_const(lshr).unwrap(), ((-8i32 as u32) >> 1) as u64);
+    }
+
+    #[test]
+    fn division_by_zero_follows_smtlib() {
+        let mut ctx = Context::new();
+        let a = ctx.bv32(5);
+        let z = ctx.bv32(0);
+        let q = ctx.bv_udiv(a, z);
+        assert_eq!(ctx.as_bv_const(q), Some(0xffff_ffff));
+        let r = ctx.bv_urem(a, z);
+        assert_eq!(ctx.as_bv_const(r), Some(5));
+    }
+
+    #[test]
+    fn sign_extend_helper() {
+        assert_eq!(sign_extend(0xffff_ffff, 32), -1);
+        assert_eq!(sign_extend(0x7fff_ffff, 32), i32::MAX as i64);
+        assert_eq!(sign_extend(0b100, 3), -4);
+        assert_eq!(mask(0x1_0000_0001, 32), 1);
+    }
+
+    #[test]
+    fn display_renders_sexprs() {
+        let mut ctx = Context::new();
+        let x = ctx.bv_var("x", 32);
+        let one = ctx.bv32(1);
+        let e = ctx.bv_add(x, one);
+        let s = ctx.display(e);
+        assert!(s.contains("bvadd"), "{}", s);
+        assert!(s.contains('x'), "{}", s);
+    }
+}

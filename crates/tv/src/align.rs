@@ -1,0 +1,321 @@
+//! Loop alignment (Section 3.1 of the paper).
+//!
+//! The scalar and vectorized loops advance by different steps, so before the
+//! two programs can be compared as loop-free programs the verifier must know
+//! how many scalar iterations correspond to one vector iteration. The paper
+//! computes the least common multiple of the two steps, fixes the vector
+//! unroll factor to one, and unrolls the scalar program `lcm / step1` times,
+//! under the assumption `(end1 - start1) % m == 0` (no scalar epilogue is
+//! needed).
+
+use lv_analysis::{loop_nest, CanonicalLoop, StepKind};
+use lv_cir::ast::Function;
+use lv_cir::printer::print_expr;
+use std::fmt;
+
+/// Why alignment failed. Alignment failures make the whole verification
+/// attempt `Inconclusive`, mirroring the cases the paper's analysis "does not
+/// handle".
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AlignmentError {
+    /// Human-readable reason.
+    pub reason: String,
+}
+
+impl AlignmentError {
+    fn new(reason: impl Into<String>) -> AlignmentError {
+        AlignmentError {
+            reason: reason.into(),
+        }
+    }
+}
+
+impl fmt::Display for AlignmentError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "loop alignment failed: {}", self.reason)
+    }
+}
+
+impl std::error::Error for AlignmentError {}
+
+/// The result of aligning a scalar kernel with a vectorized candidate.
+#[derive(Debug, Clone)]
+pub struct Alignment {
+    /// Scalar iterations per vector iteration (the unroll factor `m`).
+    pub unroll_factor: i64,
+    /// The scalar loop step.
+    pub scalar_step: i64,
+    /// The vector loop step.
+    pub vector_step: i64,
+    /// The canonical scalar loop.
+    pub scalar_loop: CanonicalLoop,
+    /// The canonical vector loop (the first loop of the candidate).
+    pub vector_loop: CanonicalLoop,
+    /// `true` if the candidate has a scalar epilogue loop after the vector
+    /// loop (allowed; it executes zero iterations under the divisibility
+    /// assumption).
+    pub has_epilogue: bool,
+    /// `true` if both functions have syntactically identical outer loops and
+    /// only the inner loops were aligned.
+    pub nested: bool,
+}
+
+impl Alignment {
+    /// The divisibility assumption the paper adds at the LLVM level:
+    /// `(end1 - start1) % m == 0`, rendered for reports.
+    pub fn assumption(&self) -> String {
+        format!(
+            "assume (({}) - ({})) % {} == 0",
+            print_expr(&self.scalar_loop.bound),
+            print_expr(&self.scalar_loop.start),
+            self.unroll_factor * self.scalar_step.abs().max(1)
+        )
+    }
+}
+
+/// Aligns the loops of a scalar kernel and a vectorized candidate.
+///
+/// # Errors
+///
+/// Returns an [`AlignmentError`] when either function has no canonical loop,
+/// the steps are not constant, the steps are incompatible, the start values
+/// differ syntactically, or a nested candidate's outer loop differs from the
+/// scalar outer loop.
+pub fn align(scalar: &Function, vector: &Function) -> Result<Alignment, AlignmentError> {
+    let scalar_nest = loop_nest(scalar);
+    let vector_nest = loop_nest(vector);
+
+    let (scalar_loop, vector_loop, nested) = if scalar_nest.is_nested() {
+        // Nested loops: the paper requires syntactically identical outer
+        // loops and aligns only the inner loops.
+        if !vector_nest.is_nested() {
+            return Err(AlignmentError::new(
+                "the scalar kernel has a nested loop but the candidate does not",
+            ));
+        }
+        let s_outer = scalar_nest.loops.first().expect("nested implies a loop");
+        let v_outer = vector_nest.loops.first().expect("nested implies a loop");
+        if s_outer.iv != v_outer.iv
+            || s_outer.start != v_outer.start
+            || s_outer.bound != v_outer.bound
+            || s_outer.step != v_outer.step
+        {
+            return Err(AlignmentError::new(
+                "outer loops are not syntactically identical",
+            ));
+        }
+        (
+            scalar_nest.inner[0]
+                .first()
+                .cloned()
+                .ok_or_else(|| AlignmentError::new("scalar inner loop is not canonical"))?,
+            vector_nest.inner[0]
+                .first()
+                .cloned()
+                .ok_or_else(|| AlignmentError::new("candidate inner loop is not canonical"))?,
+            true,
+        )
+    } else {
+        let s = scalar_nest
+            .single()
+            .or_else(|| scalar_nest.loops.first())
+            .cloned()
+            .ok_or_else(|| AlignmentError::new("the scalar kernel has no canonical for-loop"))?;
+        let v = vector_nest
+            .loops
+            .first()
+            .cloned()
+            .ok_or_else(|| AlignmentError::new("the candidate has no canonical for-loop"))?;
+        (s, v, false)
+    };
+
+    let scalar_step = match scalar_loop.step {
+        StepKind::Constant(c) if c != 0 => c,
+        StepKind::Constant(_) => return Err(AlignmentError::new("scalar loop has a zero step")),
+        StepKind::Symbolic(_) => {
+            return Err(AlignmentError::new(
+                "scalar loop step is not a constant literal",
+            ))
+        }
+    };
+    let vector_step = match vector_loop.step {
+        StepKind::Constant(c) if c != 0 => c,
+        StepKind::Constant(_) => return Err(AlignmentError::new("vector loop has a zero step")),
+        StepKind::Symbolic(_) => {
+            return Err(AlignmentError::new(
+                "vector loop step is not a constant literal",
+            ))
+        }
+    };
+    if scalar_step.signum() != vector_step.signum() {
+        return Err(AlignmentError::new(
+            "scalar and vector loops advance in different directions",
+        ));
+    }
+
+    let lcm = lcm(scalar_step.unsigned_abs(), vector_step.unsigned_abs()) as i64;
+    if lcm != vector_step.abs() {
+        // The paper fixes the vector unroll factor to 1, which requires the
+        // vector step to be a multiple of the scalar step.
+        return Err(AlignmentError::new(format!(
+            "vector step {} is not a multiple of scalar step {}",
+            vector_step, scalar_step
+        )));
+    }
+    let unroll_factor = lcm / scalar_step.abs();
+
+    if scalar_loop.start != vector_loop.start {
+        return Err(AlignmentError::new(format!(
+            "loop start values differ: `{}` vs `{}`",
+            print_expr(&scalar_loop.start),
+            print_expr(&vector_loop.start)
+        )));
+    }
+
+    // Count extra loops in the candidate: at most one epilogue is expected.
+    let extra_loops = vector_nest.loops.len().saturating_sub(1);
+    if !nested && extra_loops > 1 {
+        return Err(AlignmentError::new(format!(
+            "the candidate has {} loops; expected a vector loop plus at most one epilogue",
+            vector_nest.loops.len()
+        )));
+    }
+
+    Ok(Alignment {
+        unroll_factor,
+        scalar_step,
+        vector_step,
+        scalar_loop,
+        vector_loop,
+        has_epilogue: !nested && extra_loops == 1,
+        nested,
+    })
+}
+
+fn gcd(a: u64, b: u64) -> u64 {
+    if b == 0 {
+        a
+    } else {
+        gcd(b, a % b)
+    }
+}
+
+fn lcm(a: u64, b: u64) -> u64 {
+    a / gcd(a, b) * b
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lv_cir::parse_function;
+
+    const SCALAR: &str =
+        "void s000(int n, int *a, int *b) { for (int i = 0; i < n; i++) { a[i] = b[i] + 1; } }";
+    const VECTOR: &str = "void s000(int n, int *a, int *b) { int i; for (i = 0; i + 8 <= n; i += 8) { __m256i x = _mm256_loadu_si256((__m256i *)&b[i]); _mm256_storeu_si256((__m256i *)&a[i], _mm256_add_epi32(x, _mm256_set1_epi32(1))); } for (; i < n; i++) { a[i] = b[i] + 1; } }";
+
+    #[test]
+    fn aligns_standard_pair() {
+        let a = align(
+            &parse_function(SCALAR).unwrap(),
+            &parse_function(VECTOR).unwrap(),
+        )
+        .unwrap();
+        assert_eq!(a.unroll_factor, 8);
+        assert_eq!(a.scalar_step, 1);
+        assert_eq!(a.vector_step, 8);
+        assert!(a.has_epilogue);
+        assert!(a.assumption().contains("% 8 == 0"));
+    }
+
+    #[test]
+    fn strided_scalar_loop() {
+        let scalar = parse_function(
+            "void f(int n, int *a) { for (int i = 0; i < n; i += 2) { a[i] = 0; } }",
+        )
+        .unwrap();
+        let vector = parse_function(
+            "void f(int n, int *a) { for (int i = 0; i + 16 <= n; i += 16) { _mm256_storeu_si256((__m256i *)&a[i], _mm256_setzero_si256()); } }",
+        )
+        .unwrap();
+        let a = align(&scalar, &vector).unwrap();
+        assert_eq!(a.unroll_factor, 8);
+    }
+
+    #[test]
+    fn mismatched_starts_fail() {
+        let scalar = parse_function(
+            "void f(int n, int *a) { for (int i = 1; i < n; i++) { a[i] = 0; } }",
+        )
+        .unwrap();
+        let vector = parse_function(
+            "void f(int n, int *a) { for (int i = 0; i + 8 <= n; i += 8) { _mm256_storeu_si256((__m256i *)&a[i], _mm256_setzero_si256()); } }",
+        )
+        .unwrap();
+        let err = align(&scalar, &vector).unwrap_err();
+        assert!(err.reason.contains("start values differ"));
+    }
+
+    #[test]
+    fn symbolic_step_fails() {
+        let scalar = parse_function(
+            "void f(int n, int k, int *a) { for (int i = 0; i < n; i += k) { a[i] = 0; } }",
+        )
+        .unwrap();
+        let vector = parse_function(
+            "void f(int n, int k, int *a) { for (int i = 0; i + 8 <= n; i += 8) { _mm256_storeu_si256((__m256i *)&a[i], _mm256_setzero_si256()); } }",
+        )
+        .unwrap();
+        let err = align(&scalar, &vector).unwrap_err();
+        assert!(err.reason.contains("not a constant literal"));
+    }
+
+    #[test]
+    fn no_loop_fails() {
+        let scalar = parse_function("void f(int n, int *a) { a[0] = n; }").unwrap();
+        let vector = parse_function(VECTOR).unwrap();
+        assert!(align(&scalar, &vector).is_err());
+    }
+
+    #[test]
+    fn incompatible_steps_fail() {
+        let scalar = parse_function(
+            "void f(int n, int *a) { for (int i = 0; i < n; i += 3) { a[i] = 0; } }",
+        )
+        .unwrap();
+        let vector = parse_function(
+            "void f(int n, int *a) { for (int i = 0; i + 8 <= n; i += 8) { _mm256_storeu_si256((__m256i *)&a[i], _mm256_setzero_si256()); } }",
+        )
+        .unwrap();
+        let err = align(&scalar, &vector).unwrap_err();
+        assert!(err.reason.contains("not a multiple"));
+    }
+
+    #[test]
+    fn nested_identical_outer_loops_align() {
+        let scalar = parse_function(
+            "void f(int n, int *a) { for (int j = 0; j < n; j++) { for (int i = 0; i < n; i++) { a[i] = a[i] + 1; } } }",
+        )
+        .unwrap();
+        let vector = parse_function(
+            "void f(int n, int *a) { for (int j = 0; j < n; j++) { for (int i = 0; i + 8 <= n; i += 8) { __m256i x = _mm256_loadu_si256((__m256i *)&a[i]); _mm256_storeu_si256((__m256i *)&a[i], _mm256_add_epi32(x, _mm256_set1_epi32(1))); } } }",
+        )
+        .unwrap();
+        let a = align(&scalar, &vector).unwrap();
+        assert!(a.nested);
+        assert_eq!(a.unroll_factor, 8);
+    }
+
+    #[test]
+    fn nested_mismatched_outer_loops_fail() {
+        let scalar = parse_function(
+            "void f(int n, int *a) { for (int j = 0; j < n; j++) { for (int i = 0; i < n; i++) { a[i] = a[i] + 1; } } }",
+        )
+        .unwrap();
+        let vector = parse_function(
+            "void f(int n, int *a) { for (int j = 1; j < n; j++) { for (int i = 0; i + 8 <= n; i += 8) { __m256i x = _mm256_loadu_si256((__m256i *)&a[i]); _mm256_storeu_si256((__m256i *)&a[i], _mm256_add_epi32(x, _mm256_set1_epi32(1))); } } }",
+        )
+        .unwrap();
+        let err = align(&scalar, &vector).unwrap_err();
+        assert!(err.reason.contains("outer loops"));
+    }
+}

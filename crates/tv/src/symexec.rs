@@ -1,0 +1,1121 @@
+//! Guarded symbolic execution of mini-C into SMT terms.
+//!
+//! The executor turns a kernel into a map from array names to vectors of
+//! symbolic 32-bit terms (one per cell), given:
+//!
+//! * concrete values for the scalar parameters that control trip counts
+//!   (the loop bound `n` is fixed to a multiple of the vectorization width,
+//!   which realizes the paper's `(end1 - start1) % m == 0` assumption), and
+//! * fully symbolic initial contents for every array parameter, each in its
+//!   own region (the paper's non-aliasing modelling from Section 3.1).
+//!
+//! Control flow is handled by *predicated* execution: every store is guarded
+//! by the path condition, `if`/`else` become ite-merges, and forward `goto`s
+//! become suppression guards that are lifted at their label. Loops are
+//! unrolled on the fly as long as their condition folds to a constant, which
+//! it does because induction variables and bounds are concrete.
+
+use lv_cir::ast::{AssignOp, BinOp, Block, Expr, Function, Stmt, Type, UnOp};
+use lv_simd::LANES;
+use lv_smt::{Context, TermId};
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+/// Why symbolic execution could not produce a verification condition.
+///
+/// These map to the paper's *Inconclusive* causes other than solver timeouts:
+/// unmodeled intrinsics, unsupported code shapes, and blow-ups.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SymExecError {
+    /// Human-readable reason.
+    pub reason: String,
+}
+
+impl SymExecError {
+    fn new(reason: impl Into<String>) -> SymExecError {
+        SymExecError {
+            reason: reason.into(),
+        }
+    }
+}
+
+impl fmt::Display for SymExecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "symbolic execution failed: {}", self.reason)
+    }
+}
+
+impl Error for SymExecError {}
+
+/// Configuration for one symbolic run.
+#[derive(Debug, Clone)]
+pub struct SymExecConfig {
+    /// Concrete values for scalar parameters (typically just the bound `n`).
+    pub scalar_bindings: HashMap<String, i32>,
+    /// Number of cells modelled per array.
+    pub array_len: usize,
+    /// Maximum number of dynamically unrolled loop iterations (across all
+    /// loops) before giving up.
+    pub max_iterations: usize,
+    /// Prefix prepended to the symbolic array cell variable names, so the
+    /// source and target runs share input variables ("" for both).
+    pub input_prefix: String,
+}
+
+impl Default for SymExecConfig {
+    fn default() -> Self {
+        SymExecConfig {
+            scalar_bindings: HashMap::new(),
+            array_len: 2 * LANES + 4,
+            max_iterations: 4096,
+            input_prefix: String::new(),
+        }
+    }
+}
+
+/// The result of symbolically executing one function.
+#[derive(Debug, Clone)]
+pub struct SymOutcome {
+    /// Final symbolic contents of every array parameter.
+    pub arrays: HashMap<String, Vec<TermId>>,
+    /// Names (in declaration order) of the array parameters.
+    pub array_order: Vec<String>,
+    /// A boolean term that is true exactly when the execution triggered
+    /// undefined behaviour (out-of-bounds access, division by zero).
+    pub ub: TermId,
+    /// Number of loop iterations that were unrolled.
+    pub unrolled_iterations: usize,
+}
+
+/// Symbolically executes `func` and returns the final array state.
+///
+/// The *initial* contents of array `a` are the shared symbolic variables
+/// `{prefix}a!0 .. {prefix}a!len-1`, so executing the scalar and the
+/// vectorized function with the same context and prefix compares them on the
+/// same inputs. Scalar parameters not bound in the config become fresh
+/// symbolic variables (they do not control loops in the TSVC subset).
+///
+/// # Errors
+///
+/// Returns [`SymExecError`] for loops whose conditions do not fold to
+/// constants, backward `goto`s, unsupported intrinsics, and iteration blow-ups.
+pub fn sym_exec(
+    ctx: &mut Context,
+    func: &Function,
+    config: &SymExecConfig,
+) -> Result<SymOutcome, SymExecError> {
+    let mut exec = SymExec::new(ctx, func, config)?;
+    exec.run(func)?;
+    Ok(exec.finish())
+}
+
+/// A symbolic value: a 32-bit term, an 8-lane vector of terms, or a pointer.
+#[derive(Debug, Clone)]
+enum SymValue {
+    Scalar(TermId),
+    Vector([TermId; LANES]),
+    Ptr { array: String, offset: i64 },
+}
+
+struct SymExec<'a> {
+    ctx: &'a mut Context,
+    config: &'a SymExecConfig,
+    scalars: HashMap<String, SymValue>,
+    arrays: HashMap<String, Vec<TermId>>,
+    array_order: Vec<String>,
+    /// Path suppression due to taken forward gotos / returns.
+    suppress: TermId,
+    /// Pending goto guards per label.
+    pending: HashMap<String, TermId>,
+    ub: TermId,
+    iterations: usize,
+}
+
+impl<'a> SymExec<'a> {
+    fn new(
+        ctx: &'a mut Context,
+        func: &Function,
+        config: &'a SymExecConfig,
+    ) -> Result<Self, SymExecError> {
+        let mut scalars = HashMap::new();
+        let mut arrays = HashMap::new();
+        let mut array_order = Vec::new();
+        for param in &func.params {
+            match &param.ty {
+                Type::Int => {
+                    let term = match config.scalar_bindings.get(&param.name) {
+                        Some(&v) => ctx.bv32(v),
+                        None => ctx.bv_var(format!("{}{}", config.input_prefix, param.name), 32),
+                    };
+                    scalars.insert(param.name.clone(), SymValue::Scalar(term));
+                }
+                Type::Ptr(_) => {
+                    let cells: Vec<TermId> = (0..config.array_len)
+                        .map(|i| {
+                            ctx.bv_var(format!("{}{}!{}", config.input_prefix, param.name, i), 32)
+                        })
+                        .collect();
+                    arrays.insert(param.name.clone(), cells);
+                    array_order.push(param.name.clone());
+                    scalars.insert(
+                        param.name.clone(),
+                        SymValue::Ptr {
+                            array: param.name.clone(),
+                            offset: 0,
+                        },
+                    );
+                }
+                other => {
+                    return Err(SymExecError::new(format!(
+                        "unsupported parameter type {} for `{}`",
+                        other, param.name
+                    )))
+                }
+            }
+        }
+        let false_t = ctx.bool_const(false);
+        Ok(SymExec {
+            ctx,
+            config,
+            scalars,
+            arrays,
+            array_order,
+            suppress: false_t,
+            pending: HashMap::new(),
+            ub: false_t,
+            iterations: 0,
+        })
+    }
+
+    fn run(&mut self, func: &Function) -> Result<(), SymExecError> {
+        let guard = self.ctx.bool_const(true);
+        self.exec_block(&func.body, guard)
+    }
+
+    fn finish(self) -> SymOutcome {
+        SymOutcome {
+            arrays: self.arrays,
+            array_order: self.array_order,
+            ub: self.ub,
+            unrolled_iterations: self.iterations,
+        }
+    }
+
+    fn active(&mut self, guard: TermId) -> TermId {
+        let not_sup = self.ctx.not(self.suppress);
+        self.ctx.and(guard, not_sup)
+    }
+
+    fn record_ub(&mut self, guard: TermId) {
+        self.ub = self.ctx.or(self.ub, guard);
+    }
+
+    // ---- statements -----------------------------------------------------------
+
+    fn exec_block(&mut self, block: &Block, guard: TermId) -> Result<(), SymExecError> {
+        for (idx, stmt) in block.stmts.iter().enumerate() {
+            if let Stmt::Goto(label) = stmt {
+                // Backward gotos (label earlier in this block) cannot be
+                // expressed with suppression guards.
+                let is_backward = block.stmts[..idx]
+                    .iter()
+                    .any(|s| matches!(s, Stmt::Label(l) if l == label));
+                if is_backward {
+                    return Err(SymExecError::new(format!(
+                        "backward goto to label `{}` is not supported",
+                        label
+                    )));
+                }
+            }
+            self.exec_stmt(stmt, guard)?;
+        }
+        Ok(())
+    }
+
+    fn exec_stmt(&mut self, stmt: &Stmt, guard: TermId) -> Result<(), SymExecError> {
+        match stmt {
+            Stmt::Decl { ty, name, init } => {
+                let value = match (init, ty) {
+                    (Some(init), _) => self.eval(init, guard)?,
+                    (None, Type::Int) => SymValue::Scalar(self.ctx.bv32(0)),
+                    (None, Type::M256i) => SymValue::Vector([self.ctx.bv32(0); LANES]),
+                    (None, other) => {
+                        return Err(SymExecError::new(format!(
+                            "cannot default-initialize `{}` of type {}",
+                            name, other
+                        )))
+                    }
+                };
+                // Declarations are unconditional bindings; conditional
+                // declarations do not occur after unrolling in this subset.
+                self.scalars.insert(name.clone(), value);
+                Ok(())
+            }
+            Stmt::Expr(e) => {
+                self.eval(e, guard)?;
+                Ok(())
+            }
+            Stmt::If {
+                cond,
+                then_branch,
+                else_branch,
+            } => {
+                let c = self.eval_scalar(cond, guard)?;
+                let zero = self.ctx.bv32(0);
+                let taken = self.ctx.ne(c, zero);
+                let not_taken = self.ctx.not(taken);
+                let then_guard = self.ctx.and(guard, taken);
+                let else_guard = self.ctx.and(guard, not_taken);
+                // Predicated execution: both branches run, every store is
+                // guarded, so the merge is implicit.
+                self.exec_block(then_branch, then_guard)?;
+                if let Some(else_branch) = else_branch {
+                    self.exec_block(else_branch, else_guard)?;
+                }
+                Ok(())
+            }
+            Stmt::For {
+                init,
+                cond,
+                step,
+                body,
+            } => {
+                if let Some(init) = init {
+                    self.exec_stmt(init, guard)?;
+                }
+                loop {
+                    if let Some(cond) = cond {
+                        let c = self.eval_scalar(cond, guard)?;
+                        match self.ctx.as_bv_const(c) {
+                            Some(0) => break,
+                            Some(_) => {}
+                            None => {
+                                // The condition may also be a folded boolean
+                                // (comparisons return 0/1 via ite), so try to
+                                // interpret it as such.
+                                return Err(SymExecError::new(
+                                    "loop condition does not fold to a constant; the loop cannot be unrolled",
+                                ));
+                            }
+                        }
+                    }
+                    self.iterations += 1;
+                    if self.iterations > self.config.max_iterations {
+                        return Err(SymExecError::new(format!(
+                            "exceeded the unrolling budget of {} iterations",
+                            self.config.max_iterations
+                        )));
+                    }
+                    self.exec_block(body, guard)?;
+                    if let Some(step) = step {
+                        self.eval(step, guard)?;
+                    }
+                    if cond.is_none() {
+                        return Err(SymExecError::new("infinite for-loop without a condition"));
+                    }
+                }
+                Ok(())
+            }
+            Stmt::While { cond, body } => {
+                loop {
+                    let c = self.eval_scalar(cond, guard)?;
+                    match self.ctx.as_bv_const(c) {
+                        Some(0) => break,
+                        Some(_) => {}
+                        None => {
+                            return Err(SymExecError::new(
+                                "while condition does not fold to a constant",
+                            ))
+                        }
+                    }
+                    self.iterations += 1;
+                    if self.iterations > self.config.max_iterations {
+                        return Err(SymExecError::new(format!(
+                            "exceeded the unrolling budget of {} iterations",
+                            self.config.max_iterations
+                        )));
+                    }
+                    self.exec_block(body, guard)?;
+                }
+                Ok(())
+            }
+            Stmt::Return(_) => {
+                let active = self.active(guard);
+                self.suppress = self.ctx.or(self.suppress, active);
+                Ok(())
+            }
+            Stmt::Goto(label) => {
+                let active = self.active(guard);
+                let entry = self
+                    .pending
+                    .get(label)
+                    .copied()
+                    .unwrap_or_else(|| self.ctx.bool_const(false));
+                let merged = self.ctx.or(entry, active);
+                self.pending.insert(label.clone(), merged);
+                self.suppress = self.ctx.or(self.suppress, active);
+                Ok(())
+            }
+            Stmt::Label(label) => {
+                if let Some(arrivals) = self.pending.remove(label) {
+                    let not_arrivals = self.ctx.not(arrivals);
+                    self.suppress = self.ctx.and(self.suppress, not_arrivals);
+                }
+                Ok(())
+            }
+            Stmt::Break | Stmt::Continue => Err(SymExecError::new(
+                "break/continue inside symbolically executed code are not supported; \
+                 the C-level unroller rewrites break into return first",
+            )),
+            Stmt::Block(b) => self.exec_block(b, guard),
+            Stmt::Empty => Ok(()),
+        }
+    }
+
+    // ---- expressions -------------------------------------------------------------
+
+    fn eval_scalar(&mut self, expr: &Expr, guard: TermId) -> Result<TermId, SymExecError> {
+        match self.eval(expr, guard)? {
+            SymValue::Scalar(t) => Ok(t),
+            SymValue::Vector(_) => Err(SymExecError::new("expected a scalar, found a vector")),
+            SymValue::Ptr { .. } => Err(SymExecError::new("expected a scalar, found a pointer")),
+        }
+    }
+
+    fn eval_vector(&mut self, expr: &Expr, guard: TermId) -> Result<[TermId; LANES], SymExecError> {
+        match self.eval(expr, guard)? {
+            SymValue::Vector(v) => Ok(v),
+            _ => Err(SymExecError::new("expected a __m256i value")),
+        }
+    }
+
+    fn eval_ptr(&mut self, expr: &Expr, guard: TermId) -> Result<(String, i64), SymExecError> {
+        match self.eval(expr, guard)? {
+            SymValue::Ptr { array, offset } => Ok((array, offset)),
+            _ => Err(SymExecError::new("expected a pointer value")),
+        }
+    }
+
+    fn concrete_index(&self, term: TermId) -> Result<i64, SymExecError> {
+        match self.ctx.as_bv_const(term) {
+            Some(v) => Ok(lv_smt::sign_extend(v, 32)),
+            None => Err(SymExecError::new(
+                "array subscript does not fold to a constant after unrolling",
+            )),
+        }
+    }
+
+    fn check_bounds(&mut self, array: &str, index: i64, lanes: i64, guard: TermId) -> bool {
+        let len = self.arrays[array].len() as i64;
+        if index < 0 || index + lanes > len {
+            self.record_ub(guard);
+            return false;
+        }
+        true
+    }
+
+    fn read_cell(&mut self, array: &str, index: i64, guard: TermId) -> Result<TermId, SymExecError> {
+        let active = self.active(guard);
+        if !self.check_bounds(array, index, 1, active) {
+            // Out of the modelled window: the value is an unconstrained fresh
+            // symbol (the UB flag already records the violation).
+            return Ok(self.ctx.bv_var(format!("oob!{}!{}", array, index), 32));
+        }
+        Ok(self.arrays[array][index as usize])
+    }
+
+    fn write_cell(
+        &mut self,
+        array: &str,
+        index: i64,
+        value: TermId,
+        guard: TermId,
+    ) -> Result<(), SymExecError> {
+        let active = self.active(guard);
+        if !self.check_bounds(array, index, 1, active) {
+            return Ok(());
+        }
+        let old = self.arrays[array][index as usize];
+        let merged = self.ctx.ite(active, value, old);
+        self.arrays.get_mut(array).expect("array exists")[index as usize] = merged;
+        Ok(())
+    }
+
+    fn assign_scalar(&mut self, name: &str, value: SymValue, guard: TermId) -> Result<(), SymExecError> {
+        let active = self.active(guard);
+        match (self.scalars.get(name).cloned(), value) {
+            (Some(SymValue::Scalar(old)), SymValue::Scalar(new)) => {
+                let merged = self.ctx.ite(active, new, old);
+                self.scalars.insert(name.to_string(), SymValue::Scalar(merged));
+                Ok(())
+            }
+            (Some(SymValue::Vector(old)), SymValue::Vector(new)) => {
+                let mut merged = old;
+                for i in 0..LANES {
+                    merged[i] = self.ctx.ite(active, new[i], old[i]);
+                }
+                self.scalars.insert(name.to_string(), SymValue::Vector(merged));
+                Ok(())
+            }
+            (Some(SymValue::Ptr { .. }), new @ SymValue::Ptr { .. }) | (None, new) => {
+                self.scalars.insert(name.to_string(), new);
+                Ok(())
+            }
+            (old, new) => Err(SymExecError::new(format!(
+                "assignment to `{}` changes its kind ({:?} -> {:?})",
+                name, old, new
+            ))),
+        }
+    }
+
+    fn eval(&mut self, expr: &Expr, guard: TermId) -> Result<SymValue, SymExecError> {
+        match expr {
+            Expr::IntLit(v) => Ok(SymValue::Scalar(self.ctx.bv32(*v as i32))),
+            Expr::Var(name) => self
+                .scalars
+                .get(name)
+                .cloned()
+                .ok_or_else(|| SymExecError::new(format!("unbound variable `{}`", name))),
+            Expr::Index { base, index } => {
+                let (array, offset) = self.eval_ptr(base, guard)?;
+                let idx_term = self.eval_scalar(index, guard)?;
+                let idx = self.concrete_index(idx_term)? + offset;
+                Ok(SymValue::Scalar(self.read_cell(&array, idx, guard)?))
+            }
+            Expr::Unary { op, expr } => {
+                let v = self.eval_scalar(expr, guard)?;
+                let out = match op {
+                    UnOp::Neg => self.ctx.bv_neg(v),
+                    UnOp::BitNot => self.ctx.bv_not(v),
+                    UnOp::Not => {
+                        let zero = self.ctx.bv32(0);
+                        let one = self.ctx.bv32(1);
+                        let is_zero = self.ctx.eq(v, zero);
+                        self.ctx.ite(is_zero, one, zero)
+                    }
+                };
+                Ok(SymValue::Scalar(out))
+            }
+            Expr::Binary { op, lhs, rhs } => self.eval_binary(*op, lhs, rhs, guard),
+            Expr::Assign { op, target, value } => self.eval_assign(*op, target, value, guard),
+            Expr::Call { callee, args } => self.eval_call(callee, args, guard),
+            Expr::Cast { expr, .. } => self.eval(expr, guard),
+            Expr::AddrOf(inner) => match inner.as_ref() {
+                Expr::Index { base, index } => {
+                    let (array, offset) = self.eval_ptr(base, guard)?;
+                    let idx_term = self.eval_scalar(index, guard)?;
+                    let idx = self.concrete_index(idx_term)? + offset;
+                    Ok(SymValue::Ptr {
+                        array,
+                        offset: idx,
+                    })
+                }
+                Expr::Var(_) => self.eval(inner, guard),
+                other => Err(SymExecError::new(format!(
+                    "unsupported address-of operand {:?}",
+                    other
+                ))),
+            },
+            Expr::Ternary {
+                cond,
+                then_expr,
+                else_expr,
+            } => {
+                let c = self.eval_scalar(cond, guard)?;
+                let zero = self.ctx.bv32(0);
+                let taken = self.ctx.ne(c, zero);
+                let t = self.eval_scalar(then_expr, guard)?;
+                let e = self.eval_scalar(else_expr, guard)?;
+                Ok(SymValue::Scalar(self.ctx.ite(taken, t, e)))
+            }
+        }
+    }
+
+    fn eval_binary(
+        &mut self,
+        op: BinOp,
+        lhs: &Expr,
+        rhs: &Expr,
+        guard: TermId,
+    ) -> Result<SymValue, SymExecError> {
+        // Pointer arithmetic keeps the offset concrete.
+        let lhs_v = self.eval(lhs, guard)?;
+        if let SymValue::Ptr { array, offset } = &lhs_v {
+            let rhs_t = self.eval_scalar(rhs, guard)?;
+            let delta = self.concrete_index(rhs_t)?;
+            let new_offset = match op {
+                BinOp::Add => offset + delta,
+                BinOp::Sub => offset - delta,
+                _ => {
+                    return Err(SymExecError::new(
+                        "unsupported pointer arithmetic operator",
+                    ))
+                }
+            };
+            return Ok(SymValue::Ptr {
+                array: array.clone(),
+                offset: new_offset,
+            });
+        }
+        let l = match lhs_v {
+            SymValue::Scalar(t) => t,
+            _ => return Err(SymExecError::new("expected scalar operands")),
+        };
+        let zero = self.ctx.bv32(0);
+        let one = self.ctx.bv32(1);
+        // Short-circuit operators: evaluate both sides (they are pure in this
+        // subset) and combine logically.
+        let r = match self.eval(rhs, guard)? {
+            SymValue::Scalar(t) => t,
+            SymValue::Ptr { array, offset } if op == BinOp::Add => {
+                let delta = self.concrete_index(l)?;
+                return Ok(SymValue::Ptr {
+                    array,
+                    offset: offset + delta,
+                });
+            }
+            _ => return Err(SymExecError::new("expected scalar operands")),
+        };
+        let bool_to_int = |ctx: &mut Context, b: TermId| ctx.ite(b, one, zero);
+        let out = match op {
+            BinOp::Add => self.ctx.bv_add(l, r),
+            BinOp::Sub => self.ctx.bv_sub(l, r),
+            BinOp::Mul => self.ctx.bv_mul(l, r),
+            BinOp::Div => {
+                let is_zero = self.ctx.eq(r, zero);
+                let active = self.active(guard);
+                let div_ub = self.ctx.and(active, is_zero);
+                self.record_ub(div_ub);
+                self.ctx.bv_sdiv(l, r)
+            }
+            BinOp::Rem => {
+                let is_zero = self.ctx.eq(r, zero);
+                let active = self.active(guard);
+                let div_ub = self.ctx.and(active, is_zero);
+                self.record_ub(div_ub);
+                self.ctx.bv_srem(l, r)
+            }
+            BinOp::Lt => {
+                let b = self.ctx.bv_slt(l, r);
+                bool_to_int(self.ctx, b)
+            }
+            BinOp::Le => {
+                let b = self.ctx.bv_sle(l, r);
+                bool_to_int(self.ctx, b)
+            }
+            BinOp::Gt => {
+                let b = self.ctx.bv_sgt(l, r);
+                bool_to_int(self.ctx, b)
+            }
+            BinOp::Ge => {
+                let b = self.ctx.bv_sge(l, r);
+                bool_to_int(self.ctx, b)
+            }
+            BinOp::Eq => {
+                let b = self.ctx.eq(l, r);
+                bool_to_int(self.ctx, b)
+            }
+            BinOp::Ne => {
+                let b = self.ctx.ne(l, r);
+                bool_to_int(self.ctx, b)
+            }
+            BinOp::And => {
+                let ln = self.ctx.ne(l, zero);
+                let rn = self.ctx.ne(r, zero);
+                let b = self.ctx.and(ln, rn);
+                bool_to_int(self.ctx, b)
+            }
+            BinOp::Or => {
+                let ln = self.ctx.ne(l, zero);
+                let rn = self.ctx.ne(r, zero);
+                let b = self.ctx.or(ln, rn);
+                bool_to_int(self.ctx, b)
+            }
+            BinOp::BitAnd => self.ctx.bv_and(l, r),
+            BinOp::BitOr => self.ctx.bv_or(l, r),
+            BinOp::BitXor => self.ctx.bv_xor(l, r),
+            BinOp::Shl => self.ctx.bv_shl(l, r),
+            BinOp::Shr => self.ctx.bv_ashr(l, r),
+        };
+        Ok(SymValue::Scalar(out))
+    }
+
+    fn eval_assign(
+        &mut self,
+        op: AssignOp,
+        target: &Expr,
+        value: &Expr,
+        guard: TermId,
+    ) -> Result<SymValue, SymExecError> {
+        let new_value = match op.binop() {
+            None => self.eval(value, guard)?,
+            Some(binop) => self.eval_binary(binop, target, value, guard)?,
+        };
+        match target {
+            Expr::Var(name) => {
+                self.assign_scalar(name, new_value.clone(), guard)?;
+                Ok(new_value)
+            }
+            Expr::Index { base, index } => {
+                let (array, offset) = self.eval_ptr(base, guard)?;
+                let idx_term = self.eval_scalar(index, guard)?;
+                let idx = self.concrete_index(idx_term)? + offset;
+                let scalar = match &new_value {
+                    SymValue::Scalar(t) => *t,
+                    _ => return Err(SymExecError::new("can only store scalars into arrays")),
+                };
+                self.write_cell(&array, idx, scalar, guard)?;
+                Ok(new_value)
+            }
+            other => Err(SymExecError::new(format!(
+                "invalid assignment target {:?}",
+                other
+            ))),
+        }
+    }
+
+    fn eval_call(
+        &mut self,
+        callee: &str,
+        args: &[Expr],
+        guard: TermId,
+    ) -> Result<SymValue, SymExecError> {
+        match callee {
+            "_mm256_loadu_si256" | "_mm256_maskload_epi32" => {
+                let (array, base) = self.eval_ptr(&args[0], guard)?;
+                let mask = if callee == "_mm256_maskload_epi32" {
+                    Some(self.eval_vector(&args[1], guard)?)
+                } else {
+                    None
+                };
+                let mut lanes = [self.ctx.bv32(0); LANES];
+                for (i, lane) in lanes.iter_mut().enumerate() {
+                    let loaded = self.read_cell(&array, base + i as i64, guard)?;
+                    *lane = match &mask {
+                        None => loaded,
+                        Some(mask) => {
+                            let zero = self.ctx.bv32(0);
+                            let neg = self.ctx.bv_slt(mask[i], zero);
+                            self.ctx.ite(neg, loaded, zero)
+                        }
+                    };
+                }
+                Ok(SymValue::Vector(lanes))
+            }
+            "_mm256_storeu_si256" | "_mm256_maskstore_epi32" => {
+                let (array, base) = self.eval_ptr(&args[0], guard)?;
+                let (mask, value) = if callee == "_mm256_maskstore_epi32" {
+                    (
+                        Some(self.eval_vector(&args[1], guard)?),
+                        self.eval_vector(&args[2], guard)?,
+                    )
+                } else {
+                    (None, self.eval_vector(&args[1], guard)?)
+                };
+                for i in 0..LANES {
+                    let lane_guard = match &mask {
+                        None => guard,
+                        Some(mask) => {
+                            let zero = self.ctx.bv32(0);
+                            let neg = self.ctx.bv_slt(mask[i], zero);
+                            self.ctx.and(guard, neg)
+                        }
+                    };
+                    self.write_cell(&array, base + i as i64, value[i], lane_guard)?;
+                }
+                Ok(SymValue::Scalar(self.ctx.bv32(0)))
+            }
+            _ => self.eval_pure_intrinsic(callee, args, guard),
+        }
+    }
+
+    fn eval_pure_intrinsic(
+        &mut self,
+        callee: &str,
+        args: &[Expr],
+        guard: TermId,
+    ) -> Result<SymValue, SymExecError> {
+        let zero32 = self.ctx.bv32(0);
+        let splat = |v: TermId| -> [TermId; LANES] { [v; LANES] };
+        let mut vec_args: Vec<[TermId; LANES]> = Vec::new();
+        let mut scalar_args: Vec<TermId> = Vec::new();
+        let sig = lv_cir::intrinsics::intrinsic_sig(callee).ok_or_else(|| {
+            SymExecError::new(format!("intrinsic `{}` is not modelled by the verifier", callee))
+        })?;
+        for (arg, slot) in args.iter().zip(sig.params.iter()) {
+            match slot {
+                lv_cir::intrinsics::IntrinsicType::I32 => {
+                    scalar_args.push(self.eval_scalar(arg, guard)?)
+                }
+                lv_cir::intrinsics::IntrinsicType::Vec => {
+                    vec_args.push(self.eval_vector(arg, guard)?)
+                }
+                _ => {
+                    return Err(SymExecError::new(format!(
+                        "unexpected memory operand in pure intrinsic `{}`",
+                        callee
+                    )))
+                }
+            }
+        }
+        let lanewise2 = |s: &mut Self, f: &dyn Fn(&mut Context, TermId, TermId) -> TermId| {
+            let mut out = splat(zero32);
+            for i in 0..LANES {
+                out[i] = f(s.ctx, vec_args[0][i], vec_args[1][i]);
+            }
+            SymValue::Vector(out)
+        };
+        let result = match callee {
+            "_mm256_setzero_si256" => SymValue::Vector(splat(zero32)),
+            "_mm256_set1_epi32" => SymValue::Vector(splat(scalar_args[0])),
+            "_mm256_setr_epi32" | "_mm256_set_epi32" => {
+                let mut lanes = splat(zero32);
+                for i in 0..LANES {
+                    lanes[i] = if callee == "_mm256_setr_epi32" {
+                        scalar_args[i]
+                    } else {
+                        scalar_args[LANES - 1 - i]
+                    };
+                }
+                SymValue::Vector(lanes)
+            }
+            "_mm256_add_epi32" => lanewise2(self, &|c, a, b| c.bv_add(a, b)),
+            "_mm256_sub_epi32" => lanewise2(self, &|c, a, b| c.bv_sub(a, b)),
+            "_mm256_mullo_epi32" => lanewise2(self, &|c, a, b| c.bv_mul(a, b)),
+            "_mm256_and_si256" => lanewise2(self, &|c, a, b| c.bv_and(a, b)),
+            "_mm256_or_si256" => lanewise2(self, &|c, a, b| c.bv_or(a, b)),
+            "_mm256_xor_si256" => lanewise2(self, &|c, a, b| c.bv_xor(a, b)),
+            "_mm256_andnot_si256" => lanewise2(self, &|c, a, b| {
+                let na = c.bv_not(a);
+                c.bv_and(na, b)
+            }),
+            "_mm256_max_epi32" => lanewise2(self, &|c, a, b| {
+                let gt = c.bv_slt(b, a);
+                c.ite(gt, a, b)
+            }),
+            "_mm256_min_epi32" => lanewise2(self, &|c, a, b| {
+                let lt = c.bv_slt(a, b);
+                c.ite(lt, a, b)
+            }),
+            "_mm256_cmpgt_epi32" => lanewise2(self, &|c, a, b| {
+                let gt = c.bv_slt(b, a);
+                let ones = c.bv32(-1);
+                let zero = c.bv32(0);
+                c.ite(gt, ones, zero)
+            }),
+            "_mm256_cmpeq_epi32" => lanewise2(self, &|c, a, b| {
+                let eq = c.eq(a, b);
+                let ones = c.bv32(-1);
+                let zero = c.bv32(0);
+                c.ite(eq, ones, zero)
+            }),
+            "_mm256_abs_epi32" => {
+                let mut out = splat(zero32);
+                for i in 0..LANES {
+                    let a = vec_args[0][i];
+                    let neg = self.ctx.bv_neg(a);
+                    let zero = self.ctx.bv32(0);
+                    let is_neg = self.ctx.bv_slt(a, zero);
+                    out[i] = self.ctx.ite(is_neg, neg, a);
+                }
+                SymValue::Vector(out)
+            }
+            "_mm256_blendv_epi8" => {
+                // For the i32-lane masks produced by cmpgt/cmpeq, byte-level
+                // blending degenerates to lane selection on the sign bit.
+                let mut out = splat(zero32);
+                for i in 0..LANES {
+                    let zero = self.ctx.bv32(0);
+                    let take_b = self.ctx.bv_slt(vec_args[2][i], zero);
+                    out[i] = self.ctx.ite(take_b, vec_args[1][i], vec_args[0][i]);
+                }
+                SymValue::Vector(out)
+            }
+            "_mm256_slli_epi32" | "_mm256_srli_epi32" | "_mm256_srai_epi32" => {
+                let mut out = splat(zero32);
+                for i in 0..LANES {
+                    let a = vec_args[0][i];
+                    let amount = scalar_args[0];
+                    out[i] = match callee {
+                        "_mm256_slli_epi32" => self.ctx.bv_shl(a, amount),
+                        "_mm256_srli_epi32" => self.ctx.bv_lshr(a, amount),
+                        _ => self.ctx.bv_ashr(a, amount),
+                    };
+                }
+                SymValue::Vector(out)
+            }
+            "_mm256_extract_epi32" => {
+                let idx = self
+                    .ctx
+                    .as_bv_const(scalar_args[0])
+                    .ok_or_else(|| SymExecError::new("extract lane index must be constant"))?;
+                SymValue::Scalar(vec_args[0][(idx as usize) % LANES])
+            }
+            "_mm256_insert_epi32" => {
+                let idx = self
+                    .ctx
+                    .as_bv_const(scalar_args[1])
+                    .ok_or_else(|| SymExecError::new("insert lane index must be constant"))?;
+                let mut out = vec_args[0];
+                out[(idx as usize) % LANES] = scalar_args[0];
+                SymValue::Vector(out)
+            }
+            "_mm256_hadd_epi32" => {
+                let a = vec_args[0];
+                let b = vec_args[1];
+                let mut out = splat(zero32);
+                let pairs = [
+                    (a[0], a[1]),
+                    (a[2], a[3]),
+                    (b[0], b[1]),
+                    (b[2], b[3]),
+                    (a[4], a[5]),
+                    (a[6], a[7]),
+                    (b[4], b[5]),
+                    (b[6], b[7]),
+                ];
+                for (i, (x, y)) in pairs.into_iter().enumerate() {
+                    out[i] = self.ctx.bv_add(x, y);
+                }
+                SymValue::Vector(out)
+            }
+            "_mm256_permutevar8x32_epi32" => {
+                // Lane indices must be constants for the verifier (they are in
+                // all generated code).
+                let mut out = splat(zero32);
+                for i in 0..LANES {
+                    let idx = self.ctx.as_bv_const(vec_args[1][i]).ok_or_else(|| {
+                        SymExecError::new("permutevar indices must be constants")
+                    })?;
+                    out[i] = vec_args[0][(idx as usize) & 7];
+                }
+                SymValue::Vector(out)
+            }
+            "_mm256_shuffle_epi32" | "_mm256_permute2x128_si256" | "_mm256_movemask_epi8" => {
+                return Err(SymExecError::new(format!(
+                    "intrinsic `{}` is recognized but not encoded by the verifier",
+                    callee
+                )))
+            }
+            other => {
+                return Err(SymExecError::new(format!(
+                    "intrinsic `{}` is not modelled by the verifier",
+                    other
+                )))
+            }
+        };
+        Ok(result)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lv_cir::parse_function;
+    use lv_smt::{Solver, SolverBudget, Validity};
+
+    fn exec_with(
+        ctx: &mut Context,
+        src: &str,
+        n: i32,
+        len: usize,
+    ) -> Result<SymOutcome, SymExecError> {
+        let func = parse_function(src).unwrap();
+        let mut config = SymExecConfig {
+            array_len: len,
+            ..SymExecConfig::default()
+        };
+        config.scalar_bindings.insert("n".into(), n);
+        sym_exec(ctx, &func, &config)
+    }
+
+    #[test]
+    fn straight_line_stores() {
+        let mut solver = Solver::new();
+        let out = exec_with(
+            &mut solver.ctx,
+            "void f(int n, int *a, int *b) { a[0] = b[0] + 1; }",
+            4,
+            4,
+        )
+        .unwrap();
+        // a[0] must equal b!0 + 1.
+        let b0 = solver.ctx.bv_var("b!0", 32);
+        let one = solver.ctx.bv32(1);
+        let expected = solver.ctx.bv_add(b0, one);
+        let eq = solver.ctx.eq(out.arrays["a"][0], expected);
+        assert_eq!(
+            solver.check_validity(eq, &SolverBudget::default()),
+            Validity::Valid
+        );
+    }
+
+    #[test]
+    fn loop_unrolls_with_concrete_bound() {
+        let mut solver = Solver::new();
+        let out = exec_with(
+            &mut solver.ctx,
+            "void f(int n, int *a, int *b) { for (int i = 0; i < n; i++) { a[i] = b[i] + 1; } }",
+            4,
+            6,
+        )
+        .unwrap();
+        assert_eq!(out.unrolled_iterations, 4);
+        // Cells beyond the trip count keep their initial symbolic value.
+        let a5 = solver.ctx.bv_var("a!5", 32);
+        assert_eq!(out.arrays["a"][5], a5);
+    }
+
+    #[test]
+    fn if_else_becomes_ite() {
+        let mut solver = Solver::new();
+        let out = exec_with(
+            &mut solver.ctx,
+            "void f(int n, int *a, int *b) { if (b[0] > 0) { a[0] = 1; } else { a[0] = 2; } }",
+            4,
+            2,
+        )
+        .unwrap();
+        // For b!0 = 5 the result must be 1; for b!0 = -5 it must be 2.
+        let b0 = solver.ctx.bv_var("b!0", 32);
+        let five = solver.ctx.bv32(5);
+        let one = solver.ctx.bv32(1);
+        let pre = solver.ctx.eq(b0, five);
+        let post = solver.ctx.eq(out.arrays["a"][0], one);
+        let vc = solver.ctx.implies(pre, post);
+        assert_eq!(
+            solver.check_validity(vc, &SolverBudget::default()),
+            Validity::Valid
+        );
+    }
+
+    #[test]
+    fn goto_suppression_matches_if_else() {
+        let mut solver = Solver::new();
+        // s278-style forward gotos.
+        let out = exec_with(
+            &mut solver.ctx,
+            "void f(int n, int *a, int *b) { if (b[0] > 0) { goto L1; } a[0] = 10; goto L2; L1: a[0] = 20; L2: a[1] = a[0]; }",
+            4,
+            4,
+        )
+        .unwrap();
+        let b0 = solver.ctx.bv_var("b!0", 32);
+        let zero = solver.ctx.bv32(0);
+        let twenty = solver.ctx.bv32(20);
+        let ten = solver.ctx.bv32(10);
+        let pos = solver.ctx.bv_sgt(b0, zero);
+        let expected = solver.ctx.ite(pos, twenty, ten);
+        let eq0 = solver.ctx.eq(out.arrays["a"][0], expected);
+        let eq1 = solver.ctx.eq(out.arrays["a"][1], expected);
+        let both = solver.ctx.and(eq0, eq1);
+        assert_eq!(
+            solver.check_validity(both, &SolverBudget::default()),
+            Validity::Valid
+        );
+    }
+
+    #[test]
+    fn vector_intrinsics_match_scalar_loop() {
+        // A full equivalence check in miniature: 8-wide add against the
+        // scalar loop, n = 8.
+        let mut solver = Solver::new();
+        let scalar_out = exec_with(
+            &mut solver.ctx,
+            "void f(int n, int *a, int *b) { for (int i = 0; i < n; i++) { a[i] = b[i] + 1; } }",
+            8,
+            8,
+        )
+        .unwrap();
+        let vector_out = exec_with(
+            &mut solver.ctx,
+            "void f(int n, int *a, int *b) { for (int i = 0; i + 8 <= n; i += 8) { __m256i x = _mm256_loadu_si256((__m256i *)&b[i]); __m256i y = _mm256_add_epi32(x, _mm256_set1_epi32(1)); _mm256_storeu_si256((__m256i *)&a[i], y); } }",
+            8,
+            8,
+        )
+        .unwrap();
+        let mut all = solver.ctx.bool_const(true);
+        for i in 0..8 {
+            let eq = solver.ctx.eq(scalar_out.arrays["a"][i], vector_out.arrays["a"][i]);
+            all = solver.ctx.and(all, eq);
+        }
+        assert_eq!(
+            solver.check_validity(all, &SolverBudget::default()),
+            Validity::Valid
+        );
+    }
+
+    #[test]
+    fn out_of_bounds_sets_ub() {
+        let mut solver = Solver::new();
+        let out = exec_with(
+            &mut solver.ctx,
+            "void f(int n, int *a) { a[6] = 1; }",
+            4,
+            4,
+        )
+        .unwrap();
+        assert_eq!(solver.ctx.as_bool_const(out.ub), Some(true));
+    }
+
+    #[test]
+    fn reduction_scalar_state() {
+        let mut solver = Solver::new();
+        let out = exec_with(
+            &mut solver.ctx,
+            "void f(int n, int *a, int *out) { int s = 0; for (int i = 0; i < n; i++) { s += a[i]; } out[0] = s; }",
+            3,
+            4,
+        )
+        .unwrap();
+        let a0 = solver.ctx.bv_var("a!0", 32);
+        let a1 = solver.ctx.bv_var("a!1", 32);
+        let a2 = solver.ctx.bv_var("a!2", 32);
+        let s01 = solver.ctx.bv_add(a0, a1);
+        let expected = solver.ctx.bv_add(s01, a2);
+        let eq = solver.ctx.eq(out.arrays["out"][0], expected);
+        assert_eq!(
+            solver.check_validity(eq, &SolverBudget::default()),
+            Validity::Valid
+        );
+    }
+
+    #[test]
+    fn symbolic_loop_bound_is_rejected() {
+        let mut solver = Solver::new();
+        let func = parse_function(
+            "void f(int n, int *a) { for (int i = 0; i < n; i++) { a[i] = 0; } }",
+        )
+        .unwrap();
+        // No binding for n: the loop condition cannot fold.
+        let err = sym_exec(&mut solver.ctx, &func, &SymExecConfig::default()).unwrap_err();
+        assert!(err.reason.contains("does not fold"), "{}", err);
+    }
+
+    #[test]
+    fn backward_goto_is_rejected() {
+        let mut solver = Solver::new();
+        let func = parse_function(
+            "void f(int n, int *a) { L1: a[0] = a[0] + 1; goto L1; }",
+        )
+        .unwrap();
+        let mut config = SymExecConfig::default();
+        config.scalar_bindings.insert("n".into(), 1);
+        let err = sym_exec(&mut solver.ctx, &func, &config).unwrap_err();
+        assert!(err.reason.contains("backward goto"), "{}", err);
+    }
+
+    #[test]
+    fn unmodelled_intrinsic_is_rejected() {
+        let mut solver = Solver::new();
+        let func = parse_function(
+            "void f(int n, int *a) { __m256i x = _mm256_loadu_si256((__m256i *)&a[0]); __m256i y = _mm256_shuffle_epi32(x, 27); _mm256_storeu_si256((__m256i *)&a[0], y); }",
+        )
+        .unwrap();
+        let mut config = SymExecConfig::default();
+        config.scalar_bindings.insert("n".into(), 8);
+        let err = sym_exec(&mut solver.ctx, &func, &config).unwrap_err();
+        assert!(err.reason.contains("not encoded"), "{}", err);
+    }
+}

@@ -1,0 +1,10 @@
+//! Reproduces the motivating example of Figure 1: the s212 kernel, its
+//! AVX2 vectorization, and the simulated speedups over GCC / Clang / ICC.
+
+use llm_vectorizer_repro::core::{figure1, ExperimentConfig};
+
+fn main() {
+    let fig = figure1(&ExperimentConfig::default());
+    println!("=== Figure 1(c): s212 runtime speedup ===");
+    println!("{}", fig.render());
+}

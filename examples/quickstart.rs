@@ -1,0 +1,37 @@
+//! Quickstart: run the complete LLM-Vectorizer pipeline on one TSVC kernel.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use llm_vectorizer_repro::agents::{run_fsm, FsmConfig};
+use llm_vectorizer_repro::autovec::{speedup_over, Compiler, CompilerProfile, CostTable};
+use llm_vectorizer_repro::cir::print_function;
+use llm_vectorizer_repro::core::{check_equivalence, PipelineConfig};
+
+fn main() {
+    // 1. Pick a kernel the baseline compilers refuse to vectorize.
+    let kernel = llm_vectorizer_repro::tsvc::kernel("s212").expect("s212 is in the suite");
+    let scalar = kernel.function();
+    println!("=== scalar kernel ===\n{}", print_function(&scalar));
+
+    // 2. Drive the multi-agent FSM to obtain a plausible vectorization.
+    let fsm = run_fsm(&scalar, &FsmConfig::default());
+    let candidate = fsm.candidate.expect("the FSM finds a plausible candidate");
+    println!(
+        "=== candidate after {} attempt(s) ===\n{}",
+        fsm.attempts,
+        print_function(&candidate)
+    );
+
+    // 3. Formally verify it with the Alive2-style translation validator.
+    let report = check_equivalence(&scalar, &candidate, &PipelineConfig::default());
+    println!("verification: {:?} (stage {:?})", report.verdict, report.stage);
+
+    // 4. Simulate the run-time speedup over the three baseline compilers.
+    let costs = CostTable::default();
+    for compiler in Compiler::all() {
+        let s = speedup_over(&CompilerProfile::of(compiler), &scalar, &candidate, 32_000, &costs);
+        println!("speedup vs {}: {:.2}x", compiler.name(), s);
+    }
+}

@@ -1,0 +1,10 @@
+//! Reproduces Table 2: checksum-based testing outcomes at increasing numbers
+//! of completions (counts scaled to the paper's 149-test population).
+
+use llm_vectorizer_repro::core::{table2, ExperimentConfig};
+
+fn main() {
+    let table = table2(&ExperimentConfig::default(), &[1, 10, 25]);
+    println!("=== Table 2 (scaled to 149 tests) ===");
+    println!("{}", table.render());
+}

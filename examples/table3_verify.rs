@@ -1,0 +1,14 @@
+//! Reproduces Table 3: the equivalence-checking funnel over the embedded
+//! TSVC suite, followed by Figure 6's speedups for the verified kernels.
+
+use llm_vectorizer_repro::core::{figure6, table3, ExperimentConfig};
+
+fn main() {
+    let config = ExperimentConfig::default();
+    let table = table3(&config);
+    println!("=== Table 3: verification funnel ===");
+    println!("{}", table.render());
+    let fig = figure6(&config, &table.verdicts);
+    println!("=== Figure 6: speedups of verified kernels ===");
+    println!("{}", fig.render());
+}

@@ -1,0 +1,28 @@
+//! Workspace root crate for the LLM-Vectorizer reproduction.
+//!
+//! This crate only re-exports the member crates so that the top-level
+//! `examples/` and `tests/` directories can exercise the full public API
+//! from a single dependency. The actual implementation lives in the
+//! `crates/` workspace members:
+//!
+//! * [`lv_cir`] — mini-C front end (lexer, parser, typed AST, printer)
+//! * [`lv_simd`] — AVX2 value model and intrinsic semantics
+//! * [`lv_interp`] — concrete interpreter and checksum testing
+//! * [`lv_analysis`] — dependence analysis and compiler-style remarks
+//! * [`lv_smt`] — bitvector SMT solver (bit-blasting + CDCL SAT)
+//! * [`lv_tv`] — bounded translation validation (Alive2 substitute)
+//! * [`lv_autovec`] — baseline compiler models and the CPU cost model
+//! * [`lv_agents`] — synthetic LLM and the multi-agent FSM
+//! * [`lv_tsvc`] — the TSVC benchmark suite
+//! * [`lv_core`] — the end-to-end pipeline and experiment drivers
+
+pub use lv_agents as agents;
+pub use lv_analysis as analysis;
+pub use lv_autovec as autovec;
+pub use lv_cir as cir;
+pub use lv_core as core;
+pub use lv_interp as interp;
+pub use lv_simd as simd;
+pub use lv_smt as smt;
+pub use lv_tsvc as tsvc;
+pub use lv_tv as tv;

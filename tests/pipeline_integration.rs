@@ -1,0 +1,70 @@
+//! End-to-end integration tests spanning every crate: kernels flow from the
+//! TSVC suite through the synthetic LLM, checksum testing, and the symbolic
+//! verifier.
+
+use llm_vectorizer_repro::agents::{run_fsm, vectorize_correct, FsmConfig};
+use llm_vectorizer_repro::autovec::{speedup_over, Compiler, CompilerProfile, CostTable};
+use llm_vectorizer_repro::core::{check_equivalence, Equivalence, PipelineConfig, Stage};
+use llm_vectorizer_repro::interp::{checksum_test, ChecksumConfig};
+use llm_vectorizer_repro::tsvc;
+
+#[test]
+fn correct_vectorizations_survive_the_whole_pipeline() {
+    for name in ["s000", "s112", "s127", "s2711", "vsumr"] {
+        let scalar = tsvc::kernel(name).unwrap().function();
+        let candidate = vectorize_correct(&scalar).unwrap();
+        let report = check_equivalence(&scalar, &candidate, &PipelineConfig::default());
+        assert_eq!(
+            report.verdict,
+            Equivalence::Equivalent,
+            "{}: {} (stage {:?})",
+            name,
+            report.detail,
+            report.stage
+        );
+    }
+}
+
+#[test]
+fn paper_motivating_example_end_to_end() {
+    let scalar = tsvc::kernel("s212").unwrap().function();
+    let candidate = vectorize_correct(&scalar).unwrap();
+    // Checksum-plausible, formally verified, and faster than the baselines
+    // that refuse to vectorize.
+    let checksum = checksum_test(&scalar, &candidate, &ChecksumConfig::default());
+    assert!(checksum.outcome.is_plausible());
+    let report = check_equivalence(&scalar, &candidate, &PipelineConfig::default());
+    assert_eq!(report.verdict, Equivalence::Equivalent, "{}", report.detail);
+    let costs = CostTable::default();
+    let gcc = speedup_over(&CompilerProfile::of(Compiler::Gcc), &scalar, &candidate, 32_000, &costs);
+    let icc = speedup_over(&CompilerProfile::of(Compiler::Icc), &scalar, &candidate, 32_000, &costs);
+    assert!(gcc > 2.0, "GCC speedup {:.2}", gcc);
+    assert!(gcc > icc, "dependence kernels favour the LLM most against GCC/Clang");
+}
+
+#[test]
+fn fsm_produces_verified_candidates_for_easy_kernels() {
+    let scalar = tsvc::kernel("s000").unwrap().function();
+    let result = run_fsm(&scalar, &FsmConfig::default());
+    assert!(result.succeeded());
+    let report = check_equivalence(
+        &scalar,
+        result.candidate.as_ref().unwrap(),
+        &PipelineConfig::default(),
+    );
+    assert_eq!(report.verdict, Equivalence::Equivalent);
+}
+
+#[test]
+fn broken_candidates_are_caught_by_testing_or_verification() {
+    // A dependence-violating s212 candidate: loads a[i+1] after storing a[i].
+    let scalar = tsvc::kernel("s212").unwrap().function();
+    let broken = llm_vectorizer_repro::cir::parse_function(
+        "void s212(int n, int *a, int *b, int *c, int *d) { int i; for (i = 0; i + 8 <= n - 1; i += 8) { __m256i a_vec = _mm256_loadu_si256((__m256i *)&a[i]); __m256i b_vec = _mm256_loadu_si256((__m256i *)&b[i]); __m256i c_vec = _mm256_loadu_si256((__m256i *)&c[i]); __m256i d_vec = _mm256_loadu_si256((__m256i *)&d[i]); _mm256_storeu_si256((__m256i *)&a[i], _mm256_mullo_epi32(a_vec, c_vec)); __m256i a_next = _mm256_loadu_si256((__m256i *)&a[i + 1]); _mm256_storeu_si256((__m256i *)&b[i], _mm256_add_epi32(b_vec, _mm256_mullo_epi32(a_next, d_vec))); } for (; i < n - 1; i++) { a[i] *= c[i]; b[i] += a[i + 1] * d[i]; } }",
+    )
+    .unwrap();
+    let report = check_equivalence(&scalar, &broken, &PipelineConfig::default());
+    assert_eq!(report.verdict, Equivalence::NotEquivalent);
+    // Either stage may catch it; it must not be reported as verified.
+    assert_ne!(report.stage, Stage::Splitting);
+}

@@ -1,0 +1,74 @@
+//! Property-based tests over the core data structures and invariants.
+
+use llm_vectorizer_repro::cir::{parse_expr, parse_function, print_expr, print_function};
+use llm_vectorizer_repro::interp::{run_function, ArgBindings, ExecConfig};
+use llm_vectorizer_repro::simd::{eval_intrinsic, I32x8, SimdArg};
+use llm_vectorizer_repro::smt::{Solver, SolverBudget, Validity};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Printing then re-parsing an expression built from random operands is
+    /// the identity on the AST.
+    #[test]
+    fn expr_print_parse_roundtrip(a in -1000i64..1000, b in -1000i64..1000, op in 0usize..5) {
+        let ops = ["+", "-", "*", "&", "|"];
+        let src = format!("x * {} {} (y + {})", a, ops[op], b);
+        let parsed = parse_expr(&src).unwrap();
+        let reparsed = parse_expr(&print_expr(&parsed)).unwrap();
+        prop_assert_eq!(parsed, reparsed);
+    }
+
+    /// The scalar interpreter and the AVX2 lane model agree on element-wise
+    /// addition and multiplication.
+    #[test]
+    fn simd_matches_scalar_semantics(values in proptest::collection::vec(-10_000i32..10_000, 8)) {
+        let v = I32x8::load(&values);
+        let doubled = eval_intrinsic("_mm256_add_epi32", &[v.into(), v.into()]).unwrap().unwrap_vector();
+        let squared = eval_intrinsic("_mm256_mullo_epi32", &[v.into(), v.into()]).unwrap().unwrap_vector();
+        for i in 0..8 {
+            prop_assert_eq!(doubled.lanes()[i], values[i].wrapping_add(values[i]));
+            prop_assert_eq!(squared.lanes()[i], values[i].wrapping_mul(values[i]));
+        }
+    }
+
+    /// Running a simple kernel through the interpreter matches a Rust oracle.
+    #[test]
+    fn interpreter_matches_oracle(b_values in proptest::collection::vec(-1000i32..1000, 16)) {
+        let func = parse_function(
+            "void f(int n, int *a, int *b) { for (int i = 0; i < n; i++) { a[i] = b[i] * 3 + 1; } }",
+        ).unwrap();
+        let args = ArgBindings::new()
+            .scalar("n", b_values.len() as i32)
+            .array("a", vec![0; b_values.len()])
+            .array("b", b_values.clone());
+        let result = run_function(&func, &args, &ExecConfig::default()).unwrap();
+        let expected: Vec<i32> = b_values.iter().map(|&x| x.wrapping_mul(3).wrapping_add(1)).collect();
+        prop_assert_eq!(&result.arrays["a"], &expected);
+    }
+
+    /// The bitvector solver agrees with wrapping i32 arithmetic on ground terms.
+    #[test]
+    fn smt_constant_arithmetic_is_sound(a in any::<i32>(), b in any::<i32>()) {
+        let mut solver = Solver::new();
+        let ta = solver.ctx.bv32(a);
+        let tb = solver.ctx.bv32(b);
+        let sum = solver.ctx.bv_add(ta, tb);
+        let expected = solver.ctx.bv32(a.wrapping_add(b));
+        let eq = solver.ctx.eq(sum, expected);
+        prop_assert_eq!(solver.check_validity(eq, &SolverBudget::default()), Validity::Valid);
+    }
+
+    /// Round-tripping whole kernels through the printer preserves structure.
+    #[test]
+    fn function_print_parse_roundtrip(shift in 1i64..7, k in -50i64..50) {
+        let src = format!(
+            "void f(int n, int *a, int *b) {{ for (int i = 0; i < n - {}; i++) {{ if (b[i] > {}) {{ a[i] = b[i + {}] * {}; }} }} }}",
+            shift, k, shift, k
+        );
+        let parsed = parse_function(&src).unwrap();
+        let reparsed = parse_function(&print_function(&parsed)).unwrap();
+        prop_assert_eq!(parsed, reparsed);
+    }
+}
