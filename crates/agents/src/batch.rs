@@ -1,0 +1,121 @@
+//! Deterministic batch candidate generation feeding the verification engine.
+//!
+//! The synthetic LLM is a stateful, seeded sampler, so candidate generation
+//! must stay sequential to be reproducible — one model instance walks the
+//! kernels in order, exactly as the one-shot experiment drivers did. The
+//! expensive part, verification, is what the engine parallelizes: these
+//! helpers produce the full `(kernel × candidate)` job list up front so the
+//! engine's work queue can fan it out across workers while verdicts remain
+//! bit-identical to the sequential runs.
+
+use crate::fsm::{run_fsm_with_llm, FsmConfig, FsmResult};
+use crate::llm::{Completion, LlmConfig, SyntheticLlm, VectorizePrompt};
+use lv_cir::ast::Function;
+
+/// `k` completions per kernel, sampled without feedback (Table 2 / Figure 5
+/// style generation).
+#[derive(Debug, Clone)]
+pub struct CompletionBatch {
+    /// `completions[i][j]` is the `j`-th completion for the `i`-th kernel.
+    pub completions: Vec<Vec<Completion>>,
+}
+
+impl CompletionBatch {
+    /// Flattens the batch into `(kernel index, completion index, completion)`
+    /// jobs in generation order.
+    pub fn jobs(&self) -> impl Iterator<Item = (usize, usize, &Completion)> {
+        self.completions
+            .iter()
+            .enumerate()
+            .flat_map(|(i, row)| row.iter().enumerate().map(move |(j, c)| (i, j, c)))
+    }
+}
+
+/// Samples `k` feedback-free completions for every kernel from a single
+/// model instance, preserving the sequential sampling order.
+pub fn sample_completion_batch(
+    scalars: &[Function],
+    llm_config: &LlmConfig,
+    k: usize,
+) -> CompletionBatch {
+    let mut llm = SyntheticLlm::new(llm_config.clone());
+    let completions = scalars
+        .iter()
+        .map(|scalar| {
+            let prompt = VectorizePrompt::new(scalar.clone());
+            (0..k).map(|_| llm.complete(&prompt)).collect()
+        })
+        .collect();
+    CompletionBatch { completions }
+}
+
+/// Runs the repair FSM once per kernel through a shared model instance,
+/// returning one [`FsmResult`] per kernel in order. The results' plausible
+/// candidates are what the engine's symbolic cascade consumes.
+pub fn fsm_candidate_batch(
+    scalars: &[Function],
+    fsm_config: &FsmConfig,
+    llm: &mut SyntheticLlm,
+) -> Vec<FsmResult> {
+    scalars
+        .iter()
+        .map(|scalar| run_fsm_with_llm(scalar, fsm_config, llm))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lv_cir::parse_function;
+
+    fn scalars() -> Vec<Function> {
+        [
+            "void s000(int n, int *a, int *b) { for (int i = 0; i < n; i++) { a[i] = b[i] + 1; } }",
+            "void vag(int n, int *a, int *b) { for (int i = 0; i < n; i++) { a[i] = b[i] * b[i]; } }",
+        ]
+        .iter()
+        .map(|s| parse_function(s).unwrap())
+        .collect()
+    }
+
+    #[test]
+    fn batch_matches_sequential_sampling() {
+        let config = LlmConfig::default();
+        let batch = sample_completion_batch(&scalars(), &config, 3);
+
+        let mut llm = SyntheticLlm::new(config);
+        for (i, scalar) in scalars().iter().enumerate() {
+            let prompt = VectorizePrompt::new(scalar.clone());
+            for j in 0..3 {
+                assert_eq!(
+                    batch.completions[i][j].candidate,
+                    llm.complete(&prompt).candidate,
+                    "kernel {} completion {}",
+                    i,
+                    j
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn jobs_iterate_in_generation_order() {
+        let batch = sample_completion_batch(&scalars(), &LlmConfig::default(), 2);
+        let order: Vec<(usize, usize)> = batch.jobs().map(|(i, j, _)| (i, j)).collect();
+        assert_eq!(order, vec![(0, 0), (0, 1), (1, 0), (1, 1)]);
+    }
+
+    #[test]
+    fn fsm_batch_matches_sequential_runs() {
+        let fsm_config = FsmConfig::default();
+        let mut llm_a = SyntheticLlm::new(LlmConfig::default());
+        let results = fsm_candidate_batch(&scalars(), &fsm_config, &mut llm_a);
+
+        let mut llm_b = SyntheticLlm::new(LlmConfig::default());
+        for (scalar, batched) in scalars().iter().zip(&results) {
+            let solo = run_fsm_with_llm(scalar, &fsm_config, &mut llm_b);
+            assert_eq!(solo.candidate, batched.candidate);
+            assert_eq!(solo.attempts, batched.attempts);
+        }
+    }
+}

@@ -143,11 +143,9 @@ pub fn run_fsm_with_llm(
             ),
         });
 
-        // Compile + Test are folded into the checksum harness, which first
-        // type checks the candidate.
-        state = FsmState::Compile;
+        // The Compile and Test states are folded into the checksum harness,
+        // which first type checks the candidate.
         let report = checksum_test(scalar, &completion.candidate, &config.checksum);
-        state = FsmState::Test;
         match report.outcome {
             ChecksumOutcome::Plausible => {
                 transcript.push(Message {
@@ -166,7 +164,10 @@ pub fn run_fsm_with_llm(
                 transcript.push(Message {
                     from: AgentRole::CompilerTester,
                     to: AgentRole::VectorizerAssistant,
-                    content: format!("attempt {}: the candidate does not compile: {}", attempts, error),
+                    content: format!(
+                        "attempt {}: the candidate does not compile: {}",
+                        attempts, error
+                    ),
                 });
                 prompt.checksum_feedback = Some(format!("compile error: {}", error));
             }

@@ -12,7 +12,10 @@
 //!   kernel's dependence features, the sampling temperature and the feedback
 //!   received so far;
 //! * [`fsm`] — the user-proxy / vectorizer-assistant / compiler-tester
-//!   finite-state machine with its checksum feedback loop ([`run_fsm`]).
+//!   finite-state machine with its checksum feedback loop ([`run_fsm`]);
+//! * [`batch`] — deterministic batch candidate generation
+//!   ([`sample_completion_batch`], [`fsm_candidate_batch`]) feeding the
+//!   `lv_core` verification engine's parallel work queue.
 //!
 //! # Examples
 //!
@@ -30,10 +33,12 @@
 
 #![warn(missing_docs)]
 
+pub mod batch;
 pub mod fsm;
 pub mod llm;
 pub mod vectorizer;
 
+pub use batch::{fsm_candidate_batch, sample_completion_batch, CompletionBatch};
 pub use fsm::{run_fsm, run_fsm_with_llm, AgentRole, FsmConfig, FsmResult, FsmState, Message};
 pub use llm::{Completion, LlmConfig, SyntheticLlm, VectorizePrompt};
 pub use vectorizer::{vectorize_correct, UnsupportedKernel};

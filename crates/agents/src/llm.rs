@@ -168,7 +168,10 @@ impl SyntheticLlm {
                 let base = naive_candidate(&prompt.scalar);
                 let mutated = self.inject_error(&base, &prompt.scalar, mode);
                 Completion {
-                    notes: format!("guessed a vectorization for an unsupported kernel ({:?})", mode),
+                    notes: format!(
+                        "guessed a vectorization for an unsupported kernel ({:?})",
+                        mode
+                    ),
                     candidate: mutated,
                 }
             }
@@ -198,7 +201,12 @@ impl SyntheticLlm {
         choices[self.rng.gen_range(0..choices.len())]
     }
 
-    fn inject_error(&mut self, candidate: &Function, scalar: &Function, mode: ErrorMode) -> Function {
+    fn inject_error(
+        &mut self,
+        candidate: &Function,
+        scalar: &Function,
+        mode: ErrorMode,
+    ) -> Function {
         let mut out = candidate.clone();
         match mode {
             ErrorMode::MissingEpilogue => {
@@ -216,7 +224,10 @@ impl SyntheticLlm {
                 // Replace a `setr` seed with a `set1` seed: the paper's s453
                 // first attempt.
                 out.body = map_exprs_in_block(out.body, &|e| match e {
-                    Expr::Call { ref callee, ref args } if callee == "_mm256_setr_epi32" => {
+                    Expr::Call {
+                        ref callee,
+                        ref args,
+                    } if callee == "_mm256_setr_epi32" => {
                         Expr::call("_mm256_set1_epi32", vec![args[0].clone()])
                     }
                     other => other,
@@ -225,20 +236,22 @@ impl SyntheticLlm {
             ErrorMode::UnsafeHoist => {
                 // Drop the blend: unconditionally store the "then" value.
                 out.body = map_exprs_in_block(out.body, &|e| match e {
-                    Expr::Call { ref callee, ref args } if callee == "_mm256_blendv_epi8" => {
-                        args[1].clone()
-                    }
+                    Expr::Call {
+                        ref callee,
+                        ref args,
+                    } if callee == "_mm256_blendv_epi8" => args[1].clone(),
                     other => other,
                 });
             }
             ErrorMode::SwappedBlend => {
                 out.body = map_exprs_in_block(out.body, &|e| match e {
-                    Expr::Call { ref callee, ref args } if callee == "_mm256_blendv_epi8" => {
-                        Expr::call(
-                            "_mm256_blendv_epi8",
-                            vec![args[1].clone(), args[0].clone(), args[2].clone()],
-                        )
-                    }
+                    Expr::Call {
+                        ref callee,
+                        ref args,
+                    } if callee == "_mm256_blendv_epi8" => Expr::call(
+                        "_mm256_blendv_epi8",
+                        vec![args[1].clone(), args[0].clone(), args[2].clone()],
+                    ),
                     other => other,
                 });
             }
@@ -248,11 +261,7 @@ impl SyntheticLlm {
                 out.body = map_exprs_in_block(out.body, &|e| match e {
                     Expr::Index { base, index } => Expr::Index {
                         base,
-                        index: Box::new(Expr::bin(
-                            lv_cir::BinOp::Add,
-                            *index,
-                            Expr::lit(1),
-                        )),
+                        index: Box::new(Expr::bin(lv_cir::BinOp::Add, *index, Expr::lit(1))),
                     },
                     other => other,
                 });
@@ -276,7 +285,8 @@ impl SyntheticLlm {
                 // "Vectorize" by copying the scalar loop but claiming a stride
                 // of 8 — processes only every 8th element.
                 out = scalar.clone();
-                if let Some(Stmt::For { step, .. }) = out.body.stmts.iter_mut().find(|s| s.is_loop())
+                if let Some(Stmt::For { step, .. }) =
+                    out.body.stmts.iter_mut().find(|s| s.is_loop())
                 {
                     *step = Some(Expr::assign(
                         AssignOp::AddAssign,
@@ -344,7 +354,11 @@ mod tests {
                 successes += 1;
             }
         }
-        assert!(successes >= 15, "only {} of 20 completions were plausible", successes);
+        assert!(
+            successes >= 15,
+            "only {} of 20 completions were plausible",
+            successes
+        );
     }
 
     #[test]
@@ -370,14 +384,19 @@ mod tests {
         let mut cannot_compile = 0;
         for _ in 0..30 {
             let completion = llm.complete(&prompt);
-            match checksum_test(&scalar, &completion.candidate, &ChecksumConfig::default()).outcome {
+            match checksum_test(&scalar, &completion.candidate, &ChecksumConfig::default()).outcome
+            {
                 ChecksumOutcome::Plausible => {}
                 ChecksumOutcome::NotEquivalent { .. } => not_equivalent += 1,
                 ChecksumOutcome::CannotCompile { .. } => cannot_compile += 1,
                 ChecksumOutcome::ScalarExecutionFailed { .. } => {}
             }
         }
-        assert!(not_equivalent > 5, "expected many wrong candidates, got {}", not_equivalent);
+        assert!(
+            not_equivalent > 5,
+            "expected many wrong candidates, got {}",
+            not_equivalent
+        );
         assert!(cannot_compile > 0, "expected some non-compiling candidates");
     }
 
@@ -409,6 +428,9 @@ mod tests {
         assert!(printed.contains("_mm256_set1_epi32"), "{}", printed);
         assert!(!printed.contains("_mm256_setr_epi32"), "{}", printed);
         let report = checksum_test(&scalar, &broken, &ChecksumConfig::default());
-        assert!(matches!(report.outcome, ChecksumOutcome::NotEquivalent { .. }));
+        assert!(matches!(
+            report.outcome,
+            ChecksumOutcome::NotEquivalent { .. }
+        ));
     }
 }

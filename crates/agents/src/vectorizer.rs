@@ -55,14 +55,18 @@ pub fn vectorize_correct(scalar: &Function) -> Result<Function, UnsupportedKerne
         return Err(UnsupportedKernel::new("no single canonical for-loop"));
     };
     if l.step_or_one() != 1 || !l.is_forward() {
-        return Err(UnsupportedKernel::new("only unit-stride forward loops are supported"));
+        return Err(UnsupportedKernel::new(
+            "only unit-stride forward loops are supported",
+        ));
     }
     let report = analyze_function(scalar);
     if report.has_goto {
         return Err(UnsupportedKernel::new("goto-based control flow"));
     }
     if !report.opaque_arrays.is_empty() {
-        return Err(UnsupportedKernel::new("subscripts are not affine in the induction variable"));
+        return Err(UnsupportedKernel::new(
+            "subscripts are not affine in the induction variable",
+        ));
     }
     if report
         .loop_carried()
@@ -126,7 +130,10 @@ fn find_reduction(l: &CanonicalLoop, name: &str) -> Result<ReductionInfo, Unsupp
                     .binop()
                     .filter(|op| matches!(op, BinOp::Add | BinOp::Sub))
                     .ok_or_else(|| {
-                        UnsupportedKernel::new(format!("unsupported reduction operator on `{}`", name))
+                        UnsupportedKernel::new(format!(
+                            "unsupported reduction operator on `{}`",
+                            name
+                        ))
                     })?;
                 return Ok(ReductionInfo {
                     name: name.to_string(),
@@ -204,7 +211,11 @@ impl VectorBuilder {
         }
     }
 
-    fn build(&mut self, scalar: &Function, l: &CanonicalLoop) -> Result<Function, UnsupportedKernel> {
+    fn build(
+        &mut self,
+        scalar: &Function,
+        l: &CanonicalLoop,
+    ) -> Result<Function, UnsupportedKernel> {
         let width = VECTOR_WIDTH as i64;
         let mut prelude: Vec<Stmt> = Vec::new();
         // Keep statements before/after the loop unchanged (e.g. `j = -1;`,
@@ -335,11 +346,7 @@ impl VectorBuilder {
             Stmt::Expr(Expr::Assign { op, target, value }) => {
                 // Reduction / recurrence updates are handled at loop level.
                 if let Some(name) = target.as_var() {
-                    if self
-                        .reduction
-                        .as_ref()
-                        .is_some_and(|r| r.name == name)
-                    {
+                    if self.reduction.as_ref().is_some_and(|r| r.name == name) {
                         let red = self.reduction.clone().expect("checked");
                         let expr_vec = self.lower_expr(&red.expr, out)?;
                         let acc = Expr::var(format!("{}_vec", red.name));
@@ -354,11 +361,7 @@ impl VectorBuilder {
                         ));
                         return Ok(());
                     }
-                    if self
-                        .recurrence
-                        .as_ref()
-                        .is_some_and(|r| r.name == name)
-                    {
+                    if self.recurrence.as_ref().is_some_and(|r| r.name == name) {
                         // The per-iteration bump is replaced by the vectorized
                         // bump emitted at the end of the loop body.
                         return Ok(());
@@ -546,10 +549,7 @@ impl VectorBuilder {
             Expr::Unary { op, expr } => match op {
                 lv_cir::UnOp::Neg => {
                     let inner = self.lower_expr(expr, out)?;
-                    Ok(Expr::call(
-                        "_mm256_sub_epi32",
-                        vec![b::vec_zero(), inner],
-                    ))
+                    Ok(Expr::call("_mm256_sub_epi32", vec![b::vec_zero(), inner]))
                 }
                 _ => Err(UnsupportedKernel::new("unsupported unary operator")),
             },

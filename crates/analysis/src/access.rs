@@ -117,7 +117,10 @@ pub fn affine_of(index: &Expr, iv: &str) -> Option<AffineIndex> {
             coeff: 0,
             offset: *v,
         }),
-        Expr::Var(name) if name == iv => Some(AffineIndex { coeff: 1, offset: 0 }),
+        Expr::Var(name) if name == iv => Some(AffineIndex {
+            coeff: 1,
+            offset: 0,
+        }),
         Expr::Var(_) => None,
         Expr::Unary {
             op: UnOp::Neg,
@@ -218,7 +221,12 @@ fn collect_stmt(
                 collect_block(else_branch, iv, true, out, written_scalars);
             }
         }
-        Stmt::For { init, cond, step, body } => {
+        Stmt::For {
+            init,
+            cond,
+            step,
+            body,
+        } => {
             if let Some(init) = init {
                 collect_stmt(init, iv, conditional, out, written_scalars);
             }
@@ -286,7 +294,14 @@ fn collect_expr(
             // `&a[i]` passed to a load intrinsic is a read of a[i..]; passed
             // to a store it is a write. The caller (Call handling) decides;
             // here we treat the address computation itself as neither.
-            collect_expr(inner, iv, conditional, is_store_target, out, written_scalars);
+            collect_expr(
+                inner,
+                iv,
+                conditional,
+                is_store_target,
+                out,
+                written_scalars,
+            );
         }
         Expr::Binary { lhs, rhs, .. } => {
             collect_expr(lhs, iv, conditional, false, out, written_scalars);
@@ -357,7 +372,12 @@ fn collect_expr(
     }
 }
 
-fn record_scalar_update(out: &mut BodyAccesses, name: &str, is_reduction: bool, is_recurrence: bool) {
+fn record_scalar_update(
+    out: &mut BodyAccesses,
+    name: &str,
+    is_reduction: bool,
+    is_recurrence: bool,
+) {
     if let Some(existing) = out.scalar_updates.iter_mut().find(|u| u.name == name) {
         existing.is_reduction |= is_reduction;
         existing.is_recurrence |= is_recurrence;
@@ -424,17 +444,26 @@ mod tests {
     fn affine_forms() {
         assert_eq!(
             affine_of(&lv_cir::parse_expr("i + 1").unwrap(), "i"),
-            Some(AffineIndex { coeff: 1, offset: 1 })
+            Some(AffineIndex {
+                coeff: 1,
+                offset: 1
+            })
         );
         assert_eq!(
             affine_of(&lv_cir::parse_expr("2 * i - 3").unwrap(), "i"),
-            Some(AffineIndex { coeff: 2, offset: -3 })
+            Some(AffineIndex {
+                coeff: 2,
+                offset: -3
+            })
         );
         assert_eq!(affine_of(&lv_cir::parse_expr("j").unwrap(), "i"), None);
         assert_eq!(affine_of(&lv_cir::parse_expr("i * i").unwrap(), "i"), None);
         assert_eq!(
             affine_of(&lv_cir::parse_expr("5").unwrap(), "i"),
-            Some(AffineIndex { coeff: 0, offset: 5 })
+            Some(AffineIndex {
+                coeff: 0,
+                offset: 5
+            })
         );
     }
 
@@ -447,11 +476,22 @@ mod tests {
         // a[i] is read (compound assign) and written, a[i+1] is read.
         assert_eq!(a.len(), 3);
         assert!(a.iter().any(|x| x.kind == AccessKind::Write
-            && x.affine == Some(AffineIndex { coeff: 1, offset: 0 })));
+            && x.affine
+                == Some(AffineIndex {
+                    coeff: 1,
+                    offset: 0
+                })));
         assert!(a.iter().any(|x| x.kind == AccessKind::Read
-            && x.affine == Some(AffineIndex { coeff: 1, offset: 1 })));
+            && x.affine
+                == Some(AffineIndex {
+                    coeff: 1,
+                    offset: 1
+                })));
         assert!(!body.has_branches);
-        assert_eq!(body.written_arrays(), vec!["a".to_string(), "b".to_string()]);
+        assert_eq!(
+            body.written_arrays(),
+            vec!["a".to_string(), "b".to_string()]
+        );
     }
 
     #[test]
@@ -507,10 +547,22 @@ mod tests {
         );
         let b = body.of_array("b");
         assert_eq!(b[0].kind, AccessKind::Read);
-        assert_eq!(b[0].affine, Some(AffineIndex { coeff: 1, offset: 0 }));
+        assert_eq!(
+            b[0].affine,
+            Some(AffineIndex {
+                coeff: 1,
+                offset: 0
+            })
+        );
         let a = body.of_array("a");
         assert_eq!(a[0].kind, AccessKind::Write);
-        assert_eq!(a[0].affine, Some(AffineIndex { coeff: 1, offset: 0 }));
+        assert_eq!(
+            a[0].affine,
+            Some(AffineIndex {
+                coeff: 1,
+                offset: 0
+            })
+        );
     }
 
     #[test]
@@ -524,12 +576,7 @@ mod tests {
 
     #[test]
     fn pointer_target_shapes() {
-        let shapes = [
-            "(__m256i *)&a[i]",
-            "&a[i]",
-            "(__m256i *)(a + i)",
-            "a + i",
-        ];
+        let shapes = ["(__m256i *)&a[i]", "&a[i]", "(__m256i *)(a + i)", "a + i"];
         for s in shapes {
             let (arr, idx) = pointer_target(&lv_cir::parse_expr(s).unwrap()).unwrap();
             assert_eq!(arr, "a");

@@ -150,7 +150,10 @@ pub fn analyze_function(func: &Function) -> DependenceReport {
             ..DependenceReport::default()
         };
     };
-    let mut report = analyze_loop(inner, &crate::access::collect_accesses(&inner.body, &inner.iv));
+    let mut report = analyze_loop(
+        inner,
+        &crate::access::collect_accesses(&inner.body, &inner.iv),
+    );
     report.nested = nest.is_nested();
     report.conservative |= nest.has_unrecognized;
     report
@@ -366,7 +369,9 @@ mod tests {
             .filter(|d| d.array == "a" && d.loop_carried)
             .collect();
         assert!(
-            a_deps.iter().any(|d| d.kind == DepKind::Anti && d.distance == Some(-1)),
+            a_deps
+                .iter()
+                .any(|d| d.kind == DepKind::Anti && d.distance == Some(-1)),
             "expected an anti dependence with distance -1, got {:?}",
             a_deps
         );

@@ -39,7 +39,9 @@ pub mod dependence;
 pub mod loops;
 pub mod remarks;
 
-pub use access::{collect_accesses, AccessKind, AffineIndex, ArrayAccess, BodyAccesses, ScalarUpdate};
+pub use access::{
+    collect_accesses, AccessKind, AffineIndex, ArrayAccess, BodyAccesses, ScalarUpdate,
+};
 pub use dependence::{analyze_function, analyze_loop, DepKind, Dependence, DependenceReport};
 pub use loops::{canonicalize_for, loop_nest, CanonicalLoop, LoopNest, StepKind};
 pub use remarks::{remarks_for, remarks_text, Remark};

@@ -166,10 +166,7 @@ pub fn canonicalize_for(stmt: &Stmt) -> Option<CanonicalLoop> {
                 BinOp::Le | BinOp::Lt,
             ) if l.as_var() == Some(iv.as_str()) => {
                 let k = r.as_int_lit()?;
-                (
-                    *op,
-                    Expr::bin(BinOp::Sub, (**rhs).clone(), Expr::lit(k)),
-                )
+                (*op, Expr::bin(BinOp::Sub, (**rhs).clone(), Expr::lit(k)))
             }
             _ => return None,
         }
@@ -321,9 +318,11 @@ mod tests {
 
     #[test]
     fn canonical_strided_and_decrementing() {
-        let l = first_loop("void f(int n, int *a) { for (int i = 0; i < n; i += 2) { a[i] = 0; } }");
+        let l =
+            first_loop("void f(int n, int *a) { for (int i = 0; i < n; i += 2) { a[i] = 0; } }");
         assert_eq!(l.step, StepKind::Constant(2));
-        let l = first_loop("void f(int n, int *a) { for (int i = n - 1; i >= 0; i--) { a[i] = 0; } }");
+        let l =
+            first_loop("void f(int n, int *a) { for (int i = n - 1; i >= 0; i--) { a[i] = 0; } }");
         assert_eq!(l.step, StepKind::Constant(-1));
         assert_eq!(l.cond_op, BinOp::Ge);
         assert!(!l.is_forward());
@@ -340,7 +339,8 @@ mod tests {
 
     #[test]
     fn canonical_assignment_init_and_reversed_condition() {
-        let l = first_loop("void f(int n, int *a) { int i; for (i = 2; n > i; i++) { a[i] = 0; } }");
+        let l =
+            first_loop("void f(int n, int *a) { int i; for (i = 2; n > i; i++) { a[i] = 0; } }");
         assert!(!l.declares_iv);
         assert_eq!(l.start, Expr::lit(2));
         assert_eq!(l.cond_op, BinOp::Lt);
@@ -371,7 +371,9 @@ mod tests {
 
     #[test]
     fn symbolic_step_is_recognized_as_symbolic() {
-        let l = first_loop("void f(int n, int k, int *a) { for (int i = 0; i < n; i += k) { a[i] = 0; } }");
+        let l = first_loop(
+            "void f(int n, int k, int *a) { for (int i = 0; i < n; i += k) { a[i] = 0; } }",
+        );
         assert!(matches!(l.step, StepKind::Symbolic(_)));
         assert_eq!(l.step_or_one(), 1);
     }
@@ -390,9 +392,10 @@ mod tests {
 
     #[test]
     fn while_loop_is_unrecognized() {
-        let func =
-            parse_function("void f(int n, int *a) { int i = 0; while (i < n) { a[i] = 0; i += 1; } }")
-                .unwrap();
+        let func = parse_function(
+            "void f(int n, int *a) { int i = 0; while (i < n) { a[i] = 0; i += 1; } }",
+        )
+        .unwrap();
         let nest = loop_nest(&func);
         assert!(nest.loops.is_empty());
         // A while loop cannot be canonicalized, so downstream analyses must
@@ -402,8 +405,9 @@ mod tests {
 
     #[test]
     fn single_and_innermost_helpers() {
-        let func = parse_function("void f(int n, int *a) { for (int i = 0; i < n; i++) { a[i] = 0; } }")
-            .unwrap();
+        let func =
+            parse_function("void f(int n, int *a) { for (int i = 0; i < n; i++) { a[i] = 0; } }")
+                .unwrap();
         let nest = loop_nest(&func);
         assert!(nest.single().is_some());
         assert_eq!(nest.innermost().unwrap().iv, "i");

@@ -138,7 +138,10 @@ fn eval_with_n(expr: &Expr, n: i64) -> Option<i64> {
     match expr {
         Expr::IntLit(v) => Some(*v),
         Expr::Var(_) => Some(n),
-        Expr::Unary { op: lv_cir::UnOp::Neg, expr } => Some(-eval_with_n(expr, n)?),
+        Expr::Unary {
+            op: lv_cir::UnOp::Neg,
+            expr,
+        } => Some(-eval_with_n(expr, n)?),
         Expr::Binary { op, lhs, rhs } => {
             let l = eval_with_n(lhs, n)?;
             let r = eval_with_n(rhs, n)?;
@@ -200,11 +203,17 @@ fn intrinsic_cost(callee: &str, costs: &CostTable) -> f64 {
         // The `&a[i]` address operand is visited separately and priced as a
         // scalar load; subtract it here so one vector memory access costs
         // exactly `vec_mem` overall.
-        "_mm256_loadu_si256" | "_mm256_storeu_si256" | "_mm256_maskload_epi32"
+        "_mm256_loadu_si256"
+        | "_mm256_storeu_si256"
+        | "_mm256_maskload_epi32"
         | "_mm256_maskstore_epi32" => (costs.vec_mem - costs.load).max(0.0),
         "_mm256_mullo_epi32" => costs.vec_mul,
-        "_mm256_blendv_epi8" | "_mm256_cmpgt_epi32" | "_mm256_cmpeq_epi32"
-        | "_mm256_shuffle_epi32" | "_mm256_permute2x128_si256" | "_mm256_permutevar8x32_epi32"
+        "_mm256_blendv_epi8"
+        | "_mm256_cmpgt_epi32"
+        | "_mm256_cmpeq_epi32"
+        | "_mm256_shuffle_epi32"
+        | "_mm256_permute2x128_si256"
+        | "_mm256_permutevar8x32_epi32"
         | "_mm256_hadd_epi32" => costs.vec_blend,
         "_mm256_set1_epi32" | "_mm256_setr_epi32" | "_mm256_set_epi32" | "_mm256_setzero_si256" => {
             costs.vec_alu
@@ -304,11 +313,23 @@ mod tests {
         let scalar = f(S212);
         let candidate = f(S212_VEC);
         let gcc = speedup_over(&CompilerProfile::gcc(), &scalar, &candidate, 32_000, &costs);
-        let clang = speedup_over(&CompilerProfile::clang(), &scalar, &candidate, 32_000, &costs);
+        let clang = speedup_over(
+            &CompilerProfile::clang(),
+            &scalar,
+            &candidate,
+            32_000,
+            &costs,
+        );
         let icc = speedup_over(&CompilerProfile::icc(), &scalar, &candidate, 32_000, &costs);
         assert!(gcc > 3.0, "GCC speedup {:.2}", gcc);
         assert!(clang > 3.0, "Clang speedup {:.2}", clang);
-        assert!(icc < gcc && icc < clang, "ICC {:.2} vs {:.2}/{:.2}", icc, gcc, clang);
+        assert!(
+            icc < gcc && icc < clang,
+            "ICC {:.2} vs {:.2}/{:.2}",
+            icc,
+            gcc,
+            clang
+        );
         assert!(icc > 0.5 && icc < 3.5, "ICC speedup {:.2}", icc);
     }
 
@@ -318,7 +339,13 @@ mod tests {
         // par (speedup near 1).
         let costs = CostTable::default();
         for c in Compiler::all() {
-            let s = speedup_over(&CompilerProfile::of(c), &f(S000), &f(S000_VEC), 32_000, &costs);
+            let s = speedup_over(
+                &CompilerProfile::of(c),
+                &f(S000),
+                &f(S000_VEC),
+                32_000,
+                &costs,
+            );
             assert!((0.4..2.5).contains(&s), "{:?} speedup {:.2}", c, s);
         }
     }

@@ -263,7 +263,9 @@ mod tests {
     #[test]
     fn flags_match_table_1() {
         assert!(CompilerProfile::icc().flags_vectorized.contains("-xAVX2"));
-        assert!(CompilerProfile::gcc().flags_vectorized.contains("-ftree-vectorize"));
+        assert!(CompilerProfile::gcc()
+            .flags_vectorized
+            .contains("-ftree-vectorize"));
         assert!(CompilerProfile::clang()
             .flags_unvectorized
             .contains("-fno-tree-vectorize"));

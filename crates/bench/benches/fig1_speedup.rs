@@ -7,7 +7,10 @@ use lv_core::{figure1, ExperimentConfig};
 fn bench(c: &mut Criterion) {
     let config = ExperimentConfig::default();
     let fig = figure1(&config);
-    println!("\n=== Figure 1(c): s212 speedup of LLM-vectorized code ===\n{}", fig.render());
+    println!(
+        "\n=== Figure 1(c): s212 speedup of LLM-vectorized code ===\n{}",
+        fig.render()
+    );
     c.bench_function("fig1_s212_speedup", |b| b.iter(|| figure1(&config)));
 }
 

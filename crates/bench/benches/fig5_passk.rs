@@ -8,7 +8,9 @@ fn bench(c: &mut Criterion) {
     let fig = figure5(&full_config(), 30, &[1, 2, 3, 4, 5, 10, 20, 30]);
     println!("\n=== Figure 5: pass@k ===\n{}", fig.render());
     let quick = quick_config(REPRESENTATIVE_KERNELS);
-    c.bench_function("fig5_passk_subset", |b| b.iter(|| figure5(&quick, 5, &[1, 5])));
+    c.bench_function("fig5_passk_subset", |b| {
+        b.iter(|| figure5(&quick, 5, &[1, 5]))
+    });
 }
 
 criterion_group! {

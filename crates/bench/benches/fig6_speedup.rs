@@ -9,9 +9,14 @@ fn bench(c: &mut Criterion) {
     let config = quick_config(REPRESENTATIVE_KERNELS);
     let table = table3(&config);
     let fig = figure6(&config, &table.verdicts);
-    println!("\n=== Figure 6: speedups of verified candidates ===\n{}", fig.render());
+    println!(
+        "\n=== Figure 6: speedups of verified candidates ===\n{}",
+        fig.render()
+    );
     println!("geomean: {:?}", fig.geomean());
-    c.bench_function("fig6_speedup", |b| b.iter(|| figure6(&config, &table.verdicts)));
+    c.bench_function("fig6_speedup", |b| {
+        b.iter(|| figure6(&config, &table.verdicts))
+    });
 }
 
 criterion_group! {

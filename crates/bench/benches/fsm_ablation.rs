@@ -7,7 +7,10 @@ use lv_core::fsm_evaluation;
 
 fn bench(c: &mut Criterion) {
     let eval = fsm_evaluation(&quick_config(REPRESENTATIVE_KERNELS));
-    println!("\n=== Section 4.4: multi-agent FSM evaluation ===\n{}", eval.render());
+    println!(
+        "\n=== Section 4.4: multi-agent FSM evaluation ===\n{}",
+        eval.render()
+    );
     let tiny = quick_config(&["s000", "s2711", "s453"]);
     c.bench_function("fsm_ablation", |b| b.iter(|| fsm_evaluation(&tiny)));
 }

@@ -4,7 +4,9 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use lv_agents::vectorize_correct;
-use lv_tv::{check_with_alive2_unroll, check_with_c_unroll, check_with_spatial_splitting, TvConfig};
+use lv_tv::{
+    check_with_alive2_unroll, check_with_c_unroll, check_with_spatial_splitting, TvConfig,
+};
 
 fn bench(c: &mut Criterion) {
     let scalar = lv_tsvc::kernel("s212").unwrap().function();

@@ -7,9 +7,14 @@ use lv_core::table2;
 
 fn bench(c: &mut Criterion) {
     let table = table2(&full_config(), &[1, 10, 25]);
-    println!("\n=== Table 2: checksum-based testing (counts scaled to 149 tests) ===\n{}", table.render());
+    println!(
+        "\n=== Table 2: checksum-based testing (counts scaled to 149 tests) ===\n{}",
+        table.render()
+    );
     let quick = quick_config(REPRESENTATIVE_KERNELS);
-    c.bench_function("table2_checksum_subset", |b| b.iter(|| table2(&quick, &[1, 4])));
+    c.bench_function("table2_checksum_subset", |b| {
+        b.iter(|| table2(&quick, &[1, 4]))
+    });
 }
 
 criterion_group! {

@@ -7,7 +7,10 @@ use lv_core::table3;
 
 fn bench(c: &mut Criterion) {
     let table = table3(&quick_config(REPRESENTATIVE_KERNELS));
-    println!("\n=== Table 3: verification funnel (representative subset) ===\n{}", table.render());
+    println!(
+        "\n=== Table 3: verification funnel (representative subset) ===\n{}",
+        table.render()
+    );
     let tiny = quick_config(&["s000", "s212", "s2711"]);
     c.bench_function("table3_verification_funnel", |b| b.iter(|| table3(&tiny)));
 }

@@ -1,13 +1,18 @@
 //! # lv-bench — benchmark support code
 //!
 //! The Criterion benchmarks in `benches/` regenerate every table and figure
-//! of the paper. This small library holds the shared configuration so all
-//! benches run on the same kernel subset and random seed.
+//! of the paper; since the experiment drivers run on `lv_core`'s parallel
+//! [`VerificationEngine`](lv_core::VerificationEngine), every bench
+//! exercises the same batched code path as the tables. This small library
+//! holds the shared configuration so all benches run on the same kernel
+//! subset and random seed, plus the job-list builder for the engine sweep
+//! bench.
 
 #![warn(missing_docs)]
 
-use lv_core::ExperimentConfig;
+use lv_core::{ExperimentConfig, Job};
 use lv_interp::ChecksumConfig;
+use lv_tv::{SolverBudget, TvConfig};
 
 /// A reduced-cost experiment configuration used inside the timed benchmark
 /// loops (the full-suite runs are done once, outside the measurement).
@@ -33,3 +38,40 @@ pub fn full_config() -> ExperimentConfig {
 pub const REPRESENTATIVE_KERNELS: &[&str] = &[
     "s000", "s112", "s212", "s221", "s2711", "s274", "s278", "vsumr", "s3111", "s453",
 ];
+
+/// A [`TvConfig`] with reduced solver budgets and a one-chunk window, so a
+/// full-suite symbolic sweep finishes in benchmark-friendly time while still
+/// exercising every cascade stage.
+pub fn sweep_tv_config() -> TvConfig {
+    TvConfig {
+        alive2_budget: SolverBudget {
+            max_conflicts: 5_000,
+            max_clauses: 200_000,
+        },
+        cunroll_budget: SolverBudget {
+            max_conflicts: 50_000,
+            max_clauses: 1_000_000,
+        },
+        spatial_budget: SolverBudget {
+            max_conflicts: 20_000,
+            max_clauses: 500_000,
+        },
+        alive2_chunks: 1,
+        ..TvConfig::default()
+    }
+}
+
+/// One verification job per TSVC kernel the rule-based vectorizer supports:
+/// the correct candidate, so the whole cascade (not just the checksum
+/// filter) is exercised. This is the workload of the engine sweep bench and
+/// of the engine-vs-sequential equivalence tests.
+pub fn sweep_jobs() -> Vec<Job> {
+    lv_tsvc::KERNELS
+        .iter()
+        .filter_map(|kernel| {
+            let scalar = kernel.function();
+            let candidate = lv_agents::vectorize_correct(&scalar).ok()?;
+            Some(Job::new(kernel.name, scalar, candidate))
+        })
+        .collect()
+}

@@ -518,12 +518,7 @@ pub struct Function {
 
 impl Function {
     /// Creates a new function definition.
-    pub fn new(
-        name: impl Into<String>,
-        ret: Type,
-        params: Vec<Param>,
-        body: Block,
-    ) -> Function {
+    pub fn new(name: impl Into<String>, ret: Type, params: Vec<Param>, body: Block) -> Function {
         Function {
             name: name.into(),
             ret,

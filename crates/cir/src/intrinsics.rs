@@ -70,37 +70,223 @@ use IntrinsicType::{IntPtr, Vec as V, VecPtr, Void, I32};
 /// paper's listings (Figures 1 and 4, the s453 walk-through) plus the ones the
 /// synthetic vectorizer emits for reductions and shuffles.
 pub const INTRINSICS: &[IntrinsicSig] = &[
-    IntrinsicSig { name: "_mm256_loadu_si256", params: &[VecPtr], ret: V, reads_memory: true, writes_memory: false },
-    IntrinsicSig { name: "_mm256_storeu_si256", params: &[VecPtr, V], ret: Void, reads_memory: false, writes_memory: true },
-    IntrinsicSig { name: "_mm256_maskload_epi32", params: &[IntPtr, V], ret: V, reads_memory: true, writes_memory: false },
-    IntrinsicSig { name: "_mm256_maskstore_epi32", params: &[IntPtr, V, V], ret: Void, reads_memory: false, writes_memory: true },
-    IntrinsicSig { name: "_mm256_add_epi32", params: &[V, V], ret: V, reads_memory: false, writes_memory: false },
-    IntrinsicSig { name: "_mm256_sub_epi32", params: &[V, V], ret: V, reads_memory: false, writes_memory: false },
-    IntrinsicSig { name: "_mm256_mullo_epi32", params: &[V, V], ret: V, reads_memory: false, writes_memory: false },
-    IntrinsicSig { name: "_mm256_set1_epi32", params: &[I32], ret: V, reads_memory: false, writes_memory: false },
-    IntrinsicSig { name: "_mm256_setr_epi32", params: &[I32, I32, I32, I32, I32, I32, I32, I32], ret: V, reads_memory: false, writes_memory: false },
-    IntrinsicSig { name: "_mm256_set_epi32", params: &[I32, I32, I32, I32, I32, I32, I32, I32], ret: V, reads_memory: false, writes_memory: false },
-    IntrinsicSig { name: "_mm256_setzero_si256", params: &[], ret: V, reads_memory: false, writes_memory: false },
-    IntrinsicSig { name: "_mm256_cmpgt_epi32", params: &[V, V], ret: V, reads_memory: false, writes_memory: false },
-    IntrinsicSig { name: "_mm256_cmpeq_epi32", params: &[V, V], ret: V, reads_memory: false, writes_memory: false },
-    IntrinsicSig { name: "_mm256_blendv_epi8", params: &[V, V, V], ret: V, reads_memory: false, writes_memory: false },
-    IntrinsicSig { name: "_mm256_and_si256", params: &[V, V], ret: V, reads_memory: false, writes_memory: false },
-    IntrinsicSig { name: "_mm256_or_si256", params: &[V, V], ret: V, reads_memory: false, writes_memory: false },
-    IntrinsicSig { name: "_mm256_xor_si256", params: &[V, V], ret: V, reads_memory: false, writes_memory: false },
-    IntrinsicSig { name: "_mm256_andnot_si256", params: &[V, V], ret: V, reads_memory: false, writes_memory: false },
-    IntrinsicSig { name: "_mm256_max_epi32", params: &[V, V], ret: V, reads_memory: false, writes_memory: false },
-    IntrinsicSig { name: "_mm256_min_epi32", params: &[V, V], ret: V, reads_memory: false, writes_memory: false },
-    IntrinsicSig { name: "_mm256_abs_epi32", params: &[V], ret: V, reads_memory: false, writes_memory: false },
-    IntrinsicSig { name: "_mm256_slli_epi32", params: &[V, I32], ret: V, reads_memory: false, writes_memory: false },
-    IntrinsicSig { name: "_mm256_srli_epi32", params: &[V, I32], ret: V, reads_memory: false, writes_memory: false },
-    IntrinsicSig { name: "_mm256_srai_epi32", params: &[V, I32], ret: V, reads_memory: false, writes_memory: false },
-    IntrinsicSig { name: "_mm256_hadd_epi32", params: &[V, V], ret: V, reads_memory: false, writes_memory: false },
-    IntrinsicSig { name: "_mm256_shuffle_epi32", params: &[V, I32], ret: V, reads_memory: false, writes_memory: false },
-    IntrinsicSig { name: "_mm256_permute2x128_si256", params: &[V, V, I32], ret: V, reads_memory: false, writes_memory: false },
-    IntrinsicSig { name: "_mm256_permutevar8x32_epi32", params: &[V, V], ret: V, reads_memory: false, writes_memory: false },
-    IntrinsicSig { name: "_mm256_extract_epi32", params: &[V, I32], ret: I32, reads_memory: false, writes_memory: false },
-    IntrinsicSig { name: "_mm256_insert_epi32", params: &[V, I32, I32], ret: V, reads_memory: false, writes_memory: false },
-    IntrinsicSig { name: "_mm256_movemask_epi8", params: &[V], ret: I32, reads_memory: false, writes_memory: false },
+    IntrinsicSig {
+        name: "_mm256_loadu_si256",
+        params: &[VecPtr],
+        ret: V,
+        reads_memory: true,
+        writes_memory: false,
+    },
+    IntrinsicSig {
+        name: "_mm256_storeu_si256",
+        params: &[VecPtr, V],
+        ret: Void,
+        reads_memory: false,
+        writes_memory: true,
+    },
+    IntrinsicSig {
+        name: "_mm256_maskload_epi32",
+        params: &[IntPtr, V],
+        ret: V,
+        reads_memory: true,
+        writes_memory: false,
+    },
+    IntrinsicSig {
+        name: "_mm256_maskstore_epi32",
+        params: &[IntPtr, V, V],
+        ret: Void,
+        reads_memory: false,
+        writes_memory: true,
+    },
+    IntrinsicSig {
+        name: "_mm256_add_epi32",
+        params: &[V, V],
+        ret: V,
+        reads_memory: false,
+        writes_memory: false,
+    },
+    IntrinsicSig {
+        name: "_mm256_sub_epi32",
+        params: &[V, V],
+        ret: V,
+        reads_memory: false,
+        writes_memory: false,
+    },
+    IntrinsicSig {
+        name: "_mm256_mullo_epi32",
+        params: &[V, V],
+        ret: V,
+        reads_memory: false,
+        writes_memory: false,
+    },
+    IntrinsicSig {
+        name: "_mm256_set1_epi32",
+        params: &[I32],
+        ret: V,
+        reads_memory: false,
+        writes_memory: false,
+    },
+    IntrinsicSig {
+        name: "_mm256_setr_epi32",
+        params: &[I32, I32, I32, I32, I32, I32, I32, I32],
+        ret: V,
+        reads_memory: false,
+        writes_memory: false,
+    },
+    IntrinsicSig {
+        name: "_mm256_set_epi32",
+        params: &[I32, I32, I32, I32, I32, I32, I32, I32],
+        ret: V,
+        reads_memory: false,
+        writes_memory: false,
+    },
+    IntrinsicSig {
+        name: "_mm256_setzero_si256",
+        params: &[],
+        ret: V,
+        reads_memory: false,
+        writes_memory: false,
+    },
+    IntrinsicSig {
+        name: "_mm256_cmpgt_epi32",
+        params: &[V, V],
+        ret: V,
+        reads_memory: false,
+        writes_memory: false,
+    },
+    IntrinsicSig {
+        name: "_mm256_cmpeq_epi32",
+        params: &[V, V],
+        ret: V,
+        reads_memory: false,
+        writes_memory: false,
+    },
+    IntrinsicSig {
+        name: "_mm256_blendv_epi8",
+        params: &[V, V, V],
+        ret: V,
+        reads_memory: false,
+        writes_memory: false,
+    },
+    IntrinsicSig {
+        name: "_mm256_and_si256",
+        params: &[V, V],
+        ret: V,
+        reads_memory: false,
+        writes_memory: false,
+    },
+    IntrinsicSig {
+        name: "_mm256_or_si256",
+        params: &[V, V],
+        ret: V,
+        reads_memory: false,
+        writes_memory: false,
+    },
+    IntrinsicSig {
+        name: "_mm256_xor_si256",
+        params: &[V, V],
+        ret: V,
+        reads_memory: false,
+        writes_memory: false,
+    },
+    IntrinsicSig {
+        name: "_mm256_andnot_si256",
+        params: &[V, V],
+        ret: V,
+        reads_memory: false,
+        writes_memory: false,
+    },
+    IntrinsicSig {
+        name: "_mm256_max_epi32",
+        params: &[V, V],
+        ret: V,
+        reads_memory: false,
+        writes_memory: false,
+    },
+    IntrinsicSig {
+        name: "_mm256_min_epi32",
+        params: &[V, V],
+        ret: V,
+        reads_memory: false,
+        writes_memory: false,
+    },
+    IntrinsicSig {
+        name: "_mm256_abs_epi32",
+        params: &[V],
+        ret: V,
+        reads_memory: false,
+        writes_memory: false,
+    },
+    IntrinsicSig {
+        name: "_mm256_slli_epi32",
+        params: &[V, I32],
+        ret: V,
+        reads_memory: false,
+        writes_memory: false,
+    },
+    IntrinsicSig {
+        name: "_mm256_srli_epi32",
+        params: &[V, I32],
+        ret: V,
+        reads_memory: false,
+        writes_memory: false,
+    },
+    IntrinsicSig {
+        name: "_mm256_srai_epi32",
+        params: &[V, I32],
+        ret: V,
+        reads_memory: false,
+        writes_memory: false,
+    },
+    IntrinsicSig {
+        name: "_mm256_hadd_epi32",
+        params: &[V, V],
+        ret: V,
+        reads_memory: false,
+        writes_memory: false,
+    },
+    IntrinsicSig {
+        name: "_mm256_shuffle_epi32",
+        params: &[V, I32],
+        ret: V,
+        reads_memory: false,
+        writes_memory: false,
+    },
+    IntrinsicSig {
+        name: "_mm256_permute2x128_si256",
+        params: &[V, V, I32],
+        ret: V,
+        reads_memory: false,
+        writes_memory: false,
+    },
+    IntrinsicSig {
+        name: "_mm256_permutevar8x32_epi32",
+        params: &[V, V],
+        ret: V,
+        reads_memory: false,
+        writes_memory: false,
+    },
+    IntrinsicSig {
+        name: "_mm256_extract_epi32",
+        params: &[V, I32],
+        ret: I32,
+        reads_memory: false,
+        writes_memory: false,
+    },
+    IntrinsicSig {
+        name: "_mm256_insert_epi32",
+        params: &[V, I32, I32],
+        ret: V,
+        reads_memory: false,
+        writes_memory: false,
+    },
+    IntrinsicSig {
+        name: "_mm256_movemask_epi8",
+        params: &[V],
+        ret: I32,
+        reads_memory: false,
+        writes_memory: false,
+    },
 ];
 
 /// Looks up the signature of an intrinsic by name.

@@ -50,7 +50,11 @@ pub fn parse_program(source: &str) -> Result<Program, ParseError> {
 pub fn parse_function(source: &str) -> Result<Function, ParseError> {
     let program = parse_program(source)?;
     match program.functions.len() {
-        1 => Ok(program.functions.into_iter().next().expect("checked length")),
+        1 => Ok(program
+            .functions
+            .into_iter()
+            .next()
+            .expect("checked length")),
         n => Err(ParseError::new(
             format!("expected exactly one function definition, found {}", n),
             Pos::new(1, 1),
@@ -695,7 +699,11 @@ void s000_vec(int n, int *a, int *b) {
     fn precedence_mul_over_add() {
         let e = parse_expr("a + b * c").unwrap();
         match e {
-            Expr::Binary { op: BinOp::Add, rhs, .. } => {
+            Expr::Binary {
+                op: BinOp::Add,
+                rhs,
+                ..
+            } => {
                 assert!(matches!(*rhs, Expr::Binary { op: BinOp::Mul, .. }));
             }
             other => panic!("unexpected {:?}", other),
@@ -744,8 +752,14 @@ void s000_vec(int n, int *a, int *b) {
             Stmt::For { body, .. } => body,
             other => panic!("expected loop, got {:?}", other),
         };
-        assert!(body.stmts.iter().any(|s| matches!(s, Stmt::Label(l) if l == "L20")));
-        assert!(body.stmts.iter().any(|s| matches!(s, Stmt::Goto(l) if l == "L30")));
+        assert!(body
+            .stmts
+            .iter()
+            .any(|s| matches!(s, Stmt::Label(l) if l == "L20")));
+        assert!(body
+            .stmts
+            .iter()
+            .any(|s| matches!(s, Stmt::Goto(l) if l == "L30")));
     }
 
     #[test]
@@ -768,8 +782,10 @@ void s000_vec(int n, int *a, int *b) {
 
     #[test]
     fn while_and_compound_assign() {
-        let f = parse_function("void f(int n, int *a) { int i = 0; while (i < n) { a[i] *= 3; i += 1; } }")
-            .unwrap();
+        let f = parse_function(
+            "void f(int n, int *a) { int i = 0; while (i < n) { a[i] *= 3; i += 1; } }",
+        )
+        .unwrap();
         assert!(matches!(f.body.stmts[1], Stmt::While { .. }));
     }
 

@@ -68,7 +68,10 @@ fn uses_vectors(func: &Function) -> bool {
                     || else_branch.as_ref().is_some_and(block_uses)
             }
             Stmt::For {
-                init, cond, step, body,
+                init,
+                cond,
+                step,
+                body,
             } => {
                 init.as_deref().is_some_and(stmt_uses)
                     || cond.as_ref().is_some_and(expr_uses)
@@ -190,7 +193,10 @@ impl Printer {
                 self.out.push('\n');
             }
             Stmt::For {
-                init, cond, step, body,
+                init,
+                cond,
+                step,
+                body,
             } => {
                 self.out.push_str("for (");
                 match init.as_deref() {

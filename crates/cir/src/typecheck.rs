@@ -130,10 +130,11 @@ impl<'a> Checker<'a> {
     fn check_gotos(&self, block: &Block) -> Result<(), TypeError> {
         for stmt in &block.stmts {
             match stmt {
-                Stmt::Goto(label) => {
-                    if !self.info.labels.contains(label) {
-                        return Err(TypeError::new(format!("goto to undefined label `{}`", label)));
-                    }
+                Stmt::Goto(label) if !self.info.labels.contains(label) => {
+                    return Err(TypeError::new(format!(
+                        "goto to undefined label `{}`",
+                        label
+                    )));
                 }
                 Stmt::If {
                     then_branch,
@@ -506,9 +507,8 @@ mod tests {
 
     #[test]
     fn rejects_vector_condition() {
-        let err =
-            check("void f(int n) { __m256i x = _mm256_set1_epi32(1); if (x) { n = 1; } }")
-                .unwrap_err();
+        let err = check("void f(int n) { __m256i x = _mm256_set1_epi32(1); if (x) { n = 1; } }")
+            .unwrap_err();
         assert!(err.to_string().contains("condition must be int"));
     }
 

@@ -180,11 +180,9 @@ pub fn map_exprs_in_stmt(stmt: Stmt, f: &impl Fn(Expr) -> Expr) -> Stmt {
         },
         Stmt::Return(e) => Stmt::Return(e.map(|e| map_expr(e, f))),
         Stmt::Block(b) => Stmt::Block(map_exprs_in_block(b, f)),
-        other @ (Stmt::Break
-        | Stmt::Continue
-        | Stmt::Goto(_)
-        | Stmt::Label(_)
-        | Stmt::Empty) => other,
+        other @ (Stmt::Break | Stmt::Continue | Stmt::Goto(_) | Stmt::Label(_) | Stmt::Empty) => {
+            other
+        }
     }
 }
 
@@ -332,7 +330,10 @@ mod tests {
         .unwrap();
         assert_eq!(
             collect_callees(&f),
-            vec!["_mm256_set1_epi32".to_string(), "_mm256_storeu_si256".to_string()]
+            vec![
+                "_mm256_set1_epi32".to_string(),
+                "_mm256_storeu_si256".to_string()
+            ]
         );
     }
 
@@ -382,12 +383,14 @@ mod tests {
     fn map_exprs_constant_fold_example() {
         let (_, b) = body("void f(int *a) { a[1 + 2] = 5; }");
         let folded = map_exprs_in_block(b, &|e| match e {
-            Expr::Binary { op: BinOp::Add, ref lhs, ref rhs } => {
-                match (lhs.as_int_lit(), rhs.as_int_lit()) {
-                    (Some(a), Some(b)) => Expr::lit(a + b),
-                    _ => e,
-                }
-            }
+            Expr::Binary {
+                op: BinOp::Add,
+                ref lhs,
+                ref rhs,
+            } => match (lhs.as_int_lit(), rhs.as_int_lit()) {
+                (Some(a), Some(b)) => Expr::lit(a + b),
+                _ => e,
+            },
             other => other,
         });
         match &folded.stmts[0] {

@@ -1,0 +1,17 @@
+//! Offline stand-in for `serde`.
+//!
+//! No code in this workspace serializes anything yet; the seed sources only
+//! tag types with `#[derive(Serialize, Deserialize)]` so downstream tooling
+//! *could* serialize reports. Until a real serialization backend is needed
+//! (and the container can fetch one), the traits are empty markers with
+//! blanket implementations and the derives expand to nothing.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait standing in for `serde::Serialize`.
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker trait standing in for `serde::Deserialize`.
+pub trait Deserialize<'de> {}
+impl<'de, T: ?Sized> Deserialize<'de> for T {}

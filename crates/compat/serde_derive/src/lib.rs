@@ -1,0 +1,22 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The workspace's `serde` stand-in gives `Serialize` / `Deserialize` blanket
+//! implementations, so the derives have nothing to generate: they exist only
+//! so `#[derive(Serialize, Deserialize)]` in the seed sources keeps
+//! compiling without the real (network-only) proc-macro crate.
+
+use proc_macro::TokenStream;
+
+/// No-op `Serialize` derive; the trait is blanket-implemented by the `serde`
+/// stand-in.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `Deserialize` derive; the trait is blanket-implemented by the
+/// `serde` stand-in.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

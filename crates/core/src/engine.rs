@@ -1,0 +1,659 @@
+//! The parallel batch verification engine.
+//!
+//! Algorithm 1 is a cascade of verification strategies — checksum testing,
+//! then the three symbolic strategies — applied to one `(scalar, candidate)`
+//! pair. This module turns that cascade into an engine that:
+//!
+//! * represents each stage as a [`VerificationStrategy`] trait object, so the
+//!   cascade is configurable (the experiment drivers use a checksum-only
+//!   cascade for Table 2 / Figure 5 and the full cascade for Table 3);
+//! * fans a batch of [`Job`]s out over a worker pool ([`VerificationEngine::
+//!   run_batch`]): workers pull jobs from a shared atomic cursor, and each
+//!   worker owns one reusable SMT session ([`lv_tv::TvSession`]) for its whole
+//!   lifetime, so solver allocations are recycled instead of rebuilt per
+//!   query;
+//! * records structured per-job telemetry ([`StageTrace`]): which stages ran,
+//!   which one concluded, wall time, and the SAT conflicts and CNF clauses
+//!   each stage spent.
+//!
+//! Every job is deterministic given its inputs and each worker session is
+//! reset to a just-constructed state between queries, so a batch produces
+//! bit-identical verdicts regardless of the thread count — `threads = N` is
+//! purely a wall-clock optimization over `threads = 1`, which in turn equals
+//! the one-shot [`crate::check_equivalence`].
+
+use crate::pipeline::{Equivalence, EquivalenceReport, PipelineConfig, Stage};
+use lv_cir::ast::Function;
+use lv_interp::{ChecksumClass, ChecksumFilter, ChecksumOutcome};
+use lv_tv::{SymbolicStrategy, TvConfig, TvSession, TvSessionStats};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// Per-worker mutable state threaded through every strategy call.
+///
+/// One value lives per worker thread for the whole batch; strategies use it
+/// to reuse expensive resources (the SMT session) and to report side-band
+/// facts (the checksum classification) without widening their return type.
+#[derive(Debug, Default)]
+pub struct WorkerState {
+    /// The worker's reusable SMT session.
+    pub session: TvSession,
+    /// Checksum classification of the current job, recorded by the checksum
+    /// strategy so reports can distinguish "cannot compile" from "refuted".
+    pub checksum: Option<ChecksumClass>,
+}
+
+/// What one strategy concluded about one job.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StrategyOutcome {
+    /// The cascade stops here with this verdict.
+    Conclusive {
+        /// The final verdict.
+        verdict: Equivalence,
+        /// Counterexample, mismatch, or failure description.
+        detail: String,
+    },
+    /// This strategy could not decide; the cascade continues.
+    Continue {
+        /// Why the strategy passed (checksum: "plausible"; symbolic: the
+        /// inconclusive reason, reported if no later stage concludes).
+        reason: String,
+    },
+}
+
+/// One stage of the verification cascade.
+///
+/// Implementations exist for the checksum filter (wrapping
+/// [`lv_interp::ChecksumFilter`]) and for each [`lv_tv::SymbolicStrategy`];
+/// the trait is public so alternative cascades (e.g. a future fuzzing stage)
+/// can plug in without touching the engine.
+pub trait VerificationStrategy: Send + Sync {
+    /// The Algorithm 1 stage this strategy implements, for reports.
+    fn stage(&self) -> Stage;
+
+    /// Checks one candidate against its scalar kernel.
+    fn verify(
+        &self,
+        scalar: &Function,
+        candidate: &Function,
+        worker: &mut WorkerState,
+    ) -> StrategyOutcome;
+}
+
+/// Algorithm 1 line 2: checksum testing as a cascade stage.
+#[derive(Debug, Clone, Default)]
+pub struct ChecksumStage {
+    filter: ChecksumFilter,
+}
+
+impl ChecksumStage {
+    /// A stage running the given checksum harness configuration.
+    pub fn new(config: lv_interp::ChecksumConfig) -> ChecksumStage {
+        ChecksumStage {
+            filter: ChecksumFilter::new(config),
+        }
+    }
+}
+
+impl VerificationStrategy for ChecksumStage {
+    fn stage(&self) -> Stage {
+        Stage::Checksum
+    }
+
+    fn verify(
+        &self,
+        scalar: &Function,
+        candidate: &Function,
+        worker: &mut WorkerState,
+    ) -> StrategyOutcome {
+        let report = self.filter.run(scalar, candidate);
+        worker.checksum = Some(report.outcome.class());
+        match report.outcome {
+            ChecksumOutcome::NotEquivalent { reason, .. } => StrategyOutcome::Conclusive {
+                verdict: Equivalence::NotEquivalent,
+                detail: reason,
+            },
+            ChecksumOutcome::CannotCompile { error } => StrategyOutcome::Conclusive {
+                verdict: Equivalence::NotEquivalent,
+                detail: format!("cannot compile: {}", error),
+            },
+            ChecksumOutcome::ScalarExecutionFailed { error } => StrategyOutcome::Conclusive {
+                verdict: Equivalence::Inconclusive,
+                detail: format!("scalar kernel failed to execute: {}", error),
+            },
+            ChecksumOutcome::Plausible => StrategyOutcome::Continue {
+                reason: String::new(),
+            },
+        }
+    }
+}
+
+/// Algorithm 1 lines 6–13: one symbolic strategy as a cascade stage.
+#[derive(Debug, Clone)]
+pub struct SymbolicStage {
+    strategy: SymbolicStrategy,
+    config: TvConfig,
+}
+
+impl SymbolicStage {
+    /// A stage running `strategy` under `config`.
+    pub fn new(strategy: SymbolicStrategy, config: TvConfig) -> SymbolicStage {
+        SymbolicStage { strategy, config }
+    }
+}
+
+impl VerificationStrategy for SymbolicStage {
+    fn stage(&self) -> Stage {
+        match self.strategy {
+            SymbolicStrategy::Alive2Unroll => Stage::Alive2,
+            SymbolicStrategy::CUnroll => Stage::CUnroll,
+            SymbolicStrategy::SpatialSplitting => Stage::Splitting,
+        }
+    }
+
+    fn verify(
+        &self,
+        scalar: &Function,
+        candidate: &Function,
+        worker: &mut WorkerState,
+    ) -> StrategyOutcome {
+        match self
+            .strategy
+            .run(scalar, candidate, &self.config, &mut worker.session)
+        {
+            lv_tv::TvVerdict::Equivalent => StrategyOutcome::Conclusive {
+                verdict: Equivalence::Equivalent,
+                detail: String::new(),
+            },
+            lv_tv::TvVerdict::NotEquivalent { counterexample } => StrategyOutcome::Conclusive {
+                verdict: Equivalence::NotEquivalent,
+                detail: counterexample,
+            },
+            lv_tv::TvVerdict::Inconclusive { reason } => StrategyOutcome::Continue { reason },
+        }
+    }
+}
+
+/// Engine configuration.
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// Worker threads; `0` means one per available CPU.
+    pub threads: usize,
+    /// The stages to run, in order. Defaults to Algorithm 1's full cascade.
+    pub cascade: Vec<Stage>,
+    /// Stage configurations (checksum harness + symbolic budgets).
+    pub pipeline: PipelineConfig,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            threads: 0,
+            cascade: vec![
+                Stage::Checksum,
+                Stage::Alive2,
+                Stage::CUnroll,
+                Stage::Splitting,
+            ],
+            pipeline: PipelineConfig::default(),
+        }
+    }
+}
+
+impl EngineConfig {
+    /// The full Algorithm 1 cascade with the given stage configurations.
+    pub fn full(pipeline: PipelineConfig) -> EngineConfig {
+        EngineConfig {
+            pipeline,
+            ..EngineConfig::default()
+        }
+    }
+
+    /// A checksum-only cascade (the Table 2 / Figure 5 experiments).
+    pub fn checksum_only(checksum: lv_interp::ChecksumConfig) -> EngineConfig {
+        EngineConfig {
+            cascade: vec![Stage::Checksum],
+            pipeline: PipelineConfig {
+                checksum,
+                ..PipelineConfig::default()
+            },
+            ..EngineConfig::default()
+        }
+    }
+
+    /// Returns this configuration with the given worker count.
+    pub fn with_threads(mut self, threads: usize) -> EngineConfig {
+        self.threads = threads;
+        self
+    }
+}
+
+/// One unit of work: check `candidate` against `scalar`.
+#[derive(Debug, Clone)]
+pub struct Job {
+    /// Label for reports (kernel name, optionally with a completion index).
+    pub label: String,
+    /// The scalar reference kernel.
+    pub scalar: Function,
+    /// The vectorization candidate.
+    pub candidate: Function,
+}
+
+impl Job {
+    /// A job with the given label.
+    pub fn new(label: impl Into<String>, scalar: Function, candidate: Function) -> Job {
+        Job {
+            label: label.into(),
+            scalar,
+            candidate,
+        }
+    }
+}
+
+/// Telemetry for one cascade stage of one job.
+#[derive(Debug, Clone)]
+pub struct StageTrace {
+    /// The stage that ran.
+    pub stage: Stage,
+    /// Whether this stage produced the job's final verdict.
+    pub conclusive: bool,
+    /// Wall time the stage took.
+    pub wall: Duration,
+    /// SAT conflicts spent (always 0 for the checksum stage).
+    pub conflicts: u64,
+    /// CNF clauses built (always 0 for the checksum stage).
+    pub clauses: u64,
+}
+
+/// The result of one job, with telemetry.
+#[derive(Debug, Clone)]
+pub struct JobReport {
+    /// The job's label.
+    pub label: String,
+    /// The final verdict.
+    pub verdict: Equivalence,
+    /// The stage that produced it (the last stage run, if none concluded).
+    pub stage: Stage,
+    /// Counterexample, mismatch, or inconclusive reason.
+    pub detail: String,
+    /// Checksum classification, when the cascade includes the checksum stage.
+    pub checksum: Option<ChecksumClass>,
+    /// Per-stage telemetry, in execution order. A conclusive stage is always
+    /// last — stages after an early exit never run, which is how tests pin
+    /// Algorithm 1's short-circuit ordering.
+    pub traces: Vec<StageTrace>,
+    /// Total wall time for the job.
+    pub wall: Duration,
+}
+
+impl JobReport {
+    /// Collapses the report into the pipeline's three-field form.
+    pub fn equivalence_report(&self) -> EquivalenceReport {
+        EquivalenceReport {
+            verdict: self.verdict,
+            stage: self.stage,
+            detail: self.detail.clone(),
+        }
+    }
+}
+
+/// The result of a batch run.
+#[derive(Debug, Clone)]
+pub struct BatchReport {
+    /// One report per job, in job order (independent of scheduling).
+    pub jobs: Vec<JobReport>,
+    /// Wall time of the whole batch.
+    pub wall: Duration,
+    /// Worker threads actually used.
+    pub threads: usize,
+}
+
+impl BatchReport {
+    /// Total SAT conflicts spent across all jobs and stages.
+    pub fn total_conflicts(&self) -> u64 {
+        self.jobs
+            .iter()
+            .flat_map(|j| &j.traces)
+            .map(|t| t.conflicts)
+            .sum()
+    }
+
+    /// Count of jobs whose final verdict is `verdict`.
+    pub fn count(&self, verdict: Equivalence) -> usize {
+        self.jobs.iter().filter(|j| j.verdict == verdict).count()
+    }
+}
+
+/// The parallel batch verification engine.
+pub struct VerificationEngine {
+    threads: usize,
+    strategies: Vec<Box<dyn VerificationStrategy>>,
+}
+
+impl VerificationEngine {
+    /// Builds an engine from a configuration, instantiating one strategy per
+    /// cascade stage.
+    pub fn new(config: EngineConfig) -> VerificationEngine {
+        let strategies = config
+            .cascade
+            .iter()
+            .map(|stage| -> Box<dyn VerificationStrategy> {
+                match stage {
+                    Stage::Checksum => {
+                        Box::new(ChecksumStage::new(config.pipeline.checksum.clone()))
+                    }
+                    Stage::Alive2 => Box::new(SymbolicStage::new(
+                        SymbolicStrategy::Alive2Unroll,
+                        config.pipeline.tv.clone(),
+                    )),
+                    Stage::CUnroll => Box::new(SymbolicStage::new(
+                        SymbolicStrategy::CUnroll,
+                        config.pipeline.tv.clone(),
+                    )),
+                    Stage::Splitting => Box::new(SymbolicStage::new(
+                        SymbolicStrategy::SpatialSplitting,
+                        config.pipeline.tv.clone(),
+                    )),
+                }
+            })
+            .collect();
+        VerificationEngine {
+            threads: config.threads,
+            strategies,
+        }
+    }
+
+    /// An engine with a caller-assembled cascade.
+    pub fn with_strategies(
+        threads: usize,
+        strategies: Vec<Box<dyn VerificationStrategy>>,
+    ) -> VerificationEngine {
+        VerificationEngine {
+            threads,
+            strategies,
+        }
+    }
+
+    /// The worker count a batch of `jobs` jobs would use.
+    pub fn resolved_threads(&self, jobs: usize) -> usize {
+        resolve_threads(self.threads, jobs)
+    }
+
+    /// Runs the cascade on a single pair, reusing nothing (the
+    /// [`crate::check_equivalence`] path).
+    pub fn check_one(&self, scalar: &Function, candidate: &Function) -> JobReport {
+        let mut worker = WorkerState::default();
+        self.run_job(
+            &Job::new(scalar.name.clone(), scalar.clone(), candidate.clone()),
+            &mut worker,
+        )
+    }
+
+    /// Verifies a batch of jobs on the worker pool.
+    ///
+    /// Results are returned in job order. Verdicts, stages, and details are
+    /// identical for every thread count; only `wall` varies.
+    pub fn run_batch(&self, jobs: &[Job]) -> BatchReport {
+        let threads = self.resolved_threads(jobs.len());
+        let start = Instant::now();
+        let reports = parallel_map_with(threads, jobs, WorkerState::default, |job, worker| {
+            self.run_job(job, worker)
+        });
+        BatchReport {
+            jobs: reports,
+            wall: start.elapsed(),
+            threads,
+        }
+    }
+
+    /// Runs the cascade on one job, collecting per-stage telemetry.
+    fn run_job(&self, job: &Job, worker: &mut WorkerState) -> JobReport {
+        let job_start = Instant::now();
+        worker.checksum = None;
+        let mut traces = Vec::with_capacity(self.strategies.len());
+        // If no stage concludes, report the last stage that ran (Alive2 with
+        // an empty reason for an empty cascade, mirroring the sequential
+        // pipeline's initializer).
+        let mut last_stage = Stage::Alive2;
+        let mut last_reason = String::new();
+
+        for strategy in &self.strategies {
+            let stats_before = worker.session.stats;
+            let stage_start = Instant::now();
+            let outcome = strategy.verify(&job.scalar, &job.candidate, worker);
+            let wall = stage_start.elapsed();
+            let spent = effort_delta(stats_before, worker.session.stats);
+            match outcome {
+                StrategyOutcome::Conclusive { verdict, detail } => {
+                    traces.push(StageTrace {
+                        stage: strategy.stage(),
+                        conclusive: true,
+                        wall,
+                        conflicts: spent.0,
+                        clauses: spent.1,
+                    });
+                    return JobReport {
+                        label: job.label.clone(),
+                        verdict,
+                        stage: strategy.stage(),
+                        detail,
+                        checksum: worker.checksum,
+                        traces,
+                        wall: job_start.elapsed(),
+                    };
+                }
+                StrategyOutcome::Continue { reason } => {
+                    traces.push(StageTrace {
+                        stage: strategy.stage(),
+                        conclusive: false,
+                        wall,
+                        conflicts: spent.0,
+                        clauses: spent.1,
+                    });
+                    last_stage = strategy.stage();
+                    last_reason = reason;
+                }
+            }
+        }
+
+        JobReport {
+            label: job.label.clone(),
+            verdict: Equivalence::Inconclusive,
+            stage: last_stage,
+            detail: last_reason,
+            checksum: worker.checksum,
+            traces,
+            wall: job_start.elapsed(),
+        }
+    }
+}
+
+fn effort_delta(before: TvSessionStats, after: TvSessionStats) -> (u64, u64) {
+    (
+        after.conflicts - before.conflicts,
+        after.clauses - before.clauses,
+    )
+}
+
+/// Maps `f` over `items` on a scoped worker pool, preserving order.
+///
+/// The engine's work-queue pattern as a standalone helper, used by drivers
+/// whose per-item work is not a verification (e.g. Figure 6's cost-model
+/// evaluations).
+pub fn parallel_map<T, R, F>(threads: usize, items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    parallel_map_with(
+        resolve_threads(threads, items.len()),
+        items,
+        || (),
+        |item, _| f(item),
+    )
+}
+
+/// Resolves a configured worker count: `0` means one per available CPU, and
+/// the result is clamped to `[1, items]` so idle workers are never spawned.
+fn resolve_threads(configured: usize, items: usize) -> usize {
+    let hw = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let threads = if configured == 0 { hw } else { configured };
+    threads.clamp(1, items.max(1))
+}
+
+/// The work-queue core shared by [`parallel_map`] and
+/// [`VerificationEngine::run_batch`]: workers claim item indices from an
+/// atomic cursor, each carrying per-worker state built by `init` (the
+/// engine's reusable SMT session; `()` for the plain map).
+///
+/// `threads` must already be resolved and clamped by the caller.
+fn parallel_map_with<T, R, S, I, F>(threads: usize, items: &[T], init: I, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(&T, &mut S) -> R + Sync,
+{
+    if threads <= 1 {
+        let mut state = init();
+        return items.iter().map(|item| f(item, &mut state)).collect();
+    }
+    let results: Vec<Mutex<Option<R>>> = items.iter().map(|_| Mutex::new(None)).collect();
+    let cursor = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| {
+                let mut state = init();
+                loop {
+                    let index = cursor.fetch_add(1, Ordering::Relaxed);
+                    let Some(item) = items.get(index) else { break };
+                    let value = f(item, &mut state);
+                    *results[index].lock().unwrap() = Some(value);
+                }
+            });
+        }
+    });
+    results
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .unwrap()
+                .expect("every item index was claimed by a worker")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lv_agents::vectorize_correct;
+    use lv_cir::parse_function;
+    use lv_interp::ChecksumConfig;
+
+    const S000: &str =
+        "void s000(int n, int *a, int *b) { for (int i = 0; i < n; i++) { a[i] = b[i] + 1; } }";
+    const S000_WRONG: &str =
+        "void s000(int n, int *a, int *b) { for (int i = 0; i < n; i++) { a[i] = b[i] + 2; } }";
+
+    fn quick_pipeline() -> PipelineConfig {
+        PipelineConfig {
+            checksum: ChecksumConfig {
+                trials: 1,
+                n: 40,
+                ..ChecksumConfig::default()
+            },
+            ..PipelineConfig::default()
+        }
+    }
+
+    #[test]
+    fn engine_verifies_a_correct_candidate() {
+        let scalar = parse_function(S000).unwrap();
+        let candidate = vectorize_correct(&scalar).unwrap();
+        let engine = VerificationEngine::new(EngineConfig::full(quick_pipeline()));
+        let report = engine.check_one(&scalar, &candidate);
+        assert_eq!(report.verdict, Equivalence::Equivalent, "{}", report.detail);
+        assert_eq!(report.checksum, Some(ChecksumClass::Plausible));
+        // The checksum stage ran first and passed; a symbolic stage concluded.
+        assert_eq!(report.traces[0].stage, Stage::Checksum);
+        assert!(!report.traces[0].conclusive);
+        assert!(report.traces.last().unwrap().conclusive);
+    }
+
+    #[test]
+    fn checksum_refutation_short_circuits_the_cascade() {
+        let scalar = parse_function(S000).unwrap();
+        let wrong = parse_function(S000_WRONG).unwrap();
+        let engine = VerificationEngine::new(EngineConfig::full(quick_pipeline()));
+        let report = engine.check_one(&scalar, &wrong);
+        assert_eq!(report.verdict, Equivalence::NotEquivalent);
+        assert_eq!(report.stage, Stage::Checksum);
+        // Early exit: exactly one trace, no symbolic stage ran, no SAT work.
+        assert_eq!(report.traces.len(), 1);
+        assert_eq!(report.traces[0].stage, Stage::Checksum);
+        assert!(report.traces[0].conclusive);
+        assert_eq!(report.traces[0].conflicts, 0);
+    }
+
+    #[test]
+    fn batch_reports_preserve_job_order_for_any_thread_count() {
+        let scalar = parse_function(S000).unwrap();
+        let good = vectorize_correct(&scalar).unwrap();
+        let wrong = parse_function(S000_WRONG).unwrap();
+        let jobs: Vec<Job> = (0..8)
+            .map(|i| {
+                let candidate = if i % 2 == 0 {
+                    good.clone()
+                } else {
+                    wrong.clone()
+                };
+                Job::new(format!("job{}", i), scalar.clone(), candidate)
+            })
+            .collect();
+        let sequential =
+            VerificationEngine::new(EngineConfig::full(quick_pipeline()).with_threads(1))
+                .run_batch(&jobs);
+        let parallel =
+            VerificationEngine::new(EngineConfig::full(quick_pipeline()).with_threads(4))
+                .run_batch(&jobs);
+        assert_eq!(parallel.threads, 4);
+        for (s, p) in sequential.jobs.iter().zip(&parallel.jobs) {
+            assert_eq!(s.label, p.label);
+            assert_eq!(s.verdict, p.verdict);
+            assert_eq!(s.stage, p.stage);
+            assert_eq!(s.detail, p.detail);
+        }
+        assert_eq!(sequential.count(Equivalence::Equivalent), 4);
+        assert_eq!(sequential.count(Equivalence::NotEquivalent), 4);
+    }
+
+    #[test]
+    fn checksum_only_cascade_reports_inconclusive_for_plausible() {
+        let scalar = parse_function(S000).unwrap();
+        let candidate = vectorize_correct(&scalar).unwrap();
+        let engine = VerificationEngine::new(EngineConfig::checksum_only(ChecksumConfig {
+            trials: 1,
+            n: 40,
+            ..ChecksumConfig::default()
+        }));
+        let report = engine.check_one(&scalar, &candidate);
+        assert_eq!(report.verdict, Equivalence::Inconclusive);
+        assert_eq!(
+            report.stage,
+            Stage::Checksum,
+            "last stage that actually ran"
+        );
+        assert_eq!(report.checksum, Some(ChecksumClass::Plausible));
+    }
+
+    #[test]
+    fn parallel_map_preserves_order() {
+        let items: Vec<u64> = (0..100).collect();
+        let doubled = parallel_map(4, &items, |&x| x * 2);
+        assert_eq!(doubled, (0..100).map(|x| x * 2).collect::<Vec<_>>());
+        let empty: Vec<u64> = Vec::new();
+        assert!(parallel_map(4, &empty, |&x: &u64| x).is_empty());
+    }
+}

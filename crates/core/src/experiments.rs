@@ -3,13 +3,21 @@
 //! Each driver returns a plain data structure with a `render()` method that
 //! prints rows in the same shape as the paper's tables/figures; the Criterion
 //! benches in `lv-bench` and the runnable examples call these drivers.
+//!
+//! Every driver runs its equivalence checks through the parallel
+//! [`VerificationEngine`]: candidates are generated sequentially (the
+//! synthetic LLM is a seeded, stateful sampler), collected into
+//! `(kernel × candidate)` jobs, and fanned out over the engine's worker
+//! pool. Verdicts are bit-identical for any [`ExperimentConfig::threads`]
+//! setting; the thread count only changes wall-clock time.
 
+use crate::engine::{parallel_map, EngineConfig, Job, VerificationEngine};
 use crate::passk::pass_at_k_curve;
-use crate::pipeline::{check_equivalence, Equivalence, PipelineConfig, Stage};
-use lv_agents::{run_fsm_with_llm, FsmConfig, LlmConfig, SyntheticLlm, VectorizePrompt};
+use crate::pipeline::{Equivalence, PipelineConfig, Stage};
+use lv_agents::{fsm_candidate_batch, sample_completion_batch, FsmConfig, LlmConfig, SyntheticLlm};
 use lv_autovec::{speedup_over, Compiler, CompilerProfile, CostTable};
 use lv_cir::ast::Function;
-use lv_interp::{checksum_test, ChecksumConfig, ChecksumOutcome};
+use lv_interp::{ChecksumClass, ChecksumConfig};
 use lv_tsvc::{Category, Kernel, KERNELS, PAPER_SUITE_SIZE};
 use std::collections::HashMap;
 
@@ -28,6 +36,9 @@ pub struct ExperimentConfig {
     pub pipeline: PipelineConfig,
     /// Problem size used for the performance simulations.
     pub performance_n: u64,
+    /// Verification-engine worker threads (`0` = one per CPU). Any value
+    /// yields identical tables/figures; it only affects wall-clock time.
+    pub threads: usize,
 }
 
 impl Default for ExperimentConfig {
@@ -39,6 +50,7 @@ impl Default for ExperimentConfig {
             checksum: ChecksumConfig::default(),
             pipeline: PipelineConfig::default(),
             performance_n: 32_000,
+            threads: 0,
         }
     }
 }
@@ -56,20 +68,57 @@ impl ExperimentConfig {
     }
 
     fn llm(&self) -> SyntheticLlm {
-        SyntheticLlm::new(LlmConfig {
+        SyntheticLlm::new(self.llm_config())
+    }
+
+    fn llm_config(&self) -> LlmConfig {
+        LlmConfig {
             temperature: self.temperature,
             seed: self.seed,
-        })
+        }
     }
+
+    /// The engine running Algorithm 1's full cascade under this
+    /// configuration (Table 3, Figure 1).
+    pub fn engine(&self) -> VerificationEngine {
+        VerificationEngine::new(
+            EngineConfig::full(self.pipeline.clone()).with_threads(self.threads),
+        )
+    }
+
+    /// The engine running the checksum-only cascade under this
+    /// configuration (Table 2, Figure 5, the Section 4.4 evaluation).
+    pub fn checksum_engine(&self) -> VerificationEngine {
+        VerificationEngine::new(
+            EngineConfig::checksum_only(self.checksum.clone()).with_threads(self.threads),
+        )
+    }
+}
+
+/// Flattens a completion batch into engine jobs labeled `kernel#index`, in
+/// generation order (shared by Table 2, Figure 5, and the FSM evaluation).
+fn completion_jobs(
+    batch: &lv_agents::CompletionBatch,
+    kernels: &[&'static Kernel],
+    scalars: &[Function],
+) -> Vec<Job> {
+    batch
+        .jobs()
+        .map(|(i, j, completion)| {
+            Job::new(
+                format!("{}#{}", kernels[i].name, j),
+                scalars[i].clone(),
+                completion.candidate.clone(),
+            )
+        })
+        .collect()
 }
 
 /// Scales a count from the embedded suite to the paper's 149-test population.
 pub fn scale_to_paper(count: usize, suite: usize) -> usize {
-    if suite == 0 {
-        0
-    } else {
-        (count * PAPER_SUITE_SIZE + suite / 2) / suite
-    }
+    (count * PAPER_SUITE_SIZE + suite / 2)
+        .checked_div(suite)
+        .unwrap_or(0)
 }
 
 // ---------------------------------------------------------------------------
@@ -127,23 +176,20 @@ impl Table2 {
 pub fn table2(config: &ExperimentConfig, k_values: &[usize]) -> Table2 {
     let kernels = config.kernels();
     let max_k = k_values.iter().copied().max().unwrap_or(1);
-    let mut llm = config.llm();
+    let scalars: Vec<Function> = kernels.iter().map(|k| k.function()).collect();
+    // Candidate generation is sequential (the sampler is stateful);
+    // classification fans out over the engine's checksum-only cascade.
+    let batch = sample_completion_batch(&scalars, &config.llm_config(), max_k);
+    let jobs = completion_jobs(&batch, &kernels, &scalars);
+    let reports = config.checksum_engine().run_batch(&jobs);
     // outcome per kernel per completion index: 0 = plausible, 1 = not equiv, 2 = cannot compile
-    let mut outcomes: Vec<Vec<u8>> = Vec::new();
-    for kernel in &kernels {
-        let scalar = kernel.function();
-        let prompt = VectorizePrompt::new(scalar.clone());
-        let mut row = Vec::with_capacity(max_k);
-        for _ in 0..max_k {
-            let completion = llm.complete(&prompt);
-            let report = checksum_test(&scalar, &completion.candidate, &config.checksum);
-            row.push(match report.outcome {
-                ChecksumOutcome::Plausible => 0,
-                ChecksumOutcome::CannotCompile { .. } => 2,
-                _ => 1,
-            });
-        }
-        outcomes.push(row);
+    let mut outcomes: Vec<Vec<u8>> = vec![Vec::with_capacity(max_k); kernels.len()];
+    for ((i, _, _), report) in batch.jobs().zip(&reports.jobs) {
+        outcomes[i].push(match report.checksum {
+            Some(ChecksumClass::Plausible) => 0,
+            Some(ChecksumClass::CannotCompile) => 2,
+            _ => 1,
+        });
     }
     let columns = k_values
         .iter()
@@ -198,22 +244,15 @@ impl Figure5 {
 /// Runs the pass@k experiment with `n_samples` completions per kernel.
 pub fn figure5(config: &ExperimentConfig, n_samples: usize, ks: &[usize]) -> Figure5 {
     let kernels = config.kernels();
-    let mut llm = config.llm();
-    let mut per_kernel_correct = Vec::new();
-    for kernel in &kernels {
-        let scalar = kernel.function();
-        let prompt = VectorizePrompt::new(scalar.clone());
-        let mut correct = 0usize;
-        for _ in 0..n_samples {
-            let completion = llm.complete(&prompt);
-            if checksum_test(&scalar, &completion.candidate, &config.checksum)
-                .outcome
-                .is_plausible()
-            {
-                correct += 1;
-            }
+    let scalars: Vec<Function> = kernels.iter().map(|k| k.function()).collect();
+    let batch = sample_completion_batch(&scalars, &config.llm_config(), n_samples);
+    let jobs = completion_jobs(&batch, &kernels, &scalars);
+    let reports = config.checksum_engine().run_batch(&jobs);
+    let mut per_kernel_correct = vec![0usize; kernels.len()];
+    for ((i, _, _), report) in batch.jobs().zip(&reports.jobs) {
+        if report.checksum == Some(ChecksumClass::Plausible) {
+            per_kernel_correct[i] += 1;
         }
-        per_kernel_correct.push(correct);
     }
     Figure5 {
         points: pass_at_k_curve(&per_kernel_correct, n_samples, ks),
@@ -284,39 +323,46 @@ impl Table3 {
 /// symbolic stages.
 pub fn table3(config: &ExperimentConfig) -> Table3 {
     let kernels = config.kernels();
+    let scalars: Vec<Function> = kernels.iter().map(|k| k.function()).collect();
     let mut llm = config.llm();
     let fsm_config = FsmConfig {
         max_attempts: 10,
         checksum: config.checksum.clone(),
-        llm: LlmConfig {
-            temperature: config.temperature,
-            seed: config.seed,
-        },
+        llm: config.llm_config(),
     };
 
-    let mut verdicts = Vec::new();
-    for kernel in &kernels {
-        let scalar = kernel.function();
-        let fsm = run_fsm_with_llm(&scalar, &fsm_config, &mut llm);
-        match fsm.candidate {
-            None => verdicts.push(KernelVerdict {
-                name: kernel.name,
-                category: kernel.category,
-                verdict: Equivalence::NotEquivalent,
-                stage: Stage::Checksum,
-                candidate: None,
-            }),
-            Some(candidate) => {
-                let report = check_equivalence(&scalar, &candidate, &config.pipeline);
-                verdicts.push(KernelVerdict {
-                    name: kernel.name,
-                    category: kernel.category,
-                    verdict: report.verdict,
-                    stage: report.stage,
-                    candidate: Some(candidate),
-                });
-            }
+    // The FSM's feedback loop is sequential; the symbolic funnel over the
+    // plausible candidates is where the wall-clock goes, and that part runs
+    // as one engine batch.
+    let fsm_results = fsm_candidate_batch(&scalars, &fsm_config, &mut llm);
+    let mut job_indices: Vec<usize> = Vec::new();
+    let mut jobs: Vec<Job> = Vec::new();
+    for (i, fsm) in fsm_results.into_iter().enumerate() {
+        if let Some(candidate) = fsm.candidate {
+            job_indices.push(i);
+            jobs.push(Job::new(kernels[i].name, scalars[i].clone(), candidate));
         }
+    }
+    let batch = config.engine().run_batch(&jobs);
+
+    let mut verdicts: Vec<KernelVerdict> = kernels
+        .iter()
+        .map(|kernel| KernelVerdict {
+            name: kernel.name,
+            category: kernel.category,
+            verdict: Equivalence::NotEquivalent,
+            stage: Stage::Checksum,
+            candidate: None,
+        })
+        .collect();
+    for ((&i, job), report) in job_indices.iter().zip(jobs).zip(&batch.jobs) {
+        verdicts[i] = KernelVerdict {
+            name: kernels[i].name,
+            category: kernels[i].category,
+            verdict: report.verdict,
+            stage: report.stage,
+            candidate: Some(job.candidate),
+        };
     }
 
     // Funnel accounting in the paper's style.
@@ -434,15 +480,19 @@ impl SpeedupFigure {
 /// `Equivalent` verdict and a candidate are plotted (57 of 149 in the paper).
 pub fn figure6(config: &ExperimentConfig, verdicts: &[KernelVerdict]) -> SpeedupFigure {
     let costs = CostTable::default();
-    let mut rows = Vec::new();
-    for v in verdicts {
-        let (Equivalence::Equivalent, Some(candidate)) = (v.verdict, v.candidate.as_ref()) else {
-            continue;
-        };
-        let Some(kernel) = lv_tsvc::kernel(v.name) else {
-            continue;
-        };
-        let scalar = kernel.function();
+    let verified: Vec<&KernelVerdict> = verdicts
+        .iter()
+        .filter(|v| {
+            v.verdict == Equivalence::Equivalent
+                && v.candidate.is_some()
+                && lv_tsvc::kernel(v.name).is_some()
+        })
+        .collect();
+    // Cost-model evaluations are independent per kernel: reuse the engine's
+    // work-queue pattern to compute the rows in parallel.
+    let rows = parallel_map(config.threads, &verified, |v| {
+        let candidate = v.candidate.as_ref().expect("filtered above");
+        let scalar = lv_tsvc::kernel(v.name).expect("filtered above").function();
         let mut speedup = HashMap::new();
         for compiler in Compiler::all() {
             speedup.insert(
@@ -456,21 +506,30 @@ pub fn figure6(config: &ExperimentConfig, verdicts: &[KernelVerdict]) -> Speedup
                 ),
             );
         }
-        rows.push(SpeedupRow {
+        SpeedupRow {
             name: v.name,
             category: v.category,
             speedup,
-        });
-    }
+        }
+    });
     SpeedupFigure { rows }
 }
 
 /// Computes Figure 1(c): the s212 motivating example's speedups.
+///
+/// The candidate is first verified through the engine's full cascade — the
+/// figure only plots formally verified code, so an unverified candidate
+/// (possible under severely reduced solver budgets) yields an empty figure
+/// rather than a panic.
 pub fn figure1(config: &ExperimentConfig) -> SpeedupFigure {
     let kernel = lv_tsvc::kernel("s212").expect("s212 is part of the suite");
     let scalar = kernel.function();
     let candidate =
         lv_agents::vectorize_correct(&scalar).expect("s212 is a supported kernel shape");
+    let report = config.engine().check_one(&scalar, &candidate);
+    if report.verdict != Equivalence::Equivalent {
+        return SpeedupFigure { rows: Vec::new() };
+    }
     let costs = CostTable::default();
     let mut speedup = HashMap::new();
     for compiler in Compiler::all() {
@@ -535,39 +594,30 @@ impl FsmEvaluation {
 /// Runs the FSM evaluation.
 pub fn fsm_evaluation(config: &ExperimentConfig) -> FsmEvaluation {
     let kernels = config.kernels();
-    let mut llm = config.llm();
-    let mut plain = 0usize;
-    for kernel in &kernels {
-        let scalar = kernel.function();
-        let prompt = VectorizePrompt::new(scalar.clone());
-        let completion = llm.complete(&prompt);
-        if checksum_test(&scalar, &completion.candidate, &config.checksum)
-            .outcome
-            .is_plausible()
-        {
-            plain += 1;
-        }
-    }
+    let scalars: Vec<Function> = kernels.iter().map(|k| k.function()).collect();
 
+    // Plain single-shot sampling, classified by the engine's checksum stage.
+    let batch = sample_completion_batch(&scalars, &config.llm_config(), 1);
+    let jobs = completion_jobs(&batch, &kernels, &scalars);
+    let reports = config.checksum_engine().run_batch(&jobs);
+    let plain = reports
+        .jobs
+        .iter()
+        .filter(|r| r.checksum == Some(ChecksumClass::Plausible))
+        .count();
+
+    // The FSM's checksum feedback loop is inherently sequential per kernel.
+    let mut llm = config.llm();
+    let fsm_config = FsmConfig {
+        max_attempts: 10,
+        checksum: config.checksum.clone(),
+        llm: config.llm_config(),
+    };
     let mut fsm_single = 0usize;
     let mut fsm_ten = 0usize;
     let mut repaired = 0usize;
     let mut max_attempts = 0u32;
-    let mut llm = config.llm();
-    for kernel in &kernels {
-        let scalar = kernel.function();
-        let result = run_fsm_with_llm(
-            &scalar,
-            &FsmConfig {
-                max_attempts: 10,
-                checksum: config.checksum.clone(),
-                llm: LlmConfig {
-                    temperature: config.temperature,
-                    seed: config.seed,
-                },
-            },
-            &mut llm,
-        );
+    for result in fsm_candidate_batch(&scalars, &fsm_config, &mut llm) {
         if result.succeeded() {
             fsm_ten += 1;
             if result.attempts == 1 {

@@ -1,18 +1,28 @@
-//! # lv-core — the end-to-end LLM-Vectorizer pipeline and experiment drivers
+//! # lv-core — the parallel batch verification engine and experiment drivers
 //!
 //! This crate ties the substrates together into the system the paper
-//! describes and provides one driver per table/figure of the evaluation:
+//! describes, built around a batch engine rather than a hard-coded loop:
 //!
-//! * [`pipeline`] — Algorithm 1 ([`check_equivalence`]): checksum testing
-//!   followed by Alive2-style unrolling, C-level unrolling and spatial
-//!   splitting;
+//! * [`engine`] — the [`VerificationEngine`]: Algorithm 1's cascade
+//!   (checksum testing, Alive2-style unrolling, C-level unrolling, spatial
+//!   splitting) expressed as [`VerificationStrategy`] trait objects, fanned
+//!   over a pool of workers that pull `(kernel × candidate)` [`Job`]s from a
+//!   shared queue. Each worker owns one reusable SMT session, and every job
+//!   records structured telemetry ([`StageTrace`]: stage reached, SAT
+//!   conflicts, CNF clauses, wall time). Verdicts are bit-identical for any
+//!   thread count — parallelism is purely a wall-clock win;
+//! * [`pipeline`] — Algorithm 1 ([`check_equivalence`]) as a thin wrapper
+//!   over a single-job engine run, so the one-shot and batched paths share
+//!   one cascade implementation;
 //! * [`passk`] — the pass@k estimator of Section 4.1.2;
 //! * [`experiments`] — drivers regenerating Table 2 ([`table2`]), Figure 5
 //!   ([`figure5`]), Table 3 ([`table3`]), Figure 1(c) ([`figure1`]),
 //!   Figure 6 ([`figure6`]) and the Section 4.4 FSM evaluation
-//!   ([`fsm_evaluation`]).
+//!   ([`fsm_evaluation`]); all of them generate candidates sequentially
+//!   (the synthetic LLM is a seeded, stateful sampler) and verify through
+//!   the engine's work queue.
 //!
-//! # Examples
+//! # One-shot example
 //!
 //! ```
 //! use lv_core::{check_equivalence, Equivalence, PipelineConfig};
@@ -27,17 +37,41 @@
 //! assert_eq!(report.verdict, Equivalence::Equivalent);
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
+//!
+//! # Batch example
+//!
+//! ```
+//! use lv_core::{EngineConfig, Equivalence, Job, PipelineConfig, VerificationEngine};
+//! use lv_agents::vectorize_correct;
+//!
+//! let jobs: Vec<Job> = ["s000", "s112", "s212"]
+//!     .iter()
+//!     .map(|name| {
+//!         let scalar = lv_tsvc::kernel(name).unwrap().function();
+//!         let candidate = vectorize_correct(&scalar).unwrap();
+//!         Job::new(*name, scalar, candidate)
+//!     })
+//!     .collect();
+//! let engine = VerificationEngine::new(EngineConfig::full(PipelineConfig::default()));
+//! let batch = engine.run_batch(&jobs);
+//! assert_eq!(batch.count(Equivalence::Equivalent), 3);
+//! ```
 
 #![warn(missing_docs)]
 
+pub mod engine;
 pub mod experiments;
 pub mod passk;
 pub mod pipeline;
 
+pub use engine::{
+    parallel_map, BatchReport, ChecksumStage, EngineConfig, Job, JobReport, StageTrace,
+    StrategyOutcome, SymbolicStage, VerificationEngine, VerificationStrategy, WorkerState,
+};
 pub use experiments::{
     figure1, figure5, figure6, fsm_evaluation, scale_to_paper, table2, table3, ExperimentConfig,
-    Figure5, FsmEvaluation, KernelVerdict, SpeedupFigure, SpeedupRow, Table2, Table2Column,
-    Table3, Table3Row,
+    Figure5, FsmEvaluation, KernelVerdict, SpeedupFigure, SpeedupRow, Table2, Table2Column, Table3,
+    Table3Row,
 };
 pub use passk::{pass_at_k, pass_at_k_curve};
 pub use pipeline::{check_equivalence, Equivalence, EquivalenceReport, PipelineConfig, Stage};

@@ -7,11 +7,8 @@
 //! first conclusive verdict.
 
 use lv_cir::ast::Function;
-use lv_interp::{checksum_test, ChecksumConfig, ChecksumOutcome};
-use lv_tv::{
-    check_with_alive2_unroll, check_with_c_unroll, check_with_spatial_splitting, TvConfig,
-    TvVerdict,
-};
+use lv_interp::ChecksumConfig;
+use lv_tv::TvConfig;
 use serde::{Deserialize, Serialize};
 
 /// The stage of Algorithm 1 that produced the final verdict.
@@ -71,75 +68,18 @@ pub struct PipelineConfig {
 }
 
 /// Algorithm 1: checksum testing followed by the three symbolic strategies.
+///
+/// This is a thin wrapper over a single-job run of the
+/// [`crate::engine::VerificationEngine`], so the one-shot path and the
+/// parallel batch path exercise exactly the same cascade code.
 pub fn check_equivalence(
     scalar: &Function,
     candidate: &Function,
     config: &PipelineConfig,
 ) -> EquivalenceReport {
-    // Line 2: checksum testing.
-    let checksum = checksum_test(scalar, candidate, &config.checksum);
-    match checksum.outcome {
-        ChecksumOutcome::NotEquivalent { reason, .. } => {
-            return EquivalenceReport {
-                verdict: Equivalence::NotEquivalent,
-                stage: Stage::Checksum,
-                detail: reason,
-            }
-        }
-        ChecksumOutcome::CannotCompile { error } => {
-            return EquivalenceReport {
-                verdict: Equivalence::NotEquivalent,
-                stage: Stage::Checksum,
-                detail: format!("cannot compile: {}", error),
-            }
-        }
-        ChecksumOutcome::ScalarExecutionFailed { error } => {
-            return EquivalenceReport {
-                verdict: Equivalence::Inconclusive,
-                stage: Stage::Checksum,
-                detail: format!("scalar kernel failed to execute: {}", error),
-            }
-        }
-        ChecksumOutcome::Plausible => {}
-    }
-
-    // Lines 6-13: symbolic strategies in order.
-    let stages: [(Stage, fn(&Function, &Function, &TvConfig) -> TvVerdict); 3] = [
-        (Stage::Alive2, check_with_alive2_unroll),
-        (Stage::CUnroll, check_with_c_unroll),
-        (Stage::Splitting, check_with_spatial_splitting),
-    ];
-    let mut last = EquivalenceReport {
-        verdict: Equivalence::Inconclusive,
-        stage: Stage::Alive2,
-        detail: String::new(),
-    };
-    for (stage, check) in stages {
-        match check(scalar, candidate, &config.tv) {
-            TvVerdict::Equivalent => {
-                return EquivalenceReport {
-                    verdict: Equivalence::Equivalent,
-                    stage,
-                    detail: String::new(),
-                }
-            }
-            TvVerdict::NotEquivalent { counterexample } => {
-                return EquivalenceReport {
-                    verdict: Equivalence::NotEquivalent,
-                    stage,
-                    detail: counterexample,
-                }
-            }
-            TvVerdict::Inconclusive { reason } => {
-                last = EquivalenceReport {
-                    verdict: Equivalence::Inconclusive,
-                    stage,
-                    detail: reason,
-                };
-            }
-        }
-    }
-    last
+    crate::engine::VerificationEngine::new(crate::engine::EngineConfig::full(config.clone()))
+        .check_one(scalar, candidate)
+        .equivalence_report()
 }
 
 #[cfg(test)]

@@ -110,6 +110,51 @@ impl ChecksumOutcome {
     pub fn is_plausible(&self) -> bool {
         matches!(self, ChecksumOutcome::Plausible)
     }
+
+    /// The payload-free classification of this outcome.
+    pub fn class(&self) -> ChecksumClass {
+        match self {
+            ChecksumOutcome::Plausible => ChecksumClass::Plausible,
+            ChecksumOutcome::NotEquivalent { .. } => ChecksumClass::NotEquivalent,
+            ChecksumOutcome::CannotCompile { .. } => ChecksumClass::CannotCompile,
+            ChecksumOutcome::ScalarExecutionFailed { .. } => ChecksumClass::ScalarFailed,
+        }
+    }
+}
+
+/// The four-way classification of a checksum run without its payload —
+/// what Table 2 counts and what the batch engine records per job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ChecksumClass {
+    /// All trials agreed; the candidate proceeds to symbolic verification.
+    Plausible,
+    /// A trial refuted the candidate.
+    NotEquivalent,
+    /// The candidate failed to type check.
+    CannotCompile,
+    /// The scalar reference itself failed, so the test says nothing.
+    ScalarFailed,
+}
+
+/// The checksum filter of Algorithm 1 line 2 packaged as a reusable value,
+/// so the verification engine can treat testing as just another strategy in
+/// its cascade.
+#[derive(Debug, Clone, Default)]
+pub struct ChecksumFilter {
+    /// Harness configuration shared by every job run through this filter.
+    pub config: ChecksumConfig,
+}
+
+impl ChecksumFilter {
+    /// A filter with the given harness configuration.
+    pub fn new(config: ChecksumConfig) -> ChecksumFilter {
+        ChecksumFilter { config }
+    }
+
+    /// Runs checksum testing of `candidate` against `scalar`.
+    pub fn run(&self, scalar: &Function, candidate: &Function) -> ChecksumReport {
+        checksum_test(scalar, candidate, &self.config)
+    }
 }
 
 /// The full report of a checksum run, including the checksums themselves
@@ -197,7 +242,13 @@ pub fn checksum_test(
         scalar_checksum = Some(checksum_of(&scalar_result.arrays));
         vector_checksum = Some(checksum_of(&vector_result.arrays));
 
-        for (name, expected) in &scalar_result.arrays {
+        // Compare arrays in sorted name order so the first reported mismatch
+        // is deterministic (HashMap iteration order is not), keeping batched
+        // engine runs byte-identical to one-shot runs.
+        let mut names: Vec<&String> = scalar_result.arrays.keys().collect();
+        names.sort();
+        for name in names {
+            let expected = &scalar_result.arrays[name];
             let Some(actual) = vector_result.arrays.get(name) else {
                 continue;
             };
@@ -291,7 +342,8 @@ mod tests {
     const VECTOR_NO_EPILOGUE: &str = "void s000(int n, int *a, int *b) { int i; for (i = 0; i + 8 <= n; i += 8) { __m256i x = _mm256_loadu_si256((__m256i *)&b[i]); _mm256_storeu_si256((__m256i *)&a[i], _mm256_add_epi32(x, _mm256_set1_epi32(1))); } }";
 
     /// Uses an unknown intrinsic, so it cannot compile.
-    const VECTOR_BAD_CALL: &str = "void s000(int n, int *a, int *b) { __m256i x = _mm256_frobnicate(_mm256_set1_epi32(1)); }";
+    const VECTOR_BAD_CALL: &str =
+        "void s000(int n, int *a, int *b) { __m256i x = _mm256_frobnicate(_mm256_set1_epi32(1)); }";
 
     fn cfg() -> ChecksumConfig {
         ChecksumConfig {
@@ -319,7 +371,11 @@ mod tests {
             ChecksumOutcome::NotEquivalent { mismatch, .. } => {
                 let m = mismatch.expect("value mismatch expected");
                 assert_eq!(m.array, "a");
-                assert!(m.index >= 96, "mismatch should be in the tail, got {}", m.index);
+                assert!(
+                    m.index >= 96,
+                    "mismatch should be in the tail, got {}",
+                    m.index
+                );
             }
             other => panic!("expected NotEquivalent, got {:?}", other),
         }

@@ -132,6 +132,8 @@ mod tests {
         assert!(ExecError::StepLimitExceeded { limit: 10 }
             .to_string()
             .contains("step limit"));
-        assert!(ExecError::UnboundVariable("x".into()).to_string().contains("`x`"));
+        assert!(ExecError::UnboundVariable("x".into())
+            .to_string()
+            .contains("`x`"));
     }
 }

@@ -372,8 +372,7 @@ impl<'a> Interp<'a> {
                 let out = match op {
                     UnOp::Neg => {
                         if v == i32::MIN {
-                            self.memory
-                                .record_overflow(format!("negation of {}", v));
+                            self.memory.record_overflow(format!("negation of {}", v));
                         }
                         v.wrapping_neg()
                     }
@@ -457,8 +456,12 @@ impl<'a> Interp<'a> {
         let rv = self.eval(rhs)?;
         // Pointer arithmetic.
         match (lv, rv, op) {
-            (Value::Ptr(p), Value::Int(i), BinOp::Add) => return Ok(Value::Ptr(p.offset_by(i as i64))),
-            (Value::Int(i), Value::Ptr(p), BinOp::Add) => return Ok(Value::Ptr(p.offset_by(i as i64))),
+            (Value::Ptr(p), Value::Int(i), BinOp::Add) => {
+                return Ok(Value::Ptr(p.offset_by(i as i64)))
+            }
+            (Value::Int(i), Value::Ptr(p), BinOp::Add) => {
+                return Ok(Value::Ptr(p.offset_by(i as i64)))
+            }
             (Value::Ptr(p), Value::Int(i), BinOp::Sub) => {
                 return Ok(Value::Ptr(p.offset_by(-(i as i64))))
             }

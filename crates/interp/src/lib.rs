@@ -36,7 +36,10 @@ pub mod error;
 pub mod exec;
 pub mod memory;
 
-pub use checksum::{checksum_test, ChecksumConfig, ChecksumOutcome, ChecksumReport, Mismatch};
+pub use checksum::{
+    checksum_test, ChecksumClass, ChecksumConfig, ChecksumFilter, ChecksumOutcome, ChecksumReport,
+    Mismatch,
+};
 pub use error::{ExecError, UbEvent, UbKind};
 pub use exec::{run_function, ArgBindings, ExecConfig, ExecReport, ExecResult};
 pub use memory::{Memory, Pointer, RegionId, Value};

@@ -150,17 +150,16 @@ impl Memory {
         self.regions.iter().map(|r| r.name.as_str()).collect()
     }
 
-    fn check_bounds(
-        &mut self,
-        ptr: Pointer,
-        len: usize,
-        write: bool,
-    ) -> Result<usize, ExecError> {
+    fn check_bounds(&mut self, ptr: Pointer, len: usize, write: bool) -> Result<usize, ExecError> {
         let region_len = self.region_len(ptr.region);
         let start = ptr.offset;
         let end = ptr.offset + len as i64;
         if start < 0 || end > region_len as i64 {
-            let kind = if write { UbKind::OobWrite } else { UbKind::OobRead };
+            let kind = if write {
+                UbKind::OobWrite
+            } else {
+                UbKind::OobRead
+            };
             let event = UbEvent {
                 kind,
                 detail: format!(
@@ -205,7 +204,9 @@ impl Memory {
     /// Returns a fatal [`ExecError::Ub`] if any lane is out of bounds.
     pub fn read_vector(&mut self, ptr: Pointer) -> Result<I32x8, ExecError> {
         let idx = self.check_bounds(ptr, LANES, false)?;
-        Ok(I32x8::load(&self.regions[ptr.region.0].data[idx..idx + LANES]))
+        Ok(I32x8::load(
+            &self.regions[ptr.region.0].data[idx..idx + LANES],
+        ))
     }
 
     /// Writes eight contiguous elements (`_mm256_storeu_si256`).
@@ -288,7 +289,10 @@ mod tests {
     fn scalar_read_write() {
         let mut mem = Memory::new();
         let a = mem.alloc_region("a", vec![0; 4]);
-        let p = Pointer { region: a, offset: 2 };
+        let p = Pointer {
+            region: a,
+            offset: 2,
+        };
         mem.write(p, 42).unwrap();
         assert_eq!(mem.read(p).unwrap(), 42);
         assert_eq!(mem.region_data(a), &[0, 0, 42, 0]);
@@ -298,10 +302,16 @@ mod tests {
     fn out_of_bounds_is_fatal_and_recorded() {
         let mut mem = Memory::new();
         let a = mem.alloc_region("a", vec![0; 4]);
-        let p = Pointer { region: a, offset: 4 };
+        let p = Pointer {
+            region: a,
+            offset: 4,
+        };
         assert!(matches!(mem.read(p), Err(ExecError::Ub(_))));
         assert!(mem.has_ub(UbKind::OobRead));
-        let p = Pointer { region: a, offset: -1 };
+        let p = Pointer {
+            region: a,
+            offset: -1,
+        };
         assert!(matches!(mem.write(p, 1), Err(ExecError::Ub(_))));
         assert!(mem.has_ub(UbKind::OobWrite));
     }
@@ -310,7 +320,10 @@ mod tests {
     fn vector_read_write() {
         let mut mem = Memory::new();
         let a = mem.alloc_region("a", (0..16).collect());
-        let p = Pointer { region: a, offset: 3 };
+        let p = Pointer {
+            region: a,
+            offset: 3,
+        };
         let v = mem.read_vector(p).unwrap();
         assert_eq!(v.lanes(), [3, 4, 5, 6, 7, 8, 9, 10]);
         mem.write_vector(p, I32x8::splat(-1)).unwrap();
@@ -318,7 +331,10 @@ mod tests {
         assert_eq!(mem.region_data(a)[10], -1);
         assert_eq!(mem.region_data(a)[11], 11);
         // Partially out-of-bounds vector access is UB.
-        let p = Pointer { region: a, offset: 9 };
+        let p = Pointer {
+            region: a,
+            offset: 9,
+        };
         assert!(mem.read_vector(p).is_err());
     }
 
@@ -326,7 +342,10 @@ mod tests {
     fn masked_access_skips_disabled_lanes() {
         let mut mem = Memory::new();
         let a = mem.alloc_region("a", vec![1, 2, 3, 4]);
-        let p = Pointer { region: a, offset: 0 };
+        let p = Pointer {
+            region: a,
+            offset: 0,
+        };
         // Only the first four lanes are enabled, so reading 8 lanes from a
         // 4-element region is fine.
         let mask = I32x8::from_lanes([-1, -1, -1, -1, 0, 0, 0, 0]);
@@ -344,7 +363,10 @@ mod tests {
         assert_eq!(Value::Int(3).as_int().unwrap(), 3);
         assert!(Value::Int(3).as_vec().is_err());
         assert!(Value::Vec(I32x8::zero()).as_int().is_err());
-        let p = Pointer { region: RegionId(0), offset: 1 };
+        let p = Pointer {
+            region: RegionId(0),
+            offset: 1,
+        };
         assert_eq!(Value::Ptr(p).as_ptr().unwrap(), p);
         assert_eq!(p.offset_by(3).offset, 4);
     }

@@ -184,10 +184,11 @@ pub fn eval_intrinsic(name: &str, args: &[SimdArg]) -> Result<SimdValue, SimdErr
         }
         "_mm256_blendv_epi8" => {
             require(3)?;
-            Ok(SimdValue::Vector(args[0].vector()?.blendv(
-                args[1].vector()?,
-                args[2].vector()?,
-            )))
+            Ok(SimdValue::Vector(
+                args[0]
+                    .vector()?
+                    .blendv(args[1].vector()?, args[2].vector()?),
+            ))
         }
         "_mm256_slli_epi32" => {
             require(2)?;
@@ -213,10 +214,11 @@ pub fn eval_intrinsic(name: &str, args: &[SimdArg]) -> Result<SimdValue, SimdErr
         }
         "_mm256_permute2x128_si256" => {
             require(3)?;
-            Ok(SimdValue::Vector(args[0].vector()?.permute2x128(
-                args[1].vector()?,
-                args[2].scalar()?,
-            )))
+            Ok(SimdValue::Vector(
+                args[0]
+                    .vector()?
+                    .permute2x128(args[1].vector()?, args[2].scalar()?),
+            ))
         }
         "_mm256_extract_epi32" => {
             require(2)?;
@@ -256,13 +258,13 @@ mod tests {
     fn dispatch_add() {
         let r = eval_intrinsic(
             "_mm256_add_epi32",
-            &[v([1, 2, 3, 4, 5, 6, 7, 8]), v([10, 20, 30, 40, 50, 60, 70, 80])],
+            &[
+                v([1, 2, 3, 4, 5, 6, 7, 8]),
+                v([10, 20, 30, 40, 50, 60, 70, 80]),
+            ],
         )
         .unwrap();
-        assert_eq!(
-            r.unwrap_vector().lanes(),
-            [11, 22, 33, 44, 55, 66, 77, 88]
-        );
+        assert_eq!(r.unwrap_vector().lanes(), [11, 22, 33, 44, 55, 66, 77, 88]);
     }
 
     #[test]
@@ -293,7 +295,11 @@ mod tests {
 
     #[test]
     fn wrong_kind_is_an_error() {
-        assert!(eval_intrinsic("_mm256_add_epi32", &[SimdArg::Scalar(1), SimdArg::Scalar(2)]).is_err());
+        assert!(eval_intrinsic(
+            "_mm256_add_epi32",
+            &[SimdArg::Scalar(1), SimdArg::Scalar(2)]
+        )
+        .is_err());
     }
 
     #[test]

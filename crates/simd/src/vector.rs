@@ -93,11 +93,13 @@ impl I32x8 {
     }
 
     /// Lane-wise wrapping addition (`_mm256_add_epi32`).
+    #[allow(clippy::should_implement_trait)] // wrapping, unlike `Add`
     pub fn add(self, other: I32x8) -> I32x8 {
         self.zip_with(other, i32::wrapping_add)
     }
 
     /// Lane-wise wrapping subtraction (`_mm256_sub_epi32`).
+    #[allow(clippy::should_implement_trait)] // wrapping, unlike `Sub`
     pub fn sub(self, other: I32x8) -> I32x8 {
         self.zip_with(other, i32::wrapping_sub)
     }
@@ -170,6 +172,7 @@ impl I32x8 {
 
     /// Logical left shift of each lane by `count` bits (`_mm256_slli_epi32`).
     /// Counts of 32 or more produce zero, as on hardware.
+    #[allow(clippy::should_implement_trait)] // saturates at 32, unlike `Shl`
     pub fn shl(self, count: i32) -> I32x8 {
         if !(0..32).contains(&count) {
             return I32x8::zero();
@@ -335,7 +338,10 @@ mod tests {
     fn arithmetic_wraps() {
         let max = I32x8::splat(i32::MAX);
         assert_eq!(max.add(I32x8::splat(1)), I32x8::splat(i32::MIN));
-        assert_eq!(I32x8::splat(i32::MIN).sub(I32x8::splat(1)), I32x8::splat(i32::MAX));
+        assert_eq!(
+            I32x8::splat(i32::MIN).sub(I32x8::splat(1)),
+            I32x8::splat(i32::MAX)
+        );
         assert_eq!(
             I32x8::splat(65536).mullo(I32x8::splat(65536)),
             I32x8::splat(0)

@@ -8,6 +8,38 @@
 use crate::sat::{Lit, SatSolver};
 use crate::term::{Context, Op, Sort, TermId};
 use std::collections::HashMap;
+use std::fmt;
+
+/// A sort/encoding mismatch discovered while lowering a term.
+///
+/// These used to be `panic!`s; as typed errors they surface as
+/// [`crate::CheckResult::Unknown`] instead of aborting a verification worker
+/// thread mid-batch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BlastError {
+    /// A boolean encoding was required but a bitvector was produced.
+    ExpectedBool,
+    /// A bitvector encoding was required but a boolean was produced.
+    ExpectedBitVec,
+    /// The two branches of an if-then-else lower to different encodings.
+    MixedIteBranches,
+    /// The two operands of an equality lower to different encodings.
+    MixedEqOperands,
+}
+
+impl fmt::Display for BlastError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let msg = match self {
+            BlastError::ExpectedBool => "expected a boolean encoding, found a bitvector",
+            BlastError::ExpectedBitVec => "expected a bitvector encoding, found a boolean",
+            BlastError::MixedIteBranches => "ite branches have different encodings",
+            BlastError::MixedEqOperands => "eq operands have different encodings",
+        };
+        write!(f, "bit-blasting failed: {}", msg)
+    }
+}
+
+impl std::error::Error for BlastError {}
 
 /// The bit-level encoding of a term.
 #[derive(Debug, Clone)]
@@ -19,17 +51,19 @@ pub enum Bits {
 }
 
 impl Bits {
-    fn as_bool(&self) -> Lit {
+    /// The literal of a boolean encoding.
+    pub fn try_bool(&self) -> Result<Lit, BlastError> {
         match self {
-            Bits::Bool(l) => *l,
-            Bits::Bv(_) => panic!("expected a boolean encoding"),
+            Bits::Bool(l) => Ok(*l),
+            Bits::Bv(_) => Err(BlastError::ExpectedBool),
         }
     }
 
-    fn as_bv(&self) -> &[Lit] {
+    /// The literals of a bitvector encoding, least-significant first.
+    pub fn try_bv(&self) -> Result<&[Lit], BlastError> {
         match self {
-            Bits::Bv(bits) => bits,
-            Bits::Bool(_) => panic!("expected a bitvector encoding"),
+            Bits::Bv(bits) => Ok(bits),
+            Bits::Bool(_) => Err(BlastError::ExpectedBitVec),
         }
     }
 }
@@ -73,9 +107,10 @@ impl<'a> BitBlaster<'a> {
     }
 
     /// Asserts a boolean term.
-    pub fn assert(&mut self, term: TermId) {
-        let lit = self.blast(term).as_bool();
+    pub fn assert(&mut self, term: TermId) -> Result<(), BlastError> {
+        let lit = self.blast(term)?.try_bool()?;
         self.sat.add_clause(&[lit]);
+        Ok(())
     }
 
     fn const_lit(&self, value: bool) -> Lit {
@@ -221,9 +256,8 @@ impl<'a> BitBlaster<'a> {
             ShiftKind::Ashr => a[w - 1],
         };
         let mut current: Vec<Lit> = a.to_vec();
-        for stage in 0..stages as usize {
+        for (stage, &sel) in amount.iter().enumerate().take(stages as usize) {
             let dist = 1usize << stage;
-            let sel = amount[stage];
             let mut next = Vec::with_capacity(w);
             for i in 0..w {
                 let shifted = match kind {
@@ -329,9 +363,9 @@ impl<'a> BitBlaster<'a> {
     // ---- term lowering ---------------------------------------------------------
 
     /// Lowers a term (memoized).
-    pub fn blast(&mut self, term: TermId) -> Bits {
+    pub fn blast(&mut self, term: TermId) -> Result<Bits, BlastError> {
         if let Some(bits) = self.cache.get(&term) {
-            return bits.clone();
+            return Ok(bits.clone());
         }
         let data = self.ctx.term(term).clone();
         let arg = |i: usize| data.args[i];
@@ -361,75 +395,73 @@ impl<'a> BitBlaster<'a> {
                 }
             },
             Op::Not => {
-                let a = self.blast(arg(0)).as_bool();
+                let a = self.blast(arg(0))?.try_bool()?;
                 Bits::Bool(a.negate())
             }
             Op::And => {
-                let a = self.blast(arg(0)).as_bool();
-                let b = self.blast(arg(1)).as_bool();
+                let a = self.blast(arg(0))?.try_bool()?;
+                let b = self.blast(arg(1))?.try_bool()?;
                 Bits::Bool(self.and_gate(a, b))
             }
             Op::Or => {
-                let a = self.blast(arg(0)).as_bool();
-                let b = self.blast(arg(1)).as_bool();
+                let a = self.blast(arg(0))?.try_bool()?;
+                let b = self.blast(arg(1))?.try_bool()?;
                 Bits::Bool(self.or_gate(a, b))
             }
             Op::Xor => {
-                let a = self.blast(arg(0)).as_bool();
-                let b = self.blast(arg(1)).as_bool();
+                let a = self.blast(arg(0))?.try_bool()?;
+                let b = self.blast(arg(1))?.try_bool()?;
                 Bits::Bool(self.xor_gate(a, b))
             }
             Op::Implies => {
-                let a = self.blast(arg(0)).as_bool();
-                let b = self.blast(arg(1)).as_bool();
+                let a = self.blast(arg(0))?.try_bool()?;
+                let b = self.blast(arg(1))?.try_bool()?;
                 Bits::Bool(self.or_gate(a.negate(), b))
             }
             Op::Ite => {
-                let c = self.blast(arg(0)).as_bool();
-                let t = self.blast(arg(1));
-                let e = self.blast(arg(2));
+                let c = self.blast(arg(0))?.try_bool()?;
+                let t = self.blast(arg(1))?;
+                let e = self.blast(arg(2))?;
                 match (t, e) {
                     (Bits::Bool(t), Bits::Bool(e)) => Bits::Bool(self.mux_gate(c, t, e)),
-                    (Bits::Bv(t), Bits::Bv(e)) => Bits::Bv(
-                        (0..t.len())
-                            .map(|i| self.mux_gate(c, t[i], e[i]))
-                            .collect(),
-                    ),
-                    _ => panic!("ite branches have different encodings"),
+                    (Bits::Bv(t), Bits::Bv(e)) => {
+                        Bits::Bv((0..t.len()).map(|i| self.mux_gate(c, t[i], e[i])).collect())
+                    }
+                    _ => return Err(BlastError::MixedIteBranches),
                 }
             }
             Op::Eq => {
-                let a = self.blast(arg(0));
-                let b = self.blast(arg(1));
+                let a = self.blast(arg(0))?;
+                let b = self.blast(arg(1))?;
                 match (a, b) {
                     (Bits::Bool(a), Bits::Bool(b)) => Bits::Bool(self.xor_gate(a, b).negate()),
                     (Bits::Bv(a), Bits::Bv(b)) => Bits::Bool(self.eq_bv(&a, &b)),
-                    _ => panic!("eq operands have different encodings"),
+                    _ => return Err(BlastError::MixedEqOperands),
                 }
             }
             Op::BvAdd => {
-                let a = self.blast(arg(0)).as_bv().to_vec();
-                let b = self.blast(arg(1)).as_bv().to_vec();
+                let a = self.blast(arg(0))?.try_bv()?.to_vec();
+                let b = self.blast(arg(1))?.try_bv()?.to_vec();
                 let zero = self.const_lit(false);
                 Bits::Bv(self.adder(&a, &b, zero).0)
             }
             Op::BvSub => {
-                let a = self.blast(arg(0)).as_bv().to_vec();
-                let b = self.blast(arg(1)).as_bv().to_vec();
+                let a = self.blast(arg(0))?.try_bv()?.to_vec();
+                let b = self.blast(arg(1))?.try_bv()?.to_vec();
                 Bits::Bv(self.sub(&a, &b).0)
             }
             Op::BvMul => {
-                let a = self.blast(arg(0)).as_bv().to_vec();
-                let b = self.blast(arg(1)).as_bv().to_vec();
+                let a = self.blast(arg(0))?.try_bv()?.to_vec();
+                let b = self.blast(arg(1))?.try_bv()?.to_vec();
                 Bits::Bv(self.mul(&a, &b))
             }
             Op::BvNeg => {
-                let a = self.blast(arg(0)).as_bv().to_vec();
+                let a = self.blast(arg(0))?.try_bv()?.to_vec();
                 Bits::Bv(self.negate_bv(&a))
             }
             Op::BvAnd | Op::BvOr | Op::BvXor => {
-                let a = self.blast(arg(0)).as_bv().to_vec();
-                let b = self.blast(arg(1)).as_bv().to_vec();
+                let a = self.blast(arg(0))?.try_bv()?.to_vec();
+                let b = self.blast(arg(1))?.try_bv()?.to_vec();
                 let bits = (0..a.len())
                     .map(|i| match data.op {
                         Op::BvAnd => self.and_gate(a[i], b[i]),
@@ -440,12 +472,12 @@ impl<'a> BitBlaster<'a> {
                 Bits::Bv(bits)
             }
             Op::BvNot => {
-                let a = self.blast(arg(0)).as_bv().to_vec();
+                let a = self.blast(arg(0))?.try_bv()?.to_vec();
                 Bits::Bv(a.iter().map(|l| l.negate()).collect())
             }
             Op::BvShl | Op::BvLshr | Op::BvAshr => {
-                let a = self.blast(arg(0)).as_bv().to_vec();
-                let b = self.blast(arg(1)).as_bv().to_vec();
+                let a = self.blast(arg(0))?.try_bv()?.to_vec();
+                let b = self.blast(arg(1))?.try_bv()?.to_vec();
                 let kind = match data.op {
                     Op::BvShl => ShiftKind::Shl,
                     Op::BvLshr => ShiftKind::Lshr,
@@ -454,18 +486,18 @@ impl<'a> BitBlaster<'a> {
                 Bits::Bv(self.shift(&a, &b, kind))
             }
             Op::BvUdiv => {
-                let a = self.blast(arg(0)).as_bv().to_vec();
-                let b = self.blast(arg(1)).as_bv().to_vec();
+                let a = self.blast(arg(0))?.try_bv()?.to_vec();
+                let b = self.blast(arg(1))?.try_bv()?.to_vec();
                 Bits::Bv(self.udiv_urem(&a, &b).0)
             }
             Op::BvUrem => {
-                let a = self.blast(arg(0)).as_bv().to_vec();
-                let b = self.blast(arg(1)).as_bv().to_vec();
+                let a = self.blast(arg(0))?.try_bv()?.to_vec();
+                let b = self.blast(arg(1))?.try_bv()?.to_vec();
                 Bits::Bv(self.udiv_urem(&a, &b).1)
             }
             Op::BvSdiv | Op::BvSrem => {
-                let a = self.blast(arg(0)).as_bv().to_vec();
-                let b = self.blast(arg(1)).as_bv().to_vec();
+                let a = self.blast(arg(0))?.try_bv()?.to_vec();
+                let b = self.blast(arg(1))?.try_bv()?.to_vec();
                 let w = a.len();
                 let abs_a = self.abs(&a);
                 let abs_b = self.abs(&b);
@@ -474,34 +506,42 @@ impl<'a> BitBlaster<'a> {
                     // Quotient is negative when operand signs differ.
                     let neg_q = self.negate_bv(&q);
                     let differ = self.xor_gate(a[w - 1], b[w - 1]);
-                    Bits::Bv((0..w).map(|i| self.mux_gate(differ, neg_q[i], q[i])).collect())
+                    Bits::Bv(
+                        (0..w)
+                            .map(|i| self.mux_gate(differ, neg_q[i], q[i]))
+                            .collect(),
+                    )
                 } else {
                     // Remainder takes the dividend's sign (C semantics).
                     let neg_r = self.negate_bv(&r);
                     let a_neg = a[w - 1];
-                    Bits::Bv((0..w).map(|i| self.mux_gate(a_neg, neg_r[i], r[i])).collect())
+                    Bits::Bv(
+                        (0..w)
+                            .map(|i| self.mux_gate(a_neg, neg_r[i], r[i]))
+                            .collect(),
+                    )
                 }
             }
             Op::BvUlt => {
-                let a = self.blast(arg(0)).as_bv().to_vec();
-                let b = self.blast(arg(1)).as_bv().to_vec();
+                let a = self.blast(arg(0))?.try_bv()?.to_vec();
+                let b = self.blast(arg(1))?.try_bv()?.to_vec();
                 Bits::Bool(self.ult(&a, &b))
             }
             Op::BvSlt => {
-                let a = self.blast(arg(0)).as_bv().to_vec();
-                let b = self.blast(arg(1)).as_bv().to_vec();
+                let a = self.blast(arg(0))?.try_bv()?.to_vec();
+                let b = self.blast(arg(1))?.try_bv()?.to_vec();
                 Bits::Bool(self.slt(&a, &b))
             }
             Op::BvSle => {
-                let a = self.blast(arg(0)).as_bv().to_vec();
-                let b = self.blast(arg(1)).as_bv().to_vec();
+                let a = self.blast(arg(0))?.try_bv()?.to_vec();
+                let b = self.blast(arg(1))?.try_bv()?.to_vec();
                 let lt = self.slt(&a, &b);
                 let eq = self.eq_bv(&a, &b);
                 Bits::Bool(self.or_gate(lt, eq))
             }
         };
         self.cache.insert(term, result.clone());
-        result
+        Ok(result)
     }
 }
 
@@ -531,7 +571,7 @@ mod tests {
 
         let mut sat = SatSolver::new();
         let mut blaster = BitBlaster::new(&ctx, &mut sat);
-        blaster.assert(neq);
+        blaster.assert(neq).unwrap();
         assert_eq!(
             sat.solve(&SatBudget::default()),
             SatResult::Unsat,
@@ -568,7 +608,7 @@ mod tests {
 
         let mut sat = SatSolver::new();
         let mut blaster = BitBlaster::new(&ctx, &mut sat);
-        blaster.assert(query);
+        blaster.assert(query).unwrap();
         assert_eq!(
             sat.solve(&SatBudget::default()),
             SatResult::Unsat,
@@ -609,7 +649,9 @@ mod tests {
     fn shift_circuits() {
         check_binop(1, 5, 32, |c, a, b| c.bv_shl(a, b));
         check_binop(-8, 1, -4, |c, a, b| c.bv_ashr(a, b));
-        check_binop(-8, 1, ((-8i32 as u32) >> 1) as i64, |c, a, b| c.bv_lshr(a, b));
+        check_binop(-8, 1, ((-8i32 as u32) >> 1) as i64, |c, a, b| {
+            c.bv_lshr(a, b)
+        });
         check_binop(1, 40, 0, |c, a, b| c.bv_shl(a, b));
     }
 
@@ -623,7 +665,7 @@ mod tests {
         let query = ctx.and(pre, not_lt);
         let mut sat = SatSolver::new();
         let mut blaster = BitBlaster::new(&ctx, &mut sat);
-        blaster.assert(query);
+        blaster.assert(query).unwrap();
         assert_eq!(sat.solve(&SatBudget::default()), SatResult::Unsat);
 
         // ult(-1, 1) must be false (0xffffffff is large unsigned).
@@ -633,7 +675,7 @@ mod tests {
         let query = ctx.and(pre, lt);
         let mut sat = SatSolver::new();
         let mut blaster = BitBlaster::new(&ctx, &mut sat);
-        blaster.assert(query);
+        blaster.assert(query).unwrap();
         assert_eq!(sat.solve(&SatBudget::default()), SatResult::Unsat);
     }
 
@@ -654,7 +696,7 @@ mod tests {
         let mut sat = SatSolver::new();
         let var_bits = {
             let mut blaster = BitBlaster::new(&ctx, &mut sat);
-            blaster.assert(query);
+            blaster.assert(query).unwrap();
             blaster.var_bits().clone()
         };
         assert_eq!(sat.solve(&SatBudget::default()), SatResult::Sat);

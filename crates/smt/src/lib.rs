@@ -41,7 +41,7 @@ pub mod sat;
 pub mod solver;
 pub mod term;
 
-pub use bitblast::{BitBlaster, Bits};
+pub use bitblast::{BitBlaster, Bits, BlastError};
 pub use sat::{Lit, SatBudget, SatResult, SatSolver, SatStats, Var};
 pub use solver::{CheckResult, CheckStats, Model, Solver, SolverBudget, Validity};
 pub use term::{mask, sign_extend, Context, Op, Sort, TermData, TermId};

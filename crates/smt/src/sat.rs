@@ -130,7 +130,9 @@ impl PartialOrd for OrderedActivity {
 }
 impl Ord for OrderedActivity {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        self.0.partial_cmp(&other.0).unwrap_or(std::cmp::Ordering::Equal)
+        self.0
+            .partial_cmp(&other.0)
+            .unwrap_or(std::cmp::Ordering::Equal)
     }
 }
 
@@ -320,8 +322,7 @@ impl SatSolver {
         loop {
             let clause = self.clauses[conflict].clone();
             let start = usize::from(lit.is_some());
-            for k in start..clause.len() {
-                let q = clause[k];
+            for &q in &clause[start..] {
                 let v = q.var() as usize;
                 if !self.seen[v] && self.level[v] > 0 {
                     self.seen[v] = true;

@@ -156,6 +156,21 @@ impl Solver {
         self.assertions.clear();
     }
 
+    /// Resets the solver to its just-constructed state while keeping the
+    /// allocations of the term arena and interner.
+    ///
+    /// Batch-verification workers hold one `Solver` for their whole lifetime
+    /// and call this between queries, so per-query setup does not have to
+    /// reallocate the term context from scratch. After `recycle` the solver
+    /// behaves exactly like `Solver::new()` — same term ids for the same
+    /// construction order — which keeps batched runs bit-identical to
+    /// one-shot runs.
+    pub fn recycle(&mut self) {
+        self.ctx.clear();
+        self.assertions.clear();
+        self.last_stats = CheckStats::default();
+    }
+
     /// The current assertions.
     pub fn assertions(&self) -> &[TermId] {
         &self.assertions
@@ -175,7 +190,11 @@ impl Solver {
         let mut sat = SatSolver::new();
         let mut blaster = BitBlaster::new(&self.ctx, &mut sat);
         for &assertion in &self.assertions {
-            blaster.assert(assertion);
+            if let Err(err) = blaster.assert(assertion) {
+                // An ill-sorted query is inconclusive, not fatal: batch
+                // workers treat it like a timeout and move on.
+                return CheckResult::Unknown(err.to_string());
+            }
         }
         let var_bits = blaster.var_bits().clone();
         let var_bools = blaster.var_bools().clone();
@@ -389,6 +408,44 @@ mod tests {
         let _ = solver.check(&SolverBudget::default());
         assert!(solver.last_stats.cnf_vars > 0);
         assert!(solver.last_stats.cnf_clauses > 0);
+    }
+
+    #[test]
+    fn ill_sorted_query_is_unknown_not_a_panic() {
+        // `eq` between a boolean and a bitvector is constructible (the
+        // Context only folds same-sort cases); it must surface as Unknown.
+        let mut solver = Solver::new();
+        let p = solver.ctx.bool_var("p");
+        let x = solver.ctx.bv_var("x", 32);
+        let eq = solver.ctx.eq(p, x);
+        solver.assert(eq);
+        match solver.check(&SolverBudget::default()) {
+            CheckResult::Unknown(reason) => {
+                assert!(reason.contains("different encodings"), "{}", reason)
+            }
+            other => panic!("expected Unknown, got {:?}", other),
+        }
+    }
+
+    #[test]
+    fn recycled_solver_replays_identically() {
+        let mut solver = Solver::new();
+        let run = |solver: &mut Solver| {
+            let x = solver.ctx.bv_var("x", 32);
+            let y = solver.ctx.bv_var("y", 32);
+            let sum = solver.ctx.bv_add(x, y);
+            let ten = solver.ctx.bv32(10);
+            let eq = solver.ctx.eq(sum, ten);
+            solver.assert(eq);
+            (solver.ctx.len(), solver.check(&SolverBudget::default()))
+        };
+        let (terms_fresh, first) = run(&mut solver);
+        solver.recycle();
+        assert!(solver.ctx.is_empty());
+        assert!(solver.assertions().is_empty());
+        let (terms_recycled, second) = run(&mut solver);
+        assert_eq!(terms_fresh, terms_recycled);
+        assert_eq!(first, second);
     }
 
     #[test]

@@ -136,6 +136,13 @@ impl Context {
         self.terms.len()
     }
 
+    /// Removes every term while keeping the arena and interner allocations,
+    /// so a recycled context rebuilds terms without fresh heap churn.
+    pub fn clear(&mut self) {
+        self.terms.clear();
+        self.intern.clear();
+    }
+
     /// Returns `true` if no terms have been created.
     pub fn is_empty(&self) -> bool {
         self.terms.is_empty()
@@ -456,23 +463,17 @@ impl Context {
 
     /// Unsigned division (division by zero yields all-ones, SMT-LIB style).
     pub fn bv_udiv(&mut self, a: TermId, b: TermId) -> TermId {
-        self.bv_binop(Op::BvUdiv, a, b, |x, y, w| {
-            if y == 0 {
-                mask(u64::MAX, w)
-            } else {
-                mask(x / y, w)
-            }
+        self.bv_binop(Op::BvUdiv, a, b, |x, y, w| match x.checked_div(y) {
+            None => mask(u64::MAX, w),
+            Some(q) => mask(q, w),
         })
     }
 
     /// Unsigned remainder (remainder by zero yields the dividend).
     pub fn bv_urem(&mut self, a: TermId, b: TermId) -> TermId {
-        self.bv_binop(Op::BvUrem, a, b, |x, y, w| {
-            if y == 0 {
-                mask(x, w)
-            } else {
-                mask(x % y, w)
-            }
+        self.bv_binop(Op::BvUrem, a, b, |x, y, w| match x.checked_rem(y) {
+            None => mask(x, w),
+            Some(r) => mask(r, w),
         })
     }
 

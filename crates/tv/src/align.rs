@@ -243,10 +243,9 @@ mod tests {
 
     #[test]
     fn mismatched_starts_fail() {
-        let scalar = parse_function(
-            "void f(int n, int *a) { for (int i = 1; i < n; i++) { a[i] = 0; } }",
-        )
-        .unwrap();
+        let scalar =
+            parse_function("void f(int n, int *a) { for (int i = 1; i < n; i++) { a[i] = 0; } }")
+                .unwrap();
         let vector = parse_function(
             "void f(int n, int *a) { for (int i = 0; i + 8 <= n; i += 8) { _mm256_storeu_si256((__m256i *)&a[i], _mm256_setzero_si256()); } }",
         )

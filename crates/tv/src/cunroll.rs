@@ -155,7 +155,12 @@ fn unroll_loop(
 }
 
 /// Applies the paper's three rewrites to one unrolled copy of the loop body.
-fn rewrite_copy(block: Block, copy: usize, loop_id: usize, declared: &mut HashSet<String>) -> Block {
+fn rewrite_copy(
+    block: Block,
+    copy: usize,
+    loop_id: usize,
+    declared: &mut HashSet<String>,
+) -> Block {
     let stmts = block
         .stmts
         .into_iter()
@@ -302,7 +307,11 @@ mod tests {
 
     #[test]
     fn errors_on_missing_or_symbolic_loops() {
-        assert!(c_unroll(&parse_function("void f(int n, int *a) { a[0] = n; }").unwrap(), 8).is_err());
+        assert!(c_unroll(
+            &parse_function("void f(int n, int *a) { a[0] = n; }").unwrap(),
+            8
+        )
+        .is_err());
         assert!(c_unroll(
             &parse_function(
                 "void f(int n, int k, int *a) { for (int i = 0; i < n; i += k) { a[i] = 0; } }"
@@ -312,10 +321,8 @@ mod tests {
         )
         .is_err());
         assert!(c_unroll(
-            &parse_function(
-                "void f(int n, int *a) { for (int i = 0; i < n; i++) { a[i] = 0; } }"
-            )
-            .unwrap(),
+            &parse_function("void f(int n, int *a) { for (int i = 0; i < n; i++) { a[i] = 0; } }")
+                .unwrap(),
             0
         )
         .is_err());

@@ -51,9 +51,11 @@ pub mod verify;
 
 pub use align::{align, Alignment, AlignmentError};
 pub use cunroll::{c_unroll, CUnrollError};
+pub use lv_smt::SolverBudget;
 pub use symexec::{sym_exec, SymExecConfig, SymExecError, SymOutcome};
 pub use verify::{
     alignment_assumption, check_equivalence_symbolic, check_with_alive2_unroll,
-    check_with_c_unroll, check_with_spatial_splitting, unroll_factor_of, TvConfig, TvStage,
-    TvVerdict,
+    check_with_alive2_unroll_in, check_with_c_unroll, check_with_c_unroll_in,
+    check_with_spatial_splitting, check_with_spatial_splitting_in, unroll_factor_of,
+    SymbolicStrategy, TvConfig, TvSession, TvSessionStats, TvStage, TvVerdict,
 };

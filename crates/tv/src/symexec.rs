@@ -415,7 +415,12 @@ impl<'a> SymExec<'a> {
         true
     }
 
-    fn read_cell(&mut self, array: &str, index: i64, guard: TermId) -> Result<TermId, SymExecError> {
+    fn read_cell(
+        &mut self,
+        array: &str,
+        index: i64,
+        guard: TermId,
+    ) -> Result<TermId, SymExecError> {
         let active = self.active(guard);
         if !self.check_bounds(array, index, 1, active) {
             // Out of the modelled window: the value is an unconstrained fresh
@@ -442,12 +447,18 @@ impl<'a> SymExec<'a> {
         Ok(())
     }
 
-    fn assign_scalar(&mut self, name: &str, value: SymValue, guard: TermId) -> Result<(), SymExecError> {
+    fn assign_scalar(
+        &mut self,
+        name: &str,
+        value: SymValue,
+        guard: TermId,
+    ) -> Result<(), SymExecError> {
         let active = self.active(guard);
         match (self.scalars.get(name).cloned(), value) {
             (Some(SymValue::Scalar(old)), SymValue::Scalar(new)) => {
                 let merged = self.ctx.ite(active, new, old);
-                self.scalars.insert(name.to_string(), SymValue::Scalar(merged));
+                self.scalars
+                    .insert(name.to_string(), SymValue::Scalar(merged));
                 Ok(())
             }
             (Some(SymValue::Vector(old)), SymValue::Vector(new)) => {
@@ -455,7 +466,8 @@ impl<'a> SymExec<'a> {
                 for i in 0..LANES {
                     merged[i] = self.ctx.ite(active, new[i], old[i]);
                 }
-                self.scalars.insert(name.to_string(), SymValue::Vector(merged));
+                self.scalars
+                    .insert(name.to_string(), SymValue::Vector(merged));
                 Ok(())
             }
             (Some(SymValue::Ptr { .. }), new @ SymValue::Ptr { .. }) | (None, new) => {
@@ -506,10 +518,7 @@ impl<'a> SymExec<'a> {
                     let (array, offset) = self.eval_ptr(base, guard)?;
                     let idx_term = self.eval_scalar(index, guard)?;
                     let idx = self.concrete_index(idx_term)? + offset;
-                    Ok(SymValue::Ptr {
-                        array,
-                        offset: idx,
-                    })
+                    Ok(SymValue::Ptr { array, offset: idx })
                 }
                 Expr::Var(_) => self.eval(inner, guard),
                 other => Err(SymExecError::new(format!(
@@ -547,11 +556,7 @@ impl<'a> SymExec<'a> {
             let new_offset = match op {
                 BinOp::Add => offset + delta,
                 BinOp::Sub => offset - delta,
-                _ => {
-                    return Err(SymExecError::new(
-                        "unsupported pointer arithmetic operator",
-                    ))
-                }
+                _ => return Err(SymExecError::new("unsupported pointer arithmetic operator")),
             };
             return Ok(SymValue::Ptr {
                 array: array.clone(),
@@ -741,7 +746,10 @@ impl<'a> SymExec<'a> {
         let mut vec_args: Vec<[TermId; LANES]> = Vec::new();
         let mut scalar_args: Vec<TermId> = Vec::new();
         let sig = lv_cir::intrinsics::intrinsic_sig(callee).ok_or_else(|| {
-            SymExecError::new(format!("intrinsic `{}` is not modelled by the verifier", callee))
+            SymExecError::new(format!(
+                "intrinsic `{}` is not modelled by the verifier",
+                callee
+            ))
         })?;
         for (arg, slot) in args.iter().zip(sig.params.iter()) {
             match slot {
@@ -885,9 +893,10 @@ impl<'a> SymExec<'a> {
                 // all generated code).
                 let mut out = splat(zero32);
                 for i in 0..LANES {
-                    let idx = self.ctx.as_bv_const(vec_args[1][i]).ok_or_else(|| {
-                        SymExecError::new("permutevar indices must be constants")
-                    })?;
+                    let idx = self
+                        .ctx
+                        .as_bv_const(vec_args[1][i])
+                        .ok_or_else(|| SymExecError::new("permutevar indices must be constants"))?;
                     out[i] = vec_args[0][(idx as usize) & 7];
                 }
                 SymValue::Vector(out)
@@ -1037,7 +1046,9 @@ mod tests {
         .unwrap();
         let mut all = solver.ctx.bool_const(true);
         for i in 0..8 {
-            let eq = solver.ctx.eq(scalar_out.arrays["a"][i], vector_out.arrays["a"][i]);
+            let eq = solver
+                .ctx
+                .eq(scalar_out.arrays["a"][i], vector_out.arrays["a"][i]);
             all = solver.ctx.and(all, eq);
         }
         assert_eq!(
@@ -1049,13 +1060,7 @@ mod tests {
     #[test]
     fn out_of_bounds_sets_ub() {
         let mut solver = Solver::new();
-        let out = exec_with(
-            &mut solver.ctx,
-            "void f(int n, int *a) { a[6] = 1; }",
-            4,
-            4,
-        )
-        .unwrap();
+        let out = exec_with(&mut solver.ctx, "void f(int n, int *a) { a[6] = 1; }", 4, 4).unwrap();
         assert_eq!(solver.ctx.as_bool_const(out.ub), Some(true));
     }
 
@@ -1084,10 +1089,9 @@ mod tests {
     #[test]
     fn symbolic_loop_bound_is_rejected() {
         let mut solver = Solver::new();
-        let func = parse_function(
-            "void f(int n, int *a) { for (int i = 0; i < n; i++) { a[i] = 0; } }",
-        )
-        .unwrap();
+        let func =
+            parse_function("void f(int n, int *a) { for (int i = 0; i < n; i++) { a[i] = 0; } }")
+                .unwrap();
         // No binding for n: the loop condition cannot fold.
         let err = sym_exec(&mut solver.ctx, &func, &SymExecConfig::default()).unwrap_err();
         assert!(err.reason.contains("does not fold"), "{}", err);
@@ -1096,10 +1100,8 @@ mod tests {
     #[test]
     fn backward_goto_is_rejected() {
         let mut solver = Solver::new();
-        let func = parse_function(
-            "void f(int n, int *a) { L1: a[0] = a[0] + 1; goto L1; }",
-        )
-        .unwrap();
+        let func =
+            parse_function("void f(int n, int *a) { L1: a[0] = a[0] + 1; goto L1; }").unwrap();
         let mut config = SymExecConfig::default();
         config.scalar_bindings.insert("n".into(), 1);
         let err = sym_exec(&mut solver.ctx, &func, &config).unwrap_err();

@@ -27,6 +27,57 @@ use lv_cir::ast::{BinOp, Expr, Function, UnOp};
 use lv_smt::{Solver, SolverBudget, Validity};
 use std::collections::HashMap;
 
+/// Cumulative solver-effort statistics over the lifetime of a [`TvSession`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TvSessionStats {
+    /// SMT queries discharged.
+    pub queries: u64,
+    /// SAT conflicts, summed over all queries.
+    pub conflicts: u64,
+    /// SAT decisions, summed over all queries.
+    pub decisions: u64,
+    /// CNF clauses created by bit-blasting, summed over all queries.
+    pub clauses: u64,
+}
+
+/// A reusable verification session: one SMT solver whose allocations are
+/// recycled across queries, plus cumulative effort statistics.
+///
+/// The parallel batch engine gives each worker thread one session for its
+/// whole lifetime; the `check_with_*_in` strategy entry points run every
+/// query through it. Because [`Solver::recycle`] restores the solver to its
+/// just-constructed state, a session produces bit-identical verdicts to
+/// constructing a fresh solver per query — it only avoids the reallocation.
+#[derive(Debug, Default)]
+pub struct TvSession {
+    solver: Solver,
+    /// Effort accumulated so far; the engine reads deltas of this around
+    /// each strategy call to attribute conflicts to pipeline stages.
+    pub stats: TvSessionStats,
+}
+
+impl TvSession {
+    /// Creates a session with a fresh solver.
+    pub fn new() -> TvSession {
+        TvSession::default()
+    }
+
+    /// Hands out the solver reset to its just-constructed state.
+    fn fresh_solver(&mut self) -> &mut Solver {
+        self.solver.recycle();
+        &mut self.solver
+    }
+
+    /// Folds the most recent query's statistics into the running totals.
+    fn absorb_last_query(&mut self) {
+        let stats = self.solver.last_stats;
+        self.stats.queries += 1;
+        self.stats.conflicts += stats.conflicts;
+        self.stats.decisions += stats.decisions;
+        self.stats.clauses += stats.cnf_clauses as u64;
+    }
+}
+
 /// The verdict of one verification attempt.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum TvVerdict {
@@ -109,6 +160,56 @@ pub enum TvStage {
     SpatialSplitting,
 }
 
+/// The three symbolic strategies of Algorithm 1 as first-class values, so a
+/// verification cascade can be configured, reordered, and dispatched
+/// generically by the batch engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SymbolicStrategy {
+    /// Default Alive2-style unrolling (Algorithm 1 line 6).
+    Alive2Unroll,
+    /// C-level unrolling (line 9).
+    CUnroll,
+    /// Spatial case splitting (line 12).
+    SpatialSplitting,
+}
+
+impl SymbolicStrategy {
+    /// The strategies in Algorithm 1 order.
+    pub const ALL: [SymbolicStrategy; 3] = [
+        SymbolicStrategy::Alive2Unroll,
+        SymbolicStrategy::CUnroll,
+        SymbolicStrategy::SpatialSplitting,
+    ];
+
+    /// Display label matching Table 3.
+    pub fn label(self) -> &'static str {
+        match self {
+            SymbolicStrategy::Alive2Unroll => "Alive2",
+            SymbolicStrategy::CUnroll => "C-Unroll",
+            SymbolicStrategy::SpatialSplitting => "Splitting",
+        }
+    }
+
+    /// Runs this strategy through a reusable session.
+    pub fn run(
+        self,
+        scalar: &Function,
+        vector: &Function,
+        config: &TvConfig,
+        session: &mut TvSession,
+    ) -> TvVerdict {
+        match self {
+            SymbolicStrategy::Alive2Unroll => {
+                check_with_alive2_unroll_in(scalar, vector, config, session)
+            }
+            SymbolicStrategy::CUnroll => check_with_c_unroll_in(scalar, vector, config, session),
+            SymbolicStrategy::SpatialSplitting => {
+                check_with_spatial_splitting_in(scalar, vector, config, session)
+            }
+        }
+    }
+}
+
 /// Runs the three strategies in the order of Algorithm 1 (lines 6–13) and
 /// returns the first conclusive verdict together with the stage that
 /// produced it. If every stage is inconclusive, the last verdict (and
@@ -118,18 +219,19 @@ pub fn check_equivalence_symbolic(
     vector: &Function,
     config: &TvConfig,
 ) -> (TvVerdict, TvStage) {
-    let verdict = check_with_alive2_unroll(scalar, vector, config);
-    if !verdict.is_inconclusive() {
-        return (verdict, TvStage::Alive2Unroll);
+    let mut session = TvSession::new();
+    for strategy in SymbolicStrategy::ALL {
+        let verdict = strategy.run(scalar, vector, config, &mut session);
+        let stage = match strategy {
+            SymbolicStrategy::Alive2Unroll => TvStage::Alive2Unroll,
+            SymbolicStrategy::CUnroll => TvStage::CUnroll,
+            SymbolicStrategy::SpatialSplitting => TvStage::SpatialSplitting,
+        };
+        if !verdict.is_inconclusive() || strategy == SymbolicStrategy::SpatialSplitting {
+            return (verdict, stage);
+        }
     }
-    let verdict = check_with_c_unroll(scalar, vector, config);
-    if !verdict.is_inconclusive() {
-        return (verdict, TvStage::CUnroll);
-    }
-    (
-        check_with_spatial_splitting(scalar, vector, config),
-        TvStage::SpatialSplitting,
-    )
+    unreachable!("the spatial-splitting arm always returns")
 }
 
 /// The Alive2-style strategy: the verifier unrolls both loops itself over a
@@ -138,6 +240,16 @@ pub fn check_with_alive2_unroll(
     scalar: &Function,
     vector: &Function,
     config: &TvConfig,
+) -> TvVerdict {
+    check_with_alive2_unroll_in(scalar, vector, config, &mut TvSession::new())
+}
+
+/// [`check_with_alive2_unroll`] through a caller-provided session.
+pub fn check_with_alive2_unroll_in(
+    scalar: &Function,
+    vector: &Function,
+    config: &TvConfig,
+    session: &mut TvSession,
 ) -> TvVerdict {
     let alignment = match align(scalar, vector) {
         Ok(a) => a,
@@ -156,6 +268,7 @@ pub fn check_with_alive2_unroll(
         config,
         &config.alive2_budget,
         None,
+        session,
     )
 }
 
@@ -163,6 +276,16 @@ pub fn check_with_alive2_unroll(
 /// [`c_unroll`] before symbolic execution, and only a single vector chunk is
 /// modelled, producing a much smaller query.
 pub fn check_with_c_unroll(scalar: &Function, vector: &Function, config: &TvConfig) -> TvVerdict {
+    check_with_c_unroll_in(scalar, vector, config, &mut TvSession::new())
+}
+
+/// [`check_with_c_unroll`] through a caller-provided session.
+pub fn check_with_c_unroll_in(
+    scalar: &Function,
+    vector: &Function,
+    config: &TvConfig,
+    session: &mut TvSession,
+) -> TvVerdict {
     let alignment = match align(scalar, vector) {
         Ok(a) => a,
         Err(e) => {
@@ -187,6 +310,7 @@ pub fn check_with_c_unroll(scalar: &Function, vector: &Function, config: &TvConf
         config,
         &config.cunroll_budget,
         None,
+        session,
     )
 }
 
@@ -197,6 +321,16 @@ pub fn check_with_spatial_splitting(
     scalar: &Function,
     vector: &Function,
     config: &TvConfig,
+) -> TvVerdict {
+    check_with_spatial_splitting_in(scalar, vector, config, &mut TvSession::new())
+}
+
+/// [`check_with_spatial_splitting`] through a caller-provided session.
+pub fn check_with_spatial_splitting_in(
+    scalar: &Function,
+    vector: &Function,
+    config: &TvConfig,
+    session: &mut TvSession,
 ) -> TvVerdict {
     let alignment = match align(scalar, vector) {
         Ok(a) => a,
@@ -220,6 +354,7 @@ pub fn check_with_spatial_splitting(
             config,
             &config.spatial_budget,
             Some(lane),
+            session,
         );
         match verdict {
             TvVerdict::Equivalent => {}
@@ -286,6 +421,7 @@ fn refinement_check(
     config: &TvConfig,
     budget: &SolverBudget,
     compare_lane: Option<usize>,
+    session: &mut TvSession,
 ) -> TvVerdict {
     let m = alignment.unroll_factor.unsigned_abs() as usize;
     let step = alignment.scalar_step.unsigned_abs() as usize;
@@ -310,9 +446,9 @@ fn refinement_check(
     };
     let array_len = start + trip * step + config.array_slack;
 
-    let mut solver = Solver::new();
-    let outcome_scalar = exec_side(&mut solver, scalar, n_value, array_len, config);
-    let outcome_vector = exec_side(&mut solver, vector, n_value, array_len, config);
+    let solver = session.fresh_solver();
+    let outcome_scalar = exec_side(solver, scalar, n_value, array_len, config);
+    let outcome_vector = exec_side(solver, vector, n_value, array_len, config);
     let (src, tgt) = match (outcome_scalar, outcome_vector) {
         (Ok(s), Ok(t)) => (s, t),
         (Err(reason), _) | (_, Err(reason)) => return TvVerdict::Inconclusive { reason },
@@ -347,13 +483,15 @@ fn refinement_check(
     let no_src_ub = solver.ctx.not(src.ub);
     let vc = solver.ctx.implies(no_src_ub, post);
 
-    match solver.check_validity(vc, budget) {
+    let verdict = match solver.check_validity(vc, budget) {
         Validity::Valid => TvVerdict::Equivalent,
         Validity::Invalid(model) => TvVerdict::NotEquivalent {
             counterexample: render_counterexample(&model.assignments()),
         },
         Validity::Unknown(reason) => TvVerdict::Inconclusive { reason },
-    }
+    };
+    session.absorb_last_query();
+    verdict
 }
 
 fn exec_side(
@@ -440,7 +578,10 @@ fn eval_bound_expr(expr: &Expr, n: i64) -> Option<i64> {
     match expr {
         Expr::IntLit(v) => Some(*v),
         Expr::Var(_) => Some(n),
-        Expr::Unary { op: UnOp::Neg, expr } => Some(-eval_bound_expr(expr, n)?),
+        Expr::Unary {
+            op: UnOp::Neg,
+            expr,
+        } => Some(-eval_bound_expr(expr, n)?),
         Expr::Binary { op, lhs, rhs } => {
             let l = eval_bound_expr(lhs, n)?;
             let r = eval_bound_expr(rhs, n)?;
@@ -539,7 +680,11 @@ mod tests {
     #[test]
     fn s212_correct_vectorization_verifies() {
         let verdict = check_with_c_unroll(&f(S212), &f(S212_VEC), &quick_config());
-        assert_eq!(verdict, TvVerdict::Equivalent, "paper Figure 1(b) candidate");
+        assert_eq!(
+            verdict,
+            TvVerdict::Equivalent,
+            "paper Figure 1(b) candidate"
+        );
     }
 
     #[test]
@@ -584,8 +729,7 @@ mod tests {
 
     #[test]
     fn full_pipeline_reports_stage() {
-        let (verdict, stage) =
-            check_equivalence_symbolic(&f(S000), &f(S000_VEC), &quick_config());
+        let (verdict, stage) = check_equivalence_symbolic(&f(S000), &f(S000_VEC), &quick_config());
         assert_eq!(verdict, TvVerdict::Equivalent);
         assert_eq!(stage, TvStage::Alive2Unroll);
     }

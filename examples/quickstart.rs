@@ -26,12 +26,21 @@ fn main() {
 
     // 3. Formally verify it with the Alive2-style translation validator.
     let report = check_equivalence(&scalar, &candidate, &PipelineConfig::default());
-    println!("verification: {:?} (stage {:?})", report.verdict, report.stage);
+    println!(
+        "verification: {:?} (stage {:?})",
+        report.verdict, report.stage
+    );
 
     // 4. Simulate the run-time speedup over the three baseline compilers.
     let costs = CostTable::default();
     for compiler in Compiler::all() {
-        let s = speedup_over(&CompilerProfile::of(compiler), &scalar, &candidate, 32_000, &costs);
+        let s = speedup_over(
+            &CompilerProfile::of(compiler),
+            &scalar,
+            &candidate,
+            32_000,
+            &costs,
+        );
         println!("speedup vs {}: {:.2}x", compiler.name(), s);
     }
 }

@@ -5,19 +5,27 @@ use llm_vectorizer_repro::agents::{run_fsm, FsmConfig, LlmConfig};
 use llm_vectorizer_repro::cir::print_function;
 
 fn main() {
-    let scalar = llm_vectorizer_repro::tsvc::kernel("s453").unwrap().function();
+    let scalar = llm_vectorizer_repro::tsvc::kernel("s453")
+        .unwrap()
+        .function();
     // A higher temperature makes the first attempt more likely to contain the
     // wrong `_mm256_set1_epi32` seeding the paper shows.
     let result = run_fsm(
         &scalar,
         &FsmConfig {
-            llm: LlmConfig { temperature: 1.4, seed: 3 },
+            llm: LlmConfig {
+                temperature: 1.4,
+                seed: 3,
+            },
             ..FsmConfig::default()
         },
     );
     println!("=== transcript ===");
     for message in &result.transcript {
-        println!("[{:?} -> {:?}]\n{}\n", message.from, message.to, message.content);
+        println!(
+            "[{:?} -> {:?}]\n{}\n",
+            message.from, message.to, message.content
+        );
     }
     match result.candidate {
         Some(candidate) => println!(

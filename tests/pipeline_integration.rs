@@ -36,10 +36,25 @@ fn paper_motivating_example_end_to_end() {
     let report = check_equivalence(&scalar, &candidate, &PipelineConfig::default());
     assert_eq!(report.verdict, Equivalence::Equivalent, "{}", report.detail);
     let costs = CostTable::default();
-    let gcc = speedup_over(&CompilerProfile::of(Compiler::Gcc), &scalar, &candidate, 32_000, &costs);
-    let icc = speedup_over(&CompilerProfile::of(Compiler::Icc), &scalar, &candidate, 32_000, &costs);
+    let gcc = speedup_over(
+        &CompilerProfile::of(Compiler::Gcc),
+        &scalar,
+        &candidate,
+        32_000,
+        &costs,
+    );
+    let icc = speedup_over(
+        &CompilerProfile::of(Compiler::Icc),
+        &scalar,
+        &candidate,
+        32_000,
+        &costs,
+    );
     assert!(gcc > 2.0, "GCC speedup {:.2}", gcc);
-    assert!(gcc > icc, "dependence kernels favour the LLM most against GCC/Clang");
+    assert!(
+        gcc > icc,
+        "dependence kernels favour the LLM most against GCC/Clang"
+    );
 }
 
 #[test]

@@ -2,7 +2,7 @@
 
 use llm_vectorizer_repro::cir::{parse_expr, parse_function, print_expr, print_function};
 use llm_vectorizer_repro::interp::{run_function, ArgBindings, ExecConfig};
-use llm_vectorizer_repro::simd::{eval_intrinsic, I32x8, SimdArg};
+use llm_vectorizer_repro::simd::{eval_intrinsic, I32x8};
 use llm_vectorizer_repro::smt::{Solver, SolverBudget, Validity};
 use proptest::prelude::*;
 
@@ -27,9 +27,9 @@ proptest! {
         let v = I32x8::load(&values);
         let doubled = eval_intrinsic("_mm256_add_epi32", &[v.into(), v.into()]).unwrap().unwrap_vector();
         let squared = eval_intrinsic("_mm256_mullo_epi32", &[v.into(), v.into()]).unwrap().unwrap_vector();
-        for i in 0..8 {
-            prop_assert_eq!(doubled.lanes()[i], values[i].wrapping_add(values[i]));
-            prop_assert_eq!(squared.lanes()[i], values[i].wrapping_mul(values[i]));
+        for (i, &v) in values.iter().enumerate() {
+            prop_assert_eq!(doubled.lanes()[i], v.wrapping_add(v));
+            prop_assert_eq!(squared.lanes()[i], v.wrapping_mul(v));
         }
     }
 
