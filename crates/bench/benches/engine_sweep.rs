@@ -1,11 +1,13 @@
 //! The parallel batch engine on the full TSVC sweep: verifies that
-//! `threads = N` produces verdicts identical to `threads = 1` and reports
-//! the wall-clock win of the worker pool.
+//! `threads = N` produces verdicts identical to `threads = 1`, reports the
+//! wall-clock win of the worker pool, and measures the verdict cache's
+//! hit-path speedup over re-verification.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use lv_bench::{sweep_jobs, sweep_tv_config};
-use lv_core::{EngineConfig, PipelineConfig, VerificationEngine};
+use lv_core::{EngineConfig, PipelineConfig, VerdictCache, VerificationEngine};
 use lv_interp::ChecksumConfig;
+use std::sync::Arc;
 
 fn sweep_pipeline() -> PipelineConfig {
     PipelineConfig {
@@ -47,6 +49,32 @@ fn bench(c: &mut Criterion) {
     });
     c.bench_function("engine_sweep_threadsN", |b| {
         b.iter(|| parallel.run_batch(&jobs))
+    });
+
+    // Warm-cache path: the first batch fills the cache, the timed loop is
+    // all hits (hash + lookup, zero checksum/SMT work).
+    let cache = Arc::new(VerdictCache::in_memory());
+    let cached = VerificationEngine::new(
+        EngineConfig::full(sweep_pipeline())
+            .with_threads(1)
+            .with_cache(cache.clone()),
+    );
+    let warmup = cached.run_batch(&jobs);
+    assert_eq!(warmup.cache_misses, jobs.len());
+    for (s, w) in base.jobs.iter().zip(&warmup.jobs) {
+        assert_eq!(
+            (&s.verdict, &s.stage, &s.detail),
+            (&w.verdict, &w.stage, &w.detail),
+            "the cache-filling run changed the verdict for {}",
+            s.label
+        );
+    }
+    c.bench_function("engine_sweep_warm_cache", |b| {
+        b.iter(|| {
+            let warm = cached.run_batch(&jobs);
+            assert_eq!(warm.cache_hits, jobs.len());
+            warm
+        })
     });
 }
 

@@ -15,7 +15,9 @@
 //!   compile" in the pipeline ([`type_check`], [`compiles`]);
 //! * an [`intrinsics`] signature table for the supported AVX2 intrinsics;
 //! * [`visit`] traversal/rewriting helpers and [`builder`] construction
-//!   helpers used by the other crates.
+//!   helpers used by the other crates;
+//! * a [`hash`] module computing the alpha-renaming-insensitive
+//!   [`structural_hash`] that keys the engine's persistent verdict cache.
 //!
 //! # Examples
 //!
@@ -38,6 +40,7 @@
 pub mod ast;
 pub mod builder;
 pub mod error;
+pub mod hash;
 pub mod intrinsics;
 pub mod lexer;
 pub mod parser;
@@ -47,6 +50,7 @@ pub mod visit;
 
 pub use ast::{AssignOp, BinOp, Block, Expr, Function, Param, Program, Stmt, Type, UnOp};
 pub use error::{ParseError, Pos, TypeError};
+pub use hash::{structural_hash, Fnv64};
 pub use intrinsics::{intrinsic_sig, is_intrinsic, IntrinsicSig, IntrinsicType, VECTOR_WIDTH};
 pub use parser::{parse_expr, parse_function, parse_program};
 pub use printer::{print_expr, print_function, print_program, print_stmt};

@@ -95,6 +95,12 @@ impl Arbitrary for i64 {
     }
 }
 
+impl Arbitrary for u64 {
+    fn arbitrary(rng: &mut TestRng) -> u64 {
+        rng.0.gen::<u64>()
+    }
+}
+
 impl Arbitrary for bool {
     fn arbitrary(rng: &mut TestRng) -> bool {
         rng.0.gen::<bool>()

@@ -1,10 +1,15 @@
 //! Offline stand-in for `serde`.
 //!
-//! No code in this workspace serializes anything yet; the seed sources only
-//! tag types with `#[derive(Serialize, Deserialize)]` so downstream tooling
-//! *could* serialize reports. Until a real serialization backend is needed
-//! (and the container can fetch one), the traits are empty markers with
-//! blanket implementations and the derives expand to nothing.
+//! The seed sources only tag types with `#[derive(Serialize, Deserialize)]`
+//! so downstream tooling *could* serialize reports; those derives expand to
+//! nothing and the traits are empty markers with blanket implementations.
+//!
+//! The [`json`] module is the one real serialization facility: a minimal
+//! JSON document model (`Value`), a recursive-descent parser, and a
+//! deterministic renderer. `lv_core`'s persistent verdict cache uses it for
+//! its on-disk format. When registry access appears and the real `serde` /
+//! `serde_json` can be vendored, `json::Value` maps 1:1 onto
+//! `serde_json::Value` and the cache code ports mechanically.
 
 pub use serde_derive::{Deserialize, Serialize};
 
@@ -15,3 +20,381 @@ impl<T: ?Sized> Serialize for T {}
 /// Marker trait standing in for `serde::Deserialize`.
 pub trait Deserialize<'de> {}
 impl<'de, T: ?Sized> Deserialize<'de> for T {}
+
+pub mod json {
+    //! A minimal JSON document model with a parser and a renderer.
+    //!
+    //! Supports the full JSON grammar except that numbers are restricted to
+    //! `i64` (the workspace only persists counters, hashes — stored as hex
+    //! strings — and enum tags, never floats). Object key order is preserved
+    //! on parse and render, so a load/store round-trip is byte-stable.
+
+    use std::fmt;
+
+    /// A JSON value.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub enum Value {
+        /// `null`
+        Null,
+        /// `true` / `false`
+        Bool(bool),
+        /// An integer (the only number form the workspace persists).
+        Int(i64),
+        /// A string.
+        Str(String),
+        /// An array.
+        Array(Vec<Value>),
+        /// An object, with key order preserved.
+        Object(Vec<(String, Value)>),
+    }
+
+    impl Value {
+        /// The string payload, if this is a `Str`.
+        pub fn as_str(&self) -> Option<&str> {
+            match self {
+                Value::Str(s) => Some(s),
+                _ => None,
+            }
+        }
+
+        /// The integer payload, if this is an `Int`.
+        pub fn as_int(&self) -> Option<i64> {
+            match self {
+                Value::Int(v) => Some(*v),
+                _ => None,
+            }
+        }
+
+        /// The elements, if this is an `Array`.
+        pub fn as_array(&self) -> Option<&[Value]> {
+            match self {
+                Value::Array(items) => Some(items),
+                _ => None,
+            }
+        }
+
+        /// Looks up a key, if this is an `Object`.
+        pub fn get(&self, key: &str) -> Option<&Value> {
+            match self {
+                Value::Object(entries) => entries.iter().find_map(|(k, v)| (k == key).then_some(v)),
+                _ => None,
+            }
+        }
+    }
+
+    impl fmt::Display for Value {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            match self {
+                Value::Null => write!(f, "null"),
+                Value::Bool(b) => write!(f, "{}", b),
+                Value::Int(v) => write!(f, "{}", v),
+                Value::Str(s) => write_escaped(f, s),
+                Value::Array(items) => {
+                    write!(f, "[")?;
+                    for (i, item) in items.iter().enumerate() {
+                        if i > 0 {
+                            write!(f, ",")?;
+                        }
+                        write!(f, "{}", item)?;
+                    }
+                    write!(f, "]")
+                }
+                Value::Object(entries) => {
+                    write!(f, "{{")?;
+                    for (i, (key, value)) in entries.iter().enumerate() {
+                        if i > 0 {
+                            write!(f, ",")?;
+                        }
+                        write_escaped(f, key)?;
+                        write!(f, ":{}", value)?;
+                    }
+                    write!(f, "}}")
+                }
+            }
+        }
+    }
+
+    fn write_escaped(f: &mut fmt::Formatter<'_>, s: &str) -> fmt::Result {
+        write!(f, "\"")?;
+        for c in s.chars() {
+            match c {
+                '"' => write!(f, "\\\"")?,
+                '\\' => write!(f, "\\\\")?,
+                '\n' => write!(f, "\\n")?,
+                '\r' => write!(f, "\\r")?,
+                '\t' => write!(f, "\\t")?,
+                c if (c as u32) < 0x20 => write!(f, "\\u{:04x}", c as u32)?,
+                c => write!(f, "{}", c)?,
+            }
+        }
+        write!(f, "\"")
+    }
+
+    /// A parse failure, with a byte offset into the input.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct ParseError {
+        /// Byte offset of the failure.
+        pub at: usize,
+        /// What went wrong.
+        pub message: String,
+    }
+
+    impl fmt::Display for ParseError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            write!(f, "invalid JSON at byte {}: {}", self.at, self.message)
+        }
+    }
+
+    impl std::error::Error for ParseError {}
+
+    /// Parses a complete JSON document (trailing whitespace allowed).
+    pub fn parse(input: &str) -> Result<Value, ParseError> {
+        let bytes = input.as_bytes();
+        let mut pos = 0;
+        let value = parse_value(input, bytes, &mut pos)?;
+        skip_ws(bytes, &mut pos);
+        if pos != bytes.len() {
+            return Err(err(pos, "trailing characters after the document"));
+        }
+        Ok(value)
+    }
+
+    fn err(at: usize, message: impl Into<String>) -> ParseError {
+        ParseError {
+            at,
+            message: message.into(),
+        }
+    }
+
+    fn skip_ws(bytes: &[u8], pos: &mut usize) {
+        while let Some(&b) = bytes.get(*pos) {
+            if b == b' ' || b == b'\t' || b == b'\n' || b == b'\r' {
+                *pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn expect(bytes: &[u8], pos: &mut usize, token: u8) -> Result<(), ParseError> {
+        if bytes.get(*pos) == Some(&token) {
+            *pos += 1;
+            Ok(())
+        } else {
+            Err(err(*pos, format!("expected `{}`", token as char)))
+        }
+    }
+
+    fn parse_value(input: &str, bytes: &[u8], pos: &mut usize) -> Result<Value, ParseError> {
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            None => Err(err(*pos, "unexpected end of input")),
+            Some(b'n') => parse_keyword(bytes, pos, "null", Value::Null),
+            Some(b't') => parse_keyword(bytes, pos, "true", Value::Bool(true)),
+            Some(b'f') => parse_keyword(bytes, pos, "false", Value::Bool(false)),
+            Some(b'"') => Ok(Value::Str(parse_string(input, bytes, pos)?)),
+            Some(b'[') => {
+                *pos += 1;
+                let mut items = Vec::new();
+                skip_ws(bytes, pos);
+                if bytes.get(*pos) == Some(&b']') {
+                    *pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                loop {
+                    items.push(parse_value(input, bytes, pos)?);
+                    skip_ws(bytes, pos);
+                    match bytes.get(*pos) {
+                        Some(b',') => *pos += 1,
+                        Some(b']') => {
+                            *pos += 1;
+                            return Ok(Value::Array(items));
+                        }
+                        _ => return Err(err(*pos, "expected `,` or `]` in array")),
+                    }
+                }
+            }
+            Some(b'{') => {
+                *pos += 1;
+                let mut entries = Vec::new();
+                skip_ws(bytes, pos);
+                if bytes.get(*pos) == Some(&b'}') {
+                    *pos += 1;
+                    return Ok(Value::Object(entries));
+                }
+                loop {
+                    skip_ws(bytes, pos);
+                    let key = parse_string(input, bytes, pos)?;
+                    skip_ws(bytes, pos);
+                    expect(bytes, pos, b':')?;
+                    let value = parse_value(input, bytes, pos)?;
+                    entries.push((key, value));
+                    skip_ws(bytes, pos);
+                    match bytes.get(*pos) {
+                        Some(b',') => *pos += 1,
+                        Some(b'}') => {
+                            *pos += 1;
+                            return Ok(Value::Object(entries));
+                        }
+                        _ => return Err(err(*pos, "expected `,` or `}` in object")),
+                    }
+                }
+            }
+            Some(b) if *b == b'-' || b.is_ascii_digit() => parse_int(bytes, pos),
+            Some(&b) => Err(err(*pos, format!("unexpected byte `{}`", b as char))),
+        }
+    }
+
+    fn parse_keyword(
+        bytes: &[u8],
+        pos: &mut usize,
+        word: &str,
+        value: Value,
+    ) -> Result<Value, ParseError> {
+        if bytes[*pos..].starts_with(word.as_bytes()) {
+            *pos += word.len();
+            Ok(value)
+        } else {
+            Err(err(*pos, format!("expected `{}`", word)))
+        }
+    }
+
+    fn parse_int(bytes: &[u8], pos: &mut usize) -> Result<Value, ParseError> {
+        let start = *pos;
+        if bytes.get(*pos) == Some(&b'-') {
+            *pos += 1;
+        }
+        let digits_start = *pos;
+        while bytes.get(*pos).is_some_and(|b| b.is_ascii_digit()) {
+            *pos += 1;
+        }
+        if *pos == digits_start {
+            return Err(err(*pos, "expected digits"));
+        }
+        if bytes
+            .get(*pos)
+            .is_some_and(|&b| b == b'.' || b == b'e' || b == b'E')
+        {
+            return Err(err(*pos, "floating-point numbers are not supported"));
+        }
+        let text = std::str::from_utf8(&bytes[start..*pos]).expect("ascii digits");
+        text.parse::<i64>()
+            .map(Value::Int)
+            .map_err(|e| err(start, format!("invalid integer `{}`: {}", text, e)))
+    }
+
+    fn parse_string(input: &str, bytes: &[u8], pos: &mut usize) -> Result<String, ParseError> {
+        expect(bytes, pos, b'"')?;
+        let mut out = String::new();
+        loop {
+            match bytes.get(*pos) {
+                None => return Err(err(*pos, "unterminated string")),
+                Some(b'"') => {
+                    *pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    *pos += 1;
+                    match bytes.get(*pos) {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'u') => {
+                            let hex = bytes
+                                .get(*pos + 1..*pos + 5)
+                                .ok_or_else(|| err(*pos, "truncated \\u escape"))?;
+                            let hex = std::str::from_utf8(hex)
+                                .map_err(|_| err(*pos, "non-ascii \\u escape"))?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| err(*pos, "invalid \\u escape"))?;
+                            // Surrogate pairs are not needed for the cache
+                            // format; reject them rather than mis-decode.
+                            let c = char::from_u32(code)
+                                .ok_or_else(|| err(*pos, "\\u escape is not a scalar value"))?;
+                            out.push(c);
+                            *pos += 4;
+                        }
+                        _ => return Err(err(*pos, "invalid escape")),
+                    }
+                    *pos += 1;
+                }
+                Some(&b) if b < 0x80 => {
+                    out.push(b as char);
+                    *pos += 1;
+                }
+                Some(_) => {
+                    // Multi-byte UTF-8: copy the whole scalar value.
+                    let rest = &input[*pos..];
+                    let c = rest.chars().next().expect("non-empty");
+                    out.push(c);
+                    *pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn round_trips_a_document() {
+            let doc = Value::Object(vec![
+                ("version".to_string(), Value::Int(1)),
+                (
+                    "entries".to_string(),
+                    Value::Array(vec![
+                        Value::Str("tab\t\"quote\" \\ \u{1F600} newline\n".to_string()),
+                        Value::Int(-42),
+                        Value::Bool(true),
+                        Value::Null,
+                    ]),
+                ),
+            ]);
+            let text = doc.to_string();
+            assert_eq!(parse(&text).unwrap(), doc);
+            // Render is deterministic: a second round trip is byte-identical.
+            assert_eq!(parse(&text).unwrap().to_string(), text);
+        }
+
+        #[test]
+        fn parses_whitespace_and_nested_structures() {
+            let text = " { \"a\" : [ 1 , 2 , { \"b\" : \"c\" } ] , \"d\" : null } ";
+            let v = parse(text).unwrap();
+            assert_eq!(v.get("a").unwrap().as_array().unwrap().len(), 3);
+            assert_eq!(
+                v.get("a").unwrap().as_array().unwrap()[2]
+                    .get("b")
+                    .unwrap()
+                    .as_str(),
+                Some("c")
+            );
+            assert_eq!(v.get("d"), Some(&Value::Null));
+        }
+
+        #[test]
+        fn rejects_garbage() {
+            assert!(parse("").is_err());
+            assert!(parse("{").is_err());
+            assert!(parse("[1,]").is_err());
+            assert!(parse("1.5").is_err());
+            assert!(parse("\"unterminated").is_err());
+            assert!(parse("{} trailing").is_err());
+            assert!(parse("{\"a\"}").is_err());
+        }
+
+        #[test]
+        fn unicode_escapes_decode() {
+            assert_eq!(
+                parse("\"\\u0041\\u00e9\"").unwrap(),
+                Value::Str("Aé".to_string())
+            );
+            assert!(parse("\"\\ud800\"").is_err(), "lone surrogate rejected");
+        }
+    }
+}

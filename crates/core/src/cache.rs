@@ -1,0 +1,416 @@
+//! The persistent, content-addressed verdict cache.
+//!
+//! Verification is a pure function of `(scalar, candidate, configuration)`:
+//! the checksum harness is seeded, the SMT solver is deterministic, and
+//! budgets are part of the configuration. The engine therefore memoizes
+//! verdicts across batches — and, through the file backing, across
+//! *processes* — keyed by content hashes rather than source text:
+//!
+//! * `scalar` — [`lv_cir::structural_hash`] of the scalar kernel, so
+//!   renaming its variables, labels, or the kernel itself still hits;
+//! * `candidate` — [`lv_cir::hash::structural_hash_in_env`] of the
+//!   candidate in the scalar's parameter-name environment: renaming the
+//!   candidate's locals or labels still hits, but renaming its *parameters*
+//!   away from the scalar's misses — the harnesses bind arrays by parameter
+//!   name, so that rename genuinely changes the verification problem. Any
+//!   semantic edit (a constant, an operator, a type, the statement shape)
+//!   misses;
+//! * `config` — [`EngineConfig::semantic_fingerprint`](crate::EngineConfig::semantic_fingerprint),
+//!   covering the cascade stage list, the checksum harness configuration,
+//!   and every solver budget. Anything that could change a verdict — or an
+//!   `Inconclusive` outcome — invalidates the entry by changing its key.
+//!
+//! # File format
+//!
+//! The backing file is a single JSON document (via the `serde` shim's
+//! [`json`] module):
+//!
+//! ```json
+//! {"version":1,"entries":[
+//!   {"scalar":"0f3a…16 hex…","candidate":"…","config":"…",
+//!    "verdict":"equivalent","stage":"cunroll","detail":"",
+//!    "checksum":"plausible"}
+//! ]}
+//! ```
+//!
+//! Hashes are 16-digit lower-case hex strings (JSON numbers cannot hold a
+//! `u64`). Entries are written in sorted key order, so persisting the same
+//! contents twice produces byte-identical files. `checksum` is `null` for
+//! verdicts produced by cascades without a checksum stage.
+//!
+//! # Invalidation rules
+//!
+//! There is no explicit invalidation: a key embeds everything a verdict
+//! depends on, so stale entries are simply never looked up again. The
+//! `version` field guards the *format and hash scheme*: bump it when
+//! [`lv_cir::structural_hash`]'s protocol or this file layout changes, and
+//! readers reject files from other versions (a rejected file is reported as
+//! an error, not silently discarded, so an operator can delete it
+//! deliberately).
+
+use crate::pipeline::{Equivalence, Stage};
+use lv_interp::ChecksumClass;
+use serde::json::{self, Value};
+use std::collections::HashMap;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+/// The on-disk format version; readers reject any other value.
+pub const CACHE_FORMAT_VERSION: i64 = 1;
+
+/// The content-addressed key of one verdict.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct CacheKey {
+    /// [`lv_cir::structural_hash`] of the scalar kernel.
+    pub scalar: u64,
+    /// [`lv_cir::hash::structural_hash_in_env`] of the candidate in the
+    /// scalar's parameter-name environment (see the module docs for why the
+    /// pairing is semantic).
+    pub candidate: u64,
+    /// [`crate::EngineConfig::semantic_fingerprint`] of the engine
+    /// configuration the verdict was produced under.
+    pub config: u64,
+}
+
+/// A memoized verdict: everything a [`JobReport`](crate::JobReport) needs to
+/// be bit-identical to a fresh run, minus the telemetry (a cache hit runs no
+/// stages, so it has no traces).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CachedVerdict {
+    /// The final verdict.
+    pub verdict: Equivalence,
+    /// The stage that produced it.
+    pub stage: Stage,
+    /// Counterexample, mismatch, or inconclusive reason.
+    pub detail: String,
+    /// Checksum classification, when the cascade included the checksum stage.
+    pub checksum: Option<ChecksumClass>,
+}
+
+/// A thread-safe verdict store, optionally backed by a JSON file.
+///
+/// Workers on the engine's pool share one cache through an `Arc`; `get` and
+/// `insert` take a short mutex, never I/O. File I/O happens only in
+/// [`VerdictCache::open`] and [`VerdictCache::persist`].
+#[derive(Debug, Default)]
+pub struct VerdictCache {
+    entries: Mutex<HashMap<CacheKey, CachedVerdict>>,
+    path: Option<PathBuf>,
+}
+
+impl VerdictCache {
+    /// An empty cache with no file backing.
+    pub fn in_memory() -> VerdictCache {
+        VerdictCache::default()
+    }
+
+    /// A cache backed by `path`. A missing file yields an empty cache; an
+    /// unreadable or malformed file is an error (never silently discarded).
+    pub fn open(path: impl Into<PathBuf>) -> io::Result<VerdictCache> {
+        let path = path.into();
+        let entries = match std::fs::read_to_string(&path) {
+            Err(e) if e.kind() == io::ErrorKind::NotFound => HashMap::new(),
+            Err(e) => return Err(e),
+            Ok(text) => parse_entries(&text)
+                .map_err(|reason| io::Error::new(io::ErrorKind::InvalidData, reason))?,
+        };
+        Ok(VerdictCache {
+            entries: Mutex::new(entries),
+            path: Some(path),
+        })
+    }
+
+    /// The backing file, if any.
+    pub fn path(&self) -> Option<&Path> {
+        self.path.as_deref()
+    }
+
+    /// Looks up a verdict.
+    pub fn get(&self, key: &CacheKey) -> Option<CachedVerdict> {
+        self.entries.lock().unwrap().get(key).cloned()
+    }
+
+    /// Stores a verdict.
+    pub fn insert(&self, key: CacheKey, verdict: CachedVerdict) {
+        self.entries.lock().unwrap().insert(key, verdict);
+    }
+
+    /// Number of stored verdicts.
+    pub fn len(&self) -> usize {
+        self.entries.lock().unwrap().len()
+    }
+
+    /// Returns `true` if the cache holds no verdicts.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Writes the cache to its backing file (atomically: temp file, then
+    /// rename). No-op for an in-memory cache.
+    ///
+    /// Entries are emitted in sorted key order, so persisting the same
+    /// contents always produces byte-identical files.
+    pub fn persist(&self) -> io::Result<()> {
+        let Some(path) = &self.path else {
+            return Ok(());
+        };
+        let text = {
+            let entries = self.entries.lock().unwrap();
+            render_entries(&entries)
+        };
+        let tmp = path.with_extension("tmp");
+        std::fs::write(&tmp, text)?;
+        std::fs::rename(&tmp, path)
+    }
+}
+
+fn hex(value: u64) -> Value {
+    Value::Str(format!("{:016x}", value))
+}
+
+fn parse_hex(value: Option<&Value>, field: &str) -> Result<u64, String> {
+    let s = value
+        .and_then(Value::as_str)
+        .ok_or_else(|| format!("entry is missing the `{}` hash", field))?;
+    u64::from_str_radix(s, 16).map_err(|_| format!("`{}` is not a hex hash: `{}`", field, s))
+}
+
+fn verdict_tag(verdict: Equivalence) -> &'static str {
+    match verdict {
+        Equivalence::Equivalent => "equivalent",
+        Equivalence::NotEquivalent => "not-equivalent",
+        Equivalence::Inconclusive => "inconclusive",
+    }
+}
+
+fn parse_verdict(tag: &str) -> Result<Equivalence, String> {
+    match tag {
+        "equivalent" => Ok(Equivalence::Equivalent),
+        "not-equivalent" => Ok(Equivalence::NotEquivalent),
+        "inconclusive" => Ok(Equivalence::Inconclusive),
+        other => Err(format!("unknown verdict tag `{}`", other)),
+    }
+}
+
+fn stage_tag(stage: Stage) -> &'static str {
+    match stage {
+        Stage::Checksum => "checksum",
+        Stage::Alive2 => "alive2",
+        Stage::CUnroll => "cunroll",
+        Stage::Splitting => "splitting",
+    }
+}
+
+fn parse_stage(tag: &str) -> Result<Stage, String> {
+    match tag {
+        "checksum" => Ok(Stage::Checksum),
+        "alive2" => Ok(Stage::Alive2),
+        "cunroll" => Ok(Stage::CUnroll),
+        "splitting" => Ok(Stage::Splitting),
+        other => Err(format!("unknown stage tag `{}`", other)),
+    }
+}
+
+fn checksum_value(class: Option<ChecksumClass>) -> Value {
+    match class {
+        None => Value::Null,
+        Some(ChecksumClass::Plausible) => Value::Str("plausible".to_string()),
+        Some(ChecksumClass::NotEquivalent) => Value::Str("not-equivalent".to_string()),
+        Some(ChecksumClass::CannotCompile) => Value::Str("cannot-compile".to_string()),
+        Some(ChecksumClass::ScalarFailed) => Value::Str("scalar-failed".to_string()),
+    }
+}
+
+fn parse_checksum(value: Option<&Value>) -> Result<Option<ChecksumClass>, String> {
+    match value {
+        None | Some(Value::Null) => Ok(None),
+        Some(Value::Str(s)) => match s.as_str() {
+            "plausible" => Ok(Some(ChecksumClass::Plausible)),
+            "not-equivalent" => Ok(Some(ChecksumClass::NotEquivalent)),
+            "cannot-compile" => Ok(Some(ChecksumClass::CannotCompile)),
+            "scalar-failed" => Ok(Some(ChecksumClass::ScalarFailed)),
+            other => Err(format!("unknown checksum tag `{}`", other)),
+        },
+        Some(other) => Err(format!("checksum field has the wrong type: {}", other)),
+    }
+}
+
+fn render_entries(entries: &HashMap<CacheKey, CachedVerdict>) -> String {
+    let mut sorted: Vec<(&CacheKey, &CachedVerdict)> = entries.iter().collect();
+    sorted.sort_by_key(|(key, _)| **key);
+    let items: Vec<Value> = sorted
+        .into_iter()
+        .map(|(key, verdict)| {
+            Value::Object(vec![
+                ("scalar".to_string(), hex(key.scalar)),
+                ("candidate".to_string(), hex(key.candidate)),
+                ("config".to_string(), hex(key.config)),
+                (
+                    "verdict".to_string(),
+                    Value::Str(verdict_tag(verdict.verdict).to_string()),
+                ),
+                (
+                    "stage".to_string(),
+                    Value::Str(stage_tag(verdict.stage).to_string()),
+                ),
+                ("detail".to_string(), Value::Str(verdict.detail.clone())),
+                ("checksum".to_string(), checksum_value(verdict.checksum)),
+            ])
+        })
+        .collect();
+    let doc = Value::Object(vec![
+        ("version".to_string(), Value::Int(CACHE_FORMAT_VERSION)),
+        ("entries".to_string(), Value::Array(items)),
+    ]);
+    let mut text = doc.to_string();
+    text.push('\n');
+    text
+}
+
+fn parse_entries(text: &str) -> Result<HashMap<CacheKey, CachedVerdict>, String> {
+    let doc = json::parse(text).map_err(|e| e.to_string())?;
+    match doc.get("version").and_then(Value::as_int) {
+        Some(CACHE_FORMAT_VERSION) => {}
+        Some(other) => {
+            return Err(format!(
+                "cache file has format version {}, this build reads version {}; \
+                 delete the file to rebuild it",
+                other, CACHE_FORMAT_VERSION
+            ))
+        }
+        None => return Err("cache file has no `version` field".to_string()),
+    }
+    let items = doc
+        .get("entries")
+        .and_then(Value::as_array)
+        .ok_or_else(|| "cache file has no `entries` array".to_string())?;
+    let mut entries = HashMap::with_capacity(items.len());
+    for item in items {
+        let key = CacheKey {
+            scalar: parse_hex(item.get("scalar"), "scalar")?,
+            candidate: parse_hex(item.get("candidate"), "candidate")?,
+            config: parse_hex(item.get("config"), "config")?,
+        };
+        let verdict = CachedVerdict {
+            verdict: parse_verdict(
+                item.get("verdict")
+                    .and_then(Value::as_str)
+                    .ok_or("entry is missing `verdict`")?,
+            )?,
+            stage: parse_stage(
+                item.get("stage")
+                    .and_then(Value::as_str)
+                    .ok_or("entry is missing `stage`")?,
+            )?,
+            detail: item
+                .get("detail")
+                .and_then(Value::as_str)
+                .ok_or("entry is missing `detail`")?
+                .to_string(),
+            checksum: parse_checksum(item.get("checksum"))?,
+        };
+        entries.insert(key, verdict);
+    }
+    Ok(entries)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_entries() -> Vec<(CacheKey, CachedVerdict)> {
+        vec![
+            (
+                CacheKey {
+                    scalar: 1,
+                    candidate: 2,
+                    config: 3,
+                },
+                CachedVerdict {
+                    verdict: Equivalence::Equivalent,
+                    stage: Stage::CUnroll,
+                    detail: String::new(),
+                    checksum: Some(ChecksumClass::Plausible),
+                },
+            ),
+            (
+                CacheKey {
+                    scalar: u64::MAX,
+                    candidate: 0xdead_beef,
+                    config: 42,
+                },
+                CachedVerdict {
+                    verdict: Equivalence::NotEquivalent,
+                    stage: Stage::Checksum,
+                    detail: "a[0]: expected 1 but \"the\" code\nproduced 2 \\ lane".to_string(),
+                    checksum: Some(ChecksumClass::NotEquivalent),
+                },
+            ),
+            (
+                CacheKey {
+                    scalar: 7,
+                    candidate: 8,
+                    config: 9,
+                },
+                CachedVerdict {
+                    verdict: Equivalence::Inconclusive,
+                    stage: Stage::Splitting,
+                    detail: "solver exhausted its budget".to_string(),
+                    checksum: None,
+                },
+            ),
+        ]
+    }
+
+    #[test]
+    fn file_round_trip_preserves_everything() {
+        let dir = std::env::temp_dir().join(format!("lv-cache-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("verdicts.json");
+        let _ = std::fs::remove_file(&path);
+
+        let cache = VerdictCache::open(&path).unwrap();
+        assert!(cache.is_empty(), "missing file starts empty");
+        for (key, verdict) in sample_entries() {
+            cache.insert(key, verdict);
+        }
+        cache.persist().unwrap();
+        let first = std::fs::read_to_string(&path).unwrap();
+        cache.persist().unwrap();
+        let second = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(first, second, "persist is deterministic");
+
+        let reloaded = VerdictCache::open(&path).unwrap();
+        assert_eq!(reloaded.len(), 3);
+        for (key, verdict) in sample_entries() {
+            assert_eq!(reloaded.get(&key), Some(verdict));
+        }
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn corrupt_and_mismatched_files_are_errors() {
+        assert!(parse_entries("not json").is_err());
+        assert!(parse_entries("{\"entries\":[]}").is_err(), "no version");
+        let future = "{\"version\":999,\"entries\":[]}";
+        let err = parse_entries(future).unwrap_err();
+        assert!(err.contains("999"), "{}", err);
+        let bad_hash =
+            "{\"version\":1,\"entries\":[{\"scalar\":\"zz\",\"candidate\":\"0\",\"config\":\"0\",\
+             \"verdict\":\"equivalent\",\"stage\":\"alive2\",\"detail\":\"\",\"checksum\":null}]}";
+        assert!(parse_entries(bad_hash).is_err());
+    }
+
+    #[test]
+    fn in_memory_cache_round_trips_values() {
+        let cache = VerdictCache::in_memory();
+        let (key, verdict) = sample_entries().remove(0);
+        assert_eq!(cache.get(&key), None);
+        cache.insert(key, verdict.clone());
+        assert_eq!(cache.get(&key), Some(verdict));
+        assert_eq!(cache.len(), 1);
+        cache.persist().unwrap(); // no-op without a backing file
+        assert!(cache.path().is_none());
+    }
+}

@@ -21,13 +21,31 @@
 //! bit-identical verdicts regardless of the thread count — `threads = N` is
 //! purely a wall-clock optimization over `threads = 1`, which in turn equals
 //! the one-shot [`crate::check_equivalence`].
+//!
+//! On top of the worker pool the engine is *observable*, *cached*, and
+//! optionally *self-tuning*:
+//!
+//! * [`VerificationEngine::run_batch_observed`] streams job/stage/verdict
+//!   events to a [`BatchObserver`] as workers make progress;
+//! * a configured [`VerdictCache`] is consulted per job *before any stage
+//!   runs*, keyed by `(scalar, candidate, config)` content hashes; hits run
+//!   zero stages and are counted in [`BatchReport::cache_hits`];
+//! * [`VerificationEngine::run_batch_adaptive`] runs a pilot slice under the
+//!   configured budgets, derives tightened per-stage [`lv_tv::SolverBudget`]s
+//!   from the pilot's [`crate::FunnelReport`], and runs the remainder under
+//!   them (opt-in via [`EngineConfig::adaptive`]; off by default so verdicts
+//!   stay bit-identical to the sequential path).
 
+use crate::cache::{CacheKey, CachedVerdict, VerdictCache};
+use crate::funnel::{AdaptiveBudgetPolicy, FunnelReport};
+use crate::observer::{BatchObserver, NoopObserver, OffsetObserver};
 use crate::pipeline::{Equivalence, EquivalenceReport, PipelineConfig, Stage};
 use lv_cir::ast::Function;
+use lv_cir::hash::{structural_hash, structural_hash_in_env, Fnv64};
 use lv_interp::{ChecksumClass, ChecksumFilter, ChecksumOutcome};
 use lv_tv::{SymbolicStrategy, TvConfig, TvSession, TvSessionStats};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 /// Per-worker mutable state threaded through every strategy call.
@@ -184,6 +202,13 @@ pub struct EngineConfig {
     pub cascade: Vec<Stage>,
     /// Stage configurations (checksum harness + symbolic budgets).
     pub pipeline: PipelineConfig,
+    /// Verdict cache consulted per job before any stage runs. `None`
+    /// disables caching.
+    pub cache: Option<Arc<VerdictCache>>,
+    /// Opt-in adaptive budget tuning, applied by
+    /// [`VerificationEngine::run_batch_adaptive`]. `None` (the default)
+    /// keeps the configured budgets and bit-identical verdicts.
+    pub adaptive: Option<AdaptiveBudgetPolicy>,
 }
 
 impl Default for EngineConfig {
@@ -197,6 +222,8 @@ impl Default for EngineConfig {
                 Stage::Splitting,
             ],
             pipeline: PipelineConfig::default(),
+            cache: None,
+            adaptive: None,
         }
     }
 }
@@ -226,6 +253,43 @@ impl EngineConfig {
     pub fn with_threads(mut self, threads: usize) -> EngineConfig {
         self.threads = threads;
         self
+    }
+
+    /// Returns this configuration with a verdict cache attached.
+    pub fn with_cache(mut self, cache: Arc<VerdictCache>) -> EngineConfig {
+        self.cache = Some(cache);
+        self
+    }
+
+    /// Returns this configuration with adaptive budget tuning enabled.
+    pub fn with_adaptive(mut self, policy: AdaptiveBudgetPolicy) -> EngineConfig {
+        self.adaptive = Some(policy);
+        self
+    }
+
+    /// A stable fingerprint of everything that can influence a verdict: the
+    /// cascade stage list (order matters — it decides which stage answers
+    /// first), the checksum harness configuration, and the symbolic budgets.
+    ///
+    /// This is the `config` component of every [`CacheKey`]. Thread count,
+    /// the cache itself, and the adaptive *policy* are deliberately
+    /// excluded: none of them changes the verdict a given budget
+    /// configuration produces (an adaptive run caches its tuned-phase
+    /// verdicts under the tuned configuration's own fingerprint).
+    pub fn semantic_fingerprint(&self) -> u64 {
+        let mut fnv = Fnv64::new();
+        fnv.write_u64(self.cascade.len() as u64);
+        for stage in &self.cascade {
+            fnv.write_u8(match stage {
+                Stage::Checksum => 1,
+                Stage::Alive2 => 2,
+                Stage::CUnroll => 3,
+                Stage::Splitting => 4,
+            });
+        }
+        fnv.write_u64(self.pipeline.checksum.fingerprint());
+        fnv.write_u64(self.pipeline.tv.fingerprint());
+        fnv.finish()
     }
 }
 
@@ -281,10 +345,14 @@ pub struct JobReport {
     pub checksum: Option<ChecksumClass>,
     /// Per-stage telemetry, in execution order. A conclusive stage is always
     /// last — stages after an early exit never run, which is how tests pin
-    /// Algorithm 1's short-circuit ordering.
+    /// Algorithm 1's short-circuit ordering. Empty for cache hits, which run
+    /// no stages at all.
     pub traces: Vec<StageTrace>,
     /// Total wall time for the job.
     pub wall: Duration,
+    /// `true` when the verdict came from the [`VerdictCache`] and no stage
+    /// ran.
+    pub cache_hit: bool,
 }
 
 impl JobReport {
@@ -307,6 +375,11 @@ pub struct BatchReport {
     pub wall: Duration,
     /// Worker threads actually used.
     pub threads: usize,
+    /// Jobs answered from the verdict cache without running any stage.
+    pub cache_hits: usize,
+    /// Jobs that ran their cascade and stored the verdict (always `0` when
+    /// the engine has no cache).
+    pub cache_misses: usize,
 }
 
 impl BatchReport {
@@ -319,16 +392,52 @@ impl BatchReport {
             .sum()
     }
 
+    /// Total stage executions across all jobs — `0` for a fully cached
+    /// batch, which is how tests pin "a warm cache runs neither checksum nor
+    /// SMT stages".
+    pub fn stage_runs(&self) -> usize {
+        self.jobs.iter().map(|j| j.traces.len()).sum()
+    }
+
     /// Count of jobs whose final verdict is `verdict`.
     pub fn count(&self, verdict: Equivalence) -> usize {
         self.jobs.iter().filter(|j| j.verdict == verdict).count()
     }
+
+    /// The telemetry funnel over this batch's stage traces.
+    pub fn funnel(&self) -> FunnelReport {
+        FunnelReport::from_jobs(&self.jobs)
+    }
+}
+
+/// The result of [`VerificationEngine::run_batch_adaptive`]: the merged
+/// batch plus what the tuning did.
+#[derive(Debug, Clone)]
+pub struct AdaptiveBatchReport {
+    /// The merged report over all jobs, in job order.
+    pub report: BatchReport,
+    /// How many leading jobs formed the pilot (run under base budgets).
+    pub pilot_jobs: usize,
+    /// The configured budgets the pilot ran under.
+    pub base: TvConfig,
+    /// The derived budgets the remainder ran under. Equal to `base` when the
+    /// engine has no adaptive policy or the pilot produced no evidence.
+    pub tuned: TvConfig,
+    /// The pilot's funnel — the evidence the tuning was derived from.
+    pub funnel: FunnelReport,
 }
 
 /// The parallel batch verification engine.
 pub struct VerificationEngine {
     threads: usize,
     strategies: Vec<Box<dyn VerificationStrategy>>,
+    cache: Option<Arc<VerdictCache>>,
+    /// [`EngineConfig::semantic_fingerprint`] of the source configuration,
+    /// precomputed once — it is part of every cache key.
+    config_fingerprint: u64,
+    /// The source configuration, kept so the adaptive path can rebuild a
+    /// tuned engine. `None` for caller-assembled cascades.
+    config: Option<EngineConfig>,
 }
 
 impl VerificationEngine {
@@ -361,10 +470,16 @@ impl VerificationEngine {
         VerificationEngine {
             threads: config.threads,
             strategies,
+            cache: config.cache.clone(),
+            config_fingerprint: config.semantic_fingerprint(),
+            config: Some(config),
         }
     }
 
-    /// An engine with a caller-assembled cascade.
+    /// An engine with a caller-assembled cascade. Such an engine has no
+    /// configuration fingerprint, so it never caches, and
+    /// [`VerificationEngine::run_batch_adaptive`] degenerates to a plain
+    /// batch.
     pub fn with_strategies(
         threads: usize,
         strategies: Vec<Box<dyn VerificationStrategy>>,
@@ -372,6 +487,9 @@ impl VerificationEngine {
         VerificationEngine {
             threads,
             strategies,
+            cache: None,
+            config_fingerprint: 0,
+            config: None,
         }
     }
 
@@ -381,12 +499,15 @@ impl VerificationEngine {
     }
 
     /// Runs the cascade on a single pair, reusing nothing (the
-    /// [`crate::check_equivalence`] path).
+    /// [`crate::check_equivalence`] path). Consults the verdict cache like
+    /// any batched job.
     pub fn check_one(&self, scalar: &Function, candidate: &Function) -> JobReport {
         let mut worker = WorkerState::default();
         self.run_job(
+            0,
             &Job::new(scalar.name.clone(), scalar.clone(), candidate.clone()),
             &mut worker,
+            &NoopObserver,
         )
     }
 
@@ -395,21 +516,163 @@ impl VerificationEngine {
     /// Results are returned in job order. Verdicts, stages, and details are
     /// identical for every thread count; only `wall` varies.
     pub fn run_batch(&self, jobs: &[Job]) -> BatchReport {
+        self.run_batch_observed(jobs, &NoopObserver)
+    }
+
+    /// [`VerificationEngine::run_batch`], streaming progress to `observer`.
+    ///
+    /// Callbacks fire from worker threads in completion order; the reports
+    /// in the returned batch are still in job order, bit-identical to an
+    /// unobserved run.
+    pub fn run_batch_observed(&self, jobs: &[Job], observer: &dyn BatchObserver) -> BatchReport {
         let threads = self.resolved_threads(jobs.len());
         let start = Instant::now();
-        let reports = parallel_map_with(threads, jobs, WorkerState::default, |job, worker| {
-            self.run_job(job, worker)
-        });
+        let reports =
+            parallel_map_with(threads, jobs, WorkerState::default, |index, job, worker| {
+                self.run_job(index, job, worker, observer)
+            });
+        let cache_hits = reports.iter().filter(|r| r.cache_hit).count();
+        let cache_misses = if self.cache.is_some() {
+            reports.len() - cache_hits
+        } else {
+            0
+        };
         BatchReport {
             jobs: reports,
             wall: start.elapsed(),
             threads,
+            cache_hits,
+            cache_misses,
         }
     }
 
-    /// Runs the cascade on one job, collecting per-stage telemetry.
-    fn run_job(&self, job: &Job, worker: &mut WorkerState) -> JobReport {
+    /// Runs a batch with telemetry-driven budget tuning: a pilot slice runs
+    /// under the configured budgets, the [`AdaptiveBudgetPolicy`] derives
+    /// tightened budgets from the pilot's funnel, and the remaining jobs run
+    /// under them.
+    ///
+    /// Requires [`EngineConfig::adaptive`]; without it (or for a
+    /// caller-assembled cascade) this is exactly
+    /// [`Self::run_batch_observed`] with the whole batch as the pilot, so
+    /// drivers can call it unconditionally.
+    pub fn run_batch_adaptive(
+        &self,
+        jobs: &[Job],
+        observer: &dyn BatchObserver,
+    ) -> AdaptiveBatchReport {
+        let policy = self.config.as_ref().and_then(|c| c.adaptive.clone());
+        let (Some(config), Some(policy)) = (&self.config, policy) else {
+            let report = self.run_batch_observed(jobs, observer);
+            let funnel = report.funnel();
+            let base = self
+                .config
+                .as_ref()
+                .map_or_else(TvConfig::default, |c| c.pipeline.tv.clone());
+            return AdaptiveBatchReport {
+                report,
+                pilot_jobs: jobs.len(),
+                base: base.clone(),
+                tuned: base,
+                funnel,
+            };
+        };
+
+        let pilot_len = policy.pilot_len(jobs.len());
+        // The pilot must produce real stage evidence even when a warm cache
+        // could answer it: a trace-less funnel would silently fall back to
+        // base budgets, making a warm adaptive run diverge from the cold run
+        // that filled the cache. Running the pilot through a cache-less twin
+        // re-derives the identical tuned budgets, so the remainder hits the
+        // tuned-fingerprint entries the cold run stored.
+        let pilot = if config.cache.is_some() {
+            let uncached = VerificationEngine::new(EngineConfig {
+                cache: None,
+                ..config.clone()
+            });
+            uncached.run_batch_observed(&jobs[..pilot_len], observer)
+        } else {
+            self.run_batch_observed(&jobs[..pilot_len], observer)
+        };
+        let funnel = pilot.funnel();
+        let base = config.pipeline.tv.clone();
+        let tuned = policy.derive(&funnel, &base);
+
+        let mut merged = pilot;
+        if pilot_len < jobs.len() {
+            let mut tuned_config = config.clone();
+            tuned_config.adaptive = None; // the tuning is already applied
+            tuned_config.pipeline.tv = tuned.clone();
+            let tuned_engine = VerificationEngine::new(tuned_config);
+            let rest = tuned_engine.run_batch_observed(
+                &jobs[pilot_len..],
+                &OffsetObserver::new(observer, pilot_len),
+            );
+            merged.jobs.extend(rest.jobs);
+            merged.wall += rest.wall;
+            merged.threads = merged.threads.max(rest.threads);
+            merged.cache_hits += rest.cache_hits;
+            merged.cache_misses += rest.cache_misses;
+        }
+        AdaptiveBatchReport {
+            report: merged,
+            pilot_jobs: pilot_len,
+            base,
+            tuned,
+            funnel,
+        }
+    }
+
+    /// The cache key of one job under this engine's configuration, or `None`
+    /// when the engine has no cache.
+    ///
+    /// The candidate is hashed in the scalar's parameter-name environment
+    /// ([`structural_hash_in_env`]): the checksum harness and the refinement
+    /// check bind arrays by parameter name, so a candidate whose parameters
+    /// are renamed away from the scalar's is a *different* verification
+    /// problem and must not share a key with the name-matched spelling.
+    fn cache_key(&self, job: &Job) -> Option<CacheKey> {
+        self.cache.as_ref()?;
+        Some(CacheKey {
+            scalar: structural_hash(&job.scalar),
+            candidate: structural_hash_in_env(
+                &job.candidate,
+                job.scalar.params.iter().map(|p| p.name.as_str()),
+            ),
+            config: self.config_fingerprint,
+        })
+    }
+
+    /// Runs the cascade on one job, collecting per-stage telemetry. The
+    /// verdict cache is consulted first — a hit returns before any stage
+    /// (checksum included) runs.
+    fn run_job(
+        &self,
+        index: usize,
+        job: &Job,
+        worker: &mut WorkerState,
+        observer: &dyn BatchObserver,
+    ) -> JobReport {
         let job_start = Instant::now();
+        observer.job_started(index, job);
+
+        let key = self.cache_key(job);
+        if let (Some(cache), Some(key)) = (&self.cache, key) {
+            if let Some(hit) = cache.get(&key) {
+                let report = JobReport {
+                    label: job.label.clone(),
+                    verdict: hit.verdict,
+                    stage: hit.stage,
+                    detail: hit.detail,
+                    checksum: hit.checksum,
+                    traces: Vec::new(),
+                    wall: job_start.elapsed(),
+                    cache_hit: true,
+                };
+                observer.job_finished(index, &report);
+                return report;
+            }
+        }
+
         worker.checksum = None;
         let mut traces = Vec::with_capacity(self.strategies.len());
         // If no stage concludes, report the last stage that ran (Alive2 with
@@ -417,6 +680,7 @@ impl VerificationEngine {
         // pipeline's initializer).
         let mut last_stage = Stage::Alive2;
         let mut last_reason = String::new();
+        let mut conclusion: Option<(Equivalence, Stage, String)> = None;
 
         for strategy in &self.strategies {
             let stats_before = worker.session.stats;
@@ -424,48 +688,52 @@ impl VerificationEngine {
             let outcome = strategy.verify(&job.scalar, &job.candidate, worker);
             let wall = stage_start.elapsed();
             let spent = effort_delta(stats_before, worker.session.stats);
+            let conclusive = matches!(outcome, StrategyOutcome::Conclusive { .. });
+            traces.push(StageTrace {
+                stage: strategy.stage(),
+                conclusive,
+                wall,
+                conflicts: spent.0,
+                clauses: spent.1,
+            });
+            observer.stage_finished(index, job, traces.last().expect("just pushed"));
             match outcome {
                 StrategyOutcome::Conclusive { verdict, detail } => {
-                    traces.push(StageTrace {
-                        stage: strategy.stage(),
-                        conclusive: true,
-                        wall,
-                        conflicts: spent.0,
-                        clauses: spent.1,
-                    });
-                    return JobReport {
-                        label: job.label.clone(),
-                        verdict,
-                        stage: strategy.stage(),
-                        detail,
-                        checksum: worker.checksum,
-                        traces,
-                        wall: job_start.elapsed(),
-                    };
+                    conclusion = Some((verdict, strategy.stage(), detail));
+                    break;
                 }
                 StrategyOutcome::Continue { reason } => {
-                    traces.push(StageTrace {
-                        stage: strategy.stage(),
-                        conclusive: false,
-                        wall,
-                        conflicts: spent.0,
-                        clauses: spent.1,
-                    });
                     last_stage = strategy.stage();
                     last_reason = reason;
                 }
             }
         }
 
-        JobReport {
+        let (verdict, stage, detail) =
+            conclusion.unwrap_or((Equivalence::Inconclusive, last_stage, last_reason));
+        let report = JobReport {
             label: job.label.clone(),
-            verdict: Equivalence::Inconclusive,
-            stage: last_stage,
-            detail: last_reason,
+            verdict,
+            stage,
+            detail,
             checksum: worker.checksum,
             traces,
             wall: job_start.elapsed(),
+            cache_hit: false,
+        };
+        if let (Some(cache), Some(key)) = (&self.cache, key) {
+            cache.insert(
+                key,
+                CachedVerdict {
+                    verdict: report.verdict,
+                    stage: report.stage,
+                    detail: report.detail.clone(),
+                    checksum: report.checksum,
+                },
+            );
         }
+        observer.job_finished(index, &report);
+        report
     }
 }
 
@@ -491,7 +759,7 @@ where
         resolve_threads(threads, items.len()),
         items,
         || (),
-        |item, _| f(item),
+        |_, item, _| f(item),
     )
 }
 
@@ -506,7 +774,9 @@ fn resolve_threads(configured: usize, items: usize) -> usize {
 /// The work-queue core shared by [`parallel_map`] and
 /// [`VerificationEngine::run_batch`]: workers claim item indices from an
 /// atomic cursor, each carrying per-worker state built by `init` (the
-/// engine's reusable SMT session; `()` for the plain map).
+/// engine's reusable SMT session; `()` for the plain map). The claimed index
+/// is passed to `f` so the engine can label observer events with the job's
+/// position in the batch.
 ///
 /// `threads` must already be resolved and clamped by the caller.
 fn parallel_map_with<T, R, S, I, F>(threads: usize, items: &[T], init: I, f: F) -> Vec<R>
@@ -514,11 +784,15 @@ where
     T: Sync,
     R: Send,
     I: Fn() -> S + Sync,
-    F: Fn(&T, &mut S) -> R + Sync,
+    F: Fn(usize, &T, &mut S) -> R + Sync,
 {
     if threads <= 1 {
         let mut state = init();
-        return items.iter().map(|item| f(item, &mut state)).collect();
+        return items
+            .iter()
+            .enumerate()
+            .map(|(index, item)| f(index, item, &mut state))
+            .collect();
     }
     let results: Vec<Mutex<Option<R>>> = items.iter().map(|_| Mutex::new(None)).collect();
     let cursor = AtomicUsize::new(0);
@@ -529,7 +803,7 @@ where
                 loop {
                     let index = cursor.fetch_add(1, Ordering::Relaxed);
                     let Some(item) = items.get(index) else { break };
-                    let value = f(item, &mut state);
+                    let value = f(index, item, &mut state);
                     *results[index].lock().unwrap() = Some(value);
                 }
             });
@@ -655,5 +929,131 @@ mod tests {
         assert_eq!(doubled, (0..100).map(|x| x * 2).collect::<Vec<_>>());
         let empty: Vec<u64> = Vec::new();
         assert!(parallel_map(4, &empty, |&x: &u64| x).is_empty());
+    }
+
+    #[test]
+    fn warm_cache_reruns_with_zero_stage_runs_and_identical_verdicts() {
+        let scalar = parse_function(S000).unwrap();
+        let good = vectorize_correct(&scalar).unwrap();
+        let wrong = parse_function(S000_WRONG).unwrap();
+        let jobs = vec![
+            Job::new("good", scalar.clone(), good),
+            Job::new("wrong", scalar.clone(), wrong),
+        ];
+        let cache = Arc::new(VerdictCache::in_memory());
+        let engine =
+            VerificationEngine::new(EngineConfig::full(quick_pipeline()).with_cache(cache.clone()));
+
+        let cold = engine.run_batch(&jobs);
+        assert_eq!(cold.cache_hits, 0);
+        assert_eq!(cold.cache_misses, 2);
+        assert!(cold.stage_runs() > 0);
+        assert_eq!(cache.len(), 2);
+
+        let warm = engine.run_batch(&jobs);
+        assert_eq!(warm.cache_hits, 2);
+        assert_eq!(warm.cache_misses, 0);
+        assert_eq!(warm.stage_runs(), 0, "no checksum or SMT stage may run");
+        assert_eq!(warm.total_conflicts(), 0);
+        for (c, w) in cold.jobs.iter().zip(&warm.jobs) {
+            assert_eq!(c.verdict, w.verdict);
+            assert_eq!(c.stage, w.stage);
+            assert_eq!(c.detail, w.detail);
+            assert_eq!(c.checksum, w.checksum);
+            assert!(!c.cache_hit);
+            assert!(w.cache_hit);
+        }
+
+        // An engine without the cache reports no hit/miss accounting.
+        let uncached = VerificationEngine::new(EngineConfig::full(quick_pipeline()));
+        let batch = uncached.run_batch(&jobs);
+        assert_eq!((batch.cache_hits, batch.cache_misses), (0, 0));
+    }
+
+    #[test]
+    fn config_changes_invalidate_cache_keys() {
+        let scalar = parse_function(S000).unwrap();
+        let good = vectorize_correct(&scalar).unwrap();
+        let jobs = vec![Job::new("good", scalar.clone(), good)];
+        let cache = Arc::new(VerdictCache::in_memory());
+        let engine =
+            VerificationEngine::new(EngineConfig::full(quick_pipeline()).with_cache(cache.clone()));
+        engine.run_batch(&jobs);
+        assert_eq!(cache.len(), 1);
+
+        // A different checksum configuration is a different verification
+        // problem: same jobs, fresh misses, second entry.
+        let mut other = quick_pipeline();
+        other.checksum.trials = 2;
+        let engine2 = VerificationEngine::new(EngineConfig::full(other).with_cache(cache.clone()));
+        let batch = engine2.run_batch(&jobs);
+        assert_eq!(batch.cache_hits, 0);
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn observer_sees_every_job_and_stage() {
+        use crate::observer::CountingObserver;
+        let scalar = parse_function(S000).unwrap();
+        let good = vectorize_correct(&scalar).unwrap();
+        let wrong = parse_function(S000_WRONG).unwrap();
+        let jobs = vec![
+            Job::new("good", scalar.clone(), good),
+            Job::new("wrong", scalar.clone(), wrong),
+        ];
+        let engine = VerificationEngine::new(EngineConfig::full(quick_pipeline()).with_threads(2));
+        let counter = CountingObserver::new();
+        let batch = engine.run_batch_observed(&jobs, &counter);
+        assert_eq!(counter.finished_count(), 2);
+        assert_eq!(counter.started.load(Ordering::Relaxed), 2);
+        assert_eq!(
+            counter.stage_count(),
+            batch.stage_runs(),
+            "one callback per executed stage"
+        );
+        assert_eq!(counter.cache_hit_count(), 0);
+    }
+
+    #[test]
+    fn adaptive_run_tightens_budgets_and_keeps_verdicts() {
+        use crate::funnel::AdaptiveBudgetPolicy;
+        use crate::observer::NoopObserver;
+        let scalar = parse_function(S000).unwrap();
+        let good = vectorize_correct(&scalar).unwrap();
+        let jobs: Vec<Job> = (0..6)
+            .map(|i| Job::new(format!("job{}", i), scalar.clone(), good.clone()))
+            .collect();
+        let policy = AdaptiveBudgetPolicy {
+            min_pilot: 2,
+            pilot_fraction: 0.3,
+            ..AdaptiveBudgetPolicy::default()
+        };
+        let engine =
+            VerificationEngine::new(EngineConfig::full(quick_pipeline()).with_adaptive(policy));
+        let adaptive = engine.run_batch_adaptive(&jobs, &NoopObserver);
+        assert_eq!(adaptive.pilot_jobs, 2);
+        assert_eq!(adaptive.report.jobs.len(), 6);
+        // Tuning only tightens.
+        assert!(
+            adaptive.tuned.alive2_budget.max_conflicts <= adaptive.base.alive2_budget.max_conflicts
+        );
+        assert!(
+            adaptive.tuned.cunroll_budget.max_conflicts
+                <= adaptive.base.cunroll_budget.max_conflicts
+        );
+        // Identical jobs stay provable under the tuned budgets.
+        assert_eq!(adaptive.report.count(Equivalence::Equivalent), 6);
+        for (i, report) in adaptive.report.jobs.iter().enumerate() {
+            assert_eq!(report.label, format!("job{}", i), "job order is kept");
+        }
+        // Without a policy, the adaptive entry point degenerates to a plain
+        // batch with everything as the pilot.
+        let plain = VerificationEngine::new(EngineConfig::full(quick_pipeline()));
+        let report = plain.run_batch_adaptive(&jobs, &NoopObserver);
+        assert_eq!(report.pilot_jobs, 6);
+        assert_eq!(
+            report.tuned.alive2_budget.max_conflicts,
+            report.base.alive2_budget.max_conflicts
+        );
     }
 }

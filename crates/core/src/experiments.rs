@@ -10,8 +10,22 @@
 //! `(kernel × candidate)` jobs, and fanned out over the engine's worker
 //! pool. Verdicts are bit-identical for any [`ExperimentConfig::threads`]
 //! setting; the thread count only changes wall-clock time.
+//!
+//! Every driver also has a `*_with` variant taking a [`BatchObserver`]: the
+//! driver forwards its engine events (and, for Figure 6, one synthesized
+//! job-finished event per computed row) to the observer as workers finish,
+//! so a [`StreamObserver`](crate::StreamObserver) renders the table
+//! incrementally while the sweep is still running. The drivers themselves
+//! accumulate their rows through the same callbacks instead of
+//! post-processing the finished [`BatchReport`](crate::BatchReport), so the
+//! streamed view and the returned table can never disagree. A cache and an
+//! adaptive-budget policy configured on [`ExperimentConfig`] are honored by
+//! every engine run a driver performs.
 
-use crate::engine::{parallel_map, EngineConfig, Job, VerificationEngine};
+use crate::cache::VerdictCache;
+use crate::engine::{parallel_map, EngineConfig, Job, JobReport, VerificationEngine};
+use crate::funnel::{AdaptiveBudgetPolicy, FunnelReport};
+use crate::observer::{BatchObserver, NoopObserver, TeeObserver};
 use crate::passk::pass_at_k_curve;
 use crate::pipeline::{Equivalence, PipelineConfig, Stage};
 use lv_agents::{fsm_candidate_batch, sample_completion_batch, FsmConfig, LlmConfig, SyntheticLlm};
@@ -20,6 +34,8 @@ use lv_cir::ast::Function;
 use lv_interp::{ChecksumClass, ChecksumConfig};
 use lv_tsvc::{Category, Kernel, KERNELS, PAPER_SUITE_SIZE};
 use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
 
 /// Common experiment configuration.
 #[derive(Debug, Clone)]
@@ -39,6 +55,12 @@ pub struct ExperimentConfig {
     /// Verification-engine worker threads (`0` = one per CPU). Any value
     /// yields identical tables/figures; it only affects wall-clock time.
     pub threads: usize,
+    /// Verdict cache shared by every engine a driver builds. `None` (the
+    /// default) disables caching.
+    pub cache: Option<Arc<VerdictCache>>,
+    /// Opt-in adaptive budget tuning for the Table 3 funnel. `None` (the
+    /// default) keeps the configured budgets and bit-identical verdicts.
+    pub adaptive: Option<AdaptiveBudgetPolicy>,
 }
 
 impl Default for ExperimentConfig {
@@ -51,6 +73,8 @@ impl Default for ExperimentConfig {
             pipeline: PipelineConfig::default(),
             performance_n: 32_000,
             threads: 0,
+            cache: None,
+            adaptive: None,
         }
     }
 }
@@ -81,17 +105,60 @@ impl ExperimentConfig {
     /// The engine running Algorithm 1's full cascade under this
     /// configuration (Table 3, Figure 1).
     pub fn engine(&self) -> VerificationEngine {
-        VerificationEngine::new(
-            EngineConfig::full(self.pipeline.clone()).with_threads(self.threads),
-        )
+        let mut engine = EngineConfig::full(self.pipeline.clone()).with_threads(self.threads);
+        engine.cache = self.cache.clone();
+        engine.adaptive = self.adaptive.clone();
+        VerificationEngine::new(engine)
     }
 
     /// The engine running the checksum-only cascade under this
     /// configuration (Table 2, Figure 5, the Section 4.4 evaluation).
+    /// Shares [`ExperimentConfig::cache`] with the full-cascade engine —
+    /// the two cascades have different configuration fingerprints, so their
+    /// entries never collide.
     pub fn checksum_engine(&self) -> VerificationEngine {
-        VerificationEngine::new(
-            EngineConfig::checksum_only(self.checksum.clone()).with_threads(self.threads),
-        )
+        let mut engine =
+            EngineConfig::checksum_only(self.checksum.clone()).with_threads(self.threads);
+        engine.cache = self.cache.clone();
+        VerificationEngine::new(engine)
+    }
+}
+
+/// Accumulates per-job checksum classifications through observer callbacks,
+/// so Table 2 / Figure 5 / Section 4.4 build their counts as jobs finish.
+struct ClassAccumulator<'a> {
+    /// Job index -> `(kernel index, completion index)`.
+    slots: &'a [(usize, usize)],
+    /// `outcomes[kernel][completion]` classification code
+    /// (0 = plausible, 1 = not equivalent, 2 = cannot compile).
+    outcomes: Mutex<Vec<Vec<u8>>>,
+}
+
+impl<'a> ClassAccumulator<'a> {
+    fn new(slots: &'a [(usize, usize)], kernels: usize) -> ClassAccumulator<'a> {
+        let mut sizes = vec![0usize; kernels];
+        for &(i, j) in slots {
+            sizes[i] = sizes[i].max(j + 1);
+        }
+        ClassAccumulator {
+            slots,
+            outcomes: Mutex::new(sizes.into_iter().map(|n| vec![1u8; n]).collect()),
+        }
+    }
+
+    fn into_outcomes(self) -> Vec<Vec<u8>> {
+        self.outcomes.into_inner().unwrap()
+    }
+}
+
+impl BatchObserver for ClassAccumulator<'_> {
+    fn job_finished(&self, index: usize, report: &JobReport) {
+        let (i, j) = self.slots[index];
+        self.outcomes.lock().unwrap()[i][j] = match report.checksum {
+            Some(ChecksumClass::Plausible) => 0,
+            Some(ChecksumClass::CannotCompile) => 2,
+            _ => 1,
+        };
     }
 }
 
@@ -174,23 +241,30 @@ impl Table2 {
 /// completions without feedback and classify the best outcome within the
 /// first `k` completions for each requested `k`.
 pub fn table2(config: &ExperimentConfig, k_values: &[usize]) -> Table2 {
+    table2_with(config, k_values, &NoopObserver)
+}
+
+/// [`table2`], streaming per-job engine events to `observer`.
+pub fn table2_with(
+    config: &ExperimentConfig,
+    k_values: &[usize],
+    observer: &dyn BatchObserver,
+) -> Table2 {
     let kernels = config.kernels();
     let max_k = k_values.iter().copied().max().unwrap_or(1);
     let scalars: Vec<Function> = kernels.iter().map(|k| k.function()).collect();
     // Candidate generation is sequential (the sampler is stateful);
-    // classification fans out over the engine's checksum-only cascade.
+    // classification fans out over the engine's checksum-only cascade, and
+    // the per-kernel outcomes accumulate as jobs finish.
     let batch = sample_completion_batch(&scalars, &config.llm_config(), max_k);
     let jobs = completion_jobs(&batch, &kernels, &scalars);
-    let reports = config.checksum_engine().run_batch(&jobs);
+    let slots: Vec<(usize, usize)> = batch.jobs().map(|(i, j, _)| (i, j)).collect();
+    let accumulator = ClassAccumulator::new(&slots, kernels.len());
+    config
+        .checksum_engine()
+        .run_batch_observed(&jobs, &TeeObserver(&accumulator, observer));
     // outcome per kernel per completion index: 0 = plausible, 1 = not equiv, 2 = cannot compile
-    let mut outcomes: Vec<Vec<u8>> = vec![Vec::with_capacity(max_k); kernels.len()];
-    for ((i, _, _), report) in batch.jobs().zip(&reports.jobs) {
-        outcomes[i].push(match report.checksum {
-            Some(ChecksumClass::Plausible) => 0,
-            Some(ChecksumClass::CannotCompile) => 2,
-            _ => 1,
-        });
-    }
+    let outcomes = accumulator.into_outcomes();
     let columns = k_values
         .iter()
         .map(|&k| {
@@ -243,17 +317,30 @@ impl Figure5 {
 
 /// Runs the pass@k experiment with `n_samples` completions per kernel.
 pub fn figure5(config: &ExperimentConfig, n_samples: usize, ks: &[usize]) -> Figure5 {
+    figure5_with(config, n_samples, ks, &NoopObserver)
+}
+
+/// [`figure5`], streaming per-job engine events to `observer`.
+pub fn figure5_with(
+    config: &ExperimentConfig,
+    n_samples: usize,
+    ks: &[usize],
+    observer: &dyn BatchObserver,
+) -> Figure5 {
     let kernels = config.kernels();
     let scalars: Vec<Function> = kernels.iter().map(|k| k.function()).collect();
     let batch = sample_completion_batch(&scalars, &config.llm_config(), n_samples);
     let jobs = completion_jobs(&batch, &kernels, &scalars);
-    let reports = config.checksum_engine().run_batch(&jobs);
-    let mut per_kernel_correct = vec![0usize; kernels.len()];
-    for ((i, _, _), report) in batch.jobs().zip(&reports.jobs) {
-        if report.checksum == Some(ChecksumClass::Plausible) {
-            per_kernel_correct[i] += 1;
-        }
-    }
+    let slots: Vec<(usize, usize)> = batch.jobs().map(|(i, j, _)| (i, j)).collect();
+    let accumulator = ClassAccumulator::new(&slots, kernels.len());
+    config
+        .checksum_engine()
+        .run_batch_observed(&jobs, &TeeObserver(&accumulator, observer));
+    let per_kernel_correct: Vec<usize> = accumulator
+        .into_outcomes()
+        .iter()
+        .map(|row| row.iter().filter(|&&o| o == 0).count())
+        .collect();
     Figure5 {
         points: pass_at_k_curve(&per_kernel_correct, n_samples, ks),
     }
@@ -287,6 +374,14 @@ pub struct Table3 {
     pub verdicts: Vec<KernelVerdict>,
     /// Number of kernels evaluated.
     pub suite: usize,
+    /// The engine batch behind the funnel: per-job telemetry, wall time,
+    /// and the cache hit/miss counters.
+    pub batch: crate::BatchReport,
+    /// The telemetry funnel over the batch's stage traces.
+    pub funnel: FunnelReport,
+    /// The derived budgets the post-pilot jobs ran under, when
+    /// [`ExperimentConfig::adaptive`] was set.
+    pub tuned_budgets: Option<lv_tv::TvConfig>,
 }
 
 /// The final verdict for one kernel.
@@ -318,10 +413,39 @@ impl Table3 {
     }
 }
 
+/// Accumulates Table 3's per-kernel verdicts through observer callbacks.
+struct Table3Accumulator<'a> {
+    /// Job index -> kernel index.
+    job_indices: &'a [usize],
+    jobs: &'a [Job],
+    kernels: &'a [&'static Kernel],
+    verdicts: Mutex<Vec<KernelVerdict>>,
+}
+
+impl BatchObserver for Table3Accumulator<'_> {
+    fn job_finished(&self, index: usize, report: &JobReport) {
+        let i = self.job_indices[index];
+        self.verdicts.lock().unwrap()[i] = KernelVerdict {
+            name: self.kernels[i].name,
+            category: self.kernels[i].category,
+            verdict: report.verdict,
+            stage: report.stage,
+            candidate: Some(self.jobs[index].candidate.clone()),
+        };
+    }
+}
+
 /// Runs the full verification funnel: the FSM produces (at most) one
 /// plausible candidate per kernel, which is then pushed through Algorithm 1's
 /// symbolic stages.
 pub fn table3(config: &ExperimentConfig) -> Table3 {
+    table3_with(config, &NoopObserver)
+}
+
+/// [`table3`], streaming per-job engine events to `observer`. Honors
+/// [`ExperimentConfig::adaptive`]: with a policy set, the funnel batch runs
+/// through [`VerificationEngine::run_batch_adaptive`].
+pub fn table3_with(config: &ExperimentConfig, observer: &dyn BatchObserver) -> Table3 {
     let kernels = config.kernels();
     let scalars: Vec<Function> = kernels.iter().map(|k| k.function()).collect();
     let mut llm = config.llm();
@@ -343,27 +467,31 @@ pub fn table3(config: &ExperimentConfig) -> Table3 {
             jobs.push(Job::new(kernels[i].name, scalars[i].clone(), candidate));
         }
     }
-    let batch = config.engine().run_batch(&jobs);
 
-    let mut verdicts: Vec<KernelVerdict> = kernels
-        .iter()
-        .map(|kernel| KernelVerdict {
-            name: kernel.name,
-            category: kernel.category,
-            verdict: Equivalence::NotEquivalent,
-            stage: Stage::Checksum,
-            candidate: None,
-        })
-        .collect();
-    for ((&i, job), report) in job_indices.iter().zip(jobs).zip(&batch.jobs) {
-        verdicts[i] = KernelVerdict {
-            name: kernels[i].name,
-            category: kernels[i].category,
-            verdict: report.verdict,
-            stage: report.stage,
-            candidate: Some(job.candidate),
-        };
-    }
+    let accumulator = Table3Accumulator {
+        job_indices: &job_indices,
+        jobs: &jobs,
+        kernels: &kernels,
+        verdicts: Mutex::new(
+            kernels
+                .iter()
+                .map(|kernel| KernelVerdict {
+                    name: kernel.name,
+                    category: kernel.category,
+                    verdict: Equivalence::NotEquivalent,
+                    stage: Stage::Checksum,
+                    candidate: None,
+                })
+                .collect(),
+        ),
+    };
+    let adaptive = config
+        .engine()
+        .run_batch_adaptive(&jobs, &TeeObserver(&accumulator, observer));
+    let verdicts = accumulator.verdicts.into_inner().unwrap();
+    let batch = adaptive.report;
+    let funnel = batch.funnel();
+    let tuned_budgets = config.adaptive.as_ref().map(|_| adaptive.tuned);
 
     // Funnel accounting in the paper's style.
     let total = kernels.len();
@@ -417,6 +545,9 @@ pub fn table3(config: &ExperimentConfig) -> Table3 {
         rows,
         verdicts,
         suite: total,
+        batch,
+        funnel,
+        tuned_budgets,
     }
 }
 
@@ -479,6 +610,22 @@ impl SpeedupFigure {
 /// `verdicts` normally comes from [`table3`]; only kernels with an
 /// `Equivalent` verdict and a candidate are plotted (57 of 149 in the paper).
 pub fn figure6(config: &ExperimentConfig, verdicts: &[KernelVerdict]) -> SpeedupFigure {
+    figure6_with(config, verdicts, &NoopObserver)
+}
+
+/// [`figure6`], streaming one row per kernel to `observer` as the cost model
+/// finishes it.
+///
+/// Figure 6 runs no verification of its own (its inputs are already
+/// verified), so each completed row is reported as a synthesized
+/// [`BatchObserver::job_finished`] event: the verdict and stage are the
+/// kernel's Table 3 result, `detail` carries the rendered speedups, and
+/// there are no traces.
+pub fn figure6_with(
+    config: &ExperimentConfig,
+    verdicts: &[KernelVerdict],
+    observer: &dyn BatchObserver,
+) -> SpeedupFigure {
     let costs = CostTable::default();
     let verified: Vec<&KernelVerdict> = verdicts
         .iter()
@@ -488,9 +635,11 @@ pub fn figure6(config: &ExperimentConfig, verdicts: &[KernelVerdict]) -> Speedup
                 && lv_tsvc::kernel(v.name).is_some()
         })
         .collect();
+    let indexed: Vec<(usize, &KernelVerdict)> = verified.into_iter().enumerate().collect();
     // Cost-model evaluations are independent per kernel: reuse the engine's
     // work-queue pattern to compute the rows in parallel.
-    let rows = parallel_map(config.threads, &verified, |v| {
+    let rows = parallel_map(config.threads, &indexed, |&(index, v)| {
+        let row_start = Instant::now();
         let candidate = v.candidate.as_ref().expect("filtered above");
         let scalar = lv_tsvc::kernel(v.name).expect("filtered above").function();
         let mut speedup = HashMap::new();
@@ -506,11 +655,30 @@ pub fn figure6(config: &ExperimentConfig, verdicts: &[KernelVerdict]) -> Speedup
                 ),
             );
         }
-        SpeedupRow {
+        let row = SpeedupRow {
             name: v.name,
             category: v.category,
             speedup,
-        }
+        };
+        observer.job_finished(
+            index,
+            &JobReport {
+                label: v.name.to_string(),
+                verdict: v.verdict,
+                stage: v.stage,
+                detail: format!(
+                    "vs GCC {:.2}, vs Clang {:.2}, vs ICC {:.2}",
+                    row.speedup[&Compiler::Gcc],
+                    row.speedup[&Compiler::Clang],
+                    row.speedup[&Compiler::Icc],
+                ),
+                checksum: None,
+                traces: Vec::new(),
+                wall: row_start.elapsed(),
+                cache_hit: false,
+            },
+        );
+        row
     });
     SpeedupFigure { rows }
 }
@@ -522,11 +690,19 @@ pub fn figure6(config: &ExperimentConfig, verdicts: &[KernelVerdict]) -> Speedup
 /// (possible under severely reduced solver budgets) yields an empty figure
 /// rather than a panic.
 pub fn figure1(config: &ExperimentConfig) -> SpeedupFigure {
+    figure1_with(config, &NoopObserver)
+}
+
+/// [`figure1`], streaming the verification of the single s212 job (and its
+/// stage-by-stage progress) to `observer`.
+pub fn figure1_with(config: &ExperimentConfig, observer: &dyn BatchObserver) -> SpeedupFigure {
     let kernel = lv_tsvc::kernel("s212").expect("s212 is part of the suite");
     let scalar = kernel.function();
     let candidate =
         lv_agents::vectorize_correct(&scalar).expect("s212 is a supported kernel shape");
-    let report = config.engine().check_one(&scalar, &candidate);
+    let jobs = [Job::new("s212", scalar.clone(), candidate.clone())];
+    let batch = config.engine().run_batch_observed(&jobs, observer);
+    let report = &batch.jobs[0];
     if report.verdict != Equivalence::Equivalent {
         return SpeedupFigure { rows: Vec::new() };
     }
@@ -593,17 +769,33 @@ impl FsmEvaluation {
 
 /// Runs the FSM evaluation.
 pub fn fsm_evaluation(config: &ExperimentConfig) -> FsmEvaluation {
+    fsm_evaluation_with(config, &NoopObserver)
+}
+
+/// [`fsm_evaluation`], streaming the plain-sampling classification jobs to
+/// `observer` (the FSM feedback loop itself is sequential per kernel and
+/// produces no engine events).
+pub fn fsm_evaluation_with(
+    config: &ExperimentConfig,
+    observer: &dyn BatchObserver,
+) -> FsmEvaluation {
     let kernels = config.kernels();
     let scalars: Vec<Function> = kernels.iter().map(|k| k.function()).collect();
 
-    // Plain single-shot sampling, classified by the engine's checksum stage.
+    // Plain single-shot sampling, classified by the engine's checksum stage;
+    // the plausible count accumulates as jobs finish.
     let batch = sample_completion_batch(&scalars, &config.llm_config(), 1);
     let jobs = completion_jobs(&batch, &kernels, &scalars);
-    let reports = config.checksum_engine().run_batch(&jobs);
-    let plain = reports
-        .jobs
+    let slots: Vec<(usize, usize)> = batch.jobs().map(|(i, j, _)| (i, j)).collect();
+    let accumulator = ClassAccumulator::new(&slots, kernels.len());
+    config
+        .checksum_engine()
+        .run_batch_observed(&jobs, &TeeObserver(&accumulator, observer));
+    let plain = accumulator
+        .into_outcomes()
         .iter()
-        .filter(|r| r.checksum == Some(ChecksumClass::Plausible))
+        .flatten()
+        .filter(|&&o| o == 0)
         .count();
 
     // The FSM's checksum feedback loop is inherently sequential per kernel.

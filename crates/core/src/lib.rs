@@ -1,4 +1,4 @@
-//! # lv-core — the parallel batch verification engine and experiment drivers
+//! # lv-core — the observable, cached, self-tuning batch verification engine
 //!
 //! This crate ties the substrates together into the system the paper
 //! describes, built around a batch engine rather than a hard-coded loop:
@@ -11,6 +11,25 @@
 //!   records structured telemetry ([`StageTrace`]: stage reached, SAT
 //!   conflicts, CNF clauses, wall time). Verdicts are bit-identical for any
 //!   thread count — parallelism is purely a wall-clock win;
+//! * [`observer`] — the [`BatchObserver`] trait: job-started /
+//!   stage-finished / job-finished callbacks fired from the worker pool as
+//!   a batch progresses, so sweeps render incrementally
+//!   ([`StreamObserver`]) instead of waiting on the full [`BatchReport`].
+//!   Every experiment driver has a `*_with` variant taking an observer;
+//! * [`cache`] — the content-addressed [`VerdictCache`]: an in-memory +
+//!   JSON-file verdict store keyed by
+//!   `(scalar hash, candidate hash, config hash)` using
+//!   [`lv_cir::structural_hash`] (alpha-renaming-insensitive) and
+//!   [`EngineConfig::semantic_fingerprint`]. The engine consults it per job
+//!   before *any* stage runs; a warmed cache re-runs a whole sweep with
+//!   zero checksum/SMT executions and bit-identical verdicts. See the
+//!   module docs for the file format and invalidation rules;
+//! * [`funnel`] — the first consumer of the telemetry: [`FunnelReport`]
+//!   aggregates per-stage reach/kill/conflict distributions over a batch,
+//!   and [`AdaptiveBudgetPolicy`] derives tightened per-stage
+//!   [`lv_tv::SolverBudget`]s from it
+//!   ([`VerificationEngine::run_batch_adaptive`]; opt-in, default off so
+//!   verdicts stay bit-identical);
 //! * [`pipeline`] — Algorithm 1 ([`check_equivalence`]) as a thin wrapper
 //!   over a single-job engine run, so the one-shot and batched paths share
 //!   one cascade implementation;
@@ -20,7 +39,8 @@
 //!   Figure 6 ([`figure6`]) and the Section 4.4 FSM evaluation
 //!   ([`fsm_evaluation`]); all of them generate candidates sequentially
 //!   (the synthetic LLM is a seeded, stateful sampler) and verify through
-//!   the engine's work queue.
+//!   the engine's work queue, streaming per-job results through the
+//!   observer they are given.
 //!
 //! # One-shot example
 //!
@@ -38,11 +58,12 @@
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 //!
-//! # Batch example
+//! # Cached batch example
 //!
 //! ```
-//! use lv_core::{EngineConfig, Equivalence, Job, PipelineConfig, VerificationEngine};
+//! use lv_core::{EngineConfig, Equivalence, Job, PipelineConfig, VerdictCache, VerificationEngine};
 //! use lv_agents::vectorize_correct;
+//! use std::sync::Arc;
 //!
 //! let jobs: Vec<Job> = ["s000", "s112", "s212"]
 //!     .iter()
@@ -52,26 +73,44 @@
 //!         Job::new(*name, scalar, candidate)
 //!     })
 //!     .collect();
-//! let engine = VerificationEngine::new(EngineConfig::full(PipelineConfig::default()));
-//! let batch = engine.run_batch(&jobs);
-//! assert_eq!(batch.count(Equivalence::Equivalent), 3);
+//! let cache = Arc::new(VerdictCache::in_memory());
+//! let engine = VerificationEngine::new(
+//!     EngineConfig::full(PipelineConfig::default()).with_cache(cache.clone()),
+//! );
+//! let cold = engine.run_batch(&jobs);
+//! assert_eq!(cold.count(Equivalence::Equivalent), 3);
+//! assert_eq!(cold.cache_misses, 3);
+//! // The second run answers every job from the cache: zero stages run.
+//! let warm = engine.run_batch(&jobs);
+//! assert_eq!(warm.cache_hits, 3);
+//! assert_eq!(warm.stage_runs(), 0);
 //! ```
 
 #![warn(missing_docs)]
 
+pub mod cache;
 pub mod engine;
 pub mod experiments;
+pub mod funnel;
+pub mod observer;
 pub mod passk;
 pub mod pipeline;
 
+pub use cache::{CacheKey, CachedVerdict, VerdictCache, CACHE_FORMAT_VERSION};
 pub use engine::{
-    parallel_map, BatchReport, ChecksumStage, EngineConfig, Job, JobReport, StageTrace,
-    StrategyOutcome, SymbolicStage, VerificationEngine, VerificationStrategy, WorkerState,
+    parallel_map, AdaptiveBatchReport, BatchReport, ChecksumStage, EngineConfig, Job, JobReport,
+    StageTrace, StrategyOutcome, SymbolicStage, VerificationEngine, VerificationStrategy,
+    WorkerState,
 };
 pub use experiments::{
-    figure1, figure5, figure6, fsm_evaluation, scale_to_paper, table2, table3, ExperimentConfig,
-    Figure5, FsmEvaluation, KernelVerdict, SpeedupFigure, SpeedupRow, Table2, Table2Column, Table3,
-    Table3Row,
+    figure1, figure1_with, figure5, figure5_with, figure6, figure6_with, fsm_evaluation,
+    fsm_evaluation_with, scale_to_paper, table2, table2_with, table3, table3_with,
+    ExperimentConfig, Figure5, FsmEvaluation, KernelVerdict, SpeedupFigure, SpeedupRow, Table2,
+    Table2Column, Table3, Table3Row,
+};
+pub use funnel::{AdaptiveBudgetPolicy, FunnelReport, StageFunnel, HISTOGRAM_BUCKETS};
+pub use observer::{
+    BatchObserver, CountingObserver, NoopObserver, OffsetObserver, StreamObserver, TeeObserver,
 };
 pub use passk::{pass_at_k, pass_at_k_curve};
 pub use pipeline::{check_equivalence, Equivalence, EquivalenceReport, PipelineConfig, Stage};

@@ -54,6 +54,30 @@ impl Default for ChecksumConfig {
     }
 }
 
+impl ChecksumConfig {
+    /// A stable 64-bit fingerprint of every field that can influence an
+    /// outcome, folded into the engine-configuration hash that keys the
+    /// persistent verdict cache. Overrides are hashed in sorted order so the
+    /// fingerprint is independent of `HashMap` iteration order.
+    pub fn fingerprint(&self) -> u64 {
+        let mut fnv = lv_cir::Fnv64::new();
+        fnv.write_i64(i64::from(self.n));
+        fnv.write_u64(u64::from(self.trials));
+        fnv.write_u64(self.seed);
+        fnv.write_u64(self.slack as u64);
+        fnv.write_i64(i64::from(self.value_range.0));
+        fnv.write_i64(i64::from(self.value_range.1));
+        let mut overrides: Vec<(&String, &i32)> = self.scalar_overrides.iter().collect();
+        overrides.sort();
+        for (name, value) in overrides {
+            fnv.write_str(name);
+            fnv.write_i64(i64::from(*value));
+        }
+        fnv.write_u64(self.exec.max_steps);
+        fnv.finish()
+    }
+}
+
 /// Why a pair of programs was found not equivalent.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Mismatch {

@@ -12,7 +12,7 @@ use std::collections::HashMap;
 use std::fmt;
 
 /// Resource limits for one `check` call.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SolverBudget {
     /// Maximum SAT conflicts before returning [`CheckResult::Unknown`].
     pub max_conflicts: u64,
@@ -38,6 +38,43 @@ impl SolverBudget {
             max_conflicts: 20_000,
             max_clauses: 400_000,
         }
+    }
+
+    /// The componentwise minimum of two budgets — used by adaptive tuning,
+    /// which only ever *tightens* a configured budget so that a tuned run can
+    /// never spend more than the base configuration allowed.
+    pub fn min_with(self, other: SolverBudget) -> SolverBudget {
+        SolverBudget {
+            max_conflicts: self.max_conflicts.min(other.max_conflicts),
+            max_clauses: self.max_clauses.min(other.max_clauses),
+        }
+    }
+
+    /// The componentwise maximum of two budgets — used to apply floors.
+    pub fn max_with(self, other: SolverBudget) -> SolverBudget {
+        SolverBudget {
+            max_conflicts: self.max_conflicts.max(other.max_conflicts),
+            max_clauses: self.max_clauses.max(other.max_clauses),
+        }
+    }
+
+    /// A stable 64-bit fingerprint of the budget, folded into the engine
+    /// configuration hash that keys the persistent verdict cache (a changed
+    /// budget can change `Inconclusive` outcomes, so it must invalidate
+    /// cached verdicts).
+    pub fn fingerprint(self) -> u64 {
+        // FNV-1a over the two limits, little-endian.
+        let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in self
+            .max_conflicts
+            .to_le_bytes()
+            .into_iter()
+            .chain((self.max_clauses as u64).to_le_bytes())
+        {
+            hash ^= u64::from(b);
+            hash = hash.wrapping_mul(0x100_0000_01b3);
+        }
+        hash
     }
 }
 

@@ -23,12 +23,28 @@ impl Sort {
     ///
     /// # Panics
     ///
-    /// Panics when called on `Bool`.
+    /// Panics when called on `Bool`. Code paths that can receive terms built
+    /// from *parsed user input* must use [`Sort::try_width`] and surface a
+    /// typed error instead.
     pub fn width(self) -> u32 {
         match self {
             Sort::BitVec(w) => w,
             Sort::Bool => panic!("Bool has no bit width"),
         }
+    }
+
+    /// The width of a bitvector sort, or `None` for `Bool` — the
+    /// non-panicking form for code reachable from parsed input.
+    pub fn try_width(self) -> Option<u32> {
+        match self {
+            Sort::BitVec(w) => Some(w),
+            Sort::Bool => None,
+        }
+    }
+
+    /// Returns `true` for the propositional sort.
+    pub fn is_bool(self) -> bool {
+        matches!(self, Sort::Bool)
     }
 }
 
@@ -119,10 +135,88 @@ pub struct TermData {
 }
 
 /// The term arena and interner.
+///
+/// The interner is a bucketed hash table keyed by a stable FNV-1a hash of
+/// the `(op, args)` pair; candidates in a bucket are verified by structural
+/// comparison against the arena. Because the lookup never builds an owned
+/// key, *interning an already-known term allocates nothing* — the hot path
+/// of symbolic execution, which rebuilds mostly-shared terms per iteration.
 #[derive(Debug, Default)]
 pub struct Context {
     terms: Vec<TermData>,
-    intern: HashMap<(Op, Vec<TermId>), TermId>,
+    table: HashMap<u64, Vec<TermId>>,
+}
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x100_0000_01b3;
+
+fn fnv_bytes(mut hash: u64, bytes: &[u8]) -> u64 {
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(FNV_PRIME);
+    }
+    hash
+}
+
+fn fnv_u64(hash: u64, value: u64) -> u64 {
+    fnv_bytes(hash, &value.to_le_bytes())
+}
+
+fn sort_code(sort: Sort) -> u64 {
+    match sort {
+        Sort::Bool => u64::MAX,
+        Sort::BitVec(w) => u64::from(w),
+    }
+}
+
+/// Interner hash of a variable, computable from a borrowed name (so a
+/// variable lookup does not have to build an `Op::Var` first).
+fn hash_var_key(name: &str, sort: Sort) -> u64 {
+    let mut hash = fnv_bytes(FNV_OFFSET, &[3]);
+    hash = fnv_u64(hash, name.len() as u64);
+    hash = fnv_bytes(hash, name.as_bytes());
+    fnv_u64(hash, sort_code(sort))
+}
+
+/// Interner hash of a non-variable `(op, args)` key.
+fn hash_key(op: &Op, args: &[TermId]) -> u64 {
+    let mut hash = match op {
+        Op::BoolConst(b) => fnv_bytes(FNV_OFFSET, &[1, u8::from(*b)]),
+        Op::BvConst { value, width } => {
+            let h = fnv_bytes(FNV_OFFSET, &[2]);
+            fnv_u64(fnv_u64(h, *value), u64::from(*width))
+        }
+        Op::Var { name, sort } => return hash_var_key(name, *sort),
+        Op::Not => fnv_bytes(FNV_OFFSET, &[4]),
+        Op::And => fnv_bytes(FNV_OFFSET, &[5]),
+        Op::Or => fnv_bytes(FNV_OFFSET, &[6]),
+        Op::Xor => fnv_bytes(FNV_OFFSET, &[7]),
+        Op::Implies => fnv_bytes(FNV_OFFSET, &[8]),
+        Op::Ite => fnv_bytes(FNV_OFFSET, &[9]),
+        Op::Eq => fnv_bytes(FNV_OFFSET, &[10]),
+        Op::BvAdd => fnv_bytes(FNV_OFFSET, &[11]),
+        Op::BvSub => fnv_bytes(FNV_OFFSET, &[12]),
+        Op::BvMul => fnv_bytes(FNV_OFFSET, &[13]),
+        Op::BvNeg => fnv_bytes(FNV_OFFSET, &[14]),
+        Op::BvAnd => fnv_bytes(FNV_OFFSET, &[15]),
+        Op::BvOr => fnv_bytes(FNV_OFFSET, &[16]),
+        Op::BvXor => fnv_bytes(FNV_OFFSET, &[17]),
+        Op::BvNot => fnv_bytes(FNV_OFFSET, &[18]),
+        Op::BvShl => fnv_bytes(FNV_OFFSET, &[19]),
+        Op::BvLshr => fnv_bytes(FNV_OFFSET, &[20]),
+        Op::BvAshr => fnv_bytes(FNV_OFFSET, &[21]),
+        Op::BvUdiv => fnv_bytes(FNV_OFFSET, &[22]),
+        Op::BvUrem => fnv_bytes(FNV_OFFSET, &[23]),
+        Op::BvSdiv => fnv_bytes(FNV_OFFSET, &[24]),
+        Op::BvSrem => fnv_bytes(FNV_OFFSET, &[25]),
+        Op::BvUlt => fnv_bytes(FNV_OFFSET, &[26]),
+        Op::BvSlt => fnv_bytes(FNV_OFFSET, &[27]),
+        Op::BvSle => fnv_bytes(FNV_OFFSET, &[28]),
+    };
+    for arg in args {
+        hash = fnv_u64(hash, u64::from(arg.0));
+    }
+    hash
 }
 
 impl Context {
@@ -140,7 +234,7 @@ impl Context {
     /// so a recycled context rebuilds terms without fresh heap churn.
     pub fn clear(&mut self) {
         self.terms.clear();
-        self.intern.clear();
+        self.table.clear();
     }
 
     /// Returns `true` if no terms have been created.
@@ -158,14 +252,55 @@ impl Context {
         self.terms[id.0 as usize].sort
     }
 
-    fn intern(&mut self, op: Op, args: Vec<TermId>, sort: Sort) -> TermId {
-        let key = (op.clone(), args.clone());
-        if let Some(&id) = self.intern.get(&key) {
-            return id;
+    /// Interns a non-variable term. Hits compare against the arena in place
+    /// and allocate nothing; only a miss copies `args` into the arena.
+    fn intern(&mut self, op: Op, args: &[TermId], sort: Sort) -> TermId {
+        debug_assert!(
+            !matches!(op, Op::Var { .. }),
+            "variables are interned through intern_var"
+        );
+        let hash = hash_key(&op, args);
+        if let Some(bucket) = self.table.get(&hash) {
+            for &id in bucket {
+                let term = &self.terms[id.0 as usize];
+                if term.op == op && term.args == args {
+                    return id;
+                }
+            }
         }
         let id = TermId(self.terms.len() as u32);
-        self.terms.push(TermData { op, args, sort });
-        self.intern.insert(key, id);
+        self.terms.push(TermData {
+            op,
+            args: args.to_vec(),
+            sort,
+        });
+        self.table.entry(hash).or_default().push(id);
+        id
+    }
+
+    /// Interns a variable from a borrowed name; the name is only copied to
+    /// the heap when the variable does not exist yet.
+    fn intern_var(&mut self, name: &str, sort: Sort) -> TermId {
+        let hash = hash_var_key(name, sort);
+        if let Some(bucket) = self.table.get(&hash) {
+            for &id in bucket {
+                if let Op::Var { name: n, sort: s } = &self.terms[id.0 as usize].op {
+                    if *s == sort && n == name {
+                        return id;
+                    }
+                }
+            }
+        }
+        let id = TermId(self.terms.len() as u32);
+        self.terms.push(TermData {
+            op: Op::Var {
+                name: name.to_string(),
+                sort,
+            },
+            args: Vec::new(),
+            sort,
+        });
+        self.table.entry(hash).or_default().push(id);
         id
     }
 
@@ -189,7 +324,7 @@ impl Context {
 
     /// The boolean constant `true` / `false`.
     pub fn bool_const(&mut self, value: bool) -> TermId {
-        self.intern(Op::BoolConst(value), vec![], Sort::Bool)
+        self.intern(Op::BoolConst(value), &[], Sort::Bool)
     }
 
     /// A bitvector constant of the given width.
@@ -200,7 +335,7 @@ impl Context {
                 value: masked,
                 width,
             },
-            vec![],
+            &[],
             Sort::BitVec(width),
         )
     }
@@ -210,30 +345,16 @@ impl Context {
         self.bv_const(value as u32 as u64, 32)
     }
 
-    /// A free bitvector variable.
-    pub fn bv_var(&mut self, name: impl Into<String>, width: u32) -> TermId {
-        let name = name.into();
-        self.intern(
-            Op::Var {
-                name,
-                sort: Sort::BitVec(width),
-            },
-            vec![],
-            Sort::BitVec(width),
-        )
+    /// A free bitvector variable. Looking up an existing variable does not
+    /// copy the name.
+    pub fn bv_var(&mut self, name: impl AsRef<str>, width: u32) -> TermId {
+        self.intern_var(name.as_ref(), Sort::BitVec(width))
     }
 
-    /// A free boolean variable.
-    pub fn bool_var(&mut self, name: impl Into<String>) -> TermId {
-        let name = name.into();
-        self.intern(
-            Op::Var {
-                name,
-                sort: Sort::Bool,
-            },
-            vec![],
-            Sort::Bool,
-        )
+    /// A free boolean variable. Looking up an existing variable does not
+    /// copy the name.
+    pub fn bool_var(&mut self, name: impl AsRef<str>) -> TermId {
+        self.intern_var(name.as_ref(), Sort::Bool)
     }
 
     // ---- boolean connectives ------------------------------------------------
@@ -246,7 +367,7 @@ impl Context {
         if self.term(a).op == Op::Not {
             return self.term(a).args[0];
         }
-        self.intern(Op::Not, vec![a], Sort::Bool)
+        self.intern(Op::Not, &[a], Sort::Bool)
     }
 
     /// Boolean conjunction.
@@ -260,7 +381,7 @@ impl Context {
         if a == b {
             return a;
         }
-        self.intern(Op::And, vec![a, b], Sort::Bool)
+        self.intern(Op::And, &[a, b], Sort::Bool)
     }
 
     /// Conjunction of many terms.
@@ -283,7 +404,7 @@ impl Context {
         if a == b {
             return a;
         }
-        self.intern(Op::Or, vec![a, b], Sort::Bool)
+        self.intern(Op::Or, &[a, b], Sort::Bool)
     }
 
     /// Boolean exclusive or.
@@ -299,7 +420,7 @@ impl Context {
         if a == b {
             return self.bool_const(false);
         }
-        self.intern(Op::Xor, vec![a, b], Sort::Bool)
+        self.intern(Op::Xor, &[a, b], Sort::Bool)
     }
 
     /// Boolean implication.
@@ -318,7 +439,7 @@ impl Context {
             return then_t;
         }
         let sort = self.sort(then_t);
-        self.intern(Op::Ite, vec![cond, then_t, else_t], sort)
+        self.intern(Op::Ite, &[cond, then_t, else_t], sort)
     }
 
     /// Equality over any sort, with constant folding.
@@ -332,7 +453,7 @@ impl Context {
         if let (Some(x), Some(y)) = (self.as_bool_const(a), self.as_bool_const(b)) {
             return self.bool_const(x == y);
         }
-        self.intern(Op::Eq, vec![a, b], Sort::Bool)
+        self.intern(Op::Eq, &[a, b], Sort::Bool)
     }
 
     /// Disequality.
@@ -356,7 +477,7 @@ impl Context {
             let v = fold(x, y, width);
             return self.bv_const(v, width);
         }
-        self.intern(op, vec![a, b], Sort::BitVec(width))
+        self.intern(op, &[a, b], Sort::BitVec(width))
     }
 
     /// Wrapping addition.
@@ -403,7 +524,7 @@ impl Context {
         if let Some(x) = self.as_bv_const(a) {
             return self.bv_const(mask(x.wrapping_neg(), width), width);
         }
-        self.intern(Op::BvNeg, vec![a], Sort::BitVec(width))
+        self.intern(Op::BvNeg, &[a], Sort::BitVec(width))
     }
 
     /// Bitwise and.
@@ -427,7 +548,7 @@ impl Context {
         if let Some(x) = self.as_bv_const(a) {
             return self.bv_const(mask(!x, width), width);
         }
-        self.intern(Op::BvNot, vec![a], Sort::BitVec(width))
+        self.intern(Op::BvNot, &[a], Sort::BitVec(width))
     }
 
     /// Logical shift left.
@@ -510,7 +631,7 @@ impl Context {
         if let (Some(x), Some(y)) = (self.as_bv_const(a), self.as_bv_const(b)) {
             return self.bool_const(x < y);
         }
-        self.intern(Op::BvUlt, vec![a, b], Sort::Bool)
+        self.intern(Op::BvUlt, &[a, b], Sort::Bool)
     }
 
     /// Signed less-than.
@@ -522,7 +643,7 @@ impl Context {
         if a == b {
             return self.bool_const(false);
         }
-        self.intern(Op::BvSlt, vec![a, b], Sort::Bool)
+        self.intern(Op::BvSlt, &[a, b], Sort::Bool)
     }
 
     /// Signed less-or-equal.
@@ -534,7 +655,7 @@ impl Context {
         if a == b {
             return self.bool_const(true);
         }
-        self.intern(Op::BvSle, vec![a, b], Sort::Bool)
+        self.intern(Op::BvSle, &[a, b], Sort::Bool)
     }
 
     /// Signed greater-than, expressed via [`Context::bv_slt`].

@@ -1,0 +1,75 @@
+//! Pins the interner's zero-allocation guarantee: constructing a term that
+//! already exists (a cache hit) must not touch the heap. This is the hot
+//! path of symbolic execution, which re-derives mostly-shared terms for
+//! every unrolled iteration.
+//!
+//! The test installs a counting global allocator; it must stay the only
+//! test in this binary so no concurrent test pollutes the counter.
+
+use lv_smt::{Context, Sort};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+struct CountingAllocator;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAllocator = CountingAllocator;
+
+#[test]
+fn interner_hits_allocate_nothing() {
+    let mut ctx = Context::new();
+    // Build a representative mix once: variables, constants, boolean and
+    // bitvector operators, ite/eq — everything the symbolic executor interns.
+    let x = ctx.bv_var("x", 32);
+    let y = ctx.bv_var("lane!7!value", 32);
+    let one = ctx.bv32(1);
+    let sum = ctx.bv_add(x, y);
+    let prod = ctx.bv_mul(sum, one);
+    let cmp = ctx.bv_slt(prod, x);
+    let p = ctx.bool_var("p");
+    let conj = ctx.and(cmp, p);
+    let pick = ctx.ite(conj, sum, prod);
+    let eq = ctx.eq(pick, x);
+    let terms_before = ctx.len();
+
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    for _ in 0..1_000 {
+        assert_eq!(ctx.bv_var("x", 32), x);
+        assert_eq!(ctx.bv_var("lane!7!value", 32), y);
+        assert_eq!(ctx.bv32(1), one);
+        assert_eq!(ctx.bv_add(x, y), sum);
+        assert_eq!(ctx.bv_mul(sum, one), prod);
+        assert_eq!(ctx.bv_slt(prod, x), cmp);
+        assert_eq!(ctx.bool_var("p"), p);
+        assert_eq!(ctx.and(cmp, p), conj);
+        assert_eq!(ctx.ite(conj, sum, prod), pick);
+        assert_eq!(ctx.eq(pick, x), eq);
+    }
+    let after = ALLOCATIONS.load(Ordering::Relaxed);
+
+    assert_eq!(ctx.len(), terms_before, "hits must not grow the arena");
+    assert_eq!(
+        after - before,
+        0,
+        "interner hits performed heap allocations"
+    );
+    assert_eq!(ctx.sort(eq), Sort::Bool);
+}

@@ -6,7 +6,7 @@
 //! trip-count assumptions, and Z3 decides refinement. This crate implements
 //! that workflow over the mini-C AST:
 //!
-//! * [`align`] — loop alignment and the `(end1 - start1) % m == 0`
+//! * [`mod@align`] — loop alignment and the `(end1 - start1) % m == 0`
 //!   divisibility assumption (Section 3.1);
 //! * [`symexec`] — guarded symbolic execution into `lv-smt` terms with UB
 //!   tracking and per-array memory regions;

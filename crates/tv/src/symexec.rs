@@ -377,6 +377,14 @@ impl<'a> SymExec<'a> {
 
     fn eval_scalar(&mut self, expr: &Expr, guard: TermId) -> Result<TermId, SymExecError> {
         match self.eval(expr, guard)? {
+            // Guard the sort at the user-input boundary: every scalar the
+            // executor hands to a bitvector constructor must be a bitvector.
+            // All current producers coerce comparisons to 0/1 words, but a
+            // future encoding that leaks a Bool term here must surface as a
+            // typed `Inconclusive`, not as `Sort::width`'s panic.
+            SymValue::Scalar(t) if self.ctx.sort(t).is_bool() => Err(SymExecError::new(
+                "expression has boolean sort where a 32-bit value is required",
+            )),
             SymValue::Scalar(t) => Ok(t),
             SymValue::Vector(_) => Err(SymExecError::new("expected a scalar, found a vector")),
             SymValue::Ptr { .. } => Err(SymExecError::new("expected a scalar, found a pointer")),
@@ -582,6 +590,13 @@ impl<'a> SymExec<'a> {
             }
             _ => return Err(SymExecError::new("expected scalar operands")),
         };
+        // Same boundary guard as `eval_scalar`: ill-sorted operands must
+        // become a typed inconclusive verdict, never a `Sort::width` panic.
+        if self.ctx.sort(l).is_bool() || self.ctx.sort(r).is_bool() {
+            return Err(SymExecError::new(
+                "operand has boolean sort where a 32-bit value is required",
+            ));
+        }
         let bool_to_int = |ctx: &mut Context, b: TermId| ctx.ite(b, one, zero);
         let out = match op {
             BinOp::Add => self.ctx.bv_add(l, r),

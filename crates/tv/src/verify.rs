@@ -149,6 +149,27 @@ impl Default for TvConfig {
     }
 }
 
+impl TvConfig {
+    /// A stable 64-bit fingerprint of every field that can influence a
+    /// verdict.
+    ///
+    /// Folded into the engine-configuration hash that keys the persistent
+    /// verdict cache: budgets change `Inconclusive` outcomes, the chunk
+    /// window and array slack change the verification condition, and the
+    /// unrolling budget changes which kernels the executor can handle at
+    /// all — so any change here must invalidate cached verdicts.
+    pub fn fingerprint(&self) -> u64 {
+        let mut fnv = lv_cir::Fnv64::new();
+        fnv.write_u64(self.alive2_budget.fingerprint());
+        fnv.write_u64(self.cunroll_budget.fingerprint());
+        fnv.write_u64(self.spatial_budget.fingerprint());
+        fnv.write_u64(self.alive2_chunks as u64);
+        fnv.write_u64(self.array_slack as u64);
+        fnv.write_u64(self.max_iterations as u64);
+        fnv.finish()
+    }
+}
+
 /// Which strategy produced the final verdict of [`check_equivalence_symbolic`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum TvStage {
