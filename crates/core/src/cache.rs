@@ -88,6 +88,94 @@ pub struct CachedVerdict {
     pub checksum: Option<ChecksumClass>,
 }
 
+/// Why merging two verdict caches failed.
+///
+/// Verification is deterministic, so two caches built under the same format
+/// version can only disagree on a key if one of them is corrupt, was produced
+/// by a build with different semantics under the same
+/// [`CACHE_FORMAT_VERSION`], or was tampered with. Last-write-wins would
+/// silently propagate the corruption into every future sweep, so a merge
+/// refuses instead: the conflict is a typed, actionable error naming the key
+/// and both verdicts.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CacheMergeError {
+    /// Both caches hold the key with different verdict payloads.
+    Conflict {
+        /// The disputed key.
+        key: CacheKey,
+        /// What the destination cache holds.
+        existing: Box<CachedVerdict>,
+        /// What the source cache holds.
+        incoming: Box<CachedVerdict>,
+    },
+}
+
+impl std::fmt::Display for CacheMergeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CacheMergeError::Conflict {
+                key,
+                existing,
+                incoming,
+            } => write!(
+                f,
+                "verdict cache merge conflict on key (scalar {:016x}, candidate {:016x}, \
+                 config {:016x}): existing verdict `{}` @ {} vs incoming `{}` @ {} — \
+                 one of the caches is corrupt or was produced by a semantically \
+                 different build under the same format version",
+                key.scalar,
+                key.candidate,
+                key.config,
+                verdict_tag(existing.verdict),
+                stage_tag(existing.stage),
+                verdict_tag(incoming.verdict),
+                stage_tag(incoming.stage),
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CacheMergeError {}
+
+/// What a successful [`VerdictCache::merge_from`] did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct MergeStats {
+    /// Keys added to the destination.
+    pub added: usize,
+    /// Keys present in both caches with identical verdicts (no-ops).
+    pub agreed: usize,
+}
+
+/// Size bounds applied by [`VerdictCache::compact`], so million-candidate
+/// sweeps do not grow the cache file without limit.
+///
+/// Eviction is deterministic: entries are dropped from the *end* of the
+/// sorted key order (the same order [`VerdictCache::persist`] writes), so
+/// compacting identical contents always keeps identical survivors —
+/// bit-identical files again. The cache is content-addressed, so an evicted
+/// entry costs only a re-verification on its next lookup.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheBounds {
+    /// Maximum number of entries to keep; `None` means unbounded.
+    pub max_entries: Option<usize>,
+    /// Maximum size of the rendered cache file in bytes; `None` means
+    /// unbounded. Enforced on the serialized form, so it bounds the file a
+    /// [`VerdictCache::persist`] would write.
+    pub max_bytes: Option<usize>,
+}
+
+impl CacheBounds {
+    /// Bounds that never evict.
+    pub fn unbounded() -> CacheBounds {
+        CacheBounds::default()
+    }
+
+    /// Returns `true` when neither bound is set.
+    pub fn is_unbounded(&self) -> bool {
+        self.max_entries.is_none() && self.max_bytes.is_none()
+    }
+}
+
 /// A thread-safe verdict store, optionally backed by a JSON file.
 ///
 /// Workers on the engine's pool share one cache through an `Arc`; `get` and
@@ -146,6 +234,87 @@ impl VerdictCache {
         self.len() == 0
     }
 
+    /// Merges every entry of `other` into this cache.
+    ///
+    /// A key present in both caches with the *same* verdict is a no-op; a
+    /// key present with *different* verdicts aborts the merge with
+    /// [`CacheMergeError::Conflict`] — never last-write-wins (see the error
+    /// type for why). On error the destination may already contain some of
+    /// `other`'s non-conflicting entries; since those entries agree with
+    /// `other` by construction, the destination is still internally
+    /// consistent.
+    pub fn merge_from(&self, other: &VerdictCache) -> Result<MergeStats, CacheMergeError> {
+        let incoming = other.entries.lock().unwrap().clone();
+        let mut entries = self.entries.lock().unwrap();
+        let mut stats = MergeStats::default();
+        for (key, verdict) in incoming {
+            match entries.get(&key) {
+                None => {
+                    entries.insert(key, verdict);
+                    stats.added += 1;
+                }
+                Some(existing) if *existing == verdict => stats.agreed += 1,
+                Some(existing) => {
+                    return Err(CacheMergeError::Conflict {
+                        key,
+                        existing: Box::new(existing.clone()),
+                        incoming: Box::new(verdict),
+                    })
+                }
+            }
+        }
+        Ok(stats)
+    }
+
+    /// [`VerdictCache::merge_from`] over a cache *file*: loads `path` and
+    /// merges its entries into this cache. Unreadable or malformed files and
+    /// merge conflicts are all reported as [`io::Error`]s (a conflict uses
+    /// [`io::ErrorKind::InvalidData`] and carries the rendered
+    /// [`CacheMergeError`] message).
+    pub fn merge_file(&self, path: impl Into<PathBuf>) -> io::Result<MergeStats> {
+        let other = VerdictCache::open(path)?;
+        self.merge_from(&other)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))
+    }
+
+    /// Evicts entries until the cache fits `bounds`; returns how many were
+    /// dropped. Eviction order is the tail of the sorted key order, so it is
+    /// deterministic (see [`CacheBounds`]).
+    pub fn compact(&self, bounds: &CacheBounds) -> usize {
+        if bounds.is_unbounded() {
+            return 0;
+        }
+        let mut entries = self.entries.lock().unwrap();
+        let before = entries.len();
+        if let Some(max) = bounds.max_entries {
+            if entries.len() > max {
+                let mut keys: Vec<CacheKey> = entries.keys().copied().collect();
+                keys.sort();
+                for key in keys.drain(max..) {
+                    entries.remove(&key);
+                }
+            }
+        }
+        if let Some(max_bytes) = bounds.max_bytes {
+            // One full render establishes the size; each eviction then
+            // shrinks it by exactly the entry's rendered bytes plus its
+            // separating comma (none once the array is empty), so the bound
+            // is enforced without re-rendering per entry.
+            let mut size = render_entries(&entries).len();
+            if size > max_bytes {
+                let mut keys: Vec<CacheKey> = entries.keys().copied().collect();
+                keys.sort();
+                while size > max_bytes {
+                    let Some(key) = keys.pop() else { break };
+                    let verdict = entries.remove(&key).expect("key came from the map");
+                    let rendered = entry_value(&key, &verdict).to_string().len();
+                    size = size.saturating_sub(rendered + usize::from(!entries.is_empty()));
+                }
+            }
+        }
+        before - entries.len()
+    }
+
     /// Writes the cache to its backing file (atomically: temp file, then
     /// rename). No-op for an in-memory cache.
     ///
@@ -165,18 +334,18 @@ impl VerdictCache {
     }
 }
 
-fn hex(value: u64) -> Value {
+pub(crate) fn hex(value: u64) -> Value {
     Value::Str(format!("{:016x}", value))
 }
 
-fn parse_hex(value: Option<&Value>, field: &str) -> Result<u64, String> {
+pub(crate) fn parse_hex(value: Option<&Value>, field: &str) -> Result<u64, String> {
     let s = value
         .and_then(Value::as_str)
         .ok_or_else(|| format!("entry is missing the `{}` hash", field))?;
     u64::from_str_radix(s, 16).map_err(|_| format!("`{}` is not a hex hash: `{}`", field, s))
 }
 
-fn verdict_tag(verdict: Equivalence) -> &'static str {
+pub(crate) fn verdict_tag(verdict: Equivalence) -> &'static str {
     match verdict {
         Equivalence::Equivalent => "equivalent",
         Equivalence::NotEquivalent => "not-equivalent",
@@ -184,7 +353,7 @@ fn verdict_tag(verdict: Equivalence) -> &'static str {
     }
 }
 
-fn parse_verdict(tag: &str) -> Result<Equivalence, String> {
+pub(crate) fn parse_verdict(tag: &str) -> Result<Equivalence, String> {
     match tag {
         "equivalent" => Ok(Equivalence::Equivalent),
         "not-equivalent" => Ok(Equivalence::NotEquivalent),
@@ -193,7 +362,7 @@ fn parse_verdict(tag: &str) -> Result<Equivalence, String> {
     }
 }
 
-fn stage_tag(stage: Stage) -> &'static str {
+pub(crate) fn stage_tag(stage: Stage) -> &'static str {
     match stage {
         Stage::Checksum => "checksum",
         Stage::Alive2 => "alive2",
@@ -202,7 +371,7 @@ fn stage_tag(stage: Stage) -> &'static str {
     }
 }
 
-fn parse_stage(tag: &str) -> Result<Stage, String> {
+pub(crate) fn parse_stage(tag: &str) -> Result<Stage, String> {
     match tag {
         "checksum" => Ok(Stage::Checksum),
         "alive2" => Ok(Stage::Alive2),
@@ -212,7 +381,7 @@ fn parse_stage(tag: &str) -> Result<Stage, String> {
     }
 }
 
-fn checksum_value(class: Option<ChecksumClass>) -> Value {
+pub(crate) fn checksum_value(class: Option<ChecksumClass>) -> Value {
     match class {
         None => Value::Null,
         Some(ChecksumClass::Plausible) => Value::Str("plausible".to_string()),
@@ -222,7 +391,7 @@ fn checksum_value(class: Option<ChecksumClass>) -> Value {
     }
 }
 
-fn parse_checksum(value: Option<&Value>) -> Result<Option<ChecksumClass>, String> {
+pub(crate) fn parse_checksum(value: Option<&Value>) -> Result<Option<ChecksumClass>, String> {
     match value {
         None | Some(Value::Null) => Ok(None),
         Some(Value::Str(s)) => match s.as_str() {
@@ -236,28 +405,30 @@ fn parse_checksum(value: Option<&Value>) -> Result<Option<ChecksumClass>, String
     }
 }
 
+fn entry_value(key: &CacheKey, verdict: &CachedVerdict) -> Value {
+    Value::Object(vec![
+        ("scalar".to_string(), hex(key.scalar)),
+        ("candidate".to_string(), hex(key.candidate)),
+        ("config".to_string(), hex(key.config)),
+        (
+            "verdict".to_string(),
+            Value::Str(verdict_tag(verdict.verdict).to_string()),
+        ),
+        (
+            "stage".to_string(),
+            Value::Str(stage_tag(verdict.stage).to_string()),
+        ),
+        ("detail".to_string(), Value::Str(verdict.detail.clone())),
+        ("checksum".to_string(), checksum_value(verdict.checksum)),
+    ])
+}
+
 fn render_entries(entries: &HashMap<CacheKey, CachedVerdict>) -> String {
     let mut sorted: Vec<(&CacheKey, &CachedVerdict)> = entries.iter().collect();
     sorted.sort_by_key(|(key, _)| **key);
     let items: Vec<Value> = sorted
         .into_iter()
-        .map(|(key, verdict)| {
-            Value::Object(vec![
-                ("scalar".to_string(), hex(key.scalar)),
-                ("candidate".to_string(), hex(key.candidate)),
-                ("config".to_string(), hex(key.config)),
-                (
-                    "verdict".to_string(),
-                    Value::Str(verdict_tag(verdict.verdict).to_string()),
-                ),
-                (
-                    "stage".to_string(),
-                    Value::Str(stage_tag(verdict.stage).to_string()),
-                ),
-                ("detail".to_string(), Value::Str(verdict.detail.clone())),
-                ("checksum".to_string(), checksum_value(verdict.checksum)),
-            ])
-        })
+        .map(|(key, verdict)| entry_value(key, verdict))
         .collect();
     let doc = Value::Object(vec![
         ("version".to_string(), Value::Int(CACHE_FORMAT_VERSION)),
@@ -400,6 +571,159 @@ mod tests {
             "{\"version\":1,\"entries\":[{\"scalar\":\"zz\",\"candidate\":\"0\",\"config\":\"0\",\
              \"verdict\":\"equivalent\",\"stage\":\"alive2\",\"detail\":\"\",\"checksum\":null}]}";
         assert!(parse_entries(bad_hash).is_err());
+    }
+
+    #[test]
+    fn merge_accepts_agreement_and_disjoint_keys() {
+        let dest = VerdictCache::in_memory();
+        let source = VerdictCache::in_memory();
+        let entries = sample_entries();
+        // Destination holds entries 0 and 1; source holds 1 (identical) and 2.
+        dest.insert(entries[0].0, entries[0].1.clone());
+        dest.insert(entries[1].0, entries[1].1.clone());
+        source.insert(entries[1].0, entries[1].1.clone());
+        source.insert(entries[2].0, entries[2].1.clone());
+
+        let stats = dest.merge_from(&source).expect("agreeing merge succeeds");
+        assert_eq!(
+            stats,
+            MergeStats {
+                added: 1,
+                agreed: 1
+            }
+        );
+        assert_eq!(dest.len(), 3);
+        for (key, verdict) in entries {
+            assert_eq!(dest.get(&key), Some(verdict));
+        }
+    }
+
+    #[test]
+    fn merge_conflict_is_a_typed_error_not_last_write_wins() {
+        let dest = VerdictCache::in_memory();
+        let source = VerdictCache::in_memory();
+        let (key, verdict) = sample_entries().remove(0);
+        assert_eq!(verdict.verdict, Equivalence::Equivalent);
+        let flipped = CachedVerdict {
+            verdict: Equivalence::NotEquivalent,
+            ..verdict.clone()
+        };
+        dest.insert(key, verdict.clone());
+        source.insert(key, flipped.clone());
+
+        let err = dest.merge_from(&source).expect_err("conflict must error");
+        let CacheMergeError::Conflict {
+            key: conflict_key,
+            existing,
+            incoming,
+        } = &err;
+        assert_eq!(*conflict_key, key);
+        assert_eq!(**existing, verdict);
+        assert_eq!(**incoming, flipped);
+        assert!(err.to_string().contains("merge conflict"), "{}", err);
+        // The destination kept its own verdict — no last-write-wins.
+        assert_eq!(dest.get(&key), Some(verdict));
+    }
+
+    #[test]
+    fn merge_file_round_trip_and_conflict() {
+        let dir = std::env::temp_dir().join(format!("lv-cache-merge-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("shard.json");
+        let _ = std::fs::remove_file(&path);
+
+        let source = VerdictCache::open(&path).unwrap();
+        for (key, verdict) in sample_entries() {
+            source.insert(key, verdict);
+        }
+        source.persist().unwrap();
+
+        let dest = VerdictCache::in_memory();
+        let stats = dest.merge_file(&path).unwrap();
+        assert_eq!(stats.added, 3);
+        // Merging the same file again is pure agreement.
+        let stats = dest.merge_file(&path).unwrap();
+        assert_eq!(
+            stats,
+            MergeStats {
+                added: 0,
+                agreed: 3
+            }
+        );
+
+        // A flipped verdict is a conflict surfaced as InvalidData.
+        let (key, _) = sample_entries().remove(0);
+        let err = {
+            let conflicted = VerdictCache::in_memory();
+            conflicted.insert(
+                key,
+                CachedVerdict {
+                    verdict: Equivalence::Inconclusive,
+                    stage: Stage::Alive2,
+                    detail: String::new(),
+                    checksum: None,
+                },
+            );
+            conflicted.merge_file(&path).expect_err("conflict")
+        };
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn compaction_is_deterministic_and_bounded() {
+        let cache = VerdictCache::in_memory();
+        for (key, verdict) in sample_entries() {
+            cache.insert(key, verdict);
+        }
+        assert_eq!(cache.compact(&CacheBounds::unbounded()), 0);
+        assert_eq!(cache.len(), 3);
+
+        // Entry bound: the survivors are the smallest keys in sorted order.
+        let evicted = cache.compact(&CacheBounds {
+            max_entries: Some(2),
+            max_bytes: None,
+        });
+        assert_eq!(evicted, 1);
+        assert_eq!(cache.len(), 2);
+        let mut keys = sample_entries();
+        keys.sort_by_key(|(k, _)| *k);
+        assert!(cache.get(&keys[0].0).is_some());
+        assert!(cache.get(&keys[1].0).is_some());
+        assert!(cache.get(&keys[2].0).is_none(), "largest key evicted");
+
+        // Byte bound: shrink until the rendered file fits. The incremental
+        // size accounting must agree with an actual render.
+        let tiny = cache.compact(&CacheBounds {
+            max_entries: None,
+            max_bytes: Some(120),
+        });
+        assert!(tiny >= 1, "at least one entry must go");
+        assert!(cache.len() <= 1);
+
+        let dir = std::env::temp_dir().join(format!("lv-cache-compact-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("bounded.json");
+        let _ = std::fs::remove_file(&path);
+        let bounded = VerdictCache::open(&path).unwrap();
+        for (key, verdict) in sample_entries() {
+            bounded.insert(key, verdict);
+        }
+        let max_bytes = 260;
+        bounded.compact(&CacheBounds {
+            max_entries: None,
+            max_bytes: Some(max_bytes),
+        });
+        bounded.persist().unwrap();
+        let written = std::fs::read_to_string(&path).unwrap();
+        assert!(
+            written.len() <= max_bytes,
+            "persisted {} bytes > bound {}",
+            written.len(),
+            max_bytes
+        );
+        assert!(!bounded.is_empty(), "the bound leaves room for an entry");
+        std::fs::remove_file(&path).unwrap();
     }
 
     #[test]

@@ -60,6 +60,12 @@ pub struct WorkerState {
     /// Checksum classification of the current job, recorded by the checksum
     /// strategy so reports can distinguish "cannot compile" from "refuted".
     pub checksum: Option<ChecksumClass>,
+    /// Set by the checksum strategy when the candidate's array parameter
+    /// names differ from the scalar's — the harness binds arrays by name, so
+    /// such a candidate is tested on disjoint arrays (see
+    /// [`lv_interp::array_param_names_mismatch`]). Telemetry only; the
+    /// verdict is unchanged.
+    pub name_mismatch: bool,
 }
 
 /// What one strategy concluded about one job.
@@ -125,6 +131,21 @@ impl VerificationStrategy for ChecksumStage {
         candidate: &Function,
         worker: &mut WorkerState,
     ) -> StrategyOutcome {
+        if lv_interp::array_param_names_mismatch(scalar, candidate) {
+            // Diagnostic only: the harness binds arrays by parameter name, so
+            // this candidate runs on disjoint arrays and the comparison is
+            // vacuous. The flag surfaces in the job's checksum StageTrace and
+            // the funnel; the behavioral fix (positional binding or a
+            // CannotCompile classification) shifts Table 2 counts and is a
+            // separate change (see ROADMAP).
+            worker.name_mismatch = true;
+            eprintln!(
+                "warning: candidate `{}` renames array parameters away from the scalar's; \
+                 the checksum harness binds arrays by name, so the candidate was tested on \
+                 disjoint arrays (verdict unchanged)",
+                candidate.name
+            );
+        }
         let report = self.filter.run(scalar, candidate);
         worker.checksum = Some(report.outcome.class());
         match report.outcome {
@@ -328,6 +349,11 @@ pub struct StageTrace {
     pub conflicts: u64,
     /// CNF clauses built (always 0 for the checksum stage).
     pub clauses: u64,
+    /// `true` on a checksum-stage trace whose candidate renamed its array
+    /// parameters away from the scalar's — the harness bound disjoint arrays
+    /// and the comparison was vacuous (telemetry only; the verdict is
+    /// unchanged). Always `false` for symbolic stages.
+    pub name_mismatch: bool,
 }
 
 /// The result of one job, with telemetry.
@@ -624,22 +650,9 @@ impl VerificationEngine {
 
     /// The cache key of one job under this engine's configuration, or `None`
     /// when the engine has no cache.
-    ///
-    /// The candidate is hashed in the scalar's parameter-name environment
-    /// ([`structural_hash_in_env`]): the checksum harness and the refinement
-    /// check bind arrays by parameter name, so a candidate whose parameters
-    /// are renamed away from the scalar's is a *different* verification
-    /// problem and must not share a key with the name-matched spelling.
     fn cache_key(&self, job: &Job) -> Option<CacheKey> {
         self.cache.as_ref()?;
-        Some(CacheKey {
-            scalar: structural_hash(&job.scalar),
-            candidate: structural_hash_in_env(
-                &job.candidate,
-                job.scalar.params.iter().map(|p| p.name.as_str()),
-            ),
-            config: self.config_fingerprint,
-        })
+        Some(job_cache_key(job, self.config_fingerprint))
     }
 
     /// Runs the cascade on one job, collecting per-stage telemetry. The
@@ -674,6 +687,7 @@ impl VerificationEngine {
         }
 
         worker.checksum = None;
+        worker.name_mismatch = false;
         let mut traces = Vec::with_capacity(self.strategies.len());
         // If no stage concludes, report the last stage that ran (Alive2 with
         // an empty reason for an empty cascade, mirroring the sequential
@@ -695,6 +709,7 @@ impl VerificationEngine {
                 wall,
                 conflicts: spent.0,
                 clauses: spent.1,
+                name_mismatch: strategy.stage() == Stage::Checksum && worker.name_mismatch,
             });
             observer.stage_finished(index, job, traces.last().expect("just pushed"));
             match outcome {
@@ -734,6 +749,27 @@ impl VerificationEngine {
         }
         observer.job_finished(index, &report);
         report
+    }
+}
+
+/// The verdict-cache key of `job` under a configuration fingerprint — the
+/// single definition shared by the engine's per-job lookup and the shard
+/// coordinator's report-to-cache reconstruction, so the two can never drift
+/// apart and mis-key (or spuriously conflict on) the same verdict.
+///
+/// The candidate is hashed in the scalar's parameter-name environment
+/// ([`structural_hash_in_env`]): the checksum harness and the refinement
+/// check bind arrays by parameter name, so a candidate whose parameters are
+/// renamed away from the scalar's is a *different* verification problem and
+/// must not share a key with the name-matched spelling.
+pub(crate) fn job_cache_key(job: &Job, config_fingerprint: u64) -> CacheKey {
+    CacheKey {
+        scalar: structural_hash(&job.scalar),
+        candidate: structural_hash_in_env(
+            &job.candidate,
+            job.scalar.params.iter().map(|p| p.name.as_str()),
+        ),
+        config: config_fingerprint,
     }
 }
 
@@ -920,6 +956,42 @@ mod tests {
             "last stage that actually ran"
         );
         assert_eq!(report.checksum, Some(ChecksumClass::Plausible));
+    }
+
+    #[test]
+    fn renamed_array_params_are_flagged_but_verdicts_unchanged() {
+        let scalar = parse_function(S000).unwrap();
+        // Same body, arrays renamed: the harness binds arrays by name, so
+        // the checksum comparison is vacuous — the stage must record the
+        // mismatch in its trace (and warn) without changing its outcome.
+        let renamed = parse_function(
+            "void s000(int n, int *x, int *y) { for (int i = 0; i < n; i++) { x[i] = y[i] + 1; } }",
+        )
+        .unwrap();
+        let engine = VerificationEngine::new(EngineConfig::full(quick_pipeline()));
+        let report = engine.check_one(&scalar, &renamed);
+        assert_eq!(report.traces[0].stage, Stage::Checksum);
+        assert!(report.traces[0].name_mismatch, "mismatch must be flagged");
+        assert_eq!(
+            report.checksum,
+            Some(ChecksumClass::Plausible),
+            "diagnostic only: the vacuous pass is preserved, not reclassified"
+        );
+        let funnel = crate::FunnelReport::from_jobs(std::slice::from_ref(&report));
+        assert_eq!(funnel.stage(Stage::Checksum).unwrap().name_mismatches, 1);
+        assert!(
+            funnel.render().contains("disjoint arrays"),
+            "{}",
+            funnel.render()
+        );
+
+        // Name-matched candidates are never flagged, on any stage.
+        let good = vectorize_correct(&scalar).unwrap();
+        let report = engine.check_one(&scalar, &good);
+        assert!(report.traces.iter().all(|t| !t.name_mismatch));
+        let funnel = crate::FunnelReport::from_jobs(std::slice::from_ref(&report));
+        assert!(funnel.stages.iter().all(|s| s.name_mismatches == 0));
+        assert!(!funnel.render().contains("disjoint arrays"));
     }
 
     #[test]

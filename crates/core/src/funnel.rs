@@ -62,6 +62,11 @@ pub struct StageFunnel {
     pub wall: Duration,
     /// Histogram of per-run conflict counts (see [`HISTOGRAM_BUCKETS`]).
     pub conflict_histogram: [usize; HISTOGRAM_BUCKETS],
+    /// Runs whose candidate renamed its array parameters away from the
+    /// scalar's ([`StageTrace::name_mismatch`](crate::StageTrace)) — on the
+    /// checksum stage this counts candidates the harness tested vacuously on
+    /// disjoint arrays.
+    pub name_mismatches: usize,
 }
 
 impl StageFunnel {
@@ -80,6 +85,7 @@ impl StageFunnel {
             conclusive_max_clauses: 0,
             wall: Duration::ZERO,
             conflict_histogram: [0; HISTOGRAM_BUCKETS],
+            name_mismatches: 0,
         }
     }
 
@@ -133,6 +139,9 @@ impl FunnelReport {
                 stage.total_clauses += trace.clauses;
                 stage.wall += trace.wall;
                 stage.conflict_histogram[histogram_bucket(trace.conflicts)] += 1;
+                if trace.name_mismatch {
+                    stage.name_mismatches += 1;
+                }
                 if trace.conclusive {
                     stage.conclusive_max_conflicts =
                         stage.conclusive_max_conflicts.max(trace.conflicts);
@@ -185,6 +194,14 @@ impl FunnelReport {
                 s.max_conflicts,
                 s.wall.as_millis(),
                 bars
+            );
+        }
+        let mismatched: usize = self.stages.iter().map(|s| s.name_mismatches).sum();
+        if mismatched > 0 {
+            out += &format!(
+                "warning: {} candidate(s) renamed array parameters away from the scalar's \
+                 (checksum ran on disjoint arrays)\n",
+                mismatched
             );
         }
         out
@@ -300,6 +317,7 @@ mod tests {
             wall: Duration::from_millis(1),
             conflicts,
             clauses,
+            name_mismatch: false,
         }
     }
 

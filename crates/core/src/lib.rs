@@ -30,6 +30,14 @@
 //!   [`lv_tv::SolverBudget`]s from it
 //!   ([`VerificationEngine::run_batch_adaptive`]; opt-in, default off so
 //!   verdicts stay bit-identical);
+//! * [`shard`] — sharded *multi-process* sweeps: a deterministic
+//!   [`ShardPlan`] partitions a batch over N worker processes (spawned by a
+//!   coordinator via self-exec `--shard i/N`), each shard runs the unchanged
+//!   engine path and exchanges results through a per-shard verdict-cache
+//!   file + JSON shard report, and the coordinator supervises (timeouts,
+//!   crashes), recovers missing jobs in-process, and merges everything —
+//!   with typed cache-conflict errors and [`CacheBounds`] compaction — into
+//!   a [`BatchReport`] and cache file equal to the single-process run;
 //! * [`pipeline`] — Algorithm 1 ([`check_equivalence`]) as a thin wrapper
 //!   over a single-job engine run, so the one-shot and batched paths share
 //!   one cascade implementation;
@@ -95,8 +103,12 @@ pub mod funnel;
 pub mod observer;
 pub mod passk;
 pub mod pipeline;
+pub mod shard;
 
-pub use cache::{CacheKey, CachedVerdict, VerdictCache, CACHE_FORMAT_VERSION};
+pub use cache::{
+    CacheBounds, CacheKey, CacheMergeError, CachedVerdict, MergeStats, VerdictCache,
+    CACHE_FORMAT_VERSION,
+};
 pub use engine::{
     parallel_map, AdaptiveBatchReport, BatchReport, ChecksumStage, EngineConfig, Job, JobReport,
     StageTrace, StrategyOutcome, SymbolicStage, VerificationEngine, VerificationStrategy,
@@ -114,3 +126,7 @@ pub use observer::{
 };
 pub use passk::{pass_at_k, pass_at_k_curve};
 pub use pipeline::{check_equivalence, Equivalence, EquivalenceReport, PipelineConfig, Stage};
+pub use shard::{
+    run_sharded_sweep, run_worker_from_args, ShardError, ShardOutcome, ShardPlan, ShardPolicy,
+    ShardStatus, ShardedSweep, SweepConfig, SweepManifest, WorkerSpec,
+};

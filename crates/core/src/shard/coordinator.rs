@@ -1,0 +1,352 @@
+//! The coordinator side of a sharded sweep: process spawning, supervision,
+//! recovery, and merge.
+//!
+//! [`run_sharded_sweep`] writes the manifest, spawns one worker process per
+//! shard (`<worker> --shard i/N --manifest … --out …`), supervises them
+//! under a wall-clock timeout, and merges whatever they produced. Any job a
+//! worker did not report — because the worker was killed, timed out, exited
+//! nonzero, never spawned, or reported under a mismatched configuration
+//! fingerprint — is re-run *in-process* through the identical engine
+//! configuration, so the merged result never has holes and, verification
+//! being deterministic, equals the single-process run bit for bit. Shard
+//! cache files are merged with conflict detection
+//! ([`VerdictCache::merge_from`]) and bounded by the configured
+//! [`CacheBounds`] before the merged cache is persisted.
+
+use crate::cache::{CacheBounds, CachedVerdict, VerdictCache};
+use crate::engine::{job_cache_key, BatchReport, Job, JobReport, VerificationEngine};
+use crate::shard::exchange::{ShardReportFile, SweepManifest};
+use crate::shard::runner::{cache_path, report_path};
+use crate::shard::{ShardError, ShardPolicy};
+use crate::EngineConfig;
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+use std::process::{Child, Command, Stdio};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// How to invoke a shard worker process.
+///
+/// The coordinator appends `--shard i/N --manifest <path> --out <dir>` (and
+/// `--fail-after k` under fault injection) to `args`, so any binary that
+/// starts with [`run_worker_from_args`](crate::shard::run_worker_from_args)
+/// works — most commonly the coordinator's own executable
+/// ([`WorkerSpec::current_exe`]).
+#[derive(Debug, Clone)]
+pub struct WorkerSpec {
+    /// The program to spawn.
+    pub program: PathBuf,
+    /// Arguments placed before the shard arguments.
+    pub args: Vec<String>,
+}
+
+impl WorkerSpec {
+    /// A worker spec running `program` with no extra arguments.
+    pub fn new(program: impl Into<PathBuf>) -> WorkerSpec {
+        WorkerSpec {
+            program: program.into(),
+            args: Vec::new(),
+        }
+    }
+
+    /// The self-exec spec: re-invoke the current executable.
+    pub fn current_exe() -> std::io::Result<WorkerSpec> {
+        Ok(WorkerSpec::new(std::env::current_exe()?))
+    }
+}
+
+/// Coordinator configuration.
+#[derive(Debug, Clone)]
+pub struct SweepConfig {
+    /// Number of worker processes / shards.
+    pub shards: usize,
+    /// How jobs are partitioned.
+    pub policy: ShardPolicy,
+    /// Working directory for the manifest, per-shard outputs, worker logs,
+    /// and the merged cache file. Created if missing.
+    pub workdir: PathBuf,
+    /// Wall-clock budget for the worker processes; workers still running at
+    /// the deadline are killed and their missing jobs recovered in-process.
+    pub timeout: Duration,
+    /// How to spawn a worker.
+    pub worker: WorkerSpec,
+    /// Bounds applied to the merged cache before it is persisted.
+    pub bounds: CacheBounds,
+    /// Fault injection for recovery tests: `(shard, k)` passes
+    /// `--fail-after k` to that shard's worker, making it exit after `k`
+    /// finished jobs with partial output flushed.
+    pub fail_shard_after: Option<(usize, usize)>,
+}
+
+impl Default for SweepConfig {
+    fn default() -> Self {
+        SweepConfig {
+            shards: 2,
+            policy: ShardPolicy::HashMod,
+            workdir: std::env::temp_dir().join("lv-sweep"),
+            timeout: Duration::from_secs(600),
+            worker: WorkerSpec::new("lv-sweep"),
+            bounds: CacheBounds::unbounded(),
+            fail_shard_after: None,
+        }
+    }
+}
+
+/// How one shard's worker process ended.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ShardStatus {
+    /// The worker process exited zero. Says nothing about coverage — a
+    /// worker that exits cleanly without writing results still reads as
+    /// `Completed`; compare [`ShardOutcome::reported`] against
+    /// [`ShardOutcome::planned`] for that (the coordinator's recovery fills
+    /// any gap either way).
+    Completed,
+    /// The worker exited nonzero (the payload is the exit code when the OS
+    /// reported one).
+    Failed(Option<i32>),
+    /// The worker outlived [`SweepConfig::timeout`] and was killed.
+    TimedOut,
+    /// The worker process could not be spawned at all.
+    SpawnFailed(String),
+}
+
+/// Per-shard outcome in a [`ShardedSweep`].
+#[derive(Debug, Clone)]
+pub struct ShardOutcome {
+    /// The shard index.
+    pub shard: usize,
+    /// How its worker ended.
+    pub status: ShardStatus,
+    /// Jobs the shard planned to run.
+    pub planned: usize,
+    /// Jobs its report file actually contained.
+    pub reported: usize,
+}
+
+/// The merged result of a sharded sweep.
+#[derive(Debug)]
+pub struct ShardedSweep {
+    /// The merged batch, in job order — equal to a single-process
+    /// [`run_batch`](crate::VerificationEngine::run_batch) over the same
+    /// jobs and configuration (modulo wall-clock fields).
+    pub report: BatchReport,
+    /// The merged verdict cache (already persisted to
+    /// [`ShardedSweep::cache_file`], after [`SweepConfig::bounds`]).
+    pub cache: Arc<VerdictCache>,
+    /// Path of the merged cache file inside the workdir.
+    pub cache_file: PathBuf,
+    /// Original indices of jobs that had to be re-run in-process because no
+    /// healthy shard reported them. Empty on a fully healthy sweep.
+    pub recovered: Vec<usize>,
+    /// Entries evicted from the merged cache by [`SweepConfig::bounds`].
+    pub evicted: usize,
+    /// Per-shard worker outcomes.
+    pub shards: Vec<ShardOutcome>,
+}
+
+enum Worker {
+    Running(Child),
+    SpawnFailed(String),
+    Done(ShardStatus),
+}
+
+/// Runs `jobs` as a multi-process sweep under `config` (whose `cache` and
+/// `adaptive` fields are ignored — see [`SweepManifest`]) and merges the
+/// results. See the [module docs](crate::shard) for the full contract.
+pub fn run_sharded_sweep(
+    jobs: &[Job],
+    config: &EngineConfig,
+    sweep: &SweepConfig,
+) -> Result<ShardedSweep, ShardError> {
+    let start = Instant::now();
+    std::fs::create_dir_all(&sweep.workdir)?;
+    let manifest = SweepManifest::new(config, jobs, sweep.shards, sweep.policy);
+    let manifest_path = sweep.workdir.join("manifest.json");
+    manifest.write(&manifest_path)?;
+    let plan = manifest.plan();
+    let fingerprint = manifest.fingerprint();
+
+    // A reused workdir may hold outputs from a *previous* sweep; a stale
+    // report whose fingerprint happens to match (the fingerprint covers the
+    // configuration, not the job list) must not be mistaken for this sweep's
+    // results, so every per-shard output is removed before any worker runs.
+    for shard in 0..manifest.shards {
+        let _ = std::fs::remove_file(cache_path(&sweep.workdir, shard));
+        let _ = std::fs::remove_file(report_path(&sweep.workdir, shard));
+    }
+
+    // Spawn one worker per shard; stdout/stderr go to per-shard log files so
+    // worker diagnostics survive for post-mortems.
+    let mut workers: Vec<Worker> = (0..manifest.shards)
+        .map(|shard| {
+            let log = std::fs::File::create(sweep.workdir.join(format!("shard-{}.log", shard)));
+            let mut command = Command::new(&sweep.worker.program);
+            command
+                .args(&sweep.worker.args)
+                .arg("--shard")
+                .arg(format!("{}/{}", shard, manifest.shards))
+                .arg("--manifest")
+                .arg(&manifest_path)
+                .arg("--out")
+                .arg(&sweep.workdir)
+                .stdin(Stdio::null());
+            match log {
+                Ok(log) => {
+                    let err = log.try_clone();
+                    command.stdout(Stdio::from(log));
+                    if let Ok(err) = err {
+                        command.stderr(Stdio::from(err));
+                    }
+                }
+                Err(_) => {
+                    command.stdout(Stdio::null()).stderr(Stdio::null());
+                }
+            }
+            if let Some((fail_shard, after)) = sweep.fail_shard_after {
+                if fail_shard == shard {
+                    command.arg("--fail-after").arg(after.to_string());
+                }
+            }
+            match command.spawn() {
+                Ok(child) => Worker::Running(child),
+                Err(e) => Worker::SpawnFailed(e.to_string()),
+            }
+        })
+        .collect();
+
+    // Supervise: poll until every worker exits or the deadline passes.
+    let deadline = Instant::now() + sweep.timeout;
+    loop {
+        let mut running = false;
+        for worker in &mut workers {
+            if let Worker::Running(child) = worker {
+                match child.try_wait()? {
+                    Some(status) if status.success() => {
+                        *worker = Worker::Done(ShardStatus::Completed)
+                    }
+                    Some(status) => *worker = Worker::Done(ShardStatus::Failed(status.code())),
+                    None => running = true,
+                }
+            }
+        }
+        if !running {
+            break;
+        }
+        if Instant::now() >= deadline {
+            for worker in &mut workers {
+                if let Worker::Running(child) = worker {
+                    let _ = child.kill();
+                    let _ = child.wait();
+                    *worker = Worker::Done(ShardStatus::TimedOut);
+                }
+            }
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+
+    // Collect shard reports. A missing/corrupt report, one produced under a
+    // different configuration fingerprint, or an entry that does not match
+    // this sweep's job list (an out-of-range index or a drifted label)
+    // contributes nothing — its jobs fall into the recovery set.
+    let mut entries: BTreeMap<usize, JobReport> = BTreeMap::new();
+    let mut outcomes = Vec::with_capacity(manifest.shards);
+    for (shard, worker) in workers.into_iter().enumerate() {
+        let status = match worker {
+            Worker::Done(status) => status,
+            Worker::SpawnFailed(e) => ShardStatus::SpawnFailed(e),
+            Worker::Running(_) => unreachable!("supervision loop drains every worker"),
+        };
+        let mut reported = 0;
+        if let Ok(report) = ShardReportFile::load(report_path(&sweep.workdir, shard)) {
+            if report.fingerprint == fingerprint {
+                for (index, job_report) in report.entries {
+                    let valid = jobs
+                        .get(index)
+                        .is_some_and(|job| job.label == job_report.label);
+                    if valid && plan.shard_of(index) == shard {
+                        reported += 1;
+                        entries.entry(index).or_insert(job_report);
+                    }
+                }
+            }
+        }
+        outcomes.push(ShardOutcome {
+            shard,
+            status,
+            planned: plan.indices_of(shard).len(),
+            reported,
+        });
+    }
+
+    // Recovery: re-run everything no shard reported, in-process, under the
+    // identical configuration. Determinism makes the re-run verdicts equal
+    // the ones the dead workers would have produced.
+    let missing: Vec<usize> = (0..jobs.len())
+        .filter(|i| !entries.contains_key(i))
+        .collect();
+    let recovery_cache = Arc::new(VerdictCache::in_memory());
+    if !missing.is_empty() {
+        let engine =
+            VerificationEngine::new(manifest.engine_config().with_cache(recovery_cache.clone()));
+        let recovery_jobs: Vec<Job> = missing.iter().map(|&i| jobs[i].clone()).collect();
+        let recovered = engine.run_batch(&recovery_jobs);
+        for (&index, report) in missing.iter().zip(recovered.jobs) {
+            entries.insert(index, report);
+        }
+    }
+
+    // Merge the shard caches (conflicts are typed errors, never
+    // last-write-wins), add the recovery run's verdicts, bound, persist. An
+    // *unreadable* shard cache is treated like a missing one — the verdicts
+    // are re-derivable from the collected reports below, so a torn cache
+    // file must not discard the healthy shards' work — but a readable cache
+    // that *disagrees* still aborts.
+    let cache_file = sweep.workdir.join("merged.cache.json");
+    let _ = std::fs::remove_file(&cache_file);
+    let merged = VerdictCache::open(&cache_file)?;
+    for shard in 0..manifest.shards {
+        if let Ok(shard_cache) = VerdictCache::open(cache_path(&sweep.workdir, shard)) {
+            merged.merge_from(&shard_cache)?;
+        }
+    }
+    merged.merge_from(&recovery_cache)?;
+    // Every collected verdict is also inserted under its content key, so the
+    // merged cache is complete even when a shard's cache file was lost (its
+    // report survived an earlier flush, say) — and so a shard cache that
+    // contradicts a shard *report* is caught as a conflict too.
+    let from_reports = VerdictCache::in_memory();
+    for (&index, job_report) in &entries {
+        from_reports.insert(
+            job_cache_key(&jobs[index], fingerprint),
+            CachedVerdict {
+                verdict: job_report.verdict,
+                stage: job_report.stage,
+                detail: job_report.detail.clone(),
+                checksum: job_report.checksum,
+            },
+        );
+    }
+    merged.merge_from(&from_reports)?;
+    let evicted = merged.compact(&sweep.bounds);
+    merged.persist()?;
+
+    let reports: Vec<JobReport> = entries.into_values().collect();
+    debug_assert_eq!(reports.len(), jobs.len());
+    let cache_hits = reports.iter().filter(|r| r.cache_hit).count();
+    let report = BatchReport {
+        cache_misses: reports.len() - cache_hits,
+        cache_hits,
+        threads: manifest.shards,
+        wall: start.elapsed(),
+        jobs: reports,
+    };
+    Ok(ShardedSweep {
+        report,
+        cache: Arc::new(merged),
+        cache_file,
+        recovered: missing,
+        evicted,
+        shards: outcomes,
+    })
+}

@@ -1,0 +1,654 @@
+//! On-disk exchange formats for sharded sweeps.
+//!
+//! See the [module docs](crate::shard) for the format overview. Everything
+//! here reuses the `serde` shim's [`json`] document model and the verdict
+//! cache's conventions: `u64` values travel as 16-digit lower-case hex
+//! strings, enum payloads as stable string tags, and every file is written
+//! atomically (temp file + rename) so a reader never observes a torn write.
+//! Functions travel as printed C source — [`lv_cir::printer::print_function`]
+//! followed by [`lv_cir::parse_function`] yields a structurally equal AST,
+//! so content hashes (and therefore shard assignment, cache keys, and
+//! verdicts) are unaffected by the round trip.
+
+use crate::cache::{
+    checksum_value, hex, parse_checksum, parse_hex, parse_stage, parse_verdict, stage_tag,
+    verdict_tag,
+};
+use crate::engine::{EngineConfig, Job, JobReport, StageTrace};
+use crate::pipeline::PipelineConfig;
+use crate::shard::{ShardError, ShardPlan, ShardPolicy};
+use lv_cir::ast::Function;
+use lv_cir::printer::print_function;
+use lv_interp::{ChecksumConfig, ExecConfig};
+use lv_tv::{SolverBudget, TvConfig};
+use serde::json::{self, Value};
+use std::io;
+use std::path::{Path, PathBuf};
+use std::time::Duration;
+
+/// The manifest / shard-report format version; readers reject other values.
+pub const SHARD_FORMAT_VERSION: i64 = 1;
+
+/// Writes `text` to `path` atomically (temp file, then rename), creating
+/// parent directories as needed.
+pub(crate) fn write_atomic(path: &Path, text: &str) -> io::Result<()> {
+    if let Some(parent) = path.parent() {
+        std::fs::create_dir_all(parent)?;
+    }
+    let tmp = path.with_extension("tmp");
+    std::fs::write(&tmp, text)?;
+    std::fs::rename(&tmp, path)
+}
+
+fn int_field(value: &Value, key: &str) -> Result<i64, String> {
+    value
+        .get(key)
+        .and_then(Value::as_int)
+        .ok_or_else(|| format!("missing integer field `{}`", key))
+}
+
+fn str_field<'a>(value: &'a Value, key: &str) -> Result<&'a str, String> {
+    value
+        .get(key)
+        .and_then(Value::as_str)
+        .ok_or_else(|| format!("missing string field `{}`", key))
+}
+
+fn bool_field(value: &Value, key: &str) -> Result<bool, String> {
+    match value.get(key) {
+        Some(Value::Bool(b)) => Ok(*b),
+        _ => Err(format!("missing boolean field `{}`", key)),
+    }
+}
+
+fn usize_field(value: &Value, key: &str) -> Result<usize, String> {
+    usize::try_from(int_field(value, key)?)
+        .map_err(|_| format!("field `{}` does not fit a usize", key))
+}
+
+// ---------------------------------------------------------------------------
+// Engine-configuration serialization.
+// ---------------------------------------------------------------------------
+
+fn budget_value(budget: SolverBudget) -> Value {
+    Value::Object(vec![
+        ("max_conflicts".to_string(), hex(budget.max_conflicts)),
+        ("max_clauses".to_string(), hex(budget.max_clauses as u64)),
+    ])
+}
+
+fn parse_budget(value: &Value, key: &str) -> Result<SolverBudget, String> {
+    let obj = value
+        .get(key)
+        .ok_or_else(|| format!("missing budget object `{}`", key))?;
+    Ok(SolverBudget {
+        max_conflicts: parse_hex(obj.get("max_conflicts"), "max_conflicts")?,
+        max_clauses: usize::try_from(parse_hex(obj.get("max_clauses"), "max_clauses")?)
+            .map_err(|_| "max_clauses does not fit a usize".to_string())?,
+    })
+}
+
+fn checksum_config_value(config: &ChecksumConfig) -> Value {
+    let mut overrides: Vec<(&String, &i32)> = config.scalar_overrides.iter().collect();
+    overrides.sort();
+    Value::Object(vec![
+        ("n".to_string(), Value::Int(i64::from(config.n))),
+        ("trials".to_string(), Value::Int(i64::from(config.trials))),
+        ("seed".to_string(), hex(config.seed)),
+        ("slack".to_string(), Value::Int(config.slack as i64)),
+        (
+            "value_range".to_string(),
+            Value::Array(vec![
+                Value::Int(i64::from(config.value_range.0)),
+                Value::Int(i64::from(config.value_range.1)),
+            ]),
+        ),
+        (
+            "scalar_overrides".to_string(),
+            Value::Object(
+                overrides
+                    .into_iter()
+                    .map(|(name, value)| (name.clone(), Value::Int(i64::from(*value))))
+                    .collect(),
+            ),
+        ),
+        ("max_steps".to_string(), hex(config.exec.max_steps)),
+    ])
+}
+
+fn parse_checksum_config(value: &Value) -> Result<ChecksumConfig, String> {
+    let obj = value
+        .get("checksum")
+        .ok_or_else(|| "missing `checksum` configuration".to_string())?;
+    let range = obj
+        .get("value_range")
+        .and_then(Value::as_array)
+        .filter(|a| a.len() == 2)
+        .ok_or_else(|| "missing `value_range` pair".to_string())?;
+    let range_int = |v: &Value| -> Result<i32, String> {
+        v.as_int()
+            .and_then(|i| i32::try_from(i).ok())
+            .ok_or_else(|| "value_range entry is not an i32".to_string())
+    };
+    let overrides = match obj.get("scalar_overrides") {
+        Some(Value::Object(entries)) => entries
+            .iter()
+            .map(|(name, value)| {
+                value
+                    .as_int()
+                    .and_then(|i| i32::try_from(i).ok())
+                    .map(|i| (name.clone(), i))
+                    .ok_or_else(|| format!("override `{}` is not an i32", name))
+            })
+            .collect::<Result<_, _>>()?,
+        _ => return Err("missing `scalar_overrides` object".to_string()),
+    };
+    Ok(ChecksumConfig {
+        n: i32::try_from(int_field(obj, "n")?).map_err(|_| "`n` does not fit an i32")?,
+        trials: u32::try_from(int_field(obj, "trials")?)
+            .map_err(|_| "`trials` does not fit a u32")?,
+        seed: parse_hex(obj.get("seed"), "seed")?,
+        slack: usize_field(obj, "slack")?,
+        value_range: (range_int(&range[0])?, range_int(&range[1])?),
+        scalar_overrides: overrides,
+        exec: ExecConfig {
+            max_steps: parse_hex(obj.get("max_steps"), "max_steps")?,
+        },
+    })
+}
+
+fn tv_config_value(config: &TvConfig) -> Value {
+    Value::Object(vec![
+        (
+            "alive2_budget".to_string(),
+            budget_value(config.alive2_budget),
+        ),
+        (
+            "cunroll_budget".to_string(),
+            budget_value(config.cunroll_budget),
+        ),
+        (
+            "spatial_budget".to_string(),
+            budget_value(config.spatial_budget),
+        ),
+        (
+            "alive2_chunks".to_string(),
+            Value::Int(config.alive2_chunks as i64),
+        ),
+        (
+            "array_slack".to_string(),
+            Value::Int(config.array_slack as i64),
+        ),
+        (
+            "max_iterations".to_string(),
+            Value::Int(config.max_iterations as i64),
+        ),
+    ])
+}
+
+fn parse_tv_config(value: &Value) -> Result<TvConfig, String> {
+    let obj = value
+        .get("tv")
+        .ok_or_else(|| "missing `tv` configuration".to_string())?;
+    Ok(TvConfig {
+        alive2_budget: parse_budget(obj, "alive2_budget")?,
+        cunroll_budget: parse_budget(obj, "cunroll_budget")?,
+        spatial_budget: parse_budget(obj, "spatial_budget")?,
+        alive2_chunks: usize_field(obj, "alive2_chunks")?,
+        array_slack: usize_field(obj, "array_slack")?,
+        max_iterations: usize_field(obj, "max_iterations")?,
+    })
+}
+
+// ---------------------------------------------------------------------------
+// The manifest.
+// ---------------------------------------------------------------------------
+
+/// The coordinator → worker manifest: the full job list, the shard layout,
+/// and the engine configuration (minus cache and adaptive policy — every
+/// worker opens its own per-shard cache file, and adaptive tuning is a
+/// whole-batch decision that sharding deliberately leaves off so verdicts
+/// stay bit-identical to the single-process run).
+#[derive(Debug, Clone)]
+pub struct SweepManifest {
+    /// Number of shards the sweep is partitioned into.
+    pub shards: usize,
+    /// The partitioning policy.
+    pub policy: ShardPolicy,
+    /// Worker threads per shard process (`0` = one per CPU).
+    pub threads: usize,
+    /// The cascade stage list, in order.
+    pub cascade: Vec<crate::pipeline::Stage>,
+    /// Stage configurations.
+    pub pipeline: PipelineConfig,
+    /// The sweep's jobs, in batch order.
+    pub jobs: Vec<Job>,
+}
+
+impl SweepManifest {
+    /// Builds a manifest for `jobs` under `config`, partitioned into
+    /// `shards` shards by `policy`. `config.cache` and `config.adaptive`
+    /// are not part of the exchange (see the struct docs).
+    pub fn new(
+        config: &EngineConfig,
+        jobs: &[Job],
+        shards: usize,
+        policy: ShardPolicy,
+    ) -> SweepManifest {
+        SweepManifest {
+            shards: shards.max(1),
+            policy,
+            threads: config.threads,
+            cascade: config.cascade.clone(),
+            pipeline: config.pipeline.clone(),
+            jobs: jobs.to_vec(),
+        }
+    }
+
+    /// The engine configuration every worker (and the coordinator's
+    /// recovery path) runs under. Attach a cache with
+    /// [`EngineConfig::with_cache`] before building the engine.
+    pub fn engine_config(&self) -> EngineConfig {
+        EngineConfig {
+            threads: self.threads,
+            cascade: self.cascade.clone(),
+            pipeline: self.pipeline.clone(),
+            cache: None,
+            adaptive: None,
+        }
+    }
+
+    /// The configuration fingerprint recorded in (and verified against)
+    /// the file.
+    pub fn fingerprint(&self) -> u64 {
+        self.engine_config().semantic_fingerprint()
+    }
+
+    /// The shard plan every participant derives from this manifest.
+    pub fn plan(&self) -> ShardPlan {
+        ShardPlan::new(&self.jobs, self.shards, self.policy)
+    }
+
+    /// Serializes the manifest to its JSON document.
+    pub fn render(&self) -> String {
+        let jobs: Vec<Value> = self
+            .jobs
+            .iter()
+            .map(|job| {
+                Value::Object(vec![
+                    ("label".to_string(), Value::Str(job.label.clone())),
+                    (
+                        "scalar".to_string(),
+                        Value::Str(print_function(&job.scalar)),
+                    ),
+                    (
+                        "candidate".to_string(),
+                        Value::Str(print_function(&job.candidate)),
+                    ),
+                ])
+            })
+            .collect();
+        let doc = Value::Object(vec![
+            ("version".to_string(), Value::Int(SHARD_FORMAT_VERSION)),
+            ("fingerprint".to_string(), hex(self.fingerprint())),
+            ("shards".to_string(), Value::Int(self.shards as i64)),
+            (
+                "policy".to_string(),
+                Value::Str(self.policy.tag().to_string()),
+            ),
+            ("threads".to_string(), Value::Int(self.threads as i64)),
+            (
+                "cascade".to_string(),
+                Value::Array(
+                    self.cascade
+                        .iter()
+                        .map(|stage| Value::Str(stage_tag(*stage).to_string()))
+                        .collect(),
+                ),
+            ),
+            (
+                "checksum".to_string(),
+                checksum_config_value(&self.pipeline.checksum),
+            ),
+            ("tv".to_string(), tv_config_value(&self.pipeline.tv)),
+            ("jobs".to_string(), Value::Array(jobs)),
+        ]);
+        let mut text = doc.to_string();
+        text.push('\n');
+        text
+    }
+
+    /// Writes the manifest atomically.
+    pub fn write(&self, path: &Path) -> io::Result<()> {
+        write_atomic(path, &self.render())
+    }
+
+    /// Loads and validates a manifest: the format version must match, every
+    /// function source must re-parse, and the recorded fingerprint must
+    /// equal the one recomputed from the parsed configuration (a mismatch
+    /// means the writer was a semantically different build).
+    pub fn load(path: impl Into<PathBuf>) -> Result<SweepManifest, ShardError> {
+        let path = path.into();
+        let text = std::fs::read_to_string(&path)?;
+        let doc = json::parse(&text).map_err(|e| ShardError::Format(e.to_string()))?;
+        check_version(&doc, "manifest")?;
+        let policy = ShardPolicy::from_tag(str_field(&doc, "policy").map_err(ShardError::Format)?)
+            .map_err(ShardError::Format)?;
+        let cascade = doc
+            .get("cascade")
+            .and_then(Value::as_array)
+            .ok_or_else(|| ShardError::Format("missing `cascade` array".to_string()))?
+            .iter()
+            .map(|stage| {
+                stage
+                    .as_str()
+                    .ok_or_else(|| "cascade entry is not a string".to_string())
+                    .and_then(parse_stage)
+            })
+            .collect::<Result<Vec<_>, _>>()
+            .map_err(ShardError::Format)?;
+        let jobs = doc
+            .get("jobs")
+            .and_then(Value::as_array)
+            .ok_or_else(|| ShardError::Format("missing `jobs` array".to_string()))?
+            .iter()
+            .map(|job| {
+                let label = str_field(job, "label")?.to_string();
+                let scalar = parse_source(str_field(job, "scalar")?)?;
+                let candidate = parse_source(str_field(job, "candidate")?)?;
+                Ok(Job {
+                    label,
+                    scalar,
+                    candidate,
+                })
+            })
+            .collect::<Result<Vec<Job>, String>>()
+            .map_err(ShardError::Format)?;
+        let manifest = SweepManifest {
+            shards: usize_field(&doc, "shards").map_err(ShardError::Format)?,
+            policy,
+            threads: usize_field(&doc, "threads").map_err(ShardError::Format)?,
+            cascade,
+            pipeline: PipelineConfig {
+                checksum: parse_checksum_config(&doc).map_err(ShardError::Format)?,
+                tv: parse_tv_config(&doc).map_err(ShardError::Format)?,
+            },
+            jobs,
+        };
+        let recorded =
+            parse_hex(doc.get("fingerprint"), "fingerprint").map_err(ShardError::Format)?;
+        let computed = manifest.fingerprint();
+        if recorded != computed {
+            return Err(ShardError::FingerprintMismatch { recorded, computed });
+        }
+        Ok(manifest)
+    }
+}
+
+fn parse_source(source: &str) -> Result<Function, String> {
+    lv_cir::parse_function(source).map_err(|e| format!("function failed to re-parse: {}", e))
+}
+
+fn check_version(doc: &Value, what: &str) -> Result<(), ShardError> {
+    match doc.get("version").and_then(Value::as_int) {
+        Some(SHARD_FORMAT_VERSION) => Ok(()),
+        Some(other) => Err(ShardError::Format(format!(
+            "{} has format version {}, this build reads version {}",
+            what, other, SHARD_FORMAT_VERSION
+        ))),
+        None => Err(ShardError::Format(format!(
+            "{} has no `version` field",
+            what
+        ))),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The shard report.
+// ---------------------------------------------------------------------------
+
+/// One shard's results: `(original job index, report)` pairs for every job
+/// the shard finished, in ascending index order.
+#[derive(Debug, Clone)]
+pub struct ShardReportFile {
+    /// Which shard produced the file.
+    pub shard: usize,
+    /// The sweep's total shard count.
+    pub shards: usize,
+    /// The configuration fingerprint the shard ran under.
+    pub fingerprint: u64,
+    /// Finished jobs: original index → report.
+    pub entries: Vec<(usize, JobReport)>,
+}
+
+impl ShardReportFile {
+    /// Serializes the report to its JSON document. Entries are emitted in
+    /// ascending job-index order, so re-rendering the same contents is
+    /// byte-identical.
+    pub fn render(&self) -> String {
+        let mut entries = self.entries.clone();
+        entries.sort_by_key(|(index, _)| *index);
+        let items: Vec<Value> = entries
+            .iter()
+            .map(|(index, report)| job_report_value(*index, report))
+            .collect();
+        let doc = Value::Object(vec![
+            ("version".to_string(), Value::Int(SHARD_FORMAT_VERSION)),
+            ("shard".to_string(), Value::Int(self.shard as i64)),
+            ("shards".to_string(), Value::Int(self.shards as i64)),
+            ("fingerprint".to_string(), hex(self.fingerprint)),
+            ("jobs".to_string(), Value::Array(items)),
+        ]);
+        let mut text = doc.to_string();
+        text.push('\n');
+        text
+    }
+
+    /// Writes the report atomically.
+    pub fn write(&self, path: &Path) -> io::Result<()> {
+        write_atomic(path, &self.render())
+    }
+
+    /// Loads a shard report.
+    pub fn load(path: impl Into<PathBuf>) -> Result<ShardReportFile, ShardError> {
+        let path = path.into();
+        let text = std::fs::read_to_string(&path)?;
+        let doc = json::parse(&text).map_err(|e| ShardError::Format(e.to_string()))?;
+        check_version(&doc, "shard report")?;
+        let entries = doc
+            .get("jobs")
+            .and_then(Value::as_array)
+            .ok_or_else(|| ShardError::Format("missing `jobs` array".to_string()))?
+            .iter()
+            .map(parse_job_report)
+            .collect::<Result<Vec<_>, String>>()
+            .map_err(ShardError::Format)?;
+        Ok(ShardReportFile {
+            shard: usize_field(&doc, "shard").map_err(ShardError::Format)?,
+            shards: usize_field(&doc, "shards").map_err(ShardError::Format)?,
+            fingerprint: parse_hex(doc.get("fingerprint"), "fingerprint")
+                .map_err(ShardError::Format)?,
+            entries,
+        })
+    }
+}
+
+fn duration_value(duration: Duration) -> Value {
+    hex(u64::try_from(duration.as_micros()).unwrap_or(u64::MAX))
+}
+
+fn job_report_value(index: usize, report: &JobReport) -> Value {
+    let traces: Vec<Value> = report
+        .traces
+        .iter()
+        .map(|trace| {
+            Value::Object(vec![
+                (
+                    "stage".to_string(),
+                    Value::Str(stage_tag(trace.stage).to_string()),
+                ),
+                ("conclusive".to_string(), Value::Bool(trace.conclusive)),
+                ("wall_us".to_string(), duration_value(trace.wall)),
+                ("conflicts".to_string(), hex(trace.conflicts)),
+                ("clauses".to_string(), hex(trace.clauses)),
+                (
+                    "name_mismatch".to_string(),
+                    Value::Bool(trace.name_mismatch),
+                ),
+            ])
+        })
+        .collect();
+    Value::Object(vec![
+        ("index".to_string(), Value::Int(index as i64)),
+        ("label".to_string(), Value::Str(report.label.clone())),
+        (
+            "verdict".to_string(),
+            Value::Str(verdict_tag(report.verdict).to_string()),
+        ),
+        (
+            "stage".to_string(),
+            Value::Str(stage_tag(report.stage).to_string()),
+        ),
+        ("detail".to_string(), Value::Str(report.detail.clone())),
+        ("checksum".to_string(), checksum_value(report.checksum)),
+        ("cache_hit".to_string(), Value::Bool(report.cache_hit)),
+        ("wall_us".to_string(), duration_value(report.wall)),
+        ("traces".to_string(), Value::Array(traces)),
+    ])
+}
+
+fn parse_job_report(item: &Value) -> Result<(usize, JobReport), String> {
+    let traces = item
+        .get("traces")
+        .and_then(Value::as_array)
+        .ok_or_else(|| "missing `traces` array".to_string())?
+        .iter()
+        .map(|trace| {
+            Ok(StageTrace {
+                stage: parse_stage(str_field(trace, "stage")?)?,
+                conclusive: bool_field(trace, "conclusive")?,
+                wall: Duration::from_micros(parse_hex(trace.get("wall_us"), "wall_us")?),
+                conflicts: parse_hex(trace.get("conflicts"), "conflicts")?,
+                clauses: parse_hex(trace.get("clauses"), "clauses")?,
+                name_mismatch: bool_field(trace, "name_mismatch")?,
+            })
+        })
+        .collect::<Result<Vec<_>, String>>()?;
+    let report = JobReport {
+        label: str_field(item, "label")?.to_string(),
+        verdict: parse_verdict(str_field(item, "verdict")?)?,
+        stage: parse_stage(str_field(item, "stage")?)?,
+        detail: str_field(item, "detail")?.to_string(),
+        checksum: parse_checksum(item.get("checksum"))?,
+        traces,
+        wall: Duration::from_micros(parse_hex(item.get("wall_us"), "wall_us")?),
+        cache_hit: bool_field(item, "cache_hit")?,
+    };
+    Ok((usize_field(item, "index")?, report))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::{Equivalence, Stage};
+    use lv_cir::parse_function;
+
+    fn sample_manifest() -> SweepManifest {
+        let scalar = parse_function(
+            "void s000(int n, int *a, int *b) { for (int i = 0; i < n; i++) { a[i] = b[i] + 1; } }",
+        )
+        .unwrap();
+        let jobs = vec![Job::new("s000", scalar.clone(), scalar)];
+        let mut config = EngineConfig::full(PipelineConfig::default()).with_threads(2);
+        config
+            .pipeline
+            .checksum
+            .scalar_overrides
+            .insert("n".to_string(), 40);
+        SweepManifest::new(&config, &jobs, 3, ShardPolicy::HashMod)
+    }
+
+    #[test]
+    fn manifest_round_trips_with_identical_fingerprint() {
+        let dir = std::env::temp_dir().join(format!("lv-shard-mani-{}", std::process::id()));
+        let path = dir.join("manifest.json");
+        let manifest = sample_manifest();
+        manifest.write(&path).unwrap();
+
+        let loaded = SweepManifest::load(&path).unwrap();
+        assert_eq!(loaded.shards, 3);
+        assert_eq!(loaded.policy, ShardPolicy::HashMod);
+        assert_eq!(loaded.threads, 2);
+        assert_eq!(loaded.cascade, manifest.cascade);
+        assert_eq!(loaded.fingerprint(), manifest.fingerprint());
+        assert_eq!(loaded.jobs.len(), 1);
+        assert_eq!(loaded.jobs[0].scalar, manifest.jobs[0].scalar);
+        assert_eq!(loaded.plan(), manifest.plan());
+        // Rendering the loaded manifest reproduces the file byte-for-byte.
+        assert_eq!(loaded.render(), manifest.render());
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn tampered_fingerprint_is_rejected() {
+        let dir = std::env::temp_dir().join(format!("lv-shard-tamper-{}", std::process::id()));
+        let path = dir.join("manifest.json");
+        let manifest = sample_manifest();
+        let tampered = manifest.render().replace("\"trials\":3", "\"trials\":4");
+        assert_ne!(tampered, manifest.render(), "tamper point must exist");
+        write_atomic(&path, &tampered).unwrap();
+        match SweepManifest::load(&path) {
+            Err(ShardError::FingerprintMismatch { .. }) => {}
+            other => panic!("expected a fingerprint mismatch, got {:?}", other),
+        }
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn shard_report_round_trips() {
+        let dir = std::env::temp_dir().join(format!("lv-shard-report-{}", std::process::id()));
+        let path = dir.join("shard-0.report.json");
+        let report = ShardReportFile {
+            shard: 0,
+            shards: 2,
+            fingerprint: 0xabcd,
+            entries: vec![(
+                4,
+                JobReport {
+                    label: "s112".to_string(),
+                    verdict: Equivalence::Equivalent,
+                    stage: Stage::CUnroll,
+                    detail: "with \"quotes\"\nand newlines".to_string(),
+                    checksum: Some(lv_interp::ChecksumClass::Plausible),
+                    traces: vec![StageTrace {
+                        stage: Stage::Checksum,
+                        conclusive: false,
+                        wall: Duration::from_micros(1234),
+                        conflicts: 0,
+                        clauses: 0,
+                        name_mismatch: true,
+                    }],
+                    wall: Duration::from_micros(9999),
+                    cache_hit: false,
+                },
+            )],
+        };
+        report.write(&path).unwrap();
+        let loaded = ShardReportFile::load(&path).unwrap();
+        assert_eq!(loaded.shard, 0);
+        assert_eq!(loaded.shards, 2);
+        assert_eq!(loaded.fingerprint, 0xabcd);
+        assert_eq!(loaded.entries.len(), 1);
+        let (index, job) = &loaded.entries[0];
+        assert_eq!(*index, 4);
+        assert_eq!(job.label, "s112");
+        assert_eq!(job.verdict, Equivalence::Equivalent);
+        assert_eq!(job.stage, Stage::CUnroll);
+        assert_eq!(job.detail, "with \"quotes\"\nand newlines");
+        assert_eq!(job.traces.len(), 1);
+        assert!(job.traces[0].name_mismatch);
+        assert_eq!(job.traces[0].wall, Duration::from_micros(1234));
+        assert_eq!(loaded.render(), report.render());
+        std::fs::remove_file(&path).unwrap();
+    }
+}

@@ -1,0 +1,191 @@
+//! Sharded multi-process sweeps with cache-file exchange and merge.
+//!
+//! The paper's experiments are embarrassingly parallel sweeps over
+//! `(kernel × candidate)` pairs; the [`engine`](crate::engine) already fans a
+//! batch over in-process worker threads, and the content-addressed
+//! [`VerdictCache`](crate::VerdictCache) makes verdicts bit-identical under
+//! replay. This module scales the same batch *across processes* (and, with a
+//! shared filesystem, across hosts): a coordinator partitions the job list
+//! into shards, worker processes each run one shard through the unchanged
+//! [`run_batch_observed`](crate::VerificationEngine::run_batch_observed)
+//! path, and the per-shard verdict-cache files are merged — with conflict
+//! detection — into a single cache and a single
+//! [`BatchReport`](crate::BatchReport) equal to the single-process run.
+//!
+//! * [`plan`] — the deterministic [`ShardPlan`]: partitions jobs into `N`
+//!   shards by stable content-derived job key, under a hash-mod or a
+//!   contiguous-range [`ShardPolicy`]. Both policies are verdict-order
+//!   preserving: shard results are merged back by original job index, so the
+//!   merged report is always in job order regardless of which shard ran
+//!   which job.
+//! * [`exchange`] — the on-disk exchange formats (see below).
+//! * [`runner`] — the worker side: loads the manifest, selects its shard,
+//!   runs it on the engine, and incrementally flushes a per-shard cache
+//!   file + shard report so a killed worker leaves usable partial output.
+//!   [`run_worker_from_args`] is the drop-in `--shard i/N` entry point for
+//!   self-executing binaries (the `lv-sweep` CLI and the `shard_sweep`
+//!   example both use it).
+//! * [`coordinator`] — spawns one worker process per shard via
+//!   [`std::process::Command`], supervises them (wall-clock timeout,
+//!   nonzero-exit and spawn-failure detection), recovers missing results,
+//!   and merges shard outputs.
+//!
+//! # Exchange formats
+//!
+//! All files are JSON documents in the `serde` shim's
+//! [`json`](serde::json) document model, written atomically (temp file +
+//! rename) so readers never observe torn writes. `u64` values (hashes,
+//! conflict counts, microsecond wall times) are 16-digit lower-case hex
+//! strings, exactly like the [verdict cache format](crate::cache).
+//!
+//! **Manifest** (`manifest.json`, coordinator → workers): the full job list
+//! (functions as printed C source — [`lv_cir::printer`] round-trips to a
+//! structurally equal AST, so content hashes and verdicts are unaffected),
+//! the shard count and policy, the engine configuration (cascade, checksum
+//! harness, solver budgets, threads), and the configuration's
+//! [`semantic_fingerprint`](crate::EngineConfig::semantic_fingerprint).
+//! Workers recompute the fingerprint from the parsed configuration and
+//! refuse to run on a mismatch, so a coordinator and a worker from
+//! semantically different builds can never silently mix verdicts.
+//!
+//! **Per-shard verdict cache** (`shard-<i>.cache.json`, workers →
+//! coordinator): a standard [`VerdictCache`](crate::VerdictCache) file — the
+//! natural exchange format for verdicts, since entries are content-addressed
+//! and therefore mergeable by key. The coordinator merges all shard caches
+//! (plus any recovery run's entries) with
+//! [`VerdictCache::merge_from`](crate::VerdictCache::merge_from): a
+//! same-key-different-verdict clash is a typed [`CacheMergeError`], never
+//! last-write-wins.
+//!
+//! **Shard report** (`shard-<i>.report.json`, workers → coordinator): one
+//! entry per finished job — original job index, label, verdict, stage,
+//! detail, checksum class, cache-hit flag, and the per-stage traces — i.e.
+//! everything a [`JobReport`](crate::JobReport) carries, so the merged
+//! [`BatchReport`](crate::BatchReport) has full telemetry and its
+//! [`funnel`](crate::BatchReport::funnel) works across process boundaries.
+//!
+//! # Recovery semantics
+//!
+//! Workers flush their cache file and report after every finished job, so
+//! the failure unit is one *job*, not one shard. The coordinator collects
+//! whatever entries each shard managed to write — a worker that was killed
+//! mid-sweep, exited nonzero, timed out (the coordinator kills it), failed
+//! to spawn, or wrote a report with a mismatched fingerprint contributes its
+//! completed prefix (or nothing) — and then re-runs exactly the missing job
+//! indices in-process through the same engine configuration. Because
+//! verification is deterministic, re-run verdicts equal the ones the dead
+//! worker would have produced, so the merged report and cache file are
+//! bit-identical to a fully healthy run (and to a single-process run).
+//! Recovery strictly adds the missing keys; the conflict check still guards
+//! against corrupt partial files.
+//!
+//! # Example
+//!
+//! A self-executing 2-shard sweep (the binary re-invokes itself in worker
+//! mode; see `examples/shard_sweep.rs` for the full version CI pins):
+//!
+//! ```no_run
+//! use lv_core::shard::{run_worker_from_args, ShardPolicy, SweepConfig, WorkerSpec};
+//! use lv_core::{EngineConfig, Job, PipelineConfig};
+//!
+//! let args: Vec<String> = std::env::args().skip(1).collect();
+//! if let Some(result) = run_worker_from_args(&args) {
+//!     result.expect("shard worker failed");
+//!     return; // this process was a worker; the coordinator merges
+//! }
+//! let jobs: Vec<Job> = Vec::new(); // build the sweep's job list
+//! let sweep = SweepConfig {
+//!     shards: 2,
+//!     policy: ShardPolicy::HashMod,
+//!     workdir: std::env::temp_dir().join("sweep"),
+//!     worker: WorkerSpec::current_exe().unwrap(),
+//!     ..SweepConfig::default()
+//! };
+//! let swept = lv_core::shard::run_sharded_sweep(
+//!     &jobs,
+//!     &EngineConfig::full(PipelineConfig::default()),
+//!     &sweep,
+//! )
+//! .unwrap();
+//! println!("merged {} verdicts, {} recovered in-process",
+//!          swept.report.jobs.len(), swept.recovered.len());
+//! ```
+
+pub mod coordinator;
+pub mod exchange;
+pub mod plan;
+pub mod runner;
+
+pub use coordinator::{
+    run_sharded_sweep, ShardOutcome, ShardStatus, ShardedSweep, SweepConfig, WorkerSpec,
+};
+pub use exchange::{ShardReportFile, SweepManifest};
+pub use plan::{job_key, ShardPlan, ShardPolicy};
+pub use runner::{run_shard, run_worker_from_args, ShardRunOutput, WorkerInvocation};
+
+use crate::cache::CacheMergeError;
+use std::fmt;
+use std::io;
+
+/// Everything that can go wrong in the shard subsystem.
+#[derive(Debug)]
+pub enum ShardError {
+    /// Filesystem or process-spawn failure.
+    Io(io::Error),
+    /// A manifest or shard report file failed to parse.
+    Format(String),
+    /// A manifest's recorded configuration fingerprint does not match the
+    /// fingerprint recomputed from its parsed configuration — the writer and
+    /// the reader are semantically different builds.
+    FingerprintMismatch {
+        /// Fingerprint recorded in the file.
+        recorded: u64,
+        /// Fingerprint recomputed by this build.
+        computed: u64,
+    },
+    /// Two shard caches (or a shard cache and the recovery run) disagree on
+    /// a key.
+    MergeConflict(CacheMergeError),
+    /// A worker invocation's command line is malformed (`--shard i/N` with
+    /// `i >= N`, a missing `--manifest`, …).
+    BadInvocation(String),
+}
+
+impl fmt::Display for ShardError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ShardError::Io(e) => write!(f, "shard I/O error: {}", e),
+            ShardError::Format(e) => write!(f, "malformed shard exchange file: {}", e),
+            ShardError::FingerprintMismatch { recorded, computed } => write!(
+                f,
+                "configuration fingerprint mismatch: file records {:016x}, this build \
+                 computes {:016x} (coordinator and worker are different builds?)",
+                recorded, computed
+            ),
+            ShardError::MergeConflict(e) => write!(f, "{}", e),
+            ShardError::BadInvocation(e) => write!(f, "bad worker invocation: {}", e),
+        }
+    }
+}
+
+impl std::error::Error for ShardError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ShardError::Io(e) => Some(e),
+            ShardError::MergeConflict(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for ShardError {
+    fn from(e: io::Error) -> ShardError {
+        ShardError::Io(e)
+    }
+}
+
+impl From<CacheMergeError> for ShardError {
+    fn from(e: CacheMergeError) -> ShardError {
+        ShardError::MergeConflict(e)
+    }
+}

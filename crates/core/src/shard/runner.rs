@@ -1,0 +1,334 @@
+//! The worker side of a sharded sweep.
+//!
+//! A shard worker loads the [`SweepManifest`], derives the same
+//! [`ShardPlan`](crate::shard::ShardPlan) as the coordinator, and runs its
+//! shard's jobs through the unchanged
+//! [`run_batch_observed`](crate::VerificationEngine::run_batch_observed)
+//! path with a per-shard file-backed [`VerdictCache`]. After *every*
+//! finished job the worker flushes both its cache file and its shard report
+//! atomically, so a worker killed mid-sweep leaves valid partial output and
+//! the coordinator only has to re-run the jobs that are actually missing
+//! (see the [module docs](crate::shard) for the recovery contract).
+//!
+//! Each flush rewrites the full report and cache file, so a shard's total
+//! flush I/O grows quadratically with its job count — at verification
+//! speeds (each job runs checksum trials and usually SMT) that is noise for
+//! the sweep sizes the suite reaches today, but million-candidate shards
+//! will want an append-only journal or a flush-every-N policy; the ROADMAP
+//! tracks that as part of the scale-out item, and the recovery contract
+//! only requires *a* bounded loss window, not a one-job one.
+
+use crate::cache::VerdictCache;
+use crate::engine::{Job, JobReport, VerificationEngine};
+use crate::observer::BatchObserver;
+use crate::shard::exchange::{ShardReportFile, SweepManifest};
+use crate::shard::ShardError;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Where a shard worker writes its outputs inside the sweep's working
+/// directory.
+pub(crate) fn cache_path(out_dir: &Path, shard: usize) -> PathBuf {
+    out_dir.join(format!("shard-{}.cache.json", shard))
+}
+
+/// See [`cache_path`].
+pub(crate) fn report_path(out_dir: &Path, shard: usize) -> PathBuf {
+    out_dir.join(format!("shard-{}.report.json", shard))
+}
+
+/// What [`run_shard`] produced.
+#[derive(Debug)]
+pub struct ShardRunOutput {
+    /// The shard that ran.
+    pub shard: usize,
+    /// Jobs the shard finished (== its share of the plan on a healthy run).
+    pub finished: usize,
+    /// The per-shard verdict-cache file.
+    pub cache_file: PathBuf,
+    /// The shard report file.
+    pub report_file: PathBuf,
+}
+
+/// Streams finished jobs into the shard's report + cache files, flushing
+/// after every job so partial output survives a kill. Optionally aborts the
+/// process after `fail_after` jobs — the fault-injection hook the recovery
+/// tests and the CI example use to simulate a worker dying mid-sweep.
+struct ShardFlushObserver {
+    /// Local batch index → original job index.
+    indices: Vec<usize>,
+    shard: usize,
+    shards: usize,
+    fingerprint: u64,
+    cache: Arc<VerdictCache>,
+    report_file: PathBuf,
+    entries: Mutex<Vec<(usize, JobReport)>>,
+    finished: AtomicUsize,
+    fail_after: Option<usize>,
+}
+
+impl ShardFlushObserver {
+    fn flush(&self) {
+        // The entries lock is held across the file writes: `job_finished`
+        // fires concurrently from engine worker threads, and the atomic
+        // write-then-rename in the exchange layer uses one fixed temp path
+        // per file — two unserialized flushes could interleave on it and
+        // leave a torn final file, which is exactly what the flush protocol
+        // exists to prevent.
+        let entries = self.entries.lock().unwrap();
+        let report = ShardReportFile {
+            shard: self.shard,
+            shards: self.shards,
+            fingerprint: self.fingerprint,
+            entries: entries.clone(),
+        };
+        // Flushes are best-effort: an unwritable report surfaces later as
+        // missing output, which the coordinator recovers from anyway.
+        let _ = report.write(&self.report_file);
+        let _ = self.cache.persist();
+    }
+}
+
+impl BatchObserver for ShardFlushObserver {
+    fn job_finished(&self, index: usize, report: &JobReport) {
+        self.entries
+            .lock()
+            .unwrap()
+            .push((self.indices[index], report.clone()));
+        self.flush();
+        let finished = self.finished.fetch_add(1, Ordering::SeqCst) + 1;
+        if self.fail_after.is_some_and(|limit| finished >= limit) {
+            // Simulated crash: die without unwinding, exactly like a kill
+            // signal would, leaving the flushed prefix behind.
+            std::process::exit(3);
+        }
+    }
+}
+
+/// Runs shard `shard` of `manifest`, writing `shard-<i>.cache.json` and
+/// `shard-<i>.report.json` into `out_dir`.
+///
+/// `fail_after` is the fault-injection hook: `Some(k)` makes the process
+/// exit with code 3 after `k` finished jobs (partial output already
+/// flushed), which is how tests and the CI example simulate a worker killed
+/// mid-sweep.
+pub fn run_shard(
+    manifest: &SweepManifest,
+    shard: usize,
+    out_dir: &Path,
+    fail_after: Option<usize>,
+) -> Result<ShardRunOutput, ShardError> {
+    if shard >= manifest.shards {
+        return Err(ShardError::BadInvocation(format!(
+            "shard index {} out of range for {} shards",
+            shard, manifest.shards
+        )));
+    }
+    std::fs::create_dir_all(out_dir)?;
+    let plan = manifest.plan();
+    let indices = plan.indices_of(shard);
+    let jobs: Vec<Job> = indices.iter().map(|&i| manifest.jobs[i].clone()).collect();
+
+    let cache_file = cache_path(out_dir, shard);
+    let report_file = report_path(out_dir, shard);
+    let cache = Arc::new(VerdictCache::open(&cache_file)?);
+    let engine = VerificationEngine::new(manifest.engine_config().with_cache(cache.clone()));
+
+    let observer = ShardFlushObserver {
+        indices,
+        shard,
+        shards: manifest.shards,
+        fingerprint: manifest.fingerprint(),
+        cache: cache.clone(),
+        report_file: report_file.clone(),
+        entries: Mutex::new(Vec::new()),
+        finished: AtomicUsize::new(0),
+        fail_after,
+    };
+    let batch = engine.run_batch_observed(&jobs, &observer);
+    // Final flush: on an empty shard no job ever flushed, and it makes the
+    // outputs current even if a mid-sweep flush failed transiently.
+    observer.flush();
+    cache.persist()?;
+    Ok(ShardRunOutput {
+        shard,
+        finished: batch.jobs.len(),
+        cache_file,
+        report_file,
+    })
+}
+
+/// A parsed `--shard` worker command line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WorkerInvocation {
+    /// This worker's shard index.
+    pub shard: usize,
+    /// Total shard count (cross-checked against the manifest).
+    pub shards: usize,
+    /// Path to the sweep manifest.
+    pub manifest: PathBuf,
+    /// Output directory for the shard's cache + report files.
+    pub out_dir: PathBuf,
+    /// Fault injection: exit after this many finished jobs.
+    pub fail_after: Option<usize>,
+}
+
+impl WorkerInvocation {
+    /// Parses `--shard i/N --manifest <path> --out <dir> [--fail-after k]`
+    /// from `args`. Returns `None` when `--shard` is absent (the process is
+    /// not a worker); `Some(Err(..))` when it is present but malformed.
+    pub fn parse(args: &[String]) -> Option<Result<WorkerInvocation, ShardError>> {
+        args.iter().any(|a| a == "--shard").then(|| {
+            let mut shard = None;
+            let mut manifest = None;
+            let mut out_dir = None;
+            let mut fail_after = None;
+            let mut iter = args.iter();
+            while let Some(arg) = iter.next() {
+                let mut value = |what: &str| {
+                    iter.next()
+                        .cloned()
+                        .ok_or_else(|| ShardError::BadInvocation(format!("{} needs a value", what)))
+                };
+                match arg.as_str() {
+                    "--shard" => {
+                        let spec = value("--shard")?;
+                        let (i, n) = spec.split_once('/').ok_or_else(|| {
+                            ShardError::BadInvocation(format!(
+                                "--shard expects `i/N`, got `{}`",
+                                spec
+                            ))
+                        })?;
+                        let parse = |s: &str| {
+                            s.parse::<usize>().map_err(|_| {
+                                ShardError::BadInvocation(format!(
+                                    "--shard expects integers, got `{}`",
+                                    spec
+                                ))
+                            })
+                        };
+                        shard = Some((parse(i)?, parse(n)?));
+                    }
+                    "--manifest" => manifest = Some(PathBuf::from(value("--manifest")?)),
+                    "--out" => out_dir = Some(PathBuf::from(value("--out")?)),
+                    "--fail-after" => {
+                        let spec = value("--fail-after")?;
+                        fail_after = Some(spec.parse::<usize>().map_err(|_| {
+                            ShardError::BadInvocation(format!(
+                                "--fail-after expects an integer, got `{}`",
+                                spec
+                            ))
+                        })?);
+                    }
+                    _ => {}
+                }
+            }
+            // `--shard` appeared somewhere in `args`, but it may have been
+            // swallowed as the *value* of another flag (`--out --shard`), so
+            // its absence here is a malformed invocation, not a bug.
+            let Some((shard, shards)) = shard else {
+                return Err(ShardError::BadInvocation(
+                    "worker mode needs --shard i/N".to_string(),
+                ));
+            };
+            if shard >= shards {
+                return Err(ShardError::BadInvocation(format!(
+                    "--shard {}/{} is out of range",
+                    shard, shards
+                )));
+            }
+            Ok(WorkerInvocation {
+                shard,
+                shards,
+                manifest: manifest.ok_or_else(|| {
+                    ShardError::BadInvocation("worker mode needs --manifest <path>".to_string())
+                })?,
+                out_dir: out_dir.ok_or_else(|| {
+                    ShardError::BadInvocation("worker mode needs --out <dir>".to_string())
+                })?,
+                fail_after,
+            })
+        })
+    }
+}
+
+/// The drop-in worker entry point for self-executing sweep binaries.
+///
+/// Returns `None` when `args` has no `--shard` flag — the caller is running
+/// in coordinator (or interactive) mode and should proceed normally.
+/// Otherwise the process is a shard worker: the manifest is loaded and the
+/// shard runs to completion, and the caller should exit with the returned
+/// result. The `lv-sweep` CLI and `examples/shard_sweep.rs` both begin with
+/// this call, which is what lets the coordinator spawn
+/// `current_exe() --shard i/N …` for its workers.
+pub fn run_worker_from_args(args: &[String]) -> Option<Result<ShardRunOutput, ShardError>> {
+    let invocation = match WorkerInvocation::parse(args)? {
+        Ok(invocation) => invocation,
+        Err(e) => return Some(Err(e)),
+    };
+    Some(run_worker(&invocation))
+}
+
+/// Runs a parsed worker invocation: loads the manifest, cross-checks the
+/// shard count, and executes the shard.
+pub fn run_worker(invocation: &WorkerInvocation) -> Result<ShardRunOutput, ShardError> {
+    let manifest = SweepManifest::load(&invocation.manifest)?;
+    if manifest.shards != invocation.shards {
+        return Err(ShardError::BadInvocation(format!(
+            "--shard says {} shards but the manifest has {}",
+            invocation.shards, manifest.shards
+        )));
+    }
+    run_shard(
+        &manifest,
+        invocation.shard,
+        &invocation.out_dir,
+        invocation.fail_after,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn worker_invocation_parses_and_rejects() {
+        assert!(WorkerInvocation::parse(&args(&["--threads", "2"])).is_none());
+        let parsed = WorkerInvocation::parse(&args(&[
+            "--shard",
+            "1/4",
+            "--manifest",
+            "m.json",
+            "--out",
+            "work",
+            "--fail-after",
+            "3",
+        ]))
+        .expect("worker mode")
+        .expect("well-formed");
+        assert_eq!(parsed.shard, 1);
+        assert_eq!(parsed.shards, 4);
+        assert_eq!(parsed.manifest, PathBuf::from("m.json"));
+        assert_eq!(parsed.out_dir, PathBuf::from("work"));
+        assert_eq!(parsed.fail_after, Some(3));
+
+        for bad in [
+            vec!["--shard", "2"],
+            // `--shard` swallowed as the value of another flag.
+            vec!["--out", "--shard"],
+            vec!["--manifest", "--shard", "0/2", "--out", "o"],
+            vec!["--shard", "4/4", "--manifest", "m", "--out", "o"],
+            vec!["--shard", "x/2", "--manifest", "m", "--out", "o"],
+            vec!["--shard", "0/2", "--out", "o"],
+            vec!["--shard", "0/2", "--manifest", "m"],
+        ] {
+            let result = WorkerInvocation::parse(&args(&bad)).expect("worker mode");
+            assert!(result.is_err(), "{:?} should be rejected", bad);
+        }
+    }
+}

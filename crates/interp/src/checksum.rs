@@ -306,6 +306,35 @@ pub fn checksum_test(
     }
 }
 
+/// Returns `true` when the candidate's array (pointer-typed) parameter
+/// *names* differ from the scalar's.
+///
+/// The harness binds arrays by parameter name (`random_bindings` keys its
+/// map on names), so a candidate whose array parameters are renamed away
+/// from the scalar's runs on *disjoint* arrays and passes the comparison
+/// vacuously — refutation is left entirely to the symbolic stages. This
+/// predicate lets callers surface that situation as telemetry (the engine
+/// records it in its per-stage traces and logs a warning) without changing
+/// any verdict; making the harness bind positionally or classify the
+/// mismatch as `CannotCompile` is a planned behavior change (see ROADMAP).
+///
+/// Order is ignored — binding is by name, so a permutation of the same
+/// names is harmless.
+pub fn array_param_names_mismatch(scalar: &Function, candidate: &Function) -> bool {
+    fn array_names(func: &Function) -> Vec<&str> {
+        let mut names: Vec<&str> = func
+            .params
+            .iter()
+            .filter(|p| matches!(p.ty, Type::Ptr(_)))
+            .map(|p| p.name.as_str())
+            .collect();
+        names.sort_unstable();
+        names.dedup();
+        names
+    }
+    array_names(scalar) != array_names(candidate)
+}
+
 /// Builds a single set of random bindings that satisfies the parameters of
 /// both functions.
 fn random_bindings(

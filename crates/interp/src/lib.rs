@@ -37,8 +37,8 @@ pub mod exec;
 pub mod memory;
 
 pub use checksum::{
-    checksum_test, ChecksumClass, ChecksumConfig, ChecksumFilter, ChecksumOutcome, ChecksumReport,
-    Mismatch,
+    array_param_names_mismatch, checksum_test, ChecksumClass, ChecksumConfig, ChecksumFilter,
+    ChecksumOutcome, ChecksumReport, Mismatch,
 };
 pub use error::{ExecError, UbEvent, UbKind};
 pub use exec::{run_function, ArgBindings, ExecConfig, ExecReport, ExecResult};

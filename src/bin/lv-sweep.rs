@@ -1,0 +1,238 @@
+//! `lv-sweep` — the sharded multi-process TSVC sweep CLI.
+//!
+//! Coordinator mode (the default) builds one verification job per TSVC
+//! kernel the rule-based vectorizer supports, partitions them over `N`
+//! worker *processes* (each re-invoking this very binary with `--shard
+//! i/N`), and merges the per-shard verdict-cache files and reports into a
+//! single table plus a merged cache file — bit-identical to what a
+//! single-process run produces.
+//!
+//! ```text
+//! lv-sweep [--shards N] [--policy hash|range] [--workdir DIR]
+//!          [--kernels s000,s112,...] [--threads T] [--quick]
+//!          [--max-cache-entries N] [--timeout-secs S]
+//! ```
+//!
+//! Worker mode is selected by the presence of `--shard i/N` (plus
+//! `--manifest` and `--out`, which the coordinator passes automatically)
+//! and is not meant to be invoked by hand.
+
+use llm_vectorizer_repro::core::shard::run_worker_from_args;
+use llm_vectorizer_repro::core::{
+    CacheBounds, EngineConfig, Equivalence, Job, PipelineConfig, ShardPolicy, SweepConfig,
+    WorkerSpec,
+};
+use llm_vectorizer_repro::interp::ChecksumConfig;
+use llm_vectorizer_repro::tv::{SolverBudget, TvConfig};
+use std::process::ExitCode;
+use std::time::Duration;
+
+fn fail(message: String) -> ExitCode {
+    eprintln!("lv-sweep: {}", message);
+    ExitCode::FAILURE
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+
+    // Worker mode: the coordinator spawned us with `--shard i/N`.
+    if let Some(result) = run_worker_from_args(&args) {
+        return match result {
+            Ok(output) => {
+                println!(
+                    "shard {} finished {} job(s); cache {}, report {}",
+                    output.shard,
+                    output.finished,
+                    output.cache_file.display(),
+                    output.report_file.display()
+                );
+                ExitCode::SUCCESS
+            }
+            Err(e) => fail(e.to_string()),
+        };
+    }
+
+    // Coordinator mode.
+    let mut shards = 2usize;
+    let mut policy = ShardPolicy::HashMod;
+    let mut workdir = std::env::temp_dir().join(format!("lv-sweep-{}", std::process::id()));
+    let mut kernels: Option<Vec<String>> = None;
+    let mut threads = 0usize;
+    let mut quick = false;
+    let mut max_entries: Option<usize> = None;
+    let mut timeout = Duration::from_secs(600);
+
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        let mut value = |what: &str| {
+            iter.next()
+                .cloned()
+                .ok_or_else(|| format!("{} needs a value", what))
+        };
+        let result: Result<(), String> = (|| {
+            match arg.as_str() {
+                "--shards" => {
+                    shards = value("--shards")?
+                        .parse()
+                        .map_err(|_| "--shards expects an integer".to_string())?
+                }
+                "--policy" => {
+                    policy = match value("--policy")?.as_str() {
+                        "hash" | "hash-mod" => ShardPolicy::HashMod,
+                        "range" | "contiguous" => ShardPolicy::Contiguous,
+                        other => return Err(format!("unknown policy `{}`", other)),
+                    }
+                }
+                "--workdir" => workdir = value("--workdir")?.into(),
+                "--kernels" => {
+                    kernels = Some(
+                        value("--kernels")?
+                            .split(',')
+                            .map(|s| s.trim().to_string())
+                            .filter(|s| !s.is_empty())
+                            .collect(),
+                    )
+                }
+                "--threads" => {
+                    threads = value("--threads")?
+                        .parse()
+                        .map_err(|_| "--threads expects an integer".to_string())?
+                }
+                "--quick" => quick = true,
+                "--max-cache-entries" => {
+                    max_entries = Some(
+                        value("--max-cache-entries")?
+                            .parse()
+                            .map_err(|_| "--max-cache-entries expects an integer".to_string())?,
+                    )
+                }
+                "--timeout-secs" => {
+                    timeout = Duration::from_secs(
+                        value("--timeout-secs")?
+                            .parse()
+                            .map_err(|_| "--timeout-secs expects an integer".to_string())?,
+                    )
+                }
+                other => {
+                    return Err(format!(
+                        "unknown argument `{}` (see the module docs)",
+                        other
+                    ))
+                }
+            }
+            Ok(())
+        })();
+        if let Err(e) = result {
+            return fail(e);
+        }
+    }
+
+    let jobs: Vec<Job> = llm_vectorizer_repro::tsvc::KERNELS
+        .iter()
+        .filter(|kernel| {
+            kernels
+                .as_ref()
+                .is_none_or(|names| names.iter().any(|n| n == kernel.name))
+        })
+        .filter_map(|kernel| {
+            let scalar = kernel.function();
+            let candidate = llm_vectorizer_repro::agents::vectorize_correct(&scalar).ok()?;
+            Some(Job::new(kernel.name, scalar, candidate))
+        })
+        .collect();
+    if jobs.is_empty() {
+        return fail("no verification jobs (unknown --kernels selection?)".to_string());
+    }
+
+    let pipeline = if quick {
+        PipelineConfig {
+            checksum: ChecksumConfig {
+                trials: 1,
+                n: 40,
+                ..ChecksumConfig::default()
+            },
+            tv: TvConfig {
+                alive2_budget: SolverBudget {
+                    max_conflicts: 5_000,
+                    max_clauses: 200_000,
+                },
+                cunroll_budget: SolverBudget {
+                    max_conflicts: 50_000,
+                    max_clauses: 1_000_000,
+                },
+                spatial_budget: SolverBudget {
+                    max_conflicts: 20_000,
+                    max_clauses: 500_000,
+                },
+                alive2_chunks: 1,
+                ..TvConfig::default()
+            },
+        }
+    } else {
+        PipelineConfig::default()
+    };
+    let config = EngineConfig::full(pipeline).with_threads(threads);
+
+    let worker = match WorkerSpec::current_exe() {
+        Ok(worker) => worker,
+        Err(e) => return fail(format!("cannot locate own executable: {}", e)),
+    };
+    let sweep = SweepConfig {
+        shards,
+        policy,
+        workdir: workdir.clone(),
+        timeout,
+        worker,
+        bounds: CacheBounds {
+            max_entries,
+            max_bytes: None,
+        },
+        fail_shard_after: None,
+    };
+
+    println!(
+        "sweeping {} jobs over {} shard process(es) ({}), workdir {}",
+        jobs.len(),
+        shards,
+        policy.tag(),
+        workdir.display()
+    );
+    let swept = match llm_vectorizer_repro::core::run_sharded_sweep(&jobs, &config, &sweep) {
+        Ok(swept) => swept,
+        Err(e) => return fail(e.to_string()),
+    };
+
+    for outcome in &swept.shards {
+        println!(
+            "shard {}: {:?}, {}/{} job(s) reported",
+            outcome.shard, outcome.status, outcome.reported, outcome.planned
+        );
+    }
+    if !swept.recovered.is_empty() {
+        println!("recovered {} job(s) in-process", swept.recovered.len());
+    }
+    for job in &swept.report.jobs {
+        println!(
+            "{}: {:?} @ {}{}",
+            job.label,
+            job.verdict,
+            job.stage.label(),
+            if job.detail.is_empty() {
+                String::new()
+            } else {
+                format!(" ({})", job.detail)
+            }
+        );
+    }
+    println!(
+        "merged: {} equivalent, {} not equivalent, {} inconclusive; cache {} ({} entries, {} evicted); wall {:?}",
+        swept.report.count(Equivalence::Equivalent),
+        swept.report.count(Equivalence::NotEquivalent),
+        swept.report.count(Equivalence::Inconclusive),
+        swept.cache_file.display(),
+        swept.cache.len(),
+        swept.evicted,
+        swept.report.wall
+    );
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,352 @@
+//! Coordinator supervision and recovery: dead, failing, hanging, and
+//! partially-finished shard workers must never cost a verdict — the
+//! coordinator re-runs exactly the missing jobs in-process and the merged
+//! result equals the single-process run.
+//!
+//! These tests drive [`run_sharded_sweep`] with deliberately broken worker
+//! commands (`false`, a sleeping shell) and with real partial output staged
+//! by the in-process shard runner, so they cover the recovery machinery
+//! without self-exec; the 2-shard *self-exec* path (healthy and killed
+//! mid-sweep via `--fail-after`) is pinned by `examples/shard_sweep.rs` in
+//! CI.
+
+use llm_vectorizer_repro::core::shard::{run_shard, SweepManifest};
+use llm_vectorizer_repro::core::{
+    run_sharded_sweep, EngineConfig, Job, PipelineConfig, ShardPolicy, ShardStatus, SweepConfig,
+    VerificationEngine, WorkerSpec,
+};
+use llm_vectorizer_repro::interp::ChecksumConfig;
+use std::path::PathBuf;
+use std::time::Duration;
+
+fn quick_config() -> EngineConfig {
+    let mut tv = llm_vectorizer_repro::tv::TvConfig {
+        alive2_chunks: 1,
+        ..Default::default()
+    };
+    // Reduced budgets keep the repeated 4-kernel sweeps test-friendly; the
+    // recovery contract holds for any budget.
+    tv.alive2_budget.max_conflicts = 1_000;
+    tv.cunroll_budget.max_conflicts = 10_000;
+    tv.spatial_budget.max_conflicts = 4_000;
+    EngineConfig::full(PipelineConfig {
+        checksum: ChecksumConfig {
+            trials: 1,
+            n: 40,
+            ..ChecksumConfig::default()
+        },
+        tv,
+    })
+    .with_threads(1)
+}
+
+fn small_jobs() -> Vec<Job> {
+    ["s000", "s112", "s212", "vsumr"]
+        .iter()
+        .map(|name| {
+            let scalar = llm_vectorizer_repro::tsvc::kernel(name).unwrap().function();
+            let candidate = llm_vectorizer_repro::agents::vectorize_correct(&scalar).unwrap();
+            Job::new(*name, scalar, candidate)
+        })
+        .collect()
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("lv-recover-{}-{}", tag, std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    dir
+}
+
+fn assert_matches_single_process(swept: &llm_vectorizer_repro::core::ShardedSweep, jobs: &[Job]) {
+    let single = VerificationEngine::new(quick_config()).run_batch(jobs);
+    assert_eq!(swept.report.jobs.len(), single.jobs.len());
+    for (s, m) in single.jobs.iter().zip(&swept.report.jobs) {
+        assert_eq!(s.label, m.label);
+        assert_eq!(s.verdict, m.verdict, "verdict drifted for {}", s.label);
+        assert_eq!(s.stage, m.stage, "stage drifted for {}", s.label);
+        assert_eq!(s.detail, m.detail, "detail drifted for {}", s.label);
+    }
+}
+
+#[test]
+fn workers_that_die_immediately_are_fully_recovered() {
+    let jobs = small_jobs();
+    let dir = temp_dir("dead");
+    let sweep = SweepConfig {
+        shards: 2,
+        policy: ShardPolicy::HashMod,
+        workdir: dir.clone(),
+        // `false` exits 1 without writing any output: total worker loss.
+        worker: WorkerSpec::new("false"),
+        ..SweepConfig::default()
+    };
+    let swept = run_sharded_sweep(&jobs, &quick_config(), &sweep).expect("sweep must recover");
+    for outcome in &swept.shards {
+        assert_eq!(outcome.status, ShardStatus::Failed(Some(1)));
+        assert_eq!(outcome.reported, 0);
+    }
+    assert_eq!(swept.recovered, vec![0, 1, 2, 3], "every job recovered");
+    assert_eq!(swept.cache.len(), jobs.len(), "recovery fills the cache");
+    assert_matches_single_process(&swept, &jobs);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn hanging_workers_are_killed_at_the_timeout_and_recovered() {
+    let jobs = small_jobs();
+    let dir = temp_dir("hang");
+    let sweep = SweepConfig {
+        shards: 2,
+        policy: ShardPolicy::Contiguous,
+        workdir: dir.clone(),
+        timeout: Duration::from_millis(300),
+        // The shard arguments land in the shell's `$0`/positional slots and
+        // are ignored; the worker just hangs past the deadline.
+        worker: WorkerSpec {
+            program: PathBuf::from("sh"),
+            args: vec!["-c".to_string(), "sleep 60".to_string()],
+        },
+        ..SweepConfig::default()
+    };
+    let start = std::time::Instant::now();
+    let swept = run_sharded_sweep(&jobs, &quick_config(), &sweep).expect("sweep must recover");
+    assert!(
+        start.elapsed() < Duration::from_secs(30),
+        "the coordinator must not wait out the full sleep"
+    );
+    for outcome in &swept.shards {
+        assert_eq!(outcome.status, ShardStatus::TimedOut);
+    }
+    assert_eq!(swept.recovered.len(), jobs.len());
+    assert_matches_single_process(&swept, &jobs);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn unspawnable_workers_are_recovered() {
+    let jobs = small_jobs();
+    let dir = temp_dir("spawn");
+    let sweep = SweepConfig {
+        shards: 2,
+        workdir: dir.clone(),
+        worker: WorkerSpec::new("/nonexistent/lv-shard-worker"),
+        ..SweepConfig::default()
+    };
+    let swept = run_sharded_sweep(&jobs, &quick_config(), &sweep).expect("sweep must recover");
+    for outcome in &swept.shards {
+        assert!(
+            matches!(outcome.status, ShardStatus::SpawnFailed(_)),
+            "{:?}",
+            outcome.status
+        );
+    }
+    assert_eq!(swept.recovered.len(), jobs.len());
+    assert_matches_single_process(&swept, &jobs);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A worker killed mid-sweep leaves flushed partial output; the coordinator
+/// must keep the finished prefix and re-run only the missing jobs. The
+/// partial state is staged with the real shard runner (its `fail_after`
+/// fault injection would exit *this* process, so the prefix is produced by
+/// running shard 0 over a truncated manifest — byte-for-byte what a killed
+/// worker leaves behind, since flushes happen after every job).
+#[test]
+fn partial_shard_output_is_kept_and_only_missing_jobs_rerun() {
+    let jobs = small_jobs();
+    let config = quick_config();
+    let dir = temp_dir("partial");
+
+    // Contiguous split of 4 jobs over 2 shards: shard 0 owns jobs {0, 1}.
+    // Stage, in a side directory, shard 0's output as it looks after dying
+    // past job 0: run it over a manifest whose shard 0 is just job 0 (same
+    // shard count, so the fingerprint matches), then truncate the report to
+    // entry 0 — byte-for-byte what a killed worker leaves behind, since
+    // flushes happen after every job.
+    let staging = temp_dir("partial-staging");
+    let truncated: Vec<Job> = vec![jobs[0].clone(), jobs[2].clone(), jobs[3].clone()];
+    let staged = SweepManifest::new(&config, &truncated, 2, ShardPolicy::Contiguous);
+    assert_eq!(staged.plan().indices_of(0), vec![0, 1], "staging layout");
+    let output = run_shard(&staged, 0, &staging, None).expect("staging shard run");
+    let mut report =
+        llm_vectorizer_repro::core::shard::ShardReportFile::load(&output.report_file).unwrap();
+    report.entries.retain(|(index, _)| *index == 0);
+    report.write(&output.report_file).unwrap();
+    // Park the partial output under names the coordinator's pre-clean
+    // leaves alone; the shard 0 "worker" installs it mid-sweep and dies.
+    std::fs::copy(&output.report_file, dir.join("partial.report.json")).unwrap();
+    std::fs::copy(&output.cache_file, dir.join("partial.cache.json")).unwrap();
+    let _ = std::fs::remove_dir_all(&staging);
+
+    let sweep = SweepConfig {
+        shards: 2,
+        policy: ShardPolicy::Contiguous,
+        workdir: dir.clone(),
+        // Shard 0 leaves the staged partial output and dies; shard 1 dies
+        // with nothing ($1 is `i/N`, $5 is the --out directory).
+        worker: WorkerSpec {
+            program: PathBuf::from("sh"),
+            args: vec![
+                "-c".to_string(),
+                "if [ \"${1%%/*}\" = 0 ]; then \
+                     cp \"$5/partial.report.json\" \"$5/shard-0.report.json\"; \
+                     cp \"$5/partial.cache.json\" \"$5/shard-0.cache.json\"; \
+                 fi; exit 7"
+                    .to_string(),
+            ],
+        },
+        ..SweepConfig::default()
+    };
+    let swept = run_sharded_sweep(&jobs, &config, &sweep).expect("sweep must recover");
+    assert_eq!(
+        swept.shards[0].reported, 1,
+        "the flushed prefix must be kept"
+    );
+    assert_eq!(
+        swept.recovered,
+        vec![1, 2, 3],
+        "only the unreported jobs are re-run"
+    );
+    assert_matches_single_process(&swept, &jobs);
+    assert_eq!(swept.cache.len(), jobs.len());
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A reused workdir holding shard outputs from a *previous* sweep (same
+/// engine configuration, different job list) must not leak the old results
+/// into the new sweep: per-shard outputs are wiped before workers spawn.
+#[test]
+fn stale_outputs_in_a_reused_workdir_are_ignored() {
+    let config = quick_config();
+    let dir = temp_dir("stale");
+
+    // Sweep A: stage shard outputs for one job list via the real runner.
+    let old_jobs = small_jobs();
+    let old_manifest = SweepManifest::new(&config, &old_jobs, 2, ShardPolicy::Contiguous);
+    run_shard(&old_manifest, 0, &dir, None).expect("staging shard run");
+    run_shard(&old_manifest, 1, &dir, None).expect("staging shard run");
+
+    // Sweep B: a *different* job list, same configuration (so the
+    // config-only fingerprint in the stale reports matches), same workdir,
+    // and workers that die instantly — if the stale reports were trusted,
+    // old verdicts would be attributed to the wrong jobs.
+    let new_jobs: Vec<Job> = small_jobs().into_iter().rev().collect();
+    let sweep = SweepConfig {
+        shards: 2,
+        policy: ShardPolicy::Contiguous,
+        workdir: dir.clone(),
+        worker: WorkerSpec::new("false"),
+        ..SweepConfig::default()
+    };
+    let swept = run_sharded_sweep(&new_jobs, &config, &sweep).expect("sweep must recover");
+    assert_eq!(
+        swept.recovered.len(),
+        new_jobs.len(),
+        "stale reports must not satisfy any of the new sweep's jobs"
+    );
+    for outcome in &swept.shards {
+        assert_eq!(
+            outcome.reported, 0,
+            "shard {} leaked stale entries",
+            outcome.shard
+        );
+    }
+    let single = VerificationEngine::new(quick_config()).run_batch(&new_jobs);
+    for (s, m) in single.jobs.iter().zip(&swept.report.jobs) {
+        assert_eq!((&s.label, s.verdict), (&m.label, m.verdict));
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A shard whose *cache file* is corrupt (torn write, disk trouble) must
+/// not discard the healthy shards' work: the verdicts are re-derivable from
+/// the shard reports and the recovery run, and the merged cache is rebuilt
+/// complete from those.
+#[test]
+fn corrupt_shard_caches_are_tolerated_and_the_merged_cache_is_complete() {
+    let jobs = small_jobs();
+    let config = quick_config();
+    let dir = temp_dir("torncache");
+
+    // The "worker" writes garbage over its own shard cache (positional
+    // parameters: $1 is `i/N`, $5 is the --out directory) and exits 0
+    // without producing a report.
+    let sweep = SweepConfig {
+        shards: 2,
+        policy: ShardPolicy::Contiguous,
+        workdir: dir.clone(),
+        worker: WorkerSpec {
+            program: PathBuf::from("sh"),
+            args: vec![
+                "-c".to_string(),
+                "echo garbage > \"$5/shard-${1%%/*}.cache.json\"".to_string(),
+            ],
+        },
+        ..SweepConfig::default()
+    };
+    let swept = run_sharded_sweep(&jobs, &config, &sweep)
+        .expect("a corrupt shard cache must not abort the sweep");
+    assert_eq!(swept.recovered.len(), jobs.len());
+    assert_eq!(
+        swept.cache.len(),
+        jobs.len(),
+        "the merged cache is rebuilt complete from the collected verdicts"
+    );
+    assert_matches_single_process(&swept, &jobs);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A shard cache that disagrees with another shard's results is a typed
+/// merge conflict, not silent last-write-wins.
+#[test]
+fn conflicting_shard_caches_abort_the_merge() {
+    let jobs = small_jobs();
+    let config = quick_config();
+    let dir = temp_dir("conflict");
+
+    // Produce a healthy shard cache in a staging directory, flip one
+    // verdict, and park the forgery under a name the coordinator's
+    // output pre-clean leaves alone. The "workers" then install the
+    // forgery as their own shard cache (positional parameters: $1 is
+    // `i/N`, $5 is the --out directory) without writing a report, so every
+    // job is re-run in-process — and the recovery verdicts disagree with
+    // the forged cache entry.
+    let staging = temp_dir("conflict-staging");
+    let manifest = SweepManifest::new(&config, &jobs, 2, ShardPolicy::Contiguous);
+    let output = run_shard(&manifest, 0, &staging, None).expect("healthy shard run");
+    let text = std::fs::read_to_string(&output.cache_file).unwrap();
+    let flipped = text.replacen(
+        "\"verdict\":\"equivalent\"",
+        "\"verdict\":\"inconclusive\"",
+        1,
+    );
+    assert_ne!(text, flipped, "need at least one equivalent verdict");
+    std::fs::write(dir.join("forged.json"), flipped).unwrap();
+    let _ = std::fs::remove_dir_all(&staging);
+
+    let sweep = SweepConfig {
+        shards: 2,
+        policy: ShardPolicy::Contiguous,
+        workdir: dir.clone(),
+        worker: WorkerSpec {
+            program: PathBuf::from("sh"),
+            args: vec![
+                "-c".to_string(),
+                "cp \"$5/forged.json\" \"$5/shard-${1%%/*}.cache.json\"".to_string(),
+            ],
+        },
+        ..SweepConfig::default()
+    };
+    let err = run_sharded_sweep(&jobs, &config, &sweep)
+        .expect_err("a disagreeing shard cache must abort the merge");
+    assert!(
+        matches!(
+            err,
+            llm_vectorizer_repro::core::ShardError::MergeConflict(_)
+        ),
+        "{:?}",
+        err
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
