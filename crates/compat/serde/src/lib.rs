@@ -28,8 +28,20 @@ pub mod json {
     //! `i64` (the workspace only persists counters, hashes — stored as hex
     //! strings — and enum tags, never floats). Object key order is preserved
     //! on parse and render, so a load/store round-trip is byte-stable.
+    //!
+    //! Two serialization paths produce byte-identical output:
+    //!
+    //! * [`Value`]'s `Display`/`to_string` renders a pre-built document tree;
+    //! * [`Emitter`] streams tokens directly into any [`io::Write`] without
+    //!   building a tree or an intermediate `String` — the allocation-free
+    //!   path the append-only journals use for per-record serialization
+    //!   (pinned by a counting-global-allocator test in `lv_core`).
+    //!
+    //! [`to_writer`] bridges the two: it walks a [`Value`] through an
+    //! [`Emitter`], so callers that already hold a document can stream it.
 
     use std::fmt;
+    use std::io;
 
     /// A JSON value.
     #[derive(Debug, Clone, PartialEq, Eq)]
@@ -128,6 +140,249 @@ pub mod json {
             }
         }
         write!(f, "\"")
+    }
+
+    /// Writes `s` to `w` as a JSON string literal, escaping exactly like the
+    /// [`fmt::Display`] renderer so the two paths stay byte-identical. Clean
+    /// runs are written as whole slices, so the common no-escape case is one
+    /// `write_all` and never allocates.
+    fn escape_into<W: io::Write + ?Sized>(w: &mut W, s: &str) -> io::Result<()> {
+        w.write_all(b"\"")?;
+        let bytes = s.as_bytes();
+        let mut clean = 0;
+        for (i, &b) in bytes.iter().enumerate() {
+            let escape: &[u8] = match b {
+                b'"' => b"\\\"",
+                b'\\' => b"\\\\",
+                b'\n' => b"\\n",
+                b'\r' => b"\\r",
+                b'\t' => b"\\t",
+                _ if b < 0x20 => b"",
+                _ => continue,
+            };
+            w.write_all(&bytes[clean..i])?;
+            if escape.is_empty() {
+                write!(w, "\\u{:04x}", b)?;
+            } else {
+                w.write_all(escape)?;
+            }
+            clean = i + 1;
+        }
+        w.write_all(&bytes[clean..])?;
+        w.write_all(b"\"")
+    }
+
+    /// Maximum container nesting depth [`Emitter`] supports (the comma
+    /// bookkeeping is a fixed bitset so emission never allocates).
+    pub const MAX_EMIT_DEPTH: usize = 64;
+
+    /// A streaming JSON serializer: tokens are written directly to the
+    /// underlying [`io::Write`], with no intermediate document tree or
+    /// `String`. Output is byte-identical to `Value::to_string` for the
+    /// same document shape.
+    ///
+    /// The caller drives structure explicitly — [`Emitter::begin_object`] /
+    /// [`Emitter::key`] / value calls / [`Emitter::end_object`] — and the
+    /// emitter handles comma placement. Nesting deeper than
+    /// [`MAX_EMIT_DEPTH`] panics (the workspace's formats are depth ≤ 4).
+    #[derive(Debug)]
+    pub struct Emitter<W: io::Write> {
+        out: W,
+        /// Bit `d` set ⇔ the container at depth `d+1` already holds an
+        /// element, so the next element at that depth needs a comma.
+        seen: u64,
+        depth: usize,
+        /// A key was just written; the next value call must not emit a comma.
+        pending_key: bool,
+    }
+
+    impl<W: io::Write> Emitter<W> {
+        /// An emitter writing to `out`.
+        pub fn new(out: W) -> Emitter<W> {
+            Emitter {
+                out,
+                seen: 0,
+                depth: 0,
+                pending_key: false,
+            }
+        }
+
+        /// Consumes the emitter, returning the underlying writer.
+        pub fn into_inner(self) -> W {
+            self.out
+        }
+
+        fn value_prefix(&mut self) -> io::Result<()> {
+            if self.pending_key {
+                self.pending_key = false;
+            } else if self.depth > 0 {
+                let bit = 1u64 << (self.depth - 1);
+                if self.seen & bit != 0 {
+                    self.out.write_all(b",")?;
+                }
+                self.seen |= bit;
+            }
+            Ok(())
+        }
+
+        fn push(&mut self) {
+            assert!(self.depth < MAX_EMIT_DEPTH, "emitter nesting too deep");
+            self.depth += 1;
+            self.seen &= !(1u64 << (self.depth - 1));
+        }
+
+        /// Opens an object (`{`).
+        pub fn begin_object(&mut self) -> io::Result<()> {
+            self.value_prefix()?;
+            self.push();
+            self.out.write_all(b"{")
+        }
+
+        /// Closes the innermost object (`}`).
+        pub fn end_object(&mut self) -> io::Result<()> {
+            self.depth -= 1;
+            self.out.write_all(b"}")
+        }
+
+        /// Opens an array (`[`).
+        pub fn begin_array(&mut self) -> io::Result<()> {
+            self.value_prefix()?;
+            self.push();
+            self.out.write_all(b"[")
+        }
+
+        /// Closes the innermost array (`]`).
+        pub fn end_array(&mut self) -> io::Result<()> {
+            self.depth -= 1;
+            self.out.write_all(b"]")
+        }
+
+        /// Writes an object key (escaped, followed by `:`).
+        pub fn key(&mut self, key: &str) -> io::Result<()> {
+            let bit = 1u64 << (self.depth - 1);
+            if self.seen & bit != 0 {
+                self.out.write_all(b",")?;
+            }
+            self.seen |= bit;
+            escape_into(&mut self.out, key)?;
+            self.out.write_all(b":")?;
+            self.pending_key = true;
+            Ok(())
+        }
+
+        /// Writes a string value.
+        pub fn str(&mut self, s: &str) -> io::Result<()> {
+            self.value_prefix()?;
+            escape_into(&mut self.out, s)
+        }
+
+        /// Writes an integer value.
+        pub fn int(&mut self, v: i64) -> io::Result<()> {
+            self.value_prefix()?;
+            write!(self.out, "{}", v)
+        }
+
+        /// Writes a boolean value.
+        pub fn bool(&mut self, b: bool) -> io::Result<()> {
+            self.value_prefix()?;
+            self.out.write_all(if b { b"true" } else { b"false" })
+        }
+
+        /// Writes a `null` value.
+        pub fn null(&mut self) -> io::Result<()> {
+            self.value_prefix()?;
+            self.out.write_all(b"null")
+        }
+
+        /// Writes a `u64` as the workspace's 16-digit lower-case hex string
+        /// (JSON numbers cannot hold a `u64`).
+        pub fn hex(&mut self, v: u64) -> io::Result<()> {
+            self.value_prefix()?;
+            write!(self.out, "\"{:016x}\"", v)
+        }
+
+        /// Writes a pre-built [`Value`] subtree at the current value
+        /// position (for documents that mix streamed fields with an
+        /// already-assembled branch).
+        pub fn value(&mut self, value: &Value) -> io::Result<()> {
+            match value {
+                Value::Null => self.null(),
+                Value::Bool(b) => self.bool(*b),
+                Value::Int(v) => self.int(*v),
+                Value::Str(s) => self.str(s),
+                Value::Array(items) => {
+                    self.begin_array()?;
+                    for item in items {
+                        self.value(item)?;
+                    }
+                    self.end_array()
+                }
+                Value::Object(entries) => {
+                    self.begin_object()?;
+                    for (key, item) in entries {
+                        self.key(key)?;
+                        self.value(item)?;
+                    }
+                    self.end_object()
+                }
+            }
+        }
+
+        /// `key` + string value.
+        pub fn field_str(&mut self, key: &str, s: &str) -> io::Result<()> {
+            self.key(key)?;
+            self.str(s)
+        }
+
+        /// `key` + integer value.
+        pub fn field_int(&mut self, key: &str, v: i64) -> io::Result<()> {
+            self.key(key)?;
+            self.int(v)
+        }
+
+        /// `key` + boolean value.
+        pub fn field_bool(&mut self, key: &str, b: bool) -> io::Result<()> {
+            self.key(key)?;
+            self.bool(b)
+        }
+
+        /// `key` + hex-encoded `u64` value.
+        pub fn field_hex(&mut self, key: &str, v: u64) -> io::Result<()> {
+            self.key(key)?;
+            self.hex(v)
+        }
+    }
+
+    /// Streams `value` into `w` through an [`Emitter`]; output is
+    /// byte-identical to `value.to_string()`.
+    pub fn to_writer<W: io::Write>(w: W, value: &Value) -> io::Result<()> {
+        Emitter::new(w).value(value)
+    }
+
+    /// An [`io::Write`] sink that discards its input and counts bytes — how
+    /// serialized sizes are measured without rendering into a `String`.
+    #[derive(Debug, Default, Clone, Copy)]
+    pub struct CountingWriter {
+        /// Bytes written so far.
+        pub bytes: u64,
+    }
+
+    impl io::Write for CountingWriter {
+        fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+            self.bytes += buf.len() as u64;
+            Ok(buf.len())
+        }
+
+        fn flush(&mut self) -> io::Result<()> {
+            Ok(())
+        }
+    }
+
+    /// Serialized size of `value` in bytes (no allocation beyond the walk).
+    pub fn serialized_len(value: &Value) -> u64 {
+        let mut counter = CountingWriter::default();
+        to_writer(&mut counter, value).expect("counting never fails");
+        counter.bytes
     }
 
     /// A parse failure, with a byte offset into the input.
@@ -386,6 +641,57 @@ pub mod json {
             assert!(parse("\"unterminated").is_err());
             assert!(parse("{} trailing").is_err());
             assert!(parse("{\"a\"}").is_err());
+        }
+
+        #[test]
+        fn emitter_matches_display_byte_for_byte() {
+            let doc = Value::Object(vec![
+                ("version".to_string(), Value::Int(1)),
+                ("hash".to_string(), Value::Str(format!("{:016x}", u64::MAX))),
+                (
+                    "entries".to_string(),
+                    Value::Array(vec![
+                        Value::Str("tab\t\"quote\" \\ \u{1F600} newline\n ctrl\u{1}".to_string()),
+                        Value::Int(-42),
+                        Value::Bool(true),
+                        Value::Null,
+                        Value::Array(vec![]),
+                        Value::Object(vec![]),
+                        Value::Object(vec![("k".to_string(), Value::Array(vec![Value::Int(7)]))]),
+                    ]),
+                ),
+            ]);
+            let mut streamed = Vec::new();
+            to_writer(&mut streamed, &doc).unwrap();
+            assert_eq!(String::from_utf8(streamed).unwrap(), doc.to_string());
+            assert_eq!(serialized_len(&doc), doc.to_string().len() as u64);
+        }
+
+        #[test]
+        fn emitter_drives_structure_by_hand() {
+            let mut out = Vec::new();
+            let mut e = Emitter::new(&mut out);
+            e.begin_object().unwrap();
+            e.field_int("version", 1).unwrap();
+            e.field_hex("hash", 0xdead_beef).unwrap();
+            e.key("jobs").unwrap();
+            e.begin_array().unwrap();
+            e.str("a\nb").unwrap();
+            e.begin_object().unwrap();
+            e.field_bool("ok", false).unwrap();
+            e.key("note").unwrap();
+            e.null().unwrap();
+            e.end_object().unwrap();
+            e.end_array().unwrap();
+            e.end_object().unwrap();
+            let text = String::from_utf8(out).unwrap();
+            assert_eq!(
+                text,
+                "{\"version\":1,\"hash\":\"00000000deadbeef\",\
+                 \"jobs\":[\"a\\nb\",{\"ok\":false,\"note\":null}]}"
+            );
+            // The streamed text round-trips through the parser.
+            assert!(parse(&text).is_ok());
         }
 
         #[test]

@@ -20,10 +20,13 @@
 //!   and every solver budget. Anything that could change a verdict — or an
 //!   `Inconclusive` outcome — invalidates the entry by changing its key.
 //!
-//! # File format
+//! # File formats
 //!
-//! The backing file is a single JSON document (via the `serde` shim's
-//! [`json`] module):
+//! The cache persists in one of two interchangeable formats, and
+//! [`VerdictCache::open`] sniffs which one it is reading.
+//!
+//! **Snapshot** — a single JSON document (via the `serde` shim's [`json`]
+//! module):
 //!
 //! ```json
 //! {"version":1,"entries":[
@@ -38,22 +41,40 @@
 //! contents twice produces byte-identical files. `checksum` is `null` for
 //! verdicts produced by cascades without a checksum stage.
 //!
+//! **Journal** — the append-only form ([`crate::journal`] documents the
+//! framing): a `{"journal":"verdict-cache","version":1}` header record
+//! followed by one record per entry (the same object shape as a snapshot
+//! `entries` element), each CRC-framed so a torn tail is detected and
+//! truncated, never mis-parsed. A cache opened with
+//! [`VerdictCache::open_journal`] keeps one buffered append handle for its
+//! whole lifetime: every [`VerdictCache::insert`] appends and flushes just
+//! that record — O(record) flush I/O instead of the snapshot's O(file)
+//! rewrite — which is what lets shard workers flush after every job without
+//! quadratic total I/O. [`VerdictCache::compact_journal`] rewrites a
+//! journal into the snapshot form (sorted, deterministic, byte-identical to
+//! a snapshot-mode [`VerdictCache::persist`] of the same contents) and
+//! `fsync`s it; [`crate::journal::FsyncPolicy`] controls per-record sync
+//! before that point.
+//!
 //! # Invalidation rules
 //!
 //! There is no explicit invalidation: a key embeds everything a verdict
 //! depends on, so stale entries are simply never looked up again. The
-//! `version` field guards the *format and hash scheme*: bump it when
-//! [`lv_cir::structural_hash`]'s protocol or this file layout changes, and
-//! readers reject files from other versions (a rejected file is reported as
-//! an error, not silently discarded, so an operator can delete it
-//! deliberately).
+//! `version` field guards the *format and hash scheme* in both snapshot and
+//! journal form: bump it when [`lv_cir::structural_hash`]'s protocol or
+//! this file layout changes, and readers reject files from other versions
+//! (a rejected file is reported as an error, not silently discarded, so an
+//! operator can delete it deliberately).
 
+use crate::journal::{self, FsyncPolicy, JournalWriter};
 use crate::pipeline::{Equivalence, Stage};
 use lv_interp::ChecksumClass;
-use serde::json::{self, Value};
+use serde::json::{self, CountingWriter, Emitter, Value};
 use std::collections::HashMap;
-use std::io;
+use std::fs::File;
+use std::io::{self, BufWriter};
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
 /// The on-disk format version; readers reject any other value.
@@ -178,13 +199,23 @@ impl CacheBounds {
 
 /// A thread-safe verdict store, optionally backed by a JSON file.
 ///
-/// Workers on the engine's pool share one cache through an `Arc`; `get` and
-/// `insert` take a short mutex, never I/O. File I/O happens only in
-/// [`VerdictCache::open`] and [`VerdictCache::persist`].
+/// Workers on the engine's pool share one cache through an `Arc`; `get`
+/// takes a short mutex, never I/O. In the default snapshot mode, file I/O
+/// happens only in [`VerdictCache::open`] and [`VerdictCache::persist`]; in
+/// journal mode ([`VerdictCache::open_journal`]) each `insert` additionally
+/// appends one framed record through the cache's long-lived buffered
+/// journal handle (see the [module docs](self)).
 #[derive(Debug, Default)]
 pub struct VerdictCache {
     entries: Mutex<HashMap<CacheKey, CachedVerdict>>,
     path: Option<PathBuf>,
+    /// The open append handle when the cache is in journal mode. Lock
+    /// order: `journal` before `entries` wherever both are held.
+    journal: Mutex<Option<JournalWriter>>,
+    /// Cumulative bytes this cache has written to its backing file
+    /// (snapshot rewrites + journal appends) — the flush-I/O metric the
+    /// `journal_flush` bench compares across persistence modes.
+    io_bytes: AtomicU64,
 }
 
 impl VerdictCache {
@@ -193,20 +224,83 @@ impl VerdictCache {
         VerdictCache::default()
     }
 
-    /// A cache backed by `path`. A missing file yields an empty cache; an
-    /// unreadable or malformed file is an error (never silently discarded).
+    /// A cache backed by `path`, in snapshot mode. A missing file yields an
+    /// empty cache; an unreadable or malformed file is an error (never
+    /// silently discarded). Both persisted formats are accepted: a journal
+    /// is replayed (tolerating a torn final record), a snapshot is parsed.
     pub fn open(path: impl Into<PathBuf>) -> io::Result<VerdictCache> {
         let path = path.into();
         let entries = match std::fs::read_to_string(&path) {
             Err(e) if e.kind() == io::ErrorKind::NotFound => HashMap::new(),
             Err(e) => return Err(e),
-            Ok(text) => parse_entries(&text)
+            Ok(text) => parse_text(&text)
                 .map_err(|reason| io::Error::new(io::ErrorKind::InvalidData, reason))?,
         };
         Ok(VerdictCache {
             entries: Mutex::new(entries),
             path: Some(path),
+            ..VerdictCache::default()
         })
+    }
+
+    /// A cache backed by `path` in **journal mode**: one buffered append
+    /// handle is opened now and kept for the cache's lifetime, and every
+    /// [`VerdictCache::insert`] appends (and flushes) one framed record —
+    /// O(record) flush I/O per new verdict.
+    ///
+    /// A missing file starts a fresh journal; an existing journal is
+    /// replayed, its torn final record (if any) truncated, and appends
+    /// continue where it left off; an existing *snapshot* is converted —
+    /// rewritten as a journal (atomically, via a temp file) so appends can
+    /// continue incrementally. `fsync` selects the durability policy.
+    pub fn open_journal(path: impl Into<PathBuf>, fsync: FsyncPolicy) -> io::Result<VerdictCache> {
+        let path = path.into();
+        let invalid = |reason: String| io::Error::new(io::ErrorKind::InvalidData, reason);
+        let (entries, writer) = match std::fs::read_to_string(&path) {
+            Err(e) if e.kind() == io::ErrorKind::NotFound => {
+                let writer = JournalWriter::create(&path, fsync, emit_cache_header)?;
+                (HashMap::new(), writer)
+            }
+            Err(e) => return Err(e),
+            Ok(text) if journal::is_journal(&text) => {
+                let replayed = journal::replay(&text).map_err(invalid)?;
+                journal::check_header(&replayed, CACHE_JOURNAL_KIND, CACHE_FORMAT_VERSION)
+                    .map_err(invalid)?;
+                let entries = entries_from_records(&replayed.records).map_err(invalid)?;
+                let writer = if replayed.valid_len == 0 {
+                    // Torn header (crash at creation): start the journal over.
+                    JournalWriter::create(&path, fsync, emit_cache_header)?
+                } else {
+                    JournalWriter::open_append(&path, fsync, replayed.valid_len)?
+                };
+                (entries, writer)
+            }
+            Ok(text) => {
+                // Snapshot → journal conversion, atomically: the snapshot
+                // stays intact until the fully-written journal renames over
+                // it.
+                let entries = parse_entries(&text).map_err(invalid)?;
+                let tmp = path.with_extension("tmp");
+                let mut writer = JournalWriter::create(&tmp, fsync, emit_cache_header)?;
+                let mut sorted: Vec<(&CacheKey, &CachedVerdict)> = entries.iter().collect();
+                sorted.sort_by_key(|(key, _)| **key);
+                for (key, verdict) in sorted {
+                    writer.append(|e| emit_entry(e, key, verdict))?;
+                }
+                writer.sync()?;
+                let len = writer.bytes_written();
+                drop(writer);
+                std::fs::rename(&tmp, &path)?;
+                (entries, JournalWriter::open_append(&path, fsync, len)?)
+            }
+        };
+        let cache = VerdictCache {
+            entries: Mutex::new(entries),
+            path: Some(path),
+            journal: Mutex::new(Some(writer)),
+            io_bytes: AtomicU64::new(0),
+        };
+        Ok(cache)
     }
 
     /// The backing file, if any.
@@ -214,13 +308,39 @@ impl VerdictCache {
         self.path.as_deref()
     }
 
+    /// Whether the cache is in journal mode (appends per insert).
+    pub fn is_journaling(&self) -> bool {
+        self.journal.lock().unwrap().is_some()
+    }
+
+    /// Cumulative bytes written to the backing file over this cache's
+    /// lifetime — snapshot rewrites plus journal appends. The flush-cost
+    /// metric: rewrite-per-job grows it quadratically, a journal linearly.
+    pub fn io_bytes_written(&self) -> u64 {
+        self.io_bytes.load(Ordering::Relaxed)
+    }
+
     /// Looks up a verdict.
     pub fn get(&self, key: &CacheKey) -> Option<CachedVerdict> {
         self.entries.lock().unwrap().get(key).cloned()
     }
 
-    /// Stores a verdict.
+    /// Stores a verdict. In journal mode the record is also appended to the
+    /// backing file and flushed (best-effort, like the shard flush protocol:
+    /// an unwritable journal surfaces later as missing persisted output, and
+    /// the in-memory entry is stored regardless).
     pub fn insert(&self, key: CacheKey, verdict: CachedVerdict) {
+        let mut journal = self.journal.lock().unwrap();
+        if let Some(writer) = journal.as_mut() {
+            let stale = self.entries.lock().unwrap().get(&key) == Some(&verdict);
+            if !stale {
+                let before = writer.bytes_written();
+                let _ = writer.append(|e| emit_entry(e, &key, &verdict));
+                self.io_bytes
+                    .fetch_add(writer.bytes_written() - before, Ordering::Relaxed);
+            }
+        }
+        drop(journal);
         self.entries.lock().unwrap().insert(key, verdict);
     }
 
@@ -296,41 +416,68 @@ impl VerdictCache {
             }
         }
         if let Some(max_bytes) = bounds.max_bytes {
-            // One full render establishes the size; each eviction then
-            // shrinks it by exactly the entry's rendered bytes plus its
-            // separating comma (none once the array is empty), so the bound
-            // is enforced without re-rendering per entry.
-            let mut size = render_entries(&entries).len();
+            // One full size measurement establishes the total; each eviction
+            // then shrinks it by exactly the entry's serialized bytes plus
+            // its separating comma (none once the array is empty), so the
+            // bound is enforced without re-measuring per entry.
+            let mut size = snapshot_len(&entries);
             if size > max_bytes {
                 let mut keys: Vec<CacheKey> = entries.keys().copied().collect();
                 keys.sort();
                 while size > max_bytes {
                     let Some(key) = keys.pop() else { break };
                     let verdict = entries.remove(&key).expect("key came from the map");
-                    let rendered = entry_value(&key, &verdict).to_string().len();
-                    size = size.saturating_sub(rendered + usize::from(!entries.is_empty()));
+                    let serialized = entry_len(&key, &verdict);
+                    size = size.saturating_sub(serialized + usize::from(!entries.is_empty()));
                 }
             }
         }
         before - entries.len()
     }
 
-    /// Writes the cache to its backing file (atomically: temp file, then
-    /// rename). No-op for an in-memory cache.
+    /// Writes the cache to its backing file. No-op for an in-memory cache.
     ///
-    /// Entries are emitted in sorted key order, so persisting the same
-    /// contents always produces byte-identical files.
+    /// In snapshot mode this rewrites the whole file (atomically: temp
+    /// file, then rename), streaming entries in sorted key order so
+    /// persisting the same contents always produces byte-identical files.
+    /// In journal mode every insert already appended and flushed its own
+    /// record, so this only flushes the buffered writer.
     pub fn persist(&self) -> io::Result<()> {
         let Some(path) = &self.path else {
             return Ok(());
         };
-        let text = {
-            let entries = self.entries.lock().unwrap();
-            render_entries(&entries)
+        {
+            let mut journal = self.journal.lock().unwrap();
+            if let Some(writer) = journal.as_mut() {
+                return writer.flush();
+            }
+        }
+        let entries = self.entries.lock().unwrap();
+        let bytes = write_snapshot_atomic(path, &entries, false)?;
+        self.io_bytes.fetch_add(bytes, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// Compacts the cache file into the **snapshot** format: the journal
+    /// (if the cache is in journal mode) is closed and atomically replaced
+    /// by the deterministic sorted snapshot — byte-identical to what a
+    /// snapshot-mode [`VerdictCache::persist`] of the same contents writes
+    /// — and the result is `fsync`ed (the durability point of
+    /// [`FsyncPolicy::OnCompact`]). Afterwards the cache is in snapshot
+    /// mode; further inserts no longer append. Idempotent, and callable on
+    /// a snapshot-mode cache (where it is a synced persist).
+    pub fn compact_journal(&self) -> io::Result<()> {
+        let Some(path) = &self.path else {
+            return Ok(());
         };
-        let tmp = path.with_extension("tmp");
-        std::fs::write(&tmp, text)?;
-        std::fs::rename(&tmp, path)
+        let mut journal = self.journal.lock().unwrap();
+        let bytes = {
+            let entries = self.entries.lock().unwrap();
+            write_snapshot_atomic(path, &entries, true)?
+        };
+        *journal = None;
+        self.io_bytes.fetch_add(bytes, Ordering::Relaxed);
+        Ok(())
     }
 }
 
@@ -381,13 +528,24 @@ pub(crate) fn parse_stage(tag: &str) -> Result<Stage, String> {
     }
 }
 
-pub(crate) fn checksum_value(class: Option<ChecksumClass>) -> Value {
+pub(crate) fn checksum_tag(class: ChecksumClass) -> &'static str {
     match class {
-        None => Value::Null,
-        Some(ChecksumClass::Plausible) => Value::Str("plausible".to_string()),
-        Some(ChecksumClass::NotEquivalent) => Value::Str("not-equivalent".to_string()),
-        Some(ChecksumClass::CannotCompile) => Value::Str("cannot-compile".to_string()),
-        Some(ChecksumClass::ScalarFailed) => Value::Str("scalar-failed".to_string()),
+        ChecksumClass::Plausible => "plausible",
+        ChecksumClass::NotEquivalent => "not-equivalent",
+        ChecksumClass::CannotCompile => "cannot-compile",
+        ChecksumClass::ScalarFailed => "scalar-failed",
+    }
+}
+
+/// Emits `checksum`'s value position: the stable tag, or `null` for
+/// verdicts produced by cascades without a checksum stage.
+pub(crate) fn emit_checksum<W: io::Write>(
+    e: &mut Emitter<W>,
+    class: Option<ChecksumClass>,
+) -> io::Result<()> {
+    match class {
+        None => e.null(),
+        Some(class) => e.str(checksum_tag(class)),
     }
 }
 
@@ -405,38 +563,172 @@ pub(crate) fn parse_checksum(value: Option<&Value>) -> Result<Option<ChecksumCla
     }
 }
 
-fn entry_value(key: &CacheKey, verdict: &CachedVerdict) -> Value {
-    Value::Object(vec![
-        ("scalar".to_string(), hex(key.scalar)),
-        ("candidate".to_string(), hex(key.candidate)),
-        ("config".to_string(), hex(key.config)),
-        (
-            "verdict".to_string(),
-            Value::Str(verdict_tag(verdict.verdict).to_string()),
-        ),
-        (
-            "stage".to_string(),
-            Value::Str(stage_tag(verdict.stage).to_string()),
-        ),
-        ("detail".to_string(), Value::Str(verdict.detail.clone())),
-        ("checksum".to_string(), checksum_value(verdict.checksum)),
-    ])
+/// The journal-header kind tag for cache journals.
+const CACHE_JOURNAL_KIND: &str = "verdict-cache";
+
+/// Emits the cache journal's header record payload.
+fn emit_cache_header(e: &mut Emitter<&mut Vec<u8>>) -> io::Result<()> {
+    e.begin_object()?;
+    e.field_str("journal", CACHE_JOURNAL_KIND)?;
+    e.field_int("version", CACHE_FORMAT_VERSION)?;
+    e.end_object()
 }
 
-fn render_entries(entries: &HashMap<CacheKey, CachedVerdict>) -> String {
+/// Streams one entry object — the shape shared by snapshot `entries`
+/// elements and journal records.
+fn emit_entry<W: io::Write>(
+    e: &mut Emitter<W>,
+    key: &CacheKey,
+    verdict: &CachedVerdict,
+) -> io::Result<()> {
+    e.begin_object()?;
+    e.field_hex("scalar", key.scalar)?;
+    e.field_hex("candidate", key.candidate)?;
+    e.field_hex("config", key.config)?;
+    e.field_str("verdict", verdict_tag(verdict.verdict))?;
+    e.field_str("stage", stage_tag(verdict.stage))?;
+    e.field_str("detail", &verdict.detail)?;
+    e.key("checksum")?;
+    emit_checksum(e, verdict.checksum)?;
+    e.end_object()
+}
+
+/// Streams the whole snapshot document (sorted key order, trailing newline)
+/// into `w` — byte-identical for identical contents.
+fn write_snapshot<W: io::Write>(
+    w: W,
+    entries: &HashMap<CacheKey, CachedVerdict>,
+) -> io::Result<()> {
     let mut sorted: Vec<(&CacheKey, &CachedVerdict)> = entries.iter().collect();
     sorted.sort_by_key(|(key, _)| **key);
-    let items: Vec<Value> = sorted
-        .into_iter()
-        .map(|(key, verdict)| entry_value(key, verdict))
-        .collect();
-    let doc = Value::Object(vec![
-        ("version".to_string(), Value::Int(CACHE_FORMAT_VERSION)),
-        ("entries".to_string(), Value::Array(items)),
-    ]);
-    let mut text = doc.to_string();
-    text.push('\n');
-    text
+    let mut e = Emitter::new(w);
+    e.begin_object()?;
+    e.field_int("version", CACHE_FORMAT_VERSION)?;
+    e.key("entries")?;
+    e.begin_array()?;
+    for (key, verdict) in sorted {
+        emit_entry(&mut e, key, verdict)?;
+    }
+    e.end_array()?;
+    e.end_object()?;
+    let mut w = e.into_inner();
+    w.write_all(b"\n")
+}
+
+/// Streams a document to `path` atomically (temp file, then rename),
+/// creating parent directories as needed and optionally `fsync`ing before
+/// the rename; returns the document's size in bytes. The one atomic-write
+/// protocol shared by every snapshot surface (cache and shard exchange).
+pub(crate) fn write_atomic_stream<F>(path: &Path, sync: bool, emit: F) -> io::Result<u64>
+where
+    F: FnOnce(&mut BufWriter<File>) -> io::Result<()>,
+{
+    if let Some(parent) = path.parent() {
+        std::fs::create_dir_all(parent)?;
+    }
+    let tmp = path.with_extension("tmp");
+    let mut writer = BufWriter::new(File::create(&tmp)?);
+    emit(&mut writer)?;
+    let file = writer
+        .into_inner()
+        .map_err(|e| io::Error::other(e.to_string()))?;
+    let len = file.metadata()?.len();
+    if sync {
+        file.sync_all()?;
+    }
+    drop(file);
+    std::fs::rename(&tmp, path)?;
+    Ok(len)
+}
+
+/// Atomic snapshot rewrite via [`write_atomic_stream`].
+fn write_snapshot_atomic(
+    path: &Path,
+    entries: &HashMap<CacheKey, CachedVerdict>,
+    sync: bool,
+) -> io::Result<u64> {
+    write_atomic_stream(path, sync, |w| write_snapshot(w, entries))
+}
+
+/// Serialized size of the snapshot document for `entries`, measured by
+/// streaming into a counting sink (no intermediate `String`).
+fn snapshot_len(entries: &HashMap<CacheKey, CachedVerdict>) -> usize {
+    let mut counter = CountingWriter::default();
+    write_snapshot(&mut counter, entries).expect("counting never fails");
+    counter.bytes as usize
+}
+
+/// Serialized size of one entry object.
+fn entry_len(key: &CacheKey, verdict: &CachedVerdict) -> usize {
+    let mut counter = CountingWriter::default();
+    let mut e = Emitter::new(&mut counter);
+    emit_entry(&mut e, key, verdict).expect("counting never fails");
+    counter.bytes as usize
+}
+
+/// Parses either persisted format, sniffing the journal marker.
+fn parse_text(text: &str) -> Result<HashMap<CacheKey, CachedVerdict>, String> {
+    if journal::is_journal(text) {
+        let replayed = journal::replay(text)?;
+        journal::check_header(&replayed, CACHE_JOURNAL_KIND, CACHE_FORMAT_VERSION)?;
+        entries_from_records(&replayed.records)
+    } else {
+        parse_entries(text)
+    }
+}
+
+/// Builds the entry map from replayed journal records. A key recorded twice
+/// with the same verdict is a no-op (a concurrent duplicate append);
+/// recorded with *different* verdicts it is corruption, reported like a
+/// merge conflict would be — never last-write-wins.
+fn entries_from_records(records: &[Value]) -> Result<HashMap<CacheKey, CachedVerdict>, String> {
+    let mut entries = HashMap::with_capacity(records.len());
+    for item in records {
+        let (key, verdict) = parse_entry(item)?;
+        match entries.get(&key) {
+            None => {
+                entries.insert(key, verdict);
+            }
+            Some(existing) if *existing == verdict => {}
+            Some(_) => {
+                return Err(format!(
+                    "journal records disagree on key (scalar {:016x}, candidate {:016x}, \
+                     config {:016x})",
+                    key.scalar, key.candidate, key.config
+                ))
+            }
+        }
+    }
+    Ok(entries)
+}
+
+/// Parses one entry object (shared by snapshot elements and journal
+/// records).
+fn parse_entry(item: &Value) -> Result<(CacheKey, CachedVerdict), String> {
+    let key = CacheKey {
+        scalar: parse_hex(item.get("scalar"), "scalar")?,
+        candidate: parse_hex(item.get("candidate"), "candidate")?,
+        config: parse_hex(item.get("config"), "config")?,
+    };
+    let verdict = CachedVerdict {
+        verdict: parse_verdict(
+            item.get("verdict")
+                .and_then(Value::as_str)
+                .ok_or("entry is missing `verdict`")?,
+        )?,
+        stage: parse_stage(
+            item.get("stage")
+                .and_then(Value::as_str)
+                .ok_or("entry is missing `stage`")?,
+        )?,
+        detail: item
+            .get("detail")
+            .and_then(Value::as_str)
+            .ok_or("entry is missing `detail`")?
+            .to_string(),
+        checksum: parse_checksum(item.get("checksum"))?,
+    };
+    Ok((key, verdict))
 }
 
 fn parse_entries(text: &str) -> Result<HashMap<CacheKey, CachedVerdict>, String> {
@@ -458,29 +750,7 @@ fn parse_entries(text: &str) -> Result<HashMap<CacheKey, CachedVerdict>, String>
         .ok_or_else(|| "cache file has no `entries` array".to_string())?;
     let mut entries = HashMap::with_capacity(items.len());
     for item in items {
-        let key = CacheKey {
-            scalar: parse_hex(item.get("scalar"), "scalar")?,
-            candidate: parse_hex(item.get("candidate"), "candidate")?,
-            config: parse_hex(item.get("config"), "config")?,
-        };
-        let verdict = CachedVerdict {
-            verdict: parse_verdict(
-                item.get("verdict")
-                    .and_then(Value::as_str)
-                    .ok_or("entry is missing `verdict`")?,
-            )?,
-            stage: parse_stage(
-                item.get("stage")
-                    .and_then(Value::as_str)
-                    .ok_or("entry is missing `stage`")?,
-            )?,
-            detail: item
-                .get("detail")
-                .and_then(Value::as_str)
-                .ok_or("entry is missing `detail`")?
-                .to_string(),
-            checksum: parse_checksum(item.get("checksum"))?,
-        };
+        let (key, verdict) = parse_entry(item)?;
         entries.insert(key, verdict);
     }
     Ok(entries)

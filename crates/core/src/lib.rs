@@ -100,6 +100,7 @@ pub mod cache;
 pub mod engine;
 pub mod experiments;
 pub mod funnel;
+pub mod journal;
 pub mod observer;
 pub mod passk;
 pub mod pipeline;
@@ -121,12 +122,13 @@ pub use experiments::{
     Table2Column, Table3, Table3Row,
 };
 pub use funnel::{AdaptiveBudgetPolicy, FunnelReport, StageFunnel, HISTOGRAM_BUCKETS};
+pub use journal::FsyncPolicy;
 pub use observer::{
     BatchObserver, CountingObserver, NoopObserver, OffsetObserver, StreamObserver, TeeObserver,
 };
 pub use passk::{pass_at_k, pass_at_k_curve};
 pub use pipeline::{check_equivalence, Equivalence, EquivalenceReport, PipelineConfig, Stage};
 pub use shard::{
-    run_sharded_sweep, run_worker_from_args, ShardError, ShardOutcome, ShardPlan, ShardPolicy,
-    ShardStatus, ShardedSweep, SweepConfig, SweepManifest, WorkerSpec,
+    run_sharded_sweep, run_worker_from_args, FlushMode, ShardError, ShardOutcome, ShardPlan,
+    ShardPolicy, ShardStatus, ShardedSweep, SweepConfig, SweepManifest, WorkerSpec,
 };

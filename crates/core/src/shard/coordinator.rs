@@ -16,7 +16,7 @@
 use crate::cache::{CacheBounds, CachedVerdict, VerdictCache};
 use crate::engine::{job_cache_key, BatchReport, Job, JobReport, VerificationEngine};
 use crate::shard::exchange::{ShardReportFile, SweepManifest};
-use crate::shard::runner::{cache_path, report_path};
+use crate::shard::runner::{cache_path, report_path, FlushMode};
 use crate::shard::{ShardError, ShardPolicy};
 use crate::EngineConfig;
 use std::collections::BTreeMap;
@@ -72,6 +72,11 @@ pub struct SweepConfig {
     pub worker: WorkerSpec,
     /// Bounds applied to the merged cache before it is persisted.
     pub bounds: CacheBounds,
+    /// How workers flush per-job output (passed as `--flush`/`--fsync`):
+    /// append-only journals by default, whole-file rewrite as the legacy
+    /// fallback. The merge path reads both formats regardless, so mixed
+    /// sweeps (e.g. during a rolling change of the default) still merge.
+    pub flush: FlushMode,
     /// Fault injection for recovery tests: `(shard, k)` passes
     /// `--fail-after k` to that shard's worker, making it exit after `k`
     /// finished jobs with partial output flushed.
@@ -87,6 +92,7 @@ impl Default for SweepConfig {
             timeout: Duration::from_secs(600),
             worker: WorkerSpec::new("lv-sweep"),
             bounds: CacheBounds::unbounded(),
+            flush: FlushMode::default(),
             fail_shard_after: None,
         }
     }
@@ -189,7 +195,12 @@ pub fn run_sharded_sweep(
                 .arg(&manifest_path)
                 .arg("--out")
                 .arg(&sweep.workdir)
+                .arg("--flush")
+                .arg(sweep.flush.tag())
                 .stdin(Stdio::null());
+            if let FlushMode::Journal(fsync) = sweep.flush {
+                command.arg("--fsync").arg(fsync.tag());
+            }
             match log {
                 Ok(log) => {
                     let err = log.try_clone();

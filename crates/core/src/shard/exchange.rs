@@ -3,25 +3,35 @@
 //! See the [module docs](crate::shard) for the format overview. Everything
 //! here reuses the `serde` shim's [`json`] document model and the verdict
 //! cache's conventions: `u64` values travel as 16-digit lower-case hex
-//! strings, enum payloads as stable string tags, and every file is written
-//! atomically (temp file + rename) so a reader never observes a torn write.
-//! Functions travel as printed C source — [`lv_cir::printer::print_function`]
-//! followed by [`lv_cir::parse_function`] yields a structurally equal AST,
-//! so content hashes (and therefore shard assignment, cache keys, and
-//! verdicts) are unaffected by the round trip.
+//! strings, enum payloads as stable string tags, and every whole-file
+//! document is written atomically (temp file + rename) so a reader never
+//! observes a torn write. Serialization streams through the shim's
+//! [`Emitter`] — no intermediate document tree or `String` on the per-record
+//! paths. Functions travel as printed C source —
+//! [`lv_cir::printer::print_function`] followed by [`lv_cir::parse_function`]
+//! yields a structurally equal AST, so content hashes (and therefore shard
+//! assignment, cache keys, and verdicts) are unaffected by the round trip.
+//!
+//! The shard report has two interchangeable on-disk forms, mirroring the
+//! verdict cache: the **snapshot** document below, and an **append-only
+//! journal** ([`ShardReportJournal`]) whose header carries the
+//! shard/fingerprint metadata and whose records are the individual job
+//! entries — the O(record)-flush form shard workers write.
+//! [`ShardReportFile::load`] sniffs and accepts both.
 
 use crate::cache::{
-    checksum_value, hex, parse_checksum, parse_hex, parse_stage, parse_verdict, stage_tag,
-    verdict_tag,
+    emit_checksum, hex, parse_checksum, parse_hex, parse_stage, parse_verdict, stage_tag,
+    verdict_tag, write_atomic_stream,
 };
 use crate::engine::{EngineConfig, Job, JobReport, StageTrace};
+use crate::journal::{self, FsyncPolicy, JournalWriter};
 use crate::pipeline::PipelineConfig;
 use crate::shard::{ShardError, ShardPlan, ShardPolicy};
 use lv_cir::ast::Function;
 use lv_cir::printer::print_function;
 use lv_interp::{ChecksumConfig, ExecConfig};
 use lv_tv::{SolverBudget, TvConfig};
-use serde::json::{self, Value};
+use serde::json::{self, Emitter, Value};
 use std::io;
 use std::path::{Path, PathBuf};
 use std::time::Duration;
@@ -29,16 +39,8 @@ use std::time::Duration;
 /// The manifest / shard-report format version; readers reject other values.
 pub const SHARD_FORMAT_VERSION: i64 = 1;
 
-/// Writes `text` to `path` atomically (temp file, then rename), creating
-/// parent directories as needed.
-pub(crate) fn write_atomic(path: &Path, text: &str) -> io::Result<()> {
-    if let Some(parent) = path.parent() {
-        std::fs::create_dir_all(parent)?;
-    }
-    let tmp = path.with_extension("tmp");
-    std::fs::write(&tmp, text)?;
-    std::fs::rename(&tmp, path)
-}
+/// The journal-header kind tag for shard-report journals.
+pub(crate) const REPORT_JOURNAL_KIND: &str = "shard-report";
 
 fn int_field(value: &Value, key: &str) -> Result<i64, String> {
     value
@@ -269,58 +271,52 @@ impl SweepManifest {
         ShardPlan::new(&self.jobs, self.shards, self.policy)
     }
 
+    /// Streams the manifest document into `w` (jobs are printed and emitted
+    /// one at a time, never assembled into a document tree).
+    fn write_to<W: io::Write>(&self, w: W) -> io::Result<()> {
+        let mut e = Emitter::new(w);
+        e.begin_object()?;
+        e.field_int("version", SHARD_FORMAT_VERSION)?;
+        e.field_hex("fingerprint", self.fingerprint())?;
+        e.field_int("shards", self.shards as i64)?;
+        e.field_str("policy", self.policy.tag())?;
+        e.field_int("threads", self.threads as i64)?;
+        e.key("cascade")?;
+        e.begin_array()?;
+        for stage in &self.cascade {
+            e.str(stage_tag(*stage))?;
+        }
+        e.end_array()?;
+        e.key("checksum")?;
+        e.value(&checksum_config_value(&self.pipeline.checksum))?;
+        e.key("tv")?;
+        e.value(&tv_config_value(&self.pipeline.tv))?;
+        e.key("jobs")?;
+        e.begin_array()?;
+        for job in &self.jobs {
+            e.begin_object()?;
+            e.field_str("label", &job.label)?;
+            e.field_str("scalar", &print_function(&job.scalar))?;
+            e.field_str("candidate", &print_function(&job.candidate))?;
+            e.end_object()?;
+        }
+        e.end_array()?;
+        e.end_object()?;
+        let mut w = e.into_inner();
+        w.write_all(b"\n")
+    }
+
     /// Serializes the manifest to its JSON document.
     pub fn render(&self) -> String {
-        let jobs: Vec<Value> = self
-            .jobs
-            .iter()
-            .map(|job| {
-                Value::Object(vec![
-                    ("label".to_string(), Value::Str(job.label.clone())),
-                    (
-                        "scalar".to_string(),
-                        Value::Str(print_function(&job.scalar)),
-                    ),
-                    (
-                        "candidate".to_string(),
-                        Value::Str(print_function(&job.candidate)),
-                    ),
-                ])
-            })
-            .collect();
-        let doc = Value::Object(vec![
-            ("version".to_string(), Value::Int(SHARD_FORMAT_VERSION)),
-            ("fingerprint".to_string(), hex(self.fingerprint())),
-            ("shards".to_string(), Value::Int(self.shards as i64)),
-            (
-                "policy".to_string(),
-                Value::Str(self.policy.tag().to_string()),
-            ),
-            ("threads".to_string(), Value::Int(self.threads as i64)),
-            (
-                "cascade".to_string(),
-                Value::Array(
-                    self.cascade
-                        .iter()
-                        .map(|stage| Value::Str(stage_tag(*stage).to_string()))
-                        .collect(),
-                ),
-            ),
-            (
-                "checksum".to_string(),
-                checksum_config_value(&self.pipeline.checksum),
-            ),
-            ("tv".to_string(), tv_config_value(&self.pipeline.tv)),
-            ("jobs".to_string(), Value::Array(jobs)),
-        ]);
-        let mut text = doc.to_string();
-        text.push('\n');
-        text
+        let mut buf = Vec::new();
+        self.write_to(&mut buf)
+            .expect("rendering to memory cannot fail");
+        String::from_utf8(buf).expect("JSON output is UTF-8")
     }
 
     /// Writes the manifest atomically.
     pub fn write(&self, path: &Path) -> io::Result<()> {
-        write_atomic(path, &self.render())
+        write_atomic_stream(path, false, |w| self.write_to(w)).map(|_| ())
     }
 
     /// Loads and validates a manifest: the format version must match, every
@@ -422,37 +418,54 @@ pub struct ShardReportFile {
 }
 
 impl ShardReportFile {
-    /// Serializes the report to its JSON document. Entries are emitted in
-    /// ascending job-index order, so re-rendering the same contents is
+    /// Streams the snapshot report document into `w`. Entries are emitted
+    /// in ascending job-index order, so re-rendering the same contents is
     /// byte-identical.
-    pub fn render(&self) -> String {
-        let mut entries = self.entries.clone();
+    fn write_to<W: io::Write>(&self, w: W) -> io::Result<()> {
+        let mut entries: Vec<&(usize, JobReport)> = self.entries.iter().collect();
         entries.sort_by_key(|(index, _)| *index);
-        let items: Vec<Value> = entries
-            .iter()
-            .map(|(index, report)| job_report_value(*index, report))
-            .collect();
-        let doc = Value::Object(vec![
-            ("version".to_string(), Value::Int(SHARD_FORMAT_VERSION)),
-            ("shard".to_string(), Value::Int(self.shard as i64)),
-            ("shards".to_string(), Value::Int(self.shards as i64)),
-            ("fingerprint".to_string(), hex(self.fingerprint)),
-            ("jobs".to_string(), Value::Array(items)),
-        ]);
-        let mut text = doc.to_string();
-        text.push('\n');
-        text
+        let mut e = Emitter::new(w);
+        e.begin_object()?;
+        e.field_int("version", SHARD_FORMAT_VERSION)?;
+        e.field_int("shard", self.shard as i64)?;
+        e.field_int("shards", self.shards as i64)?;
+        e.field_hex("fingerprint", self.fingerprint)?;
+        e.key("jobs")?;
+        e.begin_array()?;
+        for (index, report) in entries {
+            emit_job_report(&mut e, *index, report)?;
+        }
+        e.end_array()?;
+        e.end_object()?;
+        let mut w = e.into_inner();
+        w.write_all(b"\n")
     }
 
-    /// Writes the report atomically.
-    pub fn write(&self, path: &Path) -> io::Result<()> {
-        write_atomic(path, &self.render())
+    /// Serializes the report to its snapshot JSON document.
+    pub fn render(&self) -> String {
+        let mut buf = Vec::new();
+        self.write_to(&mut buf)
+            .expect("rendering to memory cannot fail");
+        String::from_utf8(buf).expect("JSON output is UTF-8")
     }
 
-    /// Loads a shard report.
+    /// Writes the snapshot report atomically; returns its size in bytes
+    /// (the whole-file flush cost the `journal_flush` bench accounts).
+    pub fn write(&self, path: &Path) -> io::Result<u64> {
+        write_atomic_stream(path, false, |w| self.write_to(w))
+    }
+
+    /// Loads a shard report — snapshot or journal form, sniffed by content.
+    /// A journal's torn final record is truncated (the killed-mid-append
+    /// case); a journal torn at its *header* has no shard metadata and is
+    /// reported as malformed, which the coordinator treats like a missing
+    /// report.
     pub fn load(path: impl Into<PathBuf>) -> Result<ShardReportFile, ShardError> {
         let path = path.into();
         let text = std::fs::read_to_string(&path)?;
+        if journal::is_journal(&text) {
+            return ShardReportFile::from_journal(&text);
+        }
         let doc = json::parse(&text).map_err(|e| ShardError::Format(e.to_string()))?;
         check_version(&doc, "shard report")?;
         let entries = doc
@@ -471,50 +484,117 @@ impl ShardReportFile {
             entries,
         })
     }
-}
 
-fn duration_value(duration: Duration) -> Value {
-    hex(u64::try_from(duration.as_micros()).unwrap_or(u64::MAX))
-}
-
-fn job_report_value(index: usize, report: &JobReport) -> Value {
-    let traces: Vec<Value> = report
-        .traces
-        .iter()
-        .map(|trace| {
-            Value::Object(vec![
-                (
-                    "stage".to_string(),
-                    Value::Str(stage_tag(trace.stage).to_string()),
-                ),
-                ("conclusive".to_string(), Value::Bool(trace.conclusive)),
-                ("wall_us".to_string(), duration_value(trace.wall)),
-                ("conflicts".to_string(), hex(trace.conflicts)),
-                ("clauses".to_string(), hex(trace.clauses)),
-                (
-                    "name_mismatch".to_string(),
-                    Value::Bool(trace.name_mismatch),
-                ),
-            ])
+    /// Replays a report journal into the in-memory report form.
+    fn from_journal(text: &str) -> Result<ShardReportFile, ShardError> {
+        let replayed = journal::replay(text).map_err(ShardError::Format)?;
+        journal::check_header(&replayed, REPORT_JOURNAL_KIND, SHARD_FORMAT_VERSION)
+            .map_err(ShardError::Format)?;
+        let header = &replayed.header;
+        let entries = replayed
+            .records
+            .iter()
+            .map(parse_job_report)
+            .collect::<Result<Vec<_>, String>>()
+            .map_err(ShardError::Format)?;
+        Ok(ShardReportFile {
+            shard: usize_field(header, "shard").map_err(ShardError::Format)?,
+            shards: usize_field(header, "shards").map_err(ShardError::Format)?,
+            fingerprint: parse_hex(header.get("fingerprint"), "fingerprint")
+                .map_err(ShardError::Format)?,
+            entries,
         })
-        .collect();
-    Value::Object(vec![
-        ("index".to_string(), Value::Int(index as i64)),
-        ("label".to_string(), Value::Str(report.label.clone())),
-        (
-            "verdict".to_string(),
-            Value::Str(verdict_tag(report.verdict).to_string()),
-        ),
-        (
-            "stage".to_string(),
-            Value::Str(stage_tag(report.stage).to_string()),
-        ),
-        ("detail".to_string(), Value::Str(report.detail.clone())),
-        ("checksum".to_string(), checksum_value(report.checksum)),
-        ("cache_hit".to_string(), Value::Bool(report.cache_hit)),
-        ("wall_us".to_string(), duration_value(report.wall)),
-        ("traces".to_string(), Value::Array(traces)),
-    ])
+    }
+}
+
+/// The append-only form of the shard report: a journal whose header record
+/// carries the shard metadata and whose data records are job entries.
+/// Appending a finished job is O(record) — one framed line through the
+/// journal's long-lived buffered handle — instead of the snapshot's
+/// whole-file rewrite. [`ShardReportFile::load`] reads both forms.
+#[derive(Debug)]
+pub struct ShardReportJournal {
+    writer: JournalWriter,
+}
+
+impl ShardReportJournal {
+    /// Creates (truncating) the report journal at `path` and writes its
+    /// header record.
+    pub fn create(
+        path: &Path,
+        shard: usize,
+        shards: usize,
+        fingerprint: u64,
+        fsync: FsyncPolicy,
+    ) -> io::Result<ShardReportJournal> {
+        let writer = JournalWriter::create(path, fsync, |e| {
+            e.begin_object()?;
+            e.field_str("journal", REPORT_JOURNAL_KIND)?;
+            e.field_int("version", SHARD_FORMAT_VERSION)?;
+            e.field_int("shard", shard as i64)?;
+            e.field_int("shards", shards as i64)?;
+            e.field_hex("fingerprint", fingerprint)?;
+            e.end_object()
+        })?;
+        Ok(ShardReportJournal { writer })
+    }
+
+    /// Appends (and flushes) one finished job's record.
+    pub fn append(&mut self, index: usize, report: &JobReport) -> io::Result<()> {
+        self.writer.append(|e| emit_job_report(e, index, report))
+    }
+
+    /// Total journal bytes written, i.e. the file's current length.
+    pub fn bytes_written(&self) -> u64 {
+        self.writer.bytes_written()
+    }
+
+    /// Flushes buffered bytes (appends already flush per record).
+    pub fn flush(&mut self) -> io::Result<()> {
+        self.writer.flush()
+    }
+
+    /// Forces the journal to disk, regardless of fsync policy.
+    pub fn sync(&mut self) -> io::Result<()> {
+        self.writer.sync()
+    }
+}
+
+fn duration_us(duration: Duration) -> u64 {
+    u64::try_from(duration.as_micros()).unwrap_or(u64::MAX)
+}
+
+/// Streams one job-report object — the shape shared by snapshot `jobs`
+/// elements and report-journal records.
+fn emit_job_report<W: io::Write>(
+    e: &mut Emitter<W>,
+    index: usize,
+    report: &JobReport,
+) -> io::Result<()> {
+    e.begin_object()?;
+    e.field_int("index", index as i64)?;
+    e.field_str("label", &report.label)?;
+    e.field_str("verdict", verdict_tag(report.verdict))?;
+    e.field_str("stage", stage_tag(report.stage))?;
+    e.field_str("detail", &report.detail)?;
+    e.key("checksum")?;
+    emit_checksum(e, report.checksum)?;
+    e.field_bool("cache_hit", report.cache_hit)?;
+    e.field_hex("wall_us", duration_us(report.wall))?;
+    e.key("traces")?;
+    e.begin_array()?;
+    for trace in &report.traces {
+        e.begin_object()?;
+        e.field_str("stage", stage_tag(trace.stage))?;
+        e.field_bool("conclusive", trace.conclusive)?;
+        e.field_hex("wall_us", duration_us(trace.wall))?;
+        e.field_hex("conflicts", trace.conflicts)?;
+        e.field_hex("clauses", trace.clauses)?;
+        e.field_bool("name_mismatch", trace.name_mismatch)?;
+        e.end_object()?;
+    }
+    e.end_array()?;
+    e.end_object()
 }
 
 fn parse_job_report(item: &Value) -> Result<(usize, JobReport), String> {
@@ -596,7 +676,8 @@ mod tests {
         let manifest = sample_manifest();
         let tampered = manifest.render().replace("\"trials\":3", "\"trials\":4");
         assert_ne!(tampered, manifest.render(), "tamper point must exist");
-        write_atomic(&path, &tampered).unwrap();
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, &tampered).unwrap();
         match SweepManifest::load(&path) {
             Err(ShardError::FingerprintMismatch { .. }) => {}
             other => panic!("expected a fingerprint mismatch, got {:?}", other),

@@ -32,17 +32,28 @@
 //!
 //! # Exchange formats
 //!
-//! All files are JSON documents in the `serde` shim's
-//! [`json`](serde::json) document model, written atomically (temp file +
-//! rename) so readers never observe torn writes. `u64` values (hashes,
-//! conflict counts, microsecond wall times) are 16-digit lower-case hex
-//! strings, exactly like the [verdict cache format](crate::cache).
+//! All exchange data is JSON in the `serde` shim's [`json`](serde::json)
+//! model, streamed through its `Emitter`. `u64` values (hashes, conflict
+//! counts, microsecond wall times) are 16-digit lower-case hex strings,
+//! exactly like the [verdict cache format](crate::cache). Whole-file
+//! *snapshot* documents are written atomically (temp file + rename) so
+//! readers never observe torn writes; the per-job outputs default to
+//! **append-only journals** ([`crate::journal`]) instead — one
+//! checksum-framed record per line, appended through a buffered handle held
+//! open for the shard's lifetime, so a flush costs O(record) rather than a
+//! whole-file rewrite and a kill can only tear the final record (which
+//! readers detect by checksum and truncate). The
+//! [`FlushMode`] selects between the two; every reader sniffs the leading
+//! `{"journal":` marker and accepts either, and each journal kind reuses
+//! its snapshot format's version constant in its header record, so a
+//! format bump invalidates both representations together.
 //!
-//! **Manifest** (`manifest.json`, coordinator → workers): the full job list
-//! (functions as printed C source — [`lv_cir::printer`] round-trips to a
-//! structurally equal AST, so content hashes and verdicts are unaffected),
-//! the shard count and policy, the engine configuration (cascade, checksum
-//! harness, solver budgets, threads), and the configuration's
+//! **Manifest** (`manifest.json`, coordinator → workers, always a
+//! snapshot): the full job list (functions as printed C source —
+//! [`lv_cir::printer`] round-trips to a structurally equal AST, so content
+//! hashes and verdicts are unaffected), the shard count and policy, the
+//! engine configuration (cascade, checksum harness, solver budgets,
+//! threads), and the configuration's
 //! [`semantic_fingerprint`](crate::EngineConfig::semantic_fingerprint).
 //! Workers recompute the fingerprint from the parsed configuration and
 //! refuse to run on a mismatch, so a coordinator and a worker from
@@ -51,9 +62,11 @@
 //! **Per-shard verdict cache** (`shard-<i>.cache.json`, workers →
 //! coordinator): a standard [`VerdictCache`](crate::VerdictCache) file — the
 //! natural exchange format for verdicts, since entries are content-addressed
-//! and therefore mergeable by key. The coordinator merges all shard caches
-//! (plus any recovery run's entries) with
-//! [`VerdictCache::merge_from`](crate::VerdictCache::merge_from): a
+//! and therefore mergeable by key. In journal mode the worker's cache
+//! appends one record per fresh verdict at insert time
+//! ([`VerdictCache::open_journal`](crate::VerdictCache::open_journal)). The
+//! coordinator merges all shard caches (plus any recovery run's entries)
+//! with [`VerdictCache::merge_from`](crate::VerdictCache::merge_from): a
 //! same-key-different-verdict clash is a typed [`CacheMergeError`], never
 //! last-write-wins.
 //!
@@ -63,21 +76,39 @@
 //! everything a [`JobReport`](crate::JobReport) carries, so the merged
 //! [`BatchReport`](crate::BatchReport) has full telemetry and its
 //! [`funnel`](crate::BatchReport::funnel) works across process boundaries.
+//! In journal mode ([`ShardReportJournal`]) the shard metadata rides in the
+//! journal header and each finished job is one appended record.
+//!
+//! # Compaction
+//!
+//! A journal replays to exactly the entries it holds, so it never *needs*
+//! compaction for correctness — but
+//! [`VerdictCache::compact_journal`](crate::VerdictCache::compact_journal)
+//! rewrites a journal-mode cache into the deterministic sorted snapshot
+//! (and `fsync`s it, the durability point of the default
+//! [`FsyncPolicy::OnCompact`](crate::journal::FsyncPolicy) policy),
+//! byte-identical to a snapshot-mode persist of the same contents. The
+//! coordinator's merged cache is itself written as a snapshot, which is why
+//! a journal-mode sweep still produces a merged cache file byte-identical
+//! to the single-process run (CI pins this, kill-recovery included).
 //!
 //! # Recovery semantics
 //!
-//! Workers flush their cache file and report after every finished job, so
-//! the failure unit is one *job*, not one shard. The coordinator collects
-//! whatever entries each shard managed to write — a worker that was killed
-//! mid-sweep, exited nonzero, timed out (the coordinator kills it), failed
-//! to spawn, or wrote a report with a mismatched fingerprint contributes its
-//! completed prefix (or nothing) — and then re-runs exactly the missing job
-//! indices in-process through the same engine configuration. Because
-//! verification is deterministic, re-run verdicts equal the ones the dead
-//! worker would have produced, so the merged report and cache file are
-//! bit-identical to a fully healthy run (and to a single-process run).
-//! Recovery strictly adds the missing keys; the conflict check still guards
-//! against corrupt partial files.
+//! Workers flush their cache file and report after every finished job —
+//! a whole-file rewrite in [`FlushMode::Rewrite`], a single appended record
+//! in [`FlushMode::Journal`] — so the failure unit is one *job*, not one
+//! shard, in either mode. The coordinator collects whatever entries each
+//! shard managed to write — a worker that was killed mid-sweep (possibly
+//! tearing its final journal record, which replay truncates), exited
+//! nonzero, timed out (the coordinator kills it), failed to spawn, or wrote
+//! a report with a mismatched fingerprint contributes its completed prefix
+//! (or nothing) — and then re-runs exactly the missing job indices
+//! in-process through the same engine configuration. Because verification
+//! is deterministic, re-run verdicts equal the ones the dead worker would
+//! have produced, so the merged report and cache file are bit-identical to
+//! a fully healthy run (and to a single-process run). Recovery strictly
+//! adds the missing keys; the conflict check still guards against corrupt
+//! partial files.
 //!
 //! # Example
 //!
@@ -119,9 +150,9 @@ pub mod runner;
 pub use coordinator::{
     run_sharded_sweep, ShardOutcome, ShardStatus, ShardedSweep, SweepConfig, WorkerSpec,
 };
-pub use exchange::{ShardReportFile, SweepManifest};
+pub use exchange::{ShardReportFile, ShardReportJournal, SweepManifest};
 pub use plan::{job_key, ShardPlan, ShardPolicy};
-pub use runner::{run_shard, run_worker_from_args, ShardRunOutput, WorkerInvocation};
+pub use runner::{run_shard, run_worker_from_args, FlushMode, ShardRunOutput, WorkerInvocation};
 
 use crate::cache::CacheMergeError;
 use std::fmt;

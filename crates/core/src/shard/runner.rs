@@ -5,27 +5,74 @@
 //! shard's jobs through the unchanged
 //! [`run_batch_observed`](crate::VerificationEngine::run_batch_observed)
 //! path with a per-shard file-backed [`VerdictCache`]. After *every*
-//! finished job the worker flushes both its cache file and its shard report
-//! atomically, so a worker killed mid-sweep leaves valid partial output and
-//! the coordinator only has to re-run the jobs that are actually missing
-//! (see the [module docs](crate::shard) for the recovery contract).
+//! finished job the worker flushes both its cache file and its shard
+//! report, so a worker killed mid-sweep leaves valid partial output and the
+//! coordinator only has to re-run the jobs that are actually missing (see
+//! the [module docs](crate::shard) for the recovery contract).
 //!
-//! Each flush rewrites the full report and cache file, so a shard's total
-//! flush I/O grows quadratically with its job count — at verification
-//! speeds (each job runs checksum trials and usually SMT) that is noise for
-//! the sweep sizes the suite reaches today, but million-candidate shards
-//! will want an append-only journal or a flush-every-N policy; the ROADMAP
-//! tracks that as part of the scale-out item, and the recovery contract
-//! only requires *a* bounded loss window, not a one-job one.
+//! How a flush hits the disk is the [`FlushMode`]:
+//!
+//! * [`FlushMode::Journal`] (the default) — both outputs are append-only
+//!   journals ([`crate::journal`]) behind buffered file handles opened once
+//!   for the shard's lifetime: a finished job appends one framed record to
+//!   the report journal, and the cache appends its record at insert time,
+//!   so per-job flush I/O is O(record) and a shard's total flush I/O is
+//!   O(jobs). A kill can only tear the final record, which loaders detect
+//!   by checksum and truncate. The [`FsyncPolicy`] decides whether each
+//!   record is also `fsync`ed ([`FsyncPolicy::EveryRecord`]) or only a
+//!   final compaction is ([`FsyncPolicy::OnCompact`], default).
+//! * [`FlushMode::Rewrite`] — the legacy protocol: every flush rewrites the
+//!   whole report and cache file atomically (temp file + rename). Total
+//!   flush I/O grows quadratically with the shard's job count; it survives
+//!   for comparison (the `journal_flush` bench quantifies the gap) and as
+//!   the most conservative fallback, since every intermediate state is a
+//!   complete snapshot document.
 
 use crate::cache::VerdictCache;
 use crate::engine::{Job, JobReport, VerificationEngine};
+use crate::journal::FsyncPolicy;
 use crate::observer::BatchObserver;
-use crate::shard::exchange::{ShardReportFile, SweepManifest};
+use crate::shard::exchange::{ShardReportFile, ShardReportJournal, SweepManifest};
 use crate::shard::ShardError;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
+
+/// How a shard worker flushes its per-job output (see the [module
+/// docs](self) for the trade-off).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FlushMode {
+    /// Whole-file atomic rewrite after every job — O(file) per flush.
+    Rewrite,
+    /// Append-only journals with one framed record per flush — O(record)
+    /// per flush; the policy controls per-record `fsync`.
+    Journal(FsyncPolicy),
+}
+
+impl Default for FlushMode {
+    fn default() -> FlushMode {
+        FlushMode::Journal(FsyncPolicy::default())
+    }
+}
+
+impl FlushMode {
+    /// Stable CLI tag (`rewrite` / `journal`).
+    pub fn tag(&self) -> &'static str {
+        match self {
+            FlushMode::Rewrite => "rewrite",
+            FlushMode::Journal(_) => "journal",
+        }
+    }
+
+    /// Parses [`FlushMode::tag`] output; a journal mode carries `fsync`.
+    pub fn from_tag(tag: &str, fsync: FsyncPolicy) -> Result<FlushMode, String> {
+        match tag {
+            "rewrite" => Ok(FlushMode::Rewrite),
+            "journal" => Ok(FlushMode::Journal(fsync)),
+            other => Err(format!("unknown flush mode `{}`", other)),
+        }
+    }
+}
 
 /// Where a shard worker writes its outputs inside the sweep's working
 /// directory.
@@ -51,6 +98,19 @@ pub struct ShardRunOutput {
     pub report_file: PathBuf,
 }
 
+/// Where the shard's report output lands per [`FlushMode`]: the legacy
+/// accumulate-and-rewrite state, or the open report journal.
+enum ReportSink {
+    Rewrite {
+        shard: usize,
+        shards: usize,
+        fingerprint: u64,
+        report_file: PathBuf,
+        entries: Vec<(usize, JobReport)>,
+    },
+    Journal(ShardReportJournal),
+}
+
 /// Streams finished jobs into the shard's report + cache files, flushing
 /// after every job so partial output survives a kill. Optionally aborts the
 /// process after `fail_after` jobs — the fault-injection hook the recovery
@@ -58,45 +118,84 @@ pub struct ShardRunOutput {
 struct ShardFlushObserver {
     /// Local batch index → original job index.
     indices: Vec<usize>,
-    shard: usize,
-    shards: usize,
-    fingerprint: u64,
     cache: Arc<VerdictCache>,
-    report_file: PathBuf,
-    entries: Mutex<Vec<(usize, JobReport)>>,
+    /// The sink lock is held across the file writes: `job_finished` fires
+    /// concurrently from engine worker threads, and both sinks need their
+    /// writes serialized — the rewrite path's atomic write-then-rename uses
+    /// one fixed temp path per file, and the journal path's records must
+    /// not interleave mid-frame.
+    sink: Mutex<ReportSink>,
     finished: AtomicUsize,
     fail_after: Option<usize>,
 }
 
 impl ShardFlushObserver {
+    /// Flushes the report sink (and, on the rewrite path, the cache — in
+    /// journal mode the cache appended and flushed its own record at insert
+    /// time, before this observer ran).
     fn flush(&self) {
-        // The entries lock is held across the file writes: `job_finished`
-        // fires concurrently from engine worker threads, and the atomic
-        // write-then-rename in the exchange layer uses one fixed temp path
-        // per file — two unserialized flushes could interleave on it and
-        // leave a torn final file, which is exactly what the flush protocol
-        // exists to prevent.
-        let entries = self.entries.lock().unwrap();
-        let report = ShardReportFile {
-            shard: self.shard,
-            shards: self.shards,
-            fingerprint: self.fingerprint,
-            entries: entries.clone(),
-        };
-        // Flushes are best-effort: an unwritable report surfaces later as
-        // missing output, which the coordinator recovers from anyway.
-        let _ = report.write(&self.report_file);
-        let _ = self.cache.persist();
+        let mut sink = self.sink.lock().unwrap();
+        match &mut *sink {
+            ReportSink::Rewrite {
+                shard,
+                shards,
+                fingerprint,
+                report_file,
+                entries,
+            } => {
+                let report = ShardReportFile {
+                    shard: *shard,
+                    shards: *shards,
+                    fingerprint: *fingerprint,
+                    entries: entries.clone(),
+                };
+                // Flushes are best-effort: an unwritable report surfaces
+                // later as missing output, which the coordinator recovers
+                // from anyway.
+                let _ = report.write(report_file);
+                let _ = self.cache.persist();
+            }
+            ReportSink::Journal(journal) => {
+                let _ = journal.flush();
+                let _ = self.cache.persist();
+            }
+        }
     }
 }
 
 impl BatchObserver for ShardFlushObserver {
     fn job_finished(&self, index: usize, report: &JobReport) {
-        self.entries
-            .lock()
-            .unwrap()
-            .push((self.indices[index], report.clone()));
-        self.flush();
+        let original = self.indices[index];
+        {
+            let mut sink = self.sink.lock().unwrap();
+            match &mut *sink {
+                // Legacy flush: record the entry, rewrite the whole report
+                // file, rewrite the whole cache file — O(file) I/O.
+                ReportSink::Rewrite {
+                    shard,
+                    shards,
+                    fingerprint,
+                    report_file,
+                    entries,
+                } => {
+                    entries.push((original, report.clone()));
+                    let full = ShardReportFile {
+                        shard: *shard,
+                        shards: *shards,
+                        fingerprint: *fingerprint,
+                        entries: entries.clone(),
+                    };
+                    // Best-effort, like `flush`.
+                    let _ = full.write(report_file);
+                    let _ = self.cache.persist();
+                }
+                // Journal flush: one O(record) append (flushed internally);
+                // the cache already appended its record at insert time.
+                ReportSink::Journal(journal) => {
+                    let _ = journal.append(original, report);
+                }
+            }
+        }
         let finished = self.finished.fetch_add(1, Ordering::SeqCst) + 1;
         if self.fail_after.is_some_and(|limit| finished >= limit) {
             // Simulated crash: die without unwinding, exactly like a kill
@@ -107,7 +206,9 @@ impl BatchObserver for ShardFlushObserver {
 }
 
 /// Runs shard `shard` of `manifest`, writing `shard-<i>.cache.json` and
-/// `shard-<i>.report.json` into `out_dir`.
+/// `shard-<i>.report.json` into `out_dir` under the given [`FlushMode`]
+/// (both files are journals in journal mode, snapshots in rewrite mode —
+/// every reader sniffs and accepts either).
 ///
 /// `fail_after` is the fault-injection hook: `Some(k)` makes the process
 /// exit with code 3 after `k` finished jobs (partial output already
@@ -118,6 +219,7 @@ pub fn run_shard(
     shard: usize,
     out_dir: &Path,
     fail_after: Option<usize>,
+    flush: FlushMode,
 ) -> Result<ShardRunOutput, ShardError> {
     if shard >= manifest.shards {
         return Err(ShardError::BadInvocation(format!(
@@ -132,17 +234,35 @@ pub fn run_shard(
 
     let cache_file = cache_path(out_dir, shard);
     let report_file = report_path(out_dir, shard);
-    let cache = Arc::new(VerdictCache::open(&cache_file)?);
+    let fingerprint = manifest.fingerprint();
+    let (cache, sink) = match flush {
+        FlushMode::Rewrite => (
+            Arc::new(VerdictCache::open(&cache_file)?),
+            ReportSink::Rewrite {
+                shard,
+                shards: manifest.shards,
+                fingerprint,
+                report_file: report_file.clone(),
+                entries: Vec::new(),
+            },
+        ),
+        FlushMode::Journal(fsync) => (
+            Arc::new(VerdictCache::open_journal(&cache_file, fsync)?),
+            ReportSink::Journal(ShardReportJournal::create(
+                &report_file,
+                shard,
+                manifest.shards,
+                fingerprint,
+                fsync,
+            )?),
+        ),
+    };
     let engine = VerificationEngine::new(manifest.engine_config().with_cache(cache.clone()));
 
     let observer = ShardFlushObserver {
         indices,
-        shard,
-        shards: manifest.shards,
-        fingerprint: manifest.fingerprint(),
         cache: cache.clone(),
-        report_file: report_file.clone(),
-        entries: Mutex::new(Vec::new()),
+        sink: Mutex::new(sink),
         finished: AtomicUsize::new(0),
         fail_after,
     };
@@ -172,18 +292,23 @@ pub struct WorkerInvocation {
     pub out_dir: PathBuf,
     /// Fault injection: exit after this many finished jobs.
     pub fail_after: Option<usize>,
+    /// How per-job output is flushed (journal by default).
+    pub flush: FlushMode,
 }
 
 impl WorkerInvocation {
-    /// Parses `--shard i/N --manifest <path> --out <dir> [--fail-after k]`
-    /// from `args`. Returns `None` when `--shard` is absent (the process is
-    /// not a worker); `Some(Err(..))` when it is present but malformed.
+    /// Parses `--shard i/N --manifest <path> --out <dir> [--fail-after k]
+    /// [--flush rewrite|journal] [--fsync record|compact]` from `args`.
+    /// Returns `None` when `--shard` is absent (the process is not a
+    /// worker); `Some(Err(..))` when it is present but malformed.
     pub fn parse(args: &[String]) -> Option<Result<WorkerInvocation, ShardError>> {
         args.iter().any(|a| a == "--shard").then(|| {
             let mut shard = None;
             let mut manifest = None;
             let mut out_dir = None;
             let mut fail_after = None;
+            let mut flush_tag: Option<String> = None;
+            let mut fsync = FsyncPolicy::default();
             let mut iter = args.iter();
             while let Some(arg) = iter.next() {
                 let mut value = |what: &str| {
@@ -212,6 +337,11 @@ impl WorkerInvocation {
                     }
                     "--manifest" => manifest = Some(PathBuf::from(value("--manifest")?)),
                     "--out" => out_dir = Some(PathBuf::from(value("--out")?)),
+                    "--flush" => flush_tag = Some(value("--flush")?),
+                    "--fsync" => {
+                        fsync = FsyncPolicy::from_tag(&value("--fsync")?)
+                            .map_err(ShardError::BadInvocation)?
+                    }
                     "--fail-after" => {
                         let spec = value("--fail-after")?;
                         fail_after = Some(spec.parse::<usize>().map_err(|_| {
@@ -238,6 +368,10 @@ impl WorkerInvocation {
                     shard, shards
                 )));
             }
+            let flush = match flush_tag {
+                None => FlushMode::Journal(fsync),
+                Some(tag) => FlushMode::from_tag(&tag, fsync).map_err(ShardError::BadInvocation)?,
+            };
             Ok(WorkerInvocation {
                 shard,
                 shards,
@@ -248,6 +382,7 @@ impl WorkerInvocation {
                     ShardError::BadInvocation("worker mode needs --out <dir>".to_string())
                 })?,
                 fail_after,
+                flush,
             })
         })
     }
@@ -285,6 +420,7 @@ pub fn run_worker(invocation: &WorkerInvocation) -> Result<ShardRunOutput, Shard
         invocation.shard,
         &invocation.out_dir,
         invocation.fail_after,
+        invocation.flush,
     )
 }
 
@@ -316,6 +452,40 @@ mod tests {
         assert_eq!(parsed.manifest, PathBuf::from("m.json"));
         assert_eq!(parsed.out_dir, PathBuf::from("work"));
         assert_eq!(parsed.fail_after, Some(3));
+        assert_eq!(
+            parsed.flush,
+            FlushMode::Journal(FsyncPolicy::OnCompact),
+            "journal is the default flush mode"
+        );
+
+        let legacy = WorkerInvocation::parse(&args(&[
+            "--shard",
+            "0/2",
+            "--manifest",
+            "m",
+            "--out",
+            "o",
+            "--flush",
+            "rewrite",
+        ]))
+        .expect("worker mode")
+        .expect("well-formed");
+        assert_eq!(legacy.flush, FlushMode::Rewrite);
+        let synced = WorkerInvocation::parse(&args(&[
+            "--shard",
+            "0/2",
+            "--manifest",
+            "m",
+            "--out",
+            "o",
+            "--flush",
+            "journal",
+            "--fsync",
+            "record",
+        ]))
+        .expect("worker mode")
+        .expect("well-formed");
+        assert_eq!(synced.flush, FlushMode::Journal(FsyncPolicy::EveryRecord));
 
         for bad in [
             vec!["--shard", "2"],
@@ -326,6 +496,26 @@ mod tests {
             vec!["--shard", "x/2", "--manifest", "m", "--out", "o"],
             vec!["--shard", "0/2", "--out", "o"],
             vec!["--shard", "0/2", "--manifest", "m"],
+            vec![
+                "--shard",
+                "0/2",
+                "--manifest",
+                "m",
+                "--out",
+                "o",
+                "--flush",
+                "parchment",
+            ],
+            vec![
+                "--shard",
+                "0/2",
+                "--manifest",
+                "m",
+                "--out",
+                "o",
+                "--fsync",
+                "never",
+            ],
         ] {
             let result = WorkerInvocation::parse(&args(&bad)).expect("worker mode");
             assert!(result.is_err(), "{:?} should be rejected", bad);

@@ -1,0 +1,96 @@
+//! Pins the journal's zero-allocation append guarantee: once the reusable
+//! record scratch buffer is warm, appending a record — streaming its JSON
+//! payload through the `serde` shim's `Emitter`, checksumming, framing,
+//! and flushing through the long-lived buffered file handle — must not
+//! touch the heap. This is the per-job flush path of every shard worker;
+//! the whole point of the journal over rewrite-per-job is that a flush is
+//! O(record), and "no intermediate document or `String`" is what keeps the
+//! constant small.
+//!
+//! The test installs a counting global allocator; it must stay the only
+//! test in this binary so no concurrent test pollutes the counter.
+
+use lv_core::journal::{replay, FsyncPolicy, JournalWriter};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+struct CountingAllocator;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAllocator = CountingAllocator;
+
+#[test]
+fn journal_appends_allocate_nothing_once_warm() {
+    let dir = std::env::temp_dir().join(format!("lv-journal-alloc-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("appends.journal");
+    let _ = std::fs::remove_file(&path);
+
+    let mut journal = JournalWriter::create(&path, FsyncPolicy::OnCompact, |e| {
+        e.begin_object()?;
+        e.field_str("journal", "alloc-test")?;
+        e.field_int("version", 1)?;
+        e.end_object()
+    })
+    .unwrap();
+
+    // Pre-built record fields, shaped like a real cache entry (hashes,
+    // tags, a detail string with characters that need escaping).
+    let detail = "solver exhausted its budget \"after\"\n3 conflicts";
+    let append = |journal: &mut JournalWriter, i: u64| {
+        journal
+            .append(|e| {
+                e.begin_object()?;
+                e.field_hex("scalar", i)?;
+                e.field_hex("candidate", i.wrapping_mul(0x9e37_79b9_7f4a_7c15))?;
+                e.field_hex("config", 42)?;
+                e.field_str("verdict", "equivalent")?;
+                e.field_str("stage", "cunroll")?;
+                e.field_str("detail", detail)?;
+                e.key("checksum")?;
+                e.null()?;
+                e.end_object()
+            })
+            .unwrap();
+    };
+
+    // Warm-up: sizes the scratch buffer and any lazy I/O state.
+    append(&mut journal, 0);
+
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    for i in 1..=1_000u64 {
+        append(&mut journal, i);
+    }
+    let after = ALLOCATIONS.load(Ordering::Relaxed);
+    assert_eq!(
+        after - before,
+        0,
+        "journal appends performed heap allocations"
+    );
+
+    // The allocation-free records are real records: replay them all.
+    drop(journal);
+    let replayed = replay(&std::fs::read_to_string(&path).unwrap()).unwrap();
+    assert!(!replayed.torn);
+    assert_eq!(replayed.records.len(), 1_001);
+    let _ = std::fs::remove_file(&path);
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -5,21 +5,27 @@
 //! subsystem's contract end to end, self-executing as its own worker
 //! processes:
 //!
-//! * a 2-shard multi-process sweep produces per-job verdicts identical to a
-//!   single-process run, and its merged verdict-cache file is **byte**
-//!   identical to the single-process cache file;
-//! * killing one shard worker mid-sweep (fault injection: the worker exits
-//!   after 2 jobs, partial output flushed) is recovered by the coordinator
-//!   re-running the missing jobs in-process — and the merged outputs are
-//!   *still* byte-identical to the single-process run.
+//! * a 2-shard multi-process sweep on the **journal** flush path (the
+//!   default: per-shard cache + report are append-only journals, O(record)
+//!   flush I/O) produces per-job verdicts identical to a single-process
+//!   run, and compacts — the coordinator's merge writes the canonical
+//!   snapshot — to a merged verdict-cache file **byte** identical to the
+//!   single-process cache file;
+//! * the legacy **rewrite** flush path (whole-file rewrite per job) still
+//!   merges byte-identically too, so both exchange formats stay honest;
+//! * killing one shard worker mid-sweep on the journal path (fault
+//!   injection: the worker exits after 2 jobs, records flushed) is
+//!   recovered by the coordinator re-running the missing jobs in-process —
+//!   and the merged outputs are *still* byte-identical to the
+//!   single-process run.
 //!
 //! Exits non-zero (panics) on any violation.
 
 use llm_vectorizer_repro::agents::{fsm_candidate_batch, FsmConfig, LlmConfig, SyntheticLlm};
 use llm_vectorizer_repro::core::shard::run_worker_from_args;
 use llm_vectorizer_repro::core::{
-    run_sharded_sweep, BatchReport, EngineConfig, Job, PipelineConfig, ShardPolicy, ShardStatus,
-    SweepConfig, VerdictCache, WorkerSpec,
+    run_sharded_sweep, BatchReport, EngineConfig, FlushMode, Job, PipelineConfig, ShardPolicy,
+    ShardStatus, SweepConfig, VerdictCache, WorkerSpec,
 };
 use llm_vectorizer_repro::interp::ChecksumConfig;
 use llm_vectorizer_repro::tsvc::KERNELS;
@@ -121,6 +127,7 @@ fn sharded(
     config: &EngineConfig,
     workdir: PathBuf,
     fail: Option<(usize, usize)>,
+    flush: FlushMode,
 ) -> llm_vectorizer_repro::core::ShardedSweep {
     let sweep = SweepConfig {
         shards: 2,
@@ -128,6 +135,7 @@ fn sharded(
         workdir,
         worker: WorkerSpec::current_exe().expect("own executable"),
         fail_shard_after: fail,
+        flush,
         ..SweepConfig::default()
     };
     run_sharded_sweep(jobs, config, &sweep).expect("sharded sweep must succeed")
@@ -168,8 +176,14 @@ fn main() {
     single_cache.persist().expect("persist single cache");
     let single_bytes = read(&single_cache_path);
 
-    println!("== 2-shard multi-process sweep (self-exec workers) ==");
-    let healthy = sharded(&jobs, &config, dir.join("healthy"), None);
+    println!("== 2-shard multi-process sweep, journal flush (self-exec workers) ==");
+    let healthy = sharded(
+        &jobs,
+        &config,
+        dir.join("healthy"),
+        None,
+        FlushMode::default(),
+    );
     for outcome in &healthy.shards {
         println!(
             "shard {}: {:?}, {}/{} reported",
@@ -185,15 +199,51 @@ fn main() {
         assert_eq!(outcome.reported, outcome.planned);
     }
     assert!(healthy.recovered.is_empty(), "nothing to recover");
-    assert_reports_match(&single, &healthy.report, "healthy 2-shard sweep");
+    // The exchange files really took the journal path: both per-shard
+    // outputs must carry the journal marker.
+    for shard in 0..2 {
+        for name in [
+            format!("shard-{}.cache.json", shard),
+            format!("shard-{}.report.json", shard),
+        ] {
+            let text = read(&dir.join("healthy").join(&name));
+            assert!(
+                text.starts_with("{\"journal\":"),
+                "{} must be an append-only journal, got: {}…",
+                name,
+                &text[..text.len().min(30)]
+            );
+        }
+    }
+    assert_reports_match(&single, &healthy.report, "healthy 2-shard journal sweep");
     let merged_bytes = read(&healthy.cache_file);
     assert_eq!(
         single_bytes, merged_bytes,
-        "merged cache file must be byte-identical to the single-process cache file"
+        "journal sweep: merged cache file must compact byte-identical to the \
+         single-process cache file"
     );
 
-    println!("== kill-recovery: shard 0 dies after 2 jobs ==");
-    let wounded = sharded(&jobs, &config, dir.join("wounded"), Some((0, 2)));
+    println!("== 2-shard sweep, legacy rewrite flush ==");
+    let legacy = sharded(&jobs, &config, dir.join("legacy"), None, FlushMode::Rewrite);
+    for outcome in &legacy.shards {
+        assert_eq!(outcome.status, ShardStatus::Completed);
+        assert_eq!(outcome.reported, outcome.planned);
+    }
+    assert_reports_match(&single, &legacy.report, "healthy 2-shard rewrite sweep");
+    assert_eq!(
+        single_bytes,
+        read(&legacy.cache_file),
+        "rewrite sweep: merged cache file must stay byte-identical too"
+    );
+
+    println!("== kill-recovery on the journal path: shard 0 dies after 2 jobs ==");
+    let wounded = sharded(
+        &jobs,
+        &config,
+        dir.join("wounded"),
+        Some((0, 2)),
+        FlushMode::default(),
+    );
     let shard0 = &wounded.shards[0];
     assert_eq!(
         shard0.status,

@@ -11,7 +11,14 @@
 //! lv-sweep [--shards N] [--policy hash|range] [--workdir DIR]
 //!          [--kernels s000,s112,...] [--threads T] [--quick]
 //!          [--max-cache-entries N] [--timeout-secs S]
+//!          [--flush journal|rewrite] [--fsync compact|record]
 //! ```
+//!
+//! `--flush` selects how workers flush per-job output: `journal` (default)
+//! appends one framed record per job to append-only cache/report journals —
+//! O(record) flush I/O; `rewrite` is the legacy whole-file atomic rewrite.
+//! `--fsync` applies to journal mode: `compact` (default) syncs only at
+//! compaction, `record` syncs after every appended record.
 //!
 //! Worker mode is selected by the presence of `--shard i/N` (plus
 //! `--manifest` and `--out`, which the coordinator passes automatically)
@@ -19,8 +26,8 @@
 
 use llm_vectorizer_repro::core::shard::run_worker_from_args;
 use llm_vectorizer_repro::core::{
-    CacheBounds, EngineConfig, Equivalence, Job, PipelineConfig, ShardPolicy, SweepConfig,
-    WorkerSpec,
+    CacheBounds, EngineConfig, Equivalence, FlushMode, FsyncPolicy, Job, PipelineConfig,
+    ShardPolicy, SweepConfig, WorkerSpec,
 };
 use llm_vectorizer_repro::interp::ChecksumConfig;
 use llm_vectorizer_repro::tv::{SolverBudget, TvConfig};
@@ -61,6 +68,8 @@ fn main() -> ExitCode {
     let mut quick = false;
     let mut max_entries: Option<usize> = None;
     let mut timeout = Duration::from_secs(600);
+    let mut flush_tag = "journal".to_string();
+    let mut fsync = FsyncPolicy::default();
 
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
@@ -113,6 +122,8 @@ fn main() -> ExitCode {
                             .map_err(|_| "--timeout-secs expects an integer".to_string())?,
                     )
                 }
+                "--flush" => flush_tag = value("--flush")?,
+                "--fsync" => fsync = FsyncPolicy::from_tag(&value("--fsync")?)?,
                 other => {
                     return Err(format!(
                         "unknown argument `{}` (see the module docs)",
@@ -177,6 +188,10 @@ fn main() -> ExitCode {
         Ok(worker) => worker,
         Err(e) => return fail(format!("cannot locate own executable: {}", e)),
     };
+    let flush = match FlushMode::from_tag(&flush_tag, fsync) {
+        Ok(flush) => flush,
+        Err(e) => return fail(e),
+    };
     let sweep = SweepConfig {
         shards,
         policy,
@@ -187,14 +202,16 @@ fn main() -> ExitCode {
             max_entries,
             max_bytes: None,
         },
+        flush,
         fail_shard_after: None,
     };
 
     println!(
-        "sweeping {} jobs over {} shard process(es) ({}), workdir {}",
+        "sweeping {} jobs over {} shard process(es) ({}, {} flush), workdir {}",
         jobs.len(),
         shards,
         policy.tag(),
+        flush.tag(),
         workdir.display()
     );
     let swept = match llm_vectorizer_repro::core::run_sharded_sweep(&jobs, &config, &sweep) {

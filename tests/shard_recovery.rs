@@ -12,8 +12,8 @@
 
 use llm_vectorizer_repro::core::shard::{run_shard, SweepManifest};
 use llm_vectorizer_repro::core::{
-    run_sharded_sweep, EngineConfig, Job, PipelineConfig, ShardPolicy, ShardStatus, SweepConfig,
-    VerificationEngine, WorkerSpec,
+    run_sharded_sweep, EngineConfig, FlushMode, Job, PipelineConfig, ShardPolicy, ShardStatus,
+    SweepConfig, VerificationEngine, WorkerSpec,
 };
 use llm_vectorizer_repro::interp::ChecksumConfig;
 use std::path::PathBuf;
@@ -168,7 +168,10 @@ fn partial_shard_output_is_kept_and_only_missing_jobs_rerun() {
     let truncated: Vec<Job> = vec![jobs[0].clone(), jobs[2].clone(), jobs[3].clone()];
     let staged = SweepManifest::new(&config, &truncated, 2, ShardPolicy::Contiguous);
     assert_eq!(staged.plan().indices_of(0), vec![0, 1], "staging layout");
-    let output = run_shard(&staged, 0, &staging, None).expect("staging shard run");
+    // Rewrite mode keeps the legacy whole-file flush protocol covered; the
+    // journal-mode version of this scenario is `torn_journal_tails_...`.
+    let output =
+        run_shard(&staged, 0, &staging, None, FlushMode::Rewrite).expect("staging shard run");
     let mut report =
         llm_vectorizer_repro::core::shard::ShardReportFile::load(&output.report_file).unwrap();
     report.entries.retain(|(index, _)| *index == 0);
@@ -224,8 +227,8 @@ fn stale_outputs_in_a_reused_workdir_are_ignored() {
     // Sweep A: stage shard outputs for one job list via the real runner.
     let old_jobs = small_jobs();
     let old_manifest = SweepManifest::new(&config, &old_jobs, 2, ShardPolicy::Contiguous);
-    run_shard(&old_manifest, 0, &dir, None).expect("staging shard run");
-    run_shard(&old_manifest, 1, &dir, None).expect("staging shard run");
+    run_shard(&old_manifest, 0, &dir, None, FlushMode::default()).expect("staging shard run");
+    run_shard(&old_manifest, 1, &dir, None, FlushMode::default()).expect("staging shard run");
 
     // Sweep B: a *different* job list, same configuration (so the
     // config-only fingerprint in the stale reports matches), same workdir,
@@ -256,6 +259,76 @@ fn stale_outputs_in_a_reused_workdir_are_ignored() {
     for (s, m) in single.jobs.iter().zip(&swept.report.jobs) {
         assert_eq!((&s.label, s.verdict), (&m.label, m.verdict));
     }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The journal-mode mirror of the partial-output case: a worker killed
+/// mid-*append* leaves journals whose final record is torn mid-frame. The
+/// coordinator must keep every complete record (detecting the torn tail by
+/// its checksum framing, never mis-parsing it) and re-run only the jobs
+/// past the tear — and the merged result must still equal the
+/// single-process run.
+#[test]
+fn torn_journal_tails_are_truncated_and_only_missing_jobs_rerun() {
+    let jobs = small_jobs();
+    let config = quick_config();
+    let dir = temp_dir("torn-journal");
+
+    // Stage shard 0's journals (contiguous split: jobs {0, 1}) with the
+    // real runner, then tear the final record of both journals by chopping
+    // bytes off the end — byte-for-byte what a kill mid-append leaves,
+    // since journal appends are sequential writes.
+    let staging = temp_dir("torn-journal-staging");
+    let manifest = SweepManifest::new(&config, &jobs, 2, ShardPolicy::Contiguous);
+    assert_eq!(manifest.plan().indices_of(0), vec![0, 1], "staging layout");
+    let output =
+        run_shard(&manifest, 0, &staging, None, FlushMode::default()).expect("staging shard run");
+    for file in [&output.report_file, &output.cache_file] {
+        let bytes = std::fs::read(file).unwrap();
+        let text = String::from_utf8(bytes.clone()).unwrap();
+        assert!(
+            text.starts_with("{\"journal\":"),
+            "staged output must be a journal, got: {}",
+            &text[..text.len().min(40)]
+        );
+        // Cut inside the final record (5 bytes shy of its newline).
+        std::fs::write(file, &bytes[..bytes.len() - 5]).unwrap();
+    }
+    std::fs::copy(&output.report_file, dir.join("partial.report.json")).unwrap();
+    std::fs::copy(&output.cache_file, dir.join("partial.cache.json")).unwrap();
+    let _ = std::fs::remove_dir_all(&staging);
+
+    let sweep = SweepConfig {
+        shards: 2,
+        policy: ShardPolicy::Contiguous,
+        workdir: dir.clone(),
+        // Shard 0 installs the torn journals and dies; shard 1 dies with
+        // nothing ($1 is `i/N`, $5 is the --out directory).
+        worker: WorkerSpec {
+            program: PathBuf::from("sh"),
+            args: vec![
+                "-c".to_string(),
+                "if [ \"${1%%/*}\" = 0 ]; then \
+                     cp \"$5/partial.report.json\" \"$5/shard-0.report.json\"; \
+                     cp \"$5/partial.cache.json\" \"$5/shard-0.cache.json\"; \
+                 fi; exit 9"
+                    .to_string(),
+            ],
+        },
+        ..SweepConfig::default()
+    };
+    let swept = run_sharded_sweep(&jobs, &config, &sweep).expect("sweep must recover");
+    assert_eq!(
+        swept.shards[0].reported, 1,
+        "the complete journal prefix (job 0) must be kept"
+    );
+    assert_eq!(
+        swept.recovered,
+        vec![1, 2, 3],
+        "only the torn-away and unreported jobs are re-run"
+    );
+    assert_matches_single_process(&swept, &jobs);
+    assert_eq!(swept.cache.len(), jobs.len());
     let _ = std::fs::remove_dir_all(&dir);
 }
 
@@ -314,7 +387,11 @@ fn conflicting_shard_caches_abort_the_merge() {
     // the forged cache entry.
     let staging = temp_dir("conflict-staging");
     let manifest = SweepManifest::new(&config, &jobs, 2, ShardPolicy::Contiguous);
-    let output = run_shard(&manifest, 0, &staging, None).expect("healthy shard run");
+    // Rewrite mode: the forgery below edits the snapshot text in place,
+    // which a journal's per-record checksums would (correctly) reject as
+    // corruption rather than surface as a merge conflict.
+    let output =
+        run_shard(&manifest, 0, &staging, None, FlushMode::Rewrite).expect("healthy shard run");
     let text = std::fs::read_to_string(&output.cache_file).unwrap();
     let flipped = text.replacen(
         "\"verdict\":\"equivalent\"",
