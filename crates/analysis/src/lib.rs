@@ -13,6 +13,9 @@
 //!   subscript recognition ([`collect_accesses`]);
 //! * [`dependence`] — flow/anti/output dependence analysis with distances
 //!   ([`analyze_function`], [`DependenceReport`]);
+//! * [`category`] — coarse kernel-shape buckets derived from the dependence
+//!   report ([`categorize`], [`KernelCategory`]), the key the verification
+//!   engine's per-category stage schedule is indexed by;
 //! * [`remarks`] — compiler-style remark rendering for the agent prompt
 //!   ([`remarks_text`]).
 //!
@@ -35,6 +38,7 @@
 #![warn(missing_docs)]
 
 pub mod access;
+pub mod category;
 pub mod dependence;
 pub mod loops;
 pub mod remarks;
@@ -42,6 +46,7 @@ pub mod remarks;
 pub use access::{
     collect_accesses, AccessKind, AffineIndex, ArrayAccess, BodyAccesses, ScalarUpdate,
 };
+pub use category::{categorize, KernelCategory};
 pub use dependence::{analyze_function, analyze_loop, DepKind, Dependence, DependenceReport};
 pub use loops::{canonicalize_for, loop_nest, CanonicalLoop, LoopNest, StepKind};
 pub use remarks::{remarks_for, remarks_text, Remark};

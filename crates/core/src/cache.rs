@@ -313,6 +313,16 @@ impl VerdictCache {
         self.journal.lock().unwrap().is_some()
     }
 
+    /// Sets the journal's flush batching (see
+    /// [`JournalWriter::set_flush_every`]): every `n`-th appended record
+    /// flushes; a crash loses at most `n - 1` buffered tail entries. No-op
+    /// in snapshot mode.
+    pub fn set_journal_flush_every(&self, n: usize) {
+        if let Some(writer) = self.journal.lock().unwrap().as_mut() {
+            writer.set_flush_every(n);
+        }
+    }
+
     /// Cumulative bytes written to the backing file over this cache's
     /// lifetime — snapshot rewrites plus journal appends. The flush-cost
     /// metric: rewrite-per-job grows it quadratically, a journal linearly.

@@ -1,20 +1,24 @@
-//! The parallel batch verification engine.
+//! The parallel batch verification engine, split into three layers:
 //!
-//! Algorithm 1 is a cascade of verification strategies — checksum testing,
-//! then the three symbolic strategies — applied to one `(scalar, candidate)`
-//! pair. This module turns that cascade into an engine that:
-//!
-//! * represents each stage as a [`VerificationStrategy`] trait object, so the
-//!   cascade is configurable (the experiment drivers use a checksum-only
-//!   cascade for Table 2 / Figure 5 and the full cascade for Table 3);
-//! * fans a batch of [`Job`]s out over a worker pool ([`VerificationEngine::
-//!   run_batch`]): workers pull jobs from a shared atomic cursor, and each
-//!   worker owns one reusable SMT session ([`lv_tv::TvSession`]) for its whole
-//!   lifetime, so solver allocations are recycled instead of rebuilt per
-//!   query;
-//! * records structured per-job telemetry ([`StageTrace`]): which stages ran,
-//!   which one concluded, wall time, and the SAT conflicts and CNF clauses
-//!   each stage spent.
+//! * [`stage`] — one cascade stage as a [`VerificationStrategy`] trait
+//!   object ([`ChecksumStage`] wrapping the checksum filter, one
+//!   [`SymbolicStage`] per [`lv_tv::SymbolicStrategy`]). A stage checks one
+//!   `(scalar, candidate)` pair and knows nothing about ordering or
+//!   parallelism;
+//! * [`schedule`] — the cascade *order* as data: a [`StageSchedule`] is the
+//!   default Algorithm 1 order plus per-kernel-category overrides that
+//!   permute only the symbolic stages (checksum pinned first), keyed by the
+//!   CIR-feature categorizer in [`lv_analysis::categorize`]. The default
+//!   schedule is bit-identical to the fixed cascade — same execution, same
+//!   [`EngineConfig::semantic_fingerprint`], same cache keys — while
+//!   effective overrides fingerprint distinctly (the resolved per-category
+//!   orders are hashed in) and still produce bit-identical *verdicts*, since
+//!   every symbolic stage is sound. [`StageSchedule::from_profile`] derives
+//!   the overrides from a persisted [`crate::profile::CrossRunProfile`];
+//! * [`pool`] — the atomic work-queue worker pool ([`parallel_map`] and the
+//!   batch runner core): workers pull jobs from a shared cursor, each owning
+//!   one reusable SMT session ([`lv_tv::TvSession`]) for its whole lifetime,
+//!   and results are returned in job order regardless of scheduling.
 //!
 //! Every job is deterministic given its inputs and each worker session is
 //! reset to a just-constructed state between queries, so a batch produces
@@ -34,193 +38,46 @@
 //!   configured budgets, derives tightened per-stage [`lv_tv::SolverBudget`]s
 //!   from the pilot's [`crate::FunnelReport`], and runs the remainder under
 //!   them (opt-in via [`EngineConfig::adaptive`]; off by default so verdicts
-//!   stay bit-identical to the sequential path).
+//!   stay bit-identical to the sequential path). With a persisted
+//!   [`crate::profile::CrossRunProfile`] the pilot slice becomes
+//!   unnecessary: [`StageSchedule::from_profile`] and
+//!   [`AdaptiveBudgetPolicy::derive_from_profile`](crate::AdaptiveBudgetPolicy::derive_from_profile)
+//!   derive the stage order and budgets for the *next* run from every
+//!   previous run's telemetry.
+
+pub mod pool;
+pub mod schedule;
+pub mod stage;
+
+pub use pool::parallel_map;
+pub use schedule::{StageSchedule, SYMBOLIC_STAGES};
+pub use stage::{ChecksumStage, StrategyOutcome, SymbolicStage, VerificationStrategy, WorkerState};
 
 use crate::cache::{CacheKey, CachedVerdict, VerdictCache};
 use crate::funnel::{AdaptiveBudgetPolicy, FunnelReport};
 use crate::observer::{BatchObserver, NoopObserver, OffsetObserver};
 use crate::pipeline::{Equivalence, EquivalenceReport, PipelineConfig, Stage};
+use lv_analysis::KernelCategory;
 use lv_cir::ast::Function;
 use lv_cir::hash::{structural_hash, structural_hash_in_env, Fnv64};
-use lv_interp::{ChecksumClass, ChecksumFilter, ChecksumOutcome};
-use lv_tv::{SymbolicStrategy, TvConfig, TvSession, TvSessionStats};
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex};
+use lv_interp::ChecksumClass;
+use lv_tv::{SymbolicStrategy, TvConfig, TvSessionStats};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
-
-/// Per-worker mutable state threaded through every strategy call.
-///
-/// One value lives per worker thread for the whole batch; strategies use it
-/// to reuse expensive resources (the SMT session) and to report side-band
-/// facts (the checksum classification) without widening their return type.
-#[derive(Debug, Default)]
-pub struct WorkerState {
-    /// The worker's reusable SMT session.
-    pub session: TvSession,
-    /// Checksum classification of the current job, recorded by the checksum
-    /// strategy so reports can distinguish "cannot compile" from "refuted".
-    pub checksum: Option<ChecksumClass>,
-    /// Set by the checksum strategy when the candidate's array parameter
-    /// names differ from the scalar's — the harness binds arrays by name, so
-    /// such a candidate is tested on disjoint arrays (see
-    /// [`lv_interp::array_param_names_mismatch`]). Telemetry only; the
-    /// verdict is unchanged.
-    pub name_mismatch: bool,
-}
-
-/// What one strategy concluded about one job.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub enum StrategyOutcome {
-    /// The cascade stops here with this verdict.
-    Conclusive {
-        /// The final verdict.
-        verdict: Equivalence,
-        /// Counterexample, mismatch, or failure description.
-        detail: String,
-    },
-    /// This strategy could not decide; the cascade continues.
-    Continue {
-        /// Why the strategy passed (checksum: "plausible"; symbolic: the
-        /// inconclusive reason, reported if no later stage concludes).
-        reason: String,
-    },
-}
-
-/// One stage of the verification cascade.
-///
-/// Implementations exist for the checksum filter (wrapping
-/// [`lv_interp::ChecksumFilter`]) and for each [`lv_tv::SymbolicStrategy`];
-/// the trait is public so alternative cascades (e.g. a future fuzzing stage)
-/// can plug in without touching the engine.
-pub trait VerificationStrategy: Send + Sync {
-    /// The Algorithm 1 stage this strategy implements, for reports.
-    fn stage(&self) -> Stage;
-
-    /// Checks one candidate against its scalar kernel.
-    fn verify(
-        &self,
-        scalar: &Function,
-        candidate: &Function,
-        worker: &mut WorkerState,
-    ) -> StrategyOutcome;
-}
-
-/// Algorithm 1 line 2: checksum testing as a cascade stage.
-#[derive(Debug, Clone, Default)]
-pub struct ChecksumStage {
-    filter: ChecksumFilter,
-}
-
-impl ChecksumStage {
-    /// A stage running the given checksum harness configuration.
-    pub fn new(config: lv_interp::ChecksumConfig) -> ChecksumStage {
-        ChecksumStage {
-            filter: ChecksumFilter::new(config),
-        }
-    }
-}
-
-impl VerificationStrategy for ChecksumStage {
-    fn stage(&self) -> Stage {
-        Stage::Checksum
-    }
-
-    fn verify(
-        &self,
-        scalar: &Function,
-        candidate: &Function,
-        worker: &mut WorkerState,
-    ) -> StrategyOutcome {
-        if lv_interp::array_param_names_mismatch(scalar, candidate) {
-            // Diagnostic only: the harness binds arrays by parameter name, so
-            // this candidate runs on disjoint arrays and the comparison is
-            // vacuous. The flag surfaces in the job's checksum StageTrace and
-            // the funnel; the behavioral fix (positional binding or a
-            // CannotCompile classification) shifts Table 2 counts and is a
-            // separate change (see ROADMAP).
-            worker.name_mismatch = true;
-            eprintln!(
-                "warning: candidate `{}` renames array parameters away from the scalar's; \
-                 the checksum harness binds arrays by name, so the candidate was tested on \
-                 disjoint arrays (verdict unchanged)",
-                candidate.name
-            );
-        }
-        let report = self.filter.run(scalar, candidate);
-        worker.checksum = Some(report.outcome.class());
-        match report.outcome {
-            ChecksumOutcome::NotEquivalent { reason, .. } => StrategyOutcome::Conclusive {
-                verdict: Equivalence::NotEquivalent,
-                detail: reason,
-            },
-            ChecksumOutcome::CannotCompile { error } => StrategyOutcome::Conclusive {
-                verdict: Equivalence::NotEquivalent,
-                detail: format!("cannot compile: {}", error),
-            },
-            ChecksumOutcome::ScalarExecutionFailed { error } => StrategyOutcome::Conclusive {
-                verdict: Equivalence::Inconclusive,
-                detail: format!("scalar kernel failed to execute: {}", error),
-            },
-            ChecksumOutcome::Plausible => StrategyOutcome::Continue {
-                reason: String::new(),
-            },
-        }
-    }
-}
-
-/// Algorithm 1 lines 6–13: one symbolic strategy as a cascade stage.
-#[derive(Debug, Clone)]
-pub struct SymbolicStage {
-    strategy: SymbolicStrategy,
-    config: TvConfig,
-}
-
-impl SymbolicStage {
-    /// A stage running `strategy` under `config`.
-    pub fn new(strategy: SymbolicStrategy, config: TvConfig) -> SymbolicStage {
-        SymbolicStage { strategy, config }
-    }
-}
-
-impl VerificationStrategy for SymbolicStage {
-    fn stage(&self) -> Stage {
-        match self.strategy {
-            SymbolicStrategy::Alive2Unroll => Stage::Alive2,
-            SymbolicStrategy::CUnroll => Stage::CUnroll,
-            SymbolicStrategy::SpatialSplitting => Stage::Splitting,
-        }
-    }
-
-    fn verify(
-        &self,
-        scalar: &Function,
-        candidate: &Function,
-        worker: &mut WorkerState,
-    ) -> StrategyOutcome {
-        match self
-            .strategy
-            .run(scalar, candidate, &self.config, &mut worker.session)
-        {
-            lv_tv::TvVerdict::Equivalent => StrategyOutcome::Conclusive {
-                verdict: Equivalence::Equivalent,
-                detail: String::new(),
-            },
-            lv_tv::TvVerdict::NotEquivalent { counterexample } => StrategyOutcome::Conclusive {
-                verdict: Equivalence::NotEquivalent,
-                detail: counterexample,
-            },
-            lv_tv::TvVerdict::Inconclusive { reason } => StrategyOutcome::Continue { reason },
-        }
-    }
-}
 
 /// Engine configuration.
 #[derive(Debug, Clone)]
 pub struct EngineConfig {
     /// Worker threads; `0` means one per available CPU.
     pub threads: usize,
-    /// The stages to run, in order. Defaults to Algorithm 1's full cascade.
+    /// The stages to run, in base order. Defaults to Algorithm 1's full
+    /// cascade; the [`StageSchedule`] may reorder the symbolic stages per
+    /// kernel category.
     pub cascade: Vec<Stage>,
+    /// Per-kernel-category stage ordering. The default is Algorithm 1's
+    /// fixed order for every category — bit-identical execution and
+    /// fingerprint to the pre-schedule engine.
+    pub schedule: StageSchedule,
     /// Stage configurations (checksum harness + symbolic budgets).
     pub pipeline: PipelineConfig,
     /// Verdict cache consulted per job before any stage runs. `None`
@@ -242,6 +99,7 @@ impl Default for EngineConfig {
                 Stage::CUnroll,
                 Stage::Splitting,
             ],
+            schedule: StageSchedule::algorithm1(),
             pipeline: PipelineConfig::default(),
             cache: None,
             adaptive: None,
@@ -288,9 +146,19 @@ impl EngineConfig {
         self
     }
 
+    /// Returns this configuration with the given stage schedule.
+    pub fn with_schedule(mut self, schedule: StageSchedule) -> EngineConfig {
+        self.schedule = schedule;
+        self
+    }
+
     /// A stable fingerprint of everything that can influence a verdict: the
     /// cascade stage list (order matters — it decides which stage answers
-    /// first), the checksum harness configuration, and the symbolic budgets.
+    /// first), the *effective* per-category schedule overrides (resolved
+    /// against the cascade; the default schedule contributes nothing, so
+    /// default-schedule fingerprints are bit-identical to the pre-schedule
+    /// engine), the checksum harness configuration, and the symbolic
+    /// budgets.
     ///
     /// This is the `config` component of every [`CacheKey`]. Thread count,
     /// the cache itself, and the adaptive *policy* are deliberately
@@ -301,15 +169,11 @@ impl EngineConfig {
         let mut fnv = Fnv64::new();
         fnv.write_u64(self.cascade.len() as u64);
         for stage in &self.cascade {
-            fnv.write_u8(match stage {
-                Stage::Checksum => 1,
-                Stage::Alive2 => 2,
-                Stage::CUnroll => 3,
-                Stage::Splitting => 4,
-            });
+            fnv.write_u8(schedule::stage_fingerprint_byte(*stage));
         }
         fnv.write_u64(self.pipeline.checksum.fingerprint());
         fnv.write_u64(self.pipeline.tv.fingerprint());
+        self.schedule.fingerprint_into(&self.cascade, &mut fnv);
         fnv.finish()
     }
 }
@@ -456,7 +320,16 @@ pub struct AdaptiveBatchReport {
 /// The parallel batch verification engine.
 pub struct VerificationEngine {
     threads: usize,
+    /// One strategy instance per base-cascade stage, in cascade order.
     strategies: Vec<Box<dyn VerificationStrategy>>,
+    /// The base execution order: `0..strategies.len()`.
+    identity_order: Vec<usize>,
+    /// Per-category execution orders (indices into `strategies`) for
+    /// categories whose resolved schedule differs from the base cascade.
+    /// Empty for the default schedule — jobs then skip categorization
+    /// entirely, so default-schedule batches are bit-identical (down to
+    /// wall-clock behavior) to the pre-schedule engine.
+    category_orders: Vec<(KernelCategory, Vec<usize>)>,
     cache: Option<Arc<VerdictCache>>,
     /// [`EngineConfig::semantic_fingerprint`] of the source configuration,
     /// precomputed once — it is part of every cache key.
@@ -468,9 +341,9 @@ pub struct VerificationEngine {
 
 impl VerificationEngine {
     /// Builds an engine from a configuration, instantiating one strategy per
-    /// cascade stage.
+    /// cascade stage and precomputing the per-category execution orders.
     pub fn new(config: EngineConfig) -> VerificationEngine {
-        let strategies = config
+        let strategies: Vec<Box<dyn VerificationStrategy>> = config
             .cascade
             .iter()
             .map(|stage| -> Box<dyn VerificationStrategy> {
@@ -493,9 +366,33 @@ impl VerificationEngine {
                 }
             })
             .collect();
+        // Resolve each effective override into indices of `strategies`: the
+        // resolved order is a permutation of the cascade, so every stage in
+        // it names exactly one cascade position.
+        let category_orders = config
+            .schedule
+            .resolved_overrides(&config.cascade)
+            .into_iter()
+            .map(|(category, order)| {
+                let mut remaining: Vec<usize> = (0..config.cascade.len()).collect();
+                let indices = order
+                    .iter()
+                    .map(|stage| {
+                        let slot = remaining
+                            .iter()
+                            .position(|&i| config.cascade[i] == *stage)
+                            .expect("resolved order is a permutation of the cascade");
+                        remaining.remove(slot)
+                    })
+                    .collect();
+                (category, indices)
+            })
+            .collect();
         VerificationEngine {
             threads: config.threads,
+            identity_order: (0..strategies.len()).collect(),
             strategies,
+            category_orders,
             cache: config.cache.clone(),
             config_fingerprint: config.semantic_fingerprint(),
             config: Some(config),
@@ -512,7 +409,9 @@ impl VerificationEngine {
     ) -> VerificationEngine {
         VerificationEngine {
             threads,
+            identity_order: (0..strategies.len()).collect(),
             strategies,
+            category_orders: Vec::new(),
             cache: None,
             config_fingerprint: 0,
             config: None,
@@ -521,7 +420,7 @@ impl VerificationEngine {
 
     /// The worker count a batch of `jobs` jobs would use.
     pub fn resolved_threads(&self, jobs: usize) -> usize {
-        resolve_threads(self.threads, jobs)
+        pool::resolve_threads(self.threads, jobs)
     }
 
     /// Runs the cascade on a single pair, reusing nothing (the
@@ -554,7 +453,7 @@ impl VerificationEngine {
         let threads = self.resolved_threads(jobs.len());
         let start = Instant::now();
         let reports =
-            parallel_map_with(threads, jobs, WorkerState::default, |index, job, worker| {
+            pool::parallel_map_with(threads, jobs, WorkerState::default, |index, job, worker| {
                 self.run_job(index, job, worker, observer)
             });
         let cache_hits = reports.iter().filter(|r| r.cache_hit).count();
@@ -655,6 +554,21 @@ impl VerificationEngine {
         Some(job_cache_key(job, self.config_fingerprint))
     }
 
+    /// The stage execution order for `job`: the base cascade order unless
+    /// the schedule has an effective override for the job's kernel category.
+    /// Categorization runs only when overrides exist, so a default-schedule
+    /// engine pays nothing.
+    fn stage_order(&self, job: &Job) -> &[usize] {
+        if self.category_orders.is_empty() {
+            return &self.identity_order;
+        }
+        let category = lv_analysis::categorize(&job.scalar);
+        self.category_orders
+            .iter()
+            .find(|(c, _)| *c == category)
+            .map_or(&self.identity_order, |(_, order)| order)
+    }
+
     /// Runs the cascade on one job, collecting per-stage telemetry. The
     /// verdict cache is consulted first — a hit returns before any stage
     /// (checksum included) runs.
@@ -688,7 +602,8 @@ impl VerificationEngine {
 
         worker.checksum = None;
         worker.name_mismatch = false;
-        let mut traces = Vec::with_capacity(self.strategies.len());
+        let order = self.stage_order(job);
+        let mut traces = Vec::with_capacity(order.len());
         // If no stage concludes, report the last stage that ran (Alive2 with
         // an empty reason for an empty cascade, mirroring the sequential
         // pipeline's initializer).
@@ -696,7 +611,8 @@ impl VerificationEngine {
         let mut last_reason = String::new();
         let mut conclusion: Option<(Equivalence, Stage, String)> = None;
 
-        for strategy in &self.strategies {
+        for &slot in order {
+            let strategy = &self.strategies[slot];
             let stats_before = worker.session.stats;
             let stage_start = Instant::now();
             let outcome = strategy.verify(&job.scalar, &job.candidate, worker);
@@ -780,87 +696,13 @@ fn effort_delta(before: TvSessionStats, after: TvSessionStats) -> (u64, u64) {
     )
 }
 
-/// Maps `f` over `items` on a scoped worker pool, preserving order.
-///
-/// The engine's work-queue pattern as a standalone helper, used by drivers
-/// whose per-item work is not a verification (e.g. Figure 6's cost-model
-/// evaluations).
-pub fn parallel_map<T, R, F>(threads: usize, items: &[T], f: F) -> Vec<R>
-where
-    T: Sync,
-    R: Send,
-    F: Fn(&T) -> R + Sync,
-{
-    parallel_map_with(
-        resolve_threads(threads, items.len()),
-        items,
-        || (),
-        |_, item, _| f(item),
-    )
-}
-
-/// Resolves a configured worker count: `0` means one per available CPU, and
-/// the result is clamped to `[1, items]` so idle workers are never spawned.
-fn resolve_threads(configured: usize, items: usize) -> usize {
-    let hw = std::thread::available_parallelism().map_or(1, |n| n.get());
-    let threads = if configured == 0 { hw } else { configured };
-    threads.clamp(1, items.max(1))
-}
-
-/// The work-queue core shared by [`parallel_map`] and
-/// [`VerificationEngine::run_batch`]: workers claim item indices from an
-/// atomic cursor, each carrying per-worker state built by `init` (the
-/// engine's reusable SMT session; `()` for the plain map). The claimed index
-/// is passed to `f` so the engine can label observer events with the job's
-/// position in the batch.
-///
-/// `threads` must already be resolved and clamped by the caller.
-fn parallel_map_with<T, R, S, I, F>(threads: usize, items: &[T], init: I, f: F) -> Vec<R>
-where
-    T: Sync,
-    R: Send,
-    I: Fn() -> S + Sync,
-    F: Fn(usize, &T, &mut S) -> R + Sync,
-{
-    if threads <= 1 {
-        let mut state = init();
-        return items
-            .iter()
-            .enumerate()
-            .map(|(index, item)| f(index, item, &mut state))
-            .collect();
-    }
-    let results: Vec<Mutex<Option<R>>> = items.iter().map(|_| Mutex::new(None)).collect();
-    let cursor = AtomicUsize::new(0);
-    std::thread::scope(|scope| {
-        for _ in 0..threads {
-            scope.spawn(|| {
-                let mut state = init();
-                loop {
-                    let index = cursor.fetch_add(1, Ordering::Relaxed);
-                    let Some(item) = items.get(index) else { break };
-                    let value = f(index, item, &mut state);
-                    *results[index].lock().unwrap() = Some(value);
-                }
-            });
-        }
-    });
-    results
-        .into_iter()
-        .map(|slot| {
-            slot.into_inner()
-                .unwrap()
-                .expect("every item index was claimed by a worker")
-        })
-        .collect()
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
     use lv_agents::vectorize_correct;
     use lv_cir::parse_function;
     use lv_interp::ChecksumConfig;
+    use std::sync::atomic::Ordering;
 
     const S000: &str =
         "void s000(int n, int *a, int *b) { for (int i = 0; i < n; i++) { a[i] = b[i] + 1; } }";
@@ -995,15 +837,6 @@ mod tests {
     }
 
     #[test]
-    fn parallel_map_preserves_order() {
-        let items: Vec<u64> = (0..100).collect();
-        let doubled = parallel_map(4, &items, |&x| x * 2);
-        assert_eq!(doubled, (0..100).map(|x| x * 2).collect::<Vec<_>>());
-        let empty: Vec<u64> = Vec::new();
-        assert!(parallel_map(4, &empty, |&x: &u64| x).is_empty());
-    }
-
-    #[test]
     fn warm_cache_reruns_with_zero_stage_runs_and_identical_verdicts() {
         let scalar = parse_function(S000).unwrap();
         let good = vectorize_correct(&scalar).unwrap();
@@ -1127,5 +960,76 @@ mod tests {
             report.tuned.alive2_budget.max_conflicts,
             report.base.alive2_budget.max_conflicts
         );
+    }
+
+    #[test]
+    fn default_schedule_fingerprint_is_unchanged_and_overrides_differ() {
+        let base = EngineConfig::full(quick_pipeline());
+        let explicit_default =
+            EngineConfig::full(quick_pipeline()).with_schedule(StageSchedule::algorithm1());
+        assert_eq!(
+            base.semantic_fingerprint(),
+            explicit_default.semantic_fingerprint(),
+            "the default schedule must not perturb the fingerprint"
+        );
+
+        let reordered = EngineConfig::full(quick_pipeline()).with_schedule(
+            StageSchedule::algorithm1()
+                .with_override(
+                    KernelCategory::DependenceFree,
+                    vec![Stage::Splitting, Stage::Alive2, Stage::CUnroll],
+                )
+                .unwrap(),
+        );
+        assert_ne!(
+            base.semantic_fingerprint(),
+            reordered.semantic_fingerprint(),
+            "an effective override is a different verification configuration"
+        );
+
+        // Against a checksum-only cascade the same override has no effect,
+        // so it must not perturb that fingerprint either.
+        let checksum_base = EngineConfig::checksum_only(ChecksumConfig::default());
+        let checksum_scheduled = EngineConfig {
+            schedule: reordered.schedule.clone(),
+            ..EngineConfig::checksum_only(ChecksumConfig::default())
+        };
+        assert_eq!(
+            checksum_base.semantic_fingerprint(),
+            checksum_scheduled.semantic_fingerprint()
+        );
+    }
+
+    #[test]
+    fn scheduled_engine_reorders_stages_but_keeps_verdicts() {
+        let scalar = parse_function(S000).unwrap();
+        let good = vectorize_correct(&scalar).unwrap();
+        assert_eq!(
+            lv_analysis::categorize(&scalar),
+            KernelCategory::DependenceFree
+        );
+        let jobs = vec![Job::new("s000", scalar.clone(), good)];
+
+        let default_engine = VerificationEngine::new(EngineConfig::full(quick_pipeline()));
+        let default_run = default_engine.run_batch(&jobs);
+
+        let schedule = StageSchedule::algorithm1()
+            .with_override(
+                KernelCategory::DependenceFree,
+                vec![Stage::Splitting, Stage::CUnroll, Stage::Alive2],
+            )
+            .unwrap();
+        let scheduled_engine =
+            VerificationEngine::new(EngineConfig::full(quick_pipeline()).with_schedule(schedule));
+        let scheduled_run = scheduled_engine.run_batch(&jobs);
+
+        let (d, s) = (&default_run.jobs[0], &scheduled_run.jobs[0]);
+        assert_eq!(d.verdict, s.verdict, "verdicts are schedule-invariant");
+        assert_eq!(d.verdict, Equivalence::Equivalent);
+        // The scheduled run really executed a different order: checksum
+        // first (pinned), then Splitting before the default's Alive2.
+        assert_eq!(s.traces[0].stage, Stage::Checksum);
+        assert_eq!(s.traces[1].stage, Stage::Splitting);
+        assert_eq!(d.traces[1].stage, Stage::Alive2);
     }
 }

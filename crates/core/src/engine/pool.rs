@@ -1,0 +1,101 @@
+//! The pool layer: the atomic work-queue worker pool.
+//!
+//! Workers claim item indices from a shared atomic cursor, each carrying
+//! per-worker state (the engine's reusable SMT session; `()` for the plain
+//! map). Ordering of *results* is by item index regardless of which worker
+//! ran what, which is how every batch stays bit-identical across thread
+//! counts. Nothing in this layer knows what a verification stage is — the
+//! [stage](super::stage) and [schedule](super::schedule) layers are plugged
+//! in by [`VerificationEngine`](super::VerificationEngine).
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Maps `f` over `items` on a scoped worker pool, preserving order.
+///
+/// The engine's work-queue pattern as a standalone helper, used by drivers
+/// whose per-item work is not a verification (e.g. Figure 6's cost-model
+/// evaluations).
+pub fn parallel_map<T, R, F>(threads: usize, items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    parallel_map_with(
+        resolve_threads(threads, items.len()),
+        items,
+        || (),
+        |_, item, _| f(item),
+    )
+}
+
+/// Resolves a configured worker count: `0` means one per available CPU, and
+/// the result is clamped to `[1, items]` so idle workers are never spawned.
+pub(crate) fn resolve_threads(configured: usize, items: usize) -> usize {
+    let hw = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let threads = if configured == 0 { hw } else { configured };
+    threads.clamp(1, items.max(1))
+}
+
+/// The work-queue core shared by [`parallel_map`] and
+/// [`VerificationEngine::run_batch`](super::VerificationEngine::run_batch):
+/// workers claim item indices from an atomic cursor, each carrying
+/// per-worker state built by `init`. The claimed index is passed to `f` so
+/// the engine can label observer events with the job's position in the
+/// batch.
+///
+/// `threads` must already be resolved and clamped by the caller.
+pub(crate) fn parallel_map_with<T, R, S, I, F>(threads: usize, items: &[T], init: I, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(usize, &T, &mut S) -> R + Sync,
+{
+    if threads <= 1 {
+        let mut state = init();
+        return items
+            .iter()
+            .enumerate()
+            .map(|(index, item)| f(index, item, &mut state))
+            .collect();
+    }
+    let results: Vec<Mutex<Option<R>>> = items.iter().map(|_| Mutex::new(None)).collect();
+    let cursor = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| {
+                let mut state = init();
+                loop {
+                    let index = cursor.fetch_add(1, Ordering::Relaxed);
+                    let Some(item) = items.get(index) else { break };
+                    let value = f(index, item, &mut state);
+                    *results[index].lock().unwrap() = Some(value);
+                }
+            });
+        }
+    });
+    results
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .unwrap()
+                .expect("every item index was claimed by a worker")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parallel_map_preserves_order() {
+        let items: Vec<u64> = (0..100).collect();
+        let doubled = parallel_map(4, &items, |&x| x * 2);
+        assert_eq!(doubled, (0..100).map(|x| x * 2).collect::<Vec<_>>());
+        let empty: Vec<u64> = Vec::new();
+        assert!(parallel_map(4, &empty, |&x: &u64| x).is_empty());
+    }
+}

@@ -1,0 +1,460 @@
+//! The schedule layer: data-driven cascade stage ordering.
+//!
+//! Algorithm 1 runs a fixed cascade — checksum, then the three symbolic
+//! strategies in one hardcoded order — for every kernel. The telemetry
+//! funnel shows the kill/conflict profile differs sharply by kernel shape,
+//! so a [`StageSchedule`] lets the order be *data*: the default is exactly
+//! Algorithm 1, and per-[`KernelCategory`] overrides permute only the
+//! **symbolic** stages (the checksum filter is always pinned first — it is
+//! orders of magnitude cheaper than any SMT query, so no profile could ever
+//! justify demoting it, and pinning it keeps every refutation it produces
+//! identical across schedules).
+//!
+//! Reordering symbolic stages cannot change a *verdict*: each symbolic
+//! strategy is sound (a `Conclusive` answer is correct regardless of which
+//! stage produced it), so permuting them only changes which stage answers
+//! first and how much budget is burned on the way — the property test in
+//! `tests/schedule_soundness.rs` pins this over every permutation. It *does*
+//! change the concluding stage and the telemetry, which is why the resolved
+//! per-category orders participate in
+//! [`EngineConfig::semantic_fingerprint`](crate::EngineConfig::semantic_fingerprint)
+//! (a reordered run caches under its own key) while the default schedule
+//! contributes nothing and keeps fingerprints bit-identical to the
+//! pre-schedule engine.
+//!
+//! [`StageSchedule::from_profile`] derives the overrides from a persisted
+//! [`CrossRunProfile`](crate::profile::CrossRunProfile): per category, the
+//! symbolic stages are ordered by observed kill efficiency (verdicts
+//! produced per microsecond of stage wall time, compared exactly by
+//! cross-multiplication so the derivation is deterministic), with the
+//! default order as the tie-break and categories without any conclusive
+//! evidence left untouched.
+
+use crate::pipeline::Stage;
+use lv_analysis::KernelCategory;
+use lv_cir::hash::Fnv64;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// The symbolic stages, in Algorithm 1's default order.
+pub const SYMBOLIC_STAGES: [Stage; 3] = [Stage::Alive2, Stage::CUnroll, Stage::Splitting];
+
+/// A per-kernel-category cascade stage ordering.
+///
+/// The default ([`StageSchedule::algorithm1`]) has no overrides and resolves
+/// every category to the configured cascade unchanged. An override is a full
+/// permutation of [`SYMBOLIC_STAGES`]; resolving it against a cascade
+/// rewrites the cascade's symbolic positions in the override's order and
+/// leaves every other stage (the checksum filter) where it was.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct StageSchedule {
+    overrides: BTreeMap<KernelCategory, Vec<Stage>>,
+}
+
+impl StageSchedule {
+    /// The default schedule: Algorithm 1's order for every category.
+    pub fn algorithm1() -> StageSchedule {
+        StageSchedule::default()
+    }
+
+    /// `true` when no category overrides the default order.
+    pub fn is_default(&self) -> bool {
+        self.overrides.is_empty()
+    }
+
+    /// Adds (or replaces) one category's symbolic-stage order. The order
+    /// must be a permutation of [`SYMBOLIC_STAGES`] — the checksum stage is
+    /// pinned and cannot appear.
+    pub fn with_override(
+        mut self,
+        category: KernelCategory,
+        order: Vec<Stage>,
+    ) -> Result<StageSchedule, String> {
+        validate_symbolic_order(&order)?;
+        self.overrides.insert(category, order);
+        Ok(self)
+    }
+
+    /// The symbolic-stage order configured for `category`, if any.
+    pub fn override_for(&self, category: KernelCategory) -> Option<&[Stage]> {
+        self.overrides.get(&category).map(Vec::as_slice)
+    }
+
+    /// All configured overrides, in stable category order.
+    pub fn overrides(&self) -> impl Iterator<Item = (KernelCategory, &[Stage])> {
+        self.overrides.iter().map(|(c, o)| (*c, o.as_slice()))
+    }
+
+    /// Resolves `category`'s stage order against a concrete cascade: the
+    /// cascade's symbolic positions are filled in the override's order
+    /// (restricted to the stages the cascade actually contains), every other
+    /// stage keeps its position. Without an override the cascade is returned
+    /// unchanged — a checksum-only cascade is therefore never affected, and
+    /// neither is a cascade that repeats a symbolic stage (the public
+    /// [`EngineConfig::cascade`](crate::EngineConfig) field permits that,
+    /// and a repeated stage has no unambiguous reordering).
+    pub fn resolve(&self, cascade: &[Stage], category: KernelCategory) -> Vec<Stage> {
+        let Some(order) = self.overrides.get(&category) else {
+            return cascade.to_vec();
+        };
+        let slots = cascade
+            .iter()
+            .filter(|stage| SYMBOLIC_STAGES.contains(stage))
+            .count();
+        let preferred: Vec<Stage> = order
+            .iter()
+            .copied()
+            .filter(|stage| cascade.contains(stage))
+            .collect();
+        if preferred.len() != slots {
+            return cascade.to_vec();
+        }
+        let mut preferred = preferred.into_iter();
+        cascade
+            .iter()
+            .map(|&stage| {
+                if SYMBOLIC_STAGES.contains(&stage) {
+                    preferred.next().expect("counted one per symbolic slot")
+                } else {
+                    stage
+                }
+            })
+            .collect()
+    }
+
+    /// The categories whose resolved order differs from the plain cascade,
+    /// with their resolved orders — the *effective* overrides. This is what
+    /// the configuration fingerprint covers and what the engine precomputes:
+    /// an override that cannot change execution (e.g. against a
+    /// checksum-only cascade) contributes nothing, keeping the fingerprint
+    /// equal to the default schedule's.
+    pub fn resolved_overrides(&self, cascade: &[Stage]) -> Vec<(KernelCategory, Vec<Stage>)> {
+        self.overrides
+            .keys()
+            .filter_map(|&category| {
+                let resolved = self.resolve(cascade, category);
+                (resolved != cascade).then_some((category, resolved))
+            })
+            .collect()
+    }
+
+    /// Hashes the effective overrides into a configuration fingerprint.
+    /// A default schedule (or one with no effective overrides) writes
+    /// nothing, so such configurations fingerprint bit-identically to the
+    /// pre-schedule engine.
+    pub(crate) fn fingerprint_into(&self, cascade: &[Stage], fnv: &mut Fnv64) {
+        let resolved = self.resolved_overrides(cascade);
+        if resolved.is_empty() {
+            return;
+        }
+        fnv.write_u64(resolved.len() as u64);
+        for (category, order) in &resolved {
+            fnv.write_u8(category.fingerprint_byte());
+            fnv.write_u64(order.len() as u64);
+            for stage in order {
+                fnv.write_u8(stage_fingerprint_byte(*stage));
+            }
+        }
+    }
+
+    /// Derives a schedule from a persisted cross-run profile: per category,
+    /// symbolic stages are ordered by descending observed kill efficiency
+    /// (see the [module docs](self)); categories with no conclusive symbolic
+    /// evidence keep the default order.
+    pub fn from_profile(profile: &crate::profile::CrossRunProfile) -> StageSchedule {
+        let mut schedule = StageSchedule::algorithm1();
+        for category in KernelCategory::all() {
+            let cells: Vec<crate::profile::ProfileCell> = SYMBOLIC_STAGES
+                .iter()
+                .map(|&stage| profile.cell(category, stage).copied().unwrap_or_default())
+                .collect();
+            if cells.iter().all(|c| c.killed == 0) {
+                continue;
+            }
+            let mut order: Vec<usize> = (0..SYMBOLIC_STAGES.len()).collect();
+            // Descending efficiency; `sort_by` is stable, so ties keep the
+            // default order.
+            order.sort_by(|&a, &b| efficiency_cmp(&cells[b], &cells[a]));
+            let derived: Vec<Stage> = order.iter().map(|&i| SYMBOLIC_STAGES[i]).collect();
+            if derived != SYMBOLIC_STAGES {
+                schedule = schedule
+                    .with_override(category, derived)
+                    .expect("a permutation of SYMBOLIC_STAGES is always valid");
+            }
+        }
+        schedule
+    }
+
+    /// Renders the schedule as its stable spec string:
+    /// `category=stage,stage,stage` clauses joined by `;`, categories in
+    /// stable order. The default schedule renders as `default`.
+    pub fn spec(&self) -> String {
+        if self.is_default() {
+            return "default".to_string();
+        }
+        self.overrides
+            .iter()
+            .map(|(category, order)| {
+                format!(
+                    "{}={}",
+                    category.tag(),
+                    order
+                        .iter()
+                        .map(|s| stage_spec_tag(*s))
+                        .collect::<Vec<_>>()
+                        .join(",")
+                )
+            })
+            .collect::<Vec<_>>()
+            .join(";")
+    }
+
+    /// Parses [`StageSchedule::spec`] output (`default`, or
+    /// `category=stage,stage,stage[;...]`).
+    pub fn parse_spec(spec: &str) -> Result<StageSchedule, String> {
+        if spec == "default" {
+            return Ok(StageSchedule::algorithm1());
+        }
+        let mut schedule = StageSchedule::algorithm1();
+        for clause in spec.split(';').filter(|c| !c.is_empty()) {
+            let (category, order) = clause
+                .split_once('=')
+                .ok_or_else(|| format!("schedule clause `{}` has no `=`", clause))?;
+            let category = KernelCategory::from_tag(category.trim())?;
+            let order = order
+                .split(',')
+                .map(|tag| parse_stage_spec_tag(tag.trim()))
+                .collect::<Result<Vec<_>, _>>()?;
+            schedule = schedule.with_override(category, order)?;
+        }
+        Ok(schedule)
+    }
+}
+
+impl fmt::Display for StageSchedule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.spec())
+    }
+}
+
+/// Compares two profile cells by kill efficiency (kills per microsecond of
+/// stage wall time), exactly: `a.killed / a.wall` vs `b.killed / b.wall` by
+/// cross-multiplication in `u128`, with raw kill count as the secondary key.
+/// Zero wall time is clamped to one microsecond so an unmeasurably fast
+/// killer still compares finitely (and deterministically).
+fn efficiency_cmp(
+    a: &crate::profile::ProfileCell,
+    b: &crate::profile::ProfileCell,
+) -> std::cmp::Ordering {
+    let left = a.killed as u128 * u128::from(b.wall_us.max(1));
+    let right = b.killed as u128 * u128::from(a.wall_us.max(1));
+    left.cmp(&right).then(a.killed.cmp(&b.killed))
+}
+
+fn validate_symbolic_order(order: &[Stage]) -> Result<(), String> {
+    if order.len() != SYMBOLIC_STAGES.len() {
+        return Err(format!(
+            "a schedule override must order all {} symbolic stages, got {}",
+            SYMBOLIC_STAGES.len(),
+            order.len()
+        ));
+    }
+    for stage in SYMBOLIC_STAGES {
+        match order.iter().filter(|&&s| s == stage).count() {
+            1 => {}
+            0 => return Err(format!("schedule override is missing `{}`", stage.label())),
+            _ => return Err(format!("schedule override repeats `{}`", stage.label())),
+        }
+    }
+    debug_assert!(!order.contains(&Stage::Checksum), "covered by the counts");
+    Ok(())
+}
+
+/// Stable one-byte stage codes for fingerprints — the same values
+/// [`EngineConfig::semantic_fingerprint`](crate::EngineConfig::semantic_fingerprint)
+/// has always used for the cascade list.
+pub(crate) fn stage_fingerprint_byte(stage: Stage) -> u8 {
+    match stage {
+        Stage::Checksum => 1,
+        Stage::Alive2 => 2,
+        Stage::CUnroll => 3,
+        Stage::Splitting => 4,
+    }
+}
+
+/// Stable spec/CLI tag for a stage (matches the cache file's stage tags).
+fn stage_spec_tag(stage: Stage) -> &'static str {
+    match stage {
+        Stage::Checksum => "checksum",
+        Stage::Alive2 => "alive2",
+        Stage::CUnroll => "cunroll",
+        Stage::Splitting => "splitting",
+    }
+}
+
+fn parse_stage_spec_tag(tag: &str) -> Result<Stage, String> {
+    match tag {
+        "checksum" => Ok(Stage::Checksum),
+        "alive2" => Ok(Stage::Alive2),
+        "cunroll" => Ok(Stage::CUnroll),
+        "splitting" => Ok(Stage::Splitting),
+        other => Err(format!("unknown stage tag `{}`", other)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const FULL: [Stage; 4] = [
+        Stage::Checksum,
+        Stage::Alive2,
+        Stage::CUnroll,
+        Stage::Splitting,
+    ];
+
+    #[test]
+    fn default_schedule_resolves_to_the_cascade_unchanged() {
+        let schedule = StageSchedule::algorithm1();
+        assert!(schedule.is_default());
+        for category in KernelCategory::all() {
+            assert_eq!(schedule.resolve(&FULL, category), FULL.to_vec());
+        }
+        assert!(schedule.resolved_overrides(&FULL).is_empty());
+        assert_eq!(schedule.spec(), "default");
+    }
+
+    #[test]
+    fn overrides_permute_only_symbolic_stages() {
+        let schedule = StageSchedule::algorithm1()
+            .with_override(
+                KernelCategory::DependenceFree,
+                vec![Stage::Splitting, Stage::Alive2, Stage::CUnroll],
+            )
+            .unwrap();
+        assert_eq!(
+            schedule.resolve(&FULL, KernelCategory::DependenceFree),
+            vec![
+                Stage::Checksum,
+                Stage::Splitting,
+                Stage::Alive2,
+                Stage::CUnroll
+            ],
+            "checksum stays pinned first"
+        );
+        assert_eq!(
+            schedule.resolve(&FULL, KernelCategory::Reduction),
+            FULL.to_vec(),
+            "unrelated categories keep the default"
+        );
+        // Against a checksum-only cascade the override has no effect — and
+        // therefore no fingerprint contribution either.
+        let checksum_only = [Stage::Checksum];
+        assert_eq!(
+            schedule.resolve(&checksum_only, KernelCategory::DependenceFree),
+            checksum_only.to_vec()
+        );
+        assert!(schedule.resolved_overrides(&checksum_only).is_empty());
+        assert_eq!(schedule.resolved_overrides(&FULL).len(), 1);
+    }
+
+    #[test]
+    fn cascades_with_repeated_symbolic_stages_are_left_untouched() {
+        // `EngineConfig::cascade` is public and permits duplicates; an
+        // override cannot reorder such a cascade unambiguously, so it must
+        // resolve to the cascade unchanged (and contribute no fingerprint)
+        // rather than panic.
+        let schedule = StageSchedule::algorithm1()
+            .with_override(
+                KernelCategory::Other,
+                vec![Stage::Splitting, Stage::CUnroll, Stage::Alive2],
+            )
+            .unwrap();
+        let doubled = [Stage::Checksum, Stage::Alive2, Stage::Alive2];
+        assert_eq!(
+            schedule.resolve(&doubled, KernelCategory::Other),
+            doubled.to_vec()
+        );
+        assert!(schedule.resolved_overrides(&doubled).is_empty());
+    }
+
+    #[test]
+    fn invalid_overrides_are_rejected() {
+        for bad in [
+            vec![Stage::Alive2, Stage::CUnroll],                  // too short
+            vec![Stage::Alive2, Stage::Alive2, Stage::Splitting], // repeated
+            vec![Stage::Checksum, Stage::Alive2, Stage::CUnroll], // checksum is pinned
+        ] {
+            assert!(
+                StageSchedule::algorithm1()
+                    .with_override(KernelCategory::Other, bad.clone())
+                    .is_err(),
+                "{:?} must be rejected",
+                bad
+            );
+        }
+    }
+
+    #[test]
+    fn spec_round_trips() {
+        let schedule = StageSchedule::algorithm1()
+            .with_override(
+                KernelCategory::Reduction,
+                vec![Stage::CUnroll, Stage::Alive2, Stage::Splitting],
+            )
+            .unwrap()
+            .with_override(
+                KernelCategory::Conditional,
+                vec![Stage::Splitting, Stage::CUnroll, Stage::Alive2],
+            )
+            .unwrap();
+        let spec = schedule.spec();
+        assert_eq!(
+            spec,
+            "reduction=cunroll,alive2,splitting;conditional=splitting,cunroll,alive2"
+        );
+        assert_eq!(StageSchedule::parse_spec(&spec).unwrap(), schedule);
+        assert_eq!(
+            StageSchedule::parse_spec("default").unwrap(),
+            StageSchedule::algorithm1()
+        );
+        assert!(StageSchedule::parse_spec("reduction=alive2").is_err());
+        assert!(StageSchedule::parse_spec("nope=alive2,cunroll,splitting").is_err());
+        assert!(StageSchedule::parse_spec("reduction:alive2,cunroll,splitting").is_err());
+    }
+
+    #[test]
+    fn efficiency_ordering_is_deterministic() {
+        use crate::profile::ProfileCell;
+        let fast_killer = ProfileCell {
+            entered: 10,
+            killed: 8,
+            wall_us: 100,
+            ..ProfileCell::default()
+        };
+        let slow_killer = ProfileCell {
+            entered: 10,
+            killed: 8,
+            wall_us: 10_000,
+            ..ProfileCell::default()
+        };
+        let never_killed = ProfileCell {
+            entered: 10,
+            killed: 0,
+            wall_us: 1,
+            ..ProfileCell::default()
+        };
+        assert_eq!(
+            efficiency_cmp(&fast_killer, &slow_killer),
+            std::cmp::Ordering::Greater
+        );
+        assert_eq!(
+            efficiency_cmp(&never_killed, &slow_killer),
+            std::cmp::Ordering::Less
+        );
+        assert_eq!(
+            efficiency_cmp(&fast_killer, &fast_killer),
+            std::cmp::Ordering::Equal
+        );
+    }
+}

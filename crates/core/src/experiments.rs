@@ -23,7 +23,9 @@
 //! every engine run a driver performs.
 
 use crate::cache::VerdictCache;
-use crate::engine::{parallel_map, EngineConfig, Job, JobReport, VerificationEngine};
+use crate::engine::{
+    parallel_map, EngineConfig, Job, JobReport, StageSchedule, VerificationEngine,
+};
 use crate::funnel::{AdaptiveBudgetPolicy, FunnelReport};
 use crate::observer::{BatchObserver, NoopObserver, TeeObserver};
 use crate::passk::pass_at_k_curve;
@@ -61,6 +63,13 @@ pub struct ExperimentConfig {
     /// Opt-in adaptive budget tuning for the Table 3 funnel. `None` (the
     /// default) keeps the configured budgets and bit-identical verdicts.
     pub adaptive: Option<AdaptiveBudgetPolicy>,
+    /// Per-kernel-category stage schedule applied to every full-cascade
+    /// engine a driver builds (usually
+    /// [`StageSchedule::from_profile`](crate::engine::StageSchedule::from_profile)
+    /// of a persisted [`CrossRunProfile`](crate::profile::CrossRunProfile)).
+    /// The default is Algorithm 1's fixed order — bit-identical verdicts,
+    /// fingerprints, and cache keys to the pre-schedule drivers.
+    pub schedule: StageSchedule,
 }
 
 impl Default for ExperimentConfig {
@@ -75,6 +84,7 @@ impl Default for ExperimentConfig {
             threads: 0,
             cache: None,
             adaptive: None,
+            schedule: StageSchedule::algorithm1(),
         }
     }
 }
@@ -103,9 +113,11 @@ impl ExperimentConfig {
     }
 
     /// The engine running Algorithm 1's full cascade under this
-    /// configuration (Table 3, Figure 1).
+    /// configuration and [`ExperimentConfig::schedule`] (Table 3, Figure 1).
     pub fn engine(&self) -> VerificationEngine {
-        let mut engine = EngineConfig::full(self.pipeline.clone()).with_threads(self.threads);
+        let mut engine = EngineConfig::full(self.pipeline.clone())
+            .with_threads(self.threads)
+            .with_schedule(self.schedule.clone());
         engine.cache = self.cache.clone();
         engine.adaptive = self.adaptive.clone();
         VerificationEngine::new(engine)
@@ -115,10 +127,13 @@ impl ExperimentConfig {
     /// configuration (Table 2, Figure 5, the Section 4.4 evaluation).
     /// Shares [`ExperimentConfig::cache`] with the full-cascade engine —
     /// the two cascades have different configuration fingerprints, so their
-    /// entries never collide.
+    /// entries never collide. The schedule is passed through too, though it
+    /// can never reorder a checksum-only cascade (and so never perturbs its
+    /// fingerprint).
     pub fn checksum_engine(&self) -> VerificationEngine {
-        let mut engine =
-            EngineConfig::checksum_only(self.checksum.clone()).with_threads(self.threads);
+        let mut engine = EngineConfig::checksum_only(self.checksum.clone())
+            .with_threads(self.threads)
+            .with_schedule(self.schedule.clone());
         engine.cache = self.cache.clone();
         VerificationEngine::new(engine)
     }

@@ -272,6 +272,36 @@ impl AdaptiveBudgetPolicy {
         tuned
     }
 
+    /// Tunes the symbolic-stage budgets of `base` from a persisted
+    /// [`CrossRunProfile`](crate::profile::CrossRunProfile) instead of a
+    /// pilot slice's funnel: the profile's per-category cells are aggregated
+    /// per stage (kills summed, conclusive-effort highwater marks maxed) and
+    /// fed through the same tightening rule, so a warm-profile run starts
+    /// under tuned budgets without sacrificing any leading jobs as a pilot.
+    /// Like [`AdaptiveBudgetPolicy::derive`], the result only tightens
+    /// `base` and never drops below the policy floor; stages the profile
+    /// never saw conclude keep their base budget.
+    pub fn derive_from_profile(
+        &self,
+        profile: &crate::profile::CrossRunProfile,
+        base: &TvConfig,
+    ) -> TvConfig {
+        let mut tuned = base.clone();
+        tuned.alive2_budget = self.tune(
+            profile_stage_funnel(profile, Stage::Alive2).as_ref(),
+            base.alive2_budget,
+        );
+        tuned.cunroll_budget = self.tune(
+            profile_stage_funnel(profile, Stage::CUnroll).as_ref(),
+            base.cunroll_budget,
+        );
+        tuned.spatial_budget = self.tune(
+            profile_stage_funnel(profile, Stage::Splitting).as_ref(),
+            base.spatial_budget,
+        );
+        tuned
+    }
+
     fn tune(&self, observed: Option<&StageFunnel>, base: SolverBudget) -> SolverBudget {
         let Some(stage) = observed else {
             return base;
@@ -290,6 +320,35 @@ impl AdaptiveBudgetPolicy {
         };
         derived.max_with(self.floor).min_with(base)
     }
+}
+
+/// Aggregates a profile's per-category cells for one stage into the
+/// [`StageFunnel`] shape the tuning rule consumes. `None` when no category
+/// ever reached the stage (no evidence — keep the base budget).
+fn profile_stage_funnel(
+    profile: &crate::profile::CrossRunProfile,
+    stage: Stage,
+) -> Option<StageFunnel> {
+    let mut funnel = StageFunnel::new(stage);
+    let mut seen = false;
+    for category in lv_analysis::KernelCategory::all() {
+        if let Some(cell) = profile.cell(category, stage) {
+            seen = true;
+            funnel.entered += usize::try_from(cell.entered).unwrap_or(usize::MAX);
+            // The tuning rule only consumes `killed()` and the conclusive
+            // highwater marks; the profile does not split kills by verdict,
+            // so they all land in `equivalent`.
+            funnel.equivalent += usize::try_from(cell.killed).unwrap_or(usize::MAX);
+            funnel.total_conflicts += cell.conflicts;
+            funnel.conclusive_max_conflicts = funnel
+                .conclusive_max_conflicts
+                .max(cell.conclusive_max_conflicts);
+            funnel.conclusive_max_clauses = funnel
+                .conclusive_max_clauses
+                .max(cell.conclusive_max_clauses);
+        }
+    }
+    seen.then_some(funnel)
 }
 
 #[cfg(test)]
@@ -464,6 +523,45 @@ mod tests {
             tuned.alive2_budget.max_conflicts,
             base.alive2_budget.max_conflicts
         );
+    }
+
+    #[test]
+    fn profile_derivation_matches_pilot_derivation() {
+        use crate::profile::CrossRunProfile;
+        use lv_analysis::KernelCategory;
+
+        // The same evidence, once as a pilot funnel and once as a persisted
+        // profile, must derive the same budgets.
+        let reports = vec![
+            job(
+                Equivalence::Equivalent,
+                vec![trace(Stage::Alive2, true, 400, 50_000)],
+            ),
+            job(
+                Equivalence::Equivalent,
+                vec![trace(Stage::Alive2, true, 900, 80_000)],
+            ),
+        ];
+        let funnel = FunnelReport::from_jobs(&reports);
+        let mut profile = CrossRunProfile::new();
+        for report in &reports {
+            profile.observe(KernelCategory::Reduction, report);
+        }
+        let base = TvConfig::default();
+        let policy = AdaptiveBudgetPolicy::default();
+        let from_pilot = policy.derive(&funnel, &base);
+        let from_profile = policy.derive_from_profile(&profile, &base);
+        assert_eq!(
+            from_pilot.alive2_budget, from_profile.alive2_budget,
+            "same evidence, same tightening"
+        );
+        // Unobserved stages keep the base budget either way.
+        assert_eq!(from_profile.cunroll_budget, base.cunroll_budget);
+        assert_eq!(from_profile.spatial_budget, base.spatial_budget);
+
+        // An empty profile changes nothing at all.
+        let untouched = policy.derive_from_profile(&CrossRunProfile::new(), &base);
+        assert_eq!(untouched.alive2_budget, base.alive2_budget);
     }
 
     #[test]

@@ -3,14 +3,20 @@
 //! This crate ties the substrates together into the system the paper
 //! describes, built around a batch engine rather than a hard-coded loop:
 //!
-//! * [`engine`] — the [`VerificationEngine`]: Algorithm 1's cascade
-//!   (checksum testing, Alive2-style unrolling, C-level unrolling, spatial
-//!   splitting) expressed as [`VerificationStrategy`] trait objects, fanned
-//!   over a pool of workers that pull `(kernel × candidate)` [`Job`]s from a
-//!   shared queue. Each worker owns one reusable SMT session, and every job
+//! * [`engine`] — the [`VerificationEngine`], split into three layers:
+//!   [`engine::stage`] (Algorithm 1's checksum testing, Alive2-style
+//!   unrolling, C-level unrolling, and spatial splitting as
+//!   [`VerificationStrategy`] trait objects), [`engine::schedule`] (the
+//!   cascade *order* as data — a [`StageSchedule`] is the default Algorithm
+//!   1 order plus per-kernel-category overrides permuting only the symbolic
+//!   stages, keyed by [`lv_analysis::categorize`]), and [`engine::pool`]
+//!   (the atomic work-queue worker pool fanning `(kernel × candidate)`
+//!   [`Job`]s out). Each worker owns one reusable SMT session, and every job
 //!   records structured telemetry ([`StageTrace`]: stage reached, SAT
 //!   conflicts, CNF clauses, wall time). Verdicts are bit-identical for any
-//!   thread count — parallelism is purely a wall-clock win;
+//!   thread count *and* any schedule — parallelism is purely a wall-clock
+//!   win, and reordering sound symbolic stages only changes which one
+//!   answers first;
 //! * [`observer`] — the [`BatchObserver`] trait: job-started /
 //!   stage-finished / job-finished callbacks fired from the worker pool as
 //!   a batch progresses, so sweeps render incrementally
@@ -30,6 +36,13 @@
 //!   [`lv_tv::SolverBudget`]s from it
 //!   ([`VerificationEngine::run_batch_adaptive`]; opt-in, default off so
 //!   verdicts stay bit-identical);
+//! * [`profile`] — the *cross-run* consumer of the telemetry: a
+//!   [`CrossRunProfile`] persists per-category per-stage reach/kill/time
+//!   as a CRC-framed journal next to the verdict cache, accumulating over
+//!   every sweep; [`StageSchedule::from_profile`] derives the next run's
+//!   per-category stage order from it and
+//!   [`AdaptiveBudgetPolicy::derive_from_profile`] its tightened budgets —
+//!   no pilot slice needed once a profile exists;
 //! * [`shard`] — sharded *multi-process* sweeps: a deterministic
 //!   [`ShardPlan`] partitions a batch over N worker processes (spawned by a
 //!   coordinator via self-exec `--shard i/N`), each shard runs the unchanged
@@ -104,6 +117,7 @@ pub mod journal;
 pub mod observer;
 pub mod passk;
 pub mod pipeline;
+pub mod profile;
 pub mod shard;
 
 pub use cache::{
@@ -112,8 +126,8 @@ pub use cache::{
 };
 pub use engine::{
     parallel_map, AdaptiveBatchReport, BatchReport, ChecksumStage, EngineConfig, Job, JobReport,
-    StageTrace, StrategyOutcome, SymbolicStage, VerificationEngine, VerificationStrategy,
-    WorkerState,
+    StageSchedule, StageTrace, StrategyOutcome, SymbolicStage, VerificationEngine,
+    VerificationStrategy, WorkerState, SYMBOLIC_STAGES,
 };
 pub use experiments::{
     figure1, figure1_with, figure5, figure5_with, figure6, figure6_with, fsm_evaluation,
@@ -128,6 +142,7 @@ pub use observer::{
 };
 pub use passk::{pass_at_k, pass_at_k_curve};
 pub use pipeline::{check_equivalence, Equivalence, EquivalenceReport, PipelineConfig, Stage};
+pub use profile::{CrossRunProfile, ProfileCell, PROFILE_FORMAT_VERSION};
 pub use shard::{
     run_sharded_sweep, run_worker_from_args, FlushMode, ShardError, ShardOutcome, ShardPlan,
     ShardPolicy, ShardStatus, ShardedSweep, SweepConfig, SweepManifest, WorkerSpec,

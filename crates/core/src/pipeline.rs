@@ -12,7 +12,7 @@ use lv_tv::TvConfig;
 use serde::{Deserialize, Serialize};
 
 /// The stage of Algorithm 1 that produced the final verdict.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub enum Stage {
     /// Checksum-based testing (line 2).
     Checksum,

@@ -15,8 +15,10 @@
 
 use crate::cache::{CacheBounds, CachedVerdict, VerdictCache};
 use crate::engine::{job_cache_key, BatchReport, Job, JobReport, VerificationEngine};
+use crate::journal::FsyncPolicy;
+use crate::profile::CrossRunProfile;
 use crate::shard::exchange::{ShardReportFile, SweepManifest};
-use crate::shard::runner::{cache_path, report_path, FlushMode};
+use crate::shard::runner::{cache_path, profile_path, report_path, FlushMode};
 use crate::shard::{ShardError, ShardPolicy};
 use crate::EngineConfig;
 use std::collections::BTreeMap;
@@ -77,6 +79,18 @@ pub struct SweepConfig {
     /// fallback. The merge path reads both formats regardless, so mixed
     /// sweeps (e.g. during a rolling change of the default) still merge.
     pub flush: FlushMode,
+    /// Journal flush batching (passed as `--flush-every`): every `n`-th
+    /// record append flushes; a killed worker loses at most `n - 1`
+    /// buffered tail records (plus one torn record), all of which the
+    /// coordinator's recovery re-runs anyway. Default 1 (flush per record).
+    pub flush_every: usize,
+    /// Cross-run profile journal ([`CrossRunProfile`]) to accumulate this
+    /// sweep's telemetry into. Each worker appends its shard's delta to its
+    /// own `shard-<i>.profile.json` in the workdir (passed as `--profile`;
+    /// profile journals are single-writer), and the coordinator appends the
+    /// authoritative whole-run delta — computed from the merged report, so
+    /// it covers recovered jobs too — to *this* path after the merge.
+    pub profile: Option<PathBuf>,
     /// Fault injection for recovery tests: `(shard, k)` passes
     /// `--fail-after k` to that shard's worker, making it exit after `k`
     /// finished jobs with partial output flushed.
@@ -93,6 +107,8 @@ impl Default for SweepConfig {
             worker: WorkerSpec::new("lv-sweep"),
             bounds: CacheBounds::unbounded(),
             flush: FlushMode::default(),
+            flush_every: 1,
+            profile: None,
             fail_shard_after: None,
         }
     }
@@ -148,6 +164,10 @@ pub struct ShardedSweep {
     pub evicted: usize,
     /// Per-shard worker outcomes.
     pub shards: Vec<ShardOutcome>,
+    /// This sweep's telemetry delta, already appended to
+    /// [`SweepConfig::profile`] when one was configured. `None` when the
+    /// sweep ran without a profile.
+    pub profile_delta: Option<CrossRunProfile>,
 }
 
 enum Worker {
@@ -179,6 +199,7 @@ pub fn run_sharded_sweep(
     for shard in 0..manifest.shards {
         let _ = std::fs::remove_file(cache_path(&sweep.workdir, shard));
         let _ = std::fs::remove_file(report_path(&sweep.workdir, shard));
+        let _ = std::fs::remove_file(profile_path(&sweep.workdir, shard));
     }
 
     // Spawn one worker per shard; stdout/stderr go to per-shard log files so
@@ -197,9 +218,21 @@ pub fn run_sharded_sweep(
                 .arg(&sweep.workdir)
                 .arg("--flush")
                 .arg(sweep.flush.tag())
+                .arg("--schedule")
+                .arg(manifest.schedule.spec())
                 .stdin(Stdio::null());
             if let FlushMode::Journal(fsync) = sweep.flush {
                 command.arg("--fsync").arg(fsync.tag());
+            }
+            if sweep.flush_every > 1 {
+                command
+                    .arg("--flush-every")
+                    .arg(sweep.flush_every.to_string());
+            }
+            if sweep.profile.is_some() {
+                command
+                    .arg("--profile")
+                    .arg(profile_path(&sweep.workdir, shard));
             }
             match log {
                 Ok(log) => {
@@ -352,6 +385,33 @@ pub fn run_sharded_sweep(
         wall: start.elapsed(),
         jobs: reports,
     };
+
+    // Commit the run's telemetry to the cross-run profile. The delta is
+    // computed from the *merged* report — it covers recovered jobs, which no
+    // shard's own `--profile` output saw — and appended once, by the only
+    // process that outlives every worker.
+    let profile_delta = match &sweep.profile {
+        None => None,
+        Some(path) => {
+            let delta = CrossRunProfile::from_batch(jobs, &report.jobs);
+            let fsync = match sweep.flush {
+                FlushMode::Journal(fsync) => fsync,
+                FlushMode::Rewrite => FsyncPolicy::default(),
+            };
+            // The profile is advisory — it tunes future stage orders and
+            // budgets, never verdicts — so an unwritable journal must not
+            // fail a sweep whose verification and merge already succeeded.
+            if let Err(e) = delta.append_to(path, fsync) {
+                eprintln!(
+                    "warning: could not append run telemetry to {}: {}",
+                    path.display(),
+                    e
+                );
+            }
+            Some(delta)
+        }
+    };
+
     Ok(ShardedSweep {
         report,
         cache: Arc::new(merged),
@@ -359,5 +419,6 @@ pub fn run_sharded_sweep(
         recovered: missing,
         evicted,
         shards: outcomes,
+        profile_delta,
     })
 }

@@ -23,7 +23,7 @@ use crate::cache::{
     emit_checksum, hex, parse_checksum, parse_hex, parse_stage, parse_verdict, stage_tag,
     verdict_tag, write_atomic_stream,
 };
-use crate::engine::{EngineConfig, Job, JobReport, StageTrace};
+use crate::engine::{EngineConfig, Job, JobReport, StageSchedule, StageTrace};
 use crate::journal::{self, FsyncPolicy, JournalWriter};
 use crate::pipeline::PipelineConfig;
 use crate::shard::{ShardError, ShardPlan, ShardPolicy};
@@ -219,8 +219,13 @@ pub struct SweepManifest {
     pub policy: ShardPolicy,
     /// Worker threads per shard process (`0` = one per CPU).
     pub threads: usize,
-    /// The cascade stage list, in order.
+    /// The cascade stage list, in base order.
     pub cascade: Vec<crate::pipeline::Stage>,
+    /// The per-kernel-category stage schedule. Serialized as its configured
+    /// overrides; the recorded fingerprint covers the *resolved* orders, so
+    /// a worker from a build whose categorizer or resolution differs is
+    /// rejected before it can mix verdicts.
+    pub schedule: StageSchedule,
     /// Stage configurations.
     pub pipeline: PipelineConfig,
     /// The sweep's jobs, in batch order.
@@ -242,6 +247,7 @@ impl SweepManifest {
             policy,
             threads: config.threads,
             cascade: config.cascade.clone(),
+            schedule: config.schedule.clone(),
             pipeline: config.pipeline.clone(),
             jobs: jobs.to_vec(),
         }
@@ -254,6 +260,7 @@ impl SweepManifest {
         EngineConfig {
             threads: self.threads,
             cascade: self.cascade.clone(),
+            schedule: self.schedule.clone(),
             pipeline: self.pipeline.clone(),
             cache: None,
             adaptive: None,
@@ -287,6 +294,17 @@ impl SweepManifest {
             e.str(stage_tag(*stage))?;
         }
         e.end_array()?;
+        e.key("schedule")?;
+        e.begin_object()?;
+        for (category, order) in self.schedule.overrides() {
+            e.key(category.tag())?;
+            e.begin_array()?;
+            for stage in order {
+                e.str(stage_tag(*stage))?;
+            }
+            e.end_array()?;
+        }
+        e.end_object()?;
         e.key("checksum")?;
         e.value(&checksum_config_value(&self.pipeline.checksum))?;
         e.key("tv")?;
@@ -343,6 +361,43 @@ impl SweepManifest {
             })
             .collect::<Result<Vec<_>, _>>()
             .map_err(ShardError::Format)?;
+        let mut schedule = StageSchedule::algorithm1();
+        match doc.get("schedule") {
+            // Manifests written before the schedule layer carry no field;
+            // they mean the default order.
+            None => {}
+            Some(Value::Object(clauses)) => {
+                for (tag, order) in clauses {
+                    let category =
+                        lv_analysis::KernelCategory::from_tag(tag).map_err(ShardError::Format)?;
+                    let order = order
+                        .as_array()
+                        .ok_or_else(|| {
+                            ShardError::Format(format!(
+                                "schedule override `{}` is not an array",
+                                tag
+                            ))
+                        })?
+                        .iter()
+                        .map(|stage| {
+                            stage
+                                .as_str()
+                                .ok_or_else(|| "schedule stage is not a string".to_string())
+                                .and_then(parse_stage)
+                        })
+                        .collect::<Result<Vec<_>, _>>()
+                        .map_err(ShardError::Format)?;
+                    schedule = schedule
+                        .with_override(category, order)
+                        .map_err(ShardError::Format)?;
+                }
+            }
+            Some(_) => {
+                return Err(ShardError::Format(
+                    "`schedule` is not an object".to_string(),
+                ))
+            }
+        }
         let jobs = doc
             .get("jobs")
             .and_then(Value::as_array)
@@ -365,6 +420,7 @@ impl SweepManifest {
             policy,
             threads: usize_field(&doc, "threads").map_err(ShardError::Format)?,
             cascade,
+            schedule,
             pipeline: PipelineConfig {
                 checksum: parse_checksum_config(&doc).map_err(ShardError::Format)?,
                 tv: parse_tv_config(&doc).map_err(ShardError::Format)?,
@@ -539,9 +595,16 @@ impl ShardReportJournal {
         Ok(ShardReportJournal { writer })
     }
 
-    /// Appends (and flushes) one finished job's record.
+    /// Appends (and, per the flush batching, flushes) one finished job's
+    /// record.
     pub fn append(&mut self, index: usize, report: &JobReport) -> io::Result<()> {
         self.writer.append(|e| emit_job_report(e, index, report))
+    }
+
+    /// Sets the journal's flush batching (see
+    /// [`JournalWriter::set_flush_every`]).
+    pub fn set_flush_every(&mut self, n: usize) {
+        self.writer.set_flush_every(n);
     }
 
     /// Total journal bytes written, i.e. the file's current length.
@@ -666,6 +729,50 @@ mod tests {
         assert_eq!(loaded.plan(), manifest.plan());
         // Rendering the loaded manifest reproduces the file byte-for-byte.
         assert_eq!(loaded.render(), manifest.render());
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn scheduled_manifest_round_trips_and_fingerprints_distinctly() {
+        use lv_analysis::KernelCategory;
+        let dir = std::env::temp_dir().join(format!("lv-shard-sched-{}", std::process::id()));
+        let path = dir.join("manifest.json");
+        let mut manifest = sample_manifest();
+        let default_fingerprint = manifest.fingerprint();
+        manifest.schedule = StageSchedule::algorithm1()
+            .with_override(
+                KernelCategory::DependenceFree,
+                vec![Stage::Splitting, Stage::Alive2, Stage::CUnroll],
+            )
+            .unwrap()
+            .with_override(
+                KernelCategory::Reduction,
+                vec![Stage::CUnroll, Stage::Splitting, Stage::Alive2],
+            )
+            .unwrap();
+        assert_ne!(
+            manifest.fingerprint(),
+            default_fingerprint,
+            "effective overrides change the configuration fingerprint"
+        );
+        manifest.write(&path).unwrap();
+        let loaded = SweepManifest::load(&path).unwrap();
+        assert_eq!(loaded.schedule, manifest.schedule);
+        assert_eq!(loaded.fingerprint(), manifest.fingerprint());
+        assert_eq!(loaded.render(), manifest.render());
+
+        // Tampering with the schedule trips the fingerprint check, exactly
+        // like any other configuration field.
+        let tampered = manifest.render().replace(
+            "\"dependence-free\":[\"splitting\",\"alive2\",\"cunroll\"]",
+            "\"dependence-free\":[\"alive2\",\"splitting\",\"cunroll\"]",
+        );
+        assert_ne!(tampered, manifest.render(), "tamper point must exist");
+        std::fs::write(&path, &tampered).unwrap();
+        match SweepManifest::load(&path) {
+            Err(ShardError::FingerprintMismatch { .. }) => {}
+            other => panic!("expected a fingerprint mismatch, got {:?}", other),
+        }
         std::fs::remove_file(&path).unwrap();
     }
 

@@ -79,6 +79,27 @@
 //! In journal mode ([`ShardReportJournal`]) the shard metadata rides in the
 //! journal header and each finished job is one appended record.
 //!
+//! **Cross-run profile** (`shard-<i>.profile.json`, one per worker, plus
+//! the sweep-level journal named by
+//! [`SweepConfig::profile`](crate::shard::SweepConfig::profile)): the
+//! [`CrossRunProfile`](crate::profile::CrossRunProfile) journals feeding
+//! telemetry-driven stage scheduling. Profile journals are single-writer,
+//! so each worker appends its shard's delta to its own file (`--profile`),
+//! and the coordinator — the only process that sees recovered jobs —
+//! appends the authoritative whole-run delta to the sweep-level journal
+//! after the merge. The manifest additionally carries the sweep's
+//! [`StageSchedule`](crate::engine::StageSchedule) (its per-category
+//! overrides are part of the configuration fingerprint), and the
+//! coordinator passes `--schedule <spec>` so a worker pointed at a stale
+//! manifest fails fast instead of running the wrong cascade order.
+//!
+//! Flush batching (`--flush-every N`,
+//! [`ShardRunOptions::flush_every`](crate::shard::ShardRunOptions::flush_every))
+//! buffers N journal record appends per syscall flush: a killed worker then
+//! loses up to N−1 *whole* buffered tail records (plus at most one torn
+//! record from a partial write) instead of at most one — still a clean
+//! suffix, so replay, recovery, and merge semantics are unchanged.
+//!
 //! # Compaction
 //!
 //! A journal replays to exactly the entries it holds, so it never *needs*
@@ -152,7 +173,10 @@ pub use coordinator::{
 };
 pub use exchange::{ShardReportFile, ShardReportJournal, SweepManifest};
 pub use plan::{job_key, ShardPlan, ShardPolicy};
-pub use runner::{run_shard, run_worker_from_args, FlushMode, ShardRunOutput, WorkerInvocation};
+pub use runner::{
+    run_shard, run_shard_with, run_worker_from_args, FlushMode, ShardRunOptions, ShardRunOutput,
+    WorkerInvocation,
+};
 
 use crate::cache::CacheMergeError;
 use std::fmt;

@@ -29,9 +29,10 @@
 //!   complete snapshot document.
 
 use crate::cache::VerdictCache;
-use crate::engine::{Job, JobReport, VerificationEngine};
+use crate::engine::{Job, JobReport, StageSchedule, VerificationEngine};
 use crate::journal::FsyncPolicy;
 use crate::observer::BatchObserver;
+use crate::profile::CrossRunProfile;
 use crate::shard::exchange::{ShardReportFile, ShardReportJournal, SweepManifest};
 use crate::shard::ShardError;
 use std::path::{Path, PathBuf};
@@ -85,6 +86,14 @@ pub(crate) fn report_path(out_dir: &Path, shard: usize) -> PathBuf {
     out_dir.join(format!("shard-{}.report.json", shard))
 }
 
+/// See [`cache_path`]. The per-worker cross-run profile journal — a
+/// diagnostic artifact only: the coordinator computes the authoritative
+/// whole-run delta from the merged report, so shard profiles must never be
+/// merged into the sweep-level profile (that would double-count the run).
+pub(crate) fn profile_path(out_dir: &Path, shard: usize) -> PathBuf {
+    out_dir.join(format!("shard-{}.profile.json", shard))
+}
+
 /// What [`run_shard`] produced.
 #[derive(Debug)]
 pub struct ShardRunOutput {
@@ -96,6 +105,47 @@ pub struct ShardRunOutput {
     pub cache_file: PathBuf,
     /// The shard report file.
     pub report_file: PathBuf,
+    /// The cross-run profile journal this shard's telemetry was appended
+    /// to, when one was requested ([`ShardRunOptions::profile`]).
+    pub profile_file: Option<PathBuf>,
+}
+
+/// Tuning knobs of one shard run, beyond its manifest/shard identity.
+#[derive(Debug, Clone)]
+pub struct ShardRunOptions {
+    /// Fault injection: exit with code 3 after this many finished jobs
+    /// (partial output already flushed) — how tests and the CI example
+    /// simulate a worker killed mid-sweep.
+    pub fail_after: Option<usize>,
+    /// How per-job output is flushed (journal by default).
+    pub flush: FlushMode,
+    /// Journal flush batching (`--flush-every`): every `n`-th record append
+    /// flushes to the kernel; the appends in between stay buffered. `1` (the
+    /// default) is the flush-per-record contract; `n > 1` trades a loss
+    /// window of up to `n - 1` buffered tail records (plus at most one torn
+    /// record) for `n`× fewer flush syscalls — recovery semantics are
+    /// otherwise unchanged, since everything unflushed is a clean suffix.
+    /// Ignored in [`FlushMode::Rewrite`], whose unit of I/O is the whole
+    /// file regardless.
+    pub flush_every: usize,
+    /// Append this shard's observed per-category per-stage telemetry to the
+    /// [`CrossRunProfile`] journal at this path after the shard finishes.
+    /// The coordinator hands every worker its own per-shard path
+    /// (`shard-<i>.profile.json`) — profile journals are single-writer — and
+    /// commits the authoritative whole-run delta itself from the merged
+    /// report.
+    pub profile: Option<PathBuf>,
+}
+
+impl Default for ShardRunOptions {
+    fn default() -> ShardRunOptions {
+        ShardRunOptions {
+            fail_after: None,
+            flush: FlushMode::default(),
+            flush_every: 1,
+            profile: None,
+        }
+    }
 }
 
 /// Where the shard's report output lands per [`FlushMode`]: the legacy
@@ -221,6 +271,25 @@ pub fn run_shard(
     fail_after: Option<usize>,
     flush: FlushMode,
 ) -> Result<ShardRunOutput, ShardError> {
+    run_shard_with(
+        manifest,
+        shard,
+        out_dir,
+        &ShardRunOptions {
+            fail_after,
+            flush,
+            ..ShardRunOptions::default()
+        },
+    )
+}
+
+/// [`run_shard`] with the full option set (flush batching, profile output).
+pub fn run_shard_with(
+    manifest: &SweepManifest,
+    shard: usize,
+    out_dir: &Path,
+    options: &ShardRunOptions,
+) -> Result<ShardRunOutput, ShardError> {
     if shard >= manifest.shards {
         return Err(ShardError::BadInvocation(format!(
             "shard index {} out of range for {} shards",
@@ -235,7 +304,8 @@ pub fn run_shard(
     let cache_file = cache_path(out_dir, shard);
     let report_file = report_path(out_dir, shard);
     let fingerprint = manifest.fingerprint();
-    let (cache, sink) = match flush {
+    let flush_every = options.flush_every.max(1);
+    let (cache, sink) = match options.flush {
         FlushMode::Rewrite => (
             Arc::new(VerdictCache::open(&cache_file)?),
             ReportSink::Rewrite {
@@ -246,16 +316,19 @@ pub fn run_shard(
                 entries: Vec::new(),
             },
         ),
-        FlushMode::Journal(fsync) => (
-            Arc::new(VerdictCache::open_journal(&cache_file, fsync)?),
-            ReportSink::Journal(ShardReportJournal::create(
+        FlushMode::Journal(fsync) => {
+            let cache = Arc::new(VerdictCache::open_journal(&cache_file, fsync)?);
+            cache.set_journal_flush_every(flush_every);
+            let mut journal = ShardReportJournal::create(
                 &report_file,
                 shard,
                 manifest.shards,
                 fingerprint,
                 fsync,
-            )?),
-        ),
+            )?;
+            journal.set_flush_every(flush_every);
+            (cache, ReportSink::Journal(journal))
+        }
     };
     let engine = VerificationEngine::new(manifest.engine_config().with_cache(cache.clone()));
 
@@ -264,18 +337,30 @@ pub fn run_shard(
         cache: cache.clone(),
         sink: Mutex::new(sink),
         finished: AtomicUsize::new(0),
-        fail_after,
+        fail_after: options.fail_after,
     };
     let batch = engine.run_batch_observed(&jobs, &observer);
-    // Final flush: on an empty shard no job ever flushed, and it makes the
-    // outputs current even if a mid-sweep flush failed transiently.
+    // Final flush: on an empty shard no job ever flushed, and with batched
+    // flushing (or a transiently failed mid-sweep flush) it commits the
+    // buffered tail.
     observer.flush();
     cache.persist()?;
+    if let Some(profile_path) = &options.profile {
+        // The shard's contribution to the cross-run profile. Fsync policy
+        // follows the flush mode; the profile is advisory, so a lost append
+        // only costs tuning evidence, never correctness.
+        let fsync = match options.flush {
+            FlushMode::Journal(fsync) => fsync,
+            FlushMode::Rewrite => FsyncPolicy::default(),
+        };
+        CrossRunProfile::from_batch(&jobs, &batch.jobs).append_to(profile_path, fsync)?;
+    }
     Ok(ShardRunOutput {
         shard,
         finished: batch.jobs.len(),
         cache_file,
         report_file,
+        profile_file: options.profile.clone(),
     })
 }
 
@@ -294,11 +379,25 @@ pub struct WorkerInvocation {
     pub fail_after: Option<usize>,
     /// How per-job output is flushed (journal by default).
     pub flush: FlushMode,
+    /// Journal flush batching (`--flush-every N`, default 1); see
+    /// [`ShardRunOptions::flush_every`].
+    pub flush_every: usize,
+    /// Cross-run profile journal to append this shard's telemetry to
+    /// (`--profile <path>`).
+    pub profile: Option<PathBuf>,
+    /// The stage schedule the coordinator intends this sweep to run under
+    /// (`--schedule <spec>`). Cross-checked against the loaded manifest's
+    /// schedule, so a worker pointed at a stale manifest (written for a
+    /// different schedule generation) fails fast instead of producing a
+    /// report the coordinator would only reject after the shard burned its
+    /// wall-clock.
+    pub schedule: Option<StageSchedule>,
 }
 
 impl WorkerInvocation {
     /// Parses `--shard i/N --manifest <path> --out <dir> [--fail-after k]
-    /// [--flush rewrite|journal] [--fsync record|compact]` from `args`.
+    /// [--flush rewrite|journal] [--fsync record|compact] [--flush-every N]
+    /// [--profile <path>] [--schedule <spec>]` from `args`.
     /// Returns `None` when `--shard` is absent (the process is not a
     /// worker); `Some(Err(..))` when it is present but malformed.
     pub fn parse(args: &[String]) -> Option<Result<WorkerInvocation, ShardError>> {
@@ -309,6 +408,9 @@ impl WorkerInvocation {
             let mut fail_after = None;
             let mut flush_tag: Option<String> = None;
             let mut fsync = FsyncPolicy::default();
+            let mut flush_every = 1usize;
+            let mut profile = None;
+            let mut schedule = None;
             let mut iter = args.iter();
             while let Some(arg) = iter.next() {
                 let mut value = |what: &str| {
@@ -341,6 +443,26 @@ impl WorkerInvocation {
                     "--fsync" => {
                         fsync = FsyncPolicy::from_tag(&value("--fsync")?)
                             .map_err(ShardError::BadInvocation)?
+                    }
+                    "--flush-every" => {
+                        let spec = value("--flush-every")?;
+                        flush_every =
+                            spec.parse::<usize>()
+                                .ok()
+                                .filter(|&n| n >= 1)
+                                .ok_or_else(|| {
+                                    ShardError::BadInvocation(format!(
+                                        "--flush-every expects a positive integer, got `{}`",
+                                        spec
+                                    ))
+                                })?;
+                    }
+                    "--profile" => profile = Some(PathBuf::from(value("--profile")?)),
+                    "--schedule" => {
+                        schedule = Some(
+                            StageSchedule::parse_spec(&value("--schedule")?)
+                                .map_err(ShardError::BadInvocation)?,
+                        )
                     }
                     "--fail-after" => {
                         let spec = value("--fail-after")?;
@@ -383,6 +505,9 @@ impl WorkerInvocation {
                 })?,
                 fail_after,
                 flush,
+                flush_every,
+                profile,
+                schedule,
             })
         })
     }
@@ -406,7 +531,8 @@ pub fn run_worker_from_args(args: &[String]) -> Option<Result<ShardRunOutput, Sh
 }
 
 /// Runs a parsed worker invocation: loads the manifest, cross-checks the
-/// shard count, and executes the shard.
+/// shard count (and, when `--schedule` was passed, the stage schedule), and
+/// executes the shard.
 pub fn run_worker(invocation: &WorkerInvocation) -> Result<ShardRunOutput, ShardError> {
     let manifest = SweepManifest::load(&invocation.manifest)?;
     if manifest.shards != invocation.shards {
@@ -415,12 +541,26 @@ pub fn run_worker(invocation: &WorkerInvocation) -> Result<ShardRunOutput, Shard
             invocation.shards, manifest.shards
         )));
     }
-    run_shard(
+    if let Some(expected) = &invocation.schedule {
+        if *expected != manifest.schedule {
+            return Err(ShardError::BadInvocation(format!(
+                "--schedule says `{}` but the manifest carries `{}` — the manifest is \
+                 stale for this sweep",
+                expected.spec(),
+                manifest.schedule.spec()
+            )));
+        }
+    }
+    run_shard_with(
         &manifest,
         invocation.shard,
         &invocation.out_dir,
-        invocation.fail_after,
-        invocation.flush,
+        &ShardRunOptions {
+            fail_after: invocation.fail_after,
+            flush: invocation.flush,
+            flush_every: invocation.flush_every,
+            profile: invocation.profile.clone(),
+        },
     )
 }
 
@@ -457,6 +597,30 @@ mod tests {
             FlushMode::Journal(FsyncPolicy::OnCompact),
             "journal is the default flush mode"
         );
+        assert_eq!(parsed.flush_every, 1, "flush batching defaults off");
+        assert_eq!(parsed.profile, None);
+        assert_eq!(parsed.schedule, None);
+
+        let tuned = WorkerInvocation::parse(&args(&[
+            "--shard",
+            "0/2",
+            "--manifest",
+            "m",
+            "--out",
+            "o",
+            "--flush-every",
+            "8",
+            "--profile",
+            "prof.json",
+            "--schedule",
+            "reduction=cunroll,alive2,splitting",
+        ]))
+        .expect("worker mode")
+        .expect("well-formed");
+        assert_eq!(tuned.flush_every, 8);
+        assert_eq!(tuned.profile, Some(PathBuf::from("prof.json")));
+        let schedule = tuned.schedule.expect("schedule parsed");
+        assert_eq!(schedule.spec(), "reduction=cunroll,alive2,splitting");
 
         let legacy = WorkerInvocation::parse(&args(&[
             "--shard",
@@ -515,6 +679,26 @@ mod tests {
                 "o",
                 "--fsync",
                 "never",
+            ],
+            vec![
+                "--shard",
+                "0/2",
+                "--manifest",
+                "m",
+                "--out",
+                "o",
+                "--flush-every",
+                "0",
+            ],
+            vec![
+                "--shard",
+                "0/2",
+                "--manifest",
+                "m",
+                "--out",
+                "o",
+                "--schedule",
+                "reduction=alive2",
             ],
         ] {
             let result = WorkerInvocation::parse(&args(&bad)).expect("worker mode");

@@ -17,15 +17,23 @@
 //!   injection: the worker exits after 2 jobs, records flushed) is
 //!   recovered by the coordinator re-running the missing jobs in-process —
 //!   and the merged outputs are *still* byte-identical to the
-//!   single-process run.
+//!   single-process run;
+//! * the single-process run's telemetry, persisted as a `CrossRunProfile`
+//!   journal, derives a **non-default** per-category stage schedule with no
+//!   pilot slice, and a profile-guided 2-shard sweep under that schedule
+//!   produces verdicts identical to the default-schedule single-process run
+//!   (the concluding *stages* legitimately differ — that is the point);
+//! * a worker killed between batched flushes (`--flush-every 3`) loses at
+//!   most 2 buffered tail records, and recovery still merges the cache file
+//!   byte-identical to the single-process run.
 //!
 //! Exits non-zero (panics) on any violation.
 
 use llm_vectorizer_repro::agents::{fsm_candidate_batch, FsmConfig, LlmConfig, SyntheticLlm};
 use llm_vectorizer_repro::core::shard::run_worker_from_args;
 use llm_vectorizer_repro::core::{
-    run_sharded_sweep, BatchReport, EngineConfig, FlushMode, Job, PipelineConfig, ShardPolicy,
-    ShardStatus, SweepConfig, VerdictCache, WorkerSpec,
+    run_sharded_sweep, BatchReport, CrossRunProfile, EngineConfig, FlushMode, FsyncPolicy, Job,
+    PipelineConfig, ShardPolicy, ShardStatus, StageSchedule, SweepConfig, VerdictCache, WorkerSpec,
 };
 use llm_vectorizer_repro::interp::ChecksumConfig;
 use llm_vectorizer_repro::tsvc::KERNELS;
@@ -129,6 +137,19 @@ fn sharded(
     fail: Option<(usize, usize)>,
     flush: FlushMode,
 ) -> llm_vectorizer_repro::core::ShardedSweep {
+    sharded_with(jobs, config, workdir, fail, flush, 1, None)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn sharded_with(
+    jobs: &[Job],
+    config: &EngineConfig,
+    workdir: PathBuf,
+    fail: Option<(usize, usize)>,
+    flush: FlushMode,
+    flush_every: usize,
+    profile: Option<PathBuf>,
+) -> llm_vectorizer_repro::core::ShardedSweep {
     let sweep = SweepConfig {
         shards: 2,
         policy: ShardPolicy::HashMod,
@@ -136,6 +157,8 @@ fn sharded(
         worker: WorkerSpec::current_exe().expect("own executable"),
         fail_shard_after: fail,
         flush,
+        flush_every,
+        profile,
         ..SweepConfig::default()
     };
     run_sharded_sweep(jobs, config, &sweep).expect("sharded sweep must succeed")
@@ -271,11 +294,129 @@ fn main() {
         "recovery must still yield a byte-identical merged cache file"
     );
 
+    println!("== cross-run profile: record -> derive -> profile-guided 2-shard sweep ==");
+    // The single-process run's telemetry becomes the persisted profile; a
+    // "second run" then derives its schedule from the journal alone — no
+    // pilot slice, no fresh measurements.
+    let profile_path = dir.join("profile.json");
+    CrossRunProfile::from_batch(&jobs, &single.jobs)
+        .append_to(&profile_path, FsyncPolicy::OnCompact)
+        .expect("profile append");
+    let loaded = CrossRunProfile::load(&profile_path).expect("profile reload");
+    assert!(!loaded.is_empty(), "the recorded profile must have cells");
+    let derived = StageSchedule::from_profile(&loaded);
+    println!("derived schedule: {}", derived.spec());
+    assert!(
+        !derived.is_default(),
+        "under these budgets the conditional kernels exhaust Alive2, so the \
+         warm profile must reorder that category"
+    );
+    let scheduled_config = config.clone().with_schedule(derived);
+    assert_ne!(
+        scheduled_config.semantic_fingerprint(),
+        config.semantic_fingerprint(),
+        "the profile-guided schedule is a distinct cache configuration"
+    );
+    let guided = sharded_with(
+        &jobs,
+        &scheduled_config,
+        dir.join("guided"),
+        None,
+        FlushMode::default(),
+        1,
+        Some(profile_path.clone()),
+    );
+    for outcome in &guided.shards {
+        assert_eq!(outcome.status, ShardStatus::Completed);
+        assert_eq!(outcome.reported, outcome.planned);
+    }
+    // Verdict byte-identity to the default-schedule single-process run: the
+    // concluding stage (and therefore trace telemetry) may legitimately
+    // differ — reordering decides *who* answers, never *what*.
+    assert_eq!(single.jobs.len(), guided.report.jobs.len());
+    for (s, g) in single.jobs.iter().zip(&guided.report.jobs) {
+        assert_eq!(s.label, g.label, "profile-guided sweep: job order");
+        assert_eq!(
+            s.verdict, g.verdict,
+            "profile-guided sweep: verdict drifted for {}",
+            s.label
+        );
+        assert_eq!(
+            s.checksum, g.checksum,
+            "profile-guided sweep: checksum class drifted for {}",
+            s.label
+        );
+    }
+    // The workers really ran with --profile: each shard left its own
+    // profile journal, and the coordinator appended the run's delta.
+    for shard in 0..2 {
+        let worker_profile = dir
+            .join("guided")
+            .join(format!("shard-{}.profile.json", shard));
+        let text = read(&worker_profile);
+        assert!(
+            text.starts_with("{\"journal\":\"cross-run-profile\""),
+            "shard {} must have written a profile journal",
+            shard
+        );
+    }
+    assert!(
+        guided.profile_delta.is_some(),
+        "the coordinator must commit the run's delta"
+    );
+    let accumulated = CrossRunProfile::load(&profile_path).expect("profile after sweep");
+    assert!(
+        accumulated.len() >= loaded.len(),
+        "the profile accumulates across runs"
+    );
+
+    println!("== batched-flush kill-recovery: --flush-every 3, shard 0 dies after 2 jobs ==");
+    let batched = sharded_with(
+        &jobs,
+        &config,
+        dir.join("batched"),
+        Some((0, 2)),
+        FlushMode::default(),
+        3,
+        None,
+    );
+    let shard0 = &batched.shards[0];
+    assert_eq!(
+        shard0.status,
+        ShardStatus::Failed(Some(3)),
+        "shard 0 must have died mid-sweep"
+    );
+    assert!(
+        shard0.reported <= 2,
+        "a killed worker cannot report more than it finished"
+    );
+    // finished = 2, flush-every = 3: the buffered tail (up to 2 records)
+    // dies with the process, so anywhere from 0 to 2 jobs survive on disk.
     println!(
-        "shard sweep OK: {} jobs, merged cache {} bytes, recovery re-ran {} job(s)",
+        "shard 0 reported {}/2 finished jobs (<= {} buffered records lost); \
+         coordinator recovered {} job(s)",
+        shard0.reported,
+        3 - 1,
+        batched.recovered.len()
+    );
+    assert!(
+        !batched.recovered.is_empty(),
+        "the lost tail and unfinished jobs must be recovered in-process"
+    );
+    assert_reports_match(&single, &batched.report, "batched-flush recovered sweep");
+    assert_eq!(
+        single_bytes,
+        read(&batched.cache_file),
+        "batched-flush recovery must still yield a byte-identical merged cache file"
+    );
+
+    println!(
+        "shard sweep OK: {} jobs, merged cache {} bytes, recovery re-ran {} + {} job(s), \
+         profile-guided schedule verified",
         jobs.len(),
         merged_bytes.len(),
-        wounded.recovered.len()
+        wounded.recovered.len(),
+        batched.recovered.len()
     );
     let _ = std::fs::remove_dir_all(&dir);
 }

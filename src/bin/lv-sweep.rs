@@ -12,25 +12,45 @@
 //!          [--kernels s000,s112,...] [--threads T] [--quick]
 //!          [--max-cache-entries N] [--timeout-secs S]
 //!          [--flush journal|rewrite] [--fsync compact|record]
+//!          [--flush-every N] [--profile PATH]
+//!          [--schedule default|profile|SPEC]
+//! lv-sweep compact FILE...
 //! ```
 //!
 //! `--flush` selects how workers flush per-job output: `journal` (default)
 //! appends one framed record per job to append-only cache/report journals —
 //! O(record) flush I/O; `rewrite` is the legacy whole-file atomic rewrite.
 //! `--fsync` applies to journal mode: `compact` (default) syncs only at
-//! compaction, `record` syncs after every appended record.
+//! compaction, `record` syncs after every appended record. `--flush-every N`
+//! buffers N record appends per syscall flush (default 1); a killed worker
+//! then loses at most N−1 buffered tail records, all of which the
+//! coordinator's recovery re-runs.
+//!
+//! `--profile` names a cross-run profile journal: the sweep's per-category
+//! per-stage telemetry is appended to it after the merge, and
+//! `--schedule profile` derives the per-category stage order (and, when the
+//! profile has conclusive evidence, nothing else — budgets stay configured)
+//! from what previous runs recorded there. `--schedule` also accepts an
+//! explicit spec (`reduction=cunroll,alive2,splitting;...`) or `default`.
+//!
+//! `compact` rewrites journal files into their canonical compact form:
+//! verdict-cache journals become the sorted snapshot
+//! (`VerdictCache::compact_journal`), shard-report journals the snapshot
+//! report document, and cross-run profile journals one summed record per
+//! cell.
 //!
 //! Worker mode is selected by the presence of `--shard i/N` (plus
 //! `--manifest` and `--out`, which the coordinator passes automatically)
 //! and is not meant to be invoked by hand.
 
-use llm_vectorizer_repro::core::shard::run_worker_from_args;
+use llm_vectorizer_repro::core::shard::{run_worker_from_args, ShardReportFile};
 use llm_vectorizer_repro::core::{
-    CacheBounds, EngineConfig, Equivalence, FlushMode, FsyncPolicy, Job, PipelineConfig,
-    ShardPolicy, SweepConfig, WorkerSpec,
+    CacheBounds, CrossRunProfile, EngineConfig, Equivalence, FlushMode, FsyncPolicy, Job,
+    PipelineConfig, ShardPolicy, StageSchedule, SweepConfig, VerdictCache, WorkerSpec,
 };
 use llm_vectorizer_repro::interp::ChecksumConfig;
 use llm_vectorizer_repro::tv::{SolverBudget, TvConfig};
+use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 use std::time::Duration;
 
@@ -39,8 +59,72 @@ fn fail(message: String) -> ExitCode {
     ExitCode::FAILURE
 }
 
+/// `lv-sweep compact FILE...`: rewrites each journal into its canonical
+/// compact form, dispatching on the journal kind recorded in its header.
+fn compact_files(paths: &[String]) -> ExitCode {
+    if paths.is_empty() {
+        return fail("compact needs at least one journal file".to_string());
+    }
+    for path in paths {
+        let path = Path::new(path);
+        let text = match std::fs::read_to_string(path) {
+            Ok(text) => text,
+            Err(e) => return fail(format!("cannot read {}: {}", path.display(), e)),
+        };
+        let before = text.len();
+        let result: Result<&str, String> = if text.starts_with("{\"journal\":\"verdict-cache\"") {
+            VerdictCache::open_journal(path, FsyncPolicy::OnCompact)
+                .and_then(|cache| {
+                    cache.compact_journal()?;
+                    Ok(())
+                })
+                .map(|()| "verdict cache -> snapshot")
+                .map_err(|e| e.to_string())
+        } else if text.starts_with("{\"journal\":\"shard-report\"") {
+            ShardReportFile::load(path)
+                .map_err(|e| e.to_string())
+                .and_then(|report| {
+                    report
+                        .write(path)
+                        .map(|_| "shard report -> snapshot")
+                        .map_err(|e| e.to_string())
+                })
+        } else if text.starts_with("{\"journal\":\"cross-run-profile\"") {
+            CrossRunProfile::load(path)
+                .and_then(|profile| profile.rewrite(path, FsyncPolicy::OnCompact))
+                .map(|()| "profile -> one record per cell")
+                .map_err(|e| e.to_string())
+        } else if text.starts_with("{\"version\":") {
+            // Already a snapshot: compaction is a no-op, not an error, so
+            // `compact` is idempotent over a workdir.
+            Ok("already a snapshot (unchanged)")
+        } else {
+            Err("not a recognized journal or snapshot file".to_string())
+        };
+        match result {
+            Ok(what) => {
+                let after = std::fs::metadata(path).map(|m| m.len()).unwrap_or(0);
+                println!(
+                    "compacted {}: {} ({} -> {} bytes)",
+                    path.display(),
+                    what,
+                    before,
+                    after
+                );
+            }
+            Err(e) => return fail(format!("cannot compact {}: {}", path.display(), e)),
+        }
+    }
+    ExitCode::SUCCESS
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
+
+    // Compact mode: rewrite journals into their canonical snapshots.
+    if args.first().map(String::as_str) == Some("compact") {
+        return compact_files(&args[1..]);
+    }
 
     // Worker mode: the coordinator spawned us with `--shard i/N`.
     if let Some(result) = run_worker_from_args(&args) {
@@ -70,6 +154,9 @@ fn main() -> ExitCode {
     let mut timeout = Duration::from_secs(600);
     let mut flush_tag = "journal".to_string();
     let mut fsync = FsyncPolicy::default();
+    let mut flush_every = 1usize;
+    let mut profile: Option<PathBuf> = None;
+    let mut schedule_arg = "default".to_string();
 
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
@@ -124,6 +211,15 @@ fn main() -> ExitCode {
                 }
                 "--flush" => flush_tag = value("--flush")?,
                 "--fsync" => fsync = FsyncPolicy::from_tag(&value("--fsync")?)?,
+                "--flush-every" => {
+                    flush_every = value("--flush-every")?
+                        .parse::<usize>()
+                        .ok()
+                        .filter(|&n| n >= 1)
+                        .ok_or_else(|| "--flush-every expects a positive integer".to_string())?
+                }
+                "--profile" => profile = Some(value("--profile")?.into()),
+                "--schedule" => schedule_arg = value("--schedule")?,
                 other => {
                     return Err(format!(
                         "unknown argument `{}` (see the module docs)",
@@ -182,7 +278,43 @@ fn main() -> ExitCode {
     } else {
         PipelineConfig::default()
     };
-    let config = EngineConfig::full(pipeline).with_threads(threads);
+
+    // Resolve the stage schedule: `default`, `profile` (derived from the
+    // cross-run profile journal), or an explicit spec string.
+    let schedule = match schedule_arg.as_str() {
+        "profile" => {
+            let Some(path) = &profile else {
+                return fail("--schedule profile needs --profile <path>".to_string());
+            };
+            match CrossRunProfile::load(path) {
+                Ok(loaded) if loaded.is_empty() => {
+                    println!(
+                        "profile {} is empty; running the default schedule",
+                        path.display()
+                    );
+                    StageSchedule::algorithm1()
+                }
+                Ok(loaded) => {
+                    let derived = StageSchedule::from_profile(&loaded);
+                    println!(
+                        "schedule derived from {}: {}",
+                        path.display(),
+                        derived.spec()
+                    );
+                    derived
+                }
+                Err(e) => return fail(format!("cannot load profile {}: {}", path.display(), e)),
+            }
+        }
+        spec => match StageSchedule::parse_spec(spec) {
+            Ok(schedule) => schedule,
+            Err(e) => return fail(format!("bad --schedule: {}", e)),
+        },
+    };
+
+    let config = EngineConfig::full(pipeline)
+        .with_threads(threads)
+        .with_schedule(schedule);
 
     let worker = match WorkerSpec::current_exe() {
         Ok(worker) => worker,
@@ -203,15 +335,18 @@ fn main() -> ExitCode {
             max_bytes: None,
         },
         flush,
+        flush_every,
+        profile: profile.clone(),
         fail_shard_after: None,
     };
 
     println!(
-        "sweeping {} jobs over {} shard process(es) ({}, {} flush), workdir {}",
+        "sweeping {} jobs over {} shard process(es) ({}, {} flush, schedule {}), workdir {}",
         jobs.len(),
         shards,
         policy.tag(),
         flush.tag(),
+        config.schedule.spec(),
         workdir.display()
     );
     let swept = match llm_vectorizer_repro::core::run_sharded_sweep(&jobs, &config, &sweep) {
@@ -251,5 +386,12 @@ fn main() -> ExitCode {
         swept.evicted,
         swept.report.wall
     );
+    if let (Some(path), Some(delta)) = (&profile, &swept.profile_delta) {
+        println!(
+            "profile: appended {} cell delta(s) to {}",
+            delta.len(),
+            path.display()
+        );
+    }
     ExitCode::SUCCESS
 }

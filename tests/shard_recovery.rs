@@ -10,7 +10,9 @@
 //! mid-sweep via `--fail-after`) is pinned by `examples/shard_sweep.rs` in
 //! CI.
 
-use llm_vectorizer_repro::core::shard::{run_shard, SweepManifest};
+use llm_vectorizer_repro::core::shard::{
+    run_shard, run_shard_with, ShardRunOptions, SweepManifest,
+};
 use llm_vectorizer_repro::core::{
     run_sharded_sweep, EngineConfig, FlushMode, Job, PipelineConfig, ShardPolicy, ShardStatus,
     SweepConfig, VerificationEngine, WorkerSpec,
@@ -326,6 +328,91 @@ fn torn_journal_tails_are_truncated_and_only_missing_jobs_rerun() {
         swept.recovered,
         vec![1, 2, 3],
         "only the torn-away and unreported jobs are re-run"
+    );
+    assert_matches_single_process(&swept, &jobs);
+    assert_eq!(swept.cache.len(), jobs.len());
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The batched-flush (`--flush-every N`) mirror of the torn-journal case: a
+/// worker killed between batch flushes loses up to N−1 *whole* buffered
+/// tail records — the journals end at a clean record boundary with recent
+/// jobs simply absent, rather than with a torn frame. The coordinator must
+/// keep the flushed prefix, tolerate the lost tail, and recover to a result
+/// equal to the single-process run.
+#[test]
+fn batched_flush_kill_loses_at_most_n_minus_1_tail_records_and_recovers() {
+    let jobs = small_jobs();
+    let config = quick_config();
+    let dir = temp_dir("flush-every");
+    const FLUSH_EVERY: usize = 3;
+
+    // Stage shard 0's journals (contiguous split: jobs {0, 1}) through the
+    // real batched-flush runner, then drop the last 2 records (one from
+    // each journal would do; chop the report's tail job and the cache's
+    // newest entry) — byte-for-byte what a kill between batch flushes
+    // leaves, since unflushed appends never reach the file at all.
+    let staging = temp_dir("flush-every-staging");
+    let manifest = SweepManifest::new(&config, &jobs, 2, ShardPolicy::Contiguous);
+    assert_eq!(manifest.plan().indices_of(0), vec![0, 1], "staging layout");
+    let output = run_shard_with(
+        &manifest,
+        0,
+        &staging,
+        &ShardRunOptions {
+            flush_every: FLUSH_EVERY,
+            ..ShardRunOptions::default()
+        },
+    )
+    .expect("staging shard run");
+    for file in [&output.report_file, &output.cache_file] {
+        let text = std::fs::read_to_string(file).unwrap();
+        assert!(
+            text.starts_with("{\"journal\":"),
+            "staged output must be a journal"
+        );
+        let mut lines: Vec<&str> = text.lines().collect();
+        assert!(lines.len() >= 3, "header + 2 records, got {}", lines.len());
+        lines.pop(); // the batched tail record that never got flushed
+        std::fs::write(file, format!("{}\n", lines.join("\n"))).unwrap();
+    }
+    std::fs::copy(&output.report_file, dir.join("partial.report.json")).unwrap();
+    std::fs::copy(&output.cache_file, dir.join("partial.cache.json")).unwrap();
+    let _ = std::fs::remove_dir_all(&staging);
+
+    let sweep = SweepConfig {
+        shards: 2,
+        policy: ShardPolicy::Contiguous,
+        workdir: dir.clone(),
+        flush_every: FLUSH_EVERY,
+        // Shard 0 installs the truncated journals and dies; shard 1 dies
+        // with nothing ($1 is `i/N`, $5 is the --out directory).
+        worker: WorkerSpec {
+            program: PathBuf::from("sh"),
+            args: vec![
+                "-c".to_string(),
+                "if [ \"${1%%/*}\" = 0 ]; then \
+                     cp \"$5/partial.report.json\" \"$5/shard-0.report.json\"; \
+                     cp \"$5/partial.cache.json\" \"$5/shard-0.cache.json\"; \
+                 fi; exit 5"
+                    .to_string(),
+            ],
+        },
+        ..SweepConfig::default()
+    };
+    let swept = run_sharded_sweep(&jobs, &config, &sweep).expect("sweep must recover");
+    let finished = 2usize; // jobs shard 0 completed before the "kill"
+    assert!(
+        swept.shards[0].reported >= finished - (FLUSH_EVERY - 1)
+            && swept.shards[0].reported < finished,
+        "the kill must cost at most N-1 tail records (reported {}, finished {})",
+        swept.shards[0].reported,
+        finished
+    );
+    assert_eq!(
+        swept.recovered,
+        vec![1, 2, 3],
+        "exactly the lost tail and the dead shard's jobs are re-run"
     );
     assert_matches_single_process(&swept, &jobs);
     assert_eq!(swept.cache.len(), jobs.len());
