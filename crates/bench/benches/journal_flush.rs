@@ -49,6 +49,7 @@ fn sample_job(i: usize) -> (CacheKey, CachedVerdict, JobReport) {
                 conflicts: 0,
                 clauses: 0,
                 name_mismatch: false,
+                escalated: false,
             },
             StageTrace {
                 stage: Stage::CUnroll,
@@ -57,10 +58,12 @@ fn sample_job(i: usize) -> (CacheKey, CachedVerdict, JobReport) {
                 conflicts: 17,
                 clauses: 20_000,
                 name_mismatch: false,
+                escalated: false,
             },
         ],
         wall: Duration::from_micros(6600 + i as u64),
         cache_hit: false,
+        reuse: Default::default(),
     };
     (key, verdict, report)
 }

@@ -44,6 +44,32 @@
 //!   [`AdaptiveBudgetPolicy::derive_from_profile`](crate::AdaptiveBudgetPolicy::derive_from_profile)
 //!   derive the stage order and budgets for the *next* run from every
 //!   previous run's telemetry.
+//!
+//! Orthogonal to all of the above, [`EngineReuse`] switches on the cross-job
+//! SMT reuse layers (all off by default):
+//!
+//! * **blast memo** — each worker's solver memoizes the blasted CNF of
+//!   structurally repeated queries and replays the recorded clause stream
+//!   instead of re-blasting. Clause-identical by construction, so reports
+//!   stay bit-identical to the fresh path;
+//! * **incremental per-scalar sessions** — the pool switches to
+//!   scalar-affinity scheduling: all candidates of one
+//!   scalar kernel run consecutively on one worker, whose session keeps the
+//!   scalar-side solver state warm under assumption-based queries. Learned
+//!   clauses can let a budget-capped query *conclude* where a fresh solver
+//!   ran out, so the concluding stage may improve — this layer therefore
+//!   perturbs [`EngineConfig::semantic_fingerprint`], while verdict classes
+//!   and checksums stay identical and reports remain bit-identical across
+//!   thread counts (the grouped pool pins each group's query sequence);
+//! * **portfolio budget racing** — every symbolic stage is wrapped in a
+//!   [`PortfolioStage`] that first races a tight budget
+//!   (`configured / `[`PORTFOLIO_TIGHT_DIVISOR`]) and escalates to the full
+//!   budget only on an inconclusive tight run. Same verdicts by
+//!   construction; escalations are counted per stage and per job.
+//!
+//! Per-job reuse activity lands in [`JobReport::reuse`]
+//! ([`ReuseCounters`]), aggregates via [`BatchReport::reuse_totals`], and
+//! feeds the funnel report and the persisted cross-run profile.
 
 pub mod pool;
 pub mod schedule;
@@ -51,7 +77,10 @@ pub mod stage;
 
 pub use pool::parallel_map;
 pub use schedule::{StageSchedule, SYMBOLIC_STAGES};
-pub use stage::{ChecksumStage, StrategyOutcome, SymbolicStage, VerificationStrategy, WorkerState};
+pub use stage::{
+    ChecksumStage, PortfolioStage, StrategyOutcome, SymbolicStage, VerificationStrategy,
+    WorkerState, PORTFOLIO_TIGHT_DIVISOR,
+};
 
 use crate::cache::{CacheKey, CachedVerdict, VerdictCache};
 use crate::funnel::{AdaptiveBudgetPolicy, FunnelReport};
@@ -61,9 +90,92 @@ use lv_analysis::KernelCategory;
 use lv_cir::ast::Function;
 use lv_cir::hash::{structural_hash, structural_hash_in_env, Fnv64};
 use lv_interp::ChecksumClass;
-use lv_tv::{SymbolicStrategy, TvConfig, TvSessionStats};
+use lv_tv::{SymbolicStrategy, TvConfig, TvReuse, TvSessionStats};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
+
+/// Which cross-job SMT reuse mechanisms the engine runs with. All off by
+/// default — the engine then behaves (and fingerprints) exactly as before
+/// the reuse subsystem existed.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EngineReuse {
+    /// Blasted-CNF memoization inside each worker's solver: structurally
+    /// repeated queries replay their recorded clause stream instead of
+    /// re-blasting. Clause-identical by construction, so verdicts (and the
+    /// configuration fingerprint) are unchanged.
+    pub memo: bool,
+    /// Incremental per-scalar solving: same-scalar jobs are grouped onto one
+    /// worker (scalar-affinity scheduling), whose session keeps the scalar's
+    /// SMT context and per-strategy SAT instances warm across the group's
+    /// candidates. Deterministic at any thread count (whole groups are
+    /// claimed atomically and run in job order), but warm-instance solves
+    /// are not formally clause-identical to fresh ones near budget limits,
+    /// so this is the one knob that perturbs
+    /// [`EngineConfig::semantic_fingerprint`].
+    pub incremental: bool,
+    /// Portfolio budget racing: each symbolic stage first runs under a
+    /// conflict budget tightened by [`PORTFOLIO_TIGHT_DIVISOR`], escalating
+    /// to the full budget only on an inconclusive attempt. Verdict-identical
+    /// (see [`PortfolioStage`]); escalations are counted in
+    /// [`StageTrace::escalated`] and the reuse counters.
+    pub portfolio: bool,
+}
+
+impl EngineReuse {
+    /// Every mechanism on — the configuration the reuse benchmarks race
+    /// against the fresh-solve baseline.
+    pub fn full() -> EngineReuse {
+        EngineReuse {
+            memo: true,
+            incremental: true,
+            portfolio: true,
+        }
+    }
+
+    /// `true` if any mechanism is enabled.
+    pub fn any(self) -> bool {
+        self.memo || self.incremental || self.portfolio
+    }
+
+    /// The session-level subset handed to each worker's
+    /// [`lv_tv::TvSession`].
+    pub fn tv(self) -> TvReuse {
+        TvReuse {
+            memo: self.memo,
+            incremental: self.incremental,
+        }
+    }
+}
+
+/// Cross-job SMT reuse counters, aggregated per job and per batch. All zero
+/// when [`EngineReuse`] is off (or for cache hits, which run no solver).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ReuseCounters {
+    /// Blasted-CNF memo replays.
+    pub blast_hits: u64,
+    /// Memo lookups that fell back to a fresh blast.
+    pub blast_misses: u64,
+    /// Queries solved on a warm incremental instance under an assumption.
+    pub assumption_reuses: u64,
+    /// Portfolio stages whose tight attempt was inconclusive and re-ran
+    /// under the full budget.
+    pub escalations: u64,
+}
+
+impl ReuseCounters {
+    /// Adds `other` into this counter set.
+    pub fn absorb(&mut self, other: ReuseCounters) {
+        self.blast_hits += other.blast_hits;
+        self.blast_misses += other.blast_misses;
+        self.assumption_reuses += other.assumption_reuses;
+        self.escalations += other.escalations;
+    }
+
+    /// `true` when every counter is zero.
+    pub fn is_zero(&self) -> bool {
+        *self == ReuseCounters::default()
+    }
+}
 
 /// Engine configuration.
 #[derive(Debug, Clone)]
@@ -87,6 +199,10 @@ pub struct EngineConfig {
     /// [`VerificationEngine::run_batch_adaptive`]. `None` (the default)
     /// keeps the configured budgets and bit-identical verdicts.
     pub adaptive: Option<AdaptiveBudgetPolicy>,
+    /// Opt-in cross-job SMT reuse (blast memo, incremental per-scalar
+    /// solving with scalar-affinity scheduling, portfolio budget racing).
+    /// Off by default.
+    pub reuse: EngineReuse,
 }
 
 impl Default for EngineConfig {
@@ -103,6 +219,7 @@ impl Default for EngineConfig {
             pipeline: PipelineConfig::default(),
             cache: None,
             adaptive: None,
+            reuse: EngineReuse::default(),
         }
     }
 }
@@ -152,6 +269,12 @@ impl EngineConfig {
         self
     }
 
+    /// Returns this configuration with the given reuse mechanisms enabled.
+    pub fn with_reuse(mut self, reuse: EngineReuse) -> EngineConfig {
+        self.reuse = reuse;
+        self
+    }
+
     /// A stable fingerprint of everything that can influence a verdict: the
     /// cascade stage list (order matters — it decides which stage answers
     /// first), the *effective* per-category schedule overrides (resolved
@@ -174,6 +297,17 @@ impl EngineConfig {
         fnv.write_u64(self.pipeline.checksum.fingerprint());
         fnv.write_u64(self.pipeline.tv.fingerprint());
         self.schedule.fingerprint_into(&self.cascade, &mut fnv);
+        // Of the reuse knobs, only incremental solving perturbs the
+        // fingerprint: memo replays are clause-identical and portfolio
+        // racing is verdict-identical by construction (see [`EngineReuse`]),
+        // but a warm incremental instance is not formally guaranteed to
+        // reach the same verdict as a fresh solve at the budget boundary, so
+        // its verdicts must not share cache keys with fresh-solve runs.
+        // Writing nothing for the default keeps reuse-off fingerprints
+        // bit-identical to the pre-reuse engine.
+        if self.reuse.incremental {
+            fnv.write_u8(0x52); // 'R'
+        }
         fnv.finish()
     }
 }
@@ -218,6 +352,10 @@ pub struct StageTrace {
     /// and the comparison was vacuous (telemetry only; the verdict is
     /// unchanged). Always `false` for symbolic stages.
     pub name_mismatch: bool,
+    /// `true` when a [`PortfolioStage`]'s tight-budget attempt was
+    /// inconclusive and the stage escalated to the full budget. Always
+    /// `false` without [`EngineReuse::portfolio`].
+    pub escalated: bool,
 }
 
 /// The result of one job, with telemetry.
@@ -243,6 +381,10 @@ pub struct JobReport {
     /// `true` when the verdict came from the [`VerdictCache`] and no stage
     /// ran.
     pub cache_hit: bool,
+    /// Cross-job SMT reuse activity attributed to this job (deltas of the
+    /// worker session's counters around the job, plus this job's portfolio
+    /// escalations). All zero when reuse is off or the job was a cache hit.
+    pub reuse: ReuseCounters,
 }
 
 impl JobReport {
@@ -294,6 +436,16 @@ impl BatchReport {
         self.jobs.iter().filter(|j| j.verdict == verdict).count()
     }
 
+    /// Total cross-job SMT reuse activity over the batch (all zero when
+    /// [`EngineReuse`] is off).
+    pub fn reuse_totals(&self) -> ReuseCounters {
+        let mut totals = ReuseCounters::default();
+        for job in &self.jobs {
+            totals.absorb(job.reuse);
+        }
+        totals
+    }
+
     /// The telemetry funnel over this batch's stage traces.
     pub fn funnel(&self) -> FunnelReport {
         FunnelReport::from_jobs(&self.jobs)
@@ -337,12 +489,23 @@ pub struct VerificationEngine {
     /// The source configuration, kept so the adaptive path can rebuild a
     /// tuned engine. `None` for caller-assembled cascades.
     config: Option<EngineConfig>,
+    /// Cross-job SMT reuse configuration: decides worker-session reuse, the
+    /// scheduling mode (scalar affinity when incremental), and whether
+    /// symbolic stages were built as portfolios.
+    reuse: EngineReuse,
 }
 
 impl VerificationEngine {
     /// Builds an engine from a configuration, instantiating one strategy per
     /// cascade stage and precomputing the per-category execution orders.
     pub fn new(config: EngineConfig) -> VerificationEngine {
+        let symbolic = |strategy: SymbolicStrategy| -> Box<dyn VerificationStrategy> {
+            if config.reuse.portfolio {
+                Box::new(PortfolioStage::new(strategy, config.pipeline.tv.clone()))
+            } else {
+                Box::new(SymbolicStage::new(strategy, config.pipeline.tv.clone()))
+            }
+        };
         let strategies: Vec<Box<dyn VerificationStrategy>> = config
             .cascade
             .iter()
@@ -351,18 +514,9 @@ impl VerificationEngine {
                     Stage::Checksum => {
                         Box::new(ChecksumStage::new(config.pipeline.checksum.clone()))
                     }
-                    Stage::Alive2 => Box::new(SymbolicStage::new(
-                        SymbolicStrategy::Alive2Unroll,
-                        config.pipeline.tv.clone(),
-                    )),
-                    Stage::CUnroll => Box::new(SymbolicStage::new(
-                        SymbolicStrategy::CUnroll,
-                        config.pipeline.tv.clone(),
-                    )),
-                    Stage::Splitting => Box::new(SymbolicStage::new(
-                        SymbolicStrategy::SpatialSplitting,
-                        config.pipeline.tv.clone(),
-                    )),
+                    Stage::Alive2 => symbolic(SymbolicStrategy::Alive2Unroll),
+                    Stage::CUnroll => symbolic(SymbolicStrategy::CUnroll),
+                    Stage::Splitting => symbolic(SymbolicStrategy::SpatialSplitting),
                 }
             })
             .collect();
@@ -395,6 +549,7 @@ impl VerificationEngine {
             category_orders,
             cache: config.cache.clone(),
             config_fingerprint: config.semantic_fingerprint(),
+            reuse: config.reuse,
             config: Some(config),
         }
     }
@@ -415,6 +570,7 @@ impl VerificationEngine {
             cache: None,
             config_fingerprint: 0,
             config: None,
+            reuse: EngineReuse::default(),
         }
     }
 
@@ -452,10 +608,21 @@ impl VerificationEngine {
     pub fn run_batch_observed(&self, jobs: &[Job], observer: &dyn BatchObserver) -> BatchReport {
         let threads = self.resolved_threads(jobs.len());
         let start = Instant::now();
-        let reports =
-            pool::parallel_map_with(threads, jobs, WorkerState::default, |index, job, worker| {
-                self.run_job(index, job, worker, observer)
-            });
+        let init = || WorkerState::with_reuse(self.reuse.tv());
+        let run = |index: usize, job: &Job, worker: &mut WorkerState| {
+            self.run_job(index, job, worker, observer)
+        };
+        let reports = if self.reuse.incremental {
+            // Scalar affinity: same-scalar jobs run consecutively on one
+            // worker so its warm per-scalar session actually gets hit, and a
+            // whole group is claimed atomically so the query sequence each
+            // warm instance sees — hence every verdict — is identical at any
+            // thread count.
+            let groups = scalar_groups(jobs);
+            pool::parallel_map_grouped(threads, jobs, &groups, init, run)
+        } else {
+            pool::parallel_map_with(threads, jobs, init, run)
+        };
         let cache_hits = reports.iter().filter(|r| r.cache_hit).count();
         let cache_misses = if self.cache.is_some() {
             reports.len() - cache_hits
@@ -594,6 +761,7 @@ impl VerificationEngine {
                     traces: Vec::new(),
                     wall: job_start.elapsed(),
                     cache_hit: true,
+                    reuse: ReuseCounters::default(),
                 };
                 observer.job_finished(index, &report);
                 return report;
@@ -602,6 +770,7 @@ impl VerificationEngine {
 
         worker.checksum = None;
         worker.name_mismatch = false;
+        let reuse_before = worker.session.reuse_stats();
         let order = self.stage_order(job);
         let mut traces = Vec::with_capacity(order.len());
         // If no stage concludes, report the last stage that ran (Alive2 with
@@ -614,6 +783,7 @@ impl VerificationEngine {
         for &slot in order {
             let strategy = &self.strategies[slot];
             let stats_before = worker.session.stats;
+            worker.escalated = false;
             let stage_start = Instant::now();
             let outcome = strategy.verify(&job.scalar, &job.candidate, worker);
             let wall = stage_start.elapsed();
@@ -626,6 +796,7 @@ impl VerificationEngine {
                 conflicts: spent.0,
                 clauses: spent.1,
                 name_mismatch: strategy.stage() == Stage::Checksum && worker.name_mismatch,
+                escalated: worker.escalated,
             });
             observer.stage_finished(index, job, traces.last().expect("just pushed"));
             match outcome {
@@ -642,6 +813,13 @@ impl VerificationEngine {
 
         let (verdict, stage, detail) =
             conclusion.unwrap_or((Equivalence::Inconclusive, last_stage, last_reason));
+        let reuse_after = worker.session.reuse_stats();
+        let reuse = ReuseCounters {
+            blast_hits: reuse_after.blast_hits - reuse_before.blast_hits,
+            blast_misses: reuse_after.blast_misses - reuse_before.blast_misses,
+            assumption_reuses: reuse_after.assumption_reuses - reuse_before.assumption_reuses,
+            escalations: traces.iter().filter(|t| t.escalated).count() as u64,
+        };
         let report = JobReport {
             label: job.label.clone(),
             verdict,
@@ -651,6 +829,7 @@ impl VerificationEngine {
             traces,
             wall: job_start.elapsed(),
             cache_hit: false,
+            reuse,
         };
         if let (Some(cache), Some(key)) = (&self.cache, key) {
             cache.insert(
@@ -687,6 +866,26 @@ pub(crate) fn job_cache_key(job: &Job, config_fingerprint: u64) -> CacheKey {
         ),
         config: config_fingerprint,
     }
+}
+
+/// Partitions job indices into scalar-affinity groups: jobs sharing a scalar
+/// kernel (by [`structural_hash`]) form one group, groups ordered by first
+/// appearance and members in ascending job order. This is the work-unit
+/// shape [`pool::parallel_map_grouped`] schedules for incremental reuse.
+fn scalar_groups(jobs: &[Job]) -> Vec<Vec<usize>> {
+    let mut groups: Vec<Vec<usize>> = Vec::new();
+    let mut group_of: std::collections::HashMap<u64, usize> = std::collections::HashMap::new();
+    for (index, job) in jobs.iter().enumerate() {
+        let hash = structural_hash(&job.scalar);
+        match group_of.entry(hash) {
+            std::collections::hash_map::Entry::Occupied(e) => groups[*e.get()].push(index),
+            std::collections::hash_map::Entry::Vacant(e) => {
+                e.insert(groups.len());
+                groups.push(vec![index]);
+            }
+        }
+    }
+    groups
 }
 
 fn effort_delta(before: TvSessionStats, after: TvSessionStats) -> (u64, u64) {
@@ -1031,5 +1230,144 @@ mod tests {
         assert_eq!(s.traces[0].stage, Stage::Checksum);
         assert_eq!(s.traces[1].stage, Stage::Splitting);
         assert_eq!(d.traces[1].stage, Stage::Alive2);
+    }
+
+    /// A candidate that is semantically equal to [`S000`] but structurally
+    /// different (commuted addition), so the equivalence proof actually
+    /// reaches the SAT core instead of simplifying to a constant.
+    const S000_COMMUTED: &str =
+        "void s000(int n, int *a, int *b) { for (int i = 0; i < n; i++) { a[i] = 1 + b[i]; } }";
+    const S001: &str =
+        "void s001(int n, int *a, int *b) { for (int i = 0; i < n; i++) { a[i] = b[i] + 3; } }";
+    const S001_COMMUTED: &str =
+        "void s001(int n, int *a, int *b) { for (int i = 0; i < n; i++) { a[i] = 3 + b[i]; } }";
+
+    #[test]
+    fn reuse_engine_matches_baseline_verdicts_at_any_thread_count() {
+        let s000 = parse_function(S000).unwrap();
+        let s001 = parse_function(S001).unwrap();
+        // Two scalar groups, interleaved in batch order so scalar-affinity
+        // grouping actually reorders work: per scalar a trivial candidate,
+        // a commuted one (real SAT work on the warm session), and a wrong
+        // one (killed at checksum).
+        let jobs = vec![
+            Job::new("s000-good", s000.clone(), vectorize_correct(&s000).unwrap()),
+            Job::new("s001-good", s001.clone(), vectorize_correct(&s001).unwrap()),
+            Job::new(
+                "s000-comm",
+                s000.clone(),
+                parse_function(S000_COMMUTED).unwrap(),
+            ),
+            Job::new(
+                "s001-comm",
+                s001.clone(),
+                parse_function(S001_COMMUTED).unwrap(),
+            ),
+            Job::new(
+                "s000-wrong",
+                s000.clone(),
+                parse_function(S000_WRONG).unwrap(),
+            ),
+        ];
+        let baseline =
+            VerificationEngine::new(EngineConfig::full(quick_pipeline()).with_threads(1))
+                .run_batch(&jobs);
+        let reuse1 = VerificationEngine::new(
+            EngineConfig::full(quick_pipeline())
+                .with_reuse(EngineReuse::full())
+                .with_threads(1),
+        )
+        .run_batch(&jobs);
+        let reuse4 = VerificationEngine::new(
+            EngineConfig::full(quick_pipeline())
+                .with_reuse(EngineReuse::full())
+                .with_threads(4),
+        )
+        .run_batch(&jobs);
+        for (b, r) in baseline.jobs.iter().zip(&reuse1.jobs) {
+            assert_eq!(b.label, r.label);
+            assert_eq!(b.verdict, r.verdict, "{}", r.label);
+            assert_eq!(b.stage, r.stage, "{}", r.label);
+            assert_eq!(b.checksum, r.checksum, "{}", r.label);
+        }
+        // Within the reuse engine, the grouped pool pins every group's
+        // query sequence, so reports are fully identical across thread
+        // counts — details and traces included.
+        for (one, four) in reuse1.jobs.iter().zip(&reuse4.jobs) {
+            assert_eq!(one.label, four.label);
+            assert_eq!(one.verdict, four.verdict);
+            assert_eq!(one.stage, four.stage);
+            assert_eq!(one.detail, four.detail);
+            assert_eq!(one.traces.len(), four.traces.len());
+        }
+        // The warm sessions were actually exercised.
+        assert!(
+            reuse1.reuse_totals().assumption_reuses > 0,
+            "incremental sessions saw repeat queries: {:?}",
+            reuse1.reuse_totals()
+        );
+        assert!(baseline.reuse_totals().is_zero());
+    }
+
+    #[test]
+    fn portfolio_escalates_tight_budget_and_keeps_verdicts() {
+        let scalar = parse_function(S000).unwrap();
+        let commuted = parse_function(S000_COMMUTED).unwrap();
+        // The commuted proof needs a few hundred SAT conflicts; a budget of
+        // 1024 makes the tightened first attempt (1024/8 = 128) come back
+        // Unknown while the full-budget escalation still concludes.
+        let mut pipeline = quick_pipeline();
+        pipeline.tv.alive2_budget.max_conflicts = 1024;
+        let jobs = vec![Job::new("s000-comm", scalar, commuted)];
+        let baseline =
+            VerificationEngine::new(EngineConfig::full(pipeline.clone())).run_batch(&jobs);
+        let portfolio =
+            VerificationEngine::new(EngineConfig::full(pipeline).with_reuse(EngineReuse {
+                portfolio: true,
+                ..EngineReuse::default()
+            }))
+            .run_batch(&jobs);
+        let (b, p) = (&baseline.jobs[0], &portfolio.jobs[0]);
+        assert_eq!(b.verdict, p.verdict);
+        assert_eq!(b.verdict, Equivalence::Equivalent);
+        assert_eq!(b.stage, p.stage);
+        let alive2 = p.traces.iter().find(|t| t.stage == Stage::Alive2).unwrap();
+        assert!(alive2.escalated, "the tight attempt must have escalated");
+        assert_eq!(portfolio.reuse_totals().escalations, 1);
+        assert_eq!(baseline.reuse_totals().escalations, 0);
+        let funnel = crate::FunnelReport::from_jobs(&portfolio.jobs);
+        assert_eq!(funnel.stage(Stage::Alive2).unwrap().escalations, 1);
+        assert_eq!(funnel.reuse.escalations, 1);
+    }
+
+    #[test]
+    fn reuse_fingerprint_tracks_only_the_incremental_layer() {
+        let base = EngineConfig::full(quick_pipeline());
+        let memo = EngineConfig::full(quick_pipeline()).with_reuse(EngineReuse {
+            memo: true,
+            ..EngineReuse::default()
+        });
+        let portfolio = EngineConfig::full(quick_pipeline()).with_reuse(EngineReuse {
+            portfolio: true,
+            ..EngineReuse::default()
+        });
+        let incremental = EngineConfig::full(quick_pipeline()).with_reuse(EngineReuse {
+            incremental: true,
+            ..EngineReuse::default()
+        });
+        // Memoization is clause-identical and the portfolio verdict-identical
+        // by construction: neither changes the verification problem, so
+        // neither may invalidate cached verdicts.
+        assert_eq!(base.semantic_fingerprint(), memo.semantic_fingerprint());
+        assert_eq!(
+            base.semantic_fingerprint(),
+            portfolio.semantic_fingerprint()
+        );
+        // Incremental solving reformulates the query, so it is a different
+        // configuration.
+        assert_ne!(
+            base.semantic_fingerprint(),
+            incremental.semantic_fingerprint()
+        );
     }
 }

@@ -691,6 +691,7 @@ pub fn figure6_with(
                 traces: Vec::new(),
                 wall: row_start.elapsed(),
                 cache_hit: false,
+                reuse: Default::default(),
             },
         );
         row

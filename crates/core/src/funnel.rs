@@ -67,6 +67,11 @@ pub struct StageFunnel {
     /// checksum stage this counts candidates the harness tested vacuously on
     /// disjoint arrays.
     pub name_mismatches: usize,
+    /// Portfolio runs whose tight-budget attempt was inconclusive and
+    /// escalated to the full budget
+    /// ([`StageTrace::escalated`](crate::StageTrace)). Always `0` without
+    /// [`EngineReuse::portfolio`](crate::EngineReuse).
+    pub escalations: usize,
 }
 
 impl StageFunnel {
@@ -86,6 +91,7 @@ impl StageFunnel {
             wall: Duration::ZERO,
             conflict_histogram: [0; HISTOGRAM_BUCKETS],
             name_mismatches: 0,
+            escalations: 0,
         }
     }
 
@@ -112,6 +118,9 @@ pub struct FunnelReport {
     pub jobs: usize,
     /// Jobs answered from the verdict cache (they contribute no traces).
     pub cached: usize,
+    /// Cross-job SMT reuse activity summed over all jobs (all zero when
+    /// [`EngineReuse`](crate::EngineReuse) is off).
+    pub reuse: crate::engine::ReuseCounters,
 }
 
 impl FunnelReport {
@@ -122,8 +131,10 @@ impl FunnelReport {
             stages: Vec::new(),
             jobs: reports.len(),
             cached: reports.iter().filter(|r| r.cache_hit).count(),
+            reuse: Default::default(),
         };
         for report in reports {
+            funnel.reuse.absorb(report.reuse);
             let last = report.traces.len().saturating_sub(1);
             for (i, trace) in report.traces.iter().enumerate() {
                 let stage = match funnel.stages.iter_mut().find(|s| s.stage == trace.stage) {
@@ -141,6 +152,9 @@ impl FunnelReport {
                 stage.conflict_histogram[histogram_bucket(trace.conflicts)] += 1;
                 if trace.name_mismatch {
                     stage.name_mismatches += 1;
+                }
+                if trace.escalated {
+                    stage.escalations += 1;
                 }
                 if trace.conclusive {
                     stage.conclusive_max_conflicts =
@@ -202,6 +216,16 @@ impl FunnelReport {
                 "warning: {} candidate(s) renamed array parameters away from the scalar's \
                  (checksum ran on disjoint arrays)\n",
                 mismatched
+            );
+        }
+        if !self.reuse.is_zero() {
+            out += &format!(
+                "reuse: {} blast-cache hits / {} misses, {} assumption reuses, \
+                 {} portfolio escalations\n",
+                self.reuse.blast_hits,
+                self.reuse.blast_misses,
+                self.reuse.assumption_reuses,
+                self.reuse.escalations
             );
         }
         out
@@ -366,6 +390,7 @@ mod tests {
             traces,
             wall: Duration::ZERO,
             cache_hit: false,
+            reuse: Default::default(),
         }
     }
 
@@ -377,6 +402,7 @@ mod tests {
             conflicts,
             clauses,
             name_mismatch: false,
+            escalated: false,
         }
     }
 

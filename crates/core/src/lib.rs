@@ -16,7 +16,13 @@
 //!   conflicts, CNF clauses, wall time). Verdicts are bit-identical for any
 //!   thread count *and* any schedule — parallelism is purely a wall-clock
 //!   win, and reordering sound symbolic stages only changes which one
-//!   answers first;
+//!   answers first. [`EngineReuse`] layers cross-job SMT reuse on top
+//!   (blasted-CNF memoization, incremental per-scalar sessions under
+//!   scalar-affinity scheduling, portfolio budget racing via
+//!   [`PortfolioStage`]); verdict classes and checksums are pinned across
+//!   all layers, per-job activity is counted in [`ReuseCounters`], and only
+//!   the incremental layer (which can improve the concluding stage)
+//!   perturbs the cache fingerprint;
 //! * [`observer`] — the [`BatchObserver`] trait: job-started /
 //!   stage-finished / job-finished callbacks fired from the worker pool as
 //!   a batch progresses, so sweeps render incrementally
@@ -125,9 +131,10 @@ pub use cache::{
     CACHE_FORMAT_VERSION,
 };
 pub use engine::{
-    parallel_map, AdaptiveBatchReport, BatchReport, ChecksumStage, EngineConfig, Job, JobReport,
-    StageSchedule, StageTrace, StrategyOutcome, SymbolicStage, VerificationEngine,
-    VerificationStrategy, WorkerState, SYMBOLIC_STAGES,
+    parallel_map, AdaptiveBatchReport, BatchReport, ChecksumStage, EngineConfig, EngineReuse, Job,
+    JobReport, PortfolioStage, ReuseCounters, StageSchedule, StageTrace, StrategyOutcome,
+    SymbolicStage, VerificationEngine, VerificationStrategy, WorkerState, PORTFOLIO_TIGHT_DIVISOR,
+    SYMBOLIC_STAGES,
 };
 pub use experiments::{
     figure1, figure1_with, figure5, figure5_with, figure6, figure6_with, fsm_evaluation,

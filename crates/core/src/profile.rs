@@ -79,6 +79,11 @@ pub struct ProfileCell {
     pub conclusive_max_conflicts: u64,
     /// Largest clause count among conclusive executions.
     pub conclusive_max_clauses: u64,
+    /// Portfolio runs whose tight-budget attempt escalated to the full
+    /// budget ([`StageTrace::escalated`](crate::StageTrace)) — evidence of
+    /// how often the tightened first attempt fails for this cell. Older
+    /// journals without the field replay as `0`.
+    pub escalations: u64,
 }
 
 impl ProfileCell {
@@ -93,6 +98,7 @@ impl ProfileCell {
         self.conclusive_max_clauses = self
             .conclusive_max_clauses
             .max(other.conclusive_max_clauses);
+        self.escalations += other.escalations;
     }
 }
 
@@ -139,6 +145,9 @@ impl CrossRunProfile {
             cell.entered += 1;
             cell.wall_us += u64::try_from(trace.wall.as_micros()).unwrap_or(u64::MAX);
             cell.conflicts += trace.conflicts;
+            if trace.escalated {
+                cell.escalations += 1;
+            }
             if trace.conclusive {
                 cell.killed += 1;
                 cell.conclusive_max_conflicts = cell.conclusive_max_conflicts.max(trace.conflicts);
@@ -285,6 +294,7 @@ fn emit_cell(
     e.field_hex("conflicts", cell.conflicts)?;
     e.field_hex("cmax_conflicts", cell.conclusive_max_conflicts)?;
     e.field_hex("cmax_clauses", cell.conclusive_max_clauses)?;
+    e.field_hex("escalations", cell.escalations)?;
     e.end_object()
 }
 
@@ -304,6 +314,12 @@ fn parse_cell(record: &Value) -> Result<(KernelCategory, Stage, ProfileCell), St
         conflicts: parse_hex(record.get("conflicts"), "conflicts")?,
         conclusive_max_conflicts: parse_hex(record.get("cmax_conflicts"), "cmax_conflicts")?,
         conclusive_max_clauses: parse_hex(record.get("cmax_clauses"), "cmax_clauses")?,
+        // Added after format version 1 shipped; journals written before the
+        // portfolio existed simply lack the field, and absence means zero.
+        escalations: match record.get("escalations") {
+            None => 0,
+            some => parse_hex(some, "escalations")?,
+        },
     };
     if cell.killed > cell.entered {
         return Err(format!(
@@ -339,6 +355,7 @@ mod tests {
             traces,
             wall: Duration::ZERO,
             cache_hit: false,
+            reuse: Default::default(),
         }
     }
 
@@ -350,6 +367,7 @@ mod tests {
             conflicts,
             clauses: conflicts * 10,
             name_mismatch: false,
+            escalated: false,
         }
     }
 

@@ -23,7 +23,9 @@ use crate::cache::{
     emit_checksum, hex, parse_checksum, parse_hex, parse_stage, parse_verdict, stage_tag,
     verdict_tag, write_atomic_stream,
 };
-use crate::engine::{EngineConfig, Job, JobReport, StageSchedule, StageTrace};
+use crate::engine::{
+    EngineConfig, EngineReuse, Job, JobReport, ReuseCounters, StageSchedule, StageTrace,
+};
 use crate::journal::{self, FsyncPolicy, JournalWriter};
 use crate::pipeline::PipelineConfig;
 use crate::shard::{ShardError, ShardPlan, ShardPolicy};
@@ -228,6 +230,12 @@ pub struct SweepManifest {
     pub schedule: StageSchedule,
     /// Stage configurations.
     pub pipeline: PipelineConfig,
+    /// The solver-reuse layers every shard runs with. Part of the exchange
+    /// because incremental reuse perturbs the configuration fingerprint —
+    /// a worker must run the same reuse layers to produce (and verify) the
+    /// recorded fingerprint. Manifests written before the reuse subsystem
+    /// carry no field and mean "all layers off".
+    pub reuse: EngineReuse,
     /// The sweep's jobs, in batch order.
     pub jobs: Vec<Job>,
 }
@@ -249,6 +257,7 @@ impl SweepManifest {
             cascade: config.cascade.clone(),
             schedule: config.schedule.clone(),
             pipeline: config.pipeline.clone(),
+            reuse: config.reuse,
             jobs: jobs.to_vec(),
         }
     }
@@ -264,6 +273,7 @@ impl SweepManifest {
             pipeline: self.pipeline.clone(),
             cache: None,
             adaptive: None,
+            reuse: self.reuse,
         }
     }
 
@@ -309,6 +319,12 @@ impl SweepManifest {
         e.value(&checksum_config_value(&self.pipeline.checksum))?;
         e.key("tv")?;
         e.value(&tv_config_value(&self.pipeline.tv))?;
+        e.key("reuse")?;
+        e.begin_object()?;
+        e.field_bool("memo", self.reuse.memo)?;
+        e.field_bool("incremental", self.reuse.incremental)?;
+        e.field_bool("portfolio", self.reuse.portfolio)?;
+        e.end_object()?;
         e.key("jobs")?;
         e.begin_array()?;
         for job in &self.jobs {
@@ -415,6 +431,16 @@ impl SweepManifest {
             })
             .collect::<Result<Vec<Job>, String>>()
             .map_err(ShardError::Format)?;
+        // Manifests written before the reuse subsystem carry no `reuse`
+        // field; they mean every layer off.
+        let reuse = match doc.get("reuse") {
+            None => EngineReuse::default(),
+            Some(obj) => EngineReuse {
+                memo: bool_field(obj, "memo").map_err(ShardError::Format)?,
+                incremental: bool_field(obj, "incremental").map_err(ShardError::Format)?,
+                portfolio: bool_field(obj, "portfolio").map_err(ShardError::Format)?,
+            },
+        };
         let manifest = SweepManifest {
             shards: usize_field(&doc, "shards").map_err(ShardError::Format)?,
             policy,
@@ -425,6 +451,7 @@ impl SweepManifest {
                 checksum: parse_checksum_config(&doc).map_err(ShardError::Format)?,
                 tv: parse_tv_config(&doc).map_err(ShardError::Format)?,
             },
+            reuse,
             jobs,
         };
         let recorded =
@@ -644,6 +671,13 @@ fn emit_job_report<W: io::Write>(
     emit_checksum(e, report.checksum)?;
     e.field_bool("cache_hit", report.cache_hit)?;
     e.field_hex("wall_us", duration_us(report.wall))?;
+    e.key("reuse")?;
+    e.begin_object()?;
+    e.field_hex("blast_hits", report.reuse.blast_hits)?;
+    e.field_hex("blast_misses", report.reuse.blast_misses)?;
+    e.field_hex("assumption_reuses", report.reuse.assumption_reuses)?;
+    e.field_hex("escalations", report.reuse.escalations)?;
+    e.end_object()?;
     e.key("traces")?;
     e.begin_array()?;
     for trace in &report.traces {
@@ -654,6 +688,7 @@ fn emit_job_report<W: io::Write>(
         e.field_hex("conflicts", trace.conflicts)?;
         e.field_hex("clauses", trace.clauses)?;
         e.field_bool("name_mismatch", trace.name_mismatch)?;
+        e.field_bool("escalated", trace.escalated)?;
         e.end_object()?;
     }
     e.end_array()?;
@@ -674,9 +709,22 @@ fn parse_job_report(item: &Value) -> Result<(usize, JobReport), String> {
                 conflicts: parse_hex(trace.get("conflicts"), "conflicts")?,
                 clauses: parse_hex(trace.get("clauses"), "clauses")?,
                 name_mismatch: bool_field(trace, "name_mismatch")?,
+                // Reports written before the portfolio carry no field;
+                // nothing escalated then.
+                escalated: matches!(trace.get("escalated"), Some(Value::Bool(true))),
             })
         })
         .collect::<Result<Vec<_>, String>>()?;
+    // Reports written before the reuse subsystem carry no counters.
+    let reuse = match item.get("reuse") {
+        None => ReuseCounters::default(),
+        Some(obj) => ReuseCounters {
+            blast_hits: parse_hex(obj.get("blast_hits"), "blast_hits")?,
+            blast_misses: parse_hex(obj.get("blast_misses"), "blast_misses")?,
+            assumption_reuses: parse_hex(obj.get("assumption_reuses"), "assumption_reuses")?,
+            escalations: parse_hex(obj.get("escalations"), "escalations")?,
+        },
+    };
     let report = JobReport {
         label: str_field(item, "label")?.to_string(),
         verdict: parse_verdict(str_field(item, "verdict")?)?,
@@ -686,6 +734,7 @@ fn parse_job_report(item: &Value) -> Result<(usize, JobReport), String> {
         traces,
         wall: Duration::from_micros(parse_hex(item.get("wall_us"), "wall_us")?),
         cache_hit: bool_field(item, "cache_hit")?,
+        reuse,
     };
     Ok((usize_field(item, "index")?, report))
 }
@@ -815,9 +864,16 @@ mod tests {
                         conflicts: 0,
                         clauses: 0,
                         name_mismatch: true,
+                        escalated: true,
                     }],
                     wall: Duration::from_micros(9999),
                     cache_hit: false,
+                    reuse: ReuseCounters {
+                        blast_hits: 7,
+                        blast_misses: 2,
+                        assumption_reuses: 5,
+                        escalations: 1,
+                    },
                 },
             )],
         };
@@ -835,7 +891,12 @@ mod tests {
         assert_eq!(job.detail, "with \"quotes\"\nand newlines");
         assert_eq!(job.traces.len(), 1);
         assert!(job.traces[0].name_mismatch);
+        assert!(job.traces[0].escalated);
         assert_eq!(job.traces[0].wall, Duration::from_micros(1234));
+        assert_eq!(job.reuse.blast_hits, 7);
+        assert_eq!(job.reuse.blast_misses, 2);
+        assert_eq!(job.reuse.assumption_reuses, 5);
+        assert_eq!(job.reuse.escalations, 1);
         assert_eq!(loaded.render(), report.render());
         std::fs::remove_file(&path).unwrap();
     }

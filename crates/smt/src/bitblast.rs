@@ -4,10 +4,35 @@
 //! every boolean term to a single literal. The encodings are the textbook
 //! ones: ripple-carry adders, shift-and-add multipliers, barrel shifters,
 //! restoring dividers and subtract-based comparators.
+//!
+//! # The blasted-CNF memo
+//!
+//! [`BlastCache`] memoizes whole assertion roots as *clause streams in local
+//! numbering*, keyed by [`crate::term::structural_hash`] — a DAG hash that
+//! ignores variable names but is sensitive to operators, constants, widths
+//! and sharing. Two roots with equal hashes blast to literally the same
+//! interleaved sequence of fresh-variable allocations and emitted clauses,
+//! modulo a uniform renaming of SAT variables, so a hit replays the recorded
+//! stream instead of re-walking the term DAG. Replay reproduces the exact
+//! variable-allocation and clause order of a fresh blast, which keeps the
+//! downstream CDCL search (and therefore the verdict and its statistics)
+//! bit-identical — the property the `memoized_blast_is_clause_identical`
+//! tests pin via [`crate::sat::SatSolver::cnf_fingerprint`].
+//!
+//! An entry is recorded only when its blast is *self-contained*: every
+//! variable it touches is first bound inside it and every subterm it reuses
+//! was blasted inside it. A root that shares variables or subterms with
+//! earlier assertions in the same solver would record a context-dependent
+//! stream, so recording simply invalidates itself and the root is never
+//! cached. Symmetrically, a hit is replayed only when none of the root's
+//! variables are bound yet. The cache lives on [`crate::Solver`], *beside*
+//! the recycled term [`Context`] — [`crate::Solver::recycle`] clears the
+//! context but keeps the memo, which is how blasts are shared across the
+//! many queries of one verification job and across jobs on one worker.
 
-use crate::sat::{Lit, SatSolver};
-use crate::term::{Context, Op, Sort, TermId};
-use std::collections::HashMap;
+use crate::sat::{Lit, SatSolver, Var};
+use crate::term::{structural_hash_pair, vars_in_order, Context, Op, Sort, TermId};
+use std::collections::{HashMap, HashSet};
 use std::fmt;
 
 /// A sort/encoding mismatch discovered while lowering a term.
@@ -68,6 +93,187 @@ impl Bits {
     }
 }
 
+/// The kind of one recorded input-variable slot, in first-occurrence order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum InputKind {
+    /// A boolean variable: one local literal.
+    Bool,
+    /// A bitvector variable of the given width: `width` consecutive locals.
+    Bv(u32),
+}
+
+/// One recorded input slot: its kind plus the local index of its first
+/// SAT variable (bitvector slots occupy `width` consecutive locals).
+#[derive(Debug, Clone, Copy)]
+struct InputSlot {
+    kind: InputKind,
+    first_local: u32,
+}
+
+/// One step of a recorded blast, in emission order. Literal variables are
+/// *local* indices: 0 is the true-literal variable, locals 1.. are the
+/// fresh variables the blast allocated, in allocation order.
+#[derive(Debug, Clone)]
+enum BlastEvent {
+    /// `SatSolver::new_var` was called.
+    FreshVar,
+    /// A clause was emitted (including the final unit assertion).
+    Clause(Vec<Lit>),
+}
+
+/// A memoized assertion root: the full fresh-variable/clause stream of its
+/// blast in local numbering, plus the input-variable layout needed to bind
+/// a replay to a structurally identical root with different names.
+#[derive(Debug, Clone)]
+struct CacheEntry {
+    /// Structural hash under a second seed — a 128-bit-effective collision
+    /// guard on top of the map key.
+    check: u64,
+    /// Input-variable slots in the canonical first-occurrence order of
+    /// [`vars_in_order`].
+    inputs: Vec<InputSlot>,
+    /// The recorded stream.
+    events: Vec<BlastEvent>,
+}
+
+/// Second FNV seed for [`CacheEntry::check`].
+const CHECK_SEED: u64 = 0x9e37_79b9_7f4a_7c15;
+
+/// Cross-query memo of blasted assertion roots, keyed by structural hash.
+///
+/// Owned by [`crate::Solver`] (one per verification worker) and surviving
+/// [`crate::Solver::recycle`]; see the module docs for the design. Entries
+/// are evicted in insertion order once the entry cap (default
+/// [`BlastCache::DEFAULT_MAX_ENTRIES`]) is reached — each entry holds a full
+/// clause stream, so the cache is a small working set, not an archive.
+#[derive(Debug)]
+pub struct BlastCache {
+    entries: HashMap<u64, CacheEntry>,
+    /// Insertion order, for FIFO eviction.
+    order: Vec<u64>,
+    max_entries: usize,
+    hits: u64,
+    misses: u64,
+}
+
+impl Default for BlastCache {
+    fn default() -> Self {
+        BlastCache::new()
+    }
+}
+
+impl BlastCache {
+    /// Default entry cap: each entry stores a whole query's clause stream,
+    /// so the cache is sized as a working set of recent query shapes.
+    pub const DEFAULT_MAX_ENTRIES: usize = 64;
+
+    /// An empty cache with the default entry cap.
+    pub fn new() -> BlastCache {
+        BlastCache::with_capacity(BlastCache::DEFAULT_MAX_ENTRIES)
+    }
+
+    /// An empty cache evicting (oldest first) beyond `max_entries`.
+    pub fn with_capacity(max_entries: usize) -> BlastCache {
+        BlastCache {
+            entries: HashMap::new(),
+            order: Vec::new(),
+            max_entries: max_entries.max(1),
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Replayed roots since construction.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Roots blasted fresh (whether or not they could be recorded).
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Number of memoized roots.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` if nothing has been memoized.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    fn insert(&mut self, hash: u64, entry: CacheEntry) {
+        if self.entries.insert(hash, entry).is_none() {
+            self.order.push(hash);
+            if self.order.len() > self.max_entries {
+                let oldest = self.order.remove(0);
+                self.entries.remove(&oldest);
+            }
+        }
+    }
+}
+
+/// Recording state for one in-progress self-contained blast.
+#[derive(Debug)]
+struct Recorder {
+    /// Maps global SAT variables to local indices (true-literal var is 0).
+    local_of: HashMap<Var, u32>,
+    next_local: u32,
+    events: Vec<BlastEvent>,
+    inputs: Vec<InputSlot>,
+    /// Terms first blasted inside this recording; an instance-cache hit on
+    /// any other term means the stream depends on outside state.
+    recorded_terms: HashSet<TermId>,
+    /// Cleared when the blast turns out not to be self-contained.
+    valid: bool,
+}
+
+impl Recorder {
+    fn new(true_var: Var) -> Recorder {
+        let mut local_of = HashMap::new();
+        local_of.insert(true_var, 0);
+        Recorder {
+            local_of,
+            next_local: 1,
+            events: Vec::new(),
+            inputs: Vec::new(),
+            recorded_terms: HashSet::new(),
+            valid: true,
+        }
+    }
+
+    fn local_lit(&self, lit: Lit) -> Option<Lit> {
+        self.local_of
+            .get(&lit.var())
+            .map(|&local| Lit::new(local, lit.is_neg()))
+    }
+}
+
+/// The persistent half of a [`BitBlaster`], detached from the `Context` and
+/// `SatSolver` borrows so the incremental solver can keep term encodings,
+/// variable bindings and the true literal alive across queries. Produced by
+/// [`BitBlaster::into_state`] and revived by [`BitBlaster::resume`].
+#[derive(Debug)]
+pub struct BlastState {
+    cache: HashMap<TermId, Bits>,
+    true_lit: Lit,
+    var_bits: HashMap<String, Vec<Lit>>,
+    var_bools: HashMap<String, Lit>,
+}
+
+impl BlastState {
+    /// The literals of each free bitvector variable bound so far.
+    pub fn var_bits(&self) -> &HashMap<String, Vec<Lit>> {
+        &self.var_bits
+    }
+
+    /// The literal of each free boolean variable bound so far.
+    pub fn var_bools(&self) -> &HashMap<String, Lit> {
+        &self.var_bools
+    }
+}
+
 /// Bit-blasts terms from a [`Context`] into a [`SatSolver`].
 pub struct BitBlaster<'a> {
     ctx: &'a Context,
@@ -78,6 +284,8 @@ pub struct BitBlaster<'a> {
     var_bits: HashMap<String, Vec<Lit>>,
     /// Literal of every free boolean variable.
     var_bools: HashMap<String, Lit>,
+    /// Active while a cache-miss blast is being recorded.
+    recorder: Option<Recorder>,
 }
 
 impl<'a> BitBlaster<'a> {
@@ -93,6 +301,33 @@ impl<'a> BitBlaster<'a> {
             true_lit,
             var_bits: HashMap::new(),
             var_bools: HashMap::new(),
+            recorder: None,
+        }
+    }
+
+    /// Revives a blaster from persistent state, continuing to feed `sat`.
+    /// `ctx` must still contain every term id recorded in `state` (the
+    /// incremental solver guarantees this by never recycling the context
+    /// while a persistent instance is alive).
+    pub fn resume(ctx: &'a Context, sat: &'a mut SatSolver, state: BlastState) -> Self {
+        BitBlaster {
+            ctx,
+            sat,
+            cache: state.cache,
+            true_lit: state.true_lit,
+            var_bits: state.var_bits,
+            var_bools: state.var_bools,
+            recorder: None,
+        }
+    }
+
+    /// Detaches the persistent half for a later [`BitBlaster::resume`].
+    pub fn into_state(self) -> BlastState {
+        BlastState {
+            cache: self.cache,
+            true_lit: self.true_lit,
+            var_bits: self.var_bits,
+            var_bools: self.var_bools,
         }
     }
 
@@ -109,8 +344,112 @@ impl<'a> BitBlaster<'a> {
     /// Asserts a boolean term.
     pub fn assert(&mut self, term: TermId) -> Result<(), BlastError> {
         let lit = self.blast(term)?.try_bool()?;
-        self.sat.add_clause(&[lit]);
+        self.emit(&[lit]);
         Ok(())
+    }
+
+    /// [`BitBlaster::assert`] through the blasted-CNF memo: a structurally
+    /// identical root seen before replays its recorded clause stream; a miss
+    /// blasts fresh and records the stream when it is self-contained (see
+    /// the module docs).
+    pub fn assert_with_cache(
+        &mut self,
+        term: TermId,
+        memo: &mut BlastCache,
+    ) -> Result<(), BlastError> {
+        let (hash, check) =
+            structural_hash_pair(self.ctx, term, crate::term::FNV_OFFSET, CHECK_SEED);
+        if let Some(entry) = memo.entries.get(&hash) {
+            if entry.check == check && self.try_replay(term, entry) {
+                memo.hits += 1;
+                return Ok(());
+            }
+        }
+        memo.misses += 1;
+        debug_assert!(self.recorder.is_none(), "recordings do not nest");
+        self.recorder = Some(Recorder::new(self.true_lit.var()));
+        let result = self.assert(term);
+        let recorder = self.recorder.take().expect("recorder was just installed");
+        if result.is_ok() && recorder.valid {
+            memo.insert(
+                hash,
+                CacheEntry {
+                    check,
+                    inputs: recorder.inputs,
+                    events: recorder.events,
+                },
+            );
+        }
+        result
+    }
+
+    /// Replays `entry` for the (hash-equal) root `term`. Returns `false` —
+    /// leaving the solver untouched — when the root's variables do not line
+    /// up with the recorded input slots or are already bound.
+    ///
+    /// The positional pairing below relies on [`blast`](Self::blast)
+    /// lowering arguments strictly left-to-right, so a fresh blast binds
+    /// variables in exactly the [`vars_in_order`] pre-order.
+    fn try_replay(&mut self, term: TermId, entry: &CacheEntry) -> bool {
+        let vars = vars_in_order(self.ctx, term);
+        if vars.len() != entry.inputs.len() {
+            return false;
+        }
+        for (&var_term, slot) in vars.iter().zip(&entry.inputs) {
+            let Op::Var { name, sort } = &self.ctx.term(var_term).op else {
+                return false;
+            };
+            let matches = match (sort, slot.kind) {
+                (Sort::Bool, InputKind::Bool) => !self.var_bools.contains_key(name),
+                (Sort::BitVec(w), InputKind::Bv(width)) => {
+                    *w == width && !self.var_bits.contains_key(name)
+                }
+                _ => false,
+            };
+            if !matches {
+                return false;
+            }
+        }
+        // Replay the stream: allocate fresh variables and add clauses in
+        // exactly the recorded order, building the local→global map as the
+        // allocations happen.
+        let mut global: Vec<Var> = Vec::with_capacity(entry.events.len() + 1);
+        global.push(self.true_lit.var());
+        for event in &entry.events {
+            match event {
+                BlastEvent::FreshVar => global.push(self.sat.new_var()),
+                BlastEvent::Clause(locals) => {
+                    let clause: Vec<Lit> = locals
+                        .iter()
+                        .map(|l| Lit::new(global[l.var() as usize], l.is_neg()))
+                        .collect();
+                    self.sat.add_clause(&clause);
+                }
+            }
+        }
+        // Bind the new root's variable names to the replayed input slots so
+        // model extraction and later assertions see them.
+        for (&var_term, slot) in vars.iter().zip(&entry.inputs) {
+            let Op::Var { name, sort } = &self.ctx.term(var_term).op else {
+                unreachable!("checked above");
+            };
+            let first = slot.first_local as usize;
+            match sort {
+                Sort::Bool => {
+                    let lit = Lit::pos(global[first]);
+                    self.var_bools.insert(name.clone(), lit);
+                    self.cache.insert(var_term, Bits::Bool(lit));
+                }
+                Sort::BitVec(w) => {
+                    let bits: Vec<Lit> = (0..*w as usize)
+                        .map(|i| Lit::pos(global[first + i]))
+                        .collect();
+                    self.var_bits.insert(name.clone(), bits.clone());
+                    self.cache.insert(var_term, Bits::Bv(bits));
+                }
+            }
+        }
+        true
     }
 
     fn const_lit(&self, value: bool) -> Lit {
@@ -121,8 +460,34 @@ impl<'a> BitBlaster<'a> {
         }
     }
 
+    /// Allocates a SAT variable, recording the allocation when a memo
+    /// recording is active.
+    fn fresh_var(&mut self) -> Var {
+        let var = self.sat.new_var();
+        if let Some(rec) = &mut self.recorder {
+            rec.events.push(BlastEvent::FreshVar);
+            rec.local_of.insert(var, rec.next_local);
+            rec.next_local += 1;
+        }
+        var
+    }
+
+    /// Adds a clause, recording it (in local numbering) when a memo
+    /// recording is active. A literal from outside the recording makes the
+    /// stream context-dependent and invalidates it.
+    fn emit(&mut self, lits: &[Lit]) {
+        if let Some(rec) = &mut self.recorder {
+            let locals: Option<Vec<Lit>> = lits.iter().map(|&l| rec.local_lit(l)).collect();
+            match locals {
+                Some(locals) => rec.events.push(BlastEvent::Clause(locals)),
+                None => rec.valid = false,
+            }
+        }
+        self.sat.add_clause(lits);
+    }
+
     fn fresh(&mut self) -> Lit {
-        Lit::pos(self.sat.new_var())
+        Lit::pos(self.fresh_var())
     }
 
     // ---- gates ---------------------------------------------------------------
@@ -144,9 +509,9 @@ impl<'a> BitBlaster<'a> {
             return self.const_lit(false);
         }
         let o = self.fresh();
-        self.sat.add_clause(&[a.negate(), b.negate(), o]);
-        self.sat.add_clause(&[a, o.negate()]);
-        self.sat.add_clause(&[b, o.negate()]);
+        self.emit(&[a.negate(), b.negate(), o]);
+        self.emit(&[a, o.negate()]);
+        self.emit(&[b, o.negate()]);
         o
     }
 
@@ -174,10 +539,10 @@ impl<'a> BitBlaster<'a> {
             return self.const_lit(true);
         }
         let o = self.fresh();
-        self.sat.add_clause(&[a.negate(), b.negate(), o.negate()]);
-        self.sat.add_clause(&[a, b, o.negate()]);
-        self.sat.add_clause(&[a.negate(), b, o]);
-        self.sat.add_clause(&[a, b.negate(), o]);
+        self.emit(&[a.negate(), b.negate(), o.negate()]);
+        self.emit(&[a, b, o.negate()]);
+        self.emit(&[a.negate(), b, o]);
+        self.emit(&[a, b.negate(), o]);
         o
     }
 
@@ -192,10 +557,10 @@ impl<'a> BitBlaster<'a> {
             return else_l;
         }
         let o = self.fresh();
-        self.sat.add_clause(&[cond.negate(), then_l.negate(), o]);
-        self.sat.add_clause(&[cond.negate(), then_l, o.negate()]);
-        self.sat.add_clause(&[cond, else_l.negate(), o]);
-        self.sat.add_clause(&[cond, else_l, o.negate()]);
+        self.emit(&[cond.negate(), then_l.negate(), o]);
+        self.emit(&[cond.negate(), then_l, o.negate()]);
+        self.emit(&[cond, else_l.negate(), o]);
+        self.emit(&[cond, else_l, o.negate()]);
         o
     }
 
@@ -365,7 +730,27 @@ impl<'a> BitBlaster<'a> {
     /// Lowers a term (memoized).
     pub fn blast(&mut self, term: TermId) -> Result<Bits, BlastError> {
         if let Some(bits) = self.cache.get(&term) {
+            // An instance-cache hit on a term first blasted before the
+            // active recording started means the recorded stream would
+            // silently depend on outside state — unless every literal in
+            // the cached bits is already local to the recording (constants
+            // over the true literal, in practice), in which case a replay
+            // reproduces them faithfully.
+            if let Some(rec) = &mut self.recorder {
+                if !rec.recorded_terms.contains(&term) {
+                    let context_free = match bits {
+                        Bits::Bool(l) => rec.local_of.contains_key(&l.var()),
+                        Bits::Bv(v) => v.iter().all(|l| rec.local_of.contains_key(&l.var())),
+                    };
+                    if !context_free {
+                        rec.valid = false;
+                    }
+                }
+            }
             return Ok(bits.clone());
+        }
+        if let Some(rec) = &mut self.recorder {
+            rec.recorded_terms.insert(term);
         }
         let data = self.ctx.term(term).clone();
         let arg = |i: usize| data.args[i];
@@ -379,17 +764,41 @@ impl<'a> BitBlaster<'a> {
             }
             Op::Var { name, sort } => match sort {
                 Sort::Bool => {
-                    let lit = *self
-                        .var_bools
-                        .entry(name.clone())
-                        .or_insert_with(|| Lit::pos(self.sat.new_var()));
+                    let lit = match self.var_bools.get(name) {
+                        Some(&lit) => {
+                            // Bound before this recording started: the
+                            // stream is not self-contained.
+                            if let Some(rec) = &mut self.recorder {
+                                rec.valid = false;
+                            }
+                            lit
+                        }
+                        None => {
+                            if let Some(rec) = &mut self.recorder {
+                                rec.inputs.push(InputSlot {
+                                    kind: InputKind::Bool,
+                                    first_local: rec.next_local,
+                                });
+                            }
+                            let lit = Lit::pos(self.fresh_var());
+                            self.var_bools.insert(name.clone(), lit);
+                            lit
+                        }
+                    };
                     Bits::Bool(lit)
                 }
                 Sort::BitVec(w) => {
                     if !self.var_bits.contains_key(name) {
-                        let bits: Vec<Lit> =
-                            (0..*w).map(|_| Lit::pos(self.sat.new_var())).collect();
+                        if let Some(rec) = &mut self.recorder {
+                            rec.inputs.push(InputSlot {
+                                kind: InputKind::Bv(*w),
+                                first_local: rec.next_local,
+                            });
+                        }
+                        let bits: Vec<Lit> = (0..*w).map(|_| Lit::pos(self.fresh_var())).collect();
                         self.var_bits.insert(name.clone(), bits);
+                    } else if let Some(rec) = &mut self.recorder {
+                        rec.valid = false;
                     }
                     Bits::Bv(self.var_bits[name].clone())
                 }
@@ -726,5 +1135,202 @@ mod tests {
             let b = ctx.bv32(9);
             (ctx.ite(c, a, b), 5)
         });
+    }
+
+    /// A nontrivial query over the given variable names: the validity-style
+    /// assertion `!((x + y) - y == x)` (UNSAT once solved, and cheap — no
+    /// multipliers, so the CDCL search stays small).
+    fn distributivity_query(ctx: &mut Context, x: &str, y: &str) -> TermId {
+        let x = ctx.bv_var(x, 32);
+        let y = ctx.bv_var(y, 32);
+        let sum = ctx.bv_add(x, y);
+        let back = ctx.bv_sub(sum, y);
+        let eq = ctx.eq(back, x);
+        ctx.not(eq)
+    }
+
+    #[test]
+    fn memoized_blast_is_clause_identical_to_fresh() {
+        // Record the blast of a query in one solver, then replay it for an
+        // alpha-renamed copy in a second solver; a third solver blasts the
+        // renamed copy fresh. Replayed and fresh CNF must be bit-identical.
+        let mut memo = BlastCache::new();
+
+        let mut ctx_a = Context::new();
+        let q_a = distributivity_query(&mut ctx_a, "x", "y");
+        let mut sat_a = SatSolver::new();
+        let mut bl_a = BitBlaster::new(&ctx_a, &mut sat_a);
+        bl_a.assert_with_cache(q_a, &mut memo).unwrap();
+        assert_eq!(memo.hits(), 0);
+        assert_eq!(memo.misses(), 1);
+        assert_eq!(memo.len(), 1, "self-contained blast must be recorded");
+
+        let mut ctx_b = Context::new();
+        let q_b = distributivity_query(&mut ctx_b, "p", "q");
+        let mut sat_b = SatSolver::new();
+        let mut bl_b = BitBlaster::new(&ctx_b, &mut sat_b);
+        bl_b.assert_with_cache(q_b, &mut memo).unwrap();
+        assert_eq!(memo.hits(), 1, "alpha-renamed query must replay");
+
+        let mut sat_c = SatSolver::new();
+        let mut bl_c = BitBlaster::new(&ctx_b, &mut sat_c);
+        bl_c.assert(q_b).unwrap();
+
+        assert_eq!(
+            sat_b.cnf_fingerprint(),
+            sat_c.cnf_fingerprint(),
+            "replayed CNF must be bit-identical to a fresh blast"
+        );
+        assert_eq!(sat_b.solve(&SatBudget::default()), SatResult::Unsat);
+        assert_eq!(sat_c.solve(&SatBudget::default()), SatResult::Unsat);
+    }
+
+    #[test]
+    fn replay_binds_variables_for_model_extraction() {
+        // x + y == 10 && x - y == 4, recorded under one naming, replayed
+        // under another; the replayed solver must still produce a model
+        // through the replay-bound variable bits.
+        let build = |ctx: &mut Context, x: &str, y: &str| {
+            let x = ctx.bv_var(x, 32);
+            let y = ctx.bv_var(y, 32);
+            let sum = ctx.bv_add(x, y);
+            let diff = ctx.bv_sub(x, y);
+            let ten = ctx.bv32(10);
+            let four = ctx.bv32(4);
+            let c1 = ctx.eq(sum, ten);
+            let c2 = ctx.eq(diff, four);
+            ctx.and(c1, c2)
+        };
+        let mut memo = BlastCache::new();
+
+        let mut ctx_a = Context::new();
+        let q_a = build(&mut ctx_a, "x", "y");
+        let mut sat_a = SatSolver::new();
+        let mut bl_a = BitBlaster::new(&ctx_a, &mut sat_a);
+        bl_a.assert_with_cache(q_a, &mut memo).unwrap();
+
+        let mut ctx_b = Context::new();
+        let q_b = build(&mut ctx_b, "u", "v");
+        let mut sat_b = SatSolver::new();
+        let var_bits = {
+            let mut bl_b = BitBlaster::new(&ctx_b, &mut sat_b);
+            bl_b.assert_with_cache(q_b, &mut memo).unwrap();
+            bl_b.var_bits().clone()
+        };
+        assert_eq!(memo.hits(), 1);
+        assert_eq!(sat_b.solve(&SatBudget::default()), SatResult::Sat);
+
+        let read = |name: &str| -> i64 {
+            let bits = &var_bits[name];
+            let mut value: u64 = 0;
+            for (i, lit) in bits.iter().enumerate() {
+                if sat_b.model_value(lit.var()) ^ lit.is_neg() {
+                    value |= 1 << i;
+                }
+            }
+            sign_extend(value, 32)
+        };
+        assert_eq!(read("u") + read("v"), 10);
+        assert_eq!(read("u") - read("v"), 4);
+    }
+
+    #[test]
+    fn replay_refuses_when_variables_already_bound() {
+        // Sharing a variable with an earlier assertion must force a fresh
+        // blast (binding the replayed slots to new vars would decouple the
+        // two assertions).
+        let mut memo = BlastCache::new();
+
+        let mut ctx_a = Context::new();
+        let q_a = distributivity_query(&mut ctx_a, "x", "y");
+        let mut sat_a = SatSolver::new();
+        let mut bl_a = BitBlaster::new(&ctx_a, &mut sat_a);
+        bl_a.assert_with_cache(q_a, &mut memo).unwrap();
+
+        let mut ctx_b = Context::new();
+        let x = ctx_b.bv_var("x", 32);
+        let zero = ctx_b.bv32(0);
+        let pin = ctx_b.eq(x, zero);
+        let q_b = distributivity_query(&mut ctx_b, "x", "y");
+        let mut sat_b = SatSolver::new();
+        let mut bl_b = BitBlaster::new(&ctx_b, &mut sat_b);
+        bl_b.assert(pin).unwrap();
+        bl_b.assert_with_cache(q_b, &mut memo).unwrap();
+        assert_eq!(memo.hits(), 0, "bound variable must block replay");
+        assert_eq!(memo.misses(), 2);
+        assert_eq!(sat_b.solve(&SatBudget::default()), SatResult::Unsat);
+    }
+
+    #[test]
+    fn shared_subterm_queries_are_not_recorded_as_self_contained() {
+        // Two assertions sharing a subterm: the second blast hits the
+        // instance cache for the shared part, so its stream depends on the
+        // first and must not be memoized.
+        let mut memo = BlastCache::new();
+        let mut ctx = Context::new();
+        let x = ctx.bv_var("x", 32);
+        let y = ctx.bv_var("y", 32);
+        let sum = ctx.bv_add(x, y);
+        let ten = ctx.bv32(10);
+        let four = ctx.bv32(4);
+        let c1 = ctx.eq(sum, ten);
+        let diff = ctx.bv_sub(sum, y);
+        let c2 = ctx.eq(diff, four);
+
+        let mut sat = SatSolver::new();
+        let mut bl = BitBlaster::new(&ctx, &mut sat);
+        bl.assert_with_cache(c1, &mut memo).unwrap();
+        assert_eq!(memo.len(), 1);
+        bl.assert_with_cache(c2, &mut memo).unwrap();
+        assert_eq!(memo.len(), 1, "context-dependent blast must not record");
+        assert_eq!(sat.solve(&SatBudget::default()), SatResult::Sat);
+    }
+
+    #[test]
+    fn memo_survives_solver_state_roundtrip() {
+        // Record, detach with into_state, resume against a fresh SAT
+        // solver: the memo (held outside) still replays and the resumed
+        // blaster keeps its variable bindings.
+        let mut memo = BlastCache::new();
+        let mut ctx = Context::new();
+        let q1 = distributivity_query(&mut ctx, "x", "y");
+
+        let mut sat1 = SatSolver::new();
+        let bl = {
+            let mut bl = BitBlaster::new(&ctx, &mut sat1);
+            bl.assert_with_cache(q1, &mut memo).unwrap();
+            bl.into_state()
+        };
+        assert!(bl.var_bits().contains_key("x"));
+
+        let q2 = distributivity_query(&mut ctx, "p", "q");
+        let mut bl2 = BitBlaster::resume(&ctx, &mut sat1, bl);
+        bl2.assert_with_cache(q2, &mut memo).unwrap();
+        assert_eq!(memo.hits(), 1);
+        assert!(bl2.var_bits().contains_key("p"));
+        assert_eq!(sat1.solve(&SatBudget::default()), SatResult::Unsat);
+    }
+
+    #[test]
+    fn blast_cache_evicts_in_insertion_order() {
+        // Three structurally distinct queries through a capacity-2 cache.
+        let mut memo = BlastCache::with_capacity(2);
+        let mut ctx = Context::new();
+        let queries: Vec<TermId> = (0..3u64)
+            .map(|k| {
+                let x = ctx.bv_var(format!("x{k}"), 32);
+                let c = ctx.bv_const(k, 32);
+                let sum = ctx.bv_add(x, c);
+                let k2 = ctx.bv_const(k + 1, 32);
+                ctx.eq(sum, k2)
+            })
+            .collect();
+        let mut sat = SatSolver::new();
+        let mut bl = BitBlaster::new(&ctx, &mut sat);
+        for &q in &queries {
+            bl.assert_with_cache(q, &mut memo).unwrap();
+        }
+        assert_eq!(memo.len(), 2, "oldest entry must have been evicted");
+        assert_eq!(memo.misses(), 3);
     }
 }

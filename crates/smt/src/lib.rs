@@ -10,12 +10,16 @@
 //! domain-specific optimizations (Sections 3.2 and 3.3).
 //!
 //! * [`term`] — hash-consed terms with constructor-time simplification
-//!   ([`Context`]);
+//!   ([`Context`]) and an alpha-insensitive [`structural_hash`];
 //! * [`bitblast`] — Tseitin encoding of the bitvector operations
-//!   ([`BitBlaster`]);
-//! * [`sat`] — the CDCL SAT solver ([`SatSolver`]);
+//!   ([`BitBlaster`]), with a blasted-CNF memo ([`BlastCache`]) replaying
+//!   recorded clause streams for structurally repeated queries;
+//! * [`sat`] — the CDCL SAT solver ([`SatSolver`]), with MiniSat-style
+//!   assumption solving for the incremental push/pop pathway;
 //! * [`solver`] — the user-facing facade ([`Solver`], [`CheckResult`],
-//!   [`Validity`]).
+//!   [`Validity`]), including the incremental per-scalar session
+//!   ([`Solver::begin_incremental`] / [`Solver::check_assuming`]) and the
+//!   reuse counters ([`ReuseStats`]).
 //!
 //! # Examples
 //!
@@ -41,7 +45,7 @@ pub mod sat;
 pub mod solver;
 pub mod term;
 
-pub use bitblast::{BitBlaster, Bits, BlastError};
+pub use bitblast::{BitBlaster, Bits, BlastCache, BlastError, BlastState};
 pub use sat::{Lit, SatBudget, SatResult, SatSolver, SatStats, Var};
-pub use solver::{CheckResult, CheckStats, Model, Solver, SolverBudget, Validity};
-pub use term::{mask, sign_extend, Context, Op, Sort, TermData, TermId};
+pub use solver::{CheckResult, CheckStats, Model, ReuseStats, Solver, SolverBudget, Validity};
+pub use term::{mask, sign_extend, structural_hash, Context, Op, Sort, TermData, TermId};

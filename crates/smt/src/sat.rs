@@ -405,6 +405,25 @@ impl SatSolver {
 
     /// Solves the formula under the given budget.
     pub fn solve(&mut self, budget: &SatBudget) -> SatResult {
+        self.solve_with_assumptions(budget, &[])
+    }
+
+    /// Solves the formula under the given budget with a prefix of *assumption*
+    /// literals decided before any free decision (MiniSat's
+    /// `solve(assumptions)`).
+    ///
+    /// `Unsat` means the clause set is unsatisfiable *together with the
+    /// assumptions*; only a conflict at decision level 0 marks the instance
+    /// permanently unsatisfiable. Learned clauses never mention assumption
+    /// literals as facts (assumptions are decisions, not units), so the
+    /// solver stays reusable afterwards: call [`SatSolver::reset_to_root`]
+    /// to drop the assumption decisions, add more clauses, and solve again
+    /// under a different assumption set. This is the retraction mechanism
+    /// behind the incremental per-scalar pathway in
+    /// [`crate::solver::Solver`]: per-candidate assertions are guarded by an
+    /// activation literal passed here, and "pop" is an unconditional unit
+    /// clause asserting its negation.
+    pub fn solve_with_assumptions(&mut self, budget: &SatBudget, assumptions: &[Lit]) -> SatResult {
         self.stats = SatStats::default();
         if self.unsat {
             return SatResult::Unsat;
@@ -422,6 +441,14 @@ impl SatSolver {
                 conflicts_since_restart += 1;
                 if self.decision_level() == 0 {
                     self.unsat = true;
+                    return SatResult::Unsat;
+                }
+                if self.decision_level() as usize <= assumptions.len() {
+                    // Every decision below this level is an assumption, so
+                    // the conflicting assignment is implied by the clause
+                    // set plus the assumption prefix: UNSAT under
+                    // assumptions (but not globally).
+                    self.backtrack(0);
                     return SatResult::Unsat;
                 }
                 if self.stats.conflicts >= budget.max_conflicts {
@@ -448,6 +475,27 @@ impl SatSolver {
                     self.backtrack(0);
                     continue;
                 }
+                let level = self.decision_level() as usize;
+                if level < assumptions.len() {
+                    // Install the next assumption as this level's decision.
+                    // An already-true assumption still opens an (empty)
+                    // decision level so level k always means "assumptions
+                    // 0..k are in force".
+                    let p = assumptions[level];
+                    match self.value(p) {
+                        Some(true) => self.trail_lim.push(self.trail.len()),
+                        Some(false) => {
+                            self.backtrack(0);
+                            return SatResult::Unsat;
+                        }
+                        None => {
+                            self.stats.decisions += 1;
+                            self.trail_lim.push(self.trail.len());
+                            self.enqueue(p, None);
+                        }
+                    }
+                    continue;
+                }
                 match self.pick_branch_var() {
                     None => return SatResult::Sat,
                     Some(var) => {
@@ -459,6 +507,45 @@ impl SatSolver {
                 }
             }
         }
+    }
+
+    /// Undoes every decision (assumptions included), returning the solver to
+    /// decision level 0 — the "pop" after an assumption-based query, after
+    /// which more clauses can be added and the solver re-solved.
+    pub fn reset_to_root(&mut self) {
+        self.backtrack(0);
+    }
+
+    /// FNV-1a fingerprint of the solver's CNF at decision level 0: the
+    /// variable count, the root-level implied trail, and every stored clause
+    /// in insertion order. Two solvers with equal fingerprints hold
+    /// literally the same instance and search identically under equal
+    /// budgets; the blast-cache property tests use this to pin a
+    /// memo-replayed blast to a fresh one.
+    pub fn cnf_fingerprint(&self) -> u64 {
+        const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const PRIME: u64 = 0x100_0000_01b3;
+        let mut hash = OFFSET;
+        let mut fold = |value: u64| {
+            for b in value.to_le_bytes() {
+                hash ^= u64::from(b);
+                hash = hash.wrapping_mul(PRIME);
+            }
+        };
+        fold(self.num_vars() as u64);
+        let root = self.trail_lim.first().copied().unwrap_or(self.trail.len());
+        fold(root as u64);
+        for &lit in &self.trail[..root] {
+            fold(u64::from(lit.0));
+        }
+        fold(self.clauses.len() as u64);
+        for clause in &self.clauses {
+            fold(clause.len() as u64);
+            for &lit in clause {
+                fold(u64::from(lit.0));
+            }
+        }
+        hash
     }
 
     /// The value assigned to a variable by the last `Sat` result.
@@ -598,6 +685,115 @@ mod tests {
         let mut s = solver_with_vars(1);
         assert!(!s.add_clause(&[]));
         assert_eq!(s.solve(&SatBudget::default()), SatResult::Unsat);
+    }
+
+    #[test]
+    fn assumptions_restrict_without_committing() {
+        // (1 ∨ 2) with assumption ¬1 forces 2; with assumption ¬2 forces 1;
+        // the instance itself stays satisfiable throughout.
+        let mut s = solver_with_vars(2);
+        s.add_clause(&[lit(1), lit(2)]);
+        assert_eq!(
+            s.solve_with_assumptions(&SatBudget::default(), &[lit(-1)]),
+            SatResult::Sat
+        );
+        assert!(!s.model_value(0));
+        assert!(s.model_value(1));
+        s.reset_to_root();
+        assert_eq!(
+            s.solve_with_assumptions(&SatBudget::default(), &[lit(-2)]),
+            SatResult::Sat
+        );
+        assert!(s.model_value(0));
+        s.reset_to_root();
+        // Contradictory assumptions: UNSAT under assumptions only.
+        assert_eq!(
+            s.solve_with_assumptions(&SatBudget::default(), &[lit(-1), lit(-2)]),
+            SatResult::Unsat
+        );
+        s.reset_to_root();
+        // The instance is still satisfiable afterwards.
+        assert_eq!(s.solve(&SatBudget::default()), SatResult::Sat);
+    }
+
+    #[test]
+    fn activation_literal_retracts_a_clause_group() {
+        // The activation-literal protocol of the incremental solver: guard
+        // clause (¬act ∨ c), solve under [act], retire with unit ¬act.
+        let mut s = solver_with_vars(2);
+        let act = Lit::pos(s.new_var());
+        let c = lit(1);
+        s.add_clause(&[act.negate(), c]);
+        s.add_clause(&[act.negate(), lit(-1)]); // guarded contradiction
+        assert_eq!(
+            s.solve_with_assumptions(&SatBudget::default(), &[act]),
+            SatResult::Unsat
+        );
+        s.reset_to_root();
+        s.add_clause(&[act.negate()]); // pop: the guarded group goes inert
+        let act2 = Lit::pos(s.new_var());
+        s.add_clause(&[act2.negate(), lit(2)]);
+        assert_eq!(
+            s.solve_with_assumptions(&SatBudget::default(), &[act2]),
+            SatResult::Sat
+        );
+        assert!(s.model_value(1));
+        s.reset_to_root();
+    }
+
+    #[test]
+    fn assumption_solve_matches_fresh_solve_on_units() {
+        // Solving with assumption `a` must agree with a fresh solver where
+        // `a` is a unit clause, over a small family of instances.
+        for seed in 0..20u64 {
+            let mut state = seed
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let mut next = move || {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                state >> 33
+            };
+            let n = 6;
+            let mut clauses: Vec<Vec<Lit>> = Vec::new();
+            for _ in 0..12 {
+                let mut clause = Vec::new();
+                for _ in 0..3 {
+                    let v = (next() % n) as Var;
+                    clause.push(Lit::new(v, next() % 2 == 1));
+                }
+                clauses.push(clause);
+            }
+            let assumption = Lit::new((next() % n) as Var, next() % 2 == 1);
+
+            let mut fresh = solver_with_vars(n as usize);
+            for c in &clauses {
+                fresh.add_clause(c);
+            }
+            fresh.add_clause(&[assumption]);
+            let want = fresh.solve(&SatBudget::default());
+
+            let mut inc = solver_with_vars(n as usize);
+            for c in &clauses {
+                inc.add_clause(c);
+            }
+            let got = inc.solve_with_assumptions(&SatBudget::default(), &[assumption]);
+            assert_eq!(got, want, "seed {}", seed);
+        }
+    }
+
+    #[test]
+    fn cnf_fingerprint_tracks_instance_content() {
+        let mut a = solver_with_vars(3);
+        a.add_clause(&[lit(1), lit(2)]);
+        a.add_clause(&[lit(-2), lit(3)]);
+        let mut b = solver_with_vars(3);
+        b.add_clause(&[lit(1), lit(2)]);
+        b.add_clause(&[lit(-2), lit(3)]);
+        assert_eq!(a.cnf_fingerprint(), b.cnf_fingerprint());
+        b.add_clause(&[lit(-3)]);
+        assert_ne!(a.cnf_fingerprint(), b.cnf_fingerprint());
     }
 
     #[test]

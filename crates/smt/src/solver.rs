@@ -4,9 +4,38 @@
 //! translation validator builds one verification condition per query, asks
 //! for a model of its negation, and treats resource exhaustion as an
 //! inconclusive (timeout-like) answer.
+//!
+//! # Cross-query reuse
+//!
+//! Two optional mechanisms cut repeated work across the queries of a batch
+//! sweep; both default off, and the plain [`Solver::check`] path is
+//! byte-for-byte unchanged when they stay off.
+//!
+//! - **Blasted-CNF memo** ([`Solver::enable_blast_memo`]): a
+//!   [`BlastCache`] keyed by the structural hash of each asserted root,
+//!   replaying the recorded CNF stream for structurally identical
+//!   assertions (see [`crate::bitblast`] for the keying and the
+//!   bit-identity guarantee). The memo lives on the `Solver` *beside* the
+//!   recycled term [`Context`] — [`Solver::recycle`] clears terms and
+//!   assertions but keeps the memo, which is the point: one worker verifies
+//!   many candidates of the same scalar, and their verification conditions
+//!   re-blast identically across recycles.
+//!
+//! - **Incremental push/pop** ([`Solver::begin_incremental`] /
+//!   [`Solver::check_assuming`]): the assertions at `begin_incremental`
+//!   time (the scalar-side context) are blasted once into a persistent SAT
+//!   instance. Each `check_assuming(f)` then blasts only `f`, guards it
+//!   behind a fresh *activation literal* `act` (one clause `¬act ∨ f`),
+//!   and solves under the assumption `[act]`; the "pop" is an
+//!   unconditional unit clause `¬act` that permanently satisfies the
+//!   guard, so retired candidate constraints can never influence later
+//!   queries. Term encodings are shared through the persistent
+//!   [`BitBlaster`] instance cache, so a subterm common to every candidate
+//!   (the scalar's symbolic execution, in the verifier) is blasted exactly
+//!   once per session.
 
-use crate::bitblast::BitBlaster;
-use crate::sat::{SatBudget, SatResult, SatSolver};
+use crate::bitblast::{BitBlaster, BlastCache, BlastState};
+use crate::sat::{Lit, SatBudget, SatResult, SatSolver};
 use crate::term::{sign_extend, Context, Sort, TermId};
 use std::collections::HashMap;
 use std::fmt;
@@ -166,6 +195,43 @@ pub struct CheckStats {
     pub decisions: u64,
 }
 
+/// Counters for the cross-query reuse machinery; see the module docs.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ReuseStats {
+    /// Assertion roots replayed from the blasted-CNF memo.
+    pub blast_hits: u64,
+    /// Assertion roots blasted fresh while the memo was enabled.
+    pub blast_misses: u64,
+    /// Queries answered by an assumption solve on a warm incremental
+    /// session instead of a from-scratch blast.
+    pub assumption_reuses: u64,
+}
+
+impl ReuseStats {
+    /// Componentwise sum, for aggregating per-worker counters.
+    pub fn absorb(&mut self, other: ReuseStats) {
+        self.blast_hits += other.blast_hits;
+        self.blast_misses += other.blast_misses;
+        self.assumption_reuses += other.assumption_reuses;
+    }
+}
+
+/// The persistent half of an incremental session: the warm SAT instance,
+/// the blaster state binding term encodings and variables into it, and the
+/// clause count of the scalar-side base (for budget accounting).
+#[derive(Debug)]
+struct IncSession {
+    sat: SatSolver,
+    blast: BlastState,
+    base_clauses: usize,
+}
+
+/// How many keyed incremental sessions a solver keeps warm at once. The
+/// verifier's stage cascade builds one scalar-side context per symbolic
+/// strategy, so a handful covers a whole same-scalar job group; beyond the
+/// cap the oldest session is dropped (each holds a full SAT instance).
+const MAX_INC_SESSIONS: usize = 4;
+
 /// An incremental-style solver facade over the term [`Context`].
 #[derive(Debug, Default)]
 pub struct Solver {
@@ -174,12 +240,36 @@ pub struct Solver {
     assertions: Vec<TermId>,
     /// Statistics from the most recent `check` call.
     pub last_stats: CheckStats,
+    /// Blasted-CNF memo; survives [`Solver::recycle`] when enabled.
+    blast_memo: Option<BlastCache>,
+    /// Warm incremental sessions, keyed by caller-chosen scalar-context
+    /// keys; all dropped by [`Solver::recycle`].
+    inc: Vec<(u64, IncSession)>,
+    /// Cumulative count of `check_assuming` calls on warm sessions.
+    assumption_reuses: u64,
 }
 
 impl Solver {
     /// Creates a solver with an empty context.
     pub fn new() -> Solver {
         Solver::default()
+    }
+
+    /// Enables the blasted-CNF memo. Idempotent: an already-populated memo
+    /// is kept.
+    pub fn enable_blast_memo(&mut self) {
+        if self.blast_memo.is_none() {
+            self.blast_memo = Some(BlastCache::new());
+        }
+    }
+
+    /// Cumulative reuse counters (zeros when reuse is off).
+    pub fn reuse_stats(&self) -> ReuseStats {
+        ReuseStats {
+            blast_hits: self.blast_memo.as_ref().map_or(0, BlastCache::hits),
+            blast_misses: self.blast_memo.as_ref().map_or(0, BlastCache::misses),
+            assumption_reuses: self.assumption_reuses,
+        }
     }
 
     /// Adds an assertion.
@@ -206,6 +296,11 @@ impl Solver {
         self.ctx.clear();
         self.assertions.clear();
         self.last_stats = CheckStats::default();
+        // Term ids are invalidated by the clear, so any warm incremental
+        // session dies with them — but the blasted-CNF memo is keyed by
+        // structural hash, not term id, and deliberately survives: reusing
+        // blasts across recycles is its whole purpose.
+        self.inc.clear();
     }
 
     /// The current assertions.
@@ -227,7 +322,11 @@ impl Solver {
         let mut sat = SatSolver::new();
         let mut blaster = BitBlaster::new(&self.ctx, &mut sat);
         for &assertion in &self.assertions {
-            if let Err(err) = blaster.assert(assertion) {
+            let blasted = match &mut self.blast_memo {
+                Some(memo) => blaster.assert_with_cache(assertion, memo),
+                None => blaster.assert(assertion),
+            };
+            if let Err(err) = blasted {
                 // An ill-sorted query is inconclusive, not fatal: batch
                 // workers treat it like a timeout and move on.
                 return CheckResult::Unknown(err.to_string());
@@ -262,24 +361,171 @@ impl Solver {
                 budget.max_conflicts
             )),
             SatResult::Sat => {
-                let mut model = Model::default();
-                for (name, bits) in &var_bits {
-                    let mut value: u64 = 0;
-                    for (i, lit) in bits.iter().enumerate() {
-                        if sat.model_value(lit.var()) ^ lit.is_neg() {
-                            value |= 1 << i;
-                        }
-                    }
-                    model.values.insert(name.clone(), value);
-                    model.widths.insert(name.clone(), bits.len() as u32);
-                }
-                for (name, lit) in &var_bools {
-                    model
-                        .bools
-                        .insert(name.clone(), sat.model_value(lit.var()) ^ lit.is_neg());
-                }
-                CheckResult::Sat(Box::new(model))
+                CheckResult::Sat(Box::new(extract_model(&sat, &var_bits, &var_bools)))
             }
+        }
+    }
+
+    /// Begins an incremental session under `key`: blasts the current
+    /// assertions (the scalar-side context, in the verifier) into a
+    /// persistent SAT instance that later [`Solver::check_assuming`] calls
+    /// with the same key extend. An existing session under the key is
+    /// replaced; the oldest session is evicted beyond a small cap.
+    /// Ill-sorted assertions surface as an error and leave the solver
+    /// without a session under the key.
+    pub fn begin_incremental(&mut self, key: u64) -> Result<(), String> {
+        self.inc.retain(|(k, _)| *k != key);
+        let mut sat = SatSolver::new();
+        let mut blaster = BitBlaster::new(&self.ctx, &mut sat);
+        for &assertion in &self.assertions {
+            let blasted = match &mut self.blast_memo {
+                Some(memo) => blaster.assert_with_cache(assertion, memo),
+                None => blaster.assert(assertion),
+            };
+            if let Err(err) = blasted {
+                return Err(err.to_string());
+            }
+        }
+        let blast = blaster.into_state();
+        let base_clauses = sat.num_clauses();
+        self.inc.push((
+            key,
+            IncSession {
+                sat,
+                blast,
+                base_clauses,
+            },
+        ));
+        if self.inc.len() > MAX_INC_SESSIONS {
+            self.inc.remove(0);
+        }
+        Ok(())
+    }
+
+    /// `true` while a warm incremental session is loaded under `key`.
+    pub fn has_incremental_session(&self, key: u64) -> bool {
+        self.inc.iter().any(|(k, _)| *k == key)
+    }
+
+    /// Drops every incremental session, keeping context and memo.
+    pub fn end_incremental(&mut self) {
+        self.inc.clear();
+    }
+
+    /// Checks satisfiability of the keyed session's assertions ∧ `formula`
+    /// on the warm incremental instance, then retracts `formula`.
+    ///
+    /// `formula` is blasted into the persistent instance (sharing every
+    /// already-encoded subterm), guarded behind a fresh activation literal,
+    /// and solved under that single assumption; afterwards a unit clause
+    /// retires the activation literal for good. Without a session under
+    /// `key` this falls back to a one-shot [`Solver::check`] of the
+    /// solver's current assertions ∧ `formula`.
+    ///
+    /// The clause budget is applied to `base + delta` — the scalar-side
+    /// clauses plus the clauses this query added — so accumulation from
+    /// earlier (retired) candidates does not eat later candidates' budgets.
+    pub fn check_assuming(
+        &mut self,
+        key: u64,
+        formula: TermId,
+        budget: &SolverBudget,
+    ) -> CheckResult {
+        let Some(pos) = self.inc.iter().position(|(k, _)| *k == key) else {
+            self.assertions.push(formula);
+            let result = self.check(budget);
+            self.assertions.pop();
+            return result;
+        };
+        let (_, session) = self.inc.remove(pos);
+        let IncSession {
+            mut sat,
+            blast,
+            base_clauses,
+        } = session;
+        let clauses_before = sat.num_clauses();
+        let mut blaster = BitBlaster::resume(&self.ctx, &mut sat, blast);
+        let blasted = blaster.blast(formula).and_then(|bits| bits.try_bool());
+        let blast = blaster.into_state();
+        let lit = match blasted {
+            Ok(lit) => lit,
+            Err(err) => {
+                self.inc.push((
+                    key,
+                    IncSession {
+                        sat,
+                        blast,
+                        base_clauses,
+                    },
+                ));
+                return CheckResult::Unknown(err.to_string());
+            }
+        };
+        let act = Lit::pos(sat.new_var());
+        sat.add_clause(&[act.negate(), lit]);
+
+        let effective_clauses = base_clauses + (sat.num_clauses() - clauses_before);
+        self.last_stats = CheckStats {
+            cnf_vars: sat.num_vars(),
+            cnf_clauses: effective_clauses,
+            ..CheckStats::default()
+        };
+        let result = if effective_clauses > budget.max_clauses {
+            CheckResult::Unknown(format!(
+                "bit-blasting produced {} clauses, exceeding the budget of {}",
+                effective_clauses, budget.max_clauses
+            ))
+        } else {
+            let sat_result = sat.solve_with_assumptions(
+                &SatBudget {
+                    max_conflicts: budget.max_conflicts,
+                },
+                &[act],
+            );
+            self.last_stats.conflicts = sat.stats.conflicts;
+            self.last_stats.decisions = sat.stats.decisions;
+            match sat_result {
+                SatResult::Unsat => CheckResult::Unsat,
+                SatResult::Unknown => CheckResult::Unknown(format!(
+                    "solver exhausted its budget of {} conflicts",
+                    budget.max_conflicts
+                )),
+                SatResult::Sat => CheckResult::Sat(Box::new(extract_model(
+                    &sat,
+                    blast.var_bits(),
+                    blast.var_bools(),
+                ))),
+            }
+        };
+        // Pop: drop the assumption decisions and permanently satisfy the
+        // guard, so this candidate's constraints can never fire again.
+        sat.reset_to_root();
+        sat.add_clause(&[act.negate()]);
+        self.assumption_reuses += 1;
+        self.inc.push((
+            key,
+            IncSession {
+                sat,
+                blast,
+                base_clauses,
+            },
+        ));
+        result
+    }
+
+    /// [`Solver::check_validity`] on the warm incremental session: asks
+    /// [`Solver::check_assuming`] for a model of `¬formula`.
+    pub fn check_validity_assuming(
+        &mut self,
+        key: u64,
+        formula: TermId,
+        budget: &SolverBudget,
+    ) -> Validity {
+        let negated = self.ctx.not(formula);
+        match self.check_assuming(key, negated, budget) {
+            CheckResult::Unsat => Validity::Valid,
+            CheckResult::Sat(model) => Validity::Invalid(model),
+            CheckResult::Unknown(reason) => Validity::Unknown(reason),
         }
     }
 
@@ -298,6 +544,32 @@ impl Solver {
             CheckResult::Unknown(reason) => Validity::Unknown(reason),
         }
     }
+}
+
+/// Reads the satisfying assignment for every bound variable out of a `Sat`
+/// solver.
+fn extract_model(
+    sat: &SatSolver,
+    var_bits: &HashMap<String, Vec<Lit>>,
+    var_bools: &HashMap<String, Lit>,
+) -> Model {
+    let mut model = Model::default();
+    for (name, bits) in var_bits {
+        let mut value: u64 = 0;
+        for (i, lit) in bits.iter().enumerate() {
+            if sat.model_value(lit.var()) ^ lit.is_neg() {
+                value |= 1 << i;
+            }
+        }
+        model.values.insert(name.clone(), value);
+        model.widths.insert(name.clone(), bits.len() as u32);
+    }
+    for (name, lit) in var_bools {
+        model
+            .bools
+            .insert(name.clone(), sat.model_value(lit.var()) ^ lit.is_neg());
+    }
+    model
 }
 
 /// The result of a validity check (universally quantified over free variables).
@@ -483,6 +755,180 @@ mod tests {
         let (terms_recycled, second) = run(&mut solver);
         assert_eq!(terms_fresh, terms_recycled);
         assert_eq!(first, second);
+    }
+
+    /// Builds a small deterministic formula over `x`, `y` from an LCG
+    /// state: a comparison between affine combinations, occasionally
+    /// conjoined or negated. Cheap to solve (no multipliers on symbolic
+    /// operands) yet varied enough to hit Sat, Unsat and shared structure.
+    fn random_formula(ctx: &mut Context, state: &mut u64) -> TermId {
+        let mut next = |m: u64| {
+            *state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (*state >> 33) % m
+        };
+        let x = ctx.bv_var("x", 32);
+        let y = ctx.bv_var("y", 32);
+        let c1 = ctx.bv_const(next(64), 32);
+        let c2 = ctx.bv_const(next(64), 32);
+        let lhs = ctx.bv_add(x, c1);
+        let rhs = match next(3) {
+            0 => ctx.bv_add(y, c2),
+            1 => ctx.bv_sub(y, c2),
+            _ => c2,
+        };
+        let cmp = match next(3) {
+            0 => ctx.eq(lhs, rhs),
+            1 => ctx.bv_ult(lhs, rhs),
+            _ => ctx.bv_slt(lhs, rhs),
+        };
+        match next(4) {
+            0 => ctx.not(cmp),
+            1 => {
+                let ten = ctx.bv32(10);
+                let bound = ctx.bv_ult(y, ten);
+                ctx.and(cmp, bound)
+            }
+            _ => cmp,
+        }
+    }
+
+    /// Satellite property test: the incremental (assumption-based) verdict
+    /// equals a fresh solve of base ∧ candidate over random term sets.
+    #[test]
+    fn incremental_verdict_equals_fresh_solve() {
+        for seed in 0..12u64 {
+            let base_seed = seed.wrapping_mul(0x9e37_79b9) + 1;
+            let mut inc = Solver::new();
+            let mut state = base_seed;
+            let base = random_formula(&mut inc.ctx, &mut state);
+            inc.assert(base);
+            inc.begin_incremental(7).unwrap();
+            let cand_seed = state;
+            let mut cand_state = cand_seed;
+            for i in 0..6usize {
+                let cand = random_formula(&mut inc.ctx, &mut cand_state);
+                let warm = inc.check_assuming(7, cand, &SolverBudget::default());
+
+                // A fresh solver replaying the same construction order and
+                // solving base ∧ candidate from scratch.
+                let mut fresh = Solver::new();
+                let mut fresh_state = base_seed;
+                let fresh_base = random_formula(&mut fresh.ctx, &mut fresh_state);
+                fresh.assert(fresh_base);
+                let mut fresh_cand_state = cand_seed;
+                let mut fresh_cand = None;
+                for _ in 0..=i {
+                    fresh_cand = Some(random_formula(&mut fresh.ctx, &mut fresh_cand_state));
+                }
+                fresh.assert(fresh_cand.unwrap());
+                let cold = fresh.check(&SolverBudget::default());
+
+                match (&warm, &cold) {
+                    (CheckResult::Sat(_), CheckResult::Sat(_)) => {}
+                    (CheckResult::Unsat, CheckResult::Unsat) => {}
+                    other => panic!(
+                        "seed {} candidate {}: warm/cold verdicts diverge: {:?}",
+                        seed, i, other
+                    ),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn check_assuming_pops_candidate_constraints() {
+        let mut solver = Solver::new();
+        let x = solver.ctx.bv_var("x", 32);
+        let five = solver.ctx.bv32(5);
+        let six = solver.ctx.bv32(6);
+        let base = solver.ctx.eq(x, five);
+        solver.assert(base);
+        solver.begin_incremental(7).unwrap();
+
+        let contradiction = solver.ctx.eq(x, six);
+        assert!(solver
+            .check_assuming(7, contradiction, &SolverBudget::default())
+            .is_unsat());
+        // The contradictory candidate is retracted: the next query sees
+        // only the base again.
+        let consistent = solver.ctx.eq(x, five);
+        match solver.check_assuming(7, consistent, &SolverBudget::default()) {
+            CheckResult::Sat(model) => assert_eq!(model.value("x"), Some(5)),
+            other => panic!("expected sat after pop, got {:?}", other),
+        }
+        assert_eq!(solver.reuse_stats().assumption_reuses, 2);
+    }
+
+    #[test]
+    fn check_assuming_without_session_falls_back_to_one_shot() {
+        let mut solver = Solver::new();
+        let x = solver.ctx.bv_var("x", 32);
+        let five = solver.ctx.bv32(5);
+        let base = solver.ctx.eq(x, five);
+        solver.assert(base);
+        let six = solver.ctx.bv32(6);
+        let cand = solver.ctx.eq(x, six);
+        assert!(solver
+            .check_assuming(7, cand, &SolverBudget::default())
+            .is_unsat());
+        // The fallback must not leave the pushed candidate behind.
+        assert_eq!(solver.assertions().len(), 1);
+        assert!(solver.check(&SolverBudget::default()).is_sat());
+    }
+
+    #[test]
+    fn blast_memo_survives_recycle_and_replays() {
+        let mut solver = Solver::new();
+        solver.enable_blast_memo();
+        let run = |solver: &mut Solver| {
+            let x = solver.ctx.bv_var("x", 32);
+            let y = solver.ctx.bv_var("y", 32);
+            let sum = solver.ctx.bv_add(x, y);
+            let ten = solver.ctx.bv32(10);
+            let eq = solver.ctx.eq(sum, ten);
+            solver.assert(eq);
+            solver.check(&SolverBudget::default())
+        };
+        let first = run(&mut solver);
+        assert_eq!(solver.reuse_stats().blast_hits, 0);
+        solver.recycle();
+        let second = run(&mut solver);
+        assert_eq!(
+            solver.reuse_stats().blast_hits,
+            1,
+            "the re-built query must replay from the memo across recycle"
+        );
+        assert_eq!(first, second, "memo replay must not change the verdict");
+    }
+
+    #[test]
+    fn memoized_check_matches_unmemoized_check() {
+        let build = |solver: &mut Solver| {
+            let x = solver.ctx.bv_var("x", 32);
+            let y = solver.ctx.bv_var("y", 32);
+            let sum = solver.ctx.bv_add(x, y);
+            let diff = solver.ctx.bv_sub(x, y);
+            let ten = solver.ctx.bv32(10);
+            let four = solver.ctx.bv32(4);
+            let c1 = solver.ctx.eq(sum, ten);
+            let c2 = solver.ctx.eq(diff, four);
+            solver.assert(c1);
+            solver.assert(c2);
+        };
+        let mut plain = Solver::new();
+        build(&mut plain);
+        let plain_result = plain.check(&SolverBudget::default());
+
+        let mut memoized = Solver::new();
+        memoized.enable_blast_memo();
+        build(&mut memoized);
+        let warmup = memoized.check(&SolverBudget::default());
+        let replayed = memoized.check(&SolverBudget::default());
+        assert_eq!(plain_result, warmup);
+        assert_eq!(plain_result, replayed);
+        assert!(memoized.reuse_stats().blast_hits > 0);
     }
 
     #[test]

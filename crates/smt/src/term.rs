@@ -147,7 +147,7 @@ pub struct Context {
     table: HashMap<u64, Vec<TermId>>,
 }
 
-const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+pub(crate) const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
 const FNV_PRIME: u64 = 0x100_0000_01b3;
 
 fn fnv_bytes(mut hash: u64, bytes: &[u8]) -> u64 {
@@ -217,6 +217,143 @@ fn hash_key(op: &Op, args: &[TermId]) -> u64 {
         hash = fnv_u64(hash, u64::from(arg.0));
     }
     hash
+}
+
+/// The operator discriminant byte shared by the interner hash and the
+/// structural hash (variables and constants add payload bytes after it).
+fn op_code(op: &Op) -> u8 {
+    match op {
+        Op::BoolConst(_) => 1,
+        Op::BvConst { .. } => 2,
+        Op::Var { .. } => 3,
+        Op::Not => 4,
+        Op::And => 5,
+        Op::Or => 6,
+        Op::Xor => 7,
+        Op::Implies => 8,
+        Op::Ite => 9,
+        Op::Eq => 10,
+        Op::BvAdd => 11,
+        Op::BvSub => 12,
+        Op::BvMul => 13,
+        Op::BvNeg => 14,
+        Op::BvAnd => 15,
+        Op::BvOr => 16,
+        Op::BvXor => 17,
+        Op::BvNot => 18,
+        Op::BvShl => 19,
+        Op::BvLshr => 20,
+        Op::BvAshr => 21,
+        Op::BvUdiv => 22,
+        Op::BvUrem => 23,
+        Op::BvSdiv => 24,
+        Op::BvSrem => 25,
+        Op::BvUlt => 26,
+        Op::BvSlt => 27,
+        Op::BvSle => 28,
+    }
+}
+
+/// Structural hash of a term DAG, insensitive to variable *names* but
+/// sensitive to everything that affects bit-blasting: operators, constants,
+/// widths, argument order, and sharing.
+///
+/// Variables hash as their sort plus their position in the canonical
+/// first-occurrence numbering induced by a pre-order left-to-right walk
+/// (the same numbering `lv_cir::structural_hash` uses for value slots), so
+/// `x + y` and `p + q` collide while `x + y` and `x + x` do not: a revisited
+/// node — variable or shared subterm — emits a back-reference to its visit
+/// index instead of being re-walked. The walk is linear in the DAG size.
+///
+/// This is the memo key for [`crate::bitblast::BlastCache`]: two roots with
+/// equal structural hashes blast to literally the same clause stream modulo
+/// a uniform renaming of SAT variables.
+pub fn structural_hash(ctx: &Context, root: TermId) -> u64 {
+    structural_hash_seeded(ctx, root, FNV_OFFSET)
+}
+
+/// [`structural_hash`] from an arbitrary seed. The blast cache uses a second
+/// seed as a collision check, and callers hashing several roots into one key
+/// chain them through the seed.
+pub(crate) fn structural_hash_seeded(ctx: &Context, root: TermId, seed: u64) -> u64 {
+    structural_hash_pair(ctx, root, seed, seed).0
+}
+
+/// Two independently seeded [`structural_hash`]es from a single DAG walk —
+/// each accumulator is fed the identical byte stream, so the results equal
+/// two separate [`structural_hash_seeded`] calls at half the walk cost. The
+/// blast cache hashes every assertion root on the hot path, so the walk is
+/// what the memo's lookup overhead amounts to.
+pub(crate) fn structural_hash_pair(
+    ctx: &Context,
+    root: TermId,
+    seed_a: u64,
+    seed_b: u64,
+) -> (u64, u64) {
+    let mut a = seed_a;
+    let mut b = seed_b;
+    let feed_bytes = |a: &mut u64, b: &mut u64, bytes: &[u8]| {
+        *a = fnv_bytes(*a, bytes);
+        *b = fnv_bytes(*b, bytes);
+    };
+    let feed_u64 = |a: &mut u64, b: &mut u64, value: u64| {
+        *a = fnv_u64(*a, value);
+        *b = fnv_u64(*b, value);
+    };
+    let mut visited: HashMap<TermId, u32> = HashMap::new();
+    let mut stack = vec![root];
+    while let Some(id) = stack.pop() {
+        if let Some(&index) = visited.get(&id) {
+            feed_bytes(&mut a, &mut b, &[0xff]);
+            feed_u64(&mut a, &mut b, u64::from(index));
+            continue;
+        }
+        visited.insert(id, visited.len() as u32);
+        let term = ctx.term(id);
+        feed_bytes(&mut a, &mut b, &[op_code(&term.op)]);
+        match &term.op {
+            Op::BoolConst(flag) => feed_bytes(&mut a, &mut b, &[u8::from(*flag)]),
+            Op::BvConst { value, width } => {
+                feed_u64(&mut a, &mut b, *value);
+                feed_u64(&mut a, &mut b, u64::from(*width));
+            }
+            // No name bytes: alpha-insensitivity is the point. The sort
+            // carries the width, and the back-reference mechanism gives
+            // each variable its first-occurrence index.
+            Op::Var { sort, .. } => feed_u64(&mut a, &mut b, sort_code(*sort)),
+            _ => {}
+        }
+        feed_u64(&mut a, &mut b, sort_code(term.sort));
+        feed_u64(&mut a, &mut b, term.args.len() as u64);
+        for &arg in term.args.iter().rev() {
+            stack.push(arg);
+        }
+    }
+    (a, b)
+}
+
+/// The distinct variables reachable from `root`, in the canonical
+/// first-occurrence order of the [`structural_hash`] walk — the order in
+/// which a bit-blast of `root` into a fresh solver first materializes each
+/// variable's literals. Blast-cache replay binds a hit's recorded input
+/// slots to the new root's variables positionally via this list.
+pub(crate) fn vars_in_order(ctx: &Context, root: TermId) -> Vec<TermId> {
+    let mut vars = Vec::new();
+    let mut visited: std::collections::HashSet<TermId> = std::collections::HashSet::new();
+    let mut stack = vec![root];
+    while let Some(id) = stack.pop() {
+        if !visited.insert(id) {
+            continue;
+        }
+        let term = ctx.term(id);
+        if matches!(term.op, Op::Var { .. }) {
+            vars.push(id);
+        }
+        for &arg in term.args.iter().rev() {
+            stack.push(arg);
+        }
+    }
+    vars
 }
 
 impl Context {
@@ -825,5 +962,102 @@ mod tests {
         let s = ctx.display(e);
         assert!(s.contains("bvadd"), "{}", s);
         assert!(s.contains('x'), "{}", s);
+    }
+
+    #[test]
+    fn structural_hash_is_rename_invariant() {
+        let mut ctx = Context::new();
+        let x = ctx.bv_var("x", 32);
+        let y = ctx.bv_var("y", 32);
+        let xy = ctx.bv_add(x, y);
+        let p = ctx.bv_var("p", 32);
+        let q = ctx.bv_var("q", 32);
+        let pq = ctx.bv_add(p, q);
+        assert_eq!(structural_hash(&ctx, xy), structural_hash(&ctx, pq));
+
+        // Larger DAG with sharing: (x*y) + (x*y) under two namings.
+        let m1 = ctx.bv_mul(x, y);
+        let s1 = ctx.bv_add(m1, m1);
+        let m2 = ctx.bv_mul(p, q);
+        let s2 = ctx.bv_add(m2, m2);
+        assert_eq!(structural_hash(&ctx, s1), structural_hash(&ctx, s2));
+    }
+
+    #[test]
+    fn structural_hash_distinguishes_sharing_patterns() {
+        let mut ctx = Context::new();
+        let x = ctx.bv_var("x", 32);
+        let y = ctx.bv_var("y", 32);
+        let xy = ctx.bv_add(x, y);
+        let xx = ctx.bv_add(x, x);
+        assert_ne!(structural_hash(&ctx, xy), structural_hash(&ctx, xx));
+    }
+
+    #[test]
+    fn structural_hash_is_constant_sensitive() {
+        let mut ctx = Context::new();
+        let x = ctx.bv_var("x", 32);
+        let one = ctx.bv32(1);
+        let two = ctx.bv32(2);
+        let a = ctx.bv_add(x, one);
+        let b = ctx.bv_add(x, two);
+        assert_ne!(structural_hash(&ctx, a), structural_hash(&ctx, b));
+    }
+
+    #[test]
+    fn structural_hash_is_operator_sensitive() {
+        let mut ctx = Context::new();
+        let x = ctx.bv_var("x", 32);
+        let y = ctx.bv_var("y", 32);
+        let add = ctx.bv_add(x, y);
+        let sub = ctx.bv_sub(x, y);
+        let mul = ctx.bv_mul(x, y);
+        assert_ne!(structural_hash(&ctx, add), structural_hash(&ctx, sub));
+        assert_ne!(structural_hash(&ctx, add), structural_hash(&ctx, mul));
+    }
+
+    #[test]
+    fn structural_hash_is_width_sensitive() {
+        let mut ctx = Context::new();
+        let x32 = ctx.bv_var("x", 32);
+        let y32 = ctx.bv_var("y", 32);
+        let a32 = ctx.bv_add(x32, y32);
+        let x8 = ctx.bv_var("p", 8);
+        let y8 = ctx.bv_var("q", 8);
+        let a8 = ctx.bv_add(x8, y8);
+        assert_ne!(structural_hash(&ctx, a32), structural_hash(&ctx, a8));
+    }
+
+    #[test]
+    fn structural_hash_is_context_independent() {
+        // The same structure built in two different contexts (with different
+        // term-id layouts) hashes identically — the memo key must survive
+        // `Context::clear` and compare across recycled solvers.
+        let mut ctx1 = Context::new();
+        let pad = ctx1.bv_var("pad", 16);
+        let _ = ctx1.bv_not(pad);
+        let x1 = ctx1.bv_var("x", 32);
+        let y1 = ctx1.bv_var("y", 32);
+        let e1 = ctx1.bv_mul(x1, y1);
+        let mut ctx2 = Context::new();
+        let x2 = ctx2.bv_var("a", 32);
+        let y2 = ctx2.bv_var("b", 32);
+        let e2 = ctx2.bv_mul(x2, y2);
+        assert_eq!(structural_hash(&ctx1, e1), structural_hash(&ctx2, e2));
+    }
+
+    #[test]
+    fn vars_in_order_follows_first_occurrence() {
+        let mut ctx = Context::new();
+        let x = ctx.bv_var("x", 32);
+        let y = ctx.bv_var("y", 32);
+        let z = ctx.bv_var("z", 32);
+        let yz = ctx.bv_add(y, z);
+        let e = ctx.bv_mul(yz, x);
+        let order = vars_in_order(&ctx, e);
+        assert_eq!(order, vec![y, z, x]);
+        // Repeats collapse to the first occurrence.
+        let e2 = ctx.bv_add(e, y);
+        assert_eq!(vars_in_order(&ctx, e2), vec![y, z, x]);
     }
 }

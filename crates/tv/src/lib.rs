@@ -57,5 +57,5 @@ pub use verify::{
     alignment_assumption, check_equivalence_symbolic, check_with_alive2_unroll,
     check_with_alive2_unroll_in, check_with_c_unroll, check_with_c_unroll_in,
     check_with_spatial_splitting, check_with_spatial_splitting_in, unroll_factor_of,
-    SymbolicStrategy, TvConfig, TvSession, TvSessionStats, TvStage, TvVerdict,
+    SymbolicStrategy, TvConfig, TvReuse, TvSession, TvSessionStats, TvStage, TvVerdict,
 };

@@ -25,15 +25,21 @@
 //!   (the concluding *stages* legitimately differ — that is the point);
 //! * a worker killed between batched flushes (`--flush-every 3`) loses at
 //!   most 2 buffered tail records, and recovery still merges the cache file
-//!   byte-identical to the single-process run.
+//!   byte-identical to the single-process run;
+//! * a **solver-reuse** 2-shard sweep (blast memo + incremental per-scalar
+//!   sessions + portfolio racing, carried to the workers through the
+//!   manifest) produces verdicts identical to the reuse-off single-process
+//!   run, with the merged report's reuse counters proving the warm sessions
+//!   actually ran.
 //!
 //! Exits non-zero (panics) on any violation.
 
 use llm_vectorizer_repro::agents::{fsm_candidate_batch, FsmConfig, LlmConfig, SyntheticLlm};
 use llm_vectorizer_repro::core::shard::run_worker_from_args;
 use llm_vectorizer_repro::core::{
-    run_sharded_sweep, BatchReport, CrossRunProfile, EngineConfig, FlushMode, FsyncPolicy, Job,
-    PipelineConfig, ShardPolicy, ShardStatus, StageSchedule, SweepConfig, VerdictCache, WorkerSpec,
+    run_sharded_sweep, BatchReport, CrossRunProfile, EngineConfig, EngineReuse, FlushMode,
+    FsyncPolicy, Job, PipelineConfig, ShardPolicy, ShardStatus, StageSchedule, SweepConfig,
+    VerdictCache, WorkerSpec,
 };
 use llm_vectorizer_repro::interp::ChecksumConfig;
 use llm_vectorizer_repro::tsvc::KERNELS;
@@ -410,9 +416,61 @@ fn main() {
         "batched-flush recovery must still yield a byte-identical merged cache file"
     );
 
+    println!("== solver-reuse 2-shard sweep: verdicts pinned to the reuse-off run ==");
+    // The reuse layers travel to the workers through the manifest; the
+    // incremental layer is a distinct cache configuration (warm sessions can
+    // conclude budget-capped queries a fresh solver cannot), so the merged
+    // cache keys never mix with the reuse-off ones.
+    let reuse_config = config.clone().with_reuse(EngineReuse::full());
+    assert_ne!(
+        reuse_config.semantic_fingerprint(),
+        config.semantic_fingerprint(),
+        "incremental reuse is a distinct cache configuration"
+    );
+    let reused = sharded(
+        &jobs,
+        &reuse_config,
+        dir.join("reuse"),
+        None,
+        FlushMode::default(),
+    );
+    for outcome in &reused.shards {
+        assert_eq!(outcome.status, ShardStatus::Completed);
+        assert_eq!(outcome.reported, outcome.planned);
+    }
+    // Verdict identity to the reuse-off single-process run. The concluding
+    // stage may only improve (learned clauses on a warm session can settle a
+    // budget-capped query), so stages and traces are not compared.
+    assert_eq!(single.jobs.len(), reused.report.jobs.len());
+    for (s, r) in single.jobs.iter().zip(&reused.report.jobs) {
+        assert_eq!(s.label, r.label, "reuse sweep: job order");
+        assert_eq!(
+            s.verdict, r.verdict,
+            "reuse sweep: verdict drifted for {}",
+            s.label
+        );
+        assert_eq!(
+            s.checksum, r.checksum,
+            "reuse sweep: checksum class drifted for {}",
+            s.label
+        );
+    }
+    // The counters round-tripped through the shard report exchange and show
+    // the workers really ran warm: at least one incremental session was
+    // revisited somewhere in the suite.
+    let totals = reused.report.reuse_totals();
+    println!(
+        "reuse counters: {} blast hits / {} misses, {} assumption reuses, {} escalations",
+        totals.blast_hits, totals.blast_misses, totals.assumption_reuses, totals.escalations
+    );
+    assert!(
+        totals.assumption_reuses > 0,
+        "the reuse-enabled workers must report warm-session activity"
+    );
+
     println!(
         "shard sweep OK: {} jobs, merged cache {} bytes, recovery re-ran {} + {} job(s), \
-         profile-guided schedule verified",
+         profile-guided schedule and solver-reuse sweep verified",
         jobs.len(),
         merged_bytes.len(),
         wounded.recovered.len(),

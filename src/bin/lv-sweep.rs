@@ -14,6 +14,7 @@
 //!          [--flush journal|rewrite] [--fsync compact|record]
 //!          [--flush-every N] [--profile PATH]
 //!          [--schedule default|profile|SPEC]
+//!          [--budget fixed|profile] [--reuse]
 //! lv-sweep compact FILE...
 //! ```
 //!
@@ -32,6 +33,17 @@
 //! profile has conclusive evidence, nothing else — budgets stay configured)
 //! from what previous runs recorded there. `--schedule` also accepts an
 //! explicit spec (`reduction=cunroll,alive2,splitting;...`) or `default`.
+//! `--budget profile` additionally derives tightened per-stage solver
+//! budgets from the same profile journal
+//! (`AdaptiveBudgetPolicy::derive_from_profile`) — no pilot slice needed;
+//! `fixed` (the default) keeps the configured budgets.
+//!
+//! `--reuse` turns on every solver-reuse layer (blasted-CNF memoization,
+//! incremental per-scalar sessions with scalar-affinity scheduling, and
+//! portfolio budget racing) in all shard workers. Verdicts are identical to
+//! a reuse-off sweep; the incremental layer perturbs the configuration
+//! fingerprint, so reuse-on and reuse-off sweeps keep separate cache
+//! entries.
 //!
 //! `compact` rewrites journal files into their canonical compact form:
 //! verdict-cache journals become the sorted snapshot
@@ -45,8 +57,9 @@
 
 use llm_vectorizer_repro::core::shard::{run_worker_from_args, ShardReportFile};
 use llm_vectorizer_repro::core::{
-    CacheBounds, CrossRunProfile, EngineConfig, Equivalence, FlushMode, FsyncPolicy, Job,
-    PipelineConfig, ShardPolicy, StageSchedule, SweepConfig, VerdictCache, WorkerSpec,
+    AdaptiveBudgetPolicy, CacheBounds, CrossRunProfile, EngineConfig, EngineReuse, Equivalence,
+    FlushMode, FsyncPolicy, Job, PipelineConfig, ShardPolicy, StageSchedule, SweepConfig,
+    VerdictCache, WorkerSpec,
 };
 use llm_vectorizer_repro::interp::ChecksumConfig;
 use llm_vectorizer_repro::tv::{SolverBudget, TvConfig};
@@ -157,6 +170,8 @@ fn main() -> ExitCode {
     let mut flush_every = 1usize;
     let mut profile: Option<PathBuf> = None;
     let mut schedule_arg = "default".to_string();
+    let mut budget_arg = "fixed".to_string();
+    let mut reuse = false;
 
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
@@ -220,6 +235,8 @@ fn main() -> ExitCode {
                 }
                 "--profile" => profile = Some(value("--profile")?.into()),
                 "--schedule" => schedule_arg = value("--schedule")?,
+                "--budget" => budget_arg = value("--budget")?,
+                "--reuse" => reuse = true,
                 other => {
                     return Err(format!(
                         "unknown argument `{}` (see the module docs)",
@@ -312,9 +329,58 @@ fn main() -> ExitCode {
         },
     };
 
+    // Resolve the solver budgets: `fixed` keeps the configured ones,
+    // `profile` derives tightened budgets from the cross-run profile's
+    // conclusive-effort evidence (stages without evidence keep their
+    // configured budget).
+    let pipeline = match budget_arg.as_str() {
+        "fixed" => pipeline,
+        "profile" => {
+            let Some(path) = &profile else {
+                return fail("--budget profile needs --profile <path>".to_string());
+            };
+            match CrossRunProfile::load(path) {
+                Ok(loaded) if loaded.is_empty() => {
+                    println!(
+                        "profile {} is empty; keeping configured budgets",
+                        path.display()
+                    );
+                    pipeline
+                }
+                Ok(loaded) => {
+                    let tuned =
+                        AdaptiveBudgetPolicy::default().derive_from_profile(&loaded, &pipeline.tv);
+                    println!(
+                        "budgets derived from {}: alive2 {} conflicts, cunroll {}, spatial {}",
+                        path.display(),
+                        tuned.alive2_budget.max_conflicts,
+                        tuned.cunroll_budget.max_conflicts,
+                        tuned.spatial_budget.max_conflicts
+                    );
+                    PipelineConfig {
+                        tv: tuned,
+                        ..pipeline
+                    }
+                }
+                Err(e) => return fail(format!("cannot load profile {}: {}", path.display(), e)),
+            }
+        }
+        other => {
+            return fail(format!(
+                "bad --budget `{}` (expected `fixed` or `profile`)",
+                other
+            ))
+        }
+    };
+
     let config = EngineConfig::full(pipeline)
         .with_threads(threads)
-        .with_schedule(schedule);
+        .with_schedule(schedule)
+        .with_reuse(if reuse {
+            EngineReuse::full()
+        } else {
+            EngineReuse::default()
+        });
 
     let worker = match WorkerSpec::current_exe() {
         Ok(worker) => worker,
@@ -341,12 +407,13 @@ fn main() -> ExitCode {
     };
 
     println!(
-        "sweeping {} jobs over {} shard process(es) ({}, {} flush, schedule {}), workdir {}",
+        "sweeping {} jobs over {} shard process(es) ({}, {} flush, schedule {}, reuse {}), workdir {}",
         jobs.len(),
         shards,
         policy.tag(),
         flush.tag(),
         config.schedule.spec(),
+        if reuse { "on" } else { "off" },
         workdir.display()
     );
     let swept = match llm_vectorizer_repro::core::run_sharded_sweep(&jobs, &config, &sweep) {
@@ -386,6 +453,13 @@ fn main() -> ExitCode {
         swept.evicted,
         swept.report.wall
     );
+    let totals = swept.report.reuse_totals();
+    if !totals.is_zero() {
+        println!(
+            "reuse: {} blast-cache hits / {} misses, {} assumption reuses, {} portfolio escalations",
+            totals.blast_hits, totals.blast_misses, totals.assumption_reuses, totals.escalations
+        );
+    }
     if let (Some(path), Some(delta)) = (&profile, &swept.profile_delta) {
         println!(
             "profile: appended {} cell delta(s) to {}",
