@@ -1,0 +1,302 @@
+//! Verdict-cache lookup cost across storage tiers: the legacy JSON
+//! snapshot (parsed eagerly into the hot `HashMap`) vs the binary `LVCS`
+//! snapshot (loaded zero-copy as the warm tier), with and without its bloom
+//! block, at 1k/10k/100k entries.
+//!
+//! All three arms drive the *real* product path — `VerdictCache::open`
+//! sniffs the file and `VerdictCache::get` answers through the tiers — and
+//! measure:
+//!
+//! * **open** — time to go from a closed file to a queryable cache. JSON
+//!   pays a full parse + `HashMap` build; the binary snapshot pays one
+//!   `read` plus the load-time validation walk.
+//! * **warm hit / warm miss** — per-lookup latency once open.
+//! * **cold negative** — the service-scale question: open + a small batch
+//!   of misses, amortized per miss. This is what a coordinator consulting a
+//!   shared snapshot for keys it has never seen actually pays, and where
+//!   the bloom block keeps misses from touching index or payload bytes.
+//! * **resident bytes** — the binary tiers' owned buffer vs an estimate of
+//!   the JSON tier's `HashMap` footprint.
+//!
+//! Results are printed and written to `BENCH_7.json` (override with
+//! `BENCH_OUT`); set `LV_BENCH_QUICK=1` to drop the 100k size for CI smoke
+//! runs.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lv_core::cache::{CacheKey, CachedVerdict};
+use lv_core::pipeline::{Equivalence, Stage};
+use lv_core::{CacheSnapshot, VerdictCache};
+use lv_interp::ChecksumClass;
+use std::path::Path;
+use std::time::{Duration, Instant};
+
+/// Misses amortized into each cold-negative measurement. Small on purpose:
+/// the scenario is "a coordinator asks a shared snapshot about a handful of
+/// unseen keys", where open cost dominates unless the tier is cheap to open.
+const COLD_LOOKUPS: usize = 64;
+
+fn mix(i: u64) -> u64 {
+    // splitmix64 finalizer: spread the sequential ids into realistic keys.
+    let mut x = i.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+fn sample_entries(n: usize) -> Vec<(CacheKey, CachedVerdict)> {
+    (0..n)
+        .map(|i| {
+            let i = i as u64;
+            let verdict = match i % 16 {
+                0 => Equivalence::Inconclusive,
+                1 | 2 => Equivalence::NotEquivalent,
+                _ => Equivalence::Equivalent,
+            };
+            (
+                CacheKey {
+                    scalar: mix(i),
+                    candidate: mix(i ^ 0xabcd_ef01),
+                    config: 0xfeed_beef_cafe_f00d,
+                },
+                CachedVerdict {
+                    verdict,
+                    stage: Stage::CUnroll,
+                    detail: if verdict == Equivalence::Equivalent {
+                        String::new()
+                    } else {
+                        format!("a[{}]: expected 1 but the code produced 2", i % 100)
+                    },
+                    checksum: Some(ChecksumClass::Plausible),
+                },
+            )
+        })
+        .collect()
+}
+
+/// Keys guaranteed absent from [`sample_entries`] (different config hash).
+fn absent_keys(n: usize) -> Vec<CacheKey> {
+    (0..n)
+        .map(|i| {
+            let i = i as u64;
+            CacheKey {
+                scalar: mix(i ^ 0x5555_aaaa),
+                candidate: mix(i ^ 0x1234_5678),
+                config: 0x0bad_0bad_0bad_0bad,
+            }
+        })
+        .collect()
+}
+
+struct Arm {
+    tag: &'static str,
+    open_wall: Duration,
+    warm_hit: Duration,
+    warm_miss: Duration,
+    cold_neg: Duration,
+    resident_bytes: u64,
+}
+
+/// Estimated heap footprint of the JSON tier's `HashMap` representation.
+fn map_resident(cache: &VerdictCache, entries: &[(CacheKey, CachedVerdict)]) -> u64 {
+    let slot = std::mem::size_of::<(CacheKey, CachedVerdict)>() as u64 + 8;
+    let details: u64 = entries
+        .iter()
+        .map(|(_, v)| v.detail.capacity() as u64)
+        .sum();
+    cache.len() as u64 * slot + details
+}
+
+fn measure_arm(
+    tag: &'static str,
+    path: &Path,
+    entries: &[(CacheKey, CachedVerdict)],
+    misses: &[CacheKey],
+    binary_resident: Option<u64>,
+) -> Arm {
+    let start = Instant::now();
+    let cache = VerdictCache::open(path).expect("open");
+    let open_wall = start.elapsed();
+    assert_eq!(cache.len(), entries.len(), "{}: every entry visible", tag);
+
+    // Warm per-lookup latency over a fixed probe set.
+    let probes = entries.len().min(10_000);
+    let start = Instant::now();
+    for (key, _) in &entries[..probes] {
+        assert!(cache.get(key).is_some(), "{}: present key must hit", tag);
+    }
+    let warm_hit = start.elapsed() / probes as u32;
+    let start = Instant::now();
+    for key in &misses[..misses.len().min(probes)] {
+        assert!(cache.get(key).is_none(), "{}: absent key must miss", tag);
+    }
+    let warm_miss = start.elapsed() / misses.len().min(probes) as u32;
+    let resident_bytes = binary_resident.unwrap_or_else(|| map_resident(&cache, entries));
+    drop(cache);
+
+    // Cold negative: open + a small miss batch, amortized per miss.
+    let start = Instant::now();
+    let cold = VerdictCache::open(path).expect("open");
+    for key in &misses[..COLD_LOOKUPS] {
+        assert!(cold.get(key).is_none());
+    }
+    let cold_neg = start.elapsed() / COLD_LOOKUPS as u32;
+
+    Arm {
+        tag,
+        open_wall,
+        warm_hit,
+        warm_miss,
+        cold_neg,
+        resident_bytes,
+    }
+}
+
+fn measure(dir: &Path, n: usize) -> Vec<Arm> {
+    let entries = sample_entries(n);
+    let misses = absent_keys(10_000.max(COLD_LOOKUPS));
+
+    let json_path = dir.join(format!("cache-{}.json", n));
+    let json = VerdictCache::open(&json_path).expect("json cache");
+    for (key, verdict) in &entries {
+        json.insert(*key, verdict.clone());
+    }
+    json.persist().expect("json persist");
+    drop(json);
+
+    let bin_path = dir.join(format!("cache-{}.lvcs", n));
+    CacheSnapshot::write_file(&bin_path, &entries, false, false).expect("binary snapshot");
+    let bin_resident = CacheSnapshot::open(&bin_path)
+        .expect("reopen")
+        .resident_bytes() as u64;
+
+    let bloom_path = dir.join(format!("cache-{}.bloom.lvcs", n));
+    CacheSnapshot::write_file(&bloom_path, &entries, true, false).expect("bloom snapshot");
+    let bloom_resident = CacheSnapshot::open(&bloom_path)
+        .expect("reopen")
+        .resident_bytes() as u64;
+
+    vec![
+        measure_arm("json", &json_path, &entries, &misses, None),
+        measure_arm("binary", &bin_path, &entries, &misses, Some(bin_resident)),
+        measure_arm(
+            "binary+bloom",
+            &bloom_path,
+            &entries,
+            &misses,
+            Some(bloom_resident),
+        ),
+    ]
+}
+
+fn bench(c: &mut Criterion) {
+    let dir = std::env::temp_dir().join(format!("lv-cache-lookup-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let quick = std::env::var("LV_BENCH_QUICK").is_ok();
+    let sizes: &[usize] = if quick {
+        &[1_000, 10_000]
+    } else {
+        &[1_000, 10_000, 100_000]
+    };
+
+    println!("\n=== cache_lookup: JSON snapshot vs binary snapshot vs binary+bloom ===");
+    let mut rows = Vec::new();
+    for &n in sizes {
+        let arms = measure(&dir, n);
+        println!("{} entries:", n);
+        for arm in &arms {
+            println!(
+                "  {:>12}: open {:>9.3?} | warm hit {:>8.1?} | warm miss {:>8.1?} | \
+                 cold neg {:>9.3?}/lookup | resident {:>9} B",
+                arm.tag,
+                arm.open_wall,
+                arm.warm_hit,
+                arm.warm_miss,
+                arm.cold_neg,
+                arm.resident_bytes
+            );
+        }
+        let json_arm = &arms[0];
+        let bloom_arm = &arms[2];
+        println!(
+            "  binary+bloom vs json: {:.1}x faster open, {:.1}x faster cold negative",
+            json_arm.open_wall.as_secs_f64() / bloom_arm.open_wall.as_secs_f64(),
+            json_arm.cold_neg.as_secs_f64() / bloom_arm.cold_neg.as_secs_f64(),
+        );
+        rows.push((n, arms));
+    }
+
+    // Emit the machine-readable data point for the repo's perf trajectory.
+    let out =
+        std::env::var("BENCH_OUT").unwrap_or_else(|_| match std::env::var("CARGO_MANIFEST_DIR") {
+            Ok(pkg) => format!("{}/../../BENCH_7.json", pkg),
+            Err(_) => "BENCH_7.json".to_string(),
+        });
+    let mut json = String::from(
+        "{\"bench\":\"cache_lookup\",\
+         \"compares\":\"JSON snapshot vs binary snapshot vs binary+bloom \
+         (open, warm hit/miss, cold negative amortized over 64 lookups, resident bytes)\",\
+         \"sizes\":[",
+    );
+    for (i, (n, arms)) in rows.iter().enumerate() {
+        if i > 0 {
+            json.push(',');
+        }
+        json.push_str(&format!("{{\"entries\":{},\"arms\":[", n));
+        for (j, arm) in arms.iter().enumerate() {
+            if j > 0 {
+                json.push(',');
+            }
+            json.push_str(&format!(
+                "{{\"tier\":\"{}\",\"open_us\":{},\"warm_hit_ns\":{},\"warm_miss_ns\":{},\
+                 \"cold_negative_ns\":{},\"resident_bytes\":{}}}",
+                arm.tag,
+                arm.open_wall.as_micros(),
+                arm.warm_hit.as_nanos(),
+                arm.warm_miss.as_nanos(),
+                arm.cold_neg.as_nanos(),
+                arm.resident_bytes,
+            ));
+        }
+        let json_arm = &arms[0];
+        let bloom_arm = &arms[2];
+        json.push_str(&format!(
+            "],\"open_speedup_x\":{:.2},\"negative_lookup_speedup_x\":{:.2}}}",
+            json_arm.open_wall.as_secs_f64() / bloom_arm.open_wall.as_secs_f64(),
+            json_arm.cold_neg.as_secs_f64() / bloom_arm.cold_neg.as_secs_f64(),
+        ));
+    }
+    json.push_str("]}\n");
+    std::fs::write(&out, json).expect("write bench JSON");
+    println!("wrote {}", out);
+
+    // Criterion loops over the mid size, per-open and per-cold-negative.
+    let loop_entries = sample_entries(10_000);
+    let loop_misses = absent_keys(COLD_LOOKUPS);
+    let json_path = dir.join("cache-10000.json");
+    let bloom_path = dir.join("cache-10000.bloom.lvcs");
+    assert!(json_path.exists() && bloom_path.exists());
+    c.bench_function("cache_open_json_10k", |b| {
+        b.iter(|| VerdictCache::open(&json_path).expect("open").len())
+    });
+    c.bench_function("cache_open_binary_bloom_10k", |b| {
+        b.iter(|| VerdictCache::open(&bloom_path).expect("open").len())
+    });
+    c.bench_function("cache_cold_negative_binary_bloom_10k", |b| {
+        b.iter(|| {
+            let cache = VerdictCache::open(&bloom_path).expect("open");
+            loop_misses
+                .iter()
+                .filter(|key| cache.get(key).is_some())
+                .count()
+        })
+    });
+    drop(loop_entries);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(3);
+    targets = bench
+}
+criterion_main!(benches);

@@ -704,3 +704,242 @@ pub mod json {
         }
     }
 }
+
+pub mod bin {
+    //! Little-endian binary codec primitives: the counterpart of
+    //! [`crate::json`] for the compact on-disk formats.
+    //!
+    //! Two halves, mirroring `Emitter`/`parse`:
+    //!
+    //! * the `put_*` functions append fixed-width little-endian integers,
+    //!   LEB128 varints, and varint-length-prefixed byte strings to a
+    //!   `Vec<u8>` (infallible — the scratch-buffer append path the binary
+    //!   journal and snapshot writers stream through);
+    //! * [`Reader`] is a bounds-checked cursor over a byte slice decoding
+    //!   the same primitives, returning `Err(String)` — never panicking,
+    //!   never reading past the slice — so corrupt input surfaces as a
+    //!   typed decode error.
+    //!
+    //! All multi-byte integers are little-endian. Varints are unsigned
+    //! LEB128 (7 bits per byte, high bit = continuation), at most 10 bytes.
+
+    /// Appends `v` as one byte.
+    pub fn put_u8(buf: &mut Vec<u8>, v: u8) {
+        buf.push(v);
+    }
+
+    /// Appends `v` as 4 little-endian bytes.
+    pub fn put_u32(buf: &mut Vec<u8>, v: u32) {
+        buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends `v` as 8 little-endian bytes.
+    pub fn put_u64(buf: &mut Vec<u8>, v: u64) {
+        buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends `v` as an unsigned LEB128 varint (1–10 bytes).
+    pub fn put_varint(buf: &mut Vec<u8>, mut v: u64) {
+        loop {
+            let byte = (v & 0x7f) as u8;
+            v >>= 7;
+            if v == 0 {
+                buf.push(byte);
+                return;
+            }
+            buf.push(byte | 0x80);
+        }
+    }
+
+    /// Appends `bytes` prefixed by its varint length.
+    pub fn put_bytes(buf: &mut Vec<u8>, bytes: &[u8]) {
+        put_varint(buf, bytes.len() as u64);
+        buf.extend_from_slice(bytes);
+    }
+
+    /// Appends `s`'s UTF-8 bytes prefixed by their varint length.
+    pub fn put_str(buf: &mut Vec<u8>, s: &str) {
+        put_bytes(buf, s.as_bytes());
+    }
+
+    /// Reads a `u32` from 4 little-endian bytes at `offset`, if in bounds.
+    pub fn read_u32_at(bytes: &[u8], offset: usize) -> Option<u32> {
+        let end = offset.checked_add(4)?;
+        let slice = bytes.get(offset..end)?;
+        Some(u32::from_le_bytes(slice.try_into().unwrap()))
+    }
+
+    /// Reads a `u64` from 8 little-endian bytes at `offset`, if in bounds.
+    pub fn read_u64_at(bytes: &[u8], offset: usize) -> Option<u64> {
+        let end = offset.checked_add(8)?;
+        let slice = bytes.get(offset..end)?;
+        Some(u64::from_le_bytes(slice.try_into().unwrap()))
+    }
+
+    /// A bounds-checked decoding cursor over a byte slice.
+    #[derive(Debug, Clone)]
+    pub struct Reader<'a> {
+        bytes: &'a [u8],
+        pos: usize,
+    }
+
+    impl<'a> Reader<'a> {
+        /// A cursor at the start of `bytes`.
+        pub fn new(bytes: &'a [u8]) -> Reader<'a> {
+            Reader { bytes, pos: 0 }
+        }
+
+        /// Bytes left to read.
+        pub fn remaining(&self) -> usize {
+            self.bytes.len() - self.pos
+        }
+
+        /// `true` once every byte has been consumed.
+        pub fn is_empty(&self) -> bool {
+            self.remaining() == 0
+        }
+
+        /// The cursor's byte offset from the start of the slice.
+        pub fn pos(&self) -> usize {
+            self.pos
+        }
+
+        /// Takes the next `n` raw bytes.
+        pub fn bytes(&mut self, n: usize) -> Result<&'a [u8], String> {
+            let end = self
+                .pos
+                .checked_add(n)
+                .filter(|&end| end <= self.bytes.len())
+                .ok_or_else(|| {
+                    format!(
+                        "truncated input: need {} bytes at offset {}, have {}",
+                        n,
+                        self.pos,
+                        self.remaining()
+                    )
+                })?;
+            let slice = &self.bytes[self.pos..end];
+            self.pos = end;
+            Ok(slice)
+        }
+
+        /// Decodes one byte.
+        pub fn u8(&mut self) -> Result<u8, String> {
+            Ok(self.bytes(1)?[0])
+        }
+
+        /// Decodes 4 little-endian bytes.
+        pub fn u32(&mut self) -> Result<u32, String> {
+            Ok(u32::from_le_bytes(self.bytes(4)?.try_into().unwrap()))
+        }
+
+        /// Decodes 8 little-endian bytes.
+        pub fn u64(&mut self) -> Result<u64, String> {
+            Ok(u64::from_le_bytes(self.bytes(8)?.try_into().unwrap()))
+        }
+
+        /// Decodes an unsigned LEB128 varint.
+        pub fn varint(&mut self) -> Result<u64, String> {
+            let mut value = 0u64;
+            let mut shift = 0u32;
+            loop {
+                let byte = self.u8().map_err(|e| format!("truncated varint: {}", e))?;
+                if shift == 63 && byte > 1 {
+                    return Err("varint overflows u64".to_string());
+                }
+                value |= u64::from(byte & 0x7f) << shift;
+                if byte & 0x80 == 0 {
+                    return Ok(value);
+                }
+                shift += 7;
+                if shift > 63 {
+                    return Err("varint longer than 10 bytes".to_string());
+                }
+            }
+        }
+
+        /// Decodes a varint-length-prefixed byte string.
+        pub fn length_prefixed(&mut self) -> Result<&'a [u8], String> {
+            let len = self.varint()?;
+            let len =
+                usize::try_from(len).map_err(|_| "length prefix overflows usize".to_string())?;
+            self.bytes(len)
+        }
+
+        /// Decodes a varint-length-prefixed UTF-8 string.
+        pub fn str(&mut self) -> Result<&'a str, String> {
+            std::str::from_utf8(self.length_prefixed()?)
+                .map_err(|e| format!("string field is not UTF-8: {}", e))
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn primitives_round_trip() {
+            let mut buf = Vec::new();
+            put_u8(&mut buf, 0xab);
+            put_u32(&mut buf, 0xdead_beef);
+            put_u64(&mut buf, u64::MAX - 1);
+            put_varint(&mut buf, 0);
+            put_varint(&mut buf, 127);
+            put_varint(&mut buf, 128);
+            put_varint(&mut buf, u64::MAX);
+            put_str(&mut buf, "héllo\n\"world\"");
+            let mut r = Reader::new(&buf);
+            assert_eq!(r.u8().unwrap(), 0xab);
+            assert_eq!(r.u32().unwrap(), 0xdead_beef);
+            assert_eq!(r.u64().unwrap(), u64::MAX - 1);
+            assert_eq!(r.varint().unwrap(), 0);
+            assert_eq!(r.varint().unwrap(), 127);
+            assert_eq!(r.varint().unwrap(), 128);
+            assert_eq!(r.varint().unwrap(), u64::MAX);
+            assert_eq!(r.str().unwrap(), "héllo\n\"world\"");
+            assert!(r.is_empty());
+        }
+
+        #[test]
+        fn varint_sizes_are_minimal() {
+            for (v, len) in [(0u64, 1usize), (127, 1), (128, 2), (16_383, 2), (16_384, 3)] {
+                let mut buf = Vec::new();
+                put_varint(&mut buf, v);
+                assert_eq!(buf.len(), len, "varint({})", v);
+            }
+            let mut buf = Vec::new();
+            put_varint(&mut buf, u64::MAX);
+            assert_eq!(buf.len(), 10);
+        }
+
+        #[test]
+        fn truncation_and_overflow_are_errors_not_panics() {
+            let mut r = Reader::new(&[0x01, 0x02]);
+            assert!(r.u32().is_err());
+            let mut r = Reader::new(&[0x80, 0x80]);
+            assert!(r.varint().is_err(), "unterminated varint");
+            let eleven = [0xffu8; 11];
+            assert!(Reader::new(&eleven).varint().is_err(), "overlong varint");
+            // Length prefix pointing past the end of the slice.
+            let mut buf = Vec::new();
+            put_varint(&mut buf, 100);
+            buf.push(b'x');
+            assert!(Reader::new(&buf).length_prefixed().is_err());
+            // Non-UTF-8 string payload.
+            let mut buf = Vec::new();
+            put_bytes(&mut buf, &[0xff, 0xfe]);
+            assert!(Reader::new(&buf).str().is_err());
+        }
+
+        #[test]
+        fn random_access_reads_are_bounds_checked() {
+            let mut buf = Vec::new();
+            put_u32(&mut buf, 7);
+            put_u64(&mut buf, 9);
+            assert_eq!(read_u32_at(&buf, 0), Some(7));
+            assert_eq!(read_u64_at(&buf, 4), Some(9));
+            assert_eq!(read_u64_at(&buf, 5), None);
+            assert_eq!(read_u32_at(&buf, usize::MAX), None, "offset overflow");
+        }
+    }
+}

@@ -1,0 +1,334 @@
+//! The compact binary record codec and the binary cache-journal dialect.
+//!
+//! One cache record is the fixed-width key prefix followed by the verdict
+//! payload (see the [module docs](super) for the full byte layout):
+//!
+//! ```text
+//! [scalar u64 LE][candidate u64 LE][config u64 LE]   -- 24-byte key prefix
+//! [verdict u8][stage u8][checksum u8]                -- enum tags
+//! [detail varint length][detail UTF-8 bytes]         -- the only variable field
+//! ```
+//!
+//! The same record bytes are used as binary-journal frame payloads and,
+//! key-stripped (the key lives in the snapshot's index), as snapshot payload
+//! entries — one codec, two containers. Decoding is strict: unknown tags,
+//! truncated fields, non-UTF-8 details, and trailing bytes are all errors,
+//! never guesses, so a corrupt record can never produce a wrong verdict.
+
+use super::{CacheKey, CachedVerdict, CACHE_FORMAT_VERSION, CACHE_JOURNAL_KIND};
+use crate::pipeline::{Equivalence, Stage};
+use lv_interp::ChecksumClass;
+use serde::bin::{self, Reader};
+use std::collections::HashMap;
+
+/// Size of the fixed-width key prefix: three `u64` hashes.
+pub(crate) const KEY_BYTES: usize = 24;
+
+fn verdict_byte(verdict: Equivalence) -> u8 {
+    match verdict {
+        Equivalence::Equivalent => 0,
+        Equivalence::NotEquivalent => 1,
+        Equivalence::Inconclusive => 2,
+    }
+}
+
+fn parse_verdict_byte(tag: u8) -> Result<Equivalence, String> {
+    match tag {
+        0 => Ok(Equivalence::Equivalent),
+        1 => Ok(Equivalence::NotEquivalent),
+        2 => Ok(Equivalence::Inconclusive),
+        other => Err(format!("unknown binary verdict tag {}", other)),
+    }
+}
+
+fn stage_byte(stage: Stage) -> u8 {
+    match stage {
+        Stage::Checksum => 0,
+        Stage::Alive2 => 1,
+        Stage::CUnroll => 2,
+        Stage::Splitting => 3,
+    }
+}
+
+fn parse_stage_byte(tag: u8) -> Result<Stage, String> {
+    match tag {
+        0 => Ok(Stage::Checksum),
+        1 => Ok(Stage::Alive2),
+        2 => Ok(Stage::CUnroll),
+        3 => Ok(Stage::Splitting),
+        other => Err(format!("unknown binary stage tag {}", other)),
+    }
+}
+
+fn checksum_byte(class: Option<ChecksumClass>) -> u8 {
+    match class {
+        None => 0,
+        Some(ChecksumClass::Plausible) => 1,
+        Some(ChecksumClass::NotEquivalent) => 2,
+        Some(ChecksumClass::CannotCompile) => 3,
+        Some(ChecksumClass::ScalarFailed) => 4,
+    }
+}
+
+fn parse_checksum_byte(tag: u8) -> Result<Option<ChecksumClass>, String> {
+    match tag {
+        0 => Ok(None),
+        1 => Ok(Some(ChecksumClass::Plausible)),
+        2 => Ok(Some(ChecksumClass::NotEquivalent)),
+        3 => Ok(Some(ChecksumClass::CannotCompile)),
+        4 => Ok(Some(ChecksumClass::ScalarFailed)),
+        other => Err(format!("unknown binary checksum tag {}", other)),
+    }
+}
+
+/// Appends the 24-byte key prefix.
+pub(crate) fn encode_key(buf: &mut Vec<u8>, key: &CacheKey) {
+    bin::put_u64(buf, key.scalar);
+    bin::put_u64(buf, key.candidate);
+    bin::put_u64(buf, key.config);
+}
+
+/// Decodes a 24-byte key prefix.
+pub(crate) fn decode_key(r: &mut Reader<'_>) -> Result<CacheKey, String> {
+    Ok(CacheKey {
+        scalar: r.u64()?,
+        candidate: r.u64()?,
+        config: r.u64()?,
+    })
+}
+
+/// Appends the verdict payload (tags + varint-length detail).
+pub(crate) fn encode_verdict(buf: &mut Vec<u8>, verdict: &CachedVerdict) {
+    bin::put_u8(buf, verdict_byte(verdict.verdict));
+    bin::put_u8(buf, stage_byte(verdict.stage));
+    bin::put_u8(buf, checksum_byte(verdict.checksum));
+    bin::put_str(buf, &verdict.detail);
+}
+
+/// Decodes a verdict payload.
+pub(crate) fn decode_verdict(r: &mut Reader<'_>) -> Result<CachedVerdict, String> {
+    let verdict = parse_verdict_byte(r.u8()?)?;
+    let stage = parse_stage_byte(r.u8()?)?;
+    let checksum = parse_checksum_byte(r.u8()?)?;
+    let detail = r.str()?.to_string();
+    Ok(CachedVerdict {
+        verdict,
+        stage,
+        detail,
+        checksum,
+    })
+}
+
+/// Structurally validates a verdict payload without allocating: tags in
+/// range, length prefix in bounds, detail valid UTF-8. What makes the
+/// snapshot's lazy [`decode_verdict`] on the hit path infallible.
+pub(crate) fn validate_verdict(r: &mut Reader<'_>) -> Result<(), String> {
+    parse_verdict_byte(r.u8()?)?;
+    parse_stage_byte(r.u8()?)?;
+    parse_checksum_byte(r.u8()?)?;
+    r.str()?;
+    Ok(())
+}
+
+/// Appends one full record: key prefix + verdict payload.
+pub(crate) fn encode_record(buf: &mut Vec<u8>, key: &CacheKey, verdict: &CachedVerdict) {
+    encode_key(buf, key);
+    encode_verdict(buf, verdict);
+}
+
+/// Decodes one full record, requiring every byte to be consumed.
+pub(crate) fn decode_record(bytes: &[u8]) -> Result<(CacheKey, CachedVerdict), String> {
+    let mut r = Reader::new(bytes);
+    let key = decode_key(&mut r)?;
+    let verdict = decode_verdict(&mut r)?;
+    if !r.is_empty() {
+        return Err(format!(
+            "binary record has {} trailing bytes after the detail field",
+            r.remaining()
+        ));
+    }
+    Ok((key, verdict))
+}
+
+/// Fills the binary cache journal's header frame payload: the kind string
+/// and the format version (mirroring the JSON journal's header record).
+pub(crate) fn emit_binary_cache_header(buf: &mut Vec<u8>) {
+    bin::put_str(buf, CACHE_JOURNAL_KIND);
+    bin::put_u32(buf, CACHE_FORMAT_VERSION as u32);
+}
+
+/// Validates a replayed binary journal header against the cache kind and
+/// version. `None` (a header torn at creation) passes with zero records,
+/// like the JSON path.
+pub(crate) fn check_binary_cache_header(header: Option<&[u8]>) -> Result<(), String> {
+    let Some(payload) = header else {
+        return Ok(());
+    };
+    let mut r = Reader::new(payload);
+    let kind = r
+        .str()
+        .map_err(|e| format!("binary journal header: {}", e))?;
+    if kind != CACHE_JOURNAL_KIND {
+        return Err(format!(
+            "binary journal is of kind `{}`, expected `{}`",
+            kind, CACHE_JOURNAL_KIND
+        ));
+    }
+    let version = r
+        .u32()
+        .map_err(|e| format!("binary journal header: {}", e))?;
+    if i64::from(version) != CACHE_FORMAT_VERSION {
+        return Err(format!(
+            "binary journal has format version {}, this build reads version {}",
+            version, CACHE_FORMAT_VERSION
+        ));
+    }
+    Ok(())
+}
+
+/// Builds the entry map from replayed binary journal records, with the same
+/// duplicate-key semantics as the JSON path: an identical duplicate is a
+/// no-op, a disagreeing one is corruption — never last-write-wins.
+pub(crate) fn entries_from_binary_records(
+    records: &[&[u8]],
+) -> Result<HashMap<CacheKey, CachedVerdict>, String> {
+    let mut entries = HashMap::with_capacity(records.len());
+    for record in records {
+        let (key, verdict) = decode_record(record)?;
+        match entries.get(&key) {
+            None => {
+                entries.insert(key, verdict);
+            }
+            Some(existing) if *existing == verdict => {}
+            Some(_) => {
+                return Err(format!(
+                    "binary journal records disagree on key (scalar {:016x}, candidate \
+                     {:016x}, config {:016x})",
+                    key.scalar, key.candidate, key.config
+                ))
+            }
+        }
+    }
+    Ok(entries)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn all_class_entries() -> Vec<(CacheKey, CachedVerdict)> {
+        let mut entries = Vec::new();
+        let verdicts = [
+            Equivalence::Equivalent,
+            Equivalence::NotEquivalent,
+            Equivalence::Inconclusive,
+        ];
+        let stages = [
+            Stage::Checksum,
+            Stage::Alive2,
+            Stage::CUnroll,
+            Stage::Splitting,
+        ];
+        let checksums = [
+            None,
+            Some(ChecksumClass::Plausible),
+            Some(ChecksumClass::NotEquivalent),
+            Some(ChecksumClass::CannotCompile),
+            Some(ChecksumClass::ScalarFailed),
+        ];
+        let mut i = 0u64;
+        for verdict in verdicts {
+            for stage in stages {
+                for checksum in checksums {
+                    i += 1;
+                    entries.push((
+                        CacheKey {
+                            scalar: i,
+                            candidate: i.wrapping_mul(0x9e37),
+                            config: u64::MAX - i,
+                        },
+                        CachedVerdict {
+                            verdict,
+                            stage,
+                            detail: format!("detail {} with \"quotes\"\nand unicode é", i),
+                            checksum,
+                        },
+                    ));
+                }
+            }
+        }
+        entries
+    }
+
+    #[test]
+    fn every_class_round_trips() {
+        for (key, verdict) in all_class_entries() {
+            let mut buf = Vec::new();
+            encode_record(&mut buf, &key, &verdict);
+            let (k, v) = decode_record(&buf).unwrap();
+            assert_eq!(k, key);
+            assert_eq!(v, verdict);
+            let mut prefix = Vec::new();
+            encode_key(&mut prefix, &key);
+            assert_eq!(&buf[..KEY_BYTES], &prefix[..]);
+        }
+    }
+
+    #[test]
+    fn bad_tags_and_trailing_bytes_are_errors() {
+        let (key, verdict) = all_class_entries().remove(0);
+        let mut buf = Vec::new();
+        encode_record(&mut buf, &key, &verdict);
+        for (offset, limit) in [(KEY_BYTES, 3u8), (KEY_BYTES + 1, 4), (KEY_BYTES + 2, 5)] {
+            let mut bad = buf.clone();
+            bad[offset] = limit;
+            assert!(
+                decode_record(&bad).is_err(),
+                "tag at {} out of range",
+                offset
+            );
+        }
+        let mut trailing = buf.clone();
+        trailing.push(0);
+        let err = decode_record(&trailing).unwrap_err();
+        assert!(err.contains("trailing"), "{}", err);
+        assert!(
+            decode_record(&buf[..buf.len() - 1]).is_err(),
+            "truncated detail"
+        );
+    }
+
+    #[test]
+    fn header_checks_kind_and_version() {
+        let mut buf = Vec::new();
+        emit_binary_cache_header(&mut buf);
+        check_binary_cache_header(Some(&buf)).unwrap();
+        check_binary_cache_header(None).unwrap();
+        let mut wrong_kind = Vec::new();
+        serde::bin::put_str(&mut wrong_kind, "shard-report");
+        serde::bin::put_u32(&mut wrong_kind, 1);
+        assert!(check_binary_cache_header(Some(&wrong_kind)).is_err());
+        let mut wrong_version = Vec::new();
+        serde::bin::put_str(&mut wrong_version, CACHE_JOURNAL_KIND);
+        serde::bin::put_u32(&mut wrong_version, 999);
+        let err = check_binary_cache_header(Some(&wrong_version)).unwrap_err();
+        assert!(err.contains("999"), "{}", err);
+    }
+
+    #[test]
+    fn duplicate_records_agree_or_error() {
+        let (key, verdict) = all_class_entries().remove(0);
+        let mut record = Vec::new();
+        encode_record(&mut record, &key, &verdict);
+        let entries =
+            entries_from_binary_records(&[&record, &record]).expect("identical duplicate is fine");
+        assert_eq!(entries.len(), 1);
+
+        let mut flipped = verdict.clone();
+        flipped.verdict = Equivalence::Inconclusive;
+        let mut other = Vec::new();
+        encode_record(&mut other, &key, &flipped);
+        let err = entries_from_binary_records(&[&record, &other]).unwrap_err();
+        assert!(err.contains("disagree"), "{}", err);
+    }
+}

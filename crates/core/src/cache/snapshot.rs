@@ -1,0 +1,618 @@
+//! The sorted immutable binary snapshot — the warm/cold tier file format.
+//!
+//! A snapshot is one self-validating file holding every entry of a compacted
+//! cache in sorted key order (see the [module docs](super) for the role it
+//! plays in the tiering). Layout, all integers little-endian:
+//!
+//! ```text
+//! header   0..4   magic "LVCS"
+//!          4..8   u32 format version (= CACHE_FORMAT_VERSION)
+//!          8..16  u64 entry count
+//!          16..24 u64 index offset (always 56)
+//!          24..32 u64 bloom offset
+//!          32..40 u64 payload offset
+//!          40..48 u64 payload length
+//!          48..52 u32 bloom hash count k (0 = no bloom block)
+//!          52..56 u32 CRC-32 of bytes 0..52
+//! index    count × 32-byte strides, sorted strictly ascending by key:
+//!            [scalar u64][candidate u64][config u64][payload rel. offset u64]
+//!          u32 CRC-32 of the index bytes
+//! bloom    (only when k > 0)
+//!          u64 bit-array length in bytes (a power of two)
+//!          the bit array
+//!          u32 CRC-32 of the length field + bit array
+//! payload  `payload length` bytes of verdict payloads (the binary record
+//!          codec, key-stripped — the key lives in the index)
+//!          u32 CRC-32 of the payload bytes
+//! ```
+//!
+//! [`CacheSnapshot::open`] is a single `read` into an owned buffer; lookups
+//! binary-search the raw index strides and decode a payload only on hit.
+//! Every region is CRC-covered and structurally validated **once at load**
+//! (allocation-free), so any byte flip or truncation anywhere in the file is
+//! a typed [`SnapshotError`] at open — a loaded snapshot can never serve a
+//! wrong verdict, and the hit path never re-validates.
+//!
+//! The bloom block makes cold *negative* lookups touch no index or payload
+//! bytes: `k` double-hashed probes (`h1 + i·h2` over a splitmix64-mixed
+//! key) into a power-of-two bit array sized at ~10 bits per entry — a
+//! false-positive rate of roughly 1%, and never a false negative.
+
+use super::binary;
+use super::{write_atomic_stream, CacheKey, CachedVerdict, CACHE_FORMAT_VERSION};
+use crate::journal::crc32;
+use serde::bin::{self, Reader};
+use std::io;
+use std::path::Path;
+
+/// The magic a binary snapshot file starts with.
+pub const SNAPSHOT_MAGIC: [u8; 4] = *b"LVCS";
+
+const HEADER_BYTES: usize = 56;
+/// One index stride: the 24-byte key prefix plus the payload's relative
+/// offset.
+const INDEX_STRIDE: usize = binary::KEY_BYTES + 8;
+/// Bloom sizing: bits per entry (~1% false positives at k = 7).
+const BLOOM_BITS_PER_ENTRY: usize = 10;
+/// Bloom probes per key.
+const BLOOM_HASHES: u32 = 7;
+
+/// Does `bytes` look like a binary snapshot file?
+pub fn is_snapshot(bytes: &[u8]) -> bool {
+    bytes.starts_with(&SNAPSHOT_MAGIC)
+}
+
+/// Why loading a binary snapshot failed. Every variant is a *typed* load
+/// error: a snapshot that does not validate end to end is rejected whole,
+/// never partially served.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SnapshotError {
+    /// The file does not start with [`SNAPSHOT_MAGIC`].
+    BadMagic,
+    /// The header's format version is not [`CACHE_FORMAT_VERSION`].
+    BadVersion(u32),
+    /// The file ends before a region the header promises.
+    Truncated {
+        /// Bytes the declared layout requires.
+        need: u64,
+        /// Bytes actually present.
+        have: u64,
+    },
+    /// The header CRC does not match (a flipped header byte — offsets and
+    /// counts cannot be trusted).
+    HeaderCrc,
+    /// The index-region CRC does not match (corrupt key stride or payload
+    /// offset).
+    IndexCrc,
+    /// The bloom-block CRC does not match.
+    BloomCrc,
+    /// The payload-region CRC does not match.
+    PayloadCrc,
+    /// The header's offsets are internally inconsistent with the file.
+    Layout(String),
+    /// The index is not strictly ascending by key, or points outside the
+    /// payload region.
+    Index(String),
+    /// A payload record failed structural validation.
+    Record {
+        /// Index of the offending entry.
+        index: usize,
+        /// What failed to decode.
+        reason: String,
+    },
+}
+
+impl std::fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SnapshotError::BadMagic => {
+                write!(f, "not a binary cache snapshot (missing LVCS magic)")
+            }
+            SnapshotError::BadVersion(found) => write!(
+                f,
+                "snapshot has format version {}, this build reads version {}; \
+                 delete the file to rebuild it",
+                found, CACHE_FORMAT_VERSION
+            ),
+            SnapshotError::Truncated { need, have } => write!(
+                f,
+                "snapshot is truncated: the layout requires {} bytes, the file has {}",
+                need, have
+            ),
+            SnapshotError::HeaderCrc => write!(f, "snapshot header fails its CRC-32 check"),
+            SnapshotError::IndexCrc => write!(f, "snapshot index region fails its CRC-32 check"),
+            SnapshotError::BloomCrc => write!(f, "snapshot bloom block fails its CRC-32 check"),
+            SnapshotError::PayloadCrc => {
+                write!(f, "snapshot payload region fails its CRC-32 check")
+            }
+            SnapshotError::Layout(reason) => {
+                write!(f, "snapshot layout is inconsistent: {}", reason)
+            }
+            SnapshotError::Index(reason) => write!(f, "snapshot index is invalid: {}", reason),
+            SnapshotError::Record { index, reason } => {
+                write!(f, "snapshot record {} is invalid: {}", index, reason)
+            }
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {}
+
+/// Shape and estimated quality of a snapshot's bloom block.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BloomStats {
+    /// Bit-array size in bits.
+    pub bits: u64,
+    /// Probes per key.
+    pub hashes: u32,
+    /// Estimated false-positive rate `(1 − e^{−kn/m})^k` for the snapshot's
+    /// entry count. False *negatives* are impossible by construction.
+    pub fp_estimate: f64,
+}
+
+/// splitmix64's finalizer: a cheap, well-distributed 64-bit mixer.
+fn mix64(mut x: u64) -> u64 {
+    x ^= x >> 30;
+    x = x.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x ^= x >> 27;
+    x = x.wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^= x >> 31;
+    x
+}
+
+/// The two independent hashes the bloom probes combine (`h1 + i·h2`); `h2`
+/// is forced odd so the probe sequence walks the whole power-of-two table.
+fn bloom_hashes(key: &CacheKey) -> (u64, u64) {
+    let h1 = mix64(key.scalar ^ mix64(key.candidate ^ mix64(key.config)));
+    let h2 = mix64(h1 ^ 0x9e37_79b9_7f4a_7c15) | 1;
+    (h1, h2)
+}
+
+/// A loaded, validated, immutable binary snapshot: one owned buffer,
+/// binary-searched in place.
+#[derive(Debug)]
+pub struct CacheSnapshot {
+    buf: Vec<u8>,
+    count: usize,
+    index_off: usize,
+    payload_off: usize,
+    payload_len: usize,
+    /// `(bit-array byte range start, byte length, k)` when a bloom block is
+    /// present.
+    bloom: Option<(usize, usize, u32)>,
+}
+
+impl CacheSnapshot {
+    /// Renders a snapshot document for `entries` (any order; sorted
+    /// internally). `bloom` controls whether the bloom block is emitted.
+    pub(crate) fn render(entries: &[(CacheKey, CachedVerdict)], bloom: bool) -> Vec<u8> {
+        let mut sorted: Vec<&(CacheKey, CachedVerdict)> = entries.iter().collect();
+        sorted.sort_by_key(|(key, _)| *key);
+        for pair in sorted.windows(2) {
+            assert!(
+                pair[0].0 < pair[1].0,
+                "snapshot entries must have unique keys"
+            );
+        }
+
+        let mut index = Vec::with_capacity(sorted.len() * INDEX_STRIDE);
+        let mut payload = Vec::new();
+        for (key, verdict) in &sorted {
+            binary::encode_key(&mut index, key);
+            bin::put_u64(&mut index, payload.len() as u64);
+            binary::encode_verdict(&mut payload, verdict);
+        }
+
+        let (bloom_k, bloom_section) = if bloom {
+            let bits = (sorted.len() * BLOOM_BITS_PER_ENTRY)
+                .next_power_of_two()
+                .max(64);
+            let mut array = vec![0u8; bits / 8];
+            let mask = (bits - 1) as u64;
+            for (key, _) in &sorted {
+                let (h1, h2) = bloom_hashes(key);
+                for i in 0..BLOOM_HASHES {
+                    let bit = (h1.wrapping_add(u64::from(i).wrapping_mul(h2)) & mask) as usize;
+                    array[bit / 8] |= 1 << (bit % 8);
+                }
+            }
+            let mut section = Vec::with_capacity(12 + array.len());
+            bin::put_u64(&mut section, array.len() as u64);
+            section.extend_from_slice(&array);
+            let crc = crc32(&section);
+            bin::put_u32(&mut section, crc);
+            (BLOOM_HASHES, section)
+        } else {
+            (0, Vec::new())
+        };
+
+        let index_off = HEADER_BYTES as u64;
+        let bloom_off = index_off + index.len() as u64 + 4;
+        let payload_off = bloom_off + bloom_section.len() as u64;
+        let mut doc = Vec::with_capacity(
+            HEADER_BYTES + index.len() + 4 + bloom_section.len() + payload.len() + 4,
+        );
+        doc.extend_from_slice(&SNAPSHOT_MAGIC);
+        bin::put_u32(&mut doc, CACHE_FORMAT_VERSION as u32);
+        bin::put_u64(&mut doc, sorted.len() as u64);
+        bin::put_u64(&mut doc, index_off);
+        bin::put_u64(&mut doc, bloom_off);
+        bin::put_u64(&mut doc, payload_off);
+        bin::put_u64(&mut doc, payload.len() as u64);
+        bin::put_u32(&mut doc, bloom_k);
+        let header_crc = crc32(&doc);
+        bin::put_u32(&mut doc, header_crc);
+
+        doc.extend_from_slice(&index);
+        bin::put_u32(&mut doc, crc32(&index));
+        doc.extend_from_slice(&bloom_section);
+        doc.extend_from_slice(&payload);
+        bin::put_u32(&mut doc, crc32(&payload));
+        doc
+    }
+
+    /// Writes a snapshot of `entries` to `path` atomically (temp file, then
+    /// rename), optionally `fsync`ing the file before the rename; returns
+    /// the document size in bytes. The parent-directory fsync is the
+    /// caller's responsibility (see `VerdictCache::compact_to`).
+    pub fn write_file(
+        path: &Path,
+        entries: &[(CacheKey, CachedVerdict)],
+        bloom: bool,
+        sync: bool,
+    ) -> io::Result<u64> {
+        let doc = CacheSnapshot::render(entries, bloom);
+        write_atomic_stream(path, sync, |w| {
+            use std::io::Write;
+            w.write_all(&doc)
+        })
+    }
+
+    /// Loads and validates a snapshot file: one `read`, then the CRC and
+    /// structural checks described in the [module docs](self). Every
+    /// failure is a typed [`SnapshotError`] surfaced as
+    /// [`io::ErrorKind::InvalidData`].
+    pub fn open(path: &Path) -> io::Result<CacheSnapshot> {
+        let buf = std::fs::read(path)?;
+        CacheSnapshot::from_bytes(buf)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))
+    }
+
+    /// Validates `buf` as a snapshot document and takes ownership of it.
+    pub fn from_bytes(buf: Vec<u8>) -> Result<CacheSnapshot, SnapshotError> {
+        if !is_snapshot(&buf) {
+            return Err(SnapshotError::BadMagic);
+        }
+        if buf.len() < HEADER_BYTES {
+            return Err(SnapshotError::Truncated {
+                need: HEADER_BYTES as u64,
+                have: buf.len() as u64,
+            });
+        }
+        // The CRC must pass before any header field is trusted.
+        let recorded = bin::read_u32_at(&buf, 52).unwrap();
+        if crc32(&buf[..52]) != recorded {
+            return Err(SnapshotError::HeaderCrc);
+        }
+        let version = bin::read_u32_at(&buf, 4).unwrap();
+        if i64::from(version) != CACHE_FORMAT_VERSION {
+            return Err(SnapshotError::BadVersion(version));
+        }
+        let count = bin::read_u64_at(&buf, 8).unwrap();
+        let index_off = bin::read_u64_at(&buf, 16).unwrap();
+        let bloom_off = bin::read_u64_at(&buf, 24).unwrap();
+        let payload_off = bin::read_u64_at(&buf, 32).unwrap();
+        let payload_len = bin::read_u64_at(&buf, 40).unwrap();
+        let bloom_k = bin::read_u32_at(&buf, 48).unwrap();
+
+        let layout = |reason: String| Err(SnapshotError::Layout(reason));
+        if index_off != HEADER_BYTES as u64 {
+            return layout(format!("index offset {} != {}", index_off, HEADER_BYTES));
+        }
+        let count = usize::try_from(count)
+            .ok()
+            .filter(|c| c.checked_mul(INDEX_STRIDE).is_some())
+            .ok_or_else(|| SnapshotError::Layout("entry count overflows".to_string()))?;
+        let expected_bloom_off = index_off + (count * INDEX_STRIDE) as u64 + 4;
+        if bloom_off != expected_bloom_off {
+            return layout(format!(
+                "bloom offset {} does not follow the index (expected {})",
+                bloom_off, expected_bloom_off
+            ));
+        }
+        if bloom_k > 64 {
+            return layout(format!("bloom hash count {} is implausible", bloom_k));
+        }
+
+        // Bloom block shape (its length field is needed to pin the payload
+        // offset; its CRC is checked below once the bounds are known).
+        let bloom = if bloom_k > 0 {
+            let bits_len =
+                bin::read_u64_at(&buf, bloom_off as usize).ok_or(SnapshotError::Truncated {
+                    need: bloom_off + 8,
+                    have: buf.len() as u64,
+                })?;
+            let bits_len = usize::try_from(bits_len)
+                .ok()
+                .filter(|&n| n > 0 && n.is_power_of_two())
+                .ok_or_else(|| {
+                    SnapshotError::Layout(
+                        "bloom bit-array length is not a power of two".to_string(),
+                    )
+                })?;
+            let expected_payload_off = bloom_off + 8 + bits_len as u64 + 4;
+            if payload_off != expected_payload_off {
+                return layout(format!(
+                    "payload offset {} does not follow the bloom block (expected {})",
+                    payload_off, expected_payload_off
+                ));
+            }
+            Some((bloom_off as usize + 8, bits_len, bloom_k))
+        } else {
+            if payload_off != bloom_off {
+                return layout(format!(
+                    "payload offset {} does not follow the index (expected {})",
+                    payload_off, bloom_off
+                ));
+            }
+            None
+        };
+
+        let required = payload_off
+            .checked_add(payload_len)
+            .and_then(|n| n.checked_add(4))
+            .ok_or_else(|| SnapshotError::Layout("payload bounds overflow".to_string()))?;
+        if (buf.len() as u64) < required {
+            return Err(SnapshotError::Truncated {
+                need: required,
+                have: buf.len() as u64,
+            });
+        }
+        if buf.len() as u64 != required {
+            return layout(format!(
+                "{} trailing bytes after the payload region",
+                buf.len() as u64 - required
+            ));
+        }
+
+        let index_off = index_off as usize;
+        let payload_off = payload_off as usize;
+        let payload_len = payload_len as usize;
+        let index_end = index_off + count * INDEX_STRIDE;
+        if crc32(&buf[index_off..index_end]) != bin::read_u32_at(&buf, index_end).unwrap() {
+            return Err(SnapshotError::IndexCrc);
+        }
+        if let Some((bits_off, bits_len, _)) = bloom {
+            let section = &buf[bits_off - 8..bits_off + bits_len];
+            if crc32(section) != bin::read_u32_at(&buf, bits_off + bits_len).unwrap() {
+                return Err(SnapshotError::BloomCrc);
+            }
+        }
+        if crc32(&buf[payload_off..payload_off + payload_len])
+            != bin::read_u32_at(&buf, payload_off + payload_len).unwrap()
+        {
+            return Err(SnapshotError::PayloadCrc);
+        }
+
+        let snapshot = CacheSnapshot {
+            buf,
+            count,
+            index_off,
+            payload_off,
+            payload_len,
+            bloom,
+        };
+        // Structural validation (allocation-free) of every index stride and
+        // record, so the hit path can decode without re-checking.
+        let mut previous: Option<(u64, u64, u64)> = None;
+        for i in 0..count {
+            let key = snapshot.key_at(i);
+            if let Some(prev) = previous {
+                if prev >= key {
+                    return Err(SnapshotError::Index(format!(
+                        "entry {} is not strictly ascending",
+                        i
+                    )));
+                }
+            }
+            previous = Some(key);
+            let rel = snapshot.payload_rel(i);
+            if rel > payload_len {
+                return Err(SnapshotError::Index(format!(
+                    "entry {} points past the payload region ({} > {})",
+                    i, rel, payload_len
+                )));
+            }
+            let mut r = Reader::new(&snapshot.buf[payload_off + rel..payload_off + payload_len]);
+            binary::validate_verdict(&mut r)
+                .map_err(|reason| SnapshotError::Record { index: i, reason })?;
+        }
+        Ok(snapshot)
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.count
+    }
+
+    /// `true` when the snapshot holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Bytes resident in memory for this snapshot (the owned file buffer).
+    pub fn resident_bytes(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// The bloom block's shape, when present.
+    pub fn bloom_stats(&self) -> Option<BloomStats> {
+        self.bloom.map(|(_, bits_len, k)| {
+            let bits = (bits_len * 8) as u64;
+            let exponent = -(f64::from(k) * self.count as f64) / bits as f64;
+            BloomStats {
+                bits,
+                hashes: k,
+                fp_estimate: (1.0 - exponent.exp()).powi(k as i32),
+            }
+        })
+    }
+
+    fn key_at(&self, i: usize) -> (u64, u64, u64) {
+        let off = self.index_off + i * INDEX_STRIDE;
+        (
+            bin::read_u64_at(&self.buf, off).unwrap(),
+            bin::read_u64_at(&self.buf, off + 8).unwrap(),
+            bin::read_u64_at(&self.buf, off + 16).unwrap(),
+        )
+    }
+
+    fn payload_rel(&self, i: usize) -> usize {
+        bin::read_u64_at(&self.buf, self.index_off + i * INDEX_STRIDE + 24).unwrap() as usize
+    }
+
+    /// The bloom pre-check: `false` means *definitely absent* (and the
+    /// lookup touched no index or payload bytes); `true` means "probably
+    /// present". Always `true` when the snapshot has no bloom block.
+    pub fn maybe_contains(&self, key: &CacheKey) -> bool {
+        let Some((bits_off, bits_len, k)) = self.bloom else {
+            return true;
+        };
+        let mask = (bits_len * 8 - 1) as u64;
+        let (h1, h2) = bloom_hashes(key);
+        for i in 0..k {
+            let bit = (h1.wrapping_add(u64::from(i).wrapping_mul(h2)) & mask) as usize;
+            if self.buf[bits_off + bit / 8] & (1 << (bit % 8)) == 0 {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Looks up a verdict: bloom pre-check, binary search over the raw
+    /// index strides, payload decoded lazily only on hit.
+    pub fn get(&self, key: &CacheKey) -> Option<CachedVerdict> {
+        if !self.maybe_contains(key) {
+            return None;
+        }
+        let target = (key.scalar, key.candidate, key.config);
+        let (mut lo, mut hi) = (0usize, self.count);
+        while lo < hi {
+            let mid = lo + (hi - lo) / 2;
+            match self.key_at(mid).cmp(&target) {
+                std::cmp::Ordering::Less => lo = mid + 1,
+                std::cmp::Ordering::Greater => hi = mid,
+                std::cmp::Ordering::Equal => {
+                    let rel = self.payload_rel(mid);
+                    let region =
+                        &self.buf[self.payload_off + rel..self.payload_off + self.payload_len];
+                    let mut r = Reader::new(region);
+                    return Some(binary::decode_verdict(&mut r).expect("record validated at load"));
+                }
+            }
+        }
+        None
+    }
+
+    /// Decodes every entry, in sorted key order.
+    pub fn entries(&self) -> Vec<(CacheKey, CachedVerdict)> {
+        (0..self.count)
+            .map(|i| {
+                let (scalar, candidate, config) = self.key_at(i);
+                let rel = self.payload_rel(i);
+                let region = &self.buf[self.payload_off + rel..self.payload_off + self.payload_len];
+                let mut r = Reader::new(region);
+                (
+                    CacheKey {
+                        scalar,
+                        candidate,
+                        config,
+                    },
+                    binary::decode_verdict(&mut r).expect("record validated at load"),
+                )
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::{Equivalence, Stage};
+
+    fn sample(n: u64) -> Vec<(CacheKey, CachedVerdict)> {
+        (0..n)
+            .map(|i| {
+                (
+                    CacheKey {
+                        scalar: mix64(i),
+                        candidate: mix64(i ^ 0xabcd),
+                        config: 7,
+                    },
+                    CachedVerdict {
+                        verdict: Equivalence::Equivalent,
+                        stage: Stage::CUnroll,
+                        detail: format!("entry {}", i),
+                        checksum: None,
+                    },
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn snapshot_round_trips_with_and_without_bloom() {
+        for bloom in [false, true] {
+            let entries = sample(100);
+            let doc = CacheSnapshot::render(&entries, bloom);
+            let snap = CacheSnapshot::from_bytes(doc).unwrap();
+            assert_eq!(snap.len(), 100);
+            assert_eq!(snap.bloom_stats().is_some(), bloom);
+            for (key, verdict) in &entries {
+                assert!(snap.maybe_contains(key), "no false negatives");
+                assert_eq!(snap.get(key).as_ref(), Some(verdict));
+            }
+            let miss = CacheKey {
+                scalar: 1,
+                candidate: 2,
+                config: 3,
+            };
+            assert_eq!(snap.get(&miss), None);
+            let mut decoded = snap.entries();
+            decoded.sort_by_key(|(k, _)| *k);
+            let mut expected = entries.clone();
+            expected.sort_by_key(|(k, _)| *k);
+            assert_eq!(decoded, expected);
+        }
+    }
+
+    #[test]
+    fn empty_snapshot_is_valid() {
+        let doc = CacheSnapshot::render(&[], true);
+        let snap = CacheSnapshot::from_bytes(doc).unwrap();
+        assert!(snap.is_empty());
+        assert_eq!(
+            snap.get(&CacheKey {
+                scalar: 0,
+                candidate: 0,
+                config: 0
+            }),
+            None
+        );
+    }
+
+    #[test]
+    fn bloom_estimate_is_sane() {
+        let entries = sample(1000);
+        let doc = CacheSnapshot::render(&entries, true);
+        let snap = CacheSnapshot::from_bytes(doc).unwrap();
+        let stats = snap.bloom_stats().unwrap();
+        assert_eq!(stats.hashes, BLOOM_HASHES);
+        assert!(stats.bits >= 1000 * BLOOM_BITS_PER_ENTRY as u64);
+        assert!(
+            stats.fp_estimate > 0.0 && stats.fp_estimate < 0.05,
+            "{}",
+            stats.fp_estimate
+        );
+    }
+}

@@ -127,8 +127,9 @@ pub mod profile;
 pub mod shard;
 
 pub use cache::{
-    CacheBounds, CacheKey, CacheMergeError, CachedVerdict, MergeStats, VerdictCache,
-    CACHE_FORMAT_VERSION,
+    cache_file_stats, BloomStats, CacheBounds, CacheFileStats, CacheFormat, CacheKey,
+    CacheMergeError, CacheSnapshot, CachedVerdict, MergeStats, SnapshotError, SyncEvent,
+    VerdictCache, CACHE_FORMAT_VERSION,
 };
 pub use engine::{
     parallel_map, AdaptiveBatchReport, BatchReport, ChecksumStage, EngineConfig, EngineReuse, Job,

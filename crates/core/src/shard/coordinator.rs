@@ -13,7 +13,7 @@
 //! ([`VerdictCache::merge_from`]) and bounded by the configured
 //! [`CacheBounds`] before the merged cache is persisted.
 
-use crate::cache::{CacheBounds, CachedVerdict, VerdictCache};
+use crate::cache::{CacheBounds, CacheFormat, CachedVerdict, VerdictCache};
 use crate::engine::{job_cache_key, BatchReport, Job, JobReport, VerificationEngine};
 use crate::journal::FsyncPolicy;
 use crate::profile::CrossRunProfile;
@@ -84,6 +84,12 @@ pub struct SweepConfig {
     /// buffered tail records (plus one torn record), all of which the
     /// coordinator's recovery re-runs anyway. Default 1 (flush per record).
     pub flush_every: usize,
+    /// Serialization of the per-shard cache journals (passed as
+    /// `--cache-format`): compact binary records or the legacy JSON lines.
+    /// Only meaningful in journal flush mode. The *merged* cache this
+    /// coordinator persists stays a JSON snapshot either way, so sweep
+    /// outputs are bit-identical across formats (the interop guarantee).
+    pub cache_format: CacheFormat,
     /// Cross-run profile journal ([`CrossRunProfile`]) to accumulate this
     /// sweep's telemetry into. Each worker appends its shard's delta to its
     /// own `shard-<i>.profile.json` in the workdir (passed as `--profile`;
@@ -108,6 +114,7 @@ impl Default for SweepConfig {
             bounds: CacheBounds::unbounded(),
             flush: FlushMode::default(),
             flush_every: 1,
+            cache_format: CacheFormat::default(),
             profile: None,
             fail_shard_after: None,
         }
@@ -228,6 +235,9 @@ pub fn run_sharded_sweep(
                 command
                     .arg("--flush-every")
                     .arg(sweep.flush_every.to_string());
+            }
+            if sweep.cache_format != CacheFormat::default() {
+                command.arg("--cache-format").arg(sweep.cache_format.tag());
             }
             if sweep.profile.is_some() {
                 command

@@ -28,7 +28,7 @@
 //!   the most conservative fallback, since every intermediate state is a
 //!   complete snapshot document.
 
-use crate::cache::VerdictCache;
+use crate::cache::{CacheFormat, VerdictCache};
 use crate::engine::{Job, JobReport, StageSchedule, VerificationEngine};
 use crate::journal::FsyncPolicy;
 use crate::observer::BatchObserver;
@@ -128,6 +128,13 @@ pub struct ShardRunOptions {
     /// Ignored in [`FlushMode::Rewrite`], whose unit of I/O is the whole
     /// file regardless.
     pub flush_every: usize,
+    /// Serialization of the shard's cache journal (`--cache-format`):
+    /// compact binary records or the legacy JSON lines. Only meaningful in
+    /// [`FlushMode::Journal`] — the rewrite path's unit is the whole JSON
+    /// snapshot. The coordinator's *merged* cache stays a JSON snapshot
+    /// either way (the interop guarantee), so this knob changes per-shard
+    /// journal bytes, never sweep outputs.
+    pub cache_format: CacheFormat,
     /// Append this shard's observed per-category per-stage telemetry to the
     /// [`CrossRunProfile`] journal at this path after the shard finishes.
     /// The coordinator hands every worker its own per-shard path
@@ -143,6 +150,7 @@ impl Default for ShardRunOptions {
             fail_after: None,
             flush: FlushMode::default(),
             flush_every: 1,
+            cache_format: CacheFormat::default(),
             profile: None,
         }
     }
@@ -317,7 +325,11 @@ pub fn run_shard_with(
             },
         ),
         FlushMode::Journal(fsync) => {
-            let cache = Arc::new(VerdictCache::open_journal(&cache_file, fsync)?);
+            let cache = Arc::new(VerdictCache::open_journal_with(
+                &cache_file,
+                fsync,
+                options.cache_format,
+            )?);
             cache.set_journal_flush_every(flush_every);
             let mut journal = ShardReportJournal::create(
                 &report_file,
@@ -382,6 +394,9 @@ pub struct WorkerInvocation {
     /// Journal flush batching (`--flush-every N`, default 1); see
     /// [`ShardRunOptions::flush_every`].
     pub flush_every: usize,
+    /// Cache-journal serialization (`--cache-format json|binary`); see
+    /// [`ShardRunOptions::cache_format`].
+    pub cache_format: CacheFormat,
     /// Cross-run profile journal to append this shard's telemetry to
     /// (`--profile <path>`).
     pub profile: Option<PathBuf>,
@@ -397,7 +412,8 @@ pub struct WorkerInvocation {
 impl WorkerInvocation {
     /// Parses `--shard i/N --manifest <path> --out <dir> [--fail-after k]
     /// [--flush rewrite|journal] [--fsync record|compact] [--flush-every N]
-    /// [--profile <path>] [--schedule <spec>]` from `args`.
+    /// [--cache-format json|binary] [--profile <path>] [--schedule <spec>]`
+    /// from `args`.
     /// Returns `None` when `--shard` is absent (the process is not a
     /// worker); `Some(Err(..))` when it is present but malformed.
     pub fn parse(args: &[String]) -> Option<Result<WorkerInvocation, ShardError>> {
@@ -409,6 +425,7 @@ impl WorkerInvocation {
             let mut flush_tag: Option<String> = None;
             let mut fsync = FsyncPolicy::default();
             let mut flush_every = 1usize;
+            let mut cache_format = CacheFormat::default();
             let mut profile = None;
             let mut schedule = None;
             let mut iter = args.iter();
@@ -456,6 +473,10 @@ impl WorkerInvocation {
                                         spec
                                     ))
                                 })?;
+                    }
+                    "--cache-format" => {
+                        cache_format = CacheFormat::from_tag(&value("--cache-format")?)
+                            .map_err(ShardError::BadInvocation)?
                     }
                     "--profile" => profile = Some(PathBuf::from(value("--profile")?)),
                     "--schedule" => {
@@ -506,6 +527,7 @@ impl WorkerInvocation {
                 fail_after,
                 flush,
                 flush_every,
+                cache_format,
                 profile,
                 schedule,
             })
@@ -559,6 +581,7 @@ pub fn run_worker(invocation: &WorkerInvocation) -> Result<ShardRunOutput, Shard
             fail_after: invocation.fail_after,
             flush: invocation.flush,
             flush_every: invocation.flush_every,
+            cache_format: invocation.cache_format,
             profile: invocation.profile.clone(),
         },
     )
@@ -598,6 +621,7 @@ mod tests {
             "journal is the default flush mode"
         );
         assert_eq!(parsed.flush_every, 1, "flush batching defaults off");
+        assert_eq!(parsed.cache_format, CacheFormat::Json, "JSON by default");
         assert_eq!(parsed.profile, None);
         assert_eq!(parsed.schedule, None);
 
@@ -610,6 +634,8 @@ mod tests {
             "o",
             "--flush-every",
             "8",
+            "--cache-format",
+            "binary",
             "--profile",
             "prof.json",
             "--schedule",
@@ -618,6 +644,7 @@ mod tests {
         .expect("worker mode")
         .expect("well-formed");
         assert_eq!(tuned.flush_every, 8);
+        assert_eq!(tuned.cache_format, CacheFormat::Binary);
         assert_eq!(tuned.profile, Some(PathBuf::from("prof.json")));
         let schedule = tuned.schedule.expect("schedule parsed");
         assert_eq!(schedule.spec(), "reduction=cunroll,alive2,splitting");
@@ -689,6 +716,16 @@ mod tests {
                 "o",
                 "--flush-every",
                 "0",
+            ],
+            vec![
+                "--shard",
+                "0/2",
+                "--manifest",
+                "m",
+                "--out",
+                "o",
+                "--cache-format",
+                "yaml",
             ],
             vec![
                 "--shard",

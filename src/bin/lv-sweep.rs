@@ -12,10 +12,11 @@
 //!          [--kernels s000,s112,...] [--threads T] [--quick]
 //!          [--max-cache-entries N] [--timeout-secs S]
 //!          [--flush journal|rewrite] [--fsync compact|record]
-//!          [--flush-every N] [--profile PATH]
-//!          [--schedule default|profile|SPEC]
+//!          [--flush-every N] [--cache-format json|binary]
+//!          [--profile PATH] [--schedule default|profile|SPEC]
 //!          [--budget fixed|profile] [--reuse]
-//! lv-sweep compact FILE...
+//! lv-sweep compact [--format json|binary] FILE...
+//! lv-sweep cache stats FILE...
 //! ```
 //!
 //! `--flush` selects how workers flush per-job output: `journal` (default)
@@ -45,11 +46,22 @@
 //! fingerprint, so reuse-on and reuse-off sweeps keep separate cache
 //! entries.
 //!
+//! `--cache-format binary` makes shard workers write their per-shard cache
+//! journals as compact binary records (`LVBJ` framing) instead of JSON
+//! lines. The merged cache the coordinator persists stays a JSON snapshot
+//! either way, so sweep outputs are bit-identical across formats.
+//!
 //! `compact` rewrites journal files into their canonical compact form:
-//! verdict-cache journals become the sorted snapshot
-//! (`VerdictCache::compact_journal`), shard-report journals the snapshot
-//! report document, and cross-run profile journals one summed record per
-//! cell.
+//! verdict-cache files (any of the four persisted forms, sniffed by
+//! content) become the sorted snapshot of `--format` — `json` (default,
+//! `VerdictCache::compact_journal`) or `binary` (the `LVCS` tier file with
+//! its bloom block); shard-report journals become the snapshot report
+//! document, and cross-run profile journals one summed record per cell
+//! (both JSON-only — `--format` applies to verdict caches).
+//!
+//! `cache stats` prints, for each verdict-cache file: the sniffed form,
+//! size, entry count, bytes per entry, the per-verdict-class histogram, and
+//! the bloom block's shape and estimated false-positive rate when present.
 //!
 //! Worker mode is selected by the presence of `--shard i/N` (plus
 //! `--manifest` and `--out`, which the coordinator passes automatically)
@@ -57,9 +69,9 @@
 
 use llm_vectorizer_repro::core::shard::{run_worker_from_args, ShardReportFile};
 use llm_vectorizer_repro::core::{
-    AdaptiveBudgetPolicy, CacheBounds, CrossRunProfile, EngineConfig, EngineReuse, Equivalence,
-    FlushMode, FsyncPolicy, Job, PipelineConfig, ShardPolicy, StageSchedule, SweepConfig,
-    VerdictCache, WorkerSpec,
+    cache_file_stats, AdaptiveBudgetPolicy, CacheBounds, CacheFormat, CrossRunProfile,
+    EngineConfig, EngineReuse, Equivalence, FlushMode, FsyncPolicy, Job, PipelineConfig,
+    ShardPolicy, StageSchedule, SweepConfig, VerdictCache, WorkerSpec,
 };
 use llm_vectorizer_repro::interp::ChecksumConfig;
 use llm_vectorizer_repro::tv::{SolverBudget, TvConfig};
@@ -72,28 +84,51 @@ fn fail(message: String) -> ExitCode {
     ExitCode::FAILURE
 }
 
-/// `lv-sweep compact FILE...`: rewrites each journal into its canonical
-/// compact form, dispatching on the journal kind recorded in its header.
-fn compact_files(paths: &[String]) -> ExitCode {
+/// `lv-sweep compact [--format json|binary] FILE...`: rewrites each file
+/// into its canonical compact form, dispatching on content (magic bytes for
+/// the binary cache forms, the journal kind header for the text forms).
+/// `--format` picks the target snapshot form for verdict-cache files; the
+/// other journal kinds are JSON-only.
+fn compact_files(args: &[String]) -> ExitCode {
+    let mut format = CacheFormat::Json;
+    let mut paths: Vec<&String> = Vec::new();
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        if arg == "--format" {
+            let Some(tag) = iter.next() else {
+                return fail("--format needs a value".to_string());
+            };
+            format = match CacheFormat::from_tag(tag) {
+                Ok(format) => format,
+                Err(e) => return fail(e),
+            };
+        } else {
+            paths.push(arg);
+        }
+    }
     if paths.is_empty() {
         return fail("compact needs at least one journal file".to_string());
     }
     for path in paths {
         let path = Path::new(path);
-        let text = match std::fs::read_to_string(path) {
-            Ok(text) => text,
+        let bytes = match std::fs::read(path) {
+            Ok(bytes) => bytes,
             Err(e) => return fail(format!("cannot read {}: {}", path.display(), e)),
         };
-        let before = text.len();
-        let result: Result<&str, String> = if text.starts_with("{\"journal\":\"verdict-cache\"") {
-            VerdictCache::open_journal(path, FsyncPolicy::OnCompact)
-                .and_then(|cache| {
-                    cache.compact_journal()?;
-                    Ok(())
+        let before = bytes.len();
+        let is_cache = bytes.starts_with(b"LVCS")
+            || bytes.starts_with(b"LVBJ")
+            || bytes.starts_with(b"{\"journal\":\"verdict-cache\"")
+            || (format == CacheFormat::Binary && bytes.starts_with(b"{\"version\":"));
+        let result: Result<&str, String> = if is_cache {
+            VerdictCache::open(path)
+                .and_then(|cache| cache.compact_to(format))
+                .map(|()| match format {
+                    CacheFormat::Json => "verdict cache -> JSON snapshot",
+                    CacheFormat::Binary => "verdict cache -> binary snapshot",
                 })
-                .map(|()| "verdict cache -> snapshot")
                 .map_err(|e| e.to_string())
-        } else if text.starts_with("{\"journal\":\"shard-report\"") {
+        } else if bytes.starts_with(b"{\"journal\":\"shard-report\"") {
             ShardReportFile::load(path)
                 .map_err(|e| e.to_string())
                 .and_then(|report| {
@@ -102,14 +137,14 @@ fn compact_files(paths: &[String]) -> ExitCode {
                         .map(|_| "shard report -> snapshot")
                         .map_err(|e| e.to_string())
                 })
-        } else if text.starts_with("{\"journal\":\"cross-run-profile\"") {
+        } else if bytes.starts_with(b"{\"journal\":\"cross-run-profile\"") {
             CrossRunProfile::load(path)
                 .and_then(|profile| profile.rewrite(path, FsyncPolicy::OnCompact))
                 .map(|()| "profile -> one record per cell")
                 .map_err(|e| e.to_string())
-        } else if text.starts_with("{\"version\":") {
-            // Already a snapshot: compaction is a no-op, not an error, so
-            // `compact` is idempotent over a workdir.
+        } else if bytes.starts_with(b"{\"version\":") {
+            // Already the target JSON snapshot: compaction is a no-op, not
+            // an error, so `compact` is idempotent over a workdir.
             Ok("already a snapshot (unchanged)")
         } else {
             Err("not a recognized journal or snapshot file".to_string())
@@ -131,12 +166,53 @@ fn compact_files(paths: &[String]) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// `lv-sweep cache stats FILE...`: per-file cache statistics.
+fn cache_stats(paths: &[String]) -> ExitCode {
+    if paths.is_empty() {
+        return fail("cache stats needs at least one cache file".to_string());
+    }
+    for path in paths {
+        let path = Path::new(path);
+        let stats = match cache_file_stats(path) {
+            Ok(stats) => stats,
+            Err(e) => return fail(format!("cannot read {}: {}", path.display(), e)),
+        };
+        println!("{}:", path.display());
+        println!("  format:          {}", stats.format);
+        println!("  file bytes:      {}", stats.file_bytes);
+        println!("  entries:         {}", stats.entries);
+        println!("  bytes/entry:     {:.1}", stats.bytes_per_entry());
+        println!(
+            "  verdicts:        {} equivalent, {} not-equivalent, {} inconclusive",
+            stats.equivalent, stats.not_equivalent, stats.inconclusive
+        );
+        match stats.bloom {
+            Some(bloom) => println!(
+                "  bloom:           {} bits, {} hashes, ~{:.3}% false positives",
+                bloom.bits,
+                bloom.hashes,
+                bloom.fp_estimate * 100.0
+            ),
+            None => println!("  bloom:           none"),
+        }
+    }
+    ExitCode::SUCCESS
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
 
     // Compact mode: rewrite journals into their canonical snapshots.
     if args.first().map(String::as_str) == Some("compact") {
         return compact_files(&args[1..]);
+    }
+
+    // Cache statistics mode.
+    if args.first().map(String::as_str) == Some("cache") {
+        return match args.get(1).map(String::as_str) {
+            Some("stats") => cache_stats(&args[2..]),
+            _ => fail("usage: lv-sweep cache stats FILE...".to_string()),
+        };
     }
 
     // Worker mode: the coordinator spawned us with `--shard i/N`.
@@ -168,6 +244,7 @@ fn main() -> ExitCode {
     let mut flush_tag = "journal".to_string();
     let mut fsync = FsyncPolicy::default();
     let mut flush_every = 1usize;
+    let mut cache_format = CacheFormat::default();
     let mut profile: Option<PathBuf> = None;
     let mut schedule_arg = "default".to_string();
     let mut budget_arg = "fixed".to_string();
@@ -232,6 +309,9 @@ fn main() -> ExitCode {
                         .ok()
                         .filter(|&n| n >= 1)
                         .ok_or_else(|| "--flush-every expects a positive integer".to_string())?
+                }
+                "--cache-format" => {
+                    cache_format = CacheFormat::from_tag(&value("--cache-format")?)?
                 }
                 "--profile" => profile = Some(value("--profile")?.into()),
                 "--schedule" => schedule_arg = value("--schedule")?,
@@ -402,6 +482,7 @@ fn main() -> ExitCode {
         },
         flush,
         flush_every,
+        cache_format,
         profile: profile.clone(),
         fail_shard_after: None,
     };

@@ -1,10 +1,78 @@
 //! Property-based tests over the core data structures and invariants.
 
 use llm_vectorizer_repro::cir::{parse_expr, parse_function, print_expr, print_function};
-use llm_vectorizer_repro::interp::{run_function, ArgBindings, ExecConfig};
+use llm_vectorizer_repro::core::cache::{
+    CacheFormat, CacheKey, CacheSnapshot, CachedVerdict, VerdictCache,
+};
+use llm_vectorizer_repro::core::pipeline::{Equivalence, Stage};
+use llm_vectorizer_repro::interp::{run_function, ArgBindings, ChecksumClass, ExecConfig};
 use llm_vectorizer_repro::simd::{eval_intrinsic, I32x8};
 use llm_vectorizer_repro::smt::{Solver, SolverBudget, Validity};
 use proptest::prelude::*;
+use std::collections::HashMap;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// A fresh scratch directory per property case (the shim runs cases
+/// sequentially, but every case gets its own files regardless).
+fn scratch_dir() -> PathBuf {
+    static SEQ: AtomicUsize = AtomicUsize::new(0);
+    let dir = std::env::temp_dir().join(format!(
+        "lv-prop-cache-{}-{}",
+        std::process::id(),
+        SEQ.fetch_add(1, Ordering::Relaxed)
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("scratch dir");
+    dir
+}
+
+/// Expands one random seed into a cache entry covering every verdict
+/// class, stage, and checksum tag, with details that exercise the string
+/// escaping edge cases (empty, quotes, newlines, non-ASCII).
+fn cache_entry(seed: u64) -> (CacheKey, CachedVerdict) {
+    let verdict = match seed % 3 {
+        0 => Equivalence::Equivalent,
+        1 => Equivalence::NotEquivalent,
+        _ => Equivalence::Inconclusive,
+    };
+    let stage = match (seed >> 2) % 4 {
+        0 => Stage::Checksum,
+        1 => Stage::Alive2,
+        2 => Stage::CUnroll,
+        _ => Stage::Splitting,
+    };
+    let checksum = match (seed >> 4) % 5 {
+        0 => None,
+        1 => Some(ChecksumClass::Plausible),
+        2 => Some(ChecksumClass::NotEquivalent),
+        3 => Some(ChecksumClass::CannotCompile),
+        _ => Some(ChecksumClass::ScalarFailed),
+    };
+    let detail = match (seed >> 7) % 4 {
+        0 => String::new(),
+        1 => format!("a[{}]: expected 1 but the code produced 2", seed % 100),
+        2 => format!("says \"{}\"\nacross two lines", seed % 100),
+        _ => format!("counterexample №{} → λ", seed % 100),
+    };
+    (
+        CacheKey {
+            scalar: seed,
+            candidate: seed.rotate_left(17) ^ 0xabcd,
+            config: seed.rotate_left(41),
+        },
+        CachedVerdict {
+            verdict,
+            stage,
+            detail,
+            checksum,
+        },
+    )
+}
+
+fn cache_entries(seeds: &[u64]) -> HashMap<CacheKey, CachedVerdict> {
+    seeds.iter().map(|&seed| cache_entry(seed)).collect()
+}
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
@@ -70,5 +138,91 @@ proptest! {
         let parsed = parse_function(&src).unwrap();
         let reparsed = parse_function(&print_function(&parsed)).unwrap();
         prop_assert_eq!(parsed, reparsed);
+    }
+
+    /// Converting a verdict cache JSON → binary → JSON is the identity on
+    /// both the entries (every verdict class, stage, checksum tag, and
+    /// detail edge case) and the JSON snapshot bytes themselves.
+    #[test]
+    fn cache_json_binary_conversion_roundtrip(seeds in proptest::collection::vec(any::<u64>(), 16)) {
+        let dir = scratch_dir();
+        let path = dir.join("cache.json");
+        let entries = cache_entries(&seeds);
+
+        let cache = VerdictCache::open(&path).unwrap();
+        for (key, verdict) in &entries {
+            cache.insert(*key, verdict.clone());
+        }
+        cache.persist().unwrap();
+        drop(cache);
+        let json_before = std::fs::read(&path).unwrap();
+
+        // JSON → binary: same entries through the warm tier.
+        let cache = VerdictCache::open(&path).unwrap();
+        cache.compact_to(CacheFormat::Binary).unwrap();
+        drop(cache);
+        let binary = VerdictCache::open(&path).unwrap();
+        prop_assert_eq!(binary.len(), entries.len());
+        for (key, verdict) in &entries {
+            prop_assert_eq!(binary.get(key).as_ref(), Some(verdict));
+        }
+
+        // Binary → JSON: byte-identical to the original snapshot.
+        binary.compact_to(CacheFormat::Json).unwrap();
+        drop(binary);
+        let json_after = std::fs::read(&path).unwrap();
+        prop_assert_eq!(json_before, json_after);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// The bloom block never reports a stored key as absent, and every
+    /// stored key decodes back to exactly the verdict that went in.
+    #[test]
+    fn bloom_filter_has_zero_false_negatives(seeds in proptest::collection::vec(any::<u64>(), 32)) {
+        let dir = scratch_dir();
+        let path = dir.join("snap.lvcs");
+        let entries = cache_entries(&seeds);
+        let mut sorted: Vec<(CacheKey, CachedVerdict)> =
+            entries.iter().map(|(k, v)| (*k, v.clone())).collect();
+        sorted.sort_by_key(|(key, _)| *key);
+        CacheSnapshot::write_file(&path, &sorted, true, false).unwrap();
+
+        let snapshot = CacheSnapshot::open(&path).unwrap();
+        prop_assert!(snapshot.bloom_stats().is_some());
+        for (key, verdict) in &entries {
+            prop_assert!(snapshot.maybe_contains(key), "bloom false negative");
+            prop_assert_eq!(snapshot.get(key).as_ref(), Some(verdict));
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// On a random workload of present and absent probes the zero-copy
+    /// binary snapshot answers exactly like the in-memory `HashMap` tier.
+    #[test]
+    fn snapshot_lookup_agrees_with_hashmap_tier(
+        seeds in proptest::collection::vec(any::<u64>(), 24),
+        probes in proptest::collection::vec(any::<u64>(), 48),
+    ) {
+        let dir = scratch_dir();
+        let path = dir.join("snap.lvcs");
+        let entries = cache_entries(&seeds);
+        let mut sorted: Vec<(CacheKey, CachedVerdict)> =
+            entries.iter().map(|(k, v)| (*k, v.clone())).collect();
+        sorted.sort_by_key(|(key, _)| *key);
+        CacheSnapshot::write_file(&path, &sorted, true, false).unwrap();
+        let snapshot = CacheSnapshot::open(&path).unwrap();
+
+        // Half the probes reuse stored seeds (hits), half are fresh (mostly
+        // misses — and when one accidentally collides, both sides must agree
+        // on that too).
+        for (i, &probe) in probes.iter().enumerate() {
+            let key = if i % 2 == 0 {
+                cache_entry(seeds[i % seeds.len()]).0
+            } else {
+                cache_entry(probe).0
+            };
+            prop_assert_eq!(snapshot.get(&key), entries.get(&key).cloned());
+        }
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }
