@@ -1,0 +1,229 @@
+//! Verification-service dispatch throughput: the same job batch submitted
+//! through the loopback TCP daemon (`VerificationService` + framed `LVSV`
+//! wire protocol) vs dispatched in-process (`run_batch` on an engine
+//! sharing the identical verdict cache).
+//!
+//! The batch is a small kernel set replicated under distinct labels, so
+//! the content-addressed dedupe path dominates: only the unique kernels
+//! ever run stages, everything else is answered from the cache. Three arms:
+//!
+//! * **loopback cold** — fresh daemon, first submission: unique kernels
+//!   run their cascades, replicas dedupe in-batch.
+//! * **loopback warm** — immediate resubmission: every verdict answered
+//!   from the dedupe/admission pre-pass, zero stages run. This is the pure
+//!   wire + framing + cache-lookup cost per job.
+//! * **in-process warm** — the same warm batch through `run_batch` with no
+//!   socket, the floor the wire overhead is measured against.
+//!
+//! Results are printed and written to `BENCH_8.json` (override with
+//! `BENCH_OUT`); set `LV_BENCH_QUICK=1` to shrink the batch for CI smoke
+//! runs.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lv_core::{
+    EngineConfig, Job, PipelineConfig, ServiceClient, VerdictCache, VerificationEngine,
+    VerificationService,
+};
+use lv_interp::ChecksumConfig;
+use lv_tv::{SolverBudget, TvConfig};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+const UNIQUE_KERNELS: [&str; 4] = ["s000", "s112", "s212", "vsumr"];
+
+fn quick_config() -> EngineConfig {
+    EngineConfig::full(PipelineConfig {
+        checksum: ChecksumConfig {
+            trials: 1,
+            n: 40,
+            ..ChecksumConfig::default()
+        },
+        tv: TvConfig {
+            alive2_budget: SolverBudget {
+                max_conflicts: 1_000,
+                max_clauses: 200_000,
+            },
+            cunroll_budget: SolverBudget {
+                max_conflicts: 10_000,
+                max_clauses: 1_000_000,
+            },
+            spatial_budget: SolverBudget {
+                max_conflicts: 4_000,
+                max_clauses: 500_000,
+            },
+            alive2_chunks: 1,
+            ..TvConfig::default()
+        },
+    })
+}
+
+/// `replicas` copies of each unique kernel under distinct labels — same
+/// content, same cache key, so everything past the first copy dedupes.
+fn replicated_jobs(replicas: usize) -> Vec<Job> {
+    let base: Vec<(String, _, _)> = UNIQUE_KERNELS
+        .iter()
+        .map(|name| {
+            let scalar = lv_tsvc::kernel(name).unwrap().function();
+            let candidate = lv_agents::vectorize_correct(&scalar).unwrap();
+            (name.to_string(), scalar, candidate)
+        })
+        .collect();
+    let mut jobs = Vec::with_capacity(base.len() * replicas);
+    for r in 0..replicas {
+        for (name, scalar, candidate) in &base {
+            jobs.push(Job::new(
+                format!("{}#{}", name, r),
+                scalar.clone(),
+                candidate.clone(),
+            ));
+        }
+    }
+    jobs
+}
+
+struct Arm {
+    tag: &'static str,
+    wall: Duration,
+    jobs: usize,
+    dedupe_hits: u64,
+}
+
+impl Arm {
+    fn jobs_per_s(&self) -> f64 {
+        self.jobs as f64 / self.wall.as_secs_f64()
+    }
+
+    fn dedupe_rate(&self) -> f64 {
+        self.dedupe_hits as f64 / self.jobs as f64
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    let quick = std::env::var("LV_BENCH_QUICK").is_ok();
+    let replicas = if quick { 25 } else { 100 };
+    let jobs = replicated_jobs(replicas);
+    let config = quick_config();
+
+    // Loopback daemon with a shared in-memory dedupe cache.
+    let cache = Arc::new(VerdictCache::in_memory());
+    let service =
+        VerificationService::bind("127.0.0.1:0", config.clone(), cache.clone()).expect("bind");
+    let addr = service.local_addr();
+    let daemon = std::thread::spawn(move || {
+        service.serve_forever().expect("serve");
+    });
+    let mut client = ServiceClient::connect(addr).expect("connect");
+
+    let before = client.status().expect("status");
+    let start = Instant::now();
+    let cold_frames = client.submit(&jobs).expect("cold submit");
+    let cold_wall = start.elapsed();
+    let after_cold = client.status().expect("status");
+    assert_eq!(cold_frames.len(), jobs.len());
+    let cold = Arm {
+        tag: "loopback_cold",
+        wall: cold_wall,
+        jobs: jobs.len(),
+        dedupe_hits: after_cold.dedupe_hits - before.dedupe_hits,
+    };
+
+    let start = Instant::now();
+    let warm_frames = client.submit(&jobs).expect("warm submit");
+    let warm_wall = start.elapsed();
+    let after_warm = client.status().expect("status");
+    assert!(warm_frames.iter().all(|frame| frame.cache_hit));
+    assert_eq!(
+        after_warm.stages, after_cold.stages,
+        "warm loopback must run zero stages"
+    );
+    let warm = Arm {
+        tag: "loopback_warm",
+        wall: warm_wall,
+        jobs: jobs.len(),
+        dedupe_hits: after_warm.dedupe_hits - after_cold.dedupe_hits,
+    };
+
+    // In-process floor: the identical warm batch against the same cache,
+    // no socket in the way.
+    let engine = VerificationEngine::new(config.clone().with_cache(cache.clone()));
+    let start = Instant::now();
+    let inproc = engine.run_batch(&jobs);
+    let inproc_wall = start.elapsed();
+    assert!(inproc.jobs.iter().all(|report| report.cache_hit));
+    let inprocess = Arm {
+        tag: "inprocess_warm",
+        wall: inproc_wall,
+        jobs: jobs.len(),
+        dedupe_hits: inproc.cache_hits as u64,
+    };
+
+    println!("\n=== service_throughput: loopback daemon vs in-process dispatch ===");
+    let arms = [&cold, &warm, &inprocess];
+    for arm in arms {
+        println!(
+            "  {:>14}: {:>5} jobs in {:>9.3?} = {:>9.0} jobs/s, dedupe rate {:.2}",
+            arm.tag,
+            arm.jobs,
+            arm.wall,
+            arm.jobs_per_s(),
+            arm.dedupe_rate()
+        );
+    }
+    let overhead = inprocess.jobs_per_s() / warm.jobs_per_s();
+    println!(
+        "  warm loopback costs {:.2}x the in-process warm dispatch",
+        overhead
+    );
+
+    // Emit the machine-readable data point for the repo's perf trajectory.
+    let out =
+        std::env::var("BENCH_OUT").unwrap_or_else(|_| match std::env::var("CARGO_MANIFEST_DIR") {
+            Ok(pkg) => format!("{}/../../BENCH_8.json", pkg),
+            Err(_) => "BENCH_8.json".to_string(),
+        });
+    let mut json = String::from(
+        "{\"bench\":\"service_throughput\",\
+         \"compares\":\"jobs/s and dedupe hit rate over the loopback LVSV daemon \
+         (cold first submission, warm resubmission) vs in-process run_batch on \
+         the shared verdict cache\",\"arms\":[",
+    );
+    for (i, arm) in arms.iter().enumerate() {
+        if i > 0 {
+            json.push(',');
+        }
+        json.push_str(&format!(
+            "{{\"arm\":\"{}\",\"jobs\":{},\"wall_us\":{},\"jobs_per_s\":{:.1},\
+             \"dedupe_hit_rate\":{:.4}}}",
+            arm.tag,
+            arm.jobs,
+            arm.wall.as_micros(),
+            arm.jobs_per_s(),
+            arm.dedupe_rate(),
+        ));
+    }
+    json.push_str(&format!(
+        "],\"warm_loopback_overhead_x\":{:.3}}}\n",
+        overhead
+    ));
+    std::fs::write(&out, json).expect("write bench JSON");
+    println!("wrote {}", out);
+
+    // Criterion loops over the warm paths only — the cold arm runs real
+    // solver stages and is measured once above.
+    c.bench_function("service_warm_submit_loopback", |b| {
+        b.iter(|| client.submit(&jobs).expect("submit").len())
+    });
+    c.bench_function("service_warm_batch_inprocess", |b| {
+        b.iter(|| engine.run_batch(&jobs).jobs.len())
+    });
+
+    client.shutdown().expect("shutdown");
+    daemon.join().expect("daemon thread");
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(3);
+    targets = bench
+}
+criterion_main!(benches);

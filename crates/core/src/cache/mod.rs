@@ -117,7 +117,7 @@
 //! other versions (a rejected file is reported as an error, not silently
 //! discarded, so an operator can delete it deliberately).
 
-mod binary;
+pub(crate) mod binary;
 pub mod snapshot;
 
 pub use snapshot::{BloomStats, CacheSnapshot, SnapshotError};

@@ -49,6 +49,13 @@
 //!   per-category stage order from it and
 //!   [`AdaptiveBudgetPolicy::derive_from_profile`] its tightened budgets —
 //!   no pilot slice needed once a profile exists;
+//! * [`service`] — the always-on form of the engine: a loopback-first TCP
+//!   daemon ([`VerificationService`]) plus client ([`ServiceClient`])
+//!   speaking a length-prefixed, CRC32-framed binary protocol whose verdict
+//!   payloads are the cache's own binary records. Submitted jobs are
+//!   deduped through the [`VerdictCache`] before any stage runs; admitted
+//!   jobs run on the worker pool with the configured schedule and stream
+//!   back incrementally through the observer path;
 //! * [`shard`] — sharded *multi-process* sweeps: a deterministic
 //!   [`ShardPlan`] partitions a batch over N worker processes (spawned by a
 //!   coordinator via self-exec `--shard i/N`), each shard runs the unchanged
@@ -124,6 +131,7 @@ pub mod observer;
 pub mod passk;
 pub mod pipeline;
 pub mod profile;
+pub mod service;
 pub mod shard;
 
 pub use cache::{
@@ -146,11 +154,13 @@ pub use experiments::{
 pub use funnel::{AdaptiveBudgetPolicy, FunnelReport, StageFunnel, HISTOGRAM_BUCKETS};
 pub use journal::FsyncPolicy;
 pub use observer::{
-    BatchObserver, CountingObserver, NoopObserver, OffsetObserver, StreamObserver, TeeObserver,
+    BatchObserver, CallbackObserver, CountingObserver, NoopObserver, OffsetObserver,
+    StreamObserver, TeeObserver,
 };
 pub use passk::{pass_at_k, pass_at_k_curve};
 pub use pipeline::{check_equivalence, Equivalence, EquivalenceReport, PipelineConfig, Stage};
 pub use profile::{CrossRunProfile, ProfileCell, PROFILE_FORMAT_VERSION};
+pub use service::{ServiceClient, ServiceError, ServiceStatus, VerificationService};
 pub use shard::{
     run_sharded_sweep, run_worker_from_args, FlushMode, ShardError, ShardOutcome, ShardPlan,
     ShardPolicy, ShardStatus, ShardedSweep, SweepConfig, SweepManifest, WorkerSpec,

@@ -156,6 +156,34 @@ impl<W: Write + Send> BatchObserver for StreamObserver<W> {
     }
 }
 
+/// Invokes a closure for every finished job — the adapter that lets a
+/// caller stream verdicts somewhere custom (the verification service
+/// forwards each one onto its client's socket) without writing an observer
+/// type.
+pub struct CallbackObserver<F: Fn(usize, &JobReport) + Send + Sync> {
+    callback: F,
+}
+
+impl<F: Fn(usize, &JobReport) + Send + Sync> CallbackObserver<F> {
+    /// Wraps `callback`, which receives `(index, report)` for each
+    /// finished job, in completion order, from worker threads.
+    pub fn new(callback: F) -> CallbackObserver<F> {
+        CallbackObserver { callback }
+    }
+}
+
+impl<F: Fn(usize, &JobReport) + Send + Sync> BatchObserver for CallbackObserver<F> {
+    fn job_finished(&self, index: usize, report: &JobReport) {
+        (self.callback)(index, report);
+    }
+}
+
+impl<F: Fn(usize, &JobReport) + Send + Sync> std::fmt::Debug for CallbackObserver<F> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("CallbackObserver")
+    }
+}
+
 /// Forwards every event to two observers — how the experiment drivers
 /// combine their internal accumulators with the caller's observer.
 #[derive(Debug, Clone, Copy)]

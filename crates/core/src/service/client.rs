@@ -1,0 +1,197 @@
+//! The client side: connects, submits jobs as printed C source, and
+//! collects the streamed verdicts with strict cross-checking — a verdict
+//! that is out of range, duplicated, or mislabeled, or a batch that closes
+//! short, is a typed error, never silently wrong data.
+
+use crate::engine::Job;
+use crate::service::wire::{
+    check_magic, read_message, write_message, Message, ServiceStatus, VerdictFrame, WIRE_MAGIC,
+    WIRE_VERSION,
+};
+use crate::service::ServiceError;
+use lv_cir::print_function;
+use std::io::{BufReader, Read, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+
+/// A connection to a [`VerificationService`](crate::VerificationService).
+#[derive(Debug)]
+pub struct ServiceClient {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+    fingerprint: u64,
+}
+
+impl ServiceClient {
+    /// Connects and performs the magic + hello handshake, failing with a
+    /// typed error on a protocol or version mismatch.
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<ServiceClient, ServiceError> {
+        let writer = TcpStream::connect(addr)?;
+        let _ = writer.set_nodelay(true);
+        let mut reader = BufReader::new(writer.try_clone()?);
+        let mut out = writer.try_clone()?;
+        out.write_all(&WIRE_MAGIC)?;
+        write_message(
+            &mut out,
+            &Message::Hello {
+                version: WIRE_VERSION,
+            },
+        )?;
+        let mut magic = [0u8; 4];
+        reader.read_exact(&mut magic)?;
+        check_magic(&magic)?;
+        let fingerprint = match read_message(&mut reader)? {
+            Some(Message::ServerHello {
+                version: WIRE_VERSION,
+                fingerprint,
+            }) => fingerprint,
+            Some(Message::ServerHello { version, .. }) => {
+                return Err(crate::service::WireError::VersionMismatch {
+                    theirs: version,
+                    ours: WIRE_VERSION,
+                }
+                .into())
+            }
+            Some(Message::Error { detail }) => return Err(ServiceError::Remote(detail)),
+            Some(other) => {
+                return Err(ServiceError::Protocol(format!(
+                    "expected server hello, got {:?}",
+                    other
+                )))
+            }
+            None => {
+                return Err(ServiceError::Protocol(
+                    "server closed during handshake".into(),
+                ))
+            }
+        };
+        Ok(ServiceClient {
+            reader,
+            writer,
+            fingerprint,
+        })
+    }
+
+    /// The server engine configuration's semantic fingerprint, from the
+    /// handshake.
+    pub fn fingerprint(&self) -> u64 {
+        self.fingerprint
+    }
+
+    /// Submits `jobs` and blocks until every verdict arrived, returning
+    /// them in submission order. The stream is cross-checked frame by
+    /// frame: an out-of-range index, a duplicate slot, a label that does
+    /// not match the submitted job, a short batch, or a mid-batch close
+    /// each fail with a typed error.
+    pub fn submit(&mut self, jobs: &[Job]) -> Result<Vec<VerdictFrame>, ServiceError> {
+        for job in jobs {
+            write_message(
+                &mut self.writer,
+                &Message::Submit {
+                    label: job.label.clone(),
+                    scalar: print_function(&job.scalar),
+                    candidate: print_function(&job.candidate),
+                },
+            )?;
+        }
+        write_message(
+            &mut self.writer,
+            &Message::Run {
+                count: jobs.len() as u32,
+            },
+        )?;
+        self.writer.flush()?;
+
+        let mut slots: Vec<Option<VerdictFrame>> = vec![None; jobs.len()];
+        loop {
+            match read_message(&mut self.reader)? {
+                Some(Message::Verdict(frame)) => {
+                    let index = frame.index as usize;
+                    let job = jobs.get(index).ok_or_else(|| {
+                        ServiceError::Protocol(format!(
+                            "verdict index {} out of range for a {}-job batch",
+                            index,
+                            jobs.len()
+                        ))
+                    })?;
+                    if frame.label != job.label {
+                        return Err(ServiceError::Protocol(format!(
+                            "verdict {} labeled '{}' but job {} is '{}'",
+                            index, frame.label, index, job.label
+                        )));
+                    }
+                    if slots[index].is_some() {
+                        return Err(ServiceError::Protocol(format!(
+                            "duplicate verdict for job {} ('{}')",
+                            index, frame.label
+                        )));
+                    }
+                    slots[index] = Some(frame);
+                }
+                Some(Message::Done { count }) => {
+                    if count as usize != jobs.len() {
+                        return Err(ServiceError::Protocol(format!(
+                            "batch closed with {} verdict(s), {} submitted",
+                            count,
+                            jobs.len()
+                        )));
+                    }
+                    break;
+                }
+                Some(Message::Error { detail }) => return Err(ServiceError::Remote(detail)),
+                Some(other) => {
+                    return Err(ServiceError::Protocol(format!(
+                        "unexpected server message {:?}",
+                        other
+                    )))
+                }
+                None => {
+                    return Err(ServiceError::Protocol(
+                        "server closed the connection mid-batch".into(),
+                    ))
+                }
+            }
+        }
+        let mut verdicts = Vec::with_capacity(jobs.len());
+        for (index, slot) in slots.into_iter().enumerate() {
+            verdicts.push(slot.ok_or_else(|| {
+                ServiceError::Protocol(format!("no verdict arrived for job {}", index))
+            })?);
+        }
+        Ok(verdicts)
+    }
+
+    /// Fetches the daemon's live counters.
+    pub fn status(&mut self) -> Result<ServiceStatus, ServiceError> {
+        write_message(&mut self.writer, &Message::Status)?;
+        self.writer.flush()?;
+        match read_message(&mut self.reader)? {
+            Some(Message::StatusReport(status)) => Ok(status),
+            Some(Message::Error { detail }) => Err(ServiceError::Remote(detail)),
+            Some(other) => Err(ServiceError::Protocol(format!(
+                "expected status report, got {:?}",
+                other
+            ))),
+            None => Err(ServiceError::Protocol(
+                "server closed before the status report".into(),
+            )),
+        }
+    }
+
+    /// Asks the daemon to shut down and waits for the acknowledgement,
+    /// consuming the connection.
+    pub fn shutdown(mut self) -> Result<(), ServiceError> {
+        write_message(&mut self.writer, &Message::Shutdown)?;
+        self.writer.flush()?;
+        match read_message(&mut self.reader)? {
+            Some(Message::ShutdownAck) => Ok(()),
+            Some(Message::Error { detail }) => Err(ServiceError::Remote(detail)),
+            Some(other) => Err(ServiceError::Protocol(format!(
+                "expected shutdown ack, got {:?}",
+                other
+            ))),
+            None => Err(ServiceError::Protocol(
+                "server closed before acknowledging shutdown".into(),
+            )),
+        }
+    }
+}

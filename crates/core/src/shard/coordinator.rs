@@ -17,8 +17,8 @@ use crate::cache::{CacheBounds, CacheFormat, CachedVerdict, VerdictCache};
 use crate::engine::{job_cache_key, BatchReport, Job, JobReport, VerificationEngine};
 use crate::journal::FsyncPolicy;
 use crate::profile::CrossRunProfile;
-use crate::shard::exchange::{ShardReportFile, SweepManifest};
-use crate::shard::runner::{cache_path, profile_path, report_path, FlushMode};
+use crate::shard::exchange::{read_progress, ShardProgress, ShardReportFile, SweepManifest};
+use crate::shard::runner::{cache_path, claims_path, profile_path, report_path, FlushMode};
 use crate::shard::{ShardError, ShardPolicy};
 use crate::EngineConfig;
 use std::collections::BTreeMap;
@@ -54,6 +54,95 @@ impl WorkerSpec {
     /// The self-exec spec: re-invoke the current executable.
     pub fn current_exe() -> std::io::Result<WorkerSpec> {
         Ok(WorkerSpec::new(std::env::current_exe()?))
+    }
+}
+
+/// A fully assembled worker launch: program, final argument vector, and the
+/// log file its stdout/stderr should go to. The coordinator builds one per
+/// shard and hands it to the [`WorkerSpawner`]; a backend never has to know
+/// how the shard arguments were derived.
+#[derive(Debug, Clone)]
+pub struct WorkerLaunch {
+    /// The program to run.
+    pub program: PathBuf,
+    /// The complete argument vector (worker-spec args plus shard args).
+    pub args: Vec<String>,
+    /// Where the worker's stdout/stderr should be captured.
+    pub log_path: PathBuf,
+}
+
+/// A handle to one spawned worker, owned by the coordinator's supervision
+/// loop.
+pub trait WorkerHandle: Send {
+    /// Non-blocking poll: `Ok(None)` while the worker is still running,
+    /// `Ok(Some(status))` once it ended.
+    fn try_wait(&mut self) -> std::io::Result<Option<ShardStatus>>;
+    /// Forcibly terminates the worker (used at the deadline and on stall).
+    /// Must reap the worker so no zombie outlives the sweep.
+    fn kill(&mut self);
+}
+
+/// Spawning backend for shard workers.
+///
+/// [`run_sharded_sweep`] uses [`LocalProcessSpawner`] — one local child
+/// process per shard. The trait exists so the same coordinator (manifest,
+/// supervision, stall detection, merge, recovery) can drive workers it does
+/// not fork itself, e.g. a remote-exec backend that ships the launch to
+/// another host; the shard exchange format is already path-based and
+/// self-describing, so only this seam changes.
+pub trait WorkerSpawner {
+    /// Starts one worker. Errors become [`ShardStatus::SpawnFailed`] — the
+    /// coordinator recovers the shard's jobs in-process.
+    fn spawn(&self, launch: &WorkerLaunch) -> Result<Box<dyn WorkerHandle>, String>;
+}
+
+/// The default [`WorkerSpawner`]: `std::process::Command` on this machine,
+/// stdout/stderr captured to the launch's log file.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LocalProcessSpawner;
+
+struct LocalProcessHandle(Child);
+
+impl WorkerHandle for LocalProcessHandle {
+    fn try_wait(&mut self) -> std::io::Result<Option<ShardStatus>> {
+        Ok(self.0.try_wait()?.map(|status| {
+            if status.success() {
+                ShardStatus::Completed
+            } else {
+                ShardStatus::Failed(status.code())
+            }
+        }))
+    }
+
+    fn kill(&mut self) {
+        let _ = self.0.kill();
+        let _ = self.0.wait();
+    }
+}
+
+impl WorkerSpawner for LocalProcessSpawner {
+    fn spawn(&self, launch: &WorkerLaunch) -> Result<Box<dyn WorkerHandle>, String> {
+        let mut command = Command::new(&launch.program);
+        command.args(&launch.args).stdin(Stdio::null());
+        // Worker diagnostics go to the per-shard log so they survive for
+        // post-mortems; an uncreatable log silently degrades to /dev/null
+        // rather than failing the shard.
+        match std::fs::File::create(&launch.log_path) {
+            Ok(log) => {
+                let err = log.try_clone();
+                command.stdout(Stdio::from(log));
+                if let Ok(err) = err {
+                    command.stderr(Stdio::from(err));
+                }
+            }
+            Err(_) => {
+                command.stdout(Stdio::null()).stderr(Stdio::null());
+            }
+        }
+        match command.spawn() {
+            Ok(child) => Ok(Box::new(LocalProcessHandle(child))),
+            Err(e) => Err(e.to_string()),
+        }
     }
 }
 
@@ -101,6 +190,27 @@ pub struct SweepConfig {
     /// `--fail-after k` to that shard's worker, making it exit after `k`
     /// finished jobs with partial output flushed.
     pub fail_shard_after: Option<(usize, usize)>,
+    /// Live-shard work stealing (passed as `--steal`): workers that finish
+    /// their own share claim pending jobs from slow siblings through
+    /// CRC-framed claim journals next to the shard reports. Requires
+    /// journal flush mode; see the [module docs](crate::shard) for the
+    /// claim protocol and its conflict rules.
+    pub steal: bool,
+    /// Per-shard stall detection: a worker whose report journal shows no
+    /// new heartbeat *and* no new report for this long is presumed hung and
+    /// killed early ([`ShardStatus::Stalled`]) instead of holding the sweep
+    /// until [`SweepConfig::timeout`]. Its unreported jobs are recovered
+    /// like any other dead worker's. `None` disables stall detection.
+    pub stall_timeout: Option<Duration>,
+    /// Liveness heartbeat period (passed as `--heartbeat-ms`). `None` lets
+    /// the coordinator choose: 250ms whenever stealing or stall detection
+    /// needs the signal, off otherwise (keeping default journals
+    /// byte-stable for tests that pin them).
+    pub heartbeat: Option<Duration>,
+    /// Fault injection for the stealing tests: `(shard, ms)` passes
+    /// `--delay-ms` to that shard's worker, delaying its first claim so
+    /// siblings can demonstrably steal its share.
+    pub delay_shard: Option<(usize, u64)>,
 }
 
 impl Default for SweepConfig {
@@ -117,6 +227,10 @@ impl Default for SweepConfig {
             cache_format: CacheFormat::default(),
             profile: None,
             fail_shard_after: None,
+            steal: false,
+            stall_timeout: None,
+            heartbeat: None,
+            delay_shard: None,
         }
     }
 }
@@ -135,6 +249,9 @@ pub enum ShardStatus {
     Failed(Option<i32>),
     /// The worker outlived [`SweepConfig::timeout`] and was killed.
     TimedOut,
+    /// The worker showed no fresh heartbeat or report for
+    /// [`SweepConfig::stall_timeout`] and was killed early as hung.
+    Stalled,
     /// The worker process could not be spawned at all.
     SpawnFailed(String),
 }
@@ -148,8 +265,14 @@ pub struct ShardOutcome {
     pub status: ShardStatus,
     /// Jobs the shard planned to run.
     pub planned: usize,
-    /// Jobs its report file actually contained.
+    /// Of the shard's *own* share, jobs its report file actually contained.
     pub reported: usize,
+    /// Jobs this shard reported from *other* shards' shares — its work
+    /// stealing yield. Always zero without [`SweepConfig::steal`].
+    pub stolen: usize,
+    /// Liveness heartbeats the shard's report journal carried (zero unless
+    /// a heartbeat period was in effect).
+    pub heartbeats: u64,
 }
 
 /// The merged result of a sharded sweep.
@@ -178,18 +301,36 @@ pub struct ShardedSweep {
 }
 
 enum Worker {
-    Running(Child),
+    Running(Box<dyn WorkerHandle>),
     SpawnFailed(String),
     Done(ShardStatus),
 }
 
+/// What the supervision loop last saw in a shard's report journal, for
+/// stall detection: the observable progress tuple plus when it last moved.
+struct StallWatch {
+    last: ShardProgress,
+    moved: Instant,
+}
+
 /// Runs `jobs` as a multi-process sweep under `config` (whose `cache` and
 /// `adaptive` fields are ignored — see [`SweepManifest`]) and merges the
-/// results. See the [module docs](crate::shard) for the full contract.
+/// results, spawning workers as local child processes. See the
+/// [module docs](crate::shard) for the full contract.
 pub fn run_sharded_sweep(
     jobs: &[Job],
     config: &EngineConfig,
     sweep: &SweepConfig,
+) -> Result<ShardedSweep, ShardError> {
+    run_sharded_sweep_with(jobs, config, sweep, &LocalProcessSpawner)
+}
+
+/// [`run_sharded_sweep`] with an explicit [`WorkerSpawner`] backend.
+pub fn run_sharded_sweep_with(
+    jobs: &[Job],
+    config: &EngineConfig,
+    sweep: &SweepConfig,
+    spawner: &dyn WorkerSpawner,
 ) -> Result<ShardedSweep, ShardError> {
     let start = Instant::now();
     std::fs::create_dir_all(&sweep.workdir)?;
@@ -207,79 +348,111 @@ pub fn run_sharded_sweep(
         let _ = std::fs::remove_file(cache_path(&sweep.workdir, shard));
         let _ = std::fs::remove_file(report_path(&sweep.workdir, shard));
         let _ = std::fs::remove_file(profile_path(&sweep.workdir, shard));
+        let _ = std::fs::remove_file(claims_path(&sweep.workdir, shard));
     }
 
-    // Spawn one worker per shard; stdout/stderr go to per-shard log files so
-    // worker diagnostics survive for post-mortems.
+    // Stealing and stall detection both key on the liveness heartbeat; when
+    // the caller did not pick a period, turn it on at 250ms exactly when one
+    // of them needs it (and leave journals byte-stable otherwise).
+    let heartbeat = sweep.heartbeat.or_else(|| {
+        (sweep.steal || sweep.stall_timeout.is_some()).then(|| Duration::from_millis(250))
+    });
+
+    // Assemble one launch per shard and hand them to the spawner backend.
     let mut workers: Vec<Worker> = (0..manifest.shards)
         .map(|shard| {
-            let log = std::fs::File::create(sweep.workdir.join(format!("shard-{}.log", shard)));
-            let mut command = Command::new(&sweep.worker.program);
-            command
-                .args(&sweep.worker.args)
-                .arg("--shard")
-                .arg(format!("{}/{}", shard, manifest.shards))
-                .arg("--manifest")
-                .arg(&manifest_path)
-                .arg("--out")
-                .arg(&sweep.workdir)
-                .arg("--flush")
-                .arg(sweep.flush.tag())
-                .arg("--schedule")
-                .arg(manifest.schedule.spec())
-                .stdin(Stdio::null());
+            let mut args = sweep.worker.args.clone();
+            args.push("--shard".into());
+            args.push(format!("{}/{}", shard, manifest.shards));
+            args.push("--manifest".into());
+            args.push(manifest_path.display().to_string());
+            args.push("--out".into());
+            args.push(sweep.workdir.display().to_string());
+            args.push("--flush".into());
+            args.push(sweep.flush.tag().into());
+            args.push("--schedule".into());
+            args.push(manifest.schedule.spec());
             if let FlushMode::Journal(fsync) = sweep.flush {
-                command.arg("--fsync").arg(fsync.tag());
+                args.push("--fsync".into());
+                args.push(fsync.tag().into());
             }
             if sweep.flush_every > 1 {
-                command
-                    .arg("--flush-every")
-                    .arg(sweep.flush_every.to_string());
+                args.push("--flush-every".into());
+                args.push(sweep.flush_every.to_string());
             }
             if sweep.cache_format != CacheFormat::default() {
-                command.arg("--cache-format").arg(sweep.cache_format.tag());
+                args.push("--cache-format".into());
+                args.push(sweep.cache_format.tag().into());
             }
             if sweep.profile.is_some() {
-                command
-                    .arg("--profile")
-                    .arg(profile_path(&sweep.workdir, shard));
+                args.push("--profile".into());
+                args.push(profile_path(&sweep.workdir, shard).display().to_string());
             }
-            match log {
-                Ok(log) => {
-                    let err = log.try_clone();
-                    command.stdout(Stdio::from(log));
-                    if let Ok(err) = err {
-                        command.stderr(Stdio::from(err));
-                    }
-                }
-                Err(_) => {
-                    command.stdout(Stdio::null()).stderr(Stdio::null());
+            if let Some(period) = heartbeat {
+                args.push("--heartbeat-ms".into());
+                args.push(period.as_millis().max(1).to_string());
+            }
+            if sweep.steal {
+                args.push("--steal".into());
+            }
+            if let Some((delay_shard, ms)) = sweep.delay_shard {
+                if delay_shard == shard {
+                    args.push("--delay-ms".into());
+                    args.push(ms.to_string());
                 }
             }
             if let Some((fail_shard, after)) = sweep.fail_shard_after {
                 if fail_shard == shard {
-                    command.arg("--fail-after").arg(after.to_string());
+                    args.push("--fail-after".into());
+                    args.push(after.to_string());
                 }
             }
-            match command.spawn() {
-                Ok(child) => Worker::Running(child),
-                Err(e) => Worker::SpawnFailed(e.to_string()),
+            let launch = WorkerLaunch {
+                program: sweep.worker.program.clone(),
+                args,
+                log_path: sweep.workdir.join(format!("shard-{}.log", shard)),
+            };
+            match spawner.spawn(&launch) {
+                Ok(handle) => Worker::Running(handle),
+                Err(e) => Worker::SpawnFailed(e),
             }
         })
         .collect();
 
-    // Supervise: poll until every worker exits or the deadline passes.
+    // Supervise: poll until every worker exits or the deadline passes. With
+    // a stall timeout, each running worker's report journal is also watched
+    // — reports and heartbeats both count as progress, so a hung-but-alive
+    // worker (heartbeats ticking, no reports) is *not* killed early, while a
+    // truly wedged one is killed as Stalled well before the hard deadline.
     let deadline = Instant::now() + sweep.timeout;
+    let mut watches: Vec<StallWatch> = (0..manifest.shards)
+        .map(|_| StallWatch {
+            last: ShardProgress::default(),
+            moved: Instant::now(),
+        })
+        .collect();
     loop {
         let mut running = false;
-        for worker in &mut workers {
-            if let Worker::Running(child) = worker {
-                match child.try_wait()? {
-                    Some(status) if status.success() => {
-                        *worker = Worker::Done(ShardStatus::Completed)
+        for (shard, worker) in workers.iter_mut().enumerate() {
+            if let Worker::Running(handle) = worker {
+                match handle.try_wait()? {
+                    Some(status) => *worker = Worker::Done(status),
+                    None => {
+                        running = true;
+                        if let Some(stall) = sweep.stall_timeout {
+                            let seen =
+                                read_progress(&report_path(&sweep.workdir, shard), fingerprint)
+                                    .unwrap_or_default();
+                            let watch = &mut watches[shard];
+                            if seen != watch.last {
+                                watch.last = seen;
+                                watch.moved = Instant::now();
+                            } else if watch.moved.elapsed() >= stall {
+                                handle.kill();
+                                *worker = Worker::Done(ShardStatus::Stalled);
+                            }
+                        }
                     }
-                    Some(status) => *worker = Worker::Done(ShardStatus::Failed(status.code())),
-                    None => running = true,
                 }
             }
         }
@@ -288,9 +461,8 @@ pub fn run_sharded_sweep(
         }
         if Instant::now() >= deadline {
             for worker in &mut workers {
-                if let Worker::Running(child) = worker {
-                    let _ = child.kill();
-                    let _ = child.wait();
+                if let Worker::Running(handle) = worker {
+                    handle.kill();
                     *worker = Worker::Done(ShardStatus::TimedOut);
                 }
             }
@@ -302,7 +474,9 @@ pub fn run_sharded_sweep(
     // Collect shard reports. A missing/corrupt report, one produced under a
     // different configuration fingerprint, or an entry that does not match
     // this sweep's job list (an out-of-range index or a drifted label)
-    // contributes nothing — its jobs fall into the recovery set.
+    // contributes nothing — its jobs fall into the recovery set. An entry
+    // for *another* shard's job is a steal: verification determinism makes
+    // a doubly-claimed job's two reports identical, so first report wins.
     let mut entries: BTreeMap<usize, JobReport> = BTreeMap::new();
     let mut outcomes = Vec::with_capacity(manifest.shards);
     for (shard, worker) in workers.into_iter().enumerate() {
@@ -312,24 +486,33 @@ pub fn run_sharded_sweep(
             Worker::Running(_) => unreachable!("supervision loop drains every worker"),
         };
         let mut reported = 0;
+        let mut stolen = 0;
         if let Ok(report) = ShardReportFile::load(report_path(&sweep.workdir, shard)) {
             if report.fingerprint == fingerprint {
                 for (index, job_report) in report.entries {
                     let valid = jobs
                         .get(index)
                         .is_some_and(|job| job.label == job_report.label);
-                    if valid && plan.shard_of(index) == shard {
-                        reported += 1;
+                    if valid {
+                        if plan.shard_of(index) == shard {
+                            reported += 1;
+                        } else {
+                            stolen += 1;
+                        }
                         entries.entry(index).or_insert(job_report);
                     }
                 }
             }
         }
+        let heartbeats = read_progress(&report_path(&sweep.workdir, shard), fingerprint)
+            .map_or(0, |progress| progress.heartbeats);
         outcomes.push(ShardOutcome {
             shard,
             status,
             planned: plan.indices_of(shard).len(),
             reported,
+            stolen,
+            heartbeats,
         });
     }
 

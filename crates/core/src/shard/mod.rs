@@ -25,10 +25,12 @@
 //!   [`run_worker_from_args`] is the drop-in `--shard i/N` entry point for
 //!   self-executing binaries (the `lv-sweep` CLI and the `shard_sweep`
 //!   example both use it).
-//! * [`coordinator`] — spawns one worker process per shard via
-//!   [`std::process::Command`], supervises them (wall-clock timeout,
-//!   nonzero-exit and spawn-failure detection), recovers missing results,
-//!   and merges shard outputs.
+//! * [`coordinator`] — spawns one worker per shard through a pluggable
+//!   [`WorkerSpawner`] backend ([`LocalProcessSpawner`] forks local child
+//!   processes; a remote-exec backend only has to implement the same
+//!   two-method seam), supervises them (wall-clock timeout, stall
+//!   detection, nonzero-exit and spawn-failure detection), recovers
+//!   missing results, and merges shard outputs.
 //!
 //! # Exchange formats
 //!
@@ -113,6 +115,55 @@
 //! a journal-mode sweep still produces a merged cache file byte-identical
 //! to the single-process run (CI pins this, kill-recovery included).
 //!
+//! # Liveness heartbeats
+//!
+//! With a heartbeat period in effect (`--heartbeat-ms`,
+//! [`SweepConfig::heartbeat`], or implied by stealing / stall detection), a
+//! journal-mode worker appends a heartbeat record —
+//! `{"heartbeat": <seq>, "finished": <n>}` — to its *report journal* on a
+//! background ticker, each one flushed immediately. Heartbeats are liveness
+//! telemetry, not job results: report replay filters them out, so the
+//! merged report is unchanged. They give the coordinator (and thieves) the
+//! distinction the exit code can't: a worker with ticking heartbeats but no
+//! new reports is **hung-but-alive inside a long stage** (or deliberately
+//! delayed) — [`read_progress`] surfaces the `(reported, heartbeats)`
+//! tuple, stall detection ([`SweepConfig::stall_timeout`]) only kills a
+//! worker whose tuple stopped moving entirely, and the heartbeat flush also
+//! commits any records buffered by `--flush-every`, shrinking the
+//! kill-loss window.
+//!
+//! # Work stealing
+//!
+//! With [`SweepConfig::steal`] (worker flag `--steal`, journal mode only),
+//! a worker that exhausts its own share turns thief: it scans the sibling
+//! report journals for the *stalest* victim (fewest committed reports,
+//! then fewest heartbeats) with pending jobs and claims a worker-pool-sized
+//! chunk of them. Claims go through per-shard, single-writer **claim
+//! journals** (`shard-<i>.claims.json`, [`ClaimsJournal`], header kind
+//! `shard-claims`): one CRC-framed `{"index": n}` record per claimed job,
+//! flushed per append, written *before* the job runs. Claims are
+//! advisory, not locks — the conflict rules are:
+//!
+//! * A claim race (two shards claim the same job between each other's
+//!   scans) is benign: verification is deterministic, so both produce the
+//!   identical verdict; the coordinator takes the first report per index
+//!   and the cache merge only rejects *disagreeing* duplicates.
+//! * Workers skip jobs claimed by a sibling ([`read_claims`]) — including
+//!   their *own* share's, so a delayed owner does not re-run what a thief
+//!   already took — and re-scan between chunks.
+//! * A job claimed but never reported (the thief died) is no one's
+//!   responsibility: the coordinator's recovery re-runs every unreported
+//!   index regardless of claims, so claims can only deduplicate work,
+//!   never lose it.
+//! * Stealing refuses to combine with incremental SMT reuse
+//!   ([`EngineReuse::incremental`](crate::EngineReuse)): a reused
+//!   conclusion's stage/detail depend on same-process query history, so a
+//!   claim race could produce *differing* cache entries for one key — the
+//!   exact conflict the merge must keep treating as corruption.
+//!
+//! Stolen reports are appended to the thief's own report journal under the
+//! jobs' original indices; [`ShardOutcome::stolen`] counts them.
+//!
 //! # Recovery semantics
 //!
 //! Workers flush their cache file and report after every finished job —
@@ -169,9 +220,13 @@ pub mod plan;
 pub mod runner;
 
 pub use coordinator::{
-    run_sharded_sweep, ShardOutcome, ShardStatus, ShardedSweep, SweepConfig, WorkerSpec,
+    run_sharded_sweep, run_sharded_sweep_with, LocalProcessSpawner, ShardOutcome, ShardStatus,
+    ShardedSweep, SweepConfig, WorkerHandle, WorkerLaunch, WorkerSpawner, WorkerSpec,
 };
-pub use exchange::{ShardReportFile, ShardReportJournal, SweepManifest};
+pub use exchange::{
+    read_claims, read_progress, ClaimsJournal, ShardProgress, ShardReportFile, ShardReportJournal,
+    SweepManifest,
+};
 pub use plan::{job_key, ShardPlan, ShardPolicy};
 pub use runner::{
     run_shard, run_shard_with, run_worker_from_args, FlushMode, ShardRunOptions, ShardRunOutput,

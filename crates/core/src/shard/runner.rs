@@ -33,11 +33,15 @@ use crate::engine::{Job, JobReport, StageSchedule, VerificationEngine};
 use crate::journal::FsyncPolicy;
 use crate::observer::BatchObserver;
 use crate::profile::CrossRunProfile;
-use crate::shard::exchange::{ShardReportFile, ShardReportJournal, SweepManifest};
+use crate::shard::exchange::{
+    read_claims, read_progress, ClaimsJournal, ShardReportFile, ShardReportJournal, SweepManifest,
+};
 use crate::shard::ShardError;
+use std::collections::BTreeSet;
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
+use std::time::Duration;
 
 /// How a shard worker flushes its per-job output (see the [module
 /// docs](self) for the trade-off).
@@ -94,13 +98,24 @@ pub(crate) fn profile_path(out_dir: &Path, shard: usize) -> PathBuf {
     out_dir.join(format!("shard-{}.profile.json", shard))
 }
 
+/// See [`cache_path`]. The steal-claim journal a stealing-enabled shard
+/// appends its claims to.
+pub(crate) fn claims_path(out_dir: &Path, shard: usize) -> PathBuf {
+    out_dir.join(format!("shard-{}.claims.json", shard))
+}
+
 /// What [`run_shard`] produced.
 #[derive(Debug)]
 pub struct ShardRunOutput {
     /// The shard that ran.
     pub shard: usize,
-    /// Jobs the shard finished (== its share of the plan on a healthy run).
+    /// Jobs the shard finished (== its share of the plan on a healthy
+    /// non-stealing run; with stealing, its own jobs it ran plus the ones
+    /// it stole).
     pub finished: usize,
+    /// Of `finished`, the jobs stolen from other shards' shares (always 0
+    /// without [`ShardRunOptions::steal`]).
+    pub stolen: usize,
     /// The per-shard verdict-cache file.
     pub cache_file: PathBuf,
     /// The shard report file.
@@ -142,6 +157,29 @@ pub struct ShardRunOptions {
     /// commits the authoritative whole-run delta itself from the merged
     /// report.
     pub profile: Option<PathBuf>,
+    /// Append a liveness heartbeat record to the report journal at this
+    /// period (`--heartbeat-ms`). `None` (the default) writes no
+    /// heartbeats, keeping journal bytes identical to previous builds.
+    /// Only meaningful in [`FlushMode::Journal`] — heartbeats are journal
+    /// records — and note that each heartbeat flushes, which commits any
+    /// job records batched behind it ([`ShardRunOptions::flush_every`]'s
+    /// loss window shrinks to one heartbeat period).
+    pub heartbeat: Option<Duration>,
+    /// Enable live-shard work stealing (`--steal`): claim own jobs through
+    /// a [`ClaimsJournal`] chunk by chunk, then steal unclaimed pending
+    /// jobs from the stalest sibling shards. Requires
+    /// [`FlushMode::Journal`] and is refused (with a warning, falling back
+    /// to the plain path) when the manifest enables incremental SMT reuse,
+    /// whose concluding stage/detail depends on what else ran in the same
+    /// process — two shards racing a claim could then write *different*
+    /// (both individually correct) cache entries for one job, which the
+    /// coordinator's merge must reject. See the [module
+    /// docs](crate::shard) for the conflict rules.
+    pub steal: bool,
+    /// Fault injection for the stealing tests: sleep this long *once* at
+    /// startup, before claiming or running anything (`--delay-ms`) — the
+    /// deliberately slowed shard whose share the others steal.
+    pub delay: Option<Duration>,
 }
 
 impl Default for ShardRunOptions {
@@ -152,6 +190,9 @@ impl Default for ShardRunOptions {
             flush_every: 1,
             cache_format: CacheFormat::default(),
             profile: None,
+            heartbeat: None,
+            steal: false,
+            delay: None,
         }
     }
 }
@@ -173,11 +214,14 @@ enum ReportSink {
 /// after every job so partial output survives a kill. Optionally aborts the
 /// process after `fail_after` jobs — the fault-injection hook the recovery
 /// tests and the CI example use to simulate a worker dying mid-sweep.
-struct ShardFlushObserver {
-    /// Local batch index → original job index.
-    indices: Vec<usize>,
+///
+/// The appender is shard-lifetime state shared by every engine sub-batch
+/// the shard runs (one for a plain run; one per claimed chunk under work
+/// stealing) and by the heartbeat ticker; the per-batch index mapping
+/// lives in the throwaway [`ChunkObserver`]s layered on top.
+struct ShardAppender {
     cache: Arc<VerdictCache>,
-    /// The sink lock is held across the file writes: `job_finished` fires
+    /// The sink lock is held across the file writes: `record` fires
     /// concurrently from engine worker threads, and both sinks need their
     /// writes serialized — the rewrite path's atomic write-then-rename uses
     /// one fixed temp path per file, and the journal path's records must
@@ -187,43 +231,9 @@ struct ShardFlushObserver {
     fail_after: Option<usize>,
 }
 
-impl ShardFlushObserver {
-    /// Flushes the report sink (and, on the rewrite path, the cache — in
-    /// journal mode the cache appended and flushed its own record at insert
-    /// time, before this observer ran).
-    fn flush(&self) {
-        let mut sink = self.sink.lock().unwrap();
-        match &mut *sink {
-            ReportSink::Rewrite {
-                shard,
-                shards,
-                fingerprint,
-                report_file,
-                entries,
-            } => {
-                let report = ShardReportFile {
-                    shard: *shard,
-                    shards: *shards,
-                    fingerprint: *fingerprint,
-                    entries: entries.clone(),
-                };
-                // Flushes are best-effort: an unwritable report surfaces
-                // later as missing output, which the coordinator recovers
-                // from anyway.
-                let _ = report.write(report_file);
-                let _ = self.cache.persist();
-            }
-            ReportSink::Journal(journal) => {
-                let _ = journal.flush();
-                let _ = self.cache.persist();
-            }
-        }
-    }
-}
-
-impl BatchObserver for ShardFlushObserver {
-    fn job_finished(&self, index: usize, report: &JobReport) {
-        let original = self.indices[index];
+impl ShardAppender {
+    /// Commits one finished job under its *original* job index.
+    fn record(&self, original: usize, report: &JobReport) {
         {
             let mut sink = self.sink.lock().unwrap();
             match &mut *sink {
@@ -260,6 +270,61 @@ impl BatchObserver for ShardFlushObserver {
             // signal would, leaving the flushed prefix behind.
             std::process::exit(3);
         }
+    }
+
+    /// Appends (journal mode only) a liveness heartbeat; best-effort.
+    fn heartbeat(&self, seq: u64) {
+        let finished = self.finished.load(Ordering::SeqCst);
+        let mut sink = self.sink.lock().unwrap();
+        if let ReportSink::Journal(journal) = &mut *sink {
+            let _ = journal.append_heartbeat(seq, finished);
+        }
+    }
+
+    /// Flushes the report sink (and, on the rewrite path, the cache — in
+    /// journal mode the cache appended and flushed its own record at insert
+    /// time, before this observer ran).
+    fn flush(&self) {
+        let mut sink = self.sink.lock().unwrap();
+        match &mut *sink {
+            ReportSink::Rewrite {
+                shard,
+                shards,
+                fingerprint,
+                report_file,
+                entries,
+            } => {
+                let report = ShardReportFile {
+                    shard: *shard,
+                    shards: *shards,
+                    fingerprint: *fingerprint,
+                    entries: entries.clone(),
+                };
+                // Flushes are best-effort: an unwritable report surfaces
+                // later as missing output, which the coordinator recovers
+                // from anyway.
+                let _ = report.write(report_file);
+                let _ = self.cache.persist();
+            }
+            ReportSink::Journal(journal) => {
+                let _ = journal.flush();
+                let _ = self.cache.persist();
+            }
+        }
+    }
+}
+
+/// The per-batch observer: maps the engine's local batch indices back to
+/// original job indices and forwards to the shard's [`ShardAppender`].
+struct ChunkObserver<'a> {
+    appender: &'a ShardAppender,
+    /// Local batch index → original job index.
+    indices: &'a [usize],
+}
+
+impl BatchObserver for ChunkObserver<'_> {
+    fn job_finished(&self, index: usize, report: &JobReport) {
+        self.appender.record(self.indices[index], report);
     }
 }
 
@@ -344,18 +409,86 @@ pub fn run_shard_with(
     };
     let engine = VerificationEngine::new(manifest.engine_config().with_cache(cache.clone()));
 
-    let observer = ShardFlushObserver {
-        indices,
+    let appender = ShardAppender {
         cache: cache.clone(),
         sink: Mutex::new(sink),
         finished: AtomicUsize::new(0),
         fail_after: options.fail_after,
     };
-    let batch = engine.run_batch_observed(&jobs, &observer);
+
+    // Heartbeats are journal records; in rewrite mode the option is
+    // silently meaningless (every rewrite *is* a liveness signal anyway).
+    let heartbeat = match options.flush {
+        FlushMode::Journal(_) => options.heartbeat,
+        FlushMode::Rewrite => None,
+    };
+    let steal = if !options.steal {
+        false
+    } else if !matches!(options.flush, FlushMode::Journal(_)) {
+        eprintln!(
+            "lv-shard: --steal needs journal flush mode (claims are journal records); \
+             running shard {} without stealing",
+            shard
+        );
+        false
+    } else if manifest.reuse.incremental {
+        eprintln!(
+            "lv-shard: --steal is incompatible with incremental SMT reuse (a claim race \
+             could produce conflicting cache entries); running shard {} without stealing",
+            shard
+        );
+        false
+    } else {
+        true
+    };
+
+    let stop = AtomicBool::new(false);
+    let (ran_jobs, ran_reports, stolen) = std::thread::scope(|scope| {
+        if let Some(period) = heartbeat {
+            let appender = &appender;
+            let stop = &stop;
+            scope.spawn(move || {
+                let mut seq = 0u64;
+                loop {
+                    // Sleep in short slices so the ticker exits promptly
+                    // when the shard finishes.
+                    let mut slept = Duration::ZERO;
+                    while slept < period {
+                        if stop.load(Ordering::SeqCst) {
+                            return;
+                        }
+                        let slice = Duration::from_millis(10).min(period - slept);
+                        std::thread::sleep(slice);
+                        slept += slice;
+                    }
+                    if stop.load(Ordering::SeqCst) {
+                        return;
+                    }
+                    seq += 1;
+                    appender.heartbeat(seq);
+                }
+            });
+        }
+        let result = if steal {
+            run_shard_stealing(
+                manifest, shard, out_dir, options, &engine, &appender, &indices,
+            )
+        } else {
+            let observer = ChunkObserver {
+                appender: &appender,
+                indices: &indices,
+            };
+            let batch = engine.run_batch_observed(&jobs, &observer);
+            Ok((jobs.clone(), batch.jobs, 0))
+        };
+        stop.store(true, Ordering::SeqCst);
+        result
+    })?;
+
     // Final flush: on an empty shard no job ever flushed, and with batched
     // flushing (or a transiently failed mid-sweep flush) it commits the
     // buffered tail.
-    observer.flush();
+    appender.flush();
     cache.persist()?;
     if let Some(profile_path) = &options.profile {
         // The shard's contribution to the cross-run profile. Fsync policy
@@ -365,15 +498,151 @@ pub fn run_shard_with(
             FlushMode::Journal(fsync) => fsync,
             FlushMode::Rewrite => FsyncPolicy::default(),
         };
-        CrossRunProfile::from_batch(&jobs, &batch.jobs).append_to(profile_path, fsync)?;
+        CrossRunProfile::from_batch(&ran_jobs, &ran_reports).append_to(profile_path, fsync)?;
     }
     Ok(ShardRunOutput {
         shard,
-        finished: batch.jobs.len(),
+        finished: ran_reports.len(),
+        stolen,
         cache_file,
         report_file,
         profile_file: options.profile.clone(),
     })
+}
+
+/// The stealing run loop: claim and run the shard's *own* pending jobs one
+/// worker-pool-sized chunk at a time (skipping anything a sibling already
+/// claimed), then turn thief — repeatedly pick the stalest sibling with
+/// unclaimed pending jobs and claim a chunk of its share. Stolen reports
+/// are appended to this shard's own report journal under the jobs'
+/// original indices; the coordinator accepts reports from any shard
+/// (first report wins) and its recovery path backstops jobs that were
+/// claimed but never reported.
+#[allow(clippy::too_many_arguments)]
+fn run_shard_stealing(
+    manifest: &SweepManifest,
+    shard: usize,
+    out_dir: &Path,
+    options: &ShardRunOptions,
+    engine: &VerificationEngine,
+    appender: &ShardAppender,
+    own_indices: &[usize],
+) -> Result<(Vec<Job>, Vec<JobReport>, usize), ShardError> {
+    if let Some(delay) = options.delay {
+        // One-time simulated slow start (fault injection for the stealing
+        // tests): heartbeats keep ticking — the shard is alive, just slow —
+        // while its pending share sits unclaimed for siblings to take.
+        std::thread::sleep(delay);
+    }
+    let plan = manifest.plan();
+    let fingerprint = manifest.fingerprint();
+    let mut claims = ClaimsJournal::create(
+        &claims_path(out_dir, shard),
+        shard,
+        manifest.shards,
+        fingerprint,
+        match options.flush {
+            FlushMode::Journal(fsync) => fsync,
+            FlushMode::Rewrite => FsyncPolicy::default(),
+        },
+    )?;
+    let mut claimed: BTreeSet<usize> = BTreeSet::new();
+    let mut ran_jobs: Vec<Job> = Vec::new();
+    let mut ran_reports: Vec<JobReport> = Vec::new();
+
+    // The union of every *sibling's* claims right now (our own are tracked
+    // in `claimed` — re-reading our own journal would be redundant).
+    let sibling_claims = |out_dir: &Path| -> BTreeSet<usize> {
+        (0..manifest.shards)
+            .filter(|&s| s != shard)
+            .flat_map(|s| read_claims(&claims_path(out_dir, s), fingerprint))
+            .collect()
+    };
+
+    // Claims a chunk and runs it through the shared appender.
+    let run_chunk = |chunk: &[usize],
+                     claims: &mut ClaimsJournal,
+                     claimed: &mut BTreeSet<usize>,
+                     ran_jobs: &mut Vec<Job>,
+                     ran_reports: &mut Vec<JobReport>|
+     -> Result<(), ShardError> {
+        for &index in chunk {
+            claims.append(index)?;
+            claimed.insert(index);
+        }
+        let chunk_jobs: Vec<Job> = chunk.iter().map(|&i| manifest.jobs[i].clone()).collect();
+        let observer = ChunkObserver {
+            appender,
+            indices: chunk,
+        };
+        let batch = engine.run_batch_observed(&chunk_jobs, &observer);
+        ran_jobs.extend(chunk_jobs);
+        ran_reports.extend(batch.jobs);
+        Ok(())
+    };
+
+    // Phase 1 — our own share, chunk by chunk. Re-scanning sibling claims
+    // between chunks is what lets a thief relieve *us* too: anything a
+    // sibling claimed while we worked is dropped from our pending set.
+    loop {
+        let foreign = sibling_claims(out_dir);
+        let pending: Vec<usize> = own_indices
+            .iter()
+            .copied()
+            .filter(|i| !claimed.contains(i) && !foreign.contains(i))
+            .collect();
+        if pending.is_empty() {
+            break;
+        }
+        let chunk_len = engine.resolved_threads(pending.len()).min(pending.len());
+        run_chunk(
+            &pending[..chunk_len],
+            &mut claims,
+            &mut claimed,
+            &mut ran_jobs,
+            &mut ran_reports,
+        )?;
+    }
+
+    // Phase 2 — thief: while some sibling has pending unclaimed jobs, take
+    // a chunk from the stalest one (fewest committed reports, then fewest
+    // heartbeats — the hung-but-alive signal).
+    let mut stolen = 0usize;
+    loop {
+        let foreign = sibling_claims(out_dir);
+        let mut victims: Vec<(usize, Vec<usize>)> = Vec::new();
+        for victim in (0..manifest.shards).filter(|&s| s != shard) {
+            let progress =
+                read_progress(&report_path(out_dir, victim), fingerprint).unwrap_or_default();
+            let pending: Vec<usize> = plan
+                .indices_of(victim)
+                .into_iter()
+                .filter(|i| {
+                    !progress.reported.contains(i) && !foreign.contains(i) && !claimed.contains(i)
+                })
+                .collect();
+            if !pending.is_empty() {
+                victims.push((victim, pending));
+            }
+        }
+        let Some((_, pending)) = victims.into_iter().min_by_key(|(victim, pending)| {
+            let progress =
+                read_progress(&report_path(out_dir, *victim), fingerprint).unwrap_or_default();
+            (progress.reported.len(), progress.heartbeats, pending.len())
+        }) else {
+            break;
+        };
+        let chunk_len = engine.resolved_threads(pending.len()).min(pending.len());
+        run_chunk(
+            &pending[..chunk_len],
+            &mut claims,
+            &mut claimed,
+            &mut ran_jobs,
+            &mut ran_reports,
+        )?;
+        stolen += chunk_len;
+    }
+    Ok((ran_jobs, ran_reports, stolen))
 }
 
 /// A parsed `--shard` worker command line.
@@ -407,13 +676,21 @@ pub struct WorkerInvocation {
     /// report the coordinator would only reject after the shard burned its
     /// wall-clock.
     pub schedule: Option<StageSchedule>,
+    /// Liveness heartbeat period in milliseconds (`--heartbeat-ms N`); see
+    /// [`ShardRunOptions::heartbeat`].
+    pub heartbeat_ms: Option<u64>,
+    /// Live-shard work stealing (`--steal`); see [`ShardRunOptions::steal`].
+    pub steal: bool,
+    /// One-time startup delay in milliseconds (`--delay-ms N`); see
+    /// [`ShardRunOptions::delay`].
+    pub delay_ms: Option<u64>,
 }
 
 impl WorkerInvocation {
     /// Parses `--shard i/N --manifest <path> --out <dir> [--fail-after k]
     /// [--flush rewrite|journal] [--fsync record|compact] [--flush-every N]
-    /// [--cache-format json|binary] [--profile <path>] [--schedule <spec>]`
-    /// from `args`.
+    /// [--cache-format json|binary] [--profile <path>] [--schedule <spec>]
+    /// [--heartbeat-ms N] [--steal] [--delay-ms N]` from `args`.
     /// Returns `None` when `--shard` is absent (the process is not a
     /// worker); `Some(Err(..))` when it is present but malformed.
     pub fn parse(args: &[String]) -> Option<Result<WorkerInvocation, ShardError>> {
@@ -428,6 +705,9 @@ impl WorkerInvocation {
             let mut cache_format = CacheFormat::default();
             let mut profile = None;
             let mut schedule = None;
+            let mut heartbeat_ms = None;
+            let mut steal = false;
+            let mut delay_ms = None;
             let mut iter = args.iter();
             while let Some(arg) = iter.next() {
                 let mut value = |what: &str| {
@@ -494,6 +774,28 @@ impl WorkerInvocation {
                             ))
                         })?);
                     }
+                    "--heartbeat-ms" => {
+                        let spec = value("--heartbeat-ms")?;
+                        heartbeat_ms =
+                            Some(spec.parse::<u64>().ok().filter(|&n| n >= 1).ok_or_else(
+                                || {
+                                    ShardError::BadInvocation(format!(
+                                        "--heartbeat-ms expects a positive integer, got `{}`",
+                                        spec
+                                    ))
+                                },
+                            )?);
+                    }
+                    "--steal" => steal = true,
+                    "--delay-ms" => {
+                        let spec = value("--delay-ms")?;
+                        delay_ms = Some(spec.parse::<u64>().map_err(|_| {
+                            ShardError::BadInvocation(format!(
+                                "--delay-ms expects an integer, got `{}`",
+                                spec
+                            ))
+                        })?);
+                    }
                     _ => {}
                 }
             }
@@ -530,6 +832,9 @@ impl WorkerInvocation {
                 cache_format,
                 profile,
                 schedule,
+                heartbeat_ms,
+                steal,
+                delay_ms,
             })
         })
     }
@@ -583,6 +888,9 @@ pub fn run_worker(invocation: &WorkerInvocation) -> Result<ShardRunOutput, Shard
             flush_every: invocation.flush_every,
             cache_format: invocation.cache_format,
             profile: invocation.profile.clone(),
+            heartbeat: invocation.heartbeat_ms.map(Duration::from_millis),
+            steal: invocation.steal,
+            delay: invocation.delay_ms.map(Duration::from_millis),
         },
     )
 }
@@ -624,6 +932,9 @@ mod tests {
         assert_eq!(parsed.cache_format, CacheFormat::Json, "JSON by default");
         assert_eq!(parsed.profile, None);
         assert_eq!(parsed.schedule, None);
+        assert_eq!(parsed.heartbeat_ms, None, "heartbeats default off");
+        assert!(!parsed.steal, "stealing defaults off");
+        assert_eq!(parsed.delay_ms, None);
 
         let tuned = WorkerInvocation::parse(&args(&[
             "--shard",
@@ -648,6 +959,25 @@ mod tests {
         assert_eq!(tuned.profile, Some(PathBuf::from("prof.json")));
         let schedule = tuned.schedule.expect("schedule parsed");
         assert_eq!(schedule.spec(), "reduction=cunroll,alive2,splitting");
+
+        let stealing = WorkerInvocation::parse(&args(&[
+            "--shard",
+            "1/2",
+            "--manifest",
+            "m",
+            "--out",
+            "o",
+            "--steal",
+            "--heartbeat-ms",
+            "250",
+            "--delay-ms",
+            "4000",
+        ]))
+        .expect("worker mode")
+        .expect("well-formed");
+        assert!(stealing.steal);
+        assert_eq!(stealing.heartbeat_ms, Some(250));
+        assert_eq!(stealing.delay_ms, Some(4000));
 
         let legacy = WorkerInvocation::parse(&args(&[
             "--shard",
@@ -736,6 +1066,36 @@ mod tests {
                 "o",
                 "--schedule",
                 "reduction=alive2",
+            ],
+            vec![
+                "--shard",
+                "0/2",
+                "--manifest",
+                "m",
+                "--out",
+                "o",
+                "--heartbeat-ms",
+                "0",
+            ],
+            vec![
+                "--shard",
+                "0/2",
+                "--manifest",
+                "m",
+                "--out",
+                "o",
+                "--heartbeat-ms",
+                "soon",
+            ],
+            vec![
+                "--shard",
+                "0/2",
+                "--manifest",
+                "m",
+                "--out",
+                "o",
+                "--delay-ms",
+                "x",
             ],
         ] {
             let result = WorkerInvocation::parse(&args(&bad)).expect("worker mode");

@@ -1,0 +1,295 @@
+//! The verification-service acceptance check, run by CI.
+//!
+//! Builds the full TSVC Table 3 workload (one FSM-produced candidate per
+//! kernel, exactly like `shard_sweep.rs`), then checks the `lv-sweep
+//! serve` subsystem's contract end to end over real loopback TCP:
+//!
+//! * a daemon ([`VerificationService`]) serves the whole workload to a
+//!   [`ServiceClient`] **cold** — every streamed verdict bit-identical
+//!   (verdict, stage, detail, checksum class) to an offline
+//!   single-process `run_batch` under the same configuration;
+//! * a **warm** resubmission over a fresh connection is answered entirely
+//!   from the dedupe/admission cache: every frame is flagged as a dedupe
+//!   hit, the payloads equal the cold run's, and the daemon's stage
+//!   counter does not move — zero stages ran;
+//! * a 2-shard self-exec sweep with one **deliberately slowed shard**
+//!   completes via live-shard work stealing — the idle shard claims the
+//!   sleeper's pending jobs through the claim journals — with verdicts
+//!   and a merged cache file **byte**-identical to the same sweep with no
+//!   slowdown and no stealing.
+//!
+//! Exits non-zero (panics) on any violation.
+
+use llm_vectorizer_repro::agents::{fsm_candidate_batch, FsmConfig, LlmConfig, SyntheticLlm};
+use llm_vectorizer_repro::core::service::VerdictFrame;
+use llm_vectorizer_repro::core::shard::run_worker_from_args;
+use llm_vectorizer_repro::core::{
+    run_sharded_sweep, BatchReport, EngineConfig, Job, PipelineConfig, ServiceClient, ShardPolicy,
+    ShardStatus, SweepConfig, VerdictCache, VerificationEngine, VerificationService, WorkerSpec,
+};
+use llm_vectorizer_repro::interp::ChecksumConfig;
+use llm_vectorizer_repro::tsvc::KERNELS;
+use llm_vectorizer_repro::tv::{SolverBudget, TvConfig};
+use std::path::Path;
+use std::sync::Arc;
+
+/// Reduced solver budgets so the full-suite runs stay CI-friendly; the
+/// bit-identity contracts hold for any budget.
+fn service_config() -> EngineConfig {
+    EngineConfig::full(PipelineConfig {
+        checksum: ChecksumConfig {
+            trials: 1,
+            n: 40,
+            ..ChecksumConfig::default()
+        },
+        tv: TvConfig {
+            alive2_budget: SolverBudget {
+                max_conflicts: 1_000,
+                max_clauses: 200_000,
+            },
+            cunroll_budget: SolverBudget {
+                max_conflicts: 10_000,
+                max_clauses: 1_000_000,
+            },
+            spatial_budget: SolverBudget {
+                max_conflicts: 4_000,
+                max_clauses: 500_000,
+            },
+            alive2_chunks: 1,
+            ..TvConfig::default()
+        },
+    })
+}
+
+/// The Table 3 workload: the FSM's best candidate per TSVC kernel.
+fn table3_jobs(checksum: &ChecksumConfig) -> Vec<Job> {
+    let scalars: Vec<_> = KERNELS.iter().map(|k| k.function()).collect();
+    let llm_config = LlmConfig::default();
+    let mut llm = SyntheticLlm::new(llm_config.clone());
+    let fsm_config = FsmConfig {
+        max_attempts: 10,
+        checksum: checksum.clone(),
+        llm: llm_config,
+    };
+    fsm_candidate_batch(&scalars, &fsm_config, &mut llm)
+        .into_iter()
+        .enumerate()
+        .filter_map(|(i, fsm)| {
+            fsm.candidate
+                .map(|candidate| Job::new(KERNELS[i].name, scalars[i].clone(), candidate))
+        })
+        .collect()
+}
+
+fn assert_frames_match(frames: &[VerdictFrame], baseline: &BatchReport, what: &str) {
+    assert_eq!(frames.len(), baseline.jobs.len(), "{}: job count", what);
+    for (frame, report) in frames.iter().zip(&baseline.jobs) {
+        assert_eq!(frame.label, report.label, "{}: job order", what);
+        assert_eq!(
+            frame.verdict.verdict, report.verdict,
+            "{}: verdict for {}",
+            what, report.label
+        );
+        assert_eq!(
+            frame.verdict.stage, report.stage,
+            "{}: stage for {}",
+            what, report.label
+        );
+        assert_eq!(
+            frame.verdict.detail, report.detail,
+            "{}: detail for {}",
+            what, report.label
+        );
+        assert_eq!(
+            frame.verdict.checksum, report.checksum,
+            "{}: checksum class for {}",
+            what, report.label
+        );
+    }
+}
+
+fn read(path: &Path) -> String {
+    std::fs::read_to_string(path)
+        .unwrap_or_else(|e| panic!("cannot read {}: {}", path.display(), e))
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if let Some(result) = run_worker_from_args(&args) {
+        // This process is one of the stealing sweep's shard workers.
+        result.expect("shard worker failed");
+        return;
+    }
+
+    let dir = std::env::temp_dir().join(format!("lv-service-sweep-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let config = service_config();
+    let jobs = table3_jobs(&config.pipeline.checksum);
+    assert!(
+        jobs.len() >= 30,
+        "expected the full TSVC workload, got {} jobs",
+        jobs.len()
+    );
+
+    println!(
+        "== offline single-process baseline ({} jobs) ==",
+        jobs.len()
+    );
+    let baseline = VerificationEngine::new(config.clone()).run_batch(&jobs);
+
+    println!("== daemon + client, cold over loopback ==");
+    let service = VerificationService::bind(
+        "127.0.0.1:0",
+        config.clone(),
+        Arc::new(VerdictCache::in_memory()),
+    )
+    .expect("bind daemon");
+    let addr = service.local_addr();
+    println!(
+        "daemon on {} (fingerprint {:016x})",
+        addr,
+        service.fingerprint()
+    );
+    let daemon = std::thread::spawn(move || {
+        service.serve_forever().expect("serve");
+        service.status()
+    });
+    let mut client = ServiceClient::connect(addr).expect("connect");
+    let cold = client.submit(&jobs).expect("cold submit");
+    assert_frames_match(&cold, &baseline, "cold service run");
+    let after_cold = client.status().expect("status");
+    assert_eq!(after_cold.completed, jobs.len() as u64);
+    assert!(after_cold.stages > 0, "the cold run must run stages");
+    println!(
+        "cold: {} verdicts, {} dedupe hit(s), {} stage run(s)",
+        cold.len(),
+        after_cold.dedupe_hits,
+        after_cold.stages
+    );
+
+    println!("== warm resubmission: all dedupe, zero stages ==");
+    let mut warm_client = ServiceClient::connect(addr).expect("reconnect");
+    let warm = warm_client.submit(&jobs).expect("warm submit");
+    assert_frames_match(&warm, &baseline, "warm service run");
+    assert!(
+        warm.iter().all(|frame| frame.cache_hit),
+        "a warm resubmission must be answered entirely from dedupe"
+    );
+    for (c, w) in cold.iter().zip(&warm) {
+        assert_eq!(
+            c.verdict, w.verdict,
+            "warm verdict payload drifted for {}",
+            c.label
+        );
+    }
+    let after_warm = warm_client.status().expect("status");
+    assert_eq!(
+        after_warm.stages, after_cold.stages,
+        "zero stages may run for a fully deduped batch"
+    );
+    assert_eq!(after_warm.completed, 2 * jobs.len() as u64);
+    println!(
+        "warm: {} verdicts, all dedupe; stages still {}",
+        warm.len(),
+        after_warm.stages
+    );
+    warm_client.shutdown().expect("shutdown");
+    drop(client);
+    let final_status = daemon.join().expect("daemon thread");
+    println!(
+        "daemon served {} connection(s), {} job(s)",
+        final_status.connections, final_status.received
+    );
+
+    println!("== 2-shard sweep, no slowdown (reference) ==");
+    let reference = run_sharded_sweep(
+        &jobs,
+        &config,
+        &SweepConfig {
+            shards: 2,
+            policy: ShardPolicy::HashMod,
+            workdir: dir.join("reference"),
+            worker: WorkerSpec::current_exe().expect("own executable"),
+            ..SweepConfig::default()
+        },
+    )
+    .expect("reference sweep");
+    for outcome in &reference.shards {
+        assert_eq!(outcome.status, ShardStatus::Completed);
+    }
+    let reference_bytes = read(&reference.cache_file);
+
+    println!("== 2-shard sweep, shard 0 slowed 20s, work stealing on ==");
+    let start = std::time::Instant::now();
+    let stolen_sweep = run_sharded_sweep(
+        &jobs,
+        &config,
+        &SweepConfig {
+            shards: 2,
+            policy: ShardPolicy::HashMod,
+            workdir: dir.join("steal"),
+            worker: WorkerSpec::current_exe().expect("own executable"),
+            steal: true,
+            delay_shard: Some((0, 20_000)),
+            ..SweepConfig::default()
+        },
+    )
+    .expect("stealing sweep");
+    let mut stolen_total = 0;
+    for outcome in &stolen_sweep.shards {
+        println!(
+            "shard {}: {:?}, {}/{} reported, {} stolen, {} heartbeat(s)",
+            outcome.shard,
+            outcome.status,
+            outcome.reported,
+            outcome.planned,
+            outcome.stolen,
+            outcome.heartbeats
+        );
+        assert_eq!(
+            outcome.status,
+            ShardStatus::Completed,
+            "stealing sweep: worker {} must complete (see shard-{}.log)",
+            outcome.shard,
+            outcome.shard
+        );
+        assert!(
+            outcome.heartbeats >= 1,
+            "stealing implies heartbeats; shard {} wrote none",
+            outcome.shard
+        );
+        stolen_total += outcome.stolen;
+    }
+    assert!(
+        stolen_total >= 1,
+        "the idle shard must steal from a 20s-delayed sibling"
+    );
+    assert!(
+        stolen_sweep.recovered.is_empty(),
+        "live stealing, not coordinator recovery, must cover the slow shard"
+    );
+    // The stolen sweep's merged outputs are byte-identical to the
+    // unstalled reference sweep's.
+    for (r, s) in reference.report.jobs.iter().zip(&stolen_sweep.report.jobs) {
+        assert_eq!(r.label, s.label);
+        assert_eq!(r.verdict, s.verdict, "verdict drift for {}", r.label);
+        assert_eq!(r.stage, s.stage, "stage drift for {}", r.label);
+        assert_eq!(r.detail, s.detail, "detail drift for {}", r.label);
+    }
+    let stolen_bytes = read(&stolen_sweep.cache_file);
+    assert_eq!(
+        reference_bytes, stolen_bytes,
+        "stealing sweep: merged cache file must be byte-identical to the \
+         unstalled run"
+    );
+    println!(
+        "stealing sweep matched the reference bit for bit ({} jobs, {} stolen, wall {:?})",
+        stolen_sweep.report.jobs.len(),
+        stolen_total,
+        start.elapsed()
+    );
+
+    let _ = std::fs::remove_dir_all(&dir);
+    println!("service sweep acceptance: all checks passed");
+}

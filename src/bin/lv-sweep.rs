@@ -15,9 +15,17 @@
 //!          [--flush-every N] [--cache-format json|binary]
 //!          [--profile PATH] [--schedule default|profile|SPEC]
 //!          [--budget fixed|profile] [--reuse]
+//!          [--steal] [--heartbeat-ms MS] [--stall-timeout-secs S]
+//! lv-sweep serve [--addr HOST:PORT] [--cache FILE] [--threads T] [--quick]
+//! lv-sweep submit [--addr HOST:PORT] [--kernels s000,...] [--shutdown]
+//! lv-sweep status [--addr HOST:PORT]
 //! lv-sweep compact [--format json|binary] FILE...
 //! lv-sweep cache stats FILE...
 //! ```
+//!
+//! Exit status: `0` on success, `1` on a runtime failure (I/O, solver,
+//! protocol), `2` on a malformed command line. Every failure is a typed
+//! error printed to stderr — never a panic.
 //!
 //! `--flush` selects how workers flush per-job output: `journal` (default)
 //! appends one framed record per job to append-only cache/report journals —
@@ -46,10 +54,28 @@
 //! fingerprint, so reuse-on and reuse-off sweeps keep separate cache
 //! entries.
 //!
+//! `--steal` turns on live-shard work stealing (journal flush mode only):
+//! workers that finish their share claim pending jobs from slow siblings
+//! through per-shard claim journals, so one stalled shard no longer bounds
+//! the sweep. `--heartbeat-ms` sets the liveness heartbeat period workers
+//! append to their report journals (implied at 250ms by `--steal` or
+//! `--stall-timeout-secs`); `--stall-timeout-secs` makes the coordinator
+//! kill — and recover — a worker whose report journal shows neither a new
+//! heartbeat nor a new report for that long.
+//!
 //! `--cache-format binary` makes shard workers write their per-shard cache
 //! journals as compact binary records (`LVBJ` framing) instead of JSON
 //! lines. The merged cache the coordinator persists stays a JSON snapshot
 //! either way, so sweep outputs are bit-identical across formats.
+//!
+//! `serve` runs the long-lived verification daemon
+//! ([`VerificationService`]): a loopback-first TCP listener speaking the
+//! CRC-framed `LVSV` wire protocol, deduping every submitted job through
+//! the shared verdict cache (`--cache` persists it across restarts) before
+//! anything runs. `submit` builds the TSVC job list client-side, streams it
+//! to a daemon, and prints the verdict table (`--shutdown` stops the daemon
+//! afterwards); `status` prints a daemon's live counters. See
+//! `lv_core::service` for the protocol.
 //!
 //! `compact` rewrites journal files into their canonical compact form:
 //! verdict-cache files (any of the four persisted forms, sniffed by
@@ -67,54 +93,85 @@
 //! `--manifest` and `--out`, which the coordinator passes automatically)
 //! and is not meant to be invoked by hand.
 
-use llm_vectorizer_repro::core::shard::{run_worker_from_args, ShardReportFile};
+use llm_vectorizer_repro::core::shard::{run_worker_from_args, ShardError, ShardReportFile};
 use llm_vectorizer_repro::core::{
     cache_file_stats, AdaptiveBudgetPolicy, CacheBounds, CacheFormat, CrossRunProfile,
     EngineConfig, EngineReuse, Equivalence, FlushMode, FsyncPolicy, Job, PipelineConfig,
-    ShardPolicy, StageSchedule, SweepConfig, VerdictCache, WorkerSpec,
+    ServiceClient, ShardPolicy, StageSchedule, SweepConfig, VerdictCache, VerificationService,
+    WorkerSpec,
 };
 use llm_vectorizer_repro::interp::ChecksumConfig;
 use llm_vectorizer_repro::tv::{SolverBudget, TvConfig};
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
+use std::sync::Arc;
 use std::time::Duration;
 
-fn fail(message: String) -> ExitCode {
-    eprintln!("lv-sweep: {}", message);
-    ExitCode::FAILURE
+/// Every way an `lv-sweep` invocation can fail, split by whose fault it
+/// is: a malformed command line exits `2`, a runtime failure exits `1`.
+/// Both print a typed message to stderr; nothing in this binary panics on
+/// bad input.
+#[derive(Debug, PartialEq, Eq)]
+enum CliError {
+    /// The command line is malformed (unknown flag, missing value,
+    /// unparsable number, empty selection).
+    Usage(String),
+    /// The command line was fine but the work failed (I/O, protocol,
+    /// unreadable file, sweep error).
+    Runtime(String),
 }
+
+impl CliError {
+    fn report(self) -> ExitCode {
+        match self {
+            CliError::Usage(message) => {
+                eprintln!("lv-sweep: {}", message);
+                ExitCode::from(2)
+            }
+            CliError::Runtime(message) => {
+                eprintln!("lv-sweep: {}", message);
+                ExitCode::FAILURE
+            }
+        }
+    }
+}
+
+fn usage(message: impl Into<String>) -> CliError {
+    CliError::Usage(message.into())
+}
+
+fn runtime(message: impl Into<String>) -> CliError {
+    CliError::Runtime(message.into())
+}
+
+const DEFAULT_SERVICE_ADDR: &str = "127.0.0.1:7411";
 
 /// `lv-sweep compact [--format json|binary] FILE...`: rewrites each file
 /// into its canonical compact form, dispatching on content (magic bytes for
 /// the binary cache forms, the journal kind header for the text forms).
 /// `--format` picks the target snapshot form for verdict-cache files; the
 /// other journal kinds are JSON-only.
-fn compact_files(args: &[String]) -> ExitCode {
+fn compact_files(args: &[String]) -> Result<(), CliError> {
     let mut format = CacheFormat::Json;
     let mut paths: Vec<&String> = Vec::new();
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
         if arg == "--format" {
             let Some(tag) = iter.next() else {
-                return fail("--format needs a value".to_string());
+                return Err(usage("--format needs a value"));
             };
-            format = match CacheFormat::from_tag(tag) {
-                Ok(format) => format,
-                Err(e) => return fail(e),
-            };
+            format = CacheFormat::from_tag(tag).map_err(usage)?;
         } else {
             paths.push(arg);
         }
     }
     if paths.is_empty() {
-        return fail("compact needs at least one journal file".to_string());
+        return Err(usage("compact needs at least one journal file"));
     }
     for path in paths {
         let path = Path::new(path);
-        let bytes = match std::fs::read(path) {
-            Ok(bytes) => bytes,
-            Err(e) => return fail(format!("cannot read {}: {}", path.display(), e)),
-        };
+        let bytes = std::fs::read(path)
+            .map_err(|e| runtime(format!("cannot read {}: {}", path.display(), e)))?;
         let before = bytes.len();
         let is_cache = bytes.starts_with(b"LVCS")
             || bytes.starts_with(b"LVBJ")
@@ -160,23 +217,23 @@ fn compact_files(args: &[String]) -> ExitCode {
                     after
                 );
             }
-            Err(e) => return fail(format!("cannot compact {}: {}", path.display(), e)),
+            Err(e) => {
+                return Err(runtime(format!("cannot compact {}: {}", path.display(), e)));
+            }
         }
     }
-    ExitCode::SUCCESS
+    Ok(())
 }
 
 /// `lv-sweep cache stats FILE...`: per-file cache statistics.
-fn cache_stats(paths: &[String]) -> ExitCode {
+fn cache_stats(paths: &[String]) -> Result<(), CliError> {
     if paths.is_empty() {
-        return fail("cache stats needs at least one cache file".to_string());
+        return Err(usage("cache stats needs at least one cache file"));
     }
     for path in paths {
         let path = Path::new(path);
-        let stats = match cache_file_stats(path) {
-            Ok(stats) => stats,
-            Err(e) => return fail(format!("cannot read {}: {}", path.display(), e)),
-        };
+        let stats = cache_file_stats(path)
+            .map_err(|e| runtime(format!("cannot read {}: {}", path.display(), e)))?;
         println!("{}:", path.display());
         println!("  format:          {}", stats.format);
         println!("  file bytes:      {}", stats.file_bytes);
@@ -196,141 +253,11 @@ fn cache_stats(paths: &[String]) -> ExitCode {
             None => println!("  bloom:           none"),
         }
     }
-    ExitCode::SUCCESS
+    Ok(())
 }
 
-fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-
-    // Compact mode: rewrite journals into their canonical snapshots.
-    if args.first().map(String::as_str) == Some("compact") {
-        return compact_files(&args[1..]);
-    }
-
-    // Cache statistics mode.
-    if args.first().map(String::as_str) == Some("cache") {
-        return match args.get(1).map(String::as_str) {
-            Some("stats") => cache_stats(&args[2..]),
-            _ => fail("usage: lv-sweep cache stats FILE...".to_string()),
-        };
-    }
-
-    // Worker mode: the coordinator spawned us with `--shard i/N`.
-    if let Some(result) = run_worker_from_args(&args) {
-        return match result {
-            Ok(output) => {
-                println!(
-                    "shard {} finished {} job(s); cache {}, report {}",
-                    output.shard,
-                    output.finished,
-                    output.cache_file.display(),
-                    output.report_file.display()
-                );
-                ExitCode::SUCCESS
-            }
-            Err(e) => fail(e.to_string()),
-        };
-    }
-
-    // Coordinator mode.
-    let mut shards = 2usize;
-    let mut policy = ShardPolicy::HashMod;
-    let mut workdir = std::env::temp_dir().join(format!("lv-sweep-{}", std::process::id()));
-    let mut kernels: Option<Vec<String>> = None;
-    let mut threads = 0usize;
-    let mut quick = false;
-    let mut max_entries: Option<usize> = None;
-    let mut timeout = Duration::from_secs(600);
-    let mut flush_tag = "journal".to_string();
-    let mut fsync = FsyncPolicy::default();
-    let mut flush_every = 1usize;
-    let mut cache_format = CacheFormat::default();
-    let mut profile: Option<PathBuf> = None;
-    let mut schedule_arg = "default".to_string();
-    let mut budget_arg = "fixed".to_string();
-    let mut reuse = false;
-
-    let mut iter = args.iter();
-    while let Some(arg) = iter.next() {
-        let mut value = |what: &str| {
-            iter.next()
-                .cloned()
-                .ok_or_else(|| format!("{} needs a value", what))
-        };
-        let result: Result<(), String> = (|| {
-            match arg.as_str() {
-                "--shards" => {
-                    shards = value("--shards")?
-                        .parse()
-                        .map_err(|_| "--shards expects an integer".to_string())?
-                }
-                "--policy" => {
-                    policy = match value("--policy")?.as_str() {
-                        "hash" | "hash-mod" => ShardPolicy::HashMod,
-                        "range" | "contiguous" => ShardPolicy::Contiguous,
-                        other => return Err(format!("unknown policy `{}`", other)),
-                    }
-                }
-                "--workdir" => workdir = value("--workdir")?.into(),
-                "--kernels" => {
-                    kernels = Some(
-                        value("--kernels")?
-                            .split(',')
-                            .map(|s| s.trim().to_string())
-                            .filter(|s| !s.is_empty())
-                            .collect(),
-                    )
-                }
-                "--threads" => {
-                    threads = value("--threads")?
-                        .parse()
-                        .map_err(|_| "--threads expects an integer".to_string())?
-                }
-                "--quick" => quick = true,
-                "--max-cache-entries" => {
-                    max_entries = Some(
-                        value("--max-cache-entries")?
-                            .parse()
-                            .map_err(|_| "--max-cache-entries expects an integer".to_string())?,
-                    )
-                }
-                "--timeout-secs" => {
-                    timeout = Duration::from_secs(
-                        value("--timeout-secs")?
-                            .parse()
-                            .map_err(|_| "--timeout-secs expects an integer".to_string())?,
-                    )
-                }
-                "--flush" => flush_tag = value("--flush")?,
-                "--fsync" => fsync = FsyncPolicy::from_tag(&value("--fsync")?)?,
-                "--flush-every" => {
-                    flush_every = value("--flush-every")?
-                        .parse::<usize>()
-                        .ok()
-                        .filter(|&n| n >= 1)
-                        .ok_or_else(|| "--flush-every expects a positive integer".to_string())?
-                }
-                "--cache-format" => {
-                    cache_format = CacheFormat::from_tag(&value("--cache-format")?)?
-                }
-                "--profile" => profile = Some(value("--profile")?.into()),
-                "--schedule" => schedule_arg = value("--schedule")?,
-                "--budget" => budget_arg = value("--budget")?,
-                "--reuse" => reuse = true,
-                other => {
-                    return Err(format!(
-                        "unknown argument `{}` (see the module docs)",
-                        other
-                    ))
-                }
-            }
-            Ok(())
-        })();
-        if let Err(e) = result {
-            return fail(e);
-        }
-    }
-
+/// The TSVC Table 3 job list, optionally restricted to named kernels.
+fn tsvc_jobs(kernels: &Option<Vec<String>>) -> Result<Vec<Job>, CliError> {
     let jobs: Vec<Job> = llm_vectorizer_repro::tsvc::KERNELS
         .iter()
         .filter(|kernel| {
@@ -345,10 +272,15 @@ fn main() -> ExitCode {
         })
         .collect();
     if jobs.is_empty() {
-        return fail("no verification jobs (unknown --kernels selection?)".to_string());
+        return Err(usage("no verification jobs (unknown --kernels selection?)"));
     }
+    Ok(jobs)
+}
 
-    let pipeline = if quick {
+/// The `--quick` pipeline: tiny checksum trials and tight solver budgets,
+/// for smoke runs and CI.
+fn build_pipeline(quick: bool) -> PipelineConfig {
+    if quick {
         PipelineConfig {
             checksum: ChecksumConfig {
                 trials: 1,
@@ -374,14 +306,362 @@ fn main() -> ExitCode {
         }
     } else {
         PipelineConfig::default()
+    }
+}
+
+/// `lv-sweep serve` arguments.
+#[derive(Debug, PartialEq, Eq)]
+struct ServeArgs {
+    addr: String,
+    cache: Option<PathBuf>,
+    threads: usize,
+    quick: bool,
+}
+
+fn parse_serve(args: &[String]) -> Result<ServeArgs, CliError> {
+    let mut opts = ServeArgs {
+        addr: DEFAULT_SERVICE_ADDR.to_string(),
+        cache: None,
+        threads: 0,
+        quick: false,
     };
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        let mut value = |what: &str| {
+            iter.next()
+                .cloned()
+                .ok_or_else(|| usage(format!("{} needs a value", what)))
+        };
+        match arg.as_str() {
+            "--addr" => opts.addr = value("--addr")?,
+            "--cache" => opts.cache = Some(value("--cache")?.into()),
+            "--threads" => {
+                opts.threads = value("--threads")?
+                    .parse()
+                    .map_err(|_| usage("--threads expects an integer"))?
+            }
+            "--quick" => opts.quick = true,
+            other => return Err(usage(format!("serve: unknown argument `{}`", other))),
+        }
+    }
+    Ok(opts)
+}
+
+/// `lv-sweep serve`: run the verification daemon until a client asks it to
+/// shut down.
+fn cmd_serve(args: &[String]) -> Result<(), CliError> {
+    let opts = parse_serve(args)?;
+    let cache = match &opts.cache {
+        Some(path) => Arc::new(
+            VerdictCache::open(path)
+                .map_err(|e| runtime(format!("cannot open cache {}: {}", path.display(), e)))?,
+        ),
+        None => Arc::new(VerdictCache::in_memory()),
+    };
+    let config = EngineConfig::full(build_pipeline(opts.quick)).with_threads(opts.threads);
+    let service = VerificationService::bind(opts.addr.as_str(), config, cache.clone())
+        .map_err(|e| runtime(format!("cannot serve on {}: {}", opts.addr, e)))?;
+    println!(
+        "serving on {} (configuration fingerprint {:016x})",
+        service.local_addr(),
+        service.fingerprint()
+    );
+    service
+        .serve_forever()
+        .map_err(|e| runtime(format!("serve failed: {}", e)))?;
+    if let Some(path) = &opts.cache {
+        cache
+            .persist()
+            .map_err(|e| runtime(format!("cannot persist cache {}: {}", path.display(), e)))?;
+    }
+    let status = service.status();
+    println!(
+        "shutdown: {} connection(s), {} job(s) received, {} completed, {} dedupe hit(s), {} stage run(s)",
+        status.connections, status.received, status.completed, status.dedupe_hits, status.stages
+    );
+    Ok(())
+}
+
+/// `lv-sweep submit` arguments.
+#[derive(Debug, PartialEq, Eq)]
+struct SubmitArgs {
+    addr: String,
+    kernels: Option<Vec<String>>,
+    shutdown: bool,
+}
+
+fn parse_submit(args: &[String]) -> Result<SubmitArgs, CliError> {
+    let mut opts = SubmitArgs {
+        addr: DEFAULT_SERVICE_ADDR.to_string(),
+        kernels: None,
+        shutdown: false,
+    };
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        let mut value = |what: &str| {
+            iter.next()
+                .cloned()
+                .ok_or_else(|| usage(format!("{} needs a value", what)))
+        };
+        match arg.as_str() {
+            "--addr" => opts.addr = value("--addr")?,
+            "--kernels" => {
+                opts.kernels = Some(
+                    value("--kernels")?
+                        .split(',')
+                        .map(|s| s.trim().to_string())
+                        .filter(|s| !s.is_empty())
+                        .collect(),
+                )
+            }
+            "--shutdown" => opts.shutdown = true,
+            other => return Err(usage(format!("submit: unknown argument `{}`", other))),
+        }
+    }
+    Ok(opts)
+}
+
+/// `lv-sweep submit`: send the TSVC job list to a daemon and print the
+/// streamed verdicts.
+fn cmd_submit(args: &[String]) -> Result<(), CliError> {
+    let opts = parse_submit(args)?;
+    let jobs = tsvc_jobs(&opts.kernels)?;
+    let mut client = ServiceClient::connect(opts.addr.as_str())
+        .map_err(|e| runtime(format!("cannot connect to {}: {}", opts.addr, e)))?;
+    println!(
+        "connected to {} (configuration fingerprint {:016x})",
+        opts.addr,
+        client.fingerprint()
+    );
+    let verdicts = client
+        .submit(&jobs)
+        .map_err(|e| runtime(format!("submit failed: {}", e)))?;
+    let mut counts = [0usize; 3];
+    let mut dedupe = 0usize;
+    for frame in &verdicts {
+        counts[match frame.verdict.verdict {
+            Equivalence::Equivalent => 0,
+            Equivalence::NotEquivalent => 1,
+            Equivalence::Inconclusive => 2,
+        }] += 1;
+        dedupe += usize::from(frame.cache_hit);
+        println!(
+            "{}: {:?} @ {}{}{}",
+            frame.label,
+            frame.verdict.verdict,
+            frame.verdict.stage.label(),
+            if frame.cache_hit { " [dedupe]" } else { "" },
+            if frame.verdict.detail.is_empty() {
+                String::new()
+            } else {
+                format!(" ({})", frame.verdict.detail)
+            }
+        );
+    }
+    println!(
+        "{} equivalent, {} not equivalent, {} inconclusive; {} answered from dedupe",
+        counts[0], counts[1], counts[2], dedupe
+    );
+    if opts.shutdown {
+        client
+            .shutdown()
+            .map_err(|e| runtime(format!("shutdown failed: {}", e)))?;
+        println!("daemon shut down");
+    }
+    Ok(())
+}
+
+fn parse_status(args: &[String]) -> Result<String, CliError> {
+    let mut addr = DEFAULT_SERVICE_ADDR.to_string();
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--addr" => {
+                addr = iter
+                    .next()
+                    .cloned()
+                    .ok_or_else(|| usage("--addr needs a value"))?
+            }
+            other => return Err(usage(format!("status: unknown argument `{}`", other))),
+        }
+    }
+    Ok(addr)
+}
+
+/// `lv-sweep status`: print a daemon's live counters.
+fn cmd_status(args: &[String]) -> Result<(), CliError> {
+    let addr = parse_status(args)?;
+    let mut client = ServiceClient::connect(addr.as_str())
+        .map_err(|e| runtime(format!("cannot connect to {}: {}", addr, e)))?;
+    let status = client
+        .status()
+        .map_err(|e| runtime(format!("status failed: {}", e)))?;
+    println!(
+        "daemon {} (fingerprint {:016x}):",
+        addr,
+        client.fingerprint()
+    );
+    println!("  connections:  {}", status.connections);
+    println!("  received:     {}", status.received);
+    println!("  completed:    {}", status.completed);
+    println!("  dedupe hits:  {}", status.dedupe_hits);
+    println!("  stage runs:   {}", status.stages);
+    Ok(())
+}
+
+/// Coordinator-mode arguments (the default subcommand).
+#[derive(Debug, PartialEq, Eq)]
+struct CoordinatorArgs {
+    shards: usize,
+    policy: ShardPolicy,
+    workdir: PathBuf,
+    kernels: Option<Vec<String>>,
+    threads: usize,
+    quick: bool,
+    max_entries: Option<usize>,
+    timeout: Duration,
+    flush_tag: String,
+    fsync: FsyncPolicy,
+    flush_every: usize,
+    cache_format: CacheFormat,
+    profile: Option<PathBuf>,
+    schedule_arg: String,
+    budget_arg: String,
+    reuse: bool,
+    steal: bool,
+    heartbeat_ms: Option<u64>,
+    stall_timeout_secs: Option<u64>,
+}
+
+fn parse_coordinator(args: &[String]) -> Result<CoordinatorArgs, CliError> {
+    let mut opts = CoordinatorArgs {
+        shards: 2,
+        policy: ShardPolicy::HashMod,
+        workdir: std::env::temp_dir().join(format!("lv-sweep-{}", std::process::id())),
+        kernels: None,
+        threads: 0,
+        quick: false,
+        max_entries: None,
+        timeout: Duration::from_secs(600),
+        flush_tag: "journal".to_string(),
+        fsync: FsyncPolicy::default(),
+        flush_every: 1,
+        cache_format: CacheFormat::default(),
+        profile: None,
+        schedule_arg: "default".to_string(),
+        budget_arg: "fixed".to_string(),
+        reuse: false,
+        steal: false,
+        heartbeat_ms: None,
+        stall_timeout_secs: None,
+    };
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        let mut value = |what: &str| {
+            iter.next()
+                .cloned()
+                .ok_or_else(|| usage(format!("{} needs a value", what)))
+        };
+        match arg.as_str() {
+            "--shards" => {
+                opts.shards = value("--shards")?
+                    .parse()
+                    .map_err(|_| usage("--shards expects an integer"))?
+            }
+            "--policy" => {
+                opts.policy = match value("--policy")?.as_str() {
+                    "hash" | "hash-mod" => ShardPolicy::HashMod,
+                    "range" | "contiguous" => ShardPolicy::Contiguous,
+                    other => return Err(usage(format!("unknown policy `{}`", other))),
+                }
+            }
+            "--workdir" => opts.workdir = value("--workdir")?.into(),
+            "--kernels" => {
+                opts.kernels = Some(
+                    value("--kernels")?
+                        .split(',')
+                        .map(|s| s.trim().to_string())
+                        .filter(|s| !s.is_empty())
+                        .collect(),
+                )
+            }
+            "--threads" => {
+                opts.threads = value("--threads")?
+                    .parse()
+                    .map_err(|_| usage("--threads expects an integer"))?
+            }
+            "--quick" => opts.quick = true,
+            "--max-cache-entries" => {
+                opts.max_entries = Some(
+                    value("--max-cache-entries")?
+                        .parse()
+                        .map_err(|_| usage("--max-cache-entries expects an integer"))?,
+                )
+            }
+            "--timeout-secs" => {
+                opts.timeout = Duration::from_secs(
+                    value("--timeout-secs")?
+                        .parse()
+                        .map_err(|_| usage("--timeout-secs expects an integer"))?,
+                )
+            }
+            "--flush" => opts.flush_tag = value("--flush")?,
+            "--fsync" => opts.fsync = FsyncPolicy::from_tag(&value("--fsync")?).map_err(usage)?,
+            "--flush-every" => {
+                opts.flush_every = value("--flush-every")?
+                    .parse::<usize>()
+                    .ok()
+                    .filter(|&n| n >= 1)
+                    .ok_or_else(|| usage("--flush-every expects a positive integer"))?
+            }
+            "--cache-format" => {
+                opts.cache_format =
+                    CacheFormat::from_tag(&value("--cache-format")?).map_err(usage)?
+            }
+            "--profile" => opts.profile = Some(value("--profile")?.into()),
+            "--schedule" => opts.schedule_arg = value("--schedule")?,
+            "--budget" => opts.budget_arg = value("--budget")?,
+            "--reuse" => opts.reuse = true,
+            "--steal" => opts.steal = true,
+            "--heartbeat-ms" => {
+                opts.heartbeat_ms = Some(
+                    value("--heartbeat-ms")?
+                        .parse::<u64>()
+                        .ok()
+                        .filter(|&n| n >= 1)
+                        .ok_or_else(|| usage("--heartbeat-ms expects a positive integer"))?,
+                )
+            }
+            "--stall-timeout-secs" => {
+                opts.stall_timeout_secs = Some(
+                    value("--stall-timeout-secs")?
+                        .parse()
+                        .map_err(|_| usage("--stall-timeout-secs expects an integer"))?,
+                )
+            }
+            other => {
+                return Err(usage(format!(
+                    "unknown argument `{}` (see the module docs)",
+                    other
+                )))
+            }
+        }
+    }
+    Ok(opts)
+}
+
+/// Coordinator mode: run the sharded sweep and print the merged table.
+fn cmd_coordinator(args: &[String]) -> Result<(), CliError> {
+    let opts = parse_coordinator(args)?;
+    let jobs = tsvc_jobs(&opts.kernels)?;
+    let pipeline = build_pipeline(opts.quick);
 
     // Resolve the stage schedule: `default`, `profile` (derived from the
     // cross-run profile journal), or an explicit spec string.
-    let schedule = match schedule_arg.as_str() {
+    let schedule = match opts.schedule_arg.as_str() {
         "profile" => {
-            let Some(path) = &profile else {
-                return fail("--schedule profile needs --profile <path>".to_string());
+            let Some(path) = &opts.profile else {
+                return Err(usage("--schedule profile needs --profile <path>"));
             };
             match CrossRunProfile::load(path) {
                 Ok(loaded) if loaded.is_empty() => {
@@ -400,24 +680,29 @@ fn main() -> ExitCode {
                     );
                     derived
                 }
-                Err(e) => return fail(format!("cannot load profile {}: {}", path.display(), e)),
+                Err(e) => {
+                    return Err(runtime(format!(
+                        "cannot load profile {}: {}",
+                        path.display(),
+                        e
+                    )))
+                }
             }
         }
-        spec => match StageSchedule::parse_spec(spec) {
-            Ok(schedule) => schedule,
-            Err(e) => return fail(format!("bad --schedule: {}", e)),
-        },
+        spec => {
+            StageSchedule::parse_spec(spec).map_err(|e| usage(format!("bad --schedule: {}", e)))?
+        }
     };
 
     // Resolve the solver budgets: `fixed` keeps the configured ones,
     // `profile` derives tightened budgets from the cross-run profile's
     // conclusive-effort evidence (stages without evidence keep their
     // configured budget).
-    let pipeline = match budget_arg.as_str() {
+    let pipeline = match opts.budget_arg.as_str() {
         "fixed" => pipeline,
         "profile" => {
-            let Some(path) = &profile else {
-                return fail("--budget profile needs --profile <path>".to_string());
+            let Some(path) = &opts.profile else {
+                return Err(usage("--budget profile needs --profile <path>"));
             };
             match CrossRunProfile::load(path) {
                 Ok(loaded) if loaded.is_empty() => {
@@ -442,70 +727,87 @@ fn main() -> ExitCode {
                         ..pipeline
                     }
                 }
-                Err(e) => return fail(format!("cannot load profile {}: {}", path.display(), e)),
+                Err(e) => {
+                    return Err(runtime(format!(
+                        "cannot load profile {}: {}",
+                        path.display(),
+                        e
+                    )))
+                }
             }
         }
         other => {
-            return fail(format!(
+            return Err(usage(format!(
                 "bad --budget `{}` (expected `fixed` or `profile`)",
                 other
-            ))
+            )))
         }
     };
 
     let config = EngineConfig::full(pipeline)
-        .with_threads(threads)
+        .with_threads(opts.threads)
         .with_schedule(schedule)
-        .with_reuse(if reuse {
+        .with_reuse(if opts.reuse {
             EngineReuse::full()
         } else {
             EngineReuse::default()
         });
 
-    let worker = match WorkerSpec::current_exe() {
-        Ok(worker) => worker,
-        Err(e) => return fail(format!("cannot locate own executable: {}", e)),
-    };
-    let flush = match FlushMode::from_tag(&flush_tag, fsync) {
-        Ok(flush) => flush,
-        Err(e) => return fail(e),
-    };
+    let worker = WorkerSpec::current_exe()
+        .map_err(|e| runtime(format!("cannot locate own executable: {}", e)))?;
+    let flush = FlushMode::from_tag(&opts.flush_tag, opts.fsync).map_err(usage)?;
     let sweep = SweepConfig {
-        shards,
-        policy,
-        workdir: workdir.clone(),
-        timeout,
+        shards: opts.shards,
+        policy: opts.policy,
+        workdir: opts.workdir.clone(),
+        timeout: opts.timeout,
         worker,
         bounds: CacheBounds {
-            max_entries,
+            max_entries: opts.max_entries,
             max_bytes: None,
         },
         flush,
-        flush_every,
-        cache_format,
-        profile: profile.clone(),
+        flush_every: opts.flush_every,
+        cache_format: opts.cache_format,
+        profile: opts.profile.clone(),
         fail_shard_after: None,
+        steal: opts.steal,
+        stall_timeout: opts.stall_timeout_secs.map(Duration::from_secs),
+        heartbeat: opts.heartbeat_ms.map(Duration::from_millis),
+        delay_shard: None,
     };
 
     println!(
-        "sweeping {} jobs over {} shard process(es) ({}, {} flush, schedule {}, reuse {}), workdir {}",
+        "sweeping {} jobs over {} shard process(es) ({}, {} flush, schedule {}, reuse {}{}), workdir {}",
         jobs.len(),
-        shards,
-        policy.tag(),
+        opts.shards,
+        opts.policy.tag(),
         flush.tag(),
         config.schedule.spec(),
-        if reuse { "on" } else { "off" },
-        workdir.display()
+        if opts.reuse { "on" } else { "off" },
+        if opts.steal { ", stealing" } else { "" },
+        opts.workdir.display()
     );
-    let swept = match llm_vectorizer_repro::core::run_sharded_sweep(&jobs, &config, &sweep) {
-        Ok(swept) => swept,
-        Err(e) => return fail(e.to_string()),
-    };
+    let swept = llm_vectorizer_repro::core::run_sharded_sweep(&jobs, &config, &sweep)
+        .map_err(|e| runtime(e.to_string()))?;
 
     for outcome in &swept.shards {
         println!(
-            "shard {}: {:?}, {}/{} job(s) reported",
-            outcome.shard, outcome.status, outcome.reported, outcome.planned
+            "shard {}: {:?}, {}/{} job(s) reported{}{}",
+            outcome.shard,
+            outcome.status,
+            outcome.reported,
+            outcome.planned,
+            if outcome.stolen > 0 {
+                format!(", {} stolen", outcome.stolen)
+            } else {
+                String::new()
+            },
+            if outcome.heartbeats > 0 {
+                format!(", {} heartbeat(s)", outcome.heartbeats)
+            } else {
+                String::new()
+            }
         );
     }
     if !swept.recovered.is_empty() {
@@ -541,12 +843,179 @@ fn main() -> ExitCode {
             totals.blast_hits, totals.blast_misses, totals.assumption_reuses, totals.escalations
         );
     }
-    if let (Some(path), Some(delta)) = (&profile, &swept.profile_delta) {
+    if let (Some(path), Some(delta)) = (&opts.profile, &swept.profile_delta) {
         println!(
             "profile: appended {} cell delta(s) to {}",
             delta.len(),
             path.display()
         );
     }
-    ExitCode::SUCCESS
+    Ok(())
+}
+
+fn run(args: &[String]) -> Result<(), CliError> {
+    match args.first().map(String::as_str) {
+        Some("compact") => return compact_files(&args[1..]),
+        Some("cache") => {
+            return match args.get(1).map(String::as_str) {
+                Some("stats") => cache_stats(&args[2..]),
+                _ => Err(usage("usage: lv-sweep cache stats FILE...")),
+            }
+        }
+        Some("serve") => return cmd_serve(&args[1..]),
+        Some("submit") => return cmd_submit(&args[1..]),
+        Some("status") => return cmd_status(&args[1..]),
+        _ => {}
+    }
+
+    // Worker mode: the coordinator spawned us with `--shard i/N`.
+    if let Some(result) = run_worker_from_args(args) {
+        return match result {
+            Ok(output) => {
+                println!(
+                    "shard {} finished {} job(s){}; cache {}, report {}",
+                    output.shard,
+                    output.finished,
+                    if output.stolen > 0 {
+                        format!(" ({} stolen)", output.stolen)
+                    } else {
+                        String::new()
+                    },
+                    output.cache_file.display(),
+                    output.report_file.display()
+                );
+                Ok(())
+            }
+            Err(ShardError::BadInvocation(e)) => {
+                Err(usage(format!("bad worker invocation: {}", e)))
+            }
+            Err(e) => Err(runtime(e.to_string())),
+        };
+    }
+
+    cmd_coordinator(args)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => e.report(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn strings(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn serve_args_parse_and_reject() {
+        let parsed = parse_serve(&strings(&[
+            "--addr",
+            "127.0.0.1:9000",
+            "--cache",
+            "/tmp/c.json",
+            "--threads",
+            "4",
+            "--quick",
+        ]))
+        .unwrap();
+        assert_eq!(parsed.addr, "127.0.0.1:9000");
+        assert_eq!(parsed.cache.as_deref(), Some(Path::new("/tmp/c.json")));
+        assert_eq!(parsed.threads, 4);
+        assert!(parsed.quick);
+        assert_eq!(parse_serve(&[]).unwrap().addr, DEFAULT_SERVICE_ADDR);
+
+        for bad in [
+            strings(&["--addr"]),
+            strings(&["--threads", "many"]),
+            strings(&["--port", "80"]),
+        ] {
+            assert!(
+                matches!(parse_serve(&bad), Err(CliError::Usage(_))),
+                "serve should reject {:?}",
+                bad
+            );
+        }
+    }
+
+    #[test]
+    fn submit_args_parse_and_reject() {
+        let parsed = parse_submit(&strings(&[
+            "--addr",
+            "127.0.0.1:9000",
+            "--kernels",
+            "s000, s112",
+            "--shutdown",
+        ]))
+        .unwrap();
+        assert_eq!(parsed.addr, "127.0.0.1:9000");
+        assert_eq!(parsed.kernels, Some(vec!["s000".into(), "s112".into()]));
+        assert!(parsed.shutdown);
+
+        for bad in [strings(&["--kernels"]), strings(&["--jobs", "x"])] {
+            assert!(
+                matches!(parse_submit(&bad), Err(CliError::Usage(_))),
+                "submit should reject {:?}",
+                bad
+            );
+        }
+    }
+
+    #[test]
+    fn status_args_parse_and_reject() {
+        assert_eq!(
+            parse_status(&strings(&["--addr", "host:1"])).unwrap(),
+            "host:1"
+        );
+        assert_eq!(parse_status(&[]).unwrap(), DEFAULT_SERVICE_ADDR);
+        assert!(matches!(
+            parse_status(&strings(&["--addr"])),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            parse_status(&strings(&["extra"])),
+            Err(CliError::Usage(_))
+        ));
+    }
+
+    #[test]
+    fn coordinator_args_parse_and_reject() {
+        let parsed = parse_coordinator(&strings(&[
+            "--shards",
+            "3",
+            "--steal",
+            "--heartbeat-ms",
+            "100",
+            "--stall-timeout-secs",
+            "30",
+        ]))
+        .unwrap();
+        assert_eq!(parsed.shards, 3);
+        assert!(parsed.steal);
+        assert_eq!(parsed.heartbeat_ms, Some(100));
+        assert_eq!(parsed.stall_timeout_secs, Some(30));
+
+        // Every malformed spelling is a typed usage error, never a panic.
+        for bad in [
+            strings(&["--shards", "few"]),
+            strings(&["--shards"]),
+            strings(&["--policy", "round-robin"]),
+            strings(&["--flush-every", "0"]),
+            strings(&["--heartbeat-ms", "0"]),
+            strings(&["--heartbeat-ms", "soon"]),
+            strings(&["--stall-timeout-secs", "-1"]),
+            strings(&["--serve"]),
+        ] {
+            assert!(
+                matches!(parse_coordinator(&bad), Err(CliError::Usage(_))),
+                "coordinator should reject {:?}",
+                bad
+            );
+        }
+    }
 }

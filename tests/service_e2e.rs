@@ -1,0 +1,151 @@
+//! End-to-end verification-service tests over real loopback TCP: verdicts
+//! served over the wire are bit-identical to the in-process engine, a warm
+//! resubmission is answered entirely from the dedupe cache with zero stages
+//! run, and killed clients — garbage bytes, or a valid handshake followed
+//! by a torn frame — never take the daemon down.
+
+use llm_vectorizer_repro::core::service::VerdictFrame;
+use llm_vectorizer_repro::core::{
+    EngineConfig, Job, PipelineConfig, ServiceClient, VerdictCache, VerificationEngine,
+    VerificationService,
+};
+use llm_vectorizer_repro::interp::ChecksumConfig;
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+
+fn quick_config() -> EngineConfig {
+    let mut tv = llm_vectorizer_repro::tv::TvConfig {
+        alive2_chunks: 1,
+        ..Default::default()
+    };
+    tv.alive2_budget.max_conflicts = 1_000;
+    tv.cunroll_budget.max_conflicts = 10_000;
+    tv.spatial_budget.max_conflicts = 4_000;
+    EngineConfig::full(PipelineConfig {
+        checksum: ChecksumConfig {
+            trials: 1,
+            n: 40,
+            ..ChecksumConfig::default()
+        },
+        tv,
+    })
+    .with_threads(1)
+}
+
+fn small_jobs() -> Vec<Job> {
+    ["s000", "s112", "s212", "vsumr"]
+        .iter()
+        .map(|name| {
+            let scalar = llm_vectorizer_repro::tsvc::kernel(name).unwrap().function();
+            let candidate = llm_vectorizer_repro::agents::vectorize_correct(&scalar).unwrap();
+            Job::new(*name, scalar, candidate)
+        })
+        .collect()
+}
+
+fn assert_frames_match_engine(frames: &[VerdictFrame], jobs: &[Job]) {
+    let baseline = VerificationEngine::new(quick_config()).run_batch(jobs);
+    assert_eq!(frames.len(), baseline.jobs.len());
+    for (frame, report) in frames.iter().zip(&baseline.jobs) {
+        assert_eq!(frame.label, report.label);
+        assert_eq!(
+            frame.verdict.verdict, report.verdict,
+            "verdict drifted over the wire for {}",
+            report.label
+        );
+        assert_eq!(
+            frame.verdict.stage, report.stage,
+            "stage drifted over the wire for {}",
+            report.label
+        );
+        assert_eq!(
+            frame.verdict.detail, report.detail,
+            "detail drifted over the wire for {}",
+            report.label
+        );
+    }
+}
+
+#[test]
+fn loopback_service_matches_engine_dedupes_warm_and_survives_killed_clients() {
+    let jobs = small_jobs();
+    let cache = Arc::new(VerdictCache::in_memory());
+    let service = VerificationService::bind("127.0.0.1:0", quick_config(), cache).expect("bind");
+    let addr = service.local_addr();
+    let daemon = std::thread::spawn(move || {
+        service.serve_forever().expect("serve");
+        service.status()
+    });
+
+    // Killer 1: pure garbage — not even the right magic — then hang up.
+    {
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        stream.write_all(b"GET / HTTP/1.0\r\n\r\n").expect("write");
+    }
+
+    // Killer 2: a *valid* handshake, then die inside a frame — a length
+    // prefix promising 64 bytes with only 5 behind it.
+    {
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        stream.write_all(b"LVSV").expect("magic");
+        // Hello is tag 0x01 + u32 version; frame it by hand.
+        let payload = [0x01u8, 1, 0, 0, 0];
+        let crc = llm_vectorizer_repro::core::journal::crc32(&payload);
+        stream
+            .write_all(&(payload.len() as u32).to_le_bytes())
+            .expect("len");
+        stream.write_all(&payload).expect("payload");
+        stream.write_all(&crc.to_le_bytes()).expect("crc");
+        // Consume the server's magic so the handshake really completed.
+        let mut magic = [0u8; 4];
+        stream.read_exact(&mut magic).expect("server magic");
+        assert_eq!(&magic, b"LVSV");
+        // Now the torn frame: claim 64 bytes, send 5, vanish.
+        stream.write_all(&64u32.to_le_bytes()).expect("torn len");
+        stream.write_all(&[1, 2, 3, 4, 5]).expect("torn bytes");
+    }
+
+    // The daemon must still be serving: a real client connects, submits
+    // the batch cold, and gets verdicts bit-identical to the in-process
+    // engine.
+    let mut client = ServiceClient::connect(addr).expect("daemon must have survived the killers");
+    let cold = client.submit(&jobs).expect("cold submit");
+    assert_frames_match_engine(&cold, &jobs);
+    assert!(
+        cold.iter().all(|frame| !frame.cache_hit),
+        "a cold batch has nothing to dedupe against"
+    );
+    let after_cold = client.status().expect("status");
+    assert_eq!(after_cold.completed, jobs.len() as u64);
+    assert_eq!(after_cold.dedupe_hits, 0);
+    assert!(after_cold.stages > 0, "cold jobs must actually run stages");
+
+    // Warm resubmission (a *new* connection): every verdict is answered
+    // from the dedupe cache before any stage runs — the stage counter does
+    // not move — and the verdict payloads are identical to the cold run.
+    let mut warm_client = ServiceClient::connect(addr).expect("connect again");
+    let warm = warm_client.submit(&jobs).expect("warm submit");
+    assert_frames_match_engine(&warm, &jobs);
+    assert!(
+        warm.iter().all(|frame| frame.cache_hit),
+        "a warm batch is answered entirely from dedupe"
+    );
+    for (cold_frame, warm_frame) in cold.iter().zip(&warm) {
+        assert_eq!(cold_frame.verdict, warm_frame.verdict);
+    }
+    let after_warm = warm_client.status().expect("status");
+    assert_eq!(
+        after_warm.stages, after_cold.stages,
+        "zero stages ran for the warm resubmission"
+    );
+    assert_eq!(after_warm.dedupe_hits, jobs.len() as u64);
+    assert_eq!(after_warm.completed, 2 * jobs.len() as u64);
+
+    // Clean shutdown stops serve_forever and the daemon thread.
+    warm_client.shutdown().expect("shutdown");
+    drop(client);
+    let final_status = daemon.join().expect("daemon thread");
+    assert_eq!(final_status.completed, 2 * jobs.len() as u64);
+    assert!(final_status.connections >= 4);
+}

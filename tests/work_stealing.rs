@@ -1,0 +1,184 @@
+//! Live-shard work stealing and stall handling: an idle shard claims a
+//! slow sibling's pending jobs through the claim journals and the combined
+//! reports still cover every job with verdicts identical to a
+//! single-process run; a worker with no liveness signal at all is killed
+//! early as stalled and fully recovered.
+
+use llm_vectorizer_repro::core::shard::{
+    read_claims, read_progress, run_shard_with, ShardReportFile, ShardRunOptions, SweepManifest,
+};
+use llm_vectorizer_repro::core::{
+    run_sharded_sweep, EngineConfig, Job, PipelineConfig, ShardPolicy, ShardStatus, SweepConfig,
+    VerificationEngine, WorkerSpec,
+};
+use llm_vectorizer_repro::interp::ChecksumConfig;
+use std::collections::BTreeSet;
+use std::path::PathBuf;
+use std::time::Duration;
+
+fn quick_config() -> EngineConfig {
+    let mut tv = llm_vectorizer_repro::tv::TvConfig {
+        alive2_chunks: 1,
+        ..Default::default()
+    };
+    tv.alive2_budget.max_conflicts = 1_000;
+    tv.cunroll_budget.max_conflicts = 10_000;
+    tv.spatial_budget.max_conflicts = 4_000;
+    EngineConfig::full(PipelineConfig {
+        checksum: ChecksumConfig {
+            trials: 1,
+            n: 40,
+            ..ChecksumConfig::default()
+        },
+        tv,
+    })
+    .with_threads(1)
+}
+
+fn small_jobs() -> Vec<Job> {
+    ["s000", "s112", "s212", "vsumr"]
+        .iter()
+        .map(|name| {
+            let scalar = llm_vectorizer_repro::tsvc::kernel(name).unwrap().function();
+            let candidate = llm_vectorizer_repro::agents::vectorize_correct(&scalar).unwrap();
+            Job::new(*name, scalar, candidate)
+        })
+        .collect()
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("lv-steal-{}-{}", tag, std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    dir
+}
+
+#[test]
+fn an_idle_shard_steals_a_delayed_siblings_share() {
+    let jobs = small_jobs();
+    let config = quick_config();
+    let manifest = SweepManifest::new(&config, &jobs, 2, ShardPolicy::Contiguous);
+    let fingerprint = manifest.fingerprint();
+    let dir = temp_dir("steal");
+
+    // Shard 0 is the victim: alive (heartbeating) but delayed long past the
+    // time shard 1 needs to finish its own share and turn thief. Both run
+    // with stealing on, exactly as a `--steal` coordinator would spawn
+    // them.
+    let victim_options = ShardRunOptions {
+        steal: true,
+        heartbeat: Some(Duration::from_millis(50)),
+        delay: Some(Duration::from_secs(8)),
+        ..ShardRunOptions::default()
+    };
+    let thief_options = ShardRunOptions {
+        steal: true,
+        heartbeat: Some(Duration::from_millis(50)),
+        ..ShardRunOptions::default()
+    };
+    let (victim, thief) = std::thread::scope(|scope| {
+        let victim = scope.spawn(|| run_shard_with(&manifest, 0, &dir, &victim_options));
+        let thief = scope.spawn(|| run_shard_with(&manifest, 1, &dir, &thief_options));
+        (
+            victim.join().expect("victim thread").expect("victim run"),
+            thief.join().expect("thief thread").expect("thief run"),
+        )
+    });
+
+    // The thief must actually have stolen; its claims journal records the
+    // stolen indices so the late-waking victim skipped them.
+    assert!(
+        thief.stolen >= 1,
+        "the idle shard stole nothing from an 8s-delayed sibling"
+    );
+    assert_eq!(victim.stolen, 0, "the delayed shard had no one to rob");
+    let thief_claims = read_claims(&dir.join("shard-1.claims.json"), fingerprint);
+    let victim_share: BTreeSet<usize> = manifest.plan().indices_of(0).into_iter().collect();
+    assert!(
+        thief_claims.intersection(&victim_share).count() >= thief.stolen.min(1),
+        "stolen jobs must be claimed in the thief's journal"
+    );
+
+    // The victim heartbeated through its delay — alive-but-slow, exactly
+    // the signal stealing keys on — even if it reported few or no jobs.
+    let progress = read_progress(&dir.join("shard-0.report.json"), fingerprint)
+        .expect("victim report journal");
+    assert!(
+        progress.heartbeats >= 1,
+        "the delayed shard must heartbeat while sleeping"
+    );
+
+    // Combined coverage: every job reported by someone, each report
+    // bit-identical to the single-process engine.
+    let baseline = VerificationEngine::new(quick_config()).run_batch(&jobs);
+    let mut covered: BTreeSet<usize> = BTreeSet::new();
+    for shard in 0..2 {
+        let report = ShardReportFile::load(dir.join(format!("shard-{}.report.json", shard)))
+            .expect("report loads");
+        assert_eq!(report.fingerprint, fingerprint);
+        for (index, entry) in report.entries {
+            let expected = &baseline.jobs[index];
+            assert_eq!(entry.label, expected.label);
+            assert_eq!(
+                entry.verdict, expected.verdict,
+                "verdict drift at {}",
+                index
+            );
+            assert_eq!(entry.stage, expected.stage, "stage drift at {}", index);
+            assert_eq!(entry.detail, expected.detail, "detail drift at {}", index);
+            covered.insert(index);
+        }
+    }
+    assert_eq!(
+        covered,
+        (0..jobs.len()).collect::<BTreeSet<usize>>(),
+        "stealing must not lose (or fail to cover) any job"
+    );
+    assert!(
+        victim.finished + thief.finished >= covered.len(),
+        "a benign claim race may duplicate work but never under-covers"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn workers_with_no_liveness_signal_are_stalled_out_and_recovered() {
+    let jobs = small_jobs();
+    let dir = temp_dir("stall");
+    let sweep = SweepConfig {
+        shards: 2,
+        policy: ShardPolicy::Contiguous,
+        workdir: dir.clone(),
+        // The hard deadline is far away; only stall detection can end this
+        // sweep quickly. The fake worker ignores its arguments, writes no
+        // journal, and so never heartbeats: hung-and-silent, not
+        // hung-but-alive.
+        timeout: Duration::from_secs(600),
+        stall_timeout: Some(Duration::from_millis(400)),
+        worker: WorkerSpec {
+            program: PathBuf::from("sh"),
+            args: vec!["-c".to_string(), "sleep 60".to_string()],
+        },
+        ..SweepConfig::default()
+    };
+    let start = std::time::Instant::now();
+    let swept = run_sharded_sweep(&jobs, &quick_config(), &sweep).expect("sweep must recover");
+    assert!(
+        start.elapsed() < Duration::from_secs(30),
+        "stall detection must beat the 600s deadline"
+    );
+    for outcome in &swept.shards {
+        assert_eq!(outcome.status, ShardStatus::Stalled);
+        assert_eq!(outcome.reported, 0);
+        assert_eq!(outcome.heartbeats, 0);
+    }
+    assert_eq!(swept.recovered, vec![0, 1, 2, 3], "every job recovered");
+    let baseline = VerificationEngine::new(quick_config()).run_batch(&jobs);
+    for (expected, merged) in baseline.jobs.iter().zip(&swept.report.jobs) {
+        assert_eq!(expected.label, merged.label);
+        assert_eq!(expected.verdict, merged.verdict);
+        assert_eq!(expected.stage, merged.stage);
+        assert_eq!(expected.detail, merged.detail);
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
