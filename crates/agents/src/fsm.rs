@@ -254,6 +254,7 @@ mod tests {
                 llm: LlmConfig {
                     temperature: 1.0,
                     seed: 11,
+                    ..LlmConfig::default()
                 },
                 ..FsmConfig::default()
             },

@@ -27,6 +27,14 @@ pub struct LlmConfig {
     pub temperature: f64,
     /// RNG seed for reproducible experiments.
     pub seed: u64,
+    /// Simulated per-completion inference wall-clock cost. The real model
+    /// behind the paper takes seconds per completion; the synthetic sampler
+    /// takes microseconds, which makes generation/verification overlap
+    /// experiments vacuous. A non-zero latency sleeps for that long inside
+    /// [`SyntheticLlm::complete`] — it never affects the sampled content,
+    /// only the wall clock. Zero (the default) everywhere outside latency
+    /// experiments.
+    pub latency: std::time::Duration,
 }
 
 impl Default for LlmConfig {
@@ -34,6 +42,7 @@ impl Default for LlmConfig {
         LlmConfig {
             temperature: 1.0,
             seed: 0xC0FFEE,
+            latency: std::time::Duration::ZERO,
         }
     }
 }
@@ -138,6 +147,9 @@ impl SyntheticLlm {
 
     /// Samples one completion for the prompt.
     pub fn complete(&mut self, prompt: &VectorizePrompt) -> Completion {
+        if !self.config.latency.is_zero() {
+            std::thread::sleep(self.config.latency);
+        }
         let report = analyze_function(&prompt.scalar);
         let p = self.success_probability(&report, prompt);
         let correct = vectorize_correct(&prompt.scalar);
@@ -344,6 +356,7 @@ mod tests {
         let mut llm = SyntheticLlm::new(LlmConfig {
             temperature: 0.2,
             seed: 1,
+            ..LlmConfig::default()
         });
         let prompt = VectorizePrompt::new(scalar.clone());
         let mut successes = 0;
@@ -378,6 +391,7 @@ mod tests {
         let mut llm = SyntheticLlm::new(LlmConfig {
             temperature: 5.0, // force errors
             seed: 7,
+            ..LlmConfig::default()
         });
         let prompt = VectorizePrompt::new(scalar.clone());
         let mut not_equivalent = 0;

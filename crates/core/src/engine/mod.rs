@@ -75,7 +75,7 @@ pub mod pool;
 pub mod schedule;
 pub mod stage;
 
-pub use pool::parallel_map;
+pub use pool::{job_channel, parallel_map, JobProducer, JobSource};
 pub use schedule::{StageSchedule, SYMBOLIC_STAGES};
 pub use stage::{
     ChecksumStage, PortfolioStage, StrategyOutcome, SymbolicStage, VerificationStrategy,
@@ -84,7 +84,7 @@ pub use stage::{
 
 use crate::cache::{CacheKey, CachedVerdict, VerdictCache};
 use crate::funnel::{AdaptiveBudgetPolicy, FunnelReport};
-use crate::observer::{BatchObserver, NoopObserver, OffsetObserver};
+use crate::observer::{BatchObserver, IndexMapObserver, NoopObserver, OffsetObserver};
 use crate::pipeline::{Equivalence, EquivalenceReport, PipelineConfig, Stage};
 use lv_analysis::KernelCategory;
 use lv_cir::ast::Function;
@@ -92,6 +92,7 @@ use lv_cir::hash::{structural_hash, structural_hash_in_env, Fnv64};
 use lv_interp::ChecksumClass;
 use lv_tv::{SymbolicStrategy, TvConfig, TvReuse, TvSessionStats};
 use std::sync::Arc;
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 /// Which cross-job SMT reuse mechanisms the engine runs with. All off by
@@ -623,6 +624,97 @@ impl VerificationEngine {
         } else {
             pool::parallel_map_with(threads, jobs, init, run)
         };
+        let cache_hits = reports.iter().filter(|r| r.cache_hit).count();
+        let cache_misses = if self.cache.is_some() {
+            reports.len() - cache_hits
+        } else {
+            0
+        };
+        BatchReport {
+            jobs: reports,
+            wall: start.elapsed(),
+            threads,
+            cache_hits,
+            cache_misses,
+        }
+    }
+
+    /// Verifies a stream of jobs as they arrive, without materializing the
+    /// batch up front — the overlapped generation→verification intake.
+    ///
+    /// See [`VerificationEngine::run_stream_observed`].
+    pub fn run_stream(&self, source: &JobSource<Job>) -> BatchReport {
+        self.run_stream_observed(source, &NoopObserver)
+    }
+
+    /// [`VerificationEngine::run_stream`], streaming progress to
+    /// `observer`.
+    ///
+    /// Workers claim `(index, job)` pairs from the bounded `source` (see
+    /// [`job_channel`]) as a producer — typically seeded
+    /// parallel candidate generation — pushes them, so verification starts
+    /// before generation finishes. Each job runs through the identical
+    /// [`run_job`](Self::run_batch) path as the batch entry points, and the
+    /// returned [`BatchReport`] is assembled in ascending job-index order,
+    /// so verdicts are bit-identical to `run_batch` over the same jobs in
+    /// index order, at any worker count and any arrival order (pinned at
+    /// worker counts 1/2/8 by the pipeline property tests). Indices need
+    /// not be dense — the service streams sparse post-dedupe slots — but
+    /// must be unique.
+    ///
+    /// One scheduling mode cannot stream: incremental per-scalar reuse
+    /// requires whole scalar groups claimed atomically, which needs the
+    /// full job list. With [`EngineReuse::incremental`] set, the source is
+    /// drained first and the batch path runs — correctness is preserved,
+    /// overlap is not.
+    pub fn run_stream_observed(
+        &self,
+        source: &JobSource<Job>,
+        observer: &dyn BatchObserver,
+    ) -> BatchReport {
+        let start = Instant::now();
+        if self.reuse.incremental {
+            // Scalar-affinity grouping needs every job up front: drain,
+            // order, and fall back to the grouped batch path (remapping
+            // observer indices back to the stream's).
+            let mut pairs: Vec<(usize, Job)> = std::iter::from_fn(|| source.next()).collect();
+            pairs.sort_by_key(|(index, _)| *index);
+            let indices: Vec<usize> = pairs.iter().map(|(index, _)| *index).collect();
+            let jobs: Vec<Job> = pairs.into_iter().map(|(_, job)| job).collect();
+            let remap = IndexMapObserver::new(observer, &indices);
+            let mut report = self.run_batch_observed(&jobs, &remap);
+            report.wall = start.elapsed();
+            return report;
+        }
+        let threads = pool::resolve_threads(self.threads, usize::MAX);
+        let init = || WorkerState::with_reuse(self.reuse.tv());
+        let collected: Mutex<Vec<(usize, JobReport)>> = Mutex::new(Vec::new());
+        if threads <= 1 {
+            let mut worker = init();
+            while let Some((index, job)) = source.next() {
+                let report = self.run_job(index, &job, &mut worker, observer);
+                collected.lock().unwrap().push((index, report));
+            }
+        } else {
+            std::thread::scope(|scope| {
+                for _ in 0..threads {
+                    scope.spawn(|| {
+                        let mut worker = init();
+                        while let Some((index, job)) = source.next() {
+                            let report = self.run_job(index, &job, &mut worker, observer);
+                            collected.lock().unwrap().push((index, report));
+                        }
+                    });
+                }
+            });
+        }
+        let mut pairs = collected.into_inner().unwrap();
+        pairs.sort_by_key(|(index, _)| *index);
+        assert!(
+            pairs.windows(2).all(|w| w[0].0 < w[1].0),
+            "duplicate job index in the stream"
+        );
+        let reports: Vec<JobReport> = pairs.into_iter().map(|(_, report)| report).collect();
         let cache_hits = reports.iter().filter(|r| r.cache_hit).count();
         let cache_misses = if self.cache.is_some() {
             reports.len() - cache_hits

@@ -109,6 +109,7 @@ impl ExperimentConfig {
         LlmConfig {
             temperature: self.temperature,
             seed: self.seed,
+            ..LlmConfig::default()
         }
     }
 

@@ -67,7 +67,12 @@
 //! * [`pipeline`] — Algorithm 1 ([`check_equivalence`]) as a thin wrapper
 //!   over a single-job engine run, so the one-shot and batched paths share
 //!   one cascade implementation;
-//! * [`passk`] — the pass@k estimator of Section 4.1.2;
+//! * [`passk`] — the pass@k estimator of Section 4.1.2, plus the
+//!   overlapped generation→verification drivers ([`overlapped_pass_at_k`]
+//!   streaming per-cell seeded completions into the engine's bounded
+//!   [`job_channel`] intake, [`generate_then_verify_pass_at_k`] as the
+//!   unoverlapped reference — verdicts bit-identical by construction,
+//!   CI-pinned);
 //! * [`experiments`] — drivers regenerating Table 2 ([`table2`]), Figure 5
 //!   ([`figure5`]), Table 3 ([`table3`]), Figure 1(c) ([`figure1`]),
 //!   Figure 6 ([`figure6`]) and the Section 4.4 FSM evaluation
@@ -140,10 +145,10 @@ pub use cache::{
     VerdictCache, CACHE_FORMAT_VERSION,
 };
 pub use engine::{
-    parallel_map, AdaptiveBatchReport, BatchReport, ChecksumStage, EngineConfig, EngineReuse, Job,
-    JobReport, PortfolioStage, ReuseCounters, StageSchedule, StageTrace, StrategyOutcome,
-    SymbolicStage, VerificationEngine, VerificationStrategy, WorkerState, PORTFOLIO_TIGHT_DIVISOR,
-    SYMBOLIC_STAGES,
+    job_channel, parallel_map, AdaptiveBatchReport, BatchReport, ChecksumStage, EngineConfig,
+    EngineReuse, Job, JobProducer, JobReport, JobSource, PortfolioStage, ReuseCounters,
+    StageSchedule, StageTrace, StrategyOutcome, SymbolicStage, VerificationEngine,
+    VerificationStrategy, WorkerState, PORTFOLIO_TIGHT_DIVISOR, SYMBOLIC_STAGES,
 };
 pub use experiments::{
     figure1, figure1_with, figure5, figure5_with, figure6, figure6_with, fsm_evaluation,
@@ -154,14 +159,20 @@ pub use experiments::{
 pub use funnel::{AdaptiveBudgetPolicy, FunnelReport, StageFunnel, HISTOGRAM_BUCKETS};
 pub use journal::FsyncPolicy;
 pub use observer::{
-    BatchObserver, CallbackObserver, CountingObserver, NoopObserver, OffsetObserver,
-    StreamObserver, TeeObserver,
+    BatchObserver, CallbackObserver, CountingObserver, IndexMapObserver, NoopObserver,
+    OffsetObserver, StreamObserver, TeeObserver,
 };
-pub use passk::{pass_at_k, pass_at_k_curve};
+pub use passk::{
+    generate_then_verify_pass_at_k, overlapped_pass_at_k, overlapped_pass_at_k_observed, pass_at_k,
+    pass_at_k_curve, PassKRun,
+};
 pub use pipeline::{check_equivalence, Equivalence, EquivalenceReport, PipelineConfig, Stage};
 pub use profile::{CrossRunProfile, ProfileCell, PROFILE_FORMAT_VERSION};
-pub use service::{ServiceClient, ServiceError, ServiceStatus, VerificationService};
+pub use service::{
+    GenerationRequest, ServiceClient, ServiceError, ServiceStatus, VerificationService,
+};
 pub use shard::{
-    run_sharded_sweep, run_worker_from_args, FlushMode, ShardError, ShardOutcome, ShardPlan,
-    ShardPolicy, ShardStatus, ShardedSweep, SweepConfig, SweepManifest, WorkerSpec,
+    run_generated_sweep, run_sharded_sweep, run_worker_from_args, FlushMode, GenerationSpec,
+    ShardError, ShardOutcome, ShardPlan, ShardPolicy, ShardStatus, ShardedSweep, SweepConfig,
+    SweepManifest, WorkerSpec,
 };

@@ -9,9 +9,25 @@ use crate::service::wire::{
     WIRE_VERSION,
 };
 use crate::service::ServiceError;
+use lv_cir::ast::Function;
 use lv_cir::print_function;
 use std::io::{BufReader, Read, Write};
 use std::net::{TcpStream, ToSocketAddrs};
+
+/// One server-side generation request: the daemon samples `k` completions
+/// for `scalar` with per-cell seeds derived from `seed` and verifies them
+/// overlapped, streaming back `k` verdicts labeled `label#0` … `label#k-1`.
+#[derive(Debug, Clone)]
+pub struct GenerationRequest {
+    /// Label prefix for the generated jobs.
+    pub label: String,
+    /// The scalar kernel to generate candidates for.
+    pub scalar: Function,
+    /// Completions to sample.
+    pub k: u32,
+    /// Base RNG seed the per-cell seeds derive from.
+    pub seed: u64,
+}
 
 /// A connection to a [`VerificationService`](crate::VerificationService).
 #[derive(Debug)]
@@ -93,30 +109,67 @@ impl ServiceClient {
                 },
             )?;
         }
+        let expected: Vec<String> = jobs.iter().map(|job| job.label.clone()).collect();
+        self.run_and_collect(&expected)
+    }
+
+    /// Submits generation requests and blocks until every generated
+    /// candidate's verdict arrived, in slot order (request order, `k`
+    /// slots per request labeled `label#j`). Generation and verification
+    /// overlap on the daemon; the stream is cross-checked like
+    /// [`submit`](Self::submit).
+    pub fn submit_generation(
+        &mut self,
+        requests: &[GenerationRequest],
+    ) -> Result<Vec<VerdictFrame>, ServiceError> {
+        let mut expected = Vec::new();
+        for request in requests {
+            write_message(
+                &mut self.writer,
+                &Message::SubmitGenerate {
+                    label: request.label.clone(),
+                    scalar: print_function(&request.scalar),
+                    k: request.k,
+                    seed: request.seed,
+                },
+            )?;
+            for j in 0..request.k {
+                expected.push(format!("{}#{}", request.label, j));
+            }
+        }
+        self.run_and_collect(&expected)
+    }
+
+    /// Sends [`Message::Run`] over `expected.len()` slots and collects the
+    /// streamed verdicts, strictly cross-checked frame by frame: an
+    /// out-of-range index, a duplicate slot, a label that does not match
+    /// the expected slot label, a short batch, or a mid-batch close each
+    /// fail with a typed error.
+    fn run_and_collect(&mut self, expected: &[String]) -> Result<Vec<VerdictFrame>, ServiceError> {
         write_message(
             &mut self.writer,
             &Message::Run {
-                count: jobs.len() as u32,
+                count: expected.len() as u32,
             },
         )?;
         self.writer.flush()?;
 
-        let mut slots: Vec<Option<VerdictFrame>> = vec![None; jobs.len()];
+        let mut slots: Vec<Option<VerdictFrame>> = vec![None; expected.len()];
         loop {
             match read_message(&mut self.reader)? {
                 Some(Message::Verdict(frame)) => {
                     let index = frame.index as usize;
-                    let job = jobs.get(index).ok_or_else(|| {
+                    let label = expected.get(index).ok_or_else(|| {
                         ServiceError::Protocol(format!(
                             "verdict index {} out of range for a {}-job batch",
                             index,
-                            jobs.len()
+                            expected.len()
                         ))
                     })?;
-                    if frame.label != job.label {
+                    if frame.label != *label {
                         return Err(ServiceError::Protocol(format!(
                             "verdict {} labeled '{}' but job {} is '{}'",
-                            index, frame.label, index, job.label
+                            index, frame.label, index, label
                         )));
                     }
                     if slots[index].is_some() {
@@ -128,11 +181,11 @@ impl ServiceClient {
                     slots[index] = Some(frame);
                 }
                 Some(Message::Done { count }) => {
-                    if count as usize != jobs.len() {
+                    if count as usize != expected.len() {
                         return Err(ServiceError::Protocol(format!(
                             "batch closed with {} verdict(s), {} submitted",
                             count,
-                            jobs.len()
+                            expected.len()
                         )));
                     }
                     break;
@@ -151,7 +204,7 @@ impl ServiceClient {
                 }
             }
         }
-        let mut verdicts = Vec::with_capacity(jobs.len());
+        let mut verdicts = Vec::with_capacity(expected.len());
         for (index, slot) in slots.into_iter().enumerate() {
             verdicts.push(slot.ok_or_else(|| {
                 ServiceError::Protocol(format!("no verdict arrived for job {}", index))

@@ -3,13 +3,14 @@
 //! streams verdicts back as they finish.
 
 use crate::cache::{CachedVerdict, VerdictCache};
-use crate::engine::{job_cache_key, EngineConfig, Job, VerificationEngine};
+use crate::engine::{job_cache_key, job_channel, EngineConfig, Job, VerificationEngine};
 use crate::observer::{CallbackObserver, CountingObserver, TeeObserver};
 use crate::service::wire::{
     check_magic, read_message, write_message, Message, ServiceStatus, VerdictFrame, WireError,
     WIRE_MAGIC, WIRE_VERSION,
 };
 use crate::service::ServiceError;
+use lv_agents::{sample_completion_cell, LlmConfig};
 use lv_cir::parse_function;
 use std::io::{BufReader, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
@@ -35,6 +36,34 @@ pub struct VerificationService {
     completed: AtomicU64,
     dedupe_hits: AtomicU64,
     stages: AtomicU64,
+    generation_queued: AtomicU64,
+    generated: AtomicU64,
+}
+
+/// How many generated-but-unverified candidates a connection's streaming
+/// run may hold in flight before generation blocks (backpressure).
+const GENERATION_QUEUE_CAPACITY: usize = 32;
+
+/// One unit of pending work on a connection: a fully specified job, or a
+/// generation request still to be expanded into `k` seeded jobs.
+enum Pending {
+    Job(Job),
+    Generate {
+        label: String,
+        scalar: lv_cir::ast::Function,
+        k: u32,
+        seed: u64,
+    },
+}
+
+impl Pending {
+    /// Verdict slots this entry occupies in its batch.
+    fn slots(&self) -> usize {
+        match self {
+            Pending::Job(_) => 1,
+            Pending::Generate { k, .. } => *k as usize,
+        }
+    }
 }
 
 impl std::fmt::Debug for VerificationService {
@@ -71,6 +100,8 @@ impl VerificationService {
             completed: AtomicU64::new(0),
             dedupe_hits: AtomicU64::new(0),
             stages: AtomicU64::new(0),
+            generation_queued: AtomicU64::new(0),
+            generated: AtomicU64::new(0),
         })
     }
 
@@ -94,6 +125,8 @@ impl VerificationService {
             completed: self.completed.load(Ordering::Relaxed),
             dedupe_hits: self.dedupe_hits.load(Ordering::Relaxed),
             stages: self.stages.load(Ordering::Relaxed),
+            generation_queued: self.generation_queued.load(Ordering::Relaxed),
+            generated: self.generated.load(Ordering::Relaxed),
         }
     }
 
@@ -189,7 +222,7 @@ impl VerificationService {
             )?;
         }
 
-        let mut pending: Vec<Job> = Vec::new();
+        let mut pending: Vec<Pending> = Vec::new();
         loop {
             let message = match read_message(&mut reader)? {
                 None => return Ok(false),
@@ -217,21 +250,46 @@ impl VerificationService {
                             return Err(ServiceError::Protocol(detail));
                         }
                     };
-                    pending.push(Job::new(label, scalar, candidate));
+                    pending.push(Pending::Job(Job::new(label, scalar, candidate)));
                     self.received.fetch_add(1, Ordering::Relaxed);
                 }
+                Message::SubmitGenerate {
+                    label,
+                    scalar,
+                    k,
+                    seed,
+                } => {
+                    let scalar = match parse_function(&scalar) {
+                        Ok(f) => f,
+                        Err(e) => {
+                            let detail =
+                                format!("generation '{}': unparsable scalar: {}", label, e);
+                            self.send_error(&writer, &detail)?;
+                            return Err(ServiceError::Protocol(detail));
+                        }
+                    };
+                    self.received.fetch_add(u64::from(k), Ordering::Relaxed);
+                    self.generation_queued
+                        .fetch_add(u64::from(k), Ordering::Relaxed);
+                    pending.push(Pending::Generate {
+                        label,
+                        scalar,
+                        k,
+                        seed,
+                    });
+                }
                 Message::Run { count } => {
-                    if count as usize != pending.len() {
+                    let slots: usize = pending.iter().map(Pending::slots).sum();
+                    if count as usize != slots {
                         let detail = format!(
                             "run count mismatch: client says {}, server holds {}",
-                            count,
-                            pending.len()
+                            count, slots
                         );
                         self.send_error(&writer, &detail)?;
                         return Err(ServiceError::Protocol(detail));
                     }
-                    let jobs = std::mem::take(&mut pending);
-                    self.run_jobs(&jobs, &writer)?;
+                    let entries = std::mem::take(&mut pending);
+                    self.run_pending(entries, &writer)?;
                 }
                 Message::Status => {
                     let mut out = writer.lock().unwrap();
@@ -251,80 +309,138 @@ impl VerificationService {
         }
     }
 
-    /// Dedupes `jobs` through the cache, runs the admitted remainder on
-    /// the engine, and streams one [`Message::Verdict`] per job (cache
-    /// answers first, then engine answers in completion order), closing
-    /// the batch with [`Message::Done`].
-    fn run_jobs(&self, jobs: &[Job], out: &Mutex<TcpStream>) -> Result<(), ServiceError> {
-        // Dedupe/admission pre-pass: anything the tiered cache already
-        // answers is streamed back immediately and never reaches the
-        // engine.
-        let mut admitted: Vec<(u32, Job)> = Vec::new();
-        for (index, job) in jobs.iter().enumerate() {
+    /// Runs a batch of pending entries *overlapped*: a producer thread
+    /// walks the entries in slot order — deduping explicit jobs through
+    /// the cache and expanding generation requests into per-cell-seeded
+    /// jobs as it goes — while the engine's streaming intake verifies
+    /// admitted jobs as they appear. Dedupe answers are streamed the
+    /// moment the producer sees them, engine answers in completion order;
+    /// the batch closes with [`Message::Done`] over all slots.
+    fn run_pending(
+        &self,
+        entries: Vec<Pending>,
+        out: &Mutex<TcpStream>,
+    ) -> Result<(), ServiceError> {
+        let total_slots: usize = entries.iter().map(Pending::slots).sum();
+        let write_failure: Mutex<Option<std::io::Error>> = Mutex::new(None);
+        let record_failure = |e: std::io::Error| {
+            let mut slot = write_failure.lock().unwrap();
+            if slot.is_none() {
+                *slot = Some(e);
+            }
+        };
+
+        // Streams one verdict frame; failures are recorded, not fatal, so
+        // the batch still drains deterministically.
+        let stream_verdict = |frame: VerdictFrame| {
+            let mut locked = out.lock().unwrap();
+            if let Err(e) = write_message(&mut *locked, &Message::Verdict(frame)) {
+                record_failure(e);
+            }
+        };
+
+        // Dedupe check: answered from the cache → streamed immediately,
+        // never admitted to the engine.
+        let try_dedupe = |slot: usize, job: &Job| -> bool {
             let key = job_cache_key(job, self.fingerprint);
             if let Some(verdict) = self.cache.get(&key) {
                 self.dedupe_hits.fetch_add(1, Ordering::Relaxed);
                 self.completed.fetch_add(1, Ordering::Relaxed);
-                let mut locked = out.lock().unwrap();
-                write_message(
-                    &mut *locked,
-                    &Message::Verdict(VerdictFrame {
-                        index: index as u32,
-                        label: job.label.clone(),
-                        cache_hit: true,
-                        verdict,
-                    }),
-                )?;
-            } else {
-                admitted.push((index as u32, job.clone()));
-            }
-        }
-
-        if !admitted.is_empty() {
-            let indices: Vec<u32> = admitted.iter().map(|(i, _)| *i).collect();
-            let batch_jobs: Vec<Job> = admitted.into_iter().map(|(_, job)| job).collect();
-            let write_failure: Mutex<Option<std::io::Error>> = Mutex::new(None);
-            let counting = CountingObserver::new();
-            let streaming = CallbackObserver::new(|local: usize, report: &crate::JobReport| {
-                let frame = Message::Verdict(VerdictFrame {
-                    index: indices[local],
-                    label: report.label.clone(),
-                    cache_hit: report.cache_hit,
-                    verdict: CachedVerdict {
-                        verdict: report.verdict,
-                        stage: report.stage,
-                        detail: report.detail.clone(),
-                        checksum: report.checksum,
-                    },
+                stream_verdict(VerdictFrame {
+                    index: slot as u32,
+                    label: job.label.clone(),
+                    cache_hit: true,
+                    verdict,
                 });
-                let mut locked = out.lock().unwrap();
-                if let Err(e) = write_message(&mut *locked, &frame) {
-                    let mut slot = write_failure.lock().unwrap();
-                    if slot.is_none() {
-                        *slot = Some(e);
+                true
+            } else {
+                false
+            }
+        };
+
+        let counting = CountingObserver::new();
+        let streaming = CallbackObserver::new(|slot: usize, report: &crate::JobReport| {
+            stream_verdict(VerdictFrame {
+                index: slot as u32,
+                label: report.label.clone(),
+                cache_hit: report.cache_hit,
+                verdict: CachedVerdict {
+                    verdict: report.verdict,
+                    stage: report.stage,
+                    detail: report.detail.clone(),
+                    checksum: report.checksum,
+                },
+            });
+        });
+        let tee = TeeObserver(&counting, &streaming);
+
+        let (producer, source) = job_channel(GENERATION_QUEUE_CAPACITY);
+        let batch = std::thread::scope(|scope| {
+            scope.spawn(move || {
+                // The producer owns the only channel handle: the stream
+                // closes when this thread finishes (or panics).
+                let mut slot = 0usize;
+                for (ordinal, entry) in entries.into_iter().enumerate() {
+                    match entry {
+                        Pending::Job(job) => {
+                            if !try_dedupe(slot, &job) {
+                                producer.push(slot, job);
+                            }
+                            slot += 1;
+                        }
+                        Pending::Generate {
+                            label,
+                            scalar,
+                            k,
+                            seed,
+                        } => {
+                            let config = LlmConfig {
+                                seed,
+                                ..LlmConfig::default()
+                            };
+                            for j in 0..k as usize {
+                                // The entry's ordinal is the "kernel index"
+                                // of the seed-derivation cell, so two
+                                // generation requests with the same base
+                                // seed still sample distinct cells.
+                                let completion =
+                                    sample_completion_cell(&scalar, &config, ordinal, j);
+                                self.generation_queued.fetch_sub(1, Ordering::Relaxed);
+                                self.generated.fetch_add(1, Ordering::Relaxed);
+                                let job = Job::new(
+                                    format!("{}#{}", label, j),
+                                    scalar.clone(),
+                                    completion.candidate,
+                                );
+                                if !try_dedupe(slot, &job) {
+                                    producer.push(slot, job);
+                                }
+                                slot += 1;
+                            }
+                        }
                     }
                 }
             });
-            let tee = TeeObserver(&counting, &streaming);
-            let batch = self.engine.run_batch_observed(&batch_jobs, &tee);
-            self.stages
-                .fetch_add(counting.stage_count() as u64, Ordering::Relaxed);
-            // In-batch duplicates of an admitted job hit the cache entry
-            // the first copy stored — they count as dedupe answers too.
-            self.dedupe_hits
-                .fetch_add(batch.cache_hits as u64, Ordering::Relaxed);
-            self.completed
-                .fetch_add(batch.jobs.len() as u64, Ordering::Relaxed);
-            if let Some(e) = write_failure.into_inner().unwrap() {
-                return Err(e.into());
-            }
+            self.engine.run_stream_observed(&source, &tee)
+        });
+
+        self.stages
+            .fetch_add(counting.stage_count() as u64, Ordering::Relaxed);
+        // In-batch duplicates of an admitted job hit the cache entry the
+        // first copy stored — they count as dedupe answers too.
+        self.dedupe_hits
+            .fetch_add(batch.cache_hits as u64, Ordering::Relaxed);
+        self.completed
+            .fetch_add(batch.jobs.len() as u64, Ordering::Relaxed);
+        if let Some(e) = write_failure.into_inner().unwrap() {
+            return Err(e.into());
         }
 
         let mut locked = out.lock().unwrap();
         write_message(
             &mut *locked,
             &Message::Done {
-                count: jobs.len() as u32,
+                count: total_slots as u32,
             },
         )?;
         locked.flush()?;

@@ -136,6 +136,13 @@ pub struct ServiceStatus {
     pub dedupe_hits: u64,
     /// Cascade stage executions across all admitted jobs.
     pub stages: u64,
+    /// Generation-queue depth: completions accepted via
+    /// [`Message::SubmitGenerate`] but not yet sampled. Nonzero while a
+    /// generation batch is in flight — the observable sign that generation
+    /// and verification are overlapping.
+    pub generation_queued: u64,
+    /// Completions sampled by the daemon's seeded generator since start.
+    pub generated: u64,
 }
 
 /// One streamed verdict: the submission index and label it answers, whether
@@ -176,10 +183,26 @@ pub enum Message {
         /// The candidate function, printed.
         candidate: String,
     },
+    /// One generation request: the daemon samples `k` seeded completions
+    /// for the scalar kernel (per-cell seeds derived from `seed`, see
+    /// [`lv_agents::derive_cell_seed`]) and verifies them, overlapped —
+    /// candidates stream into the engine as they are sampled. Occupies `k`
+    /// verdict slots labeled `label#0` … `label#k-1` in the current batch.
+    SubmitGenerate {
+        /// Label prefix for the generated jobs.
+        label: String,
+        /// The scalar function, printed.
+        scalar: String,
+        /// Completions to sample for this kernel.
+        k: u32,
+        /// Base RNG seed the per-cell seeds derive from.
+        seed: u64,
+    },
     /// Runs the pending submissions; `count` is the client's view of how
-    /// many it submitted, cross-checked server-side.
+    /// many verdict slots it submitted (one per [`Message::Submit`], `k`
+    /// per [`Message::SubmitGenerate`]), cross-checked server-side.
     Run {
-        /// Expected pending-job count.
+        /// Expected pending verdict-slot count.
         count: u32,
     },
     /// Requests a [`Message::StatusReport`].
@@ -221,6 +244,7 @@ const TAG_SUBMIT: u8 = 0x02;
 const TAG_RUN: u8 = 0x03;
 const TAG_STATUS: u8 = 0x04;
 const TAG_SHUTDOWN: u8 = 0x05;
+const TAG_SUBMIT_GENERATE: u8 = 0x06;
 const TAG_SERVER_HELLO: u8 = 0x81;
 const TAG_VERDICT: u8 = 0x82;
 const TAG_DONE: u8 = 0x83;
@@ -245,6 +269,18 @@ impl Message {
                 bin::put_str(buf, label);
                 bin::put_str(buf, scalar);
                 bin::put_str(buf, candidate);
+            }
+            Message::SubmitGenerate {
+                label,
+                scalar,
+                k,
+                seed,
+            } => {
+                bin::put_u8(buf, TAG_SUBMIT_GENERATE);
+                bin::put_str(buf, label);
+                bin::put_str(buf, scalar);
+                bin::put_u32(buf, *k);
+                bin::put_u64(buf, *seed);
             }
             Message::Run { count } => {
                 bin::put_u8(buf, TAG_RUN);
@@ -278,6 +314,8 @@ impl Message {
                 bin::put_u64(buf, status.completed);
                 bin::put_u64(buf, status.dedupe_hits);
                 bin::put_u64(buf, status.stages);
+                bin::put_u64(buf, status.generation_queued);
+                bin::put_u64(buf, status.generated);
             }
             Message::Error { detail } => {
                 bin::put_u8(buf, TAG_ERROR);
@@ -301,6 +339,12 @@ impl Message {
                 label: r.str().map_err(field)?.to_string(),
                 scalar: r.str().map_err(field)?.to_string(),
                 candidate: r.str().map_err(field)?.to_string(),
+            },
+            TAG_SUBMIT_GENERATE => Message::SubmitGenerate {
+                label: r.str().map_err(field)?.to_string(),
+                scalar: r.str().map_err(field)?.to_string(),
+                k: r.u32().map_err(field)?,
+                seed: r.u64().map_err(field)?,
             },
             TAG_RUN => Message::Run {
                 count: r.u32().map_err(field)?,
@@ -341,6 +385,8 @@ impl Message {
                 completed: r.u64().map_err(field)?,
                 dedupe_hits: r.u64().map_err(field)?,
                 stages: r.u64().map_err(field)?,
+                generation_queued: r.u64().map_err(field)?,
+                generated: r.u64().map_err(field)?,
             }),
             TAG_ERROR => Message::Error {
                 detail: r.str().map_err(field)?.to_string(),

@@ -17,7 +17,9 @@ use crate::cache::{CacheBounds, CacheFormat, CachedVerdict, VerdictCache};
 use crate::engine::{job_cache_key, BatchReport, Job, JobReport, VerificationEngine};
 use crate::journal::FsyncPolicy;
 use crate::profile::CrossRunProfile;
-use crate::shard::exchange::{read_progress, ShardProgress, ShardReportFile, SweepManifest};
+use crate::shard::exchange::{
+    read_progress, GenerationSpec, ShardProgress, ShardReportFile, SweepManifest,
+};
 use crate::shard::runner::{cache_path, claims_path, profile_path, report_path, FlushMode};
 use crate::shard::{ShardError, ShardPolicy};
 use crate::EngineConfig;
@@ -332,9 +334,49 @@ pub fn run_sharded_sweep_with(
     sweep: &SweepConfig,
     spawner: &dyn WorkerSpawner,
 ) -> Result<ShardedSweep, ShardError> {
+    let manifest = SweepManifest::new(config, jobs, sweep.shards, sweep.policy);
+    run_manifest_sweep(jobs, &manifest, sweep, spawner)
+}
+
+/// Runs a *generated* sharded sweep: the manifest carries only the spec's
+/// kernels plus `(k, seed)`, and every shard materializes — and verifies,
+/// overlapped — its own share. The coordinator materializes the same grid
+/// deterministically for its recovery and merge paths, so the merged
+/// result equals a single-process run over [`GenerationSpec`]'s jobs (the
+/// same grid the in-process overlapped driver
+/// [`crate::passk::overlapped_pass_at_k`] verifies).
+pub fn run_generated_sweep(
+    spec: GenerationSpec,
+    config: &EngineConfig,
+    sweep: &SweepConfig,
+) -> Result<ShardedSweep, ShardError> {
+    run_generated_sweep_with(spec, config, sweep, &LocalProcessSpawner)
+}
+
+/// [`run_generated_sweep`] with an explicit [`WorkerSpawner`] backend.
+pub fn run_generated_sweep_with(
+    spec: GenerationSpec,
+    config: &EngineConfig,
+    sweep: &SweepConfig,
+    spawner: &dyn WorkerSpawner,
+) -> Result<ShardedSweep, ShardError> {
+    let manifest = SweepManifest::from_generation(config, spec, sweep.shards, sweep.policy);
+    let jobs = manifest.materialize_jobs();
+    run_manifest_sweep(&jobs, &manifest, sweep, spawner)
+}
+
+/// The shared coordinator loop: writes the manifest, spawns and supervises
+/// the workers, recovers, and merges. `jobs` is the full materialized job
+/// list in batch order — `manifest.jobs` for an explicit manifest, the
+/// deterministically generated grid for a generation manifest.
+fn run_manifest_sweep(
+    jobs: &[Job],
+    manifest: &SweepManifest,
+    sweep: &SweepConfig,
+    spawner: &dyn WorkerSpawner,
+) -> Result<ShardedSweep, ShardError> {
     let start = Instant::now();
     std::fs::create_dir_all(&sweep.workdir)?;
-    let manifest = SweepManifest::new(config, jobs, sweep.shards, sweep.policy);
     let manifest_path = sweep.workdir.join("manifest.json");
     manifest.write(&manifest_path)?;
     let plan = manifest.plan();

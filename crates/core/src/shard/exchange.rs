@@ -211,6 +211,88 @@ fn parse_tv_config(value: &Value) -> Result<TvConfig, String> {
 // The manifest.
 // ---------------------------------------------------------------------------
 
+/// A manifest's generation spec: instead of shipping every printed
+/// candidate, the manifest carries the scalar kernels plus `(k, seed)` and
+/// each shard *generates its own share*. Per-cell seeds derive from the
+/// base seed with [`lv_agents::derive_cell_seed`], so every participant —
+/// coordinator, any worker, any thief — materializes bit-identical
+/// candidates for any cell without coordination. Job `index` is cell
+/// `(index / k, index % k)` of the kernel grid, labeled `name#j` — the same
+/// grid (and therefore the same candidates and labels) as the in-process
+/// overlapped driver [`crate::passk::overlapped_pass_at_k`] over the same
+/// kernel list and base seed.
+#[derive(Debug, Clone)]
+pub struct GenerationSpec {
+    /// The scalar kernels, in grid order: `(label prefix, function)`.
+    pub kernels: Vec<(String, Function)>,
+    /// Completions sampled per kernel.
+    pub k: usize,
+    /// The base RNG seed the per-cell seeds derive from.
+    pub seed: u64,
+}
+
+impl GenerationSpec {
+    /// Jobs the spec expands to: `kernels × k`.
+    pub fn job_count(&self) -> usize {
+        self.kernels.len() * self.k
+    }
+
+    /// The label job `index` will carry (`name#j`).
+    pub fn label(&self, index: usize) -> String {
+        let (i, j) = (index / self.k, index % self.k);
+        format!("{}#{}", self.kernels[i].0, j)
+    }
+
+    /// Materializes job `index`: samples cell `(index / k, index % k)`
+    /// under the derived per-cell seed. Deterministic — any process, any
+    /// thread, any call order produces the same job.
+    pub fn job(&self, index: usize) -> Job {
+        let (i, j) = (index / self.k, index % self.k);
+        let (name, scalar) = &self.kernels[i];
+        let config = lv_agents::LlmConfig {
+            seed: self.seed,
+            ..lv_agents::LlmConfig::default()
+        };
+        let completion = lv_agents::sample_completion_cell(scalar, &config, i, j);
+        Job::new(
+            format!("{}#{}", name, j),
+            scalar.clone(),
+            completion.candidate,
+        )
+    }
+
+    /// Materializes the whole grid, in job order.
+    pub fn materialize_jobs(&self) -> Vec<Job> {
+        (0..self.job_count()).map(|index| self.job(index)).collect()
+    }
+
+    /// The stable per-job plan keys. Candidates do not exist when the plan
+    /// is derived, so the key covers the scalar's structural hash and the
+    /// generated label — still a pure content function every participant
+    /// computes identically, which is all [`ShardPlan`] needs.
+    fn job_keys(&self) -> Vec<u64> {
+        use lv_cir::hash::{structural_hash, Fnv64};
+        let kernel_hashes: Vec<u64> = self
+            .kernels
+            .iter()
+            .map(|(_, scalar)| structural_hash(scalar))
+            .collect();
+        (0..self.job_count())
+            .map(|index| {
+                let mut fnv = Fnv64::new();
+                fnv.write_u64(kernel_hashes[index / self.k]);
+                fnv.write_str(&self.label(index));
+                fnv.finish()
+            })
+            .collect()
+    }
+
+    /// The shard plan over the spec's (not-yet-materialized) jobs.
+    pub fn plan(&self, shards: usize, policy: ShardPolicy) -> ShardPlan {
+        ShardPlan::from_job_keys(&self.job_keys(), shards, policy)
+    }
+}
+
 /// The coordinator → worker manifest: the full job list, the shard layout,
 /// and the engine configuration (minus cache and adaptive policy — every
 /// worker opens its own per-shard cache file, and adaptive tuning is a
@@ -239,8 +321,19 @@ pub struct SweepManifest {
     /// recorded fingerprint. Manifests written before the reuse subsystem
     /// carry no field and mean "all layers off".
     pub reuse: EngineReuse,
-    /// The sweep's jobs, in batch order.
+    /// The sweep's jobs, in batch order. **Empty when [`generation`] is
+    /// set** — a generation manifest ships no printed candidates; go
+    /// through [`SweepManifest::job`] / [`SweepManifest::job_count`] /
+    /// [`SweepManifest::materialize_jobs`], which cover both forms.
+    ///
+    /// [`generation`]: SweepManifest::generation
     pub jobs: Vec<Job>,
+    /// When set, the manifest is a *generation* manifest: the jobs above
+    /// are not shipped; every shard materializes its own share from this
+    /// spec (deterministically, so all participants agree on every cell).
+    /// Manifests written before the overlapped pipeline carry no field and
+    /// mean the explicit job list.
+    pub generation: Option<GenerationSpec>,
 }
 
 impl SweepManifest {
@@ -262,6 +355,55 @@ impl SweepManifest {
             pipeline: config.pipeline.clone(),
             reuse: config.reuse,
             jobs: jobs.to_vec(),
+            generation: None,
+        }
+    }
+
+    /// Builds a *generation* manifest: no job list travels; every shard
+    /// materializes its share from `spec`.
+    pub fn from_generation(
+        config: &EngineConfig,
+        spec: GenerationSpec,
+        shards: usize,
+        policy: ShardPolicy,
+    ) -> SweepManifest {
+        SweepManifest {
+            shards: shards.max(1),
+            policy,
+            threads: config.threads,
+            cascade: config.cascade.clone(),
+            schedule: config.schedule.clone(),
+            pipeline: config.pipeline.clone(),
+            reuse: config.reuse,
+            jobs: Vec::new(),
+            generation: Some(spec),
+        }
+    }
+
+    /// Number of jobs the sweep covers, in either manifest form.
+    pub fn job_count(&self) -> usize {
+        match &self.generation {
+            Some(spec) => spec.job_count(),
+            None => self.jobs.len(),
+        }
+    }
+
+    /// Job `index` of the sweep: cloned from the shipped list, or
+    /// materialized on the fly from the generation spec — which is what
+    /// lets a shard generate its share as the engine consumes it.
+    pub fn job(&self, index: usize) -> Job {
+        match &self.generation {
+            Some(spec) => spec.job(index),
+            None => self.jobs[index].clone(),
+        }
+    }
+
+    /// The full job list, in batch order (materialized for a generation
+    /// manifest — the coordinator's merge/recovery paths need it whole).
+    pub fn materialize_jobs(&self) -> Vec<Job> {
+        match &self.generation {
+            Some(spec) => spec.materialize_jobs(),
+            None => self.jobs.clone(),
         }
     }
 
@@ -288,7 +430,10 @@ impl SweepManifest {
 
     /// The shard plan every participant derives from this manifest.
     pub fn plan(&self) -> ShardPlan {
-        ShardPlan::new(&self.jobs, self.shards, self.policy)
+        match &self.generation {
+            Some(spec) => spec.plan(self.shards, self.policy),
+            None => ShardPlan::new(&self.jobs, self.shards, self.policy),
+        }
     }
 
     /// Streams the manifest document into `w` (jobs are printed and emitted
@@ -328,16 +473,38 @@ impl SweepManifest {
         e.field_bool("incremental", self.reuse.incremental)?;
         e.field_bool("portfolio", self.reuse.portfolio)?;
         e.end_object()?;
-        e.key("jobs")?;
-        e.begin_array()?;
-        for job in &self.jobs {
-            e.begin_object()?;
-            e.field_str("label", &job.label)?;
-            e.field_str("scalar", &print_function(&job.scalar))?;
-            e.field_str("candidate", &print_function(&job.candidate))?;
-            e.end_object()?;
+        match &self.generation {
+            // A generation manifest ships the kernels + (k, seed) instead
+            // of the expanded job list with its printed candidates.
+            Some(spec) => {
+                e.key("generation")?;
+                e.begin_object()?;
+                e.field_hex("seed", spec.seed)?;
+                e.field_int("k", spec.k as i64)?;
+                e.key("kernels")?;
+                e.begin_array()?;
+                for (label, scalar) in &spec.kernels {
+                    e.begin_object()?;
+                    e.field_str("label", label)?;
+                    e.field_str("scalar", &print_function(scalar))?;
+                    e.end_object()?;
+                }
+                e.end_array()?;
+                e.end_object()?;
+            }
+            None => {
+                e.key("jobs")?;
+                e.begin_array()?;
+                for job in &self.jobs {
+                    e.begin_object()?;
+                    e.field_str("label", &job.label)?;
+                    e.field_str("scalar", &print_function(&job.scalar))?;
+                    e.field_str("candidate", &print_function(&job.candidate))?;
+                    e.end_object()?;
+                }
+                e.end_array()?;
+            }
         }
-        e.end_array()?;
         e.end_object()?;
         let mut w = e.into_inner();
         w.write_all(b"\n")
@@ -417,23 +584,50 @@ impl SweepManifest {
                 ))
             }
         }
-        let jobs = doc
-            .get("jobs")
-            .and_then(Value::as_array)
-            .ok_or_else(|| ShardError::Format("missing `jobs` array".to_string()))?
-            .iter()
-            .map(|job| {
-                let label = str_field(job, "label")?.to_string();
-                let scalar = parse_source(str_field(job, "scalar")?)?;
-                let candidate = parse_source(str_field(job, "candidate")?)?;
-                Ok(Job {
-                    label,
-                    scalar,
-                    candidate,
-                })
-            })
-            .collect::<Result<Vec<Job>, String>>()
-            .map_err(ShardError::Format)?;
+        // Either form: a generation spec (kernels + k + seed, no printed
+        // candidates), or the explicit job list.
+        let (jobs, generation) = match doc.get("generation") {
+            Some(spec) => {
+                let kernels = spec
+                    .get("kernels")
+                    .and_then(Value::as_array)
+                    .ok_or_else(|| ShardError::Format("missing `kernels` array".to_string()))?
+                    .iter()
+                    .map(|kernel| {
+                        let label = str_field(kernel, "label")?.to_string();
+                        let scalar = parse_source(str_field(kernel, "scalar")?)?;
+                        Ok((label, scalar))
+                    })
+                    .collect::<Result<Vec<(String, Function)>, String>>()
+                    .map_err(ShardError::Format)?;
+                let parsed = GenerationSpec {
+                    kernels,
+                    k: usize_field(spec, "k").map_err(ShardError::Format)?,
+                    seed: parse_hex(spec.get("seed"), "seed").map_err(ShardError::Format)?,
+                };
+                (Vec::new(), Some(parsed))
+            }
+            None => {
+                let jobs = doc
+                    .get("jobs")
+                    .and_then(Value::as_array)
+                    .ok_or_else(|| ShardError::Format("missing `jobs` array".to_string()))?
+                    .iter()
+                    .map(|job| {
+                        let label = str_field(job, "label")?.to_string();
+                        let scalar = parse_source(str_field(job, "scalar")?)?;
+                        let candidate = parse_source(str_field(job, "candidate")?)?;
+                        Ok(Job {
+                            label,
+                            scalar,
+                            candidate,
+                        })
+                    })
+                    .collect::<Result<Vec<Job>, String>>()
+                    .map_err(ShardError::Format)?;
+                (jobs, None)
+            }
+        };
         // Manifests written before the reuse subsystem carry no `reuse`
         // field; they mean every layer off.
         let reuse = match doc.get("reuse") {
@@ -456,6 +650,7 @@ impl SweepManifest {
             },
             reuse,
             jobs,
+            generation,
         };
         let recorded =
             parse_hex(doc.get("fingerprint"), "fingerprint").map_err(ShardError::Format)?;
@@ -923,6 +1118,71 @@ mod tests {
         // Rendering the loaded manifest reproduces the file byte-for-byte.
         assert_eq!(loaded.render(), manifest.render());
         std::fs::remove_file(&path).unwrap();
+    }
+
+    fn sample_generation_manifest() -> SweepManifest {
+        let kernels: Vec<(String, Function)> = ["s000", "s112"]
+            .iter()
+            .map(|name| (name.to_string(), lv_tsvc::kernel(name).unwrap().function()))
+            .collect();
+        let spec = GenerationSpec {
+            kernels,
+            k: 3,
+            seed: 0xC0FFEE,
+        };
+        let config = EngineConfig::full(PipelineConfig::default()).with_threads(2);
+        SweepManifest::from_generation(&config, spec, 2, ShardPolicy::HashMod)
+    }
+
+    #[test]
+    fn generation_manifest_round_trips_and_ships_no_candidates() {
+        let dir = std::env::temp_dir().join(format!("lv-shard-genmani-{}", std::process::id()));
+        let path = dir.join("manifest.json");
+        let manifest = sample_generation_manifest();
+        manifest.write(&path).unwrap();
+
+        let rendered = manifest.render();
+        assert!(
+            !rendered.contains("\"candidate\""),
+            "a generation manifest must not ship printed candidates"
+        );
+        assert!(rendered.contains("\"generation\""));
+
+        let loaded = SweepManifest::load(&path).unwrap();
+        assert_eq!(loaded.fingerprint(), manifest.fingerprint());
+        assert!(loaded.jobs.is_empty(), "no job list travels");
+        assert_eq!(loaded.job_count(), 6);
+        assert_eq!(loaded.plan(), manifest.plan());
+        assert_eq!(loaded.render(), rendered);
+
+        // Every participant materializes the identical grid — the cells
+        // the writer's spec expands to, labeled `name#j`, in any order.
+        let all = manifest.materialize_jobs();
+        assert_eq!(all.len(), 6);
+        assert_eq!(all[0].label, "s000#0");
+        assert_eq!(all[5].label, "s112#2");
+        for index in (0..6).rev() {
+            let job = loaded.job(index);
+            assert_eq!(job.label, all[index].label);
+            assert_eq!(job.scalar, all[index].scalar);
+            assert_eq!(job.candidate, all[index].candidate);
+        }
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn generation_plan_is_stable_and_covers_every_cell() {
+        let manifest = sample_generation_manifest();
+        let spec = manifest.generation.as_ref().unwrap();
+        for policy in [ShardPolicy::HashMod, ShardPolicy::Contiguous] {
+            for shards in [1, 2, 5] {
+                let plan = spec.plan(shards, policy);
+                assert_eq!(plan.len(), spec.job_count());
+                assert_eq!(plan, spec.plan(shards, policy), "plans are deterministic");
+                let covered: usize = (0..shards).map(|shard| plan.indices_of(shard).len()).sum();
+                assert_eq!(covered, spec.job_count());
+            }
+        }
     }
 
     #[test]

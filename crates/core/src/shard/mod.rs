@@ -220,12 +220,13 @@ pub mod plan;
 pub mod runner;
 
 pub use coordinator::{
-    run_sharded_sweep, run_sharded_sweep_with, LocalProcessSpawner, ShardOutcome, ShardStatus,
-    ShardedSweep, SweepConfig, WorkerHandle, WorkerLaunch, WorkerSpawner, WorkerSpec,
+    run_generated_sweep, run_generated_sweep_with, run_sharded_sweep, run_sharded_sweep_with,
+    LocalProcessSpawner, ShardOutcome, ShardStatus, ShardedSweep, SweepConfig, WorkerHandle,
+    WorkerLaunch, WorkerSpawner, WorkerSpec,
 };
 pub use exchange::{
-    read_claims, read_progress, ClaimsJournal, ShardProgress, ShardReportFile, ShardReportJournal,
-    SweepManifest,
+    read_claims, read_progress, ClaimsJournal, GenerationSpec, ShardProgress, ShardReportFile,
+    ShardReportJournal, SweepManifest,
 };
 pub use plan::{job_key, ShardPlan, ShardPolicy};
 pub use runner::{

@@ -76,15 +76,27 @@ impl ShardPlan {
     /// Plans `jobs` over `shards` shards (clamped to at least 1) under
     /// `policy`.
     pub fn new(jobs: &[Job], shards: usize, policy: ShardPolicy) -> ShardPlan {
+        let keys: Vec<u64> = jobs.iter().map(job_key).collect();
+        ShardPlan::from_job_keys(&keys, shards, policy)
+    }
+
+    /// Plans jobs identified only by their stable keys — the form a
+    /// generation-spec manifest uses, whose candidates do not exist yet
+    /// when the plan is derived (the key there covers the scalar and the
+    /// generated job's label; see
+    /// [`GenerationSpec`](crate::shard::GenerationSpec)). Assignment is a
+    /// pure function of the keys, so every participant that derives the
+    /// same keys derives the same plan.
+    pub fn from_job_keys(keys: &[u64], shards: usize, policy: ShardPolicy) -> ShardPlan {
         let shards = shards.max(1);
         let assignment = match policy {
-            ShardPolicy::HashMod => jobs
+            ShardPolicy::HashMod => keys
                 .iter()
-                .map(|job| (job_key(job) % shards as u64) as usize)
+                .map(|key| (key % shards as u64) as usize)
                 .collect(),
             ShardPolicy::Contiguous => {
-                let chunk = jobs.len().div_ceil(shards).max(1);
-                (0..jobs.len()).map(|index| index / chunk).collect()
+                let chunk = keys.len().div_ceil(shards).max(1);
+                (0..keys.len()).map(|index| index / chunk).collect()
             }
         };
         ShardPlan {

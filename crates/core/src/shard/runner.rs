@@ -4,7 +4,13 @@
 //! [`ShardPlan`](crate::shard::ShardPlan) as the coordinator, and runs its
 //! shard's jobs through the unchanged
 //! [`run_batch_observed`](crate::VerificationEngine::run_batch_observed)
-//! path with a per-shard file-backed [`VerdictCache`]. After *every*
+//! path with a per-shard file-backed [`VerdictCache`]. A *generation*
+//! manifest ([`SweepManifest::generation`]) ships no candidates at all:
+//! the shard materializes its own share cell by cell (deterministic
+//! per-cell seeds) on a producer thread and verifies it overlapped through
+//! the streaming intake
+//! ([`run_stream_observed`](crate::VerificationEngine::run_stream_observed)),
+//! with verdicts bit-identical to the materialize-then-batch run. After *every*
 //! finished job the worker flushes both its cache file and its shard
 //! report, so a worker killed mid-sweep leaves valid partial output and the
 //! coordinator only has to re-run the jobs that are actually missing (see
@@ -328,6 +334,24 @@ impl BatchObserver for ChunkObserver<'_> {
     }
 }
 
+/// The streamed-share observer: on the overlapped generation path the
+/// producer pushes jobs under their *original* indices, so the engine's
+/// callback index needs no mapping before it reaches the appender.
+struct ShareStreamObserver<'a> {
+    appender: &'a ShardAppender,
+}
+
+impl BatchObserver for ShareStreamObserver<'_> {
+    fn job_finished(&self, index: usize, report: &JobReport) {
+        self.appender.record(index, report);
+    }
+}
+
+/// Bound on the generate→verify queue inside a shard running a generation
+/// manifest: enough to keep every worker fed, small enough that generation
+/// never races far ahead of verification (backpressure, not a job list).
+const SHARD_GENERATION_QUEUE_CAPACITY: usize = 32;
+
 /// Runs shard `shard` of `manifest`, writing `shard-<i>.cache.json` and
 /// `shard-<i>.report.json` into `out_dir` under the given [`FlushMode`]
 /// (both files are journals in journal mode, snapshots in rewrite mode —
@@ -372,7 +396,6 @@ pub fn run_shard_with(
     std::fs::create_dir_all(out_dir)?;
     let plan = manifest.plan();
     let indices = plan.indices_of(shard);
-    let jobs: Vec<Job> = indices.iter().map(|&i| manifest.jobs[i].clone()).collect();
 
     let cache_file = cache_path(out_dir, shard);
     let report_file = report_path(out_dir, shard);
@@ -473,13 +496,44 @@ pub fn run_shard_with(
             run_shard_stealing(
                 manifest, shard, out_dir, options, &engine, &appender, &indices,
             )
+        } else if manifest.generation.is_some() {
+            // Generation manifest: the shard generates its own share and
+            // the engine verifies it *as it appears* — a bounded channel
+            // between a producer thread materializing cells and the
+            // streaming engine intake, instead of materialize-then-batch.
+            // Jobs are pushed under their original indices, so reports and
+            // journal records need no index mapping.
+            let generated: Mutex<Vec<(usize, Job)>> = Mutex::new(Vec::with_capacity(indices.len()));
+            let (producer, source) = crate::engine::job_channel(SHARD_GENERATION_QUEUE_CAPACITY);
+            let batch = std::thread::scope(|gen_scope| {
+                let generated = &generated;
+                let indices = &indices;
+                gen_scope.spawn(move || {
+                    for &index in indices.iter() {
+                        let job = manifest.job(index);
+                        generated.lock().unwrap().push((index, job.clone()));
+                        producer.push(index, job);
+                    }
+                });
+                engine.run_stream_observed(
+                    &source,
+                    &ShareStreamObserver {
+                        appender: &appender,
+                    },
+                )
+            });
+            let mut pairs = generated.into_inner().unwrap();
+            pairs.sort_by_key(|(index, _)| *index);
+            let ran_jobs: Vec<Job> = pairs.into_iter().map(|(_, job)| job).collect();
+            Ok((ran_jobs, batch.jobs, 0))
         } else {
+            let jobs: Vec<Job> = indices.iter().map(|&i| manifest.jobs[i].clone()).collect();
             let observer = ChunkObserver {
                 appender: &appender,
                 indices: &indices,
             };
             let batch = engine.run_batch_observed(&jobs, &observer);
-            Ok((jobs.clone(), batch.jobs, 0))
+            Ok((jobs, batch.jobs, 0))
         };
         stop.store(true, Ordering::SeqCst);
         result
@@ -570,7 +624,7 @@ fn run_shard_stealing(
             claims.append(index)?;
             claimed.insert(index);
         }
-        let chunk_jobs: Vec<Job> = chunk.iter().map(|&i| manifest.jobs[i].clone()).collect();
+        let chunk_jobs: Vec<Job> = chunk.iter().map(|&i| manifest.job(i)).collect();
         let observer = ChunkObserver {
             appender,
             indices: chunk,

@@ -20,6 +20,12 @@ fn sample_messages() -> Vec<Message> {
             scalar: "void s000(float * a, float * b) { }".to_string(),
             candidate: "void s000(float * a, float * b) { }".to_string(),
         },
+        Message::SubmitGenerate {
+            label: "s453".to_string(),
+            scalar: "void s453(float * a, float * b) { }".to_string(),
+            k: 8,
+            seed: 0xC0FFEE,
+        },
         Message::Run { count: 3 },
         Message::Status,
         Message::Shutdown,
@@ -45,6 +51,8 @@ fn sample_messages() -> Vec<Message> {
             completed: 19,
             dedupe_hits: 7,
             stages: 41,
+            generation_queued: 5,
+            generated: 12,
         }),
         Message::Error {
             detail: "job 's1': unparsable scalar".to_string(),

@@ -16,6 +16,7 @@ fn main() {
             llm: LlmConfig {
                 temperature: 1.4,
                 seed: 3,
+                ..LlmConfig::default()
             },
             ..FsmConfig::default()
         },

@@ -16,12 +16,32 @@
 //!          [--profile PATH] [--schedule default|profile|SPEC]
 //!          [--budget fixed|profile] [--reuse]
 //!          [--steal] [--heartbeat-ms MS] [--stall-timeout-secs S]
+//! lv-sweep run --generate K [--gen-seed S] [--gen-threads T]
+//!          [--kernels s000,...] [--threads N] [--quick] [--no-overlap]
 //! lv-sweep serve [--addr HOST:PORT] [--cache FILE] [--threads T] [--quick]
-//! lv-sweep submit [--addr HOST:PORT] [--kernels s000,...] [--shutdown]
+//! lv-sweep submit [--addr HOST:PORT] [--kernels s000,...]
+//!          [--generate K] [--gen-seed S] [--shutdown]
 //! lv-sweep status [--addr HOST:PORT]
 //! lv-sweep compact [--format json|binary] FILE...
 //! lv-sweep cache stats FILE...
 //! ```
+//!
+//! `run` is the overlapped generation→verification pipeline in one
+//! process: `--gen-threads` producer threads sample `K` candidates per
+//! kernel (per-cell seeds derived from `--gen-seed`, so any thread count
+//! yields the same candidate set) and stream them through the engine's
+//! bounded job intake while verification is already running. Verdicts are
+//! bit-identical to the unoverlapped same-seed run (`--no-overlap`
+//! generates the full batch first, then verifies — the comparison arm).
+//! The pass@k curve of Section 4.1.2 is printed for k = 1, 2, 4, … K.
+//!
+//! The coordinator accepts the same `--generate K` / `--gen-seed S` pair:
+//! the sweep manifest then carries the *generation spec* instead of
+//! printed candidates, and every shard process generates its own share
+//! (overlapped with verification) — bit-identical to the single-process
+//! run over the same spec. `submit --generate K` asks a daemon to do the
+//! generation server-side: each selected kernel occupies `K` verdict slots
+//! labeled `name#j`, and generation overlaps verification on the daemon.
 //!
 //! Exit status: `0` on success, `1` on a runtime failure (I/O, solver,
 //! protocol), `2` on a malformed command line. Every failure is a typed
@@ -93,11 +113,14 @@
 //! `--manifest` and `--out`, which the coordinator passes automatically)
 //! and is not meant to be invoked by hand.
 
+use llm_vectorizer_repro::agents::LlmConfig;
+use llm_vectorizer_repro::cir::ast::Function;
 use llm_vectorizer_repro::core::shard::{run_worker_from_args, ShardError, ShardReportFile};
 use llm_vectorizer_repro::core::{
-    cache_file_stats, AdaptiveBudgetPolicy, CacheBounds, CacheFormat, CrossRunProfile,
-    EngineConfig, EngineReuse, Equivalence, FlushMode, FsyncPolicy, Job, PipelineConfig,
-    ServiceClient, ShardPolicy, StageSchedule, SweepConfig, VerdictCache, VerificationService,
+    cache_file_stats, generate_then_verify_pass_at_k, overlapped_pass_at_k, AdaptiveBudgetPolicy,
+    CacheBounds, CacheFormat, CrossRunProfile, EngineConfig, EngineReuse, Equivalence, FlushMode,
+    FsyncPolicy, GenerationRequest, GenerationSpec, Job, PipelineConfig, ServiceClient,
+    ShardPolicy, StageSchedule, SweepConfig, VerdictCache, VerificationEngine, VerificationService,
     WorkerSpec,
 };
 use llm_vectorizer_repro::interp::ChecksumConfig;
@@ -277,6 +300,35 @@ fn tsvc_jobs(kernels: &Option<Vec<String>>) -> Result<Vec<Job>, CliError> {
     Ok(jobs)
 }
 
+/// The TSVC scalar kernel list (label + function) for candidate
+/// generation, optionally restricted to named kernels. Unlike
+/// [`tsvc_jobs`] this places no demand on the rule-based vectorizer — the
+/// candidates come from the generator.
+fn tsvc_scalars(kernels: &Option<Vec<String>>) -> Result<Vec<(String, Function)>, CliError> {
+    let scalars: Vec<(String, Function)> = llm_vectorizer_repro::tsvc::KERNELS
+        .iter()
+        .filter(|kernel| {
+            kernels
+                .as_ref()
+                .is_none_or(|names| names.iter().any(|n| n == kernel.name))
+        })
+        .map(|kernel| (kernel.name.to_string(), kernel.function()))
+        .collect();
+    if scalars.is_empty() {
+        return Err(usage("no kernels selected (unknown --kernels selection?)"));
+    }
+    Ok(scalars)
+}
+
+/// The pass@k sample points for a budget of `k`: 1, 2, 4, … and `k`.
+fn passk_points(k: usize) -> Vec<usize> {
+    let mut ks: Vec<usize> = std::iter::successors(Some(1usize), |&p| p.checked_mul(2))
+        .take_while(|&p| p < k)
+        .collect();
+    ks.push(k);
+    ks
+}
+
 /// The `--quick` pipeline: tiny checksum trials and tight solver budgets,
 /// for smoke runs and CI.
 fn build_pipeline(quick: bool) -> PipelineConfig {
@@ -307,6 +359,144 @@ fn build_pipeline(quick: bool) -> PipelineConfig {
     } else {
         PipelineConfig::default()
     }
+}
+
+/// `lv-sweep run` arguments: the one-process overlapped pipeline.
+#[derive(Debug, PartialEq, Eq)]
+struct RunArgs {
+    generate: usize,
+    gen_seed: u64,
+    gen_threads: usize,
+    kernels: Option<Vec<String>>,
+    threads: usize,
+    quick: bool,
+    overlap: bool,
+}
+
+fn parse_run(args: &[String]) -> Result<RunArgs, CliError> {
+    let mut opts = RunArgs {
+        generate: 0,
+        gen_seed: 0xC0FFEE,
+        gen_threads: 0,
+        kernels: None,
+        threads: 0,
+        quick: false,
+        overlap: true,
+    };
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        let mut value = |what: &str| {
+            iter.next()
+                .cloned()
+                .ok_or_else(|| usage(format!("{} needs a value", what)))
+        };
+        match arg.as_str() {
+            "--generate" => {
+                opts.generate = value("--generate")?
+                    .parse::<usize>()
+                    .ok()
+                    .filter(|&k| k >= 1)
+                    .ok_or_else(|| usage("--generate expects a positive integer"))?
+            }
+            "--gen-seed" => {
+                opts.gen_seed = value("--gen-seed")?
+                    .parse()
+                    .map_err(|_| usage("--gen-seed expects an integer"))?
+            }
+            "--gen-threads" => {
+                opts.gen_threads = value("--gen-threads")?
+                    .parse()
+                    .map_err(|_| usage("--gen-threads expects an integer"))?
+            }
+            "--kernels" => {
+                opts.kernels = Some(
+                    value("--kernels")?
+                        .split(',')
+                        .map(|s| s.trim().to_string())
+                        .filter(|s| !s.is_empty())
+                        .collect(),
+                )
+            }
+            "--threads" => {
+                opts.threads = value("--threads")?
+                    .parse()
+                    .map_err(|_| usage("--threads expects an integer"))?
+            }
+            "--quick" => opts.quick = true,
+            "--no-overlap" => opts.overlap = false,
+            other => return Err(usage(format!("run: unknown argument `{}`", other))),
+        }
+    }
+    if opts.generate == 0 {
+        return Err(usage("run needs --generate K (completions per kernel)"));
+    }
+    Ok(opts)
+}
+
+/// Bound on the CLI pipeline's generate→verify queue: enough to keep the
+/// workers fed, small enough for backpressure to hold generation close to
+/// verification.
+const RUN_QUEUE_CAPACITY: usize = 32;
+
+/// `lv-sweep run`: generate K candidates per kernel and verify them,
+/// overlapped (or, with `--no-overlap`, generate-then-verify — same seeds,
+/// bit-identical verdicts).
+fn cmd_run(args: &[String]) -> Result<(), CliError> {
+    let opts = parse_run(args)?;
+    let kernels = tsvc_scalars(&opts.kernels)?;
+    let engine = VerificationEngine::new(
+        EngineConfig::full(build_pipeline(opts.quick)).with_threads(opts.threads),
+    );
+    let llm_config = LlmConfig {
+        seed: opts.gen_seed,
+        ..LlmConfig::default()
+    };
+    let ks = passk_points(opts.generate);
+    println!(
+        "generating {} candidate(s) x {} kernel(s) (seed {:#x}, {} generator thread(s)), {}",
+        opts.generate,
+        kernels.len(),
+        opts.gen_seed,
+        opts.gen_threads,
+        if opts.overlap {
+            "overlapped with verification"
+        } else {
+            "then verifying"
+        }
+    );
+    let run = if opts.overlap {
+        overlapped_pass_at_k(
+            &engine,
+            &kernels,
+            &llm_config,
+            opts.generate,
+            &ks,
+            opts.gen_threads,
+            RUN_QUEUE_CAPACITY,
+        )
+    } else {
+        generate_then_verify_pass_at_k(
+            &engine,
+            &kernels,
+            &llm_config,
+            opts.generate,
+            &ks,
+            opts.gen_threads,
+        )
+    };
+    for ((name, _), plausible) in kernels.iter().zip(&run.plausible_per_kernel) {
+        println!("{}: {}/{} plausible", name, plausible, opts.generate);
+    }
+    for (k, pass) in &run.curve {
+        println!("pass@{}: {:.3}", k, pass);
+    }
+    println!(
+        "{} job(s) verified on {} worker thread(s); wall {:?}",
+        run.report.jobs.len(),
+        run.report.threads,
+        run.report.wall
+    );
+    Ok(())
 }
 
 /// `lv-sweep serve` arguments.
@@ -376,8 +566,14 @@ fn cmd_serve(args: &[String]) -> Result<(), CliError> {
     }
     let status = service.status();
     println!(
-        "shutdown: {} connection(s), {} job(s) received, {} completed, {} dedupe hit(s), {} stage run(s)",
-        status.connections, status.received, status.completed, status.dedupe_hits, status.stages
+        "shutdown: {} connection(s), {} job(s) received, {} completed, {} dedupe hit(s), \
+         {} stage run(s), {} generated",
+        status.connections,
+        status.received,
+        status.completed,
+        status.dedupe_hits,
+        status.stages,
+        status.generated
     );
     Ok(())
 }
@@ -387,6 +583,8 @@ fn cmd_serve(args: &[String]) -> Result<(), CliError> {
 struct SubmitArgs {
     addr: String,
     kernels: Option<Vec<String>>,
+    generate: Option<usize>,
+    gen_seed: u64,
     shutdown: bool,
 }
 
@@ -394,6 +592,8 @@ fn parse_submit(args: &[String]) -> Result<SubmitArgs, CliError> {
     let mut opts = SubmitArgs {
         addr: DEFAULT_SERVICE_ADDR.to_string(),
         kernels: None,
+        generate: None,
+        gen_seed: 0xC0FFEE,
         shutdown: false,
     };
     let mut iter = args.iter();
@@ -414,6 +614,20 @@ fn parse_submit(args: &[String]) -> Result<SubmitArgs, CliError> {
                         .collect(),
                 )
             }
+            "--generate" => {
+                opts.generate = Some(
+                    value("--generate")?
+                        .parse::<usize>()
+                        .ok()
+                        .filter(|&k| k >= 1)
+                        .ok_or_else(|| usage("--generate expects a positive integer"))?,
+                )
+            }
+            "--gen-seed" => {
+                opts.gen_seed = value("--gen-seed")?
+                    .parse()
+                    .map_err(|_| usage("--gen-seed expects an integer"))?
+            }
             "--shutdown" => opts.shutdown = true,
             other => return Err(usage(format!("submit: unknown argument `{}`", other))),
         }
@@ -421,11 +635,11 @@ fn parse_submit(args: &[String]) -> Result<SubmitArgs, CliError> {
     Ok(opts)
 }
 
-/// `lv-sweep submit`: send the TSVC job list to a daemon and print the
-/// streamed verdicts.
+/// `lv-sweep submit`: send the TSVC job list — or, with `--generate K`,
+/// server-side generation requests — to a daemon and print the streamed
+/// verdicts.
 fn cmd_submit(args: &[String]) -> Result<(), CliError> {
     let opts = parse_submit(args)?;
-    let jobs = tsvc_jobs(&opts.kernels)?;
     let mut client = ServiceClient::connect(opts.addr.as_str())
         .map_err(|e| runtime(format!("cannot connect to {}: {}", opts.addr, e)))?;
     println!(
@@ -433,9 +647,30 @@ fn cmd_submit(args: &[String]) -> Result<(), CliError> {
         opts.addr,
         client.fingerprint()
     );
-    let verdicts = client
-        .submit(&jobs)
-        .map_err(|e| runtime(format!("submit failed: {}", e)))?;
+    let verdicts = match opts.generate {
+        // Server-side generation: K slots per kernel, generated and
+        // verified overlapped on the daemon.
+        Some(k) => {
+            let requests: Vec<GenerationRequest> = tsvc_scalars(&opts.kernels)?
+                .into_iter()
+                .map(|(label, scalar)| GenerationRequest {
+                    label,
+                    scalar,
+                    k: k as u32,
+                    seed: opts.gen_seed,
+                })
+                .collect();
+            client
+                .submit_generation(&requests)
+                .map_err(|e| runtime(format!("submit failed: {}", e)))?
+        }
+        None => {
+            let jobs = tsvc_jobs(&opts.kernels)?;
+            client
+                .submit(&jobs)
+                .map_err(|e| runtime(format!("submit failed: {}", e)))?
+        }
+    };
     let mut counts = [0usize; 3];
     let mut dedupe = 0usize;
     for frame in &verdicts {
@@ -506,6 +741,8 @@ fn cmd_status(args: &[String]) -> Result<(), CliError> {
     println!("  completed:    {}", status.completed);
     println!("  dedupe hits:  {}", status.dedupe_hits);
     println!("  stage runs:   {}", status.stages);
+    println!("  gen queued:   {}", status.generation_queued);
+    println!("  generated:    {}", status.generated);
     Ok(())
 }
 
@@ -531,6 +768,8 @@ struct CoordinatorArgs {
     steal: bool,
     heartbeat_ms: Option<u64>,
     stall_timeout_secs: Option<u64>,
+    generate: Option<usize>,
+    gen_seed: u64,
 }
 
 fn parse_coordinator(args: &[String]) -> Result<CoordinatorArgs, CliError> {
@@ -554,6 +793,8 @@ fn parse_coordinator(args: &[String]) -> Result<CoordinatorArgs, CliError> {
         steal: false,
         heartbeat_ms: None,
         stall_timeout_secs: None,
+        generate: None,
+        gen_seed: 0xC0FFEE,
     };
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
@@ -639,6 +880,20 @@ fn parse_coordinator(args: &[String]) -> Result<CoordinatorArgs, CliError> {
                         .map_err(|_| usage("--stall-timeout-secs expects an integer"))?,
                 )
             }
+            "--generate" => {
+                opts.generate = Some(
+                    value("--generate")?
+                        .parse::<usize>()
+                        .ok()
+                        .filter(|&k| k >= 1)
+                        .ok_or_else(|| usage("--generate expects a positive integer"))?,
+                )
+            }
+            "--gen-seed" => {
+                opts.gen_seed = value("--gen-seed")?
+                    .parse()
+                    .map_err(|_| usage("--gen-seed expects an integer"))?
+            }
             other => {
                 return Err(usage(format!(
                     "unknown argument `{}` (see the module docs)",
@@ -653,7 +908,6 @@ fn parse_coordinator(args: &[String]) -> Result<CoordinatorArgs, CliError> {
 /// Coordinator mode: run the sharded sweep and print the merged table.
 fn cmd_coordinator(args: &[String]) -> Result<(), CliError> {
     let opts = parse_coordinator(args)?;
-    let jobs = tsvc_jobs(&opts.kernels)?;
     let pipeline = build_pipeline(opts.quick);
 
     // Resolve the stage schedule: `default`, `profile` (derived from the
@@ -777,19 +1031,39 @@ fn cmd_coordinator(args: &[String]) -> Result<(), CliError> {
         delay_shard: None,
     };
 
-    println!(
-        "sweeping {} jobs over {} shard process(es) ({}, {} flush, schedule {}, reuse {}{}), workdir {}",
-        jobs.len(),
-        opts.shards,
-        opts.policy.tag(),
-        flush.tag(),
-        config.schedule.spec(),
-        if opts.reuse { "on" } else { "off" },
-        if opts.steal { ", stealing" } else { "" },
-        opts.workdir.display()
-    );
-    let swept = llm_vectorizer_repro::core::run_sharded_sweep(&jobs, &config, &sweep)
-        .map_err(|e| runtime(e.to_string()))?;
+    let describe = |count: usize, what: &str| {
+        println!(
+            "sweeping {} {} over {} shard process(es) ({}, {} flush, schedule {}, reuse {}{}), workdir {}",
+            count,
+            what,
+            opts.shards,
+            opts.policy.tag(),
+            flush.tag(),
+            config.schedule.spec(),
+            if opts.reuse { "on" } else { "off" },
+            if opts.steal { ", stealing" } else { "" },
+            opts.workdir.display()
+        );
+    };
+    let swept = match opts.generate {
+        // Generation sweep: the manifest ships the spec, every shard
+        // generates (and verifies, overlapped) its own share.
+        Some(k) => {
+            let spec = GenerationSpec {
+                kernels: tsvc_scalars(&opts.kernels)?,
+                k,
+                seed: opts.gen_seed,
+            };
+            describe(spec.job_count(), "generated job(s)");
+            llm_vectorizer_repro::core::run_generated_sweep(spec, &config, &sweep)
+        }
+        None => {
+            let jobs = tsvc_jobs(&opts.kernels)?;
+            describe(jobs.len(), "jobs");
+            llm_vectorizer_repro::core::run_sharded_sweep(&jobs, &config, &sweep)
+        }
+    }
+    .map_err(|e| runtime(e.to_string()))?;
 
     for outcome in &swept.shards {
         println!(
@@ -862,6 +1136,7 @@ fn run(args: &[String]) -> Result<(), CliError> {
                 _ => Err(usage("usage: lv-sweep cache stats FILE...")),
             }
         }
+        Some("run") => return cmd_run(&args[1..]),
         Some("serve") => return cmd_serve(&args[1..]),
         Some("submit") => return cmd_submit(&args[1..]),
         Some("status") => return cmd_status(&args[1..]),
@@ -955,15 +1230,81 @@ mod tests {
         .unwrap();
         assert_eq!(parsed.addr, "127.0.0.1:9000");
         assert_eq!(parsed.kernels, Some(vec!["s000".into(), "s112".into()]));
+        assert_eq!(parsed.generate, None);
+        assert_eq!(parsed.gen_seed, 0xC0FFEE, "the synthetic LLM's seed");
         assert!(parsed.shutdown);
 
-        for bad in [strings(&["--kernels"]), strings(&["--jobs", "x"])] {
+        let generated = parse_submit(&strings(&["--generate", "8", "--gen-seed", "42"])).unwrap();
+        assert_eq!(generated.generate, Some(8));
+        assert_eq!(generated.gen_seed, 42);
+
+        for bad in [
+            strings(&["--kernels"]),
+            strings(&["--jobs", "x"]),
+            strings(&["--generate", "0"]),
+            strings(&["--generate", "many"]),
+            strings(&["--gen-seed", "coffee"]),
+        ] {
             assert!(
                 matches!(parse_submit(&bad), Err(CliError::Usage(_))),
                 "submit should reject {:?}",
                 bad
             );
         }
+    }
+
+    #[test]
+    fn run_args_parse_and_reject() {
+        let parsed = parse_run(&strings(&[
+            "--generate",
+            "8",
+            "--gen-seed",
+            "7",
+            "--gen-threads",
+            "2",
+            "--kernels",
+            "s000",
+            "--threads",
+            "4",
+            "--quick",
+        ]))
+        .unwrap();
+        assert_eq!(parsed.generate, 8);
+        assert_eq!(parsed.gen_seed, 7);
+        assert_eq!(parsed.gen_threads, 2);
+        assert_eq!(parsed.kernels, Some(vec!["s000".into()]));
+        assert_eq!(parsed.threads, 4);
+        assert!(parsed.quick);
+        assert!(parsed.overlap, "overlap is the default");
+        assert!(
+            !parse_run(&strings(&["--generate", "1", "--no-overlap"]))
+                .unwrap()
+                .overlap
+        );
+
+        for bad in [
+            strings(&[]),
+            strings(&["--generate", "0"]),
+            strings(&["--generate"]),
+            strings(&["--generate", "some"]),
+            strings(&["--gen-threads", "2"]),
+            strings(&["--generate", "4", "--gen-seed", "latte"]),
+            strings(&["--generate", "4", "--overlap"]),
+        ] {
+            assert!(
+                matches!(parse_run(&bad), Err(CliError::Usage(_))),
+                "run should reject {:?}",
+                bad
+            );
+        }
+    }
+
+    #[test]
+    fn passk_points_are_powers_of_two_up_to_k() {
+        assert_eq!(passk_points(1), vec![1]);
+        assert_eq!(passk_points(8), vec![1, 2, 4, 8]);
+        assert_eq!(passk_points(12), vec![1, 2, 4, 8, 12]);
+        assert_eq!(passk_points(32), vec![1, 2, 4, 8, 16, 32]);
     }
 
     #[test]
