@@ -64,6 +64,7 @@ fn sample_job(i: usize) -> (CacheKey, CachedVerdict, JobReport) {
         wall: Duration::from_micros(6600 + i as u64),
         cache_hit: false,
         reuse: Default::default(),
+        simplify: Default::default(),
     };
     (key, verdict, report)
 }

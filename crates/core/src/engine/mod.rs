@@ -69,7 +69,10 @@
 //!
 //! Per-job reuse activity lands in [`JobReport::reuse`]
 //! ([`ReuseCounters`]), aggregates via [`BatchReport::reuse_totals`], and
-//! feeds the funnel report and the persisted cross-run profile.
+//! feeds the funnel report and the persisted cross-run profile. Clause-
+//! database simplification ([`EngineReuse::simplify`]) reports through the
+//! parallel [`SimplifyCounters`] path ([`JobReport::simplify`],
+//! [`BatchReport::simplify_totals`]).
 
 pub mod pool;
 pub mod schedule;
@@ -90,7 +93,7 @@ use lv_analysis::KernelCategory;
 use lv_cir::ast::Function;
 use lv_cir::hash::{structural_hash, structural_hash_in_env, Fnv64};
 use lv_interp::ChecksumClass;
-use lv_tv::{SymbolicStrategy, TvConfig, TvReuse, TvSessionStats};
+use lv_tv::{SimplifyConfig, SymbolicStrategy, TvConfig, TvReuse, TvSessionStats};
 use std::sync::Arc;
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
@@ -120,22 +123,32 @@ pub struct EngineReuse {
     /// (see [`PortfolioStage`]); escalations are counted in
     /// [`StageTrace::escalated`] and the reuse counters.
     pub portfolio: bool,
+    /// Clause-database simplification inside each worker's solver:
+    /// SatELite-style preprocessing before every search and/or inprocessing
+    /// hooks (LBD-driven learned-clause reduction, clause minimization)
+    /// inside the CDCL loop. Simplification may conclude queries the raw
+    /// budget would have exhausted, so like `incremental` it perturbs
+    /// [`EngineConfig::semantic_fingerprint`] when enabled.
+    pub simplify: SimplifyConfig,
 }
 
 impl EngineReuse {
-    /// Every mechanism on — the configuration the reuse benchmarks race
-    /// against the fresh-solve baseline.
+    /// Every *reuse* mechanism on — the configuration the reuse benchmarks
+    /// race against the fresh-solve baseline. Simplification stays off;
+    /// enable it separately via the `simplify` field (`--simplify` on the
+    /// CLI).
     pub fn full() -> EngineReuse {
         EngineReuse {
             memo: true,
             incremental: true,
             portfolio: true,
+            simplify: SimplifyConfig::default(),
         }
     }
 
     /// `true` if any mechanism is enabled.
     pub fn any(self) -> bool {
-        self.memo || self.incremental || self.portfolio
+        self.memo || self.incremental || self.portfolio || self.simplify.any()
     }
 
     /// The session-level subset handed to each worker's
@@ -144,6 +157,7 @@ impl EngineReuse {
         TvReuse {
             memo: self.memo,
             incremental: self.incremental,
+            simplify: self.simplify,
         }
     }
 }
@@ -175,6 +189,43 @@ impl ReuseCounters {
     /// `true` when every counter is zero.
     pub fn is_zero(&self) -> bool {
         *self == ReuseCounters::default()
+    }
+}
+
+/// Clause-database simplification counters, aggregated per job and per
+/// batch. All zero when [`EngineReuse::simplify`] is off (or for cache
+/// hits, which run no solver).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SimplifyCounters {
+    /// Variables removed by pure-literal rule or bounded variable
+    /// elimination during preprocessing.
+    pub vars_eliminated: u64,
+    /// Clauses deleted by subsumption (preprocessing) plus learned clauses
+    /// deleted by inprocessing DB reduction.
+    pub clauses_subsumed: u64,
+    /// Clauses shortened by self-subsuming resolution (preprocessing) plus
+    /// literals dropped by inprocessing clause minimization.
+    pub clauses_strengthened: u64,
+    /// High-water mark of the flat clause arena, in bytes.
+    pub arena_bytes: u64,
+    /// Wall time spent in preprocessing, in microseconds.
+    pub preprocess_micros: u64,
+}
+
+impl SimplifyCounters {
+    /// Adds `other` into this counter set. `arena_bytes` is a high-water
+    /// mark, so it takes the max rather than summing.
+    pub fn absorb(&mut self, other: SimplifyCounters) {
+        self.vars_eliminated += other.vars_eliminated;
+        self.clauses_subsumed += other.clauses_subsumed;
+        self.clauses_strengthened += other.clauses_strengthened;
+        self.arena_bytes = self.arena_bytes.max(other.arena_bytes);
+        self.preprocess_micros += other.preprocess_micros;
+    }
+
+    /// `true` when every counter is zero.
+    pub fn is_zero(&self) -> bool {
+        *self == SimplifyCounters::default()
     }
 }
 
@@ -309,6 +360,16 @@ impl EngineConfig {
         if self.reuse.incremental {
             fnv.write_u8(0x52); // 'R'
         }
+        // Simplification may conclude queries the raw budget would have
+        // exhausted (fewer clauses to search, learned-DB reduction), so each
+        // enabled layer perturbs the fingerprint. Off keeps it byte-stable.
+        if self.reuse.simplify.any() {
+            fnv.write_u8(0x53); // 'S'
+            fnv.write_u8(
+                u8::from(self.reuse.simplify.preprocess)
+                    | (u8::from(self.reuse.simplify.inprocess) << 1),
+            );
+        }
         fnv.finish()
     }
 }
@@ -386,6 +447,10 @@ pub struct JobReport {
     /// worker session's counters around the job, plus this job's portfolio
     /// escalations). All zero when reuse is off or the job was a cache hit.
     pub reuse: ReuseCounters,
+    /// Clause-database simplification activity attributed to this job
+    /// (deltas of the worker session's counters around the job). All zero
+    /// when [`EngineReuse::simplify`] is off or the job was a cache hit.
+    pub simplify: SimplifyCounters,
 }
 
 impl JobReport {
@@ -443,6 +508,16 @@ impl BatchReport {
         let mut totals = ReuseCounters::default();
         for job in &self.jobs {
             totals.absorb(job.reuse);
+        }
+        totals
+    }
+
+    /// Total clause-database simplification activity over the batch (all
+    /// zero when [`EngineReuse::simplify`] is off).
+    pub fn simplify_totals(&self) -> SimplifyCounters {
+        let mut totals = SimplifyCounters::default();
+        for job in &self.jobs {
+            totals.absorb(job.simplify);
         }
         totals
     }
@@ -854,6 +929,7 @@ impl VerificationEngine {
                     wall: job_start.elapsed(),
                     cache_hit: true,
                     reuse: ReuseCounters::default(),
+                    simplify: SimplifyCounters::default(),
                 };
                 observer.job_finished(index, &report);
                 return report;
@@ -863,6 +939,7 @@ impl VerificationEngine {
         worker.checksum = None;
         worker.name_mismatch = false;
         let reuse_before = worker.session.reuse_stats();
+        let simplify_before = worker.session.simplify_stats();
         let order = self.stage_order(job);
         let mut traces = Vec::with_capacity(order.len());
         // If no stage concludes, report the last stage that ran (Alive2 with
@@ -912,6 +989,24 @@ impl VerificationEngine {
             assumption_reuses: reuse_after.assumption_reuses - reuse_before.assumption_reuses,
             escalations: traces.iter().filter(|t| t.escalated).count() as u64,
         };
+        let simplify_after = worker.session.simplify_stats();
+        let simplify = SimplifyCounters {
+            vars_eliminated: simplify_after
+                .vars_eliminated
+                .saturating_sub(simplify_before.vars_eliminated),
+            clauses_subsumed: simplify_after
+                .clauses_subsumed
+                .saturating_sub(simplify_before.clauses_subsumed),
+            clauses_strengthened: simplify_after
+                .clauses_strengthened
+                .saturating_sub(simplify_before.clauses_strengthened),
+            // High-water mark, not a monotone sum: report the level reached
+            // by the time this job finished.
+            arena_bytes: simplify_after.arena_bytes,
+            preprocess_micros: simplify_after
+                .preprocess_micros
+                .saturating_sub(simplify_before.preprocess_micros),
+        };
         let report = JobReport {
             label: job.label.clone(),
             verdict,
@@ -922,6 +1017,7 @@ impl VerificationEngine {
             wall: job_start.elapsed(),
             cache_hit: false,
             reuse,
+            simplify,
         };
         if let (Some(cache), Some(key)) = (&self.cache, key) {
             cache.insert(
@@ -1461,5 +1557,114 @@ mod tests {
             base.semantic_fingerprint(),
             incremental.semantic_fingerprint()
         );
+    }
+
+    #[test]
+    fn simplify_engine_matches_baseline_verdicts() {
+        let s000 = parse_function(S000).unwrap();
+        let s001 = parse_function(S001).unwrap();
+        // The same mixed workload the reuse identity test sweeps: trivial,
+        // commuted (real SAT work), and wrong candidates over two scalars.
+        let jobs = vec![
+            Job::new("s000-good", s000.clone(), vectorize_correct(&s000).unwrap()),
+            Job::new("s001-good", s001.clone(), vectorize_correct(&s001).unwrap()),
+            Job::new(
+                "s000-comm",
+                s000.clone(),
+                parse_function(S000_COMMUTED).unwrap(),
+            ),
+            Job::new(
+                "s001-comm",
+                s001.clone(),
+                parse_function(S001_COMMUTED).unwrap(),
+            ),
+            Job::new(
+                "s000-wrong",
+                s000.clone(),
+                parse_function(S000_WRONG).unwrap(),
+            ),
+        ];
+        let baseline =
+            VerificationEngine::new(EngineConfig::full(quick_pipeline())).run_batch(&jobs);
+        // Simplification on top of the default (no-reuse) engine, and on top
+        // of the full reuse stack — verdict classes and checksum classes must
+        // be identical to the plain run in both compositions.
+        let simplified = VerificationEngine::new(EngineConfig::full(quick_pipeline()).with_reuse(
+            EngineReuse {
+                simplify: SimplifyConfig::full(),
+                ..EngineReuse::default()
+            },
+        ))
+        .run_batch(&jobs);
+        let reuse_simplified = VerificationEngine::new(
+            EngineConfig::full(quick_pipeline()).with_reuse(EngineReuse {
+                simplify: SimplifyConfig::full(),
+                ..EngineReuse::full()
+            }),
+        )
+        .run_batch(&jobs);
+        for arm in [&simplified, &reuse_simplified] {
+            for (b, s) in baseline.jobs.iter().zip(&arm.jobs) {
+                assert_eq!(b.label, s.label);
+                assert_eq!(b.verdict, s.verdict, "{}", s.label);
+                assert_eq!(b.stage, s.stage, "{}", s.label);
+                assert_eq!(b.checksum, s.checksum, "{}", s.label);
+            }
+        }
+        // Preprocessing actually ran on the simplify arms and stayed
+        // entirely off (counters exactly zero) on the baseline.
+        assert!(
+            !simplified.simplify_totals().is_zero(),
+            "simplify must have done work: {:?}",
+            simplified.simplify_totals()
+        );
+        assert!(!reuse_simplified.simplify_totals().is_zero());
+        assert!(baseline.simplify_totals().is_zero());
+        assert!(simplified.simplify_totals().preprocess_micros > 0);
+    }
+
+    #[test]
+    fn simplify_fingerprint_tracks_only_enabled_layers() {
+        let base = EngineConfig::full(quick_pipeline());
+        let off = EngineConfig::full(quick_pipeline()).with_reuse(EngineReuse {
+            simplify: SimplifyConfig {
+                preprocess: false,
+                inprocess: false,
+            },
+            ..EngineReuse::default()
+        });
+        let preprocess = EngineConfig::full(quick_pipeline()).with_reuse(EngineReuse {
+            simplify: SimplifyConfig {
+                preprocess: true,
+                inprocess: false,
+            },
+            ..EngineReuse::default()
+        });
+        let inprocess = EngineConfig::full(quick_pipeline()).with_reuse(EngineReuse {
+            simplify: SimplifyConfig {
+                preprocess: false,
+                inprocess: true,
+            },
+            ..EngineReuse::default()
+        });
+        let full = EngineConfig::full(quick_pipeline()).with_reuse(EngineReuse {
+            simplify: SimplifyConfig::full(),
+            ..EngineReuse::default()
+        });
+        // Simplification off is byte-identical to the base configuration:
+        // cached verdicts from pre-simplify runs stay valid.
+        assert_eq!(base.semantic_fingerprint(), off.semantic_fingerprint());
+        // Each enabled layer combination is its own configuration.
+        let prints = [
+            preprocess.semantic_fingerprint(),
+            inprocess.semantic_fingerprint(),
+            full.semantic_fingerprint(),
+        ];
+        for (i, print) in prints.iter().enumerate() {
+            assert_ne!(base.semantic_fingerprint(), *print, "arm {}", i);
+            for other in &prints[i + 1..] {
+                assert_ne!(print, other);
+            }
+        }
     }
 }

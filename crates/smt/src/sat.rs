@@ -8,6 +8,21 @@
 //! queries into `Unknown`, which the translation validator reports as
 //! `Inconclusive` — the timeouts that motivate the paper's domain-specific
 //! optimizations.
+//!
+//! Clause storage is a flat arena (`ClauseArena`): one contiguous literal
+//! buffer plus fixed-size headers, so the watch/propagation hot loop walks
+//! contiguous memory instead of chasing per-clause `Vec` boxes. The arena is
+//! unconditional and preserves clause insertion order, so
+//! [`SatSolver::cnf_fingerprint`] is byte-stable across the representation.
+//!
+//! Opt-in *inprocessing* ([`SatSolver::set_inprocessing`]) adds two
+//! search-time simplifications on top: learned clauses are scored by LBD
+//! (literal block distance — the number of distinct decision levels in the
+//! clause) and the learned database is periodically reduced at restart
+//! points, and conflict analysis strengthens learned clauses on the fly by
+//! self-subsuming resolution with reason clauses. Both change the search
+//! trajectory, so they stay off by default — the default path is
+//! bit-identical to a solver without them.
 
 use std::collections::BinaryHeap;
 
@@ -15,7 +30,7 @@ use std::collections::BinaryHeap;
 pub type Var = u32;
 
 /// A literal: a variable with a sign.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct Lit(u32);
 
 impl Lit {
@@ -49,8 +64,8 @@ impl Lit {
         Lit(self.0 ^ 1)
     }
 
-    /// Dense index used for watch lists.
-    fn code(self) -> usize {
+    /// Dense index used for watch and occurrence lists.
+    pub(crate) fn code(self) -> usize {
         self.0 as usize
     }
 }
@@ -94,12 +109,76 @@ pub struct SatStats {
     pub restarts: u64,
 }
 
+/// Cumulative inprocessing statistics (not reset by `solve`; all zero unless
+/// [`SatSolver::set_inprocessing`] enabled the hooks).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct InprocessStats {
+    /// Learned-clause database reductions performed.
+    pub reductions: u64,
+    /// Learned clauses deleted by DB reduction (LBD-ranked or root-satisfied).
+    pub learned_deleted: u64,
+    /// Literals removed from learned clauses by on-the-fly self-subsumption.
+    pub minimized_lits: u64,
+}
+
 type ClauseRef = usize;
+
+/// Learned clauses with LBD at or below this survive every DB reduction.
+const KEEP_LBD: u32 = 2;
+/// Conflicts between DB reductions before the first reduction fires.
+const REDUCE_INTERVAL_INIT: u64 = 2000;
+
+#[derive(Debug, Clone, Copy)]
+struct ClauseHead {
+    start: u32,
+    len: u32,
+    /// LBD at learn time; 0 for original clauses (and when inprocessing is off).
+    lbd: u32,
+    learned: bool,
+}
+
+/// Flat clause storage: every clause's literals live in one contiguous
+/// buffer, addressed through fixed-size headers. Insertion order is the
+/// iteration order, so fingerprints over the clause database are unchanged
+/// from the per-clause-`Vec` representation.
+#[derive(Debug, Default)]
+struct ClauseArena {
+    lits: Vec<Lit>,
+    heads: Vec<ClauseHead>,
+}
+
+impl ClauseArena {
+    fn len(&self) -> usize {
+        self.heads.len()
+    }
+
+    fn push(&mut self, lits: &[Lit], learned: bool, lbd: u32) -> ClauseRef {
+        let cref = self.heads.len();
+        self.heads.push(ClauseHead {
+            start: self.lits.len() as u32,
+            len: lits.len() as u32,
+            lbd,
+            learned,
+        });
+        self.lits.extend_from_slice(lits);
+        cref
+    }
+
+    fn get(&self, cref: ClauseRef) -> &[Lit] {
+        let h = self.heads[cref];
+        &self.lits[h.start as usize..(h.start + h.len) as usize]
+    }
+
+    fn bytes(&self) -> usize {
+        self.lits.len() * std::mem::size_of::<Lit>()
+            + self.heads.len() * std::mem::size_of::<ClauseHead>()
+    }
+}
 
 /// The CDCL solver.
 #[derive(Debug, Default)]
 pub struct SatSolver {
-    clauses: Vec<Vec<Lit>>,
+    db: ClauseArena,
     watches: Vec<Vec<ClauseRef>>,
     assign: Vec<Option<bool>>,
     level: Vec<u32>,
@@ -116,6 +195,18 @@ pub struct SatSolver {
     /// Statistics from the most recent `solve` call.
     pub stats: SatStats,
     seen: Vec<bool>,
+    // Reusable scratch buffers: the hot paths (clause intake, conflict
+    // analysis) stay allocation-free once their capacities are warm.
+    add_buf: Vec<Lit>,
+    learned_buf: Vec<Lit>,
+    minimize_buf: Vec<bool>,
+    lbd_buf: Vec<u32>,
+    // Inprocessing state.
+    inprocess: bool,
+    last_lbd: u32,
+    conflicts_since_reduce: u64,
+    reduce_limit: u64,
+    inp: InprocessStats,
 }
 
 /// f64 wrapper with a total order for the activity heap.
@@ -152,7 +243,61 @@ impl SatSolver {
 
     /// Number of clauses (original plus learned).
     pub fn num_clauses(&self) -> usize {
-        self.clauses.len()
+        self.db.len()
+    }
+
+    /// `true` once the instance has been proven unsatisfiable at level 0.
+    pub fn is_unsat(&self) -> bool {
+        self.unsat
+    }
+
+    /// Enables or disables the inprocessing hooks (LBD-driven learned-clause
+    /// DB reduction at restart points and on-the-fly self-subsumption during
+    /// conflict analysis). Off by default; enabling changes the search
+    /// trajectory, so callers that pin bit-identical behavior must leave it
+    /// off.
+    pub fn set_inprocessing(&mut self, on: bool) {
+        self.inprocess = on;
+        if on && self.reduce_limit == 0 {
+            self.reduce_limit = REDUCE_INTERVAL_INIT;
+        }
+    }
+
+    /// Cumulative inprocessing statistics (across all `solve` calls).
+    pub fn inprocess_stats(&self) -> InprocessStats {
+        self.inp
+    }
+
+    /// Bytes currently held by the flat clause arena (literal buffer plus
+    /// headers, by length — the live working set the propagation loop walks).
+    pub fn arena_bytes(&self) -> usize {
+        self.db.bytes()
+    }
+
+    /// Pre-sizes the clause arena for a known clause stream (count and total
+    /// literal count), so intake never reallocates mid-stream.
+    pub fn reserve_clauses(&mut self, clauses: usize, lits: usize) {
+        self.db.heads.reserve(clauses);
+        self.db.lits.reserve(lits);
+    }
+
+    /// Pre-sizes the watch list of `lit` — used when the clause set is known
+    /// up front (e.g. a preprocessed rebuild) so the propagation loop starts
+    /// with watch lists at their final occupancy.
+    pub fn reserve_watch(&mut self, lit: Lit, additional: usize) {
+        self.watches[lit.negate().code()].reserve(additional);
+    }
+
+    /// Iterates the stored clauses (original and learned) in insertion order.
+    pub fn clauses(&self) -> impl Iterator<Item = &[Lit]> + '_ {
+        (0..self.db.len()).map(move |cref| self.db.get(cref))
+    }
+
+    /// The level-0 implied trail: literals forced before any decision. When
+    /// called at decision level 0 this is the entire current trail.
+    pub fn root_units(&self) -> &[Lit] {
+        let root = self.trail_lim.first().copied().unwrap_or(self.trail.len());
+        &self.trail[..root]
     }
 
     /// Allocates a fresh variable and returns it.
@@ -173,13 +318,20 @@ impl SatSolver {
     /// Adds a clause. Returns `false` if the clause is trivially unsatisfiable
     /// at level 0 (the instance becomes UNSAT).
     pub fn add_clause(&mut self, lits: &[Lit]) -> bool {
+        let mut clause = std::mem::take(&mut self.add_buf);
+        let ok = self.add_clause_inner(lits, &mut clause);
+        self.add_buf = clause;
+        ok
+    }
+
+    fn add_clause_inner(&mut self, lits: &[Lit], clause: &mut Vec<Lit>) -> bool {
         debug_assert_eq!(self.decision_level(), 0, "clauses are added before solving");
         if self.unsat {
             return false;
         }
         // Simplify: drop duplicate and false literals, detect tautologies and
         // already-satisfied clauses.
-        let mut clause: Vec<Lit> = Vec::with_capacity(lits.len());
+        clause.clear();
         for &lit in lits {
             match self.value(lit) {
                 Some(true) => return true,
@@ -210,17 +362,18 @@ impl SatSolver {
                 true
             }
             _ => {
-                self.attach_clause(clause);
+                self.attach_clause(clause, false, 0);
                 true
             }
         }
     }
 
-    fn attach_clause(&mut self, clause: Vec<Lit>) -> ClauseRef {
-        let cref = self.clauses.len();
-        self.watches[clause[0].negate().code()].push(cref);
-        self.watches[clause[1].negate().code()].push(cref);
-        self.clauses.push(clause);
+    fn attach_clause(&mut self, lits: &[Lit], learned: bool, lbd: u32) -> ClauseRef {
+        let w0 = lits[0].negate().code();
+        let w1 = lits[1].negate().code();
+        let cref = self.db.push(lits, learned, lbd);
+        self.watches[w0].push(cref);
+        self.watches[w1].push(cref);
         cref
     }
 
@@ -259,21 +412,23 @@ impl SatSolver {
             let mut i = 0;
             while i < watch_list.len() {
                 let cref = watch_list[i];
+                let head = self.db.heads[cref];
+                let start = head.start as usize;
                 // Ensure the false literal is in position 1.
-                if self.clauses[cref][0] == false_lit {
-                    self.clauses[cref].swap(0, 1);
+                if self.db.lits[start] == false_lit {
+                    self.db.lits.swap(start, start + 1);
                 }
-                if self.value(self.clauses[cref][0]) == Some(true) {
+                if self.value(self.db.lits[start]) == Some(true) {
                     i += 1;
                     continue;
                 }
                 // Look for a replacement watch.
                 let mut replaced = false;
-                for k in 2..self.clauses[cref].len() {
-                    if self.value(self.clauses[cref][k]) != Some(false) {
-                        self.clauses[cref].swap(1, k);
-                        let new_watch = self.clauses[cref][1];
-                        self.watches[new_watch.negate().code()].push(cref);
+                for k in 2..head.len as usize {
+                    let candidate = self.db.lits[start + k];
+                    if self.value(candidate) != Some(false) {
+                        self.db.lits.swap(start + 1, start + k);
+                        self.watches[candidate.negate().code()].push(cref);
                         watch_list.swap_remove(i);
                         replaced = true;
                         break;
@@ -283,7 +438,7 @@ impl SatSolver {
                     continue;
                 }
                 // No replacement: the clause is unit or conflicting.
-                let first = self.clauses[cref][0];
+                let first = self.db.lits[start];
                 if !self.enqueue(first, Some(cref)) {
                     // Conflict: restore the remaining watches and report.
                     self.watches[lit.code()] = watch_list;
@@ -313,16 +468,23 @@ impl SatSolver {
         self.var_inc /= 0.95;
     }
 
-    fn analyze(&mut self, mut conflict: ClauseRef) -> (Vec<Lit>, u32) {
-        let mut learned: Vec<Lit> = vec![Lit::pos(0)]; // placeholder for the asserting literal
+    /// First-UIP conflict analysis. Fills `self.learned_buf` with the learned
+    /// clause (asserting literal first) and returns the backjump level; the
+    /// clause's LBD is left in `self.last_lbd` when inprocessing is on.
+    fn analyze(&mut self, mut conflict: ClauseRef) -> u32 {
+        let mut learned = std::mem::take(&mut self.learned_buf);
+        learned.clear();
+        learned.push(Lit::pos(0)); // placeholder for the asserting literal
         let mut counter = 0usize;
         let mut lit: Option<Lit> = None;
         let mut index = self.trail.len();
 
         loop {
-            let clause = self.clauses[conflict].clone();
-            let start = usize::from(lit.is_some());
-            for &q in &clause[start..] {
+            let head = self.db.heads[conflict];
+            let start = head.start as usize;
+            let skip = usize::from(lit.is_some());
+            for j in skip..head.len as usize {
+                let q = self.db.lits[start + j];
                 let v = q.var() as usize;
                 if !self.seen[v] && self.level[v] > 0 {
                     self.seen[v] = true;
@@ -353,8 +515,25 @@ impl SatSolver {
             conflict = self.reason[p.var() as usize].expect("non-decision has a reason");
         }
 
-        for l in &learned[1..] {
-            self.seen[l.var() as usize] = false;
+        if self.inprocess && learned.len() > 1 {
+            self.minimize_learned(&mut learned);
+        } else {
+            for l in &learned[1..] {
+                self.seen[l.var() as usize] = false;
+            }
+        }
+
+        if self.inprocess {
+            // LBD: distinct decision levels across the learned clause.
+            let mut levels = std::mem::take(&mut self.lbd_buf);
+            levels.clear();
+            levels.extend(learned.iter().map(|l| self.level[l.var() as usize]));
+            levels.sort_unstable();
+            levels.dedup();
+            self.last_lbd = levels.len() as u32;
+            self.lbd_buf = levels;
+        } else {
+            self.last_lbd = 0;
         }
 
         // Backjump level: highest level among the non-asserting literals.
@@ -372,7 +551,123 @@ impl SatSolver {
                 .expect("non-empty");
             learned.swap(1, pos + 1);
         }
-        (learned, backtrack_level)
+        self.learned_buf = learned;
+        backtrack_level
+    }
+
+    /// On-the-fly self-subsuming resolution: a learned literal whose reason
+    /// clause is entirely absorbed by the remaining learned literals (each
+    /// reason literal is level 0, already collected, or the literal's own
+    /// negation) is redundant — resolving the learned clause with that reason
+    /// yields a strict subset. Clears the `seen` marks of every collected
+    /// literal as a side effect.
+    fn minimize_learned(&mut self, learned: &mut Vec<Lit>) {
+        let mut removable = std::mem::take(&mut self.minimize_buf);
+        removable.clear();
+        removable.push(false); // the asserting literal is never removed
+        for &q in learned.iter().skip(1) {
+            let keepable = match self.reason[q.var() as usize] {
+                Some(cr) => {
+                    let head = self.db.heads[cr];
+                    let start = head.start as usize;
+                    (0..head.len as usize).all(|j| {
+                        let p = self.db.lits[start + j];
+                        p == q.negate()
+                            || self.level[p.var() as usize] == 0
+                            || self.seen[p.var() as usize]
+                    })
+                }
+                None => false,
+            };
+            removable.push(keepable);
+        }
+        for l in &learned[1..] {
+            self.seen[l.var() as usize] = false;
+        }
+        let mut kept = 1;
+        for i in 1..learned.len() {
+            if removable[i] {
+                self.inp.minimized_lits += 1;
+            } else {
+                learned[kept] = learned[i];
+                kept += 1;
+            }
+        }
+        learned.truncate(kept);
+        self.minimize_buf = removable;
+    }
+
+    /// Learned-clause database reduction, run at a restart point (decision
+    /// level 0, propagation at fixpoint). Learned clauses are ranked by
+    /// (LBD, length) and the worst half deleted; glue (LBD ≤ 2) and binary
+    /// clauses always survive. Survivors are root-simplified on the way into
+    /// a fresh arena: level-0-satisfied clauses (including retired
+    /// activation-literal groups) are collected and level-0-false literals
+    /// stripped. Watches are rebuilt and reasons cleared — sound at level 0
+    /// because conflict analysis only dereferences reasons of variables
+    /// assigned above level 0.
+    fn reduce_db(&mut self) {
+        debug_assert_eq!(self.decision_level(), 0);
+        self.inp.reductions += 1;
+        let mut victims: Vec<(u32, u32, ClauseRef)> = Vec::new();
+        for (cref, h) in self.db.heads.iter().enumerate() {
+            if h.learned && h.len > 2 && h.lbd > KEEP_LBD {
+                victims.push((h.lbd, h.len, cref));
+            }
+        }
+        victims.sort_unstable();
+        let drop_count = victims.len() / 2;
+        let mut dropped = vec![false; self.db.len()];
+        for &(_, _, cref) in &victims[victims.len() - drop_count..] {
+            dropped[cref] = true;
+        }
+        self.inp.learned_deleted += drop_count as u64;
+
+        let mut new_db = ClauseArena::default();
+        new_db.heads.reserve(self.db.len() - drop_count);
+        new_db.lits.reserve(self.db.lits.len());
+        let mut scratch: Vec<Lit> = Vec::new();
+        'clause: for (cref, &is_dropped) in dropped.iter().enumerate() {
+            if is_dropped {
+                continue;
+            }
+            let h = self.db.heads[cref];
+            let start = h.start as usize;
+            scratch.clear();
+            for j in 0..h.len as usize {
+                let l = self.db.lits[start + j];
+                match self.value(l) {
+                    Some(true) => {
+                        if h.learned {
+                            self.inp.learned_deleted += 1;
+                        }
+                        continue 'clause;
+                    }
+                    Some(false) => {}
+                    None => scratch.push(l),
+                }
+            }
+            debug_assert!(
+                scratch.len() >= 2,
+                "unit or empty clauses cannot survive a level-0 fixpoint"
+            );
+            new_db.push(&scratch, h.learned, h.lbd);
+        }
+        self.db = new_db;
+        for w in &mut self.watches {
+            w.clear();
+        }
+        for cref in 0..self.db.len() {
+            let h = self.db.heads[cref];
+            let start = h.start as usize;
+            let w0 = self.db.lits[start].negate().code();
+            let w1 = self.db.lits[start + 1].negate().code();
+            self.watches[w0].push(cref);
+            self.watches[w1].push(cref);
+        }
+        for r in &mut self.reason {
+            *r = None;
+        }
     }
 
     fn backtrack(&mut self, level: u32) {
@@ -439,6 +734,9 @@ impl SatSolver {
             if let Some(conflict) = self.propagate() {
                 self.stats.conflicts += 1;
                 conflicts_since_restart += 1;
+                if self.inprocess {
+                    self.conflicts_since_reduce += 1;
+                }
                 if self.decision_level() == 0 {
                     self.unsat = true;
                     return SatResult::Unsat;
@@ -454,18 +752,20 @@ impl SatSolver {
                 if self.stats.conflicts >= budget.max_conflicts {
                     return SatResult::Unknown;
                 }
-                let (learned, backtrack_level) = self.analyze(conflict);
+                let backtrack_level = self.analyze(conflict);
                 self.backtrack(backtrack_level);
+                let learned = std::mem::take(&mut self.learned_buf);
                 if learned.len() == 1 {
                     if !self.enqueue(learned[0], None) {
+                        self.learned_buf = learned;
                         self.unsat = true;
                         return SatResult::Unsat;
                     }
                 } else {
-                    let cref = self.attach_clause(learned);
-                    let assert_lit = self.clauses[cref][0];
-                    self.enqueue(assert_lit, Some(cref));
+                    let cref = self.attach_clause(&learned, true, self.last_lbd);
+                    self.enqueue(learned[0], Some(cref));
                 }
+                self.learned_buf = learned;
                 self.decay_activities();
             } else {
                 if conflicts_since_restart >= restart_limit {
@@ -473,6 +773,11 @@ impl SatSolver {
                     restart_limit = restart_limit + restart_limit / 2;
                     self.stats.restarts += 1;
                     self.backtrack(0);
+                    if self.inprocess && self.conflicts_since_reduce >= self.reduce_limit {
+                        self.reduce_db();
+                        self.conflicts_since_reduce = 0;
+                        self.reduce_limit += self.reduce_limit / 2;
+                    }
                     continue;
                 }
                 let level = self.decision_level() as usize;
@@ -538,10 +843,11 @@ impl SatSolver {
         for &lit in &self.trail[..root] {
             fold(u64::from(lit.0));
         }
-        fold(self.clauses.len() as u64);
-        for clause in &self.clauses {
-            fold(clause.len() as u64);
-            for &lit in clause {
+        fold(self.db.len() as u64);
+        for head in &self.db.heads {
+            fold(u64::from(head.len));
+            let start = head.start as usize;
+            for &lit in &self.db.lits[start..start + head.len as usize] {
                 fold(u64::from(lit.0));
             }
         }
@@ -804,5 +1110,131 @@ mod tests {
         s.add_clause(&[lit(-2), lit(-3)]);
         assert_eq!(s.solve(&SatBudget::default()), SatResult::Sat);
         assert!(s.stats.decisions + s.stats.propagations > 0);
+    }
+
+    #[test]
+    fn clause_and_root_unit_accessors_reflect_the_instance() {
+        let mut s = solver_with_vars(3);
+        s.add_clause(&[lit(1)]);
+        s.add_clause(&[lit(-1), lit(2), lit(3)]);
+        // The unit was absorbed into the root trail; the ternary clause was
+        // simplified against it (¬1 dropped) and stored.
+        let stored: Vec<Vec<Lit>> = s.clauses().map(|c| c.to_vec()).collect();
+        assert_eq!(stored, vec![vec![lit(2), lit(3)]]);
+        assert_eq!(s.root_units(), &[lit(1)]);
+        assert!(!s.is_unsat());
+    }
+
+    /// Deterministic 3-CNF generator shared by the inprocessing tests.
+    fn random_cnf(seed: u64, num_vars: u64, num_clauses: usize) -> Vec<Vec<Lit>> {
+        let mut state = seed
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        let mut next = move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            state >> 33
+        };
+        (0..num_clauses)
+            .map(|_| {
+                (0..3)
+                    .map(|_| Lit::new((next() % num_vars) as Var, next() % 2 == 1))
+                    .collect()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn inprocessing_preserves_verdicts_on_random_cnfs() {
+        for seed in 0..30u64 {
+            // Clause/var ratio near the phase transition mixes SAT and UNSAT.
+            let clauses = random_cnf(seed, 12, 52);
+            let mut plain = solver_with_vars(12);
+            let mut inproc = solver_with_vars(12);
+            inproc.set_inprocessing(true);
+            for c in &clauses {
+                plain.add_clause(c);
+                inproc.add_clause(c);
+            }
+            let want = plain.solve(&SatBudget::default());
+            let got = inproc.solve(&SatBudget::default());
+            assert_eq!(got, want, "seed {}", seed);
+            if got == SatResult::Sat {
+                let eval = |l: Lit| inproc.model_value(l.var()) ^ l.is_neg();
+                for c in &clauses {
+                    assert!(c.iter().any(|&l| eval(l)), "seed {}", seed);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn db_reduction_fires_and_keeps_the_verdict_on_a_hard_instance() {
+        // A pigeonhole instance large enough to cross the reduction interval.
+        let pigeons = 9usize;
+        let holes = 8usize;
+        let build = |inprocess: bool| {
+            let mut s = solver_with_vars(pigeons * holes);
+            if inprocess {
+                s.set_inprocessing(true);
+            }
+            let p = |i: usize, j: usize| Lit::pos((i * holes + j) as Var);
+            for i in 0..pigeons {
+                let clause: Vec<Lit> = (0..holes).map(|j| p(i, j)).collect();
+                s.add_clause(&clause);
+            }
+            for j in 0..holes {
+                for i1 in 0..pigeons {
+                    for i2 in (i1 + 1)..pigeons {
+                        s.add_clause(&[p(i1, j).negate(), p(i2, j).negate()]);
+                    }
+                }
+            }
+            s
+        };
+        let mut plain = build(false);
+        let mut inproc = build(true);
+        let want = plain.solve(&SatBudget::default());
+        let got = inproc.solve(&SatBudget::default());
+        assert_eq!(got, want);
+        assert_eq!(got, SatResult::Unsat);
+        let stats = inproc.inprocess_stats();
+        assert!(stats.reductions > 0, "expected at least one DB reduction");
+        assert!(stats.learned_deleted > 0);
+        assert_eq!(plain.inprocess_stats(), InprocessStats::default());
+    }
+
+    #[test]
+    fn inprocessing_survives_assumption_cycles() {
+        // The incremental activation-literal protocol must stay sound when
+        // DB reduction collects retired groups between queries.
+        let mut s = solver_with_vars(6);
+        s.set_inprocessing(true);
+        for seed in 0..10u64 {
+            for c in random_cnf(seed + 100, 6, 6) {
+                let act = Lit::pos(s.new_var());
+                let mut guarded = vec![act.negate()];
+                guarded.extend(c.iter().copied());
+                s.add_clause(&guarded);
+                let under = s.solve_with_assumptions(&SatBudget::default(), &[act]);
+                s.reset_to_root();
+                assert_ne!(under, SatResult::Unknown);
+                s.add_clause(&[act.negate()]); // retire the group
+            }
+        }
+        // With every group retired the instance is satisfiable.
+        assert_eq!(s.solve(&SatBudget::default()), SatResult::Sat);
+    }
+
+    #[test]
+    fn arena_accounting_is_live_bytes() {
+        let mut s = solver_with_vars(3);
+        assert_eq!(s.arena_bytes(), 0);
+        s.add_clause(&[lit(1), lit(2), lit(3)]);
+        let one = s.arena_bytes();
+        assert!(one > 0);
+        s.add_clause(&[lit(-1), lit(-2), lit(-3)]);
+        assert!(s.arena_bytes() > one);
     }
 }

@@ -35,7 +35,8 @@
 //!   once per session.
 
 use crate::bitblast::{BitBlaster, BlastCache, BlastState};
-use crate::sat::{Lit, SatBudget, SatResult, SatSolver};
+use crate::preprocess::{preprocess_solver, SimplifyConfig, SimplifyStats};
+use crate::sat::{InprocessStats, Lit, SatBudget, SatResult, SatSolver, Var};
 use crate::term::{sign_extend, Context, Sort, TermId};
 use std::collections::HashMap;
 use std::fmt;
@@ -247,6 +248,11 @@ pub struct Solver {
     inc: Vec<(u64, IncSession)>,
     /// Cumulative count of `check_assuming` calls on warm sessions.
     assumption_reuses: u64,
+    /// Which simplification layers run; both off by default, keeping the
+    /// solve path bit-identical to a solver without the subsystem.
+    simplify: SimplifyConfig,
+    /// Cumulative simplification counters (all zero while `simplify` is off).
+    simplify_stats: SimplifyStats,
 }
 
 impl Solver {
@@ -261,6 +267,40 @@ impl Solver {
         if self.blast_memo.is_none() {
             self.blast_memo = Some(BlastCache::new());
         }
+    }
+
+    /// Selects which simplification layers run on subsequent checks: CNF
+    /// preprocessing before search ([`crate::preprocess`]) and/or the
+    /// in-search inprocessing hooks of [`SatSolver`]. Off by default.
+    ///
+    /// Preprocessing composes with the reuse stack: it runs on the
+    /// *post-replay* clause stream (after any [`BlastCache`] record or
+    /// replay), so memo entries stay clause-identical; incremental sessions
+    /// preprocess only their base clauses, freezing every variable reachable
+    /// from the session's blast state.
+    pub fn set_simplify(&mut self, simplify: SimplifyConfig) {
+        self.simplify = simplify;
+    }
+
+    /// Cumulative simplification counters (all zero while simplify is off).
+    pub fn simplify_stats(&self) -> SimplifyStats {
+        self.simplify_stats
+    }
+
+    /// Folds one solve's inprocessing delta and arena high-water mark into
+    /// the cumulative simplify counters. No-op while simplify is off, so the
+    /// counters stay exactly zero on the default path.
+    fn absorb_solve_effects(&mut self, before: InprocessStats, sat: &SatSolver) {
+        if !self.simplify.any() {
+            return;
+        }
+        let after = sat.inprocess_stats();
+        self.simplify_stats.clauses_subsumed += after.learned_deleted - before.learned_deleted;
+        self.simplify_stats.clauses_strengthened += after.minimized_lits - before.minimized_lits;
+        self.simplify_stats.arena_bytes = self
+            .simplify_stats
+            .arena_bytes
+            .max(sat.arena_bytes() as u64);
     }
 
     /// Cumulative reuse counters (zeros when reuse is off).
@@ -348,11 +388,32 @@ impl Solver {
             ));
         }
 
+        // Preprocess the post-blast clause stream when enabled: the memo
+        // above already recorded/replayed the raw blast, so cache entries
+        // stay clause-identical regardless of this step.
+        let pre = if self.simplify.preprocess {
+            let t0 = std::time::Instant::now();
+            let pre = preprocess_solver(&sat, &[]);
+            self.simplify_stats.vars_eliminated += pre.stats.vars_eliminated;
+            self.simplify_stats.clauses_subsumed += pre.stats.clauses_subsumed;
+            self.simplify_stats.clauses_strengthened += pre.stats.clauses_strengthened;
+            self.simplify_stats.preprocess_micros += t0.elapsed().as_micros() as u64;
+            sat = pre.build_solver();
+            Some(pre)
+        } else {
+            None
+        };
+        if self.simplify.inprocess {
+            sat.set_inprocessing(true);
+        }
+        let inp_before = sat.inprocess_stats();
+
         let result = sat.solve(&SatBudget {
             max_conflicts: budget.max_conflicts,
         });
         self.last_stats.conflicts = sat.stats.conflicts;
         self.last_stats.decisions = sat.stats.decisions;
+        self.absorb_solve_effects(inp_before, &sat);
 
         match result {
             SatResult::Unsat => CheckResult::Unsat,
@@ -360,9 +421,23 @@ impl Solver {
                 "solver exhausted its budget of {} conflicts",
                 budget.max_conflicts
             )),
-            SatResult::Sat => {
-                CheckResult::Sat(Box::new(extract_model(&sat, &var_bits, &var_bools)))
-            }
+            SatResult::Sat => match pre {
+                None => CheckResult::Sat(Box::new(extract_model(&sat, &var_bits, &var_bools))),
+                Some(pre) => {
+                    // Rebuild values for eliminated variables before reading
+                    // the model, so counterexamples satisfy the original
+                    // (unsimplified) formula.
+                    let mut model: Vec<bool> = (0..pre.num_vars())
+                        .map(|v| sat.model_value(v as Var))
+                        .collect();
+                    pre.complete_model(&mut model);
+                    CheckResult::Sat(Box::new(extract_model_with(
+                        |v| model[v as usize],
+                        &var_bits,
+                        &var_bools,
+                    )))
+                }
+            },
         }
     }
 
@@ -387,6 +462,24 @@ impl Solver {
             }
         }
         let blast = blaster.into_state();
+        if self.simplify.preprocess {
+            // Preprocess the scalar-side base clauses only. Every variable
+            // reachable from the blast state is frozen: later candidate
+            // blasts re-use those encodings, and the activation literals of
+            // `check_assuming` are created after this point, so only dead
+            // Tseitin internals are eliminated.
+            let t0 = std::time::Instant::now();
+            let frozen = blast.cnf_vars();
+            let pre = preprocess_solver(&sat, &frozen);
+            self.simplify_stats.vars_eliminated += pre.stats.vars_eliminated;
+            self.simplify_stats.clauses_subsumed += pre.stats.clauses_subsumed;
+            self.simplify_stats.clauses_strengthened += pre.stats.clauses_strengthened;
+            self.simplify_stats.preprocess_micros += t0.elapsed().as_micros() as u64;
+            sat = pre.build_solver();
+        }
+        if self.simplify.inprocess {
+            sat.set_inprocessing(true);
+        }
         let base_clauses = sat.num_clauses();
         self.inc.push((
             key,
@@ -476,6 +569,7 @@ impl Solver {
                 effective_clauses, budget.max_clauses
             ))
         } else {
+            let inp_before = sat.inprocess_stats();
             let sat_result = sat.solve_with_assumptions(
                 &SatBudget {
                     max_conflicts: budget.max_conflicts,
@@ -484,6 +578,7 @@ impl Solver {
             );
             self.last_stats.conflicts = sat.stats.conflicts;
             self.last_stats.decisions = sat.stats.decisions;
+            self.absorb_solve_effects(inp_before, &sat);
             match sat_result {
                 SatResult::Unsat => CheckResult::Unsat,
                 SatResult::Unknown => CheckResult::Unknown(format!(
@@ -553,11 +648,21 @@ fn extract_model(
     var_bits: &HashMap<String, Vec<Lit>>,
     var_bools: &HashMap<String, Lit>,
 ) -> Model {
+    extract_model_with(|v| sat.model_value(v), var_bits, var_bools)
+}
+
+/// [`extract_model`] over an arbitrary variable valuation — the preprocessed
+/// path reads from a reconstructed assignment instead of the solver.
+fn extract_model_with(
+    value_of: impl Fn(Var) -> bool,
+    var_bits: &HashMap<String, Vec<Lit>>,
+    var_bools: &HashMap<String, Lit>,
+) -> Model {
     let mut model = Model::default();
     for (name, bits) in var_bits {
         let mut value: u64 = 0;
         for (i, lit) in bits.iter().enumerate() {
-            if sat.model_value(lit.var()) ^ lit.is_neg() {
+            if value_of(lit.var()) ^ lit.is_neg() {
                 value |= 1 << i;
             }
         }
@@ -567,7 +672,7 @@ fn extract_model(
     for (name, lit) in var_bools {
         model
             .bools
-            .insert(name.clone(), sat.model_value(lit.var()) ^ lit.is_neg());
+            .insert(name.clone(), value_of(lit.var()) ^ lit.is_neg());
     }
     model
 }
@@ -929,6 +1034,126 @@ mod tests {
         assert_eq!(plain_result, warmup);
         assert_eq!(plain_result, replayed);
         assert!(memoized.reuse_stats().blast_hits > 0);
+    }
+
+    /// Satellite property test: over random well-typed bitvector term
+    /// pairs, the fully simplified solve (preprocess + inprocess) agrees
+    /// with the plain solve on the verdict class, and `Sat` models really
+    /// satisfy the original formula (pinned by re-solving with the model
+    /// values asserted).
+    #[test]
+    fn simplified_check_matches_plain_check() {
+        for seed in 0..25u64 {
+            let mut state = seed.wrapping_mul(0x9e37_79b9).wrapping_add(17);
+            let mut plain = Solver::new();
+            let formula = random_formula(&mut plain.ctx, &mut state);
+            plain.assert(formula);
+            let want = plain.check(&SolverBudget::default());
+
+            let mut simp = Solver::new();
+            simp.set_simplify(SimplifyConfig::full());
+            let mut state2 = seed.wrapping_mul(0x9e37_79b9).wrapping_add(17);
+            let formula2 = random_formula(&mut simp.ctx, &mut state2);
+            simp.assert(formula2);
+            let got = simp.check(&SolverBudget::default());
+
+            match (&want, &got) {
+                (CheckResult::Sat(_), CheckResult::Sat(model)) => {
+                    // The reconstructed model must satisfy the original
+                    // formula: pin x and y to the model values and re-check.
+                    let mut check = Solver::new();
+                    let mut state3 = seed.wrapping_mul(0x9e37_79b9).wrapping_add(17);
+                    let f = random_formula(&mut check.ctx, &mut state3);
+                    check.assert(f);
+                    for name in ["x", "y"] {
+                        if let Some(v) = model.value(name) {
+                            let var = check.ctx.bv_var(name, 32);
+                            let val = check.ctx.bv_const(v, 32);
+                            let pin = check.ctx.eq(var, val);
+                            check.assert(pin);
+                        }
+                    }
+                    assert!(
+                        check.check(&SolverBudget::default()).is_sat(),
+                        "seed {}: simplified model does not satisfy the original formula",
+                        seed
+                    );
+                }
+                (CheckResult::Unsat, CheckResult::Unsat) => {}
+                other => panic!("seed {}: simplify changed the verdict: {:?}", seed, other),
+            }
+        }
+    }
+
+    /// The incremental pathway with simplification enabled (base-clause
+    /// preprocessing under a frozen blast state) keeps the fresh-solve
+    /// verdicts.
+    #[test]
+    fn incremental_with_simplify_matches_fresh_solve() {
+        for seed in 0..12u64 {
+            let base_seed = seed.wrapping_mul(0x51_7cc1).wrapping_add(3);
+            let mut inc = Solver::new();
+            inc.set_simplify(SimplifyConfig::full());
+            let mut state = base_seed;
+            let base = random_formula(&mut inc.ctx, &mut state);
+            inc.assert(base);
+            inc.begin_incremental(11).unwrap();
+            let cand_seed = state;
+            let mut cand_state = cand_seed;
+            for i in 0..5usize {
+                let cand = random_formula(&mut inc.ctx, &mut cand_state);
+                let warm = inc.check_assuming(11, cand, &SolverBudget::default());
+
+                let mut fresh = Solver::new();
+                let mut fresh_state = base_seed;
+                let fresh_base = random_formula(&mut fresh.ctx, &mut fresh_state);
+                fresh.assert(fresh_base);
+                let mut fresh_cand_state = cand_seed;
+                let mut fresh_cand = None;
+                for _ in 0..=i {
+                    fresh_cand = Some(random_formula(&mut fresh.ctx, &mut fresh_cand_state));
+                }
+                fresh.assert(fresh_cand.unwrap());
+                let cold = fresh.check(&SolverBudget::default());
+
+                match (&warm, &cold) {
+                    (CheckResult::Sat(_), CheckResult::Sat(_)) => {}
+                    (CheckResult::Unsat, CheckResult::Unsat) => {}
+                    other => panic!(
+                        "seed {} candidate {}: simplified warm/cold verdicts diverge: {:?}",
+                        seed, i, other
+                    ),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn simplify_counters_populate_and_stay_zero_when_off() {
+        let build = |solver: &mut Solver| {
+            let x = solver.ctx.bv_var("x", 32);
+            let y = solver.ctx.bv_var("y", 32);
+            let prod = solver.ctx.bv_mul(x, y);
+            let ten = solver.ctx.bv32(10);
+            let eq = solver.ctx.eq(prod, ten);
+            solver.assert(eq);
+        };
+        let mut plain = Solver::new();
+        build(&mut plain);
+        let _ = plain.check(&SolverBudget::default());
+        assert!(plain.simplify_stats().is_zero());
+
+        let mut simp = Solver::new();
+        simp.set_simplify(SimplifyConfig::full());
+        build(&mut simp);
+        let _ = simp.check(&SolverBudget::default());
+        let stats = simp.simplify_stats();
+        assert!(
+            stats.vars_eliminated > 0,
+            "a Tseitin blast must yield eliminable variables: {:?}",
+            stats
+        );
+        assert!(stats.arena_bytes > 0);
     }
 
     #[test]

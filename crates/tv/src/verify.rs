@@ -24,7 +24,9 @@ use crate::cunroll::c_unroll;
 use crate::symexec::{sym_exec, SymExecConfig, SymOutcome};
 use lv_analysis::{analyze_function, collect_accesses, AccessKind};
 use lv_cir::ast::{BinOp, Expr, Function, UnOp};
-use lv_smt::{CheckResult, ReuseStats, Solver, SolverBudget, Validity};
+use lv_smt::{
+    CheckResult, ReuseStats, SimplifyConfig, SimplifyStats, Solver, SolverBudget, Validity,
+};
 use std::collections::HashMap;
 
 /// Cumulative solver-effort statistics over the lifetime of a [`TvSession`].
@@ -52,21 +54,29 @@ pub struct TvReuse {
     /// are blasted once per strategy into a persistent SAT instance, and
     /// per-candidate assertions enter under an activation literal.
     pub incremental: bool,
+    /// Clause-database simplification ([`Solver::set_simplify`]):
+    /// SatELite-style preprocessing before search and/or inprocessing
+    /// hooks inside the CDCL loop. Orthogonal to the reuse mechanisms —
+    /// it composes with both (preprocessing runs on the post-replay
+    /// clause stream, so memo hits stay clause-identical).
+    pub simplify: SimplifyConfig,
 }
 
 impl TvReuse {
-    /// Everything on — the configuration the reuse benchmarks race against
-    /// fresh solving.
+    /// Everything *reuse* on — the configuration the reuse benchmarks race
+    /// against fresh solving. Simplification stays off; enable it
+    /// separately via the `simplify` field.
     pub fn full() -> TvReuse {
         TvReuse {
             memo: true,
             incremental: true,
+            simplify: SimplifyConfig::default(),
         }
     }
 
     /// `true` if any mechanism is enabled.
     pub fn any(self) -> bool {
-        self.memo || self.incremental
+        self.memo || self.incremental || self.simplify.any()
     }
 }
 
@@ -113,6 +123,7 @@ impl TvSession {
         if reuse.memo {
             session.solver.enable_blast_memo();
         }
+        session.solver.set_simplify(reuse.simplify);
         session
     }
 
@@ -124,6 +135,12 @@ impl TvSession {
     /// Cumulative solver-reuse counters (all zero when reuse is off).
     pub fn reuse_stats(&self) -> ReuseStats {
         self.solver.reuse_stats()
+    }
+
+    /// Cumulative clause-database simplification counters (all zero when
+    /// [`TvReuse::simplify`] is off).
+    pub fn simplify_stats(&self) -> SimplifyStats {
+        self.solver.simplify_stats()
     }
 
     /// Marks the scalar kernel the next queries verify against. In
@@ -974,6 +991,7 @@ mod tests {
         let mut memoized = TvSession::with_reuse(TvReuse {
             memo: true,
             incremental: false,
+            simplify: SimplifyConfig::default(),
         });
         for vector in [S000_VEC_WRONG, S000_VEC, S000_VEC_WRONG] {
             let with_memo = check_with_c_unroll_in(&f(S000), &f(vector), &config, &mut memoized);

@@ -14,11 +14,13 @@
 //!          [--flush journal|rewrite] [--fsync compact|record]
 //!          [--flush-every N] [--cache-format json|binary]
 //!          [--profile PATH] [--schedule default|profile|SPEC]
-//!          [--budget fixed|profile] [--reuse]
+//!          [--budget fixed|profile] [--reuse|--no-reuse] [--simplify]
 //!          [--steal] [--heartbeat-ms MS] [--stall-timeout-secs S]
 //! lv-sweep run --generate K [--gen-seed S] [--gen-threads T]
 //!          [--kernels s000,...] [--threads N] [--quick] [--no-overlap]
+//!          [--reuse|--no-reuse] [--simplify]
 //! lv-sweep serve [--addr HOST:PORT] [--cache FILE] [--threads T] [--quick]
+//!          [--reuse|--no-reuse] [--simplify]
 //! lv-sweep submit [--addr HOST:PORT] [--kernels s000,...]
 //!          [--generate K] [--gen-seed S] [--shutdown]
 //! lv-sweep status [--addr HOST:PORT]
@@ -72,7 +74,19 @@
 //! portfolio budget racing) in all shard workers. Verdicts are identical to
 //! a reuse-off sweep; the incremental layer perturbs the configuration
 //! fingerprint, so reuse-on and reuse-off sweeps keep separate cache
-//! entries.
+//! entries. By default the blast-memo layer *alone* is on — its replays
+//! are clause-identical, so it changes no verdict, fingerprint, or cache
+//! byte; `--no-reuse` switches every layer off.
+//!
+//! `--simplify` (also accepted by `run` and `serve`) enables clause-database
+//! simplification in every worker's solver: SatELite-style preprocessing
+//! (unit propagation, pure literals, subsumption, self-subsuming
+//! resolution, bounded variable elimination) before each search, plus
+//! inprocessing hooks (LBD-driven learned-clause DB reduction, on-the-fly
+//! clause minimization) inside the CDCL loop. Simplified queries may
+//! conclude where the raw budget ran out, so `--simplify` perturbs the
+//! configuration fingerprint; sweep summaries and `status` print the
+//! simplify counters (vars eliminated, clauses subsumed/strengthened).
 //!
 //! `--steal` turns on live-shard work stealing (journal flush mode only):
 //! workers that finish their share claim pending jobs from slow siblings
@@ -118,13 +132,13 @@ use llm_vectorizer_repro::cir::ast::Function;
 use llm_vectorizer_repro::core::shard::{run_worker_from_args, ShardError, ShardReportFile};
 use llm_vectorizer_repro::core::{
     cache_file_stats, generate_then_verify_pass_at_k, overlapped_pass_at_k, AdaptiveBudgetPolicy,
-    CacheBounds, CacheFormat, CrossRunProfile, EngineConfig, EngineReuse, Equivalence, FlushMode,
-    FsyncPolicy, GenerationRequest, GenerationSpec, Job, PipelineConfig, ServiceClient,
+    BatchReport, CacheBounds, CacheFormat, CrossRunProfile, EngineConfig, EngineReuse, Equivalence,
+    FlushMode, FsyncPolicy, GenerationRequest, GenerationSpec, Job, PipelineConfig, ServiceClient,
     ShardPolicy, StageSchedule, SweepConfig, VerdictCache, VerificationEngine, VerificationService,
     WorkerSpec,
 };
 use llm_vectorizer_repro::interp::ChecksumConfig;
-use llm_vectorizer_repro::tv::{SolverBudget, TvConfig};
+use llm_vectorizer_repro::tv::{SimplifyConfig, SolverBudget, TvConfig};
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 use std::sync::Arc;
@@ -168,6 +182,55 @@ fn runtime(message: impl Into<String>) -> CliError {
 }
 
 const DEFAULT_SERVICE_ADDR: &str = "127.0.0.1:7411";
+
+/// Resolves the engine reuse layers from the tri-state `--reuse` /
+/// `--no-reuse` pair plus `--simplify`. With neither reuse flag given, the
+/// blast-memo layer alone is on: its replays are clause-identical, so it
+/// changes no verdict, no fingerprint, and no cache entry — a free default.
+/// `--reuse` turns on every layer, `--no-reuse` turns them all off.
+fn resolve_reuse(reuse: Option<bool>, simplify: bool) -> EngineReuse {
+    let mut resolved = match reuse {
+        Some(true) => EngineReuse::full(),
+        Some(false) => EngineReuse::default(),
+        None => EngineReuse {
+            memo: true,
+            ..EngineReuse::default()
+        },
+    };
+    if simplify {
+        resolved.simplify = SimplifyConfig::full();
+    }
+    resolved
+}
+
+/// One-word description of a resolved reuse configuration, for sweep
+/// banners.
+fn reuse_tag(reuse: EngineReuse) -> &'static str {
+    if reuse.incremental {
+        "full"
+    } else if reuse.memo {
+        "memo"
+    } else {
+        "off"
+    }
+}
+
+/// Prints the batch's clause-database simplification totals, when any
+/// (silent on a `--simplify`-less sweep, whose counters are exactly zero).
+fn print_simplify_totals(report: &BatchReport) {
+    let totals = report.simplify_totals();
+    if !totals.is_zero() {
+        println!(
+            "simplify: {} vars eliminated, {} clauses subsumed, {} strengthened, \
+             {} arena bytes peak, {}us preprocessing",
+            totals.vars_eliminated,
+            totals.clauses_subsumed,
+            totals.clauses_strengthened,
+            totals.arena_bytes,
+            totals.preprocess_micros
+        );
+    }
+}
 
 /// `lv-sweep compact [--format json|binary] FILE...`: rewrites each file
 /// into its canonical compact form, dispatching on content (magic bytes for
@@ -371,6 +434,8 @@ struct RunArgs {
     threads: usize,
     quick: bool,
     overlap: bool,
+    reuse: Option<bool>,
+    simplify: bool,
 }
 
 fn parse_run(args: &[String]) -> Result<RunArgs, CliError> {
@@ -382,6 +447,8 @@ fn parse_run(args: &[String]) -> Result<RunArgs, CliError> {
         threads: 0,
         quick: false,
         overlap: true,
+        reuse: None,
+        simplify: false,
     };
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
@@ -424,6 +491,9 @@ fn parse_run(args: &[String]) -> Result<RunArgs, CliError> {
             }
             "--quick" => opts.quick = true,
             "--no-overlap" => opts.overlap = false,
+            "--reuse" => opts.reuse = Some(true),
+            "--no-reuse" => opts.reuse = Some(false),
+            "--simplify" => opts.simplify = true,
             other => return Err(usage(format!("run: unknown argument `{}`", other))),
         }
     }
@@ -445,7 +515,9 @@ fn cmd_run(args: &[String]) -> Result<(), CliError> {
     let opts = parse_run(args)?;
     let kernels = tsvc_scalars(&opts.kernels)?;
     let engine = VerificationEngine::new(
-        EngineConfig::full(build_pipeline(opts.quick)).with_threads(opts.threads),
+        EngineConfig::full(build_pipeline(opts.quick))
+            .with_threads(opts.threads)
+            .with_reuse(resolve_reuse(opts.reuse, opts.simplify)),
     );
     let llm_config = LlmConfig {
         seed: opts.gen_seed,
@@ -496,6 +568,7 @@ fn cmd_run(args: &[String]) -> Result<(), CliError> {
         run.report.threads,
         run.report.wall
     );
+    print_simplify_totals(&run.report);
     Ok(())
 }
 
@@ -506,6 +579,8 @@ struct ServeArgs {
     cache: Option<PathBuf>,
     threads: usize,
     quick: bool,
+    reuse: Option<bool>,
+    simplify: bool,
 }
 
 fn parse_serve(args: &[String]) -> Result<ServeArgs, CliError> {
@@ -514,6 +589,8 @@ fn parse_serve(args: &[String]) -> Result<ServeArgs, CliError> {
         cache: None,
         threads: 0,
         quick: false,
+        reuse: None,
+        simplify: false,
     };
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
@@ -531,6 +608,9 @@ fn parse_serve(args: &[String]) -> Result<ServeArgs, CliError> {
                     .map_err(|_| usage("--threads expects an integer"))?
             }
             "--quick" => opts.quick = true,
+            "--reuse" => opts.reuse = Some(true),
+            "--no-reuse" => opts.reuse = Some(false),
+            "--simplify" => opts.simplify = true,
             other => return Err(usage(format!("serve: unknown argument `{}`", other))),
         }
     }
@@ -548,7 +628,9 @@ fn cmd_serve(args: &[String]) -> Result<(), CliError> {
         ),
         None => Arc::new(VerdictCache::in_memory()),
     };
-    let config = EngineConfig::full(build_pipeline(opts.quick)).with_threads(opts.threads);
+    let config = EngineConfig::full(build_pipeline(opts.quick))
+        .with_threads(opts.threads)
+        .with_reuse(resolve_reuse(opts.reuse, opts.simplify));
     let service = VerificationService::bind(opts.addr.as_str(), config, cache.clone())
         .map_err(|e| runtime(format!("cannot serve on {}: {}", opts.addr, e)))?;
     println!(
@@ -575,6 +657,12 @@ fn cmd_serve(args: &[String]) -> Result<(), CliError> {
         status.stages,
         status.generated
     );
+    if status.vars_eliminated | status.clauses_subsumed | status.clauses_strengthened != 0 {
+        println!(
+            "simplify: {} vars eliminated, {} clauses subsumed, {} strengthened",
+            status.vars_eliminated, status.clauses_subsumed, status.clauses_strengthened
+        );
+    }
     Ok(())
 }
 
@@ -743,6 +831,12 @@ fn cmd_status(args: &[String]) -> Result<(), CliError> {
     println!("  stage runs:   {}", status.stages);
     println!("  gen queued:   {}", status.generation_queued);
     println!("  generated:    {}", status.generated);
+    if status.vars_eliminated | status.clauses_subsumed | status.clauses_strengthened != 0 {
+        println!(
+            "  simplify:     {} vars eliminated, {} clauses subsumed, {} strengthened",
+            status.vars_eliminated, status.clauses_subsumed, status.clauses_strengthened
+        );
+    }
     Ok(())
 }
 
@@ -764,7 +858,8 @@ struct CoordinatorArgs {
     profile: Option<PathBuf>,
     schedule_arg: String,
     budget_arg: String,
-    reuse: bool,
+    reuse: Option<bool>,
+    simplify: bool,
     steal: bool,
     heartbeat_ms: Option<u64>,
     stall_timeout_secs: Option<u64>,
@@ -789,7 +884,8 @@ fn parse_coordinator(args: &[String]) -> Result<CoordinatorArgs, CliError> {
         profile: None,
         schedule_arg: "default".to_string(),
         budget_arg: "fixed".to_string(),
-        reuse: false,
+        reuse: None,
+        simplify: false,
         steal: false,
         heartbeat_ms: None,
         stall_timeout_secs: None,
@@ -862,7 +958,9 @@ fn parse_coordinator(args: &[String]) -> Result<CoordinatorArgs, CliError> {
             "--profile" => opts.profile = Some(value("--profile")?.into()),
             "--schedule" => opts.schedule_arg = value("--schedule")?,
             "--budget" => opts.budget_arg = value("--budget")?,
-            "--reuse" => opts.reuse = true,
+            "--reuse" => opts.reuse = Some(true),
+            "--no-reuse" => opts.reuse = Some(false),
+            "--simplify" => opts.simplify = true,
             "--steal" => opts.steal = true,
             "--heartbeat-ms" => {
                 opts.heartbeat_ms = Some(
@@ -998,14 +1096,11 @@ fn cmd_coordinator(args: &[String]) -> Result<(), CliError> {
         }
     };
 
+    let reuse = resolve_reuse(opts.reuse, opts.simplify);
     let config = EngineConfig::full(pipeline)
         .with_threads(opts.threads)
         .with_schedule(schedule)
-        .with_reuse(if opts.reuse {
-            EngineReuse::full()
-        } else {
-            EngineReuse::default()
-        });
+        .with_reuse(reuse);
 
     let worker = WorkerSpec::current_exe()
         .map_err(|e| runtime(format!("cannot locate own executable: {}", e)))?;
@@ -1033,14 +1128,15 @@ fn cmd_coordinator(args: &[String]) -> Result<(), CliError> {
 
     let describe = |count: usize, what: &str| {
         println!(
-            "sweeping {} {} over {} shard process(es) ({}, {} flush, schedule {}, reuse {}{}), workdir {}",
+            "sweeping {} {} over {} shard process(es) ({}, {} flush, schedule {}, reuse {}{}{}), workdir {}",
             count,
             what,
             opts.shards,
             opts.policy.tag(),
             flush.tag(),
             config.schedule.spec(),
-            if opts.reuse { "on" } else { "off" },
+            reuse_tag(reuse),
+            if reuse.simplify.any() { ", simplify" } else { "" },
             if opts.steal { ", stealing" } else { "" },
             opts.workdir.display()
         );
@@ -1117,6 +1213,7 @@ fn cmd_coordinator(args: &[String]) -> Result<(), CliError> {
             totals.blast_hits, totals.blast_misses, totals.assumption_reuses, totals.escalations
         );
     }
+    print_simplify_totals(&swept.report);
     if let (Some(path), Some(delta)) = (&opts.profile, &swept.profile_delta) {
         println!(
             "profile: appended {} cell delta(s) to {}",
@@ -1300,6 +1397,40 @@ mod tests {
     }
 
     #[test]
+    fn reuse_flags_resolve_layers() {
+        // No flag: blast memo alone — clause-identical, fingerprint-neutral.
+        let default = resolve_reuse(None, false);
+        assert!(default.memo);
+        assert!(!default.incremental && !default.portfolio);
+        assert!(!default.simplify.any());
+        assert_eq!(reuse_tag(default), "memo");
+
+        // `--reuse` / `--no-reuse` are the full-on / all-off overrides.
+        assert_eq!(resolve_reuse(Some(true), false), EngineReuse::full());
+        assert_eq!(reuse_tag(resolve_reuse(Some(true), false)), "full");
+        assert_eq!(resolve_reuse(Some(false), false), EngineReuse::default());
+        assert_eq!(reuse_tag(resolve_reuse(Some(false), false)), "off");
+
+        // `--simplify` composes with any reuse spelling.
+        let simplified = resolve_reuse(Some(false), true);
+        assert_eq!(simplified.simplify, SimplifyConfig::full());
+        assert!(!simplified.memo);
+
+        // All three subcommands accept the flags.
+        let coord = parse_coordinator(&strings(&["--reuse", "--simplify"])).unwrap();
+        assert_eq!(coord.reuse, Some(true));
+        assert!(coord.simplify);
+        let coord = parse_coordinator(&strings(&["--no-reuse"])).unwrap();
+        assert_eq!(coord.reuse, Some(false));
+        let run = parse_run(&strings(&["--generate", "2", "--simplify", "--no-reuse"])).unwrap();
+        assert_eq!(run.reuse, Some(false));
+        assert!(run.simplify);
+        let serve = parse_serve(&strings(&["--simplify", "--reuse"])).unwrap();
+        assert_eq!(serve.reuse, Some(true));
+        assert!(serve.simplify);
+    }
+
+    #[test]
     fn passk_points_are_powers_of_two_up_to_k() {
         assert_eq!(passk_points(1), vec![1]);
         assert_eq!(passk_points(8), vec![1, 2, 4, 8]);
@@ -1340,6 +1471,8 @@ mod tests {
         assert!(parsed.steal);
         assert_eq!(parsed.heartbeat_ms, Some(100));
         assert_eq!(parsed.stall_timeout_secs, Some(30));
+        assert_eq!(parsed.reuse, None, "memo-only default");
+        assert!(!parsed.simplify);
 
         // Every malformed spelling is a typed usage error, never a panic.
         for bad in [
